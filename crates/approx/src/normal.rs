@@ -1,0 +1,176 @@
+//! Standard-normal distribution helpers.
+//!
+//! The sampling theory of Section 7 needs the quantile `z₁₋₂α` of the
+//! standard normal distribution to build the confidence interval
+//! `|p − p̂| ≤ z·√(p̂(1−p̂)/n)`. To avoid an external statistics dependency we
+//! implement:
+//!
+//! * [`cdf`] — Φ(x) via the Abramowitz–Stegun 7.1.26 erf approximation
+//!   (absolute error < 1.5·10⁻⁷), and
+//! * [`quantile`] — Φ⁻¹(p) via Acklam's rational approximation
+//!   (relative error < 1.15·10⁻⁹), refined with one Halley step.
+
+/// Standard normal cumulative distribution function Φ(x).
+pub fn cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal probability density function φ(x).
+pub fn pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal quantile Φ⁻¹(p) for `p ∈ (0, 1)` (Acklam's algorithm with
+/// one Halley refinement step).
+///
+/// # Panics
+/// Panics if `p` is outside the open interval `(0, 1)`.
+pub fn quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step against the high-precision CDF.
+    let e = cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// The two-sided confidence quantile `z₁₋₂α` used by Inequality (1) of the
+/// paper: for a confidence level `1 − 2α`, returns `Φ⁻¹(1 − α)`.
+///
+/// # Panics
+/// Panics unless `0 < alpha < 0.5`.
+pub fn z_for_alpha(alpha: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha < 0.5, "alpha must be in (0, 0.5), got {alpha}");
+    quantile(1.0 - alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cdf_reference_points() {
+        assert!((cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((cdf(1.959_964) - 0.975).abs() < 1e-5);
+        assert!((cdf(-1.959_964) - 0.025).abs() < 1e-5);
+        assert!((cdf(3.0) - 0.998_650_1).abs() < 1e-6);
+        assert!(cdf(8.0) > 0.999_999_9);
+        assert!(cdf(-8.0) < 1e-7);
+    }
+
+    #[test]
+    fn quantile_reference_points() {
+        // Accuracy is limited by the erf approximation used in the Halley
+        // refinement (absolute error ~1.5e-7), which is ample for thresholds.
+        assert!((quantile(0.5)).abs() < 1e-6);
+        assert!((quantile(0.975) - 1.959_964).abs() < 1e-5);
+        assert!((quantile(0.95) - 1.644_854).abs() < 1e-5);
+        assert!((quantile(0.995) - 2.575_829).abs() < 1e-5);
+        assert!((quantile(0.025) + 1.959_964).abs() < 1e-5);
+        assert!((quantile(0.0001) + 3.719_016).abs() < 1e-4);
+    }
+
+    #[test]
+    fn z_for_alpha_matches_common_levels() {
+        // 95% two-sided confidence (alpha = 0.025) -> 1.96.
+        assert!((z_for_alpha(0.025) - 1.959_964).abs() < 1e-4);
+        // 90% two-sided confidence (alpha = 0.05) -> 1.645.
+        assert!((z_for_alpha(0.05) - 1.644_854).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "p in (0,1)")]
+    fn quantile_rejects_zero() {
+        quantile(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be")]
+    fn z_rejects_bad_alpha() {
+        z_for_alpha(0.7);
+    }
+
+    #[test]
+    fn pdf_is_symmetric_and_peaks_at_zero() {
+        assert!((pdf(0.0) - 0.398_942_3).abs() < 1e-6);
+        assert!((pdf(1.3) - pdf(-1.3)).abs() < 1e-12);
+        assert!(pdf(0.0) > pdf(0.5));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantile_inverts_cdf(p in 0.001f64..0.999) {
+            let x = quantile(p);
+            prop_assert!((cdf(x) - p).abs() < 1e-6, "p={}, x={}, cdf={}", p, x, cdf(x));
+        }
+
+        #[test]
+        fn prop_cdf_monotone(a in -5.0f64..5.0, b in -5.0f64..5.0) {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(cdf(lo) <= cdf(hi) + 1e-12);
+        }
+
+        #[test]
+        fn prop_erf_odd(x in -4.0f64..4.0) {
+            prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        }
+    }
+}

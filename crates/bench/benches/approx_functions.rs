@@ -1,0 +1,38 @@
+//! Criterion benchmark: enumeration cost under f1 / f2 / f3 (Figure 8's
+//! middle panel) plus the per-call cost of evaluating each function.
+
+use adc_approx::{ApproxContext, ApproxKind};
+use adc_core::{enumerate_adcs, EnumerationOptions};
+use adc_datasets::Dataset;
+use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder};
+use adc_predicates::{PredicateSpace, SpaceConfig};
+use adc_data::FixedBitSet;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let relation = Dataset::Tax.generator().generate(250, 5);
+    let space = PredicateSpace::build(&relation, SpaceConfig::default());
+    let evidence = ClusterEvidenceBuilder.build(&relation, &space, true);
+
+    let mut group = c.benchmark_group("approx_functions");
+    group.sample_size(10);
+    for kind in ApproxKind::ALL {
+        let f = kind.instantiate();
+        group.bench_function(format!("enumerate/{}", kind), |b| {
+            b.iter(|| {
+                enumerate_adcs(&space, &evidence, f.as_ref(), &EnumerationOptions::new(0.1)).dcs.len()
+            })
+        });
+
+        // Per-call scoring cost on a mid-sized complement set.
+        let ctx = ApproxContext::with_vios(&evidence.evidence_set, evidence.vios());
+        let set = FixedBitSet::from_indices(space.len(), (0..space.len()).step_by(3));
+        group.bench_function(format!("score/{}", kind), |b| {
+            b.iter(|| f.score(&ctx, &set))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benchmark: max- vs min-intersection branching in ADCEnum
+//! (Figure 10).
+
+use adc_approx::F1ViolationRate;
+use adc_core::{enumerate_adcs, BranchStrategy, EnumerationOptions};
+use adc_datasets::Dataset;
+use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder};
+use adc_predicates::{PredicateSpace, SpaceConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_strategy");
+    group.sample_size(10);
+    for dataset in [Dataset::Tax, Dataset::Stock, Dataset::Hospital] {
+        let relation = dataset.generator().generate(200, 3);
+        let space = PredicateSpace::build(&relation, SpaceConfig::default());
+        let evidence = ClusterEvidenceBuilder.build(&relation, &space, false);
+        for strategy in [BranchStrategy::MaxIntersection, BranchStrategy::MinIntersection] {
+            group.bench_function(format!("{}/{}", strategy.label(), dataset.name()), |b| {
+                b.iter(|| {
+                    let mut options = EnumerationOptions::new(0.1);
+                    options.strategy = strategy;
+                    enumerate_adcs(&space, &evidence, &F1ViolationRate, &options).dcs.len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

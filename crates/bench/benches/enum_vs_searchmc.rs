@@ -1,0 +1,41 @@
+//! Criterion benchmark: ADCEnum vs SearchMC enumeration time on a shared
+//! evidence set (the microbenchmark behind Figure 6).
+
+use adc_approx::F1ViolationRate;
+use adc_core::baseline::SearchMinimalCovers;
+use adc_core::{enumerate_adcs, EnumerationOptions};
+use adc_datasets::Dataset;
+use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder};
+use adc_predicates::{PredicateSpace, SpaceConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enum_vs_searchmc");
+    group.sample_size(10);
+    for dataset in [Dataset::Stock, Dataset::Adult, Dataset::Hospital] {
+        let relation = dataset.generator().generate(200, 1);
+        let space = PredicateSpace::build(&relation, SpaceConfig::default());
+        let evidence = ClusterEvidenceBuilder.build(&relation, &space, false);
+        let epsilon = 0.1;
+
+        group.bench_function(format!("adcenum/{}", dataset.name()), |b| {
+            b.iter(|| {
+                enumerate_adcs(
+                    &space,
+                    &evidence,
+                    &F1ViolationRate,
+                    &EnumerationOptions::new(epsilon),
+                )
+                .dcs
+                .len()
+            })
+        });
+        group.bench_function(format!("searchmc/{}", dataset.name()), |b| {
+            b.iter(|| SearchMinimalCovers::new(epsilon).run(&space, &evidence.evidence_set).0.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

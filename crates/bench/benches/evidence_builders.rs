@@ -1,0 +1,44 @@
+//! Criterion benchmark: naive vs cluster/bitmask evidence-set construction
+//! (the ablation behind the AFASTDC vs DCFinder gap in Figure 7).
+
+use adc_datasets::Dataset;
+use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder, NaiveEvidenceBuilder};
+use adc_predicates::{PredicateSpace, SpaceConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evidence_builders");
+    group.sample_size(10);
+    for dataset in [Dataset::Stock, Dataset::Tax] {
+        let relation = dataset.generator().generate(300, 2);
+        let space = PredicateSpace::build(&relation, SpaceConfig::default());
+        group.bench_function(format!("naive/{}", dataset.name()), |b| {
+            b.iter(|| {
+                NaiveEvidenceBuilder
+                    .build(&relation, &space, false)
+                    .evidence_set
+                    .distinct_count()
+            })
+        });
+        group.bench_function(format!("cluster/{}", dataset.name()), |b| {
+            b.iter(|| {
+                ClusterEvidenceBuilder
+                    .build(&relation, &space, false)
+                    .evidence_set
+                    .distinct_count()
+            })
+        });
+        group.bench_function(format!("cluster+vios/{}", dataset.name()), |b| {
+            b.iter(|| {
+                ClusterEvidenceBuilder
+                    .build(&relation, &space, true)
+                    .evidence_set
+                    .distinct_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmark: the generic hitting-set layer on synthetic set
+//! systems — exact MMCS vs the approximate enumerator at several thresholds.
+//! This isolates the enumeration machinery from the DC-specific plumbing.
+
+use adc_data::FixedBitSet;
+use adc_hitting::{
+    approx::approx_minimal_hitting_sets, mmcs::minimal_hitting_sets, ApproxEnumConfig,
+    BranchStrategy, SetSystem,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_system(elements: usize, subsets: usize, density: f64, seed: u64) -> SetSystem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sets = Vec::with_capacity(subsets);
+    for _ in 0..subsets {
+        let mut s = FixedBitSet::new(elements);
+        for e in 0..elements {
+            if rng.gen_bool(density) {
+                s.insert(e);
+            }
+        }
+        if s.is_empty() {
+            s.insert(rng.gen_range(0..elements));
+        }
+        sets.push(s);
+    }
+    SetSystem::new(elements, sets)
+}
+
+fn coverage_score(system: &SetSystem) -> impl Fn(&FixedBitSet) -> f64 + '_ {
+    move |set: &FixedBitSet| {
+        if system.is_empty() {
+            return 1.0;
+        }
+        system.subsets().iter().filter(|f| f.intersects(set)).count() as f64 / system.len() as f64
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hitting_sets");
+    group.sample_size(10);
+    let system = random_system(24, 120, 0.2, 99);
+
+    group.bench_function("mmcs_exact", |b| {
+        b.iter(|| minimal_hitting_sets(&system, BranchStrategy::MinIntersection).len())
+    });
+    for epsilon in [0.0, 0.05, 0.15] {
+        group.bench_function(format!("approx_eps_{epsilon}"), |b| {
+            let score = coverage_score(&system);
+            b.iter(|| {
+                approx_minimal_hitting_sets(&system, &score, &ApproxEnumConfig::new(epsilon)).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmark: the `WillCover` pruning ablation — ADCEnum with and
+//! without the monotonicity-based pruning of the non-hitting branch
+//! (a design choice called out in DESIGN.md).
+
+use adc_approx::F1ViolationRate;
+use adc_core::{enumerate_adcs, EnumerationOptions};
+use adc_datasets::Dataset;
+use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder};
+use adc_predicates::{PredicateSpace, SpaceConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pruning_ablation");
+    group.sample_size(10);
+    for dataset in [Dataset::Adult, Dataset::Stock] {
+        let relation = dataset.generator().generate(200, 7);
+        let space = PredicateSpace::build(&relation, SpaceConfig::default());
+        let evidence = ClusterEvidenceBuilder.build(&relation, &space, false);
+        for (label, pruning) in [("willcover-on", true), ("willcover-off", false)] {
+            group.bench_function(format!("{label}/{}", dataset.name()), |b| {
+                b.iter(|| {
+                    let mut options = EnumerationOptions::new(0.05);
+                    options.will_cover_pruning = pruning;
+                    enumerate_adcs(&space, &evidence, &F1ViolationRate, &options).dcs.len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion benchmark: full-data mining vs sample-based mining
+//! (the speed-up behind Figure 12).
+
+use adc_core::{AdcMiner, MinerConfig};
+use adc_datasets::Dataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(10);
+    let relation = Dataset::Flight.generator().generate(400, 11);
+    for fraction in [0.2, 0.4, 1.0] {
+        group.bench_function(format!("fraction_{:.0}pct", fraction * 100.0), |b| {
+            b.iter(|| {
+                AdcMiner::new(MinerConfig::new(0.05).with_sample(fraction, 3))
+                    .mine(&relation)
+                    .dcs
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Run every table/figure binary in sequence (the full evaluation sweep).
+//!
+//! Equivalent to running `table4`, `fig6` … `fig14`, and `table5` one after
+//! another. Set `ADC_BENCH_ROWS` / `ADC_BENCH_DATASETS` to trade fidelity for
+//! time; the recorded results in `EXPERIMENTS.md` were produced with the
+//! defaults.
+
+use std::process::Command;
+
+fn main() {
+    let binaries = [
+        "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+        "table5",
+    ];
+    let exe = std::env::current_exe().expect("current executable path");
+    let dir = exe.parent().expect("binary directory");
+    for binary in binaries {
+        println!("\n================ {binary} ================");
+        let path = dir.join(binary);
+        if !path.exists() {
+            eprintln!(
+                "{} not found — build the full harness first: cargo build --release -p adc-bench",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("{binary} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll experiments completed.");
+}

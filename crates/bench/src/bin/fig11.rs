@@ -1,0 +1,66 @@
+//! Figure 11: quality of sample-mined ADCs. F1 score of the DCs mined from a
+//! sample against the DCs mined from the full (generated) dataset:
+//! sample-size sweeps at fixed ε (0.01 and 0.1) and threshold sweeps at fixed
+//! sample sizes (30% and 40%), for f1, f2, and f3.
+
+use adc_approx::ApproxKind;
+use adc_bench::{bench_datasets, bench_relation, run_miner, Table};
+use adc_core::{f1_score, MinerConfig};
+
+fn main() {
+    let sample_sizes = [0.01, 0.05, 0.1, 0.2, 0.3, 0.4];
+    let thresholds = [0.01, 0.02, 0.05, 0.1, 0.15, 0.2];
+
+    for kind in ApproxKind::ALL {
+        // Sweep 1: sample size at fixed thresholds.
+        for &epsilon in &[0.01, 0.1] {
+            let mut table = Table::new(
+                std::iter::once("Dataset".to_string())
+                    .chain(sample_sizes.iter().map(|s| format!("{:.0}%", s * 100.0)))
+                    .collect::<Vec<_>>(),
+            );
+            for dataset in bench_datasets() {
+                let relation = bench_relation(dataset);
+                let reference = run_miner(&relation, MinerConfig::new(epsilon).with_approx(kind));
+                let mut cells = vec![dataset.name().to_string()];
+                for &fraction in &sample_sizes {
+                    let sampled = run_miner(
+                        &relation,
+                        MinerConfig::new(epsilon).with_approx(kind).with_sample(fraction, 23),
+                    );
+                    cells.push(format!("{:.2}", f1_score(&sampled.dcs, &reference.dcs)));
+                }
+                table.add_row(cells);
+            }
+            table.print(&format!(
+                "Figure 11 — F1 vs sample size under {kind} (ε = {epsilon})"
+            ));
+        }
+
+        // Sweep 2: threshold at fixed sample sizes.
+        for &fraction in &[0.3, 0.4] {
+            let mut table = Table::new(
+                std::iter::once("Dataset".to_string())
+                    .chain(thresholds.iter().map(|t| format!("ε={t}")))
+                    .collect::<Vec<_>>(),
+            );
+            for dataset in bench_datasets() {
+                let relation = bench_relation(dataset);
+                let mut cells = vec![dataset.name().to_string()];
+                for &epsilon in &thresholds {
+                    let reference = run_miner(&relation, MinerConfig::new(epsilon).with_approx(kind));
+                    let sampled = run_miner(
+                        &relation,
+                        MinerConfig::new(epsilon).with_approx(kind).with_sample(fraction, 23),
+                    );
+                    cells.push(format!("{:.2}", f1_score(&sampled.dcs, &reference.dcs)));
+                }
+                table.add_row(cells);
+            }
+            table.print(&format!(
+                "Figure 11 — F1 vs threshold under {kind} (sample = {:.0}%)",
+                fraction * 100.0
+            ));
+        }
+    }
+}

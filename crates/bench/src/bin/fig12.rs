@@ -1,0 +1,26 @@
+//! Figure 12: total ADCMiner runtime for varying sample sizes
+//! (20%, 40%, 60%, 80%, 100%), f1, ε = 0.1.
+
+use adc_bench::{bench_datasets, bench_relation, run_miner, secs, Table};
+use adc_core::MinerConfig;
+
+fn main() {
+    let epsilon = 0.1;
+    let fractions = [0.2, 0.4, 0.6, 0.8, 1.0];
+    let mut table = Table::new(
+        std::iter::once("Dataset".to_string())
+            .chain(fractions.iter().map(|f| format!("{:.0}%", f * 100.0)))
+            .collect::<Vec<_>>(),
+    );
+    for dataset in bench_datasets() {
+        let relation = bench_relation(dataset);
+        let mut cells = vec![dataset.name().to_string()];
+        for &fraction in &fractions {
+            let config = MinerConfig::new(epsilon).with_sample(fraction, 31);
+            let result = run_miner(&relation, config);
+            cells.push(secs(result.timings.total()));
+        }
+        table.add_row(cells);
+    }
+    table.print("Figure 12 — total ADCMiner runtime (s) for varying sample sizes (f1, ε = 0.1)");
+}

@@ -1,0 +1,39 @@
+//! Figure 13: the average gap `ε − p̂` over the discovered ADCs, for varying
+//! sample sizes. The paper shows the gap shrinking like `1/√n`, which
+//! validates the confidence-interval analysis of Section 7.
+
+use adc_bench::{bench_datasets, bench_relation, run_miner, Table};
+use adc_core::{sampling, MinerConfig};
+use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder};
+
+fn main() {
+    let epsilon = 0.01;
+    let fractions = [0.05, 0.1, 0.2, 0.4, 0.6, 0.8];
+    let mut table = Table::new(
+        std::iter::once("Dataset".to_string())
+            .chain(fractions.iter().map(|f| format!("{:.0}%", f * 100.0)))
+            .collect::<Vec<_>>(),
+    );
+    for dataset in bench_datasets() {
+        let relation = bench_relation(dataset);
+        let mut cells = vec![dataset.name().to_string()];
+        for &fraction in &fractions {
+            let result = run_miner(&relation, MinerConfig::new(epsilon).with_sample(fraction, 13));
+            // Recompute p̂ of each discovered DC on the same sample.
+            let sample = sampling::draw_sample(&relation, fraction, 13);
+            let evidence = ClusterEvidenceBuilder
+                .build(&sample, &result.space, false)
+                .evidence_set;
+            let gaps: Vec<f64> = result
+                .dcs
+                .iter()
+                .map(|dc| epsilon - sampling::estimate_violation_rate(&evidence, &result.space, dc))
+                .collect();
+            let avg = if gaps.is_empty() { 0.0 } else { gaps.iter().sum::<f64>() / gaps.len() as f64 };
+            cells.push(format!("{avg:.5}"));
+        }
+        table.add_row(cells);
+    }
+    table.print("Figure 13 — average ε − p̂ over discovered ADCs vs sample size (f1, ε = 0.01)");
+    println!("(The gap should shrink roughly like 1/√n as the sample grows.)");
+}

@@ -1,0 +1,152 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation section (see `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for recorded results). The binaries print plain-text
+//! tables; absolute numbers depend on the machine and on the scaled-down
+//! dataset sizes, but the *shapes* (who wins, by roughly what factor, where
+//! crossovers fall) are the reproduction target.
+//!
+//! Environment variables understood by every binary:
+//!
+//! * `ADC_BENCH_ROWS` — override the number of generated tuples per dataset.
+//! * `ADC_BENCH_DATASETS` — comma-separated subset of dataset names to run.
+
+#![forbid(unsafe_code)]
+
+use adc_core::{AdcMiner, MinerConfig, MiningResult};
+use adc_data::Relation;
+use adc_datasets::Dataset;
+use std::time::Duration;
+
+/// Number of rows to generate for a dataset in the harness: the generator's
+/// scaled-down default, further capped so that the full 8-dataset sweeps
+/// finish in minutes, and overridable via `ADC_BENCH_ROWS`.
+pub fn bench_rows(dataset: Dataset) -> usize {
+    if let Ok(value) = std::env::var("ADC_BENCH_ROWS") {
+        if let Ok(rows) = value.trim().parse::<usize>() {
+            return rows.max(10);
+        }
+    }
+    dataset.generator().default_rows().min(800)
+}
+
+/// The datasets to run, honouring `ADC_BENCH_DATASETS`.
+pub fn bench_datasets() -> Vec<Dataset> {
+    match std::env::var("ADC_BENCH_DATASETS") {
+        Ok(value) if !value.trim().is_empty() => value
+            .split(',')
+            .filter_map(|name| Dataset::parse(name))
+            .collect(),
+        _ => Dataset::ALL.to_vec(),
+    }
+}
+
+/// Generate the harness relation for a dataset (fixed seed for comparability).
+pub fn bench_relation(dataset: Dataset) -> Relation {
+    dataset.generator().generate(bench_rows(dataset), 0xADC0 + dataset as u64)
+}
+
+/// Run the ADCMiner pipeline with a given configuration.
+pub fn run_miner(relation: &Relation, config: MinerConfig) -> MiningResult {
+    AdcMiner::new(config).mine(relation)
+}
+
+/// Render a duration in seconds with three decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// A minimal fixed-width table printer for harness output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must have the same number of cells as there are headers).
+    pub fn add_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render the table as text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&line(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the table with a title.
+    pub fn print(&self, title: &str) {
+        println!("\n## {title}\n");
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(vec!["dataset", "time"]);
+        t.add_row(vec!["Tax", "1.0"]);
+        t.add_row(vec!["Hospital", "2.25"]);
+        let text = t.render();
+        assert!(text.contains("dataset"));
+        assert!(text.lines().count() == 4);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[2].find("1.0"), lines[3].find("2.25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn bench_rows_is_positive_and_capped() {
+        for d in Dataset::ALL {
+            let rows = bench_rows(d);
+            assert!(rows >= 10 && rows <= 800);
+        }
+    }
+
+    #[test]
+    fn bench_datasets_defaults_to_all() {
+        // The environment variable is not set in the test environment.
+        if std::env::var("ADC_BENCH_DATASETS").is_err() {
+            assert_eq!(bench_datasets().len(), 8);
+        }
+    }
+}

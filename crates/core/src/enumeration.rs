@@ -1,0 +1,333 @@
+//! `ADCEnum` at the DC level: mapping between evidence sets / hitting sets
+//! and denial constraints.
+//!
+//! The reduction (Section 6 of the paper): a DC `ϕ` is (approximately)
+//! satisfied exactly when its **complement set** `Ŝ_ϕ` (approximately) hits
+//! every evidence set. The generic enumerator of `adc-hitting` therefore
+//! enumerates minimal approximate hitting sets `X` over the predicate
+//! universe; this module turns each `X` into the DC whose predicate set is
+//! the element-wise complement of `X`, and filters out the degenerate
+//! outputs (the empty constraint and trivially valid constraints).
+
+use adc_approx::{ApproxContext, ApproximationFunction};
+use adc_data::FixedBitSet;
+use adc_evidence::Evidence;
+use adc_hitting::{
+    enumerate_approx_minimal_hitting_sets, ApproxEnumConfig, ApproxEnumStats, BranchStrategy,
+    SetSystem,
+};
+use adc_predicates::{DenialConstraint, PredicateSpace};
+
+/// Result of one enumeration run.
+#[derive(Debug, Clone)]
+pub struct EnumerationOutcome {
+    /// The discovered minimal ADCs (non-trivial, non-empty), in emission order.
+    pub dcs: Vec<DenialConstraint>,
+    /// Counters from the underlying hitting-set enumeration.
+    pub stats: ApproxEnumStats,
+}
+
+/// Options for [`enumerate_adcs`].
+#[derive(Debug, Clone, Copy)]
+pub struct EnumerationOptions {
+    /// Approximation threshold ε.
+    pub epsilon: f64,
+    /// Branching strategy (the paper defaults to max-intersection).
+    pub strategy: BranchStrategy,
+    /// Enable the `WillCover` pruning (disable only for ablations).
+    pub will_cover_pruning: bool,
+    /// Stop after this many DCs (`None` = exhaustive).
+    pub max_dcs: Option<usize>,
+}
+
+impl EnumerationOptions {
+    /// Default options for a threshold.
+    pub fn new(epsilon: f64) -> Self {
+        EnumerationOptions {
+            epsilon,
+            strategy: BranchStrategy::default(),
+            will_cover_pruning: true,
+            max_dcs: None,
+        }
+    }
+}
+
+/// Enumerate the minimal ADCs of the database summarised by `evidence`,
+/// w.r.t. the approximation function `f` and threshold `options.epsilon`.
+///
+/// `evidence` must have been built over `space` (same predicate universe).
+/// If `f` requires the `vios` index (`f2`, `f3`), the evidence must have been
+/// built with `track_vios = true`.
+pub fn enumerate_adcs(
+    space: &PredicateSpace,
+    evidence: &Evidence,
+    f: &dyn ApproximationFunction,
+    options: &EnumerationOptions,
+) -> EnumerationOutcome {
+    let evidence_set = &evidence.evidence_set;
+    assert_eq!(
+        evidence_set.num_predicates(),
+        space.len(),
+        "evidence was built over a different predicate space"
+    );
+
+    let subsets: Vec<FixedBitSet> = evidence_set.entries().iter().map(|e| e.set.clone()).collect();
+    let system = SetSystem::new(space.len(), subsets);
+
+    let groups: Vec<usize> = (0..space.len()).map(|i| space.group_of(i)).collect();
+    let mut config = ApproxEnumConfig::new(options.epsilon)
+        .with_strategy(options.strategy)
+        .with_will_cover_pruning(options.will_cover_pruning)
+        .with_element_groups(&groups);
+    if let Some(max) = options.max_dcs {
+        // Leave headroom for filtered-out trivial/empty sets.
+        config = config.with_max_results(max.saturating_mul(4).max(max));
+    }
+
+    let ctx = match (f.requires_vios(), evidence.vios.as_ref()) {
+        (true, Some(vios)) => ApproxContext::with_vios(evidence_set, vios),
+        (true, None) => panic!(
+            "approximation function `{}` requires the vios index; build evidence with track_vios = true",
+            f.name()
+        ),
+        (false, _) => ApproxContext::new(evidence_set),
+    };
+    let score = |hitting_set: &FixedBitSet| f.score(&ctx, hitting_set);
+
+    let mut dcs = Vec::new();
+    let stats = enumerate_approx_minimal_hitting_sets(&system, score, &config, |hitting_set| {
+        if hitting_set.is_empty() {
+            // The empty DC (`¬true`) carries no information.
+            return true;
+        }
+        let dc = DenialConstraint::new(hitting_set.iter().map(|e| space.complement_of(e)).collect());
+        if !dc.is_trivial(space) {
+            dcs.push(dc);
+        }
+        match options.max_dcs {
+            Some(max) => dcs.len() < max,
+            None => true,
+        }
+    });
+
+    EnumerationOutcome { dcs, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_approx::{ApproxKind, F1ViolationRate};
+    use adc_data::{AttributeType, Relation, Schema, Value};
+    use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder};
+    use adc_predicates::{SpaceConfig, TupleRole};
+
+    /// The full 15-tuple running example of the paper (Table 1).
+    pub(crate) fn running_example() -> Relation {
+        let schema = Schema::of(&[
+            ("Name", AttributeType::Text),
+            ("State", AttributeType::Text),
+            ("Zip", AttributeType::Integer),
+            ("Income", AttributeType::Integer),
+            ("Tax", AttributeType::Integer),
+        ]);
+        let rows: [(&str, &str, i64, i64, i64); 15] = [
+            ("Alice", "NY", 11803, 28_000, 2_400),
+            ("Mark", "NY", 10102, 42_000, 4_700),
+            ("Bob", "NY", 13914, 93_000, 11_800),
+            ("Mary", "NY", 10437, 58_000, 6_700),
+            ("Alice", "NY", 10437, 26_000, 2_100),
+            ("Julia", "WA", 98112, 27_000, 1_400),
+            ("Jimmy", "WA", 98112, 24_000, 1_600),
+            ("Sam", "WA", 98112, 49_000, 6_800),
+            ("Jeff", "WA", 98112, 56_000, 7_800),
+            ("Gary", "WA", 98112, 50_000, 7_200),
+            ("Ron", "WA", 98112, 58_000, 8_000),
+            ("Jennifer", "WA", 98112, 61_000, 8_500),
+            ("Adam", "WA", 98112, 20_000, 1_000),
+            ("Tim", "IL", 62078, 39_000, 5_000),
+            ("Sarah", "IL", 98112, 54_000, 5_000),
+        ];
+        let mut b = Relation::builder(schema);
+        for (n, s, z, i, t) in rows {
+            b.push_row(vec![n.into(), s.into(), Value::Int(z), Value::Int(i), Value::Int(t)])
+                .unwrap();
+        }
+        b.build()
+    }
+
+    fn setup(config: SpaceConfig) -> (Relation, PredicateSpace, Evidence) {
+        let r = running_example();
+        let space = PredicateSpace::build(&r, config);
+        let evidence = ClusterEvidenceBuilder.build(&r, &space, true);
+        (r, space, evidence)
+    }
+
+    #[test]
+    fn every_emitted_dc_is_a_minimal_adc() {
+        let (r, space, evidence) = setup(SpaceConfig::same_column_only());
+        let epsilon = 0.05;
+        let out = enumerate_adcs(
+            &space,
+            &evidence,
+            &F1ViolationRate,
+            &EnumerationOptions::new(epsilon),
+        );
+        assert!(!out.dcs.is_empty());
+        let total = r.ordered_pair_count() as f64;
+        for dc in &out.dcs {
+            let violations = dc.count_violations(&space, &r) as f64;
+            assert!(
+                violations / total <= epsilon + 1e-12,
+                "{} violates threshold",
+                dc.display(&space)
+            );
+            // Minimality: removing any predicate must push the DC above ε.
+            for &p in dc.predicate_ids() {
+                let smaller = DenialConstraint::new(
+                    dc.predicate_ids().iter().copied().filter(|&q| q != p).collect(),
+                );
+                if smaller.is_empty() {
+                    continue;
+                }
+                let v = smaller.count_violations(&space, &r) as f64;
+                assert!(
+                    v / total > epsilon,
+                    "{} is not minimal (drop {p})",
+                    dc.display(&space)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn discovers_the_income_tax_rule_at_five_percent() {
+        // The motivating constraint ϕ₁ of Example 1.1 is an ADC for f1 at ε = 0.05.
+        let (_, space, evidence) = setup(SpaceConfig::default());
+        let out = enumerate_adcs(
+            &space,
+            &evidence,
+            &F1ViolationRate,
+            &EnumerationOptions::new(0.05),
+        );
+        let state_eq = space.find("State", "=", TupleRole::Other, "State").unwrap();
+        let income_gt = space.find("Income", ">", TupleRole::Other, "Income").unwrap();
+        let tax_leq = space.find("Tax", "≤", TupleRole::Other, "Tax").unwrap();
+        let phi1 = DenialConstraint::new(vec![state_eq, income_gt, tax_leq]);
+        let found = out
+            .dcs
+            .iter()
+            .any(|dc| dc.predicate_ids().iter().all(|p| phi1.contains(*p)) && !dc.is_empty());
+        assert!(
+            found,
+            "expected a generalisation of ϕ₁ among {} DCs",
+            out.dcs.len()
+        );
+    }
+
+    #[test]
+    fn epsilon_zero_returns_only_valid_dcs() {
+        let (r, space, evidence) = setup(SpaceConfig::same_column_only());
+        let out = enumerate_adcs(
+            &space,
+            &evidence,
+            &F1ViolationRate,
+            &EnumerationOptions::new(0.0),
+        );
+        for dc in &out.dcs {
+            assert!(dc.is_valid(&space, &r), "{} is not valid", dc.display(&space));
+        }
+        assert!(!out.dcs.is_empty());
+    }
+
+    #[test]
+    fn no_trivial_or_empty_dcs_are_emitted() {
+        let (_, space, evidence) = setup(SpaceConfig::default());
+        for epsilon in [0.0, 0.01, 0.1, 0.5] {
+            let out = enumerate_adcs(
+                &space,
+                &evidence,
+                &F1ViolationRate,
+                &EnumerationOptions::new(epsilon),
+            );
+            for dc in &out.dcs {
+                assert!(!dc.is_empty());
+                assert!(!dc.is_trivial(&space), "trivial DC {}", dc.display(&space));
+            }
+        }
+    }
+
+    #[test]
+    fn larger_epsilon_never_yields_longer_minimal_dcs_on_average() {
+        // Sanity check of the qualitative claim that higher thresholds give
+        // more general (shorter) constraints.
+        let (_, space, evidence) = setup(SpaceConfig::same_column_only());
+        let avg_len = |eps: f64| {
+            let out =
+                enumerate_adcs(&space, &evidence, &F1ViolationRate, &EnumerationOptions::new(eps));
+            let total: usize = out.dcs.iter().map(|d| d.len()).sum();
+            total as f64 / out.dcs.len().max(1) as f64
+        };
+        assert!(avg_len(0.1) <= avg_len(0.0) + 1e-9);
+    }
+
+    #[test]
+    fn all_approximation_functions_run_end_to_end() {
+        let (r, space, evidence) = setup(SpaceConfig::same_column_only());
+        for kind in ApproxKind::ALL {
+            let f = kind.instantiate();
+            let out =
+                enumerate_adcs(&space, &evidence, f.as_ref(), &EnumerationOptions::new(0.1));
+            assert!(!out.dcs.is_empty(), "{} produced no DCs", kind);
+            assert!(out.stats.recursive_calls > 0);
+            // All emitted DCs respect the threshold under their own function.
+            let ctx = adc_approx::ApproxContext::with_vios(&evidence.evidence_set, evidence.vios());
+            for dc in &out.dcs {
+                let cset = dc.complement_set(&space);
+                assert!(
+                    1.0 - f.score(&ctx, &cset) <= 0.1 + 1e-9,
+                    "{} fails {} threshold on {} tuples",
+                    dc.display(&space),
+                    kind,
+                    r.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn branch_strategies_agree_on_the_result_set() {
+        let (_, space, evidence) = setup(SpaceConfig::same_column_only());
+        let run = |strategy| {
+            let mut opts = EnumerationOptions::new(0.05);
+            opts.strategy = strategy;
+            let mut dcs: Vec<Vec<usize>> = enumerate_adcs(&space, &evidence, &F1ViolationRate, &opts)
+                .dcs
+                .iter()
+                .map(|d| d.predicate_ids().to_vec())
+                .collect();
+            dcs.sort();
+            dcs
+        };
+        assert_eq!(run(BranchStrategy::MaxIntersection), run(BranchStrategy::MinIntersection));
+    }
+
+    #[test]
+    fn max_dcs_limits_output() {
+        let (_, space, evidence) = setup(SpaceConfig::default());
+        let mut opts = EnumerationOptions::new(0.1);
+        opts.max_dcs = Some(3);
+        let out = enumerate_adcs(&space, &evidence, &F1ViolationRate, &opts);
+        assert!(out.dcs.len() <= 3);
+        assert!(!out.dcs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the vios index")]
+    fn vios_requirement_is_enforced() {
+        let r = running_example();
+        let space = PredicateSpace::build(&r, SpaceConfig::same_column_only());
+        let evidence = ClusterEvidenceBuilder.build(&r, &space, false);
+        let f = ApproxKind::F3.instantiate();
+        let _ = enumerate_adcs(&space, &evidence, f.as_ref(), &EnumerationOptions::new(0.1));
+    }
+}

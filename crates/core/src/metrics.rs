@@ -1,0 +1,195 @@
+//! Quality metrics for sets of discovered DCs (Section 8 of the paper).
+//!
+//! * [`f1_score`] / [`DcSetComparison`] — precision, recall, and F1 of a
+//!   discovered DC set against a reference DC set (the paper compares DCs
+//!   mined from a sample against DCs mined from the full dataset,
+//!   Figure 11).
+//! * [`g_recall`] — the fraction of *golden* DCs (expert-provided rules)
+//!   recovered by the discovered set (Figure 14). A golden DC counts as
+//!   recovered when some discovered DC **implies** it: a DC with a subset of
+//!   the golden DC's predicates forbids a superset of the tuple pairs the
+//!   golden DC forbids, hence is at least as strong.
+
+use adc_data::fx::FxHashSet;
+use adc_predicates::DenialConstraint;
+
+/// Precision / recall / F1 of a discovered DC set against a reference set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DcSetComparison {
+    /// Fraction of discovered DCs present in the reference set.
+    pub precision: f64,
+    /// Fraction of reference DCs present in the discovered set.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Number of DCs in both sets.
+    pub common: usize,
+}
+
+/// Compare two DC sets by exact (normalised) predicate-set equality.
+///
+/// Both sets must refer to the same predicate space (the same relation and
+/// space configuration), which is how the paper's sample-vs-full comparison
+/// is set up.
+pub fn compare_dc_sets(discovered: &[DenialConstraint], reference: &[DenialConstraint]) -> DcSetComparison {
+    let discovered_set: FxHashSet<&DenialConstraint> = discovered.iter().collect();
+    let reference_set: FxHashSet<&DenialConstraint> = reference.iter().collect();
+    let common = discovered_set.intersection(&reference_set).count();
+    let precision = if discovered_set.is_empty() { 0.0 } else { common as f64 / discovered_set.len() as f64 };
+    let recall = if reference_set.is_empty() { 0.0 } else { common as f64 / reference_set.len() as f64 };
+    let f1 = if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
+    DcSetComparison { precision, recall, f1, common }
+}
+
+/// The F1 score of a discovered DC set against a reference set
+/// (`2·precision·recall / (precision + recall)`).
+pub fn f1_score(discovered: &[DenialConstraint], reference: &[DenialConstraint]) -> f64 {
+    compare_dc_sets(discovered, reference).f1
+}
+
+/// `true` if `general` implies `specific`: every predicate of `general` is a
+/// predicate of `specific`, so any pair violating `specific`'s full
+/// conjunction also violates `general`'s.
+pub fn implies(general: &DenialConstraint, specific: &DenialConstraint) -> bool {
+    !general.is_empty() && general.predicate_ids().iter().all(|p| specific.contains(*p))
+}
+
+/// G-recall: the fraction of golden DCs that are implied by at least one
+/// discovered DC. Returns 0 for an empty golden set.
+pub fn g_recall(discovered: &[DenialConstraint], golden: &[DenialConstraint]) -> f64 {
+    if golden.is_empty() {
+        return 0.0;
+    }
+    let recovered = golden
+        .iter()
+        .filter(|g| discovered.iter().any(|d| implies(d, g)))
+        .count();
+    recovered as f64 / golden.len() as f64
+}
+
+/// Count how many discovered DCs cannot be expressed as (order-free) FD-style
+/// constraints, i.e. contain at least one non-equality operator or a
+/// single-tuple predicate. The paper reports ~70 % of discovered constraints
+/// are not expressible as FDs; the harness reproduces that statistic.
+pub fn non_fd_fraction(
+    discovered: &[DenialConstraint],
+    space: &adc_predicates::PredicateSpace,
+) -> f64 {
+    if discovered.is_empty() {
+        return 0.0;
+    }
+    let non_fd = discovered
+        .iter()
+        .filter(|dc| {
+            dc.predicate_ids().iter().any(|&p| {
+                let pred = space.predicate(p);
+                pred.right_role == adc_predicates::TupleRole::Same
+                    || pred.left_col != pred.right_col
+                    || !matches!(
+                        pred.op,
+                        adc_predicates::Operator::Eq | adc_predicates::Operator::Neq
+                    )
+            })
+        })
+        .count();
+    non_fd as f64 / discovered.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dc(ids: &[usize]) -> DenialConstraint {
+        DenialConstraint::new(ids.to_vec())
+    }
+
+    #[test]
+    fn comparison_counts_exact_matches() {
+        let discovered = vec![dc(&[1, 2]), dc(&[3]), dc(&[4, 5])];
+        let reference = vec![dc(&[2, 1]), dc(&[4, 5]), dc(&[9])];
+        let cmp = compare_dc_sets(&discovered, &reference);
+        assert_eq!(cmp.common, 2);
+        assert!((cmp.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cmp.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cmp.f1 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((f1_score(&discovered, &reference) - cmp.f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_and_zero_overlap() {
+        let a = vec![dc(&[1]), dc(&[2])];
+        let cmp = compare_dc_sets(&a, &a.clone());
+        assert_eq!(cmp.f1, 1.0);
+        let none = compare_dc_sets(&a, &[dc(&[3])]);
+        assert_eq!(none.f1, 0.0);
+        assert_eq!(none.common, 0);
+    }
+
+    #[test]
+    fn empty_sets() {
+        assert_eq!(compare_dc_sets(&[], &[dc(&[1])]).f1, 0.0);
+        assert_eq!(compare_dc_sets(&[dc(&[1])], &[]).f1, 0.0);
+        assert_eq!(compare_dc_sets(&[], &[]).f1, 0.0);
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate_scores() {
+        let discovered = vec![dc(&[1]), dc(&[1]), dc(&[1])];
+        let reference = vec![dc(&[1]), dc(&[2])];
+        let cmp = compare_dc_sets(&discovered, &reference);
+        assert_eq!(cmp.common, 1);
+        assert!((cmp.precision - 1.0).abs() < 1e-12);
+        assert!((cmp.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn implication_is_subset_of_predicates() {
+        assert!(implies(&dc(&[1, 2]), &dc(&[1, 2, 3])));
+        assert!(implies(&dc(&[2]), &dc(&[1, 2])));
+        assert!(!implies(&dc(&[1, 4]), &dc(&[1, 2, 3])));
+        assert!(implies(&dc(&[1, 2]), &dc(&[1, 2])));
+        assert!(!implies(&dc(&[]), &dc(&[1])));
+    }
+
+    #[test]
+    fn g_recall_counts_implied_golden_dcs() {
+        let golden = vec![dc(&[1, 2, 3]), dc(&[4, 5]), dc(&[7])];
+        // First golden implied by a shorter (more general) DC, second exactly
+        // matched, third not found.
+        let discovered = vec![dc(&[1, 3]), dc(&[4, 5]), dc(&[8, 9])];
+        assert!((g_recall(&discovered, &golden) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(g_recall(&[], &golden), 0.0);
+        assert_eq!(g_recall(&discovered, &[]), 0.0);
+    }
+
+    #[test]
+    fn g_recall_is_one_when_everything_is_implied() {
+        let golden = vec![dc(&[1, 2]), dc(&[3, 4])];
+        let discovered = vec![dc(&[1]), dc(&[3, 4]), dc(&[99])];
+        assert_eq!(g_recall(&discovered, &golden), 1.0);
+    }
+
+    #[test]
+    fn non_fd_fraction_distinguishes_order_predicates() {
+        use adc_data::{AttributeType, Relation, Schema, Value};
+        use adc_predicates::{PredicateSpace, SpaceConfig, TupleRole};
+        let schema = Schema::of(&[("A", AttributeType::Text), ("B", AttributeType::Integer)]);
+        let mut b = Relation::builder(schema);
+        for i in 0..4i64 {
+            b.push_row(vec![Value::from(if i % 2 == 0 { "x" } else { "y" }), Value::Int(i)]).unwrap();
+        }
+        let r = b.build();
+        let space = PredicateSpace::build(&r, SpaceConfig::same_column_only());
+        let a_eq = space.find("A", "=", TupleRole::Other, "A").unwrap();
+        let a_neq = space.find("A", "≠", TupleRole::Other, "A").unwrap();
+        let b_lt = space.find("B", "<", TupleRole::Other, "B").unwrap();
+        // FD-style DC: only same-column equality/inequality predicates.
+        let fd_like = DenialConstraint::new(vec![a_eq, a_neq]);
+        // Order-based DC: not expressible as an FD.
+        let order_based = DenialConstraint::new(vec![a_eq, b_lt]);
+        assert_eq!(non_fd_fraction(&[fd_like.clone()], &space), 0.0);
+        assert_eq!(non_fd_fraction(&[order_based.clone()], &space), 1.0);
+        assert!((non_fd_fraction(&[fd_like, order_based], &space) - 0.5).abs() < 1e-12);
+        assert_eq!(non_fd_fraction(&[], &space), 0.0);
+    }
+}

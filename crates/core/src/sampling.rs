@@ -1,0 +1,268 @@
+//! Mining ADCs from a sample (Section 7 of the paper).
+//!
+//! Building the evidence set is quadratic in the number of tuples, so the
+//! miner can instead draw a uniform sample `J ⊆ D` and mine on `J`. Two
+//! questions arise (and are answered here following the paper):
+//!
+//! 1. **Estimating the violation rate.** The violation rate `p̂` observed on
+//!    the sample is an unbiased estimator of the database violation rate `p`
+//!    ([`estimate_violation_rate`]); [`chebyshev_bound`] gives the
+//!    distribution-free error bound of Section 7.1, and
+//!    [`normal_margin`] the tighter bound under the random-violation
+//!    (binomial) model.
+//! 2. **Choosing the sample threshold.** [`SampleThreshold`] computes the
+//!    per-DC threshold `ε_J` (Inequality 2): accepting a DC on the sample
+//!    when `p̂ ≤ ε_J` guarantees, with confidence `1 − α`, that the DC is an
+//!    ε-ADC on the full database. Equivalently the adjusted function `f₁'`
+//!    ([`adc_approx::SampleAdjustedF1`]) can be used with the original ε.
+
+use adc_approx::normal;
+use adc_data::{sample, FixedBitSet, Relation};
+use adc_evidence::EvidenceSet;
+use adc_predicates::{DenialConstraint, PredicateSpace};
+
+/// Draw a uniform sample of `fraction · |D|` tuples (without replacement).
+///
+/// This is the "Sampler" box of Figure 1; it simply re-exports the data-layer
+/// primitive so that callers of `adc-core` need not depend on `adc-data`
+/// directly.
+pub fn draw_sample(relation: &Relation, fraction: f64, seed: u64) -> Relation {
+    sample::sample_fraction(relation, fraction, seed)
+}
+
+/// The observed violation rate `p̂` of a DC on (the evidence set of) a sample:
+/// the fraction of ordered tuple pairs violating the DC.
+pub fn estimate_violation_rate(evidence: &EvidenceSet, space: &PredicateSpace, dc: &DenialConstraint) -> f64 {
+    let hitting_set: FixedBitSet = dc.complement_set(space);
+    evidence.violation_fraction(&hitting_set)
+}
+
+/// The exact violation rate of a DC on a relation (quadratic; used by the
+/// experiments to compare `p̂` against `p`).
+pub fn exact_violation_rate(relation: &Relation, space: &PredicateSpace, dc: &DenialConstraint) -> f64 {
+    let total = relation.ordered_pair_count();
+    if total == 0 {
+        return 0.0;
+    }
+    dc.count_violations(space, relation) as f64 / total as f64
+}
+
+/// Chebyshev bound of Section 7.1 on the estimation error:
+/// `Pr(|p̂ − p| > a) ≤ (p/a²)·((C + C(C−1)/2)/C² − p)` where
+/// `C = (|V_J| choose 2)` is the number of unordered vertex pairs of the
+/// sample conflict graph. The bound is distribution-free (no independence
+/// assumption between violations). The returned value is clamped to `[0, 1]`.
+pub fn chebyshev_bound(p: f64, sample_tuples: usize, a: f64) -> f64 {
+    assert!(a > 0.0, "error radius a must be positive");
+    if sample_tuples < 2 {
+        return 1.0;
+    }
+    let c = (sample_tuples as f64) * (sample_tuples as f64 - 1.0) / 2.0;
+    let var_bound = p * ((c + c * (c - 1.0) / 2.0) / (c * c) - p);
+    (var_bound.max(0.0) / (a * a)).clamp(0.0, 1.0)
+}
+
+/// The normal-approximation margin `z·√(p̂(1−p̂)/n)` of Inequality (1), where
+/// `n = 2·(|V_J| choose 2)` is the number of ordered pairs in the sample.
+pub fn normal_margin(p_hat: f64, sample_pairs: u64, z: f64) -> f64 {
+    if sample_pairs == 0 {
+        return 1.0;
+    }
+    z * (p_hat * (1.0 - p_hat) / sample_pairs as f64).sqrt()
+}
+
+/// Computes per-DC sample thresholds `ε_J` from a database-level threshold ε
+/// and a confidence parameter α (Section 7.2).
+#[derive(Debug, Clone, Copy)]
+pub struct SampleThreshold {
+    /// Database-level approximation threshold ε.
+    pub epsilon: f64,
+    /// Error bound α: an accepted DC is an ε-ADC on the database with
+    /// probability at least `1 − α`.
+    pub alpha: f64,
+    /// The normal quantile `z₁₋₂α`.
+    pub z: f64,
+}
+
+impl SampleThreshold {
+    /// Create a threshold calculator.
+    ///
+    /// # Panics
+    /// Panics unless `epsilon ≥ 0` and `0 < alpha < 0.5`.
+    pub fn new(epsilon: f64, alpha: f64) -> Self {
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        SampleThreshold { epsilon, alpha, z: normal::z_for_alpha(alpha) }
+    }
+
+    /// The sample threshold `ε_J` for a DC with observed violation rate
+    /// `p_hat` on a sample with `sample_pairs` ordered tuple pairs:
+    /// `ε_J = ε − z·√(p̂(1−p̂)/n)`, clamped at zero.
+    ///
+    /// Accepting the DC iff `p̂ ≤ ε_J` is exactly Inequality (2) of the paper.
+    pub fn sample_epsilon(&self, p_hat: f64, sample_pairs: u64) -> f64 {
+        (self.epsilon - normal_margin(p_hat, sample_pairs, self.z)).max(0.0)
+    }
+
+    /// Decide whether a DC observed with violation rate `p_hat` on the sample
+    /// should be accepted as an ε-ADC of the full database.
+    pub fn accept(&self, p_hat: f64, sample_pairs: u64) -> bool {
+        p_hat <= self.sample_epsilon(p_hat, sample_pairs)
+    }
+
+    /// The margin `ε − p̂` required by the acceptance rule; Figure 13 of the
+    /// paper tracks how this gap shrinks as `1/√n`.
+    pub fn required_margin(&self, p_hat: f64, sample_pairs: u64) -> f64 {
+        normal_margin(p_hat, sample_pairs, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_data::{AttributeType, Schema, Value};
+    use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder};
+    use adc_predicates::{SpaceConfig, TupleRole};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn income_tax_relation(n: usize, violation_every: usize, seed: u64) -> Relation {
+        let schema = Schema::of(&[
+            ("State", AttributeType::Text),
+            ("Income", AttributeType::Integer),
+            ("Tax", AttributeType::Integer),
+        ]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let states = ["NY", "WA", "IL", "TX"];
+        let mut b = Relation::builder(schema);
+        for i in 0..n {
+            let income = rng.gen_range(20_000..100_000);
+            // Tax is normally 10% of income; every `violation_every`-th tuple
+            // underpays drastically, creating income/tax violations.
+            let tax = if i % violation_every == 0 { 100 } else { income / 10 };
+            b.push_row(vec![
+                Value::from(states[rng.gen_range(0..states.len())]),
+                Value::Int(income),
+                Value::Int(tax),
+            ])
+            .unwrap();
+        }
+        b.build()
+    }
+
+    fn phi1(space: &PredicateSpace) -> DenialConstraint {
+        DenialConstraint::new(vec![
+            space.find("State", "=", TupleRole::Other, "State").unwrap(),
+            space.find("Income", ">", TupleRole::Other, "Income").unwrap(),
+            space.find("Tax", "≤", TupleRole::Other, "Tax").unwrap(),
+        ])
+    }
+
+    #[test]
+    fn sample_estimate_is_close_to_exact_rate() {
+        let r = income_tax_relation(300, 10, 1);
+        let space = PredicateSpace::build(&r, SpaceConfig::same_column_only());
+        let dc = phi1(&space);
+        let exact = exact_violation_rate(&r, &space, &dc);
+        assert!(exact > 0.0);
+
+        let sample = draw_sample(&r, 0.4, 7);
+        let evidence = ClusterEvidenceBuilder.build(&sample, &space, false).evidence_set;
+        let estimated = estimate_violation_rate(&evidence, &space, &dc);
+        // 40% of 300 tuples gives a good estimate; allow a generous band.
+        assert!(
+            (estimated - exact).abs() < 0.5 * exact + 0.01,
+            "estimate {estimated} too far from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn estimator_is_unbiased_over_many_samples() {
+        let r = income_tax_relation(120, 8, 3);
+        let space = PredicateSpace::build(&r, SpaceConfig::same_column_only());
+        let dc = phi1(&space);
+        let exact = exact_violation_rate(&r, &space, &dc);
+        let mut sum = 0.0;
+        let trials = 40;
+        for seed in 0..trials {
+            let sample = draw_sample(&r, 0.3, seed);
+            let evidence = ClusterEvidenceBuilder.build(&sample, &space, false).evidence_set;
+            sum += estimate_violation_rate(&evidence, &space, &dc);
+        }
+        let mean = sum / trials as f64;
+        assert!(
+            (mean - exact).abs() < 0.25 * exact + 0.005,
+            "mean estimate {mean} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn chebyshev_bound_shrinks_with_radius_and_is_clamped() {
+        let loose = chebyshev_bound(0.1, 100, 0.01);
+        let tight = chebyshev_bound(0.1, 100, 0.2);
+        assert!(loose >= tight);
+        assert!((0.0..=1.0).contains(&loose));
+        assert!((0.0..=1.0).contains(&tight));
+        assert_eq!(chebyshev_bound(0.1, 1, 0.1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "error radius")]
+    fn chebyshev_rejects_zero_radius() {
+        chebyshev_bound(0.1, 10, 0.0);
+    }
+
+    #[test]
+    fn normal_margin_shrinks_as_inverse_sqrt_n() {
+        let m1 = normal_margin(0.05, 1_000, 1.96);
+        let m2 = normal_margin(0.05, 4_000, 1.96);
+        assert!((m1 / m2 - 2.0).abs() < 1e-9, "quadrupling n must halve the margin");
+        assert_eq!(normal_margin(0.05, 0, 1.96), 1.0);
+        assert_eq!(normal_margin(0.0, 100, 1.96), 0.0);
+    }
+
+    #[test]
+    fn sample_threshold_is_conservative_and_converges_to_epsilon() {
+        let st = SampleThreshold::new(0.1, 0.05);
+        let small = st.sample_epsilon(0.05, 500);
+        let large = st.sample_epsilon(0.05, 5_000_000);
+        assert!(small < st.epsilon);
+        assert!(large <= st.epsilon);
+        assert!(st.epsilon - large < 1e-3, "with many pairs ε_J ≈ ε");
+        assert!(small <= large);
+        // Acceptance: a DC well under the threshold is accepted on large samples.
+        assert!(st.accept(0.05, 5_000_000));
+        // A DC with p̂ barely below ε is rejected on small samples (margin).
+        assert!(!st.accept(0.099, 200));
+    }
+
+    #[test]
+    fn acceptance_guarantee_holds_empirically() {
+        // Accepted DCs should (almost) always be ε-ADCs on the full data.
+        let r = income_tax_relation(200, 6, 9);
+        let space = PredicateSpace::build(&r, SpaceConfig::same_column_only());
+        let dc = phi1(&space);
+        let epsilon = 1.2 * exact_violation_rate(&r, &space, &dc);
+        let st = SampleThreshold::new(epsilon, 0.05);
+        let mut accepted = 0;
+        let mut false_accepts = 0;
+        for seed in 0..30 {
+            let sample = draw_sample(&r, 0.3, seed);
+            let evidence = ClusterEvidenceBuilder.build(&sample, &space, false).evidence_set;
+            let p_hat = estimate_violation_rate(&evidence, &space, &dc);
+            if st.accept(p_hat, evidence.total_pairs()) {
+                accepted += 1;
+                if exact_violation_rate(&r, &space, &dc) > epsilon {
+                    false_accepts += 1;
+                }
+            }
+        }
+        assert!(accepted > 0, "the DC should be accepted on at least some samples");
+        assert_eq!(false_accepts, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be non-negative")]
+    fn negative_epsilon_rejected() {
+        SampleThreshold::new(-0.1, 0.05);
+    }
+}

@@ -1,0 +1,268 @@
+//! Column-oriented storage with dictionary encoding for text.
+//!
+//! Evidence-set construction touches every pair of rows in a column, so the
+//! storage favours cache-friendly flat vectors and pre-computed integer codes:
+//!
+//! * text columns are dictionary-encoded (`u32` codes + a string dictionary),
+//!   so equality predicates compare two `u32`s;
+//! * numeric columns are flat `Option<i64>` / `Option<f64>` vectors.
+
+use crate::error::DataError;
+use crate::fx::FxHashMap;
+use crate::schema::AttributeType;
+use crate::value::Value;
+
+/// A single materialised column.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// Integer column; `None` is a null cell.
+    Int(Vec<Option<i64>>),
+    /// Float column; `None` is a null cell.
+    Float(Vec<Option<f64>>),
+    /// Dictionary-encoded text column.
+    Text {
+        /// Per-row dictionary code; `None` is a null cell.
+        codes: Vec<Option<u32>>,
+        /// Code → string.
+        dict: Vec<String>,
+    },
+}
+
+impl Column {
+    /// Create an empty column of the given type.
+    pub fn new(ty: AttributeType) -> Self {
+        match ty {
+            AttributeType::Integer => Column::Int(Vec::new()),
+            AttributeType::Float => Column::Float(Vec::new()),
+            AttributeType::Text => Column::Text { codes: Vec::new(), dict: Vec::new() },
+        }
+    }
+
+    /// The attribute type stored in this column.
+    pub fn ty(&self) -> AttributeType {
+        match self {
+            Column::Int(_) => AttributeType::Integer,
+            Column::Float(_) => AttributeType::Float,
+            Column::Text { .. } => AttributeType::Text,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Text { codes, .. } => codes.len(),
+        }
+    }
+
+    /// `true` if the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value at row `row` as a dynamically typed [`Value`].
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Int(v) => v[row].map_or(Value::Null, Value::Int),
+            Column::Float(v) => v[row].map_or(Value::Null, Value::Float),
+            Column::Text { codes, dict } => match codes[row] {
+                Some(c) => Value::Str(dict[c as usize].clone()),
+                None => Value::Null,
+            },
+        }
+    }
+
+    /// `true` if the cell at `row` is null.
+    pub fn is_null(&self, row: usize) -> bool {
+        match self {
+            Column::Int(v) => v[row].is_none(),
+            Column::Float(v) => v[row].is_none(),
+            Column::Text { codes, .. } => codes[row].is_none(),
+        }
+    }
+
+    /// Numeric view of the cell (integers widen to `f64`), if numeric and non-null.
+    #[inline]
+    pub fn numeric(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::Int(v) => v[row].map(|x| x as f64),
+            Column::Float(v) => v[row],
+            Column::Text { .. } => None,
+        }
+    }
+
+    /// Dictionary code of the cell for text columns, if non-null.
+    #[inline]
+    pub fn text_code(&self, row: usize) -> Option<u32> {
+        match self {
+            Column::Text { codes, .. } => codes[row],
+            _ => None,
+        }
+    }
+
+    /// The dictionary of a text column (empty slice for numeric columns).
+    pub fn dictionary(&self) -> &[String] {
+        match self {
+            Column::Text { dict, .. } => dict,
+            _ => &[],
+        }
+    }
+
+    /// Append a value, widening integers into float columns.
+    pub(crate) fn push(
+        &mut self,
+        value: Value,
+        attribute: &str,
+        dict_index: &mut FxHashMap<String, u32>,
+    ) -> Result<(), DataError> {
+        match (self, value) {
+            (Column::Int(v), Value::Int(i)) => v.push(Some(i)),
+            (Column::Int(v), Value::Null) => v.push(None),
+            (Column::Float(v), Value::Float(f)) => v.push(Some(f)),
+            (Column::Float(v), Value::Int(i)) => v.push(Some(i as f64)),
+            (Column::Float(v), Value::Null) => v.push(None),
+            (Column::Text { codes, dict }, Value::Str(s)) => {
+                let code = match dict_index.get(&s) {
+                    Some(&c) => c,
+                    None => {
+                        let c = dict.len() as u32;
+                        dict.push(s.clone());
+                        dict_index.insert(s, c);
+                        c
+                    }
+                };
+                codes.push(Some(code));
+            }
+            (Column::Text { codes, .. }, Value::Null) => codes.push(None),
+            (col, other) => {
+                return Err(DataError::TypeMismatch {
+                    attribute: attribute.to_string(),
+                    expected: col.ty().name(),
+                    found: other.to_string(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Build a new column containing only the given rows (in the given order).
+    pub fn project(&self, rows: &[usize]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(rows.iter().map(|&r| v[r]).collect()),
+            Column::Float(v) => Column::Float(rows.iter().map(|&r| v[r]).collect()),
+            Column::Text { codes, dict } => Column::Text {
+                codes: rows.iter().map(|&r| codes[r]).collect(),
+                dict: dict.clone(),
+            },
+        }
+    }
+
+    /// Number of distinct non-null values.
+    pub fn distinct_count(&self) -> usize {
+        use crate::fx::FxHashSet;
+        match self {
+            Column::Int(v) => v.iter().flatten().collect::<FxHashSet<_>>().len(),
+            Column::Float(v) => v
+                .iter()
+                .flatten()
+                .map(|f| f.to_bits())
+                .collect::<FxHashSet<_>>()
+                .len(),
+            Column::Text { codes, .. } => codes.iter().flatten().collect::<FxHashSet<_>>().len(),
+        }
+    }
+
+    /// Number of null cells.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Int(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Float(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Text { codes, .. } => codes.iter().filter(|x| x.is_none()).count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push(col: &mut Column, idx: &mut FxHashMap<String, u32>, v: Value) {
+        col.push(v, "A", idx).unwrap();
+    }
+
+    #[test]
+    fn int_column_roundtrip() {
+        let mut c = Column::new(AttributeType::Integer);
+        let mut idx = FxHashMap::default();
+        push(&mut c, &mut idx, Value::Int(3));
+        push(&mut c, &mut idx, Value::Null);
+        push(&mut c, &mut idx, Value::Int(-7));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(0), Value::Int(3));
+        assert!(c.is_null(1));
+        assert_eq!(c.numeric(2), Some(-7.0));
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.distinct_count(), 2);
+    }
+
+    #[test]
+    fn float_column_widens_ints() {
+        let mut c = Column::new(AttributeType::Float);
+        let mut idx = FxHashMap::default();
+        push(&mut c, &mut idx, Value::Int(3));
+        push(&mut c, &mut idx, Value::Float(2.5));
+        assert_eq!(c.value(0), Value::Float(3.0));
+        assert_eq!(c.numeric(1), Some(2.5));
+    }
+
+    #[test]
+    fn text_column_dictionary_encoding() {
+        let mut c = Column::new(AttributeType::Text);
+        let mut idx = FxHashMap::default();
+        push(&mut c, &mut idx, Value::from("NY"));
+        push(&mut c, &mut idx, Value::from("WA"));
+        push(&mut c, &mut idx, Value::from("NY"));
+        push(&mut c, &mut idx, Value::Null);
+        assert_eq!(c.text_code(0), c.text_code(2));
+        assert_ne!(c.text_code(0), c.text_code(1));
+        assert_eq!(c.text_code(3), None);
+        assert_eq!(c.dictionary().len(), 2);
+        assert_eq!(c.value(1), Value::from("WA"));
+        assert_eq!(c.distinct_count(), 2);
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let mut c = Column::new(AttributeType::Integer);
+        let mut idx = FxHashMap::default();
+        let err = c.push(Value::from("abc"), "Age", &mut idx).unwrap_err();
+        assert!(matches!(err, DataError::TypeMismatch { .. }));
+        // Float into Int is also rejected (no silent truncation).
+        assert!(c.push(Value::Float(1.5), "Age", &mut idx).is_err());
+    }
+
+    #[test]
+    fn projection_preserves_order_and_dict() {
+        let mut c = Column::new(AttributeType::Text);
+        let mut idx = FxHashMap::default();
+        for s in ["a", "b", "c", "d"] {
+            push(&mut c, &mut idx, Value::from(s));
+        }
+        let p = c.project(&[3, 1]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.value(0), Value::from("d"));
+        assert_eq!(p.value(1), Value::from("b"));
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = Column::new(AttributeType::Float);
+        assert!(c.is_empty());
+        assert_eq!(c.distinct_count(), 0);
+        assert_eq!(c.ty(), AttributeType::Float);
+    }
+}

@@ -1,0 +1,272 @@
+//! A small, dependency-free CSV reader with schema inference.
+//!
+//! The paper evaluates on CSV datasets (Tax, Stock, Hospital, ...). Real
+//! deployments would load those files through this module; the synthetic
+//! analogs in `adc-datasets` also round-trip through it in tests to make sure
+//! file-based and generated inputs behave identically.
+//!
+//! Supported dialect: comma separator, `"`-quoted fields with `""` escapes,
+//! a mandatory header row, LF or CRLF line endings.
+
+use crate::error::DataError;
+use crate::relation::Relation;
+use crate::schema::{Attribute, AttributeType, Schema};
+use crate::value::Value;
+use std::fs;
+use std::path::Path;
+
+/// Parse one CSV record (a physical line that is already known to contain a
+/// balanced set of quotes) into fields.
+fn parse_record(line: &str) -> Result<Vec<String>, DataError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(DataError::Csv(format!("unexpected quote in `{line}`")));
+                    }
+                }
+                ',' => {
+                    fields.push(std::mem::take(&mut field));
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Csv(format!("unterminated quote in `{line}`")));
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Infer the widest type consistent with every non-empty token of a column.
+fn infer_type(tokens: &[&str]) -> AttributeType {
+    let mut all_int = true;
+    let mut all_num = true;
+    let mut saw_value = false;
+    for t in tokens {
+        let t = t.trim();
+        if t.is_empty() || t.eq_ignore_ascii_case("null") {
+            continue;
+        }
+        saw_value = true;
+        if t.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        match t.parse::<f64>() {
+            Ok(f) if f.is_finite() => {}
+            _ => all_num = false,
+        }
+    }
+    if !saw_value {
+        // A fully empty column defaults to text; nulls are admissible anywhere.
+        return AttributeType::Text;
+    }
+    if all_int {
+        AttributeType::Integer
+    } else if all_num {
+        AttributeType::Float
+    } else {
+        AttributeType::Text
+    }
+}
+
+/// Parse CSV text (header + records) into a [`Relation`], inferring column
+/// types from the data.
+pub fn parse_csv(text: &str) -> Result<Relation, DataError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| DataError::Csv("empty input".into()))?;
+    let names = parse_record(header)?;
+    if names.iter().any(|n| n.trim().is_empty()) {
+        return Err(DataError::Csv("empty column name in header".into()));
+    }
+    let records: Vec<Vec<String>> = lines.map(parse_record).collect::<Result<_, _>>()?;
+    for (i, rec) in records.iter().enumerate() {
+        if rec.len() != names.len() {
+            return Err(DataError::Csv(format!(
+                "record {} has {} fields, expected {}",
+                i + 2,
+                rec.len(),
+                names.len()
+            )));
+        }
+    }
+
+    let mut attributes = Vec::with_capacity(names.len());
+    for (c, name) in names.iter().enumerate() {
+        let tokens: Vec<&str> = records.iter().map(|r| r[c].as_str()).collect();
+        attributes.push(Attribute::new(name.trim(), infer_type(&tokens)));
+    }
+    let schema = Schema::new(attributes)?;
+
+    let mut builder = Relation::builder(schema.clone());
+    for rec in &records {
+        let row: Vec<Value> = rec
+            .iter()
+            .enumerate()
+            .map(|(c, tok)| typed_value(tok, schema.attribute(c).ty()))
+            .collect();
+        builder.push_row(row)?;
+    }
+    Ok(builder.build())
+}
+
+fn typed_value(token: &str, ty: AttributeType) -> Value {
+    let t = token.trim();
+    if t.is_empty() || t.eq_ignore_ascii_case("null") {
+        return Value::Null;
+    }
+    match ty {
+        AttributeType::Integer => t.parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+        AttributeType::Float => t.parse::<f64>().map(Value::Float).unwrap_or(Value::Null),
+        AttributeType::Text => Value::Str(t.to_string()),
+    }
+}
+
+/// Read and parse a CSV file.
+pub fn read_csv_file(path: impl AsRef<Path>) -> Result<Relation, DataError> {
+    let text = fs::read_to_string(path.as_ref())
+        .map_err(|e| DataError::Csv(format!("{}: {e}", path.as_ref().display())))?;
+    parse_csv(&text)
+}
+
+/// Serialise a relation back to CSV (used by examples and round-trip tests).
+pub fn to_csv(relation: &Relation) -> String {
+    let mut out = String::new();
+    let names: Vec<&str> = relation.schema().attributes().iter().map(|a| a.name()).collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for row in 0..relation.len() {
+        let cells: Vec<String> = (0..relation.arity())
+            .map(|c| {
+                let v = relation.value(row, c);
+                if v.is_null() {
+                    String::new()
+                } else {
+                    escape(&v.to_string())
+                }
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "Name,State,Income,Tax\nAlice,NY,28000,2400.5\nMark,NY,42000,4700\nJulia,WA,27000,1400\n";
+
+    #[test]
+    fn parse_with_type_inference() {
+        let r = parse_csv(SAMPLE).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.arity(), 4);
+        assert_eq!(r.schema().attribute(0).ty(), AttributeType::Text);
+        assert_eq!(r.schema().attribute(2).ty(), AttributeType::Integer);
+        assert_eq!(r.schema().attribute(3).ty(), AttributeType::Float);
+        assert_eq!(r.value(0, 0), Value::from("Alice"));
+        assert_eq!(r.value(1, 2), Value::Int(42000));
+        assert_eq!(r.value(0, 3), Value::Float(2400.5));
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let text = "A,B\n\"hello, world\",\"say \"\"hi\"\"\"\nplain,2\n";
+        let r = parse_csv(text).unwrap();
+        assert_eq!(r.value(0, 0), Value::from("hello, world"));
+        assert_eq!(r.value(0, 1), Value::from("say \"hi\""));
+        // Column B is text because of the quoted string row.
+        assert_eq!(r.schema().attribute(1).ty(), AttributeType::Text);
+    }
+
+    #[test]
+    fn empty_cells_become_null() {
+        let text = "A,B\n1,\n,2\n";
+        let r = parse_csv(text).unwrap();
+        assert!(r.value(0, 1).is_null());
+        assert!(r.value(1, 0).is_null());
+        assert_eq!(r.schema().attribute(0).ty(), AttributeType::Integer);
+    }
+
+    #[test]
+    fn ragged_record_rejected() {
+        let text = "A,B\n1,2\n3\n";
+        assert!(matches!(parse_csv(text), Err(DataError::Csv(_))));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(parse_record("\"abc").is_err());
+        assert!(parse_record("ab\"c").is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(parse_csv(""), Err(DataError::Csv(_))));
+        assert!(matches!(parse_csv("\n\n"), Err(DataError::Csv(_))));
+    }
+
+    #[test]
+    fn empty_header_name_rejected() {
+        assert!(matches!(parse_csv("A,,C\n1,2,3\n"), Err(DataError::Csv(_))));
+    }
+
+    #[test]
+    fn roundtrip_through_to_csv() {
+        let r = parse_csv(SAMPLE).unwrap();
+        let text = to_csv(&r);
+        let r2 = parse_csv(&text).unwrap();
+        assert_eq!(r2.len(), r.len());
+        for row in 0..r.len() {
+            for col in 0..r.arity() {
+                assert!(
+                    r.value(row, col).sem_eq(&r2.value(row, col))
+                        || (r.value(row, col).is_null() && r2.value(row, col).is_null()),
+                    "mismatch at ({row},{col})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn escape_rules() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn file_not_found_error() {
+        assert!(read_csv_file("/nonexistent/definitely_missing.csv").is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for the data layer.
+
+use std::fmt;
+
+/// Errors produced while constructing or reading relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A row had a different number of cells than the schema has attributes.
+    ArityMismatch {
+        /// Number of attributes declared by the schema.
+        expected: usize,
+        /// Number of cells provided in the offending row.
+        found: usize,
+    },
+    /// A cell value did not match the declared attribute type.
+    TypeMismatch {
+        /// Attribute name.
+        attribute: String,
+        /// Human-readable description of the expected type.
+        expected: &'static str,
+        /// Display rendering of the offending value.
+        found: String,
+    },
+    /// An attribute name was referenced that does not exist in the schema.
+    UnknownAttribute(String),
+    /// Two attributes with the same name were declared.
+    DuplicateAttribute(String),
+    /// The CSV input was malformed (unbalanced quotes, empty header, ...).
+    Csv(String),
+    /// A schema with zero attributes was supplied where at least one is required.
+    EmptySchema,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ArityMismatch { expected, found } => {
+                write!(f, "row arity mismatch: expected {expected} cells, found {found}")
+            }
+            DataError::TypeMismatch { attribute, expected, found } => {
+                write!(f, "type mismatch in attribute `{attribute}`: expected {expected}, found `{found}`")
+            }
+            DataError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            DataError::DuplicateAttribute(name) => write!(f, "duplicate attribute `{name}`"),
+            DataError::Csv(msg) => write!(f, "csv error: {msg}"),
+            DataError::EmptySchema => write!(f, "schema must contain at least one attribute"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_arity() {
+        let e = DataError::ArityMismatch { expected: 3, found: 2 };
+        assert_eq!(e.to_string(), "row arity mismatch: expected 3 cells, found 2");
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let e = DataError::TypeMismatch {
+            attribute: "Income".into(),
+            expected: "integer",
+            found: "abc".into(),
+        };
+        assert!(e.to_string().contains("Income"));
+        assert!(e.to_string().contains("integer"));
+    }
+
+    #[test]
+    fn display_unknown_attribute() {
+        assert!(DataError::UnknownAttribute("Zip".into()).to_string().contains("Zip"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(DataError::EmptySchema);
+        assert!(e.to_string().contains("at least one attribute"));
+    }
+}

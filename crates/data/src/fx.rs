@@ -1,0 +1,143 @@
+//! A small, fast, non-cryptographic hash (FxHash) and collection aliases.
+//!
+//! Evidence-set interning and predicate-space bookkeeping hash millions of
+//! small integer keys and short byte strings. SipHash (the standard library
+//! default) is unnecessarily expensive there and HashDoS resistance is not a
+//! concern for an offline mining tool, so we use the Firefox/rustc "Fx" hash.
+//! The implementation is ~30 lines; keeping it in-tree avoids an external
+//! dependency (see DESIGN.md).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant used by FxHash (64-bit variant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash hasher state.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash a single `u64` with FxHash (convenience for tests and probing).
+#[inline]
+pub fn hash_u64(x: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(x);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_u64(42), hash_u64(42));
+        assert_ne!(hash_u64(42), hash_u64(43));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, "x");
+        }
+        assert_eq!(m.len(), 1000);
+        assert!(m.contains_key(&999));
+        assert!(!m.contains_key(&1000));
+    }
+
+    #[test]
+    fn set_dedup() {
+        let mut s: FxHashSet<Vec<u8>> = FxHashSet::default();
+        s.insert(vec![1, 2, 3]);
+        s.insert(vec![1, 2, 3]);
+        s.insert(vec![1, 2, 3, 4]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn hashes_spread_over_low_bits() {
+        // Hash-map bucketing uses low bits; make sure sequential keys do not
+        // all collide in the bottom byte.
+        let mut low = FxHashSet::default();
+        for i in 0..256u64 {
+            low.insert(hash_u64(i) & 0xff);
+        }
+        assert!(low.len() > 64, "low-bit spread too poor: {}", low.len());
+    }
+
+    #[test]
+    fn string_hashing_differs_by_content() {
+        use std::hash::{BuildHasher, Hash};
+        let bh = FxBuildHasher::default();
+        let h = |s: &str| {
+            let mut hasher = bh.build_hasher();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_ne!(h("alice"), h("bob"));
+        assert_eq!(h("alice"), h("alice"));
+    }
+}

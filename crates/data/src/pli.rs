@@ -1,0 +1,217 @@
+//! Position List Indexes (PLIs).
+//!
+//! A PLI (also called a *stripped partition*) groups the rows of a column by
+//! value: each *cluster* is the list of row indexes sharing one value.
+//! DCFinder-style evidence-set construction uses PLIs to avoid comparing
+//! every pair of cells from scratch: within a cluster the equality predicate
+//! holds for every pair, and for numeric columns clusters sorted by value give
+//! the order predicates for free.
+//!
+//! We keep singleton clusters (unlike classic "stripped" partitions) because
+//! DC evidence needs *every* ordered pair, not only the agreeing ones.
+
+use crate::column::Column;
+use crate::fx::FxHashMap;
+
+/// A cluster: the sorted list of row indexes sharing a value.
+pub type Cluster = Vec<u32>;
+
+/// Position list index for one column.
+#[derive(Debug, Clone)]
+pub struct PositionListIndex {
+    /// Clusters of equal values. For numeric columns the clusters are sorted
+    /// by ascending value; for text columns the order is unspecified.
+    clusters: Vec<Cluster>,
+    /// `cluster_of[row]` = index into `clusters`, or `u32::MAX` for null cells.
+    cluster_of: Vec<u32>,
+    /// Whether clusters are sorted by ascending numeric value.
+    sorted_numeric: bool,
+    nulls: usize,
+}
+
+/// Sentinel for "row has a null value, belongs to no cluster".
+pub const NULL_CLUSTER: u32 = u32::MAX;
+
+impl PositionListIndex {
+    /// Build the PLI of a column.
+    pub fn build(column: &Column) -> Self {
+        match column {
+            Column::Int(values) => Self::build_numeric(values.iter().map(|v| v.map(|x| x as f64))),
+            Column::Float(values) => Self::build_numeric(values.iter().copied()),
+            Column::Text { codes, .. } => {
+                let mut by_code: FxHashMap<u32, Cluster> = FxHashMap::default();
+                let mut nulls = 0usize;
+                for (row, code) in codes.iter().enumerate() {
+                    match code {
+                        Some(c) => by_code.entry(*c).or_default().push(row as u32),
+                        None => nulls += 1,
+                    }
+                }
+                let mut clusters: Vec<Cluster> = by_code.into_values().collect();
+                // Deterministic order: by first row index.
+                clusters.sort_by_key(|c| c[0]);
+                let cluster_of = Self::invert(&clusters, codes.len());
+                PositionListIndex { clusters, cluster_of, sorted_numeric: false, nulls }
+            }
+        }
+    }
+
+    fn build_numeric<I: Iterator<Item = Option<f64>>>(values: I) -> Self {
+        let values: Vec<Option<f64>> = values.collect();
+        let mut keyed: Vec<(f64, u32)> = Vec::new();
+        let mut nulls = 0usize;
+        for (row, v) in values.iter().enumerate() {
+            match v {
+                Some(x) => keyed.push((*x, row as u32)),
+                None => nulls += 1,
+            }
+        }
+        keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN in columns"));
+        let mut clusters: Vec<Cluster> = Vec::new();
+        let mut i = 0;
+        while i < keyed.len() {
+            let mut cluster = vec![keyed[i].1];
+            let v = keyed[i].0;
+            let mut j = i + 1;
+            while j < keyed.len() && keyed[j].0 == v {
+                cluster.push(keyed[j].1);
+                j += 1;
+            }
+            cluster.sort_unstable();
+            clusters.push(cluster);
+            i = j;
+        }
+        let cluster_of = Self::invert(&clusters, values.len());
+        PositionListIndex { clusters, cluster_of, sorted_numeric: true, nulls }
+    }
+
+    fn invert(clusters: &[Cluster], rows: usize) -> Vec<u32> {
+        let mut cluster_of = vec![NULL_CLUSTER; rows];
+        for (ci, cluster) in clusters.iter().enumerate() {
+            for &row in cluster {
+                cluster_of[row as usize] = ci as u32;
+            }
+        }
+        cluster_of
+    }
+
+    /// The clusters (each a sorted list of row indexes).
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Cluster index of `row`, or [`NULL_CLUSTER`] for null cells.
+    #[inline]
+    pub fn cluster_of(&self, row: usize) -> u32 {
+        self.cluster_of[row]
+    }
+
+    /// `true` when clusters are ordered by ascending numeric value, so that
+    /// `cluster_of(a) < cluster_of(b)` ⇔ `value(a) < value(b)`.
+    pub fn is_sorted_numeric(&self) -> bool {
+        self.sorted_numeric
+    }
+
+    /// Number of rows with a null value in this column.
+    pub fn null_count(&self) -> usize {
+        self.nulls
+    }
+
+    /// Number of clusters (distinct non-null values).
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Rank of the row's value among distinct values (the cluster index for
+    /// sorted-numeric PLIs). `None` for null cells.
+    #[inline]
+    pub fn rank(&self, row: usize) -> Option<u32> {
+        let c = self.cluster_of[row];
+        (c != NULL_CLUSTER).then_some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fx::FxHashMap;
+    use crate::schema::AttributeType;
+    use crate::value::Value;
+
+    fn int_col(values: &[Option<i64>]) -> Column {
+        Column::Int(values.to_vec())
+    }
+
+    #[test]
+    fn numeric_pli_sorted_by_value() {
+        let col = int_col(&[Some(30), Some(10), Some(20), Some(10), None]);
+        let pli = PositionListIndex::build(&col);
+        assert!(pli.is_sorted_numeric());
+        assert_eq!(pli.cluster_count(), 3);
+        assert_eq!(pli.null_count(), 1);
+        // Clusters: [10 -> rows 1,3], [20 -> row 2], [30 -> row 0]
+        assert_eq!(pli.clusters()[0], vec![1, 3]);
+        assert_eq!(pli.clusters()[1], vec![2]);
+        assert_eq!(pli.clusters()[2], vec![0]);
+        assert_eq!(pli.cluster_of(4), NULL_CLUSTER);
+        assert_eq!(pli.rank(4), None);
+        // Rank reflects value order.
+        assert!(pli.rank(1).unwrap() < pli.rank(2).unwrap());
+        assert!(pli.rank(2).unwrap() < pli.rank(0).unwrap());
+        assert_eq!(pli.rank(1), pli.rank(3));
+    }
+
+    #[test]
+    fn float_pli_handles_ties() {
+        let col = Column::Float(vec![Some(1.5), Some(1.5), Some(0.5)]);
+        let pli = PositionListIndex::build(&col);
+        assert_eq!(pli.cluster_count(), 2);
+        assert_eq!(pli.clusters()[0], vec![2]);
+        assert_eq!(pli.clusters()[1], vec![0, 1]);
+    }
+
+    #[test]
+    fn text_pli_groups_by_code() {
+        let mut col = Column::new(AttributeType::Text);
+        let mut idx = FxHashMap::default();
+        for s in ["NY", "WA", "NY", "IL", "WA", "NY"] {
+            col.push(Value::from(s), "State", &mut idx).unwrap();
+        }
+        let pli = PositionListIndex::build(&col);
+        assert!(!pli.is_sorted_numeric());
+        assert_eq!(pli.cluster_count(), 3);
+        // Deterministic: ordered by first occurrence.
+        assert_eq!(pli.clusters()[0], vec![0, 2, 5]);
+        assert_eq!(pli.clusters()[1], vec![1, 4]);
+        assert_eq!(pli.clusters()[2], vec![3]);
+        assert_eq!(pli.cluster_of(0), pli.cluster_of(5));
+        assert_ne!(pli.cluster_of(0), pli.cluster_of(1));
+    }
+
+    #[test]
+    fn all_null_column() {
+        let col = int_col(&[None, None]);
+        let pli = PositionListIndex::build(&col);
+        assert_eq!(pli.cluster_count(), 0);
+        assert_eq!(pli.null_count(), 2);
+        assert_eq!(pli.cluster_of(0), NULL_CLUSTER);
+    }
+
+    #[test]
+    fn empty_column() {
+        let pli = PositionListIndex::build(&int_col(&[]));
+        assert_eq!(pli.cluster_count(), 0);
+        assert_eq!(pli.null_count(), 0);
+    }
+
+    #[test]
+    fn cluster_membership_is_consistent() {
+        let col = int_col(&[Some(5), Some(5), Some(7), Some(5)]);
+        let pli = PositionListIndex::build(&col);
+        for (ci, cluster) in pli.clusters().iter().enumerate() {
+            for &row in cluster {
+                assert_eq!(pli.cluster_of(row as usize), ci as u32);
+            }
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! The [`Relation`] type: a single-relation database instance.
+//!
+//! A relation is a schema plus column-oriented storage. Rows are identified
+//! by their index (`0..len()`), which is how tuple pairs are addressed by the
+//! evidence-set builder and the conflict-graph machinery.
+
+use crate::column::Column;
+use crate::error::DataError;
+use crate::fx::FxHashMap;
+use crate::schema::{AttributeType, Schema};
+use crate::value::Value;
+use std::fmt;
+
+/// A database instance over a single relation schema.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Relation {
+    /// Create an empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        let columns = schema.attributes().iter().map(|a| Column::new(a.ty())).collect();
+        Relation { schema, columns, rows: 0 }
+    }
+
+    /// Start building a relation row by row.
+    pub fn builder(schema: Schema) -> RelationBuilder {
+        RelationBuilder::new(schema)
+    }
+
+    /// The relation schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows (tuples).
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` if the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of ordered tuple pairs `⟨t, t'⟩` with `t ≠ t'`, i.e. `n·(n−1)`.
+    ///
+    /// This is the denominator used by the violation-rate approximation
+    /// function `f1` (the paper counts `⟨t,t'⟩` and `⟨t',t⟩` separately).
+    pub fn ordered_pair_count(&self) -> u64 {
+        let n = self.rows as u64;
+        n.saturating_mul(n.saturating_sub(1))
+    }
+
+    /// Column at attribute position `col`.
+    ///
+    /// # Panics
+    /// Panics if `col >= arity()`.
+    pub fn column(&self, col: usize) -> &Column {
+        &self.columns[col]
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Cell value at `(row, col)` as a dynamically typed [`Value`].
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.columns[col].value(row)
+    }
+
+    /// A full row as a vector of values (schema order).
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        (0..self.arity()).map(|c| self.value(row, c)).collect()
+    }
+
+    /// Build a new relation containing only `rows` (in the given order).
+    /// Row indexes in the result are re-numbered `0..rows.len()`.
+    pub fn project_rows(&self, rows: &[usize]) -> Relation {
+        let columns = self.columns.iter().map(|c| c.project(rows)).collect();
+        Relation { schema: self.schema.clone(), columns, rows: rows.len() }
+    }
+
+    /// Fraction of distinct non-null values shared between two columns,
+    /// relative to the smaller distinct-value set.
+    ///
+    /// This is the statistic behind the paper's "at least 30 % common values"
+    /// rule for generating cross-column predicates (Section 4.2, following
+    /// Chu et al.). Columns of incomparable types share nothing by definition.
+    pub fn shared_value_fraction(&self, col_a: usize, col_b: usize) -> f64 {
+        crate::stats::shared_value_fraction(&self.columns[col_a], &self.columns[col_b])
+    }
+
+    /// Overwrite a single cell. Used by the noise injectors in `adc-datasets`.
+    ///
+    /// # Errors
+    /// Returns a type error if `value` is not admissible in the column.
+    pub fn set_value(&mut self, row: usize, col: usize, value: Value) -> Result<(), DataError> {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        let attr = self.schema.attribute(col);
+        if !attr.ty().admits(&value) {
+            return Err(DataError::TypeMismatch {
+                attribute: attr.name().to_string(),
+                expected: attr.ty().name(),
+                found: value.to_string(),
+            });
+        }
+        match (&mut self.columns[col], value) {
+            (Column::Int(v), Value::Int(i)) => v[row] = Some(i),
+            (Column::Int(v), Value::Null) => v[row] = None,
+            (Column::Float(v), Value::Float(f)) => v[row] = Some(f),
+            (Column::Float(v), Value::Int(i)) => v[row] = Some(i as f64),
+            (Column::Float(v), Value::Null) => v[row] = None,
+            (Column::Text { codes, dict }, Value::Str(s)) => {
+                // Linear scan is acceptable: set_value is only used by noise
+                // injection, which touches a small fraction of cells.
+                let code = match dict.iter().position(|d| *d == s) {
+                    Some(c) => c as u32,
+                    None => {
+                        dict.push(s);
+                        (dict.len() - 1) as u32
+                    }
+                };
+                codes[row] = Some(code);
+            }
+            (Column::Text { codes, .. }, Value::Null) => codes[row] = None,
+            _ => unreachable!("admissibility checked above"),
+        }
+        Ok(())
+    }
+
+    /// Pretty-print the first `limit` rows (for examples and debugging).
+    pub fn preview(&self, limit: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.schema));
+        for r in 0..self.rows.min(limit) {
+            let cells: Vec<String> = (0..self.arity()).map(|c| self.value(r, c).to_string()).collect();
+            out.push_str(&format!("t{}: [{}]\n", r + 1, cells.join(", ")));
+        }
+        if self.rows > limit {
+            out.push_str(&format!("... ({} more rows)\n", self.rows - limit));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation{} with {} rows", self.schema, self.rows)
+    }
+}
+
+/// Incremental row-by-row builder for [`Relation`].
+pub struct RelationBuilder {
+    schema: Schema,
+    columns: Vec<Column>,
+    dict_indexes: Vec<FxHashMap<String, u32>>,
+    rows: usize,
+}
+
+impl RelationBuilder {
+    /// Create a builder for the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let columns = schema.attributes().iter().map(|a| Column::new(a.ty())).collect();
+        let dict_indexes = schema.attributes().iter().map(|_| FxHashMap::default()).collect();
+        RelationBuilder { schema, columns, dict_indexes, rows: 0 }
+    }
+
+    /// Append a row given as a vector of values (schema order).
+    ///
+    /// # Errors
+    /// Arity and type mismatches are rejected.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), DataError> {
+        if row.len() != self.schema.arity() {
+            return Err(DataError::ArityMismatch { expected: self.schema.arity(), found: row.len() });
+        }
+        for (c, value) in row.into_iter().enumerate() {
+            let name = self.schema.attribute(c).name().to_string();
+            self.columns[c].push(value, &name, &mut self.dict_indexes[c])?;
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Append a row of display-form strings, parsing each cell according to
+    /// the column type (empty cells become nulls).
+    ///
+    /// # Errors
+    /// Propagates type mismatches (e.g. `"abc"` in an integer column).
+    pub fn push_raw_row(&mut self, row: &[&str]) -> Result<(), DataError> {
+        if row.len() != self.schema.arity() {
+            return Err(DataError::ArityMismatch { expected: self.schema.arity(), found: row.len() });
+        }
+        let values = row
+            .iter()
+            .enumerate()
+            .map(|(c, tok)| parse_typed(tok, self.schema.attribute(c).ty()))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|tok| DataError::TypeMismatch {
+                attribute: self.schema.attribute(tok.1).name().to_string(),
+                expected: self.schema.attribute(tok.1).ty().name(),
+                found: tok.0,
+            })?;
+        self.push_row(values)
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` if no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Relation {
+        Relation { schema: self.schema, columns: self.columns, rows: self.rows }
+    }
+}
+
+/// Parse a raw token according to a column type.
+fn parse_typed(token: &str, ty: AttributeType) -> Result<Value, (String, usize)> {
+    let t = token.trim();
+    if t.is_empty() || t.eq_ignore_ascii_case("null") {
+        return Ok(Value::Null);
+    }
+    match ty {
+        AttributeType::Integer => t.parse::<i64>().map(Value::Int).map_err(|_| (t.to_string(), 0)),
+        AttributeType::Float => t
+            .parse::<f64>()
+            .ok()
+            .filter(|f| f.is_finite())
+            .map(Value::Float)
+            .ok_or((t.to_string(), 0)),
+        AttributeType::Text => Ok(Value::Str(t.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        let schema = Schema::of(&[
+            ("Name", AttributeType::Text),
+            ("State", AttributeType::Text),
+            ("Income", AttributeType::Integer),
+            ("Tax", AttributeType::Float),
+        ]);
+        let mut b = Relation::builder(schema);
+        b.push_row(vec!["Alice".into(), "NY".into(), Value::Int(28_000), Value::Float(2_400.0)]).unwrap();
+        b.push_row(vec!["Mark".into(), "NY".into(), Value::Int(42_000), Value::Float(4_700.0)]).unwrap();
+        b.push_row(vec!["Julia".into(), "WA".into(), Value::Int(27_000), Value::Float(1_400.0)]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn build_and_access() {
+        let r = sample();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.arity(), 4);
+        assert_eq!(r.value(0, 0), Value::from("Alice"));
+        assert_eq!(r.value(2, 2), Value::Int(27_000));
+        assert_eq!(r.row(1)[1], Value::from("NY"));
+        assert_eq!(r.ordered_pair_count(), 6);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let schema = Schema::of(&[("A", AttributeType::Integer)]);
+        let mut b = Relation::builder(schema);
+        let err = b.push_row(vec![Value::Int(1), Value::Int(2)]).unwrap_err();
+        assert!(matches!(err, DataError::ArityMismatch { expected: 1, found: 2 }));
+    }
+
+    #[test]
+    fn raw_rows_parse_by_type() {
+        let schema = Schema::of(&[
+            ("A", AttributeType::Integer),
+            ("B", AttributeType::Float),
+            ("C", AttributeType::Text),
+        ]);
+        let mut b = Relation::builder(schema);
+        b.push_raw_row(&["5", "2.5", "x"]).unwrap();
+        b.push_raw_row(&["", "", ""]).unwrap();
+        assert!(b.push_raw_row(&["oops", "1", "y"]).is_err());
+        let r = b.build();
+        assert_eq!(r.value(0, 0), Value::Int(5));
+        assert!(r.value(1, 0).is_null());
+        assert!(r.value(1, 2).is_null());
+    }
+
+    #[test]
+    fn projection_renumbers_rows() {
+        let r = sample();
+        let p = r.project_rows(&[2, 0]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.value(0, 0), Value::from("Julia"));
+        assert_eq!(p.value(1, 0), Value::from("Alice"));
+        assert_eq!(p.schema().arity(), 4);
+    }
+
+    #[test]
+    fn set_value_and_type_check() {
+        let mut r = sample();
+        r.set_value(0, 2, Value::Int(99)).unwrap();
+        assert_eq!(r.value(0, 2), Value::Int(99));
+        r.set_value(0, 0, Value::from("Eve")).unwrap();
+        assert_eq!(r.value(0, 0), Value::from("Eve"));
+        assert!(r.set_value(0, 2, Value::from("not a number")).is_err());
+        r.set_value(1, 3, Value::Int(7)).unwrap(); // int widens into float column
+        assert_eq!(r.value(1, 3), Value::Float(7.0));
+        r.set_value(2, 1, Value::Null).unwrap();
+        assert!(r.value(2, 1).is_null());
+    }
+
+    #[test]
+    fn set_value_new_dictionary_entry() {
+        let mut r = sample();
+        r.set_value(0, 1, Value::from("IL")).unwrap();
+        assert_eq!(r.value(0, 1), Value::from("IL"));
+        // Existing entry reused.
+        r.set_value(1, 1, Value::from("WA")).unwrap();
+        assert_eq!(r.value(1, 1), Value::from("WA"));
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::empty(Schema::of(&[("A", AttributeType::Integer)]));
+        assert!(r.is_empty());
+        assert_eq!(r.ordered_pair_count(), 0);
+    }
+
+    #[test]
+    fn preview_truncates() {
+        let r = sample();
+        let p = r.preview(2);
+        assert!(p.contains("t1"));
+        assert!(p.contains("1 more rows"));
+    }
+}

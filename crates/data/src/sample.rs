@@ -1,0 +1,142 @@
+//! Uniform tuple sampling (the "Sampler" component of ADCMiner).
+//!
+//! The ADCMiner pipeline optionally mines from a uniformly drawn sample `J`
+//! of the database `D` (Section 7 of the paper). Sampling is *without
+//! replacement*: the sample is a sub-instance of `D`, so every tuple pair of
+//! the sample is a tuple pair of the database.
+
+use crate::relation::Relation;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Draw `k` distinct row indexes uniformly at random (without replacement).
+///
+/// The returned indexes are sorted ascending so that projections preserve the
+/// original relative tuple order (convenient for debugging and reproducible
+/// output); uniformity over *subsets* is unaffected by the ordering.
+pub fn sample_indices(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    let k = k.min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut all: Vec<usize> = (0..n).collect();
+    all.shuffle(&mut rng);
+    let mut chosen: Vec<usize> = all.into_iter().take(k).collect();
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Draw a uniform sample of `fraction * len` tuples (rounded to nearest, at
+/// least 1 when the relation is non-empty and `fraction > 0`).
+pub fn sample_fraction(relation: &Relation, fraction: f64, seed: u64) -> Relation {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "sample fraction must be in [0, 1], got {fraction}"
+    );
+    let n = relation.len();
+    if fraction >= 1.0 {
+        return relation.clone();
+    }
+    let mut k = (n as f64 * fraction).round() as usize;
+    if k == 0 && fraction > 0.0 && n > 0 {
+        k = 1;
+    }
+    let idx = sample_indices(n, k, seed);
+    relation.project_rows(&idx)
+}
+
+/// Draw a uniform sample of exactly `k` tuples (or all tuples when `k >= len`).
+pub fn sample_count(relation: &Relation, k: usize, seed: u64) -> Relation {
+    let idx = sample_indices(relation.len(), k, seed);
+    relation.project_rows(&idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttributeType, Schema};
+    use crate::value::Value;
+    use proptest::prelude::*;
+
+    fn rel(n: usize) -> Relation {
+        let schema = Schema::of(&[("Id", AttributeType::Integer)]);
+        let mut b = Relation::builder(schema);
+        for i in 0..n {
+            b.push_row(vec![Value::Int(i as i64)]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn indices_are_distinct_sorted_in_range() {
+        let idx = sample_indices(100, 30, 7);
+        assert_eq!(idx.len(), 30);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        assert!(idx.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        assert_eq!(sample_indices(50, 10, 3), sample_indices(50, 10, 3));
+        assert_ne!(sample_indices(500, 100, 3), sample_indices(500, 100, 4));
+    }
+
+    #[test]
+    fn oversampling_returns_everything() {
+        assert_eq!(sample_indices(5, 10, 0), vec![0, 1, 2, 3, 4]);
+        let r = rel(5);
+        assert_eq!(sample_count(&r, 10, 0).len(), 5);
+        assert_eq!(sample_fraction(&r, 1.0, 0).len(), 5);
+    }
+
+    #[test]
+    fn fraction_rounding_and_minimum() {
+        let r = rel(10);
+        assert_eq!(sample_fraction(&r, 0.3, 1).len(), 3);
+        assert_eq!(sample_fraction(&r, 0.25, 1).len(), 3); // rounds 2.5 -> 3 (round half away from zero)
+        assert_eq!(sample_fraction(&r, 0.01, 1).len(), 1); // clamped to at least one tuple
+        assert_eq!(sample_fraction(&r, 0.0, 1).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample fraction")]
+    fn invalid_fraction_panics() {
+        sample_fraction(&rel(3), 1.5, 0);
+    }
+
+    #[test]
+    fn sampled_rows_come_from_original() {
+        let r = rel(100);
+        let s = sample_fraction(&r, 0.2, 42);
+        assert_eq!(s.len(), 20);
+        for row in 0..s.len() {
+            let v = s.value(row, 0).as_i64().unwrap();
+            assert!((0..100).contains(&v));
+        }
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Each of the 20 rows should be picked ~half the time over many seeds.
+        let mut counts = [0usize; 20];
+        for seed in 0..400u64 {
+            for &i in &sample_indices(20, 10, seed) {
+                counts[i] += 1;
+            }
+        }
+        for &c in &counts {
+            assert!((120..=280).contains(&c), "count {c} far from expectation 200");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sample_size_and_bounds(n in 0usize..200, k in 0usize..250, seed in any::<u64>()) {
+            let idx = sample_indices(n, k, seed);
+            prop_assert_eq!(idx.len(), k.min(n));
+            prop_assert!(idx.iter().all(|&i| i < n));
+            let mut dedup = idx.clone();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), idx.len());
+        }
+    }
+}

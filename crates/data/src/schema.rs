@@ -1,0 +1,248 @@
+//! Relation schemas: attribute names and types.
+
+use crate::error::DataError;
+use crate::fx::FxHashMap;
+use crate::value::Value;
+use std::fmt;
+
+/// The type of an attribute (column).
+///
+/// The predicate-space generator only creates order comparisons (`<`, `≤`,
+/// `>`, `≥`) for numeric attributes, mirroring the paper ("we use the
+/// operations in `{<,≤,>,≥}` only for numeric attributes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributeType {
+    /// 64-bit signed integers.
+    Integer,
+    /// 64-bit floats.
+    Float,
+    /// UTF-8 strings (categorical / textual data).
+    Text,
+}
+
+impl AttributeType {
+    /// `true` for [`AttributeType::Integer`] and [`AttributeType::Float`].
+    #[inline]
+    pub fn is_numeric(self) -> bool {
+        matches!(self, AttributeType::Integer | AttributeType::Float)
+    }
+
+    /// `true` if two attributes of these types may be compared by a predicate
+    /// (both numeric, or both textual), per Example 3.1 of the paper.
+    #[inline]
+    pub fn comparable_with(self, other: AttributeType) -> bool {
+        (self.is_numeric() && other.is_numeric())
+            || (self == AttributeType::Text && other == AttributeType::Text)
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttributeType::Integer => "integer",
+            AttributeType::Float => "float",
+            AttributeType::Text => "text",
+        }
+    }
+
+    /// `true` if `value` is admissible in a column of this type
+    /// (nulls are admissible everywhere; integers widen into float columns).
+    pub fn admits(self, value: &Value) -> bool {
+        match (self, value) {
+            (_, Value::Null) => true,
+            (AttributeType::Integer, Value::Int(_)) => true,
+            (AttributeType::Float, Value::Int(_) | Value::Float(_)) => true,
+            (AttributeType::Text, Value::Str(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for AttributeType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named, typed attribute of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: String,
+    ty: AttributeType,
+}
+
+impl Attribute {
+    /// Create a new attribute.
+    pub fn new(name: impl Into<String>, ty: AttributeType) -> Self {
+        Attribute { name: name.into(), ty }
+    }
+
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Attribute type.
+    pub fn ty(&self) -> AttributeType {
+        self.ty
+    }
+}
+
+/// An ordered list of attributes with unique names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    by_name: FxHashMap<String, usize>,
+}
+
+impl Schema {
+    /// Build a schema from a list of attributes.
+    ///
+    /// # Errors
+    /// Returns [`DataError::EmptySchema`] if the list is empty and
+    /// [`DataError::DuplicateAttribute`] if two attributes share a name.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self, DataError> {
+        if attributes.is_empty() {
+            return Err(DataError::EmptySchema);
+        }
+        let mut by_name = FxHashMap::default();
+        for (i, a) in attributes.iter().enumerate() {
+            if by_name.insert(a.name.clone(), i).is_some() {
+                return Err(DataError::DuplicateAttribute(a.name.clone()));
+            }
+        }
+        Ok(Schema { attributes, by_name })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    ///
+    /// # Panics
+    /// Panics on empty or duplicate input; intended for statically known
+    /// schemas (dataset generators, tests). Use [`Schema::new`] for dynamic
+    /// input.
+    pub fn of(pairs: &[(&str, AttributeType)]) -> Self {
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(n, t)| Attribute::new(*n, *t))
+                .collect(),
+        )
+        .expect("static schema must be valid")
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// All attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Attribute at position `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= arity()`.
+    pub fn attribute(&self, idx: usize) -> &Attribute {
+        &self.attributes[idx]
+    }
+
+    /// Position of the attribute named `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Position of the attribute named `name`.
+    ///
+    /// # Errors
+    /// [`DataError::UnknownAttribute`] when the name is absent.
+    pub fn require(&self, name: &str) -> Result<usize, DataError> {
+        self.index_of(name)
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Iterate over `(index, attribute)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Attribute)> {
+        self.attributes.iter().enumerate()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name(), a.ty())?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_comparability_matrix() {
+        use AttributeType::*;
+        assert!(Integer.comparable_with(Float));
+        assert!(Float.comparable_with(Integer));
+        assert!(Integer.comparable_with(Integer));
+        assert!(Text.comparable_with(Text));
+        assert!(!Text.comparable_with(Integer));
+        assert!(!Float.comparable_with(Text));
+    }
+
+    #[test]
+    fn type_admits() {
+        use AttributeType::*;
+        assert!(Integer.admits(&Value::Int(1)));
+        assert!(!Integer.admits(&Value::Float(1.0)));
+        assert!(Float.admits(&Value::Int(1)));
+        assert!(Float.admits(&Value::Float(1.0)));
+        assert!(Text.admits(&Value::from("a")));
+        assert!(!Text.admits(&Value::Int(1)));
+        assert!(Integer.admits(&Value::Null));
+        assert!(Text.admits(&Value::Null));
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::of(&[
+            ("Name", AttributeType::Text),
+            ("Income", AttributeType::Integer),
+            ("Tax", AttributeType::Float),
+        ]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("Income"), Some(1));
+        assert_eq!(s.index_of("Missing"), None);
+        assert_eq!(s.attribute(2).name(), "Tax");
+        assert!(s.require("Name").is_ok());
+        assert!(matches!(
+            s.require("Nope"),
+            Err(DataError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let r = Schema::new(vec![
+            Attribute::new("A", AttributeType::Integer),
+            Attribute::new("A", AttributeType::Text),
+        ]);
+        assert!(matches!(r, Err(DataError::DuplicateAttribute(_))));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(matches!(Schema::new(vec![]), Err(DataError::EmptySchema)));
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Schema::of(&[("A", AttributeType::Integer), ("B", AttributeType::Text)]);
+        assert_eq!(s.to_string(), "(A: integer, B: text)");
+    }
+}

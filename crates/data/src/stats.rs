@@ -1,0 +1,175 @@
+//! Per-column and cross-column statistics used by the predicate-space
+//! generator (notably the ≥30 % shared-values rule).
+
+use crate::column::Column;
+use crate::fx::FxHashSet;
+use crate::relation::Relation;
+
+/// Distinct non-null values of a column, normalised for cross-column
+/// comparison: numeric values are compared by their `f64` bit pattern after
+/// widening, text values by dictionary string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Num(u64),
+    Text(String),
+}
+
+fn distinct_keys(col: &Column) -> FxHashSet<Key> {
+    let mut out = FxHashSet::default();
+    match col {
+        Column::Int(v) => {
+            for x in v.iter().flatten() {
+                out.insert(Key::Num((*x as f64).to_bits()));
+            }
+        }
+        Column::Float(v) => {
+            for x in v.iter().flatten() {
+                out.insert(Key::Num(x.to_bits()));
+            }
+        }
+        Column::Text { codes, dict } => {
+            for c in codes.iter().flatten() {
+                out.insert(Key::Text(dict[*c as usize].clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Fraction of shared distinct values between two columns, relative to the
+/// smaller distinct set. Returns 0.0 when either column has no non-null
+/// values or the column types are not comparable (numeric vs text).
+pub fn shared_value_fraction(a: &Column, b: &Column) -> f64 {
+    if !a.ty().comparable_with(b.ty()) {
+        return 0.0;
+    }
+    let ka = distinct_keys(a);
+    let kb = distinct_keys(b);
+    if ka.is_empty() || kb.is_empty() {
+        return 0.0;
+    }
+    let (small, large) = if ka.len() <= kb.len() { (&ka, &kb) } else { (&kb, &ka) };
+    let common = small.iter().filter(|k| large.contains(*k)).count();
+    common as f64 / small.len() as f64
+}
+
+/// Summary statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Attribute name.
+    pub name: String,
+    /// Number of distinct non-null values.
+    pub distinct: usize,
+    /// Number of null cells.
+    pub nulls: usize,
+    /// Minimum numeric value (numeric columns only).
+    pub min: Option<f64>,
+    /// Maximum numeric value (numeric columns only).
+    pub max: Option<f64>,
+}
+
+/// Compute summary statistics for every column of a relation.
+pub fn column_stats(relation: &Relation) -> Vec<ColumnStats> {
+    relation
+        .schema()
+        .iter()
+        .map(|(i, attr)| {
+            let col = relation.column(i);
+            let (mut min, mut max) = (None::<f64>, None::<f64>);
+            if attr.ty().is_numeric() {
+                for row in 0..col.len() {
+                    if let Some(x) = col.numeric(row) {
+                        min = Some(min.map_or(x, |m: f64| m.min(x)));
+                        max = Some(max.map_or(x, |m: f64| m.max(x)));
+                    }
+                }
+            }
+            ColumnStats {
+                name: attr.name().to_string(),
+                distinct: col.distinct_count(),
+                nulls: col.null_count(),
+                min,
+                max,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttributeType, Schema};
+    use crate::value::Value;
+
+    fn rel() -> Relation {
+        let schema = Schema::of(&[
+            ("Zip", AttributeType::Integer),
+            ("AltZip", AttributeType::Integer),
+            ("State", AttributeType::Text),
+            ("Income", AttributeType::Float),
+        ]);
+        let mut b = Relation::builder(schema);
+        for (zip, alt, state, inc) in [
+            (10001, 10001, "NY", 30.0),
+            (10002, 10002, "NY", 40.0),
+            (98112, 98112, "WA", 50.0),
+            (98113, 77777, "WA", 60.0),
+        ] {
+            b.push_row(vec![Value::Int(zip), Value::Int(alt), state.into(), Value::Float(inc)])
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn shared_fraction_identical_columns() {
+        let r = rel();
+        assert!((r.shared_value_fraction(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_fraction_partial_overlap() {
+        let r = rel();
+        // AltZip shares 3 of 4 distinct values with Zip.
+        assert!((r.shared_value_fraction(0, 1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomparable_types_share_nothing() {
+        let r = rel();
+        assert_eq!(r.shared_value_fraction(0, 2), 0.0);
+        assert_eq!(r.shared_value_fraction(2, 3), 0.0);
+    }
+
+    #[test]
+    fn int_float_columns_compare_numerically() {
+        let schema = Schema::of(&[("A", AttributeType::Integer), ("B", AttributeType::Float)]);
+        let mut b = Relation::builder(schema);
+        b.push_row(vec![Value::Int(1), Value::Float(1.0)]).unwrap();
+        b.push_row(vec![Value::Int(2), Value::Float(3.0)]).unwrap();
+        let r = b.build();
+        assert!((r.shared_value_fraction(0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_column_shares_nothing() {
+        let schema = Schema::of(&[("A", AttributeType::Integer), ("B", AttributeType::Integer)]);
+        let mut b = Relation::builder(schema);
+        b.push_row(vec![Value::Null, Value::Int(1)]).unwrap();
+        let r = b.build();
+        assert_eq!(r.shared_value_fraction(0, 1), 0.0);
+    }
+
+    #[test]
+    fn column_stats_summary() {
+        let r = rel();
+        let stats = column_stats(&r);
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats[0].distinct, 4);
+        assert_eq!(stats[2].distinct, 2);
+        assert_eq!(stats[2].min, None);
+        assert_eq!(stats[3].min, Some(30.0));
+        assert_eq!(stats[3].max, Some(60.0));
+        assert_eq!(stats[0].nulls, 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Dynamically typed cell values with total ordering.
+//!
+//! Denial constraint predicates compare attribute values with the operators
+//! `{=, ≠, <, ≤, >, ≥}`. The order-based operators are only ever generated
+//! for numeric attributes (following the paper and Chu et al.), but equality
+//! is defined for every type. `Value` therefore provides:
+//!
+//! * exact equality (string or numeric),
+//! * a total order over numeric values (integers and floats compare by
+//!   numeric value; NaN never appears because parsing rejects it),
+//! * null handling: a null compares equal to nothing, not even another null,
+//!   which matches the semantics used by DC discovery systems (a predicate
+//!   over a null cell is simply not satisfied).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Missing / unknown value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. Never NaN (parsing rejects NaN and infinities).
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// `true` if this is [`Value::Null`].
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// `true` if this is a numeric value (integer or float).
+    #[inline]
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+
+    /// Numeric view of the value, if it is numeric.
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value, if it is an integer.
+    #[inline]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Semantic equality used by the `=` / `≠` predicates.
+    ///
+    /// Nulls are never equal to anything (including other nulls); integers
+    /// and floats compare numerically; strings compare byte-wise.
+    pub fn sem_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => false,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+
+    /// Semantic comparison used by the order predicates (`<`, `≤`, `>`, `≥`).
+    ///
+    /// Returns `None` when either side is null or the values are not
+    /// order-comparable (e.g. a string against a number); a predicate over
+    /// such a pair is simply not satisfied.
+    pub fn sem_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y),
+                _ => None,
+            },
+        }
+    }
+
+    /// Parse a raw text token into the "widest fitting" value:
+    /// empty → null, integer if it parses as `i64`, finite float otherwise,
+    /// falling back to a string.
+    pub fn parse_infer(token: &str) -> Value {
+        let t = token.trim();
+        if t.is_empty() || t.eq_ignore_ascii_case("null") || t.eq_ignore_ascii_case("na") {
+            return Value::Null;
+        }
+        if let Ok(i) = t.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = t.parse::<f64>() {
+            if f.is_finite() {
+                return Value::Float(f);
+            }
+        }
+        Value::Str(t.to_string())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "∅"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn null_equals_nothing() {
+        assert!(!Value::Null.sem_eq(&Value::Null));
+        assert!(!Value::Null.sem_eq(&Value::Int(0)));
+        assert!(Value::Null.sem_cmp(&Value::Int(0)).is_none());
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert!(Value::Int(42).sem_eq(&Value::Float(42.0)));
+        assert!(!Value::Int(42).sem_eq(&Value::Float(42.5)));
+        assert_eq!(
+            Value::Int(1).sem_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(3.0).sem_cmp(&Value::Int(3)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn string_ordering_is_lexicographic() {
+        assert_eq!(
+            Value::from("apple").sem_cmp(&Value::from("banana")),
+            Some(Ordering::Less)
+        );
+        assert!(Value::from("x").sem_eq(&Value::from("x")));
+        assert!(!Value::from("x").sem_eq(&Value::from("y")));
+    }
+
+    #[test]
+    fn string_vs_number_not_comparable() {
+        assert!(!Value::from("42").sem_eq(&Value::Int(42)));
+        assert!(Value::from("42").sem_cmp(&Value::Int(42)).is_none());
+    }
+
+    #[test]
+    fn parse_inference() {
+        assert_eq!(Value::parse_infer("42"), Value::Int(42));
+        assert_eq!(Value::parse_infer(" -7 "), Value::Int(-7));
+        assert_eq!(Value::parse_infer("3.5"), Value::Float(3.5));
+        assert_eq!(Value::parse_infer(""), Value::Null);
+        assert_eq!(Value::parse_infer("NULL"), Value::Null);
+        assert_eq!(Value::parse_infer("abc"), Value::Str("abc".into()));
+        // NaN / inf fall back to strings, never poisoning comparisons.
+        assert!(matches!(Value::parse_infer("inf"), Value::Str(_)));
+        assert!(matches!(Value::parse_infer("NaN"), Value::Str(_)));
+    }
+
+    #[test]
+    fn display_roundtrip_ints() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::from("hi").to_string(), "hi");
+        assert_eq!(Value::Null.to_string(), "∅");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_i64(), Some(3));
+        assert_eq!(Value::Float(3.5).as_i64(), None);
+        assert_eq!(Value::Float(3.5).as_f64(), Some(3.5));
+        assert_eq!(Value::from("s").as_str(), Some("s"));
+        assert!(Value::Int(1).is_numeric());
+        assert!(!Value::from("s").is_numeric());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_int_order_matches_native(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(Value::Int(a).sem_cmp(&Value::Int(b)), Some(a.cmp(&b)));
+            prop_assert_eq!(Value::Int(a).sem_eq(&Value::Int(b)), a == b);
+        }
+
+        #[test]
+        fn prop_eq_consistent_with_cmp(a in -1000i64..1000, b in -1000i64..1000) {
+            let va = Value::Int(a);
+            let vb = Value::Float(b as f64);
+            prop_assert_eq!(va.sem_eq(&vb), va.sem_cmp(&vb) == Some(Ordering::Equal));
+        }
+
+        #[test]
+        fn prop_parse_int_roundtrip(a in any::<i64>()) {
+            prop_assert_eq!(Value::parse_infer(&a.to_string()), Value::Int(a));
+        }
+
+        #[test]
+        fn prop_cmp_antisymmetric(a in -100i64..100, b in -100i64..100) {
+            let (va, vb) = (Value::Int(a), Value::Int(b));
+            let fwd = va.sem_cmp(&vb).unwrap();
+            let bwd = vb.sem_cmp(&va).unwrap();
+            prop_assert_eq!(fwd, bwd.reverse());
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The catalog of all eight evaluation datasets (Table 4 of the paper).
+
+use crate::datasets::{
+    AdultDataset, AirportDataset, FlightDataset, FoodDataset, HospitalDataset, StockDataset,
+    TaxDataset, VoterDataset,
+};
+use crate::generator::DatasetGenerator;
+use std::fmt;
+
+/// The eight datasets of the paper's evaluation (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Synthetic person-level tax records (the paper's only synthetic dataset).
+    Tax,
+    /// SP Stock daily bars.
+    Stock,
+    /// Hospital quality measures.
+    Hospital,
+    /// Food inspections.
+    Food,
+    /// Airports.
+    Airport,
+    /// Adult census income.
+    Adult,
+    /// Flight legs.
+    Flight,
+    /// NC voter registrations.
+    Voter,
+}
+
+impl Dataset {
+    /// All datasets, in the order of Table 4.
+    pub const ALL: [Dataset; 8] = [
+        Dataset::Tax,
+        Dataset::Stock,
+        Dataset::Hospital,
+        Dataset::Food,
+        Dataset::Airport,
+        Dataset::Adult,
+        Dataset::Flight,
+        Dataset::Voter,
+    ];
+
+    /// Instantiate the generator for this dataset.
+    pub fn generator(self) -> Box<dyn DatasetGenerator> {
+        match self {
+            Dataset::Tax => Box::new(TaxDataset),
+            Dataset::Stock => Box::new(StockDataset),
+            Dataset::Hospital => Box::new(HospitalDataset),
+            Dataset::Food => Box::new(FoodDataset),
+            Dataset::Airport => Box::new(AirportDataset),
+            Dataset::Adult => Box::new(AdultDataset),
+            Dataset::Flight => Box::new(FlightDataset),
+            Dataset::Voter => Box::new(VoterDataset),
+        }
+    }
+
+    /// Dataset name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Tax => "Tax",
+            Dataset::Stock => "Stock",
+            Dataset::Hospital => "Hospital",
+            Dataset::Food => "Food",
+            Dataset::Airport => "Airport",
+            Dataset::Adult => "Adult",
+            Dataset::Flight => "Flight",
+            Dataset::Voter => "Voter",
+        }
+    }
+
+    /// Parse a dataset name (case-insensitive).
+    pub fn parse(name: &str) -> Option<Dataset> {
+        Dataset::ALL
+            .into_iter()
+            .find(|d| d.name().eq_ignore_ascii_case(name.trim()))
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete_and_consistent() {
+        assert_eq!(Dataset::ALL.len(), 8);
+        for d in Dataset::ALL {
+            let gen = d.generator();
+            assert_eq!(gen.name(), d.name());
+            assert!(gen.default_rows() > 0);
+            assert!(gen.paper_rows() > gen.default_rows());
+            assert!(gen.paper_golden_dcs() > 0);
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for d in Dataset::ALL {
+            assert_eq!(Dataset::parse(d.name()), Some(d));
+            assert_eq!(Dataset::parse(&d.name().to_lowercase()), Some(d));
+        }
+        assert_eq!(Dataset::parse("nope"), None);
+        assert_eq!(Dataset::parse(" tax "), Some(Dataset::Tax));
+        assert_eq!(Dataset::Tax.to_string(), "Tax");
+    }
+}

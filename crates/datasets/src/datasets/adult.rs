@@ -1,0 +1,154 @@
+//! Synthetic analog of the **Adult** (census income) dataset (32 K tuples,
+//! 15 attributes, 3 golden DCs). The golden rules relate age to birth year
+//! and tie the textual education level to its numeric encoding.
+
+use crate::generator::{pick, pools, resolve_dcs, DatasetGenerator};
+use adc_core::DenialConstraint;
+use adc_data::{AttributeType, Relation, Schema, Value};
+use adc_predicates::{PredicateSpace, TupleRole};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator for the Adult analog.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdultDataset;
+
+/// Reference year used to derive `BirthYear` from `Age`.
+const REFERENCE_YEAR: i64 = 2020;
+
+impl DatasetGenerator for AdultDataset {
+    fn name(&self) -> &'static str {
+        "Adult"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::of(&[
+            ("Age", AttributeType::Integer),
+            ("BirthYear", AttributeType::Integer),
+            ("Workclass", AttributeType::Text),
+            ("Fnlwgt", AttributeType::Integer),
+            ("Education", AttributeType::Text),
+            ("EducationNum", AttributeType::Integer),
+            ("MaritalStatus", AttributeType::Text),
+            ("Occupation", AttributeType::Text),
+            ("Relationship", AttributeType::Text),
+            ("Race", AttributeType::Text),
+            ("Sex", AttributeType::Text),
+            ("CapitalGain", AttributeType::Integer),
+            ("CapitalLoss", AttributeType::Integer),
+            ("HoursPerWeek", AttributeType::Integer),
+            ("NativeCountry", AttributeType::Text),
+        ])
+    }
+
+    fn default_rows(&self) -> usize {
+        2_000
+    }
+
+    fn paper_rows(&self) -> usize {
+        32_000
+    }
+
+    fn paper_golden_dcs(&self) -> usize {
+        3
+    }
+
+    fn generate(&self, rows: usize, seed: u64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = Relation::builder(self.schema());
+        let workclasses = ["Private", "Self-emp", "Federal-gov", "State-gov", "Local-gov"];
+        let marital = ["Never-married", "Married", "Divorced", "Widowed"];
+        let relationship = ["Husband", "Wife", "Own-child", "Unmarried", "Not-in-family"];
+        let races = ["White", "Black", "Asian-Pac-Islander", "Other"];
+        let countries = ["United-States", "Mexico", "Philippines", "Germany", "Canada"];
+        for _ in 0..rows {
+            let age = rng.gen_range(17..=90i64);
+            let edu_idx = rng.gen_range(0..pools::EDUCATION.len());
+            b.push_row(vec![
+                Value::Int(age),
+                Value::Int(REFERENCE_YEAR - age),
+                Value::from(*pick(&mut rng, &workclasses)),
+                Value::Int(rng.gen_range(10_000..500_000)),
+                Value::from(pools::EDUCATION[edu_idx]),
+                Value::Int(pools::EDUCATION_YEARS[edu_idx]),
+                Value::from(*pick(&mut rng, &marital)),
+                Value::from(*pick(&mut rng, &pools::OCCUPATIONS)),
+                Value::from(*pick(&mut rng, &relationship)),
+                Value::from(*pick(&mut rng, &races)),
+                Value::from(if rng.gen_bool(0.5) { "Male" } else { "Female" }),
+                Value::Int(if rng.gen_bool(0.1) { rng.gen_range(1..50_000) } else { 0 }),
+                Value::Int(if rng.gen_bool(0.05) { rng.gen_range(1..3_000) } else { 0 }),
+                Value::Int(rng.gen_range(10..80)),
+                Value::from(*pick(&mut rng, &countries)),
+            ])
+            .expect("adult rows are well typed");
+        }
+        b.build()
+    }
+
+    fn golden_dcs(&self, space: &PredicateSpace) -> Vec<DenialConstraint> {
+        use TupleRole::Other;
+        resolve_dcs(
+            space,
+            &[
+                // A younger person cannot have an earlier birth year.
+                &[("Age", "<", Other, "Age"), ("BirthYear", "<", Other, "BirthYear")],
+                // Equal ages imply equal birth years (single reference year).
+                &[("Age", "=", Other, "Age"), ("BirthYear", "≠", Other, "BirthYear")],
+                // The textual education level determines the numeric encoding.
+                &[("Education", "=", Other, "Education"), ("EducationNum", "≠", Other, "EducationNum")],
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_predicates::SpaceConfig;
+
+    #[test]
+    fn schema_has_fifteen_attributes() {
+        assert_eq!(AdultDataset.schema().arity(), 15);
+    }
+
+    #[test]
+    fn all_three_golden_dcs_resolve() {
+        let r = AdultDataset.generate(120, 3);
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        assert_eq!(AdultDataset.golden_dcs(&space).len(), 3);
+    }
+
+    #[test]
+    fn birth_year_is_consistent_with_age() {
+        let r = AdultDataset.generate(150, 5);
+        let schema = AdultDataset.schema();
+        let age = schema.index_of("Age").unwrap();
+        let by = schema.index_of("BirthYear").unwrap();
+        for row in 0..r.len() {
+            assert_eq!(
+                r.value(row, age).as_i64().unwrap() + r.value(row, by).as_i64().unwrap(),
+                REFERENCE_YEAR
+            );
+        }
+    }
+
+    #[test]
+    fn education_determines_education_num() {
+        let r = AdultDataset.generate(150, 6);
+        let schema = AdultDataset.schema();
+        let edu = schema.index_of("Education").unwrap();
+        let num = schema.index_of("EducationNum").unwrap();
+        use std::collections::HashMap;
+        let mut map: HashMap<String, i64> = HashMap::new();
+        for row in 0..r.len() {
+            let e = r.value(row, edu).to_string();
+            let n = r.value(row, num).as_i64().unwrap();
+            if let Some(prev) = map.get(&e) {
+                assert_eq!(*prev, n);
+            } else {
+                map.insert(e, n);
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Synthetic analog of the **Airport** dataset (55 K tuples, 12 attributes,
+//! 9 golden DCs). One row per airport; identifiers are unique and
+//! geographic attributes are functionally dependent on the state.
+
+use crate::generator::{pools, resolve_dcs, DatasetGenerator};
+use adc_core::DenialConstraint;
+use adc_data::{AttributeType, Relation, Schema, Value};
+use adc_predicates::{PredicateSpace, TupleRole};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator for the Airport analog.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AirportDataset;
+
+impl DatasetGenerator for AirportDataset {
+    fn name(&self) -> &'static str {
+        "Airport"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::of(&[
+            ("AirportID", AttributeType::Integer),
+            ("Name", AttributeType::Text),
+            ("City", AttributeType::Text),
+            ("State", AttributeType::Text),
+            ("Country", AttributeType::Text),
+            ("IATA", AttributeType::Text),
+            ("ICAO", AttributeType::Text),
+            ("Latitude", AttributeType::Float),
+            ("Longitude", AttributeType::Float),
+            ("Altitude", AttributeType::Integer),
+            ("TimezoneOffset", AttributeType::Integer),
+            ("DST", AttributeType::Text),
+        ])
+    }
+
+    fn default_rows(&self) -> usize {
+        1_500
+    }
+
+    fn paper_rows(&self) -> usize {
+        55_000
+    }
+
+    fn paper_golden_dcs(&self) -> usize {
+        9
+    }
+
+    fn generate(&self, rows: usize, seed: u64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = Relation::builder(self.schema());
+        for i in 0..rows {
+            let state_idx = rng.gen_range(0..pools::STATES.len());
+            let city_sel = rng.gen_range(0..2usize);
+            let city_idx = state_idx * 2 + city_sel;
+            // Timezone offset and DST flag are functions of the state.
+            let tz = -5 - (state_idx as i64 % 4);
+            let dst = if state_idx % 2 == 0 { "A" } else { "N" };
+            b.push_row(vec![
+                Value::Int(i as i64),
+                Value::from(format!("{} Field {i}", pools::CITIES[city_idx])),
+                Value::from(pools::CITIES[city_idx]),
+                Value::from(pools::STATES[state_idx]),
+                Value::from("US"),
+                Value::from(format!("A{i:04}")),
+                Value::from(format!("KA{i:04}")),
+                Value::Float(25.0 + (state_idx as f64) * 3.0 + rng.gen_range(0.0..2.0)),
+                Value::Float(-70.0 - (state_idx as f64) * 5.0 - rng.gen_range(0.0..2.0)),
+                Value::Int(rng.gen_range(0..9_000)),
+                Value::Int(tz),
+                Value::from(dst),
+            ])
+            .expect("airport rows are well typed");
+        }
+        b.build()
+    }
+
+    fn golden_dcs(&self, space: &PredicateSpace) -> Vec<DenialConstraint> {
+        use TupleRole::Other;
+        resolve_dcs(
+            space,
+            &[
+                // Identifiers are keys.
+                &[("AirportID", "=", Other, "AirportID")],
+                &[("IATA", "=", Other, "IATA"), ("Name", "≠", Other, "Name")],
+                &[("ICAO", "=", Other, "ICAO"), ("IATA", "≠", Other, "IATA")],
+                &[("Name", "=", Other, "Name"), ("City", "≠", Other, "City")],
+                // Geography is consistent.
+                &[("City", "=", Other, "City"), ("State", "≠", Other, "State")],
+                &[("State", "=", Other, "State"), ("Country", "≠", Other, "Country")],
+                // Timezone and DST are functions of the state.
+                &[("State", "=", Other, "State"), ("TimezoneOffset", "≠", Other, "TimezoneOffset")],
+                &[("State", "=", Other, "State"), ("DST", "≠", Other, "DST")],
+                &[("City", "=", Other, "City"), ("TimezoneOffset", "≠", Other, "TimezoneOffset")],
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_predicates::SpaceConfig;
+
+    #[test]
+    fn schema_has_twelve_attributes() {
+        assert_eq!(AirportDataset.schema().arity(), 12);
+    }
+
+    #[test]
+    fn all_nine_golden_dcs_resolve() {
+        let r = AirportDataset.generate(100, 3);
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        assert_eq!(AirportDataset.golden_dcs(&space).len(), 9);
+    }
+
+    #[test]
+    fn identifiers_are_unique() {
+        let r = AirportDataset.generate(200, 4);
+        let schema = AirportDataset.schema();
+        use std::collections::HashSet;
+        let mut ids = HashSet::new();
+        let mut iatas = HashSet::new();
+        for row in 0..r.len() {
+            ids.insert(r.value(row, schema.index_of("AirportID").unwrap()).to_string());
+            iatas.insert(r.value(row, schema.index_of("IATA").unwrap()).to_string());
+        }
+        assert_eq!(ids.len(), r.len());
+        assert_eq!(iatas.len(), r.len());
+    }
+}

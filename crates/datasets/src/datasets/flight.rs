@@ -1,0 +1,229 @@
+//! Synthetic analog of the **Flight** dataset (582 K tuples, 20 attributes,
+//! 13 golden DCs). One row per flight leg; routes (airline + flight number)
+//! determine origin and destination, airports determine city and state, and
+//! the elapsed time is consistent with departure and arrival times.
+
+use crate::generator::{pools, resolve_dcs, DatasetGenerator};
+use adc_core::DenialConstraint;
+use adc_data::{AttributeType, Relation, Schema, Value};
+use adc_predicates::{PredicateSpace, TupleRole};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator for the Flight analog.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlightDataset;
+
+impl DatasetGenerator for FlightDataset {
+    fn name(&self) -> &'static str {
+        "Flight"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::of(&[
+            ("FlightID", AttributeType::Integer),
+            ("Airline", AttributeType::Text),
+            ("FlightNo", AttributeType::Integer),
+            ("TailNumber", AttributeType::Text),
+            ("OriginAirport", AttributeType::Text),
+            ("OriginCity", AttributeType::Text),
+            ("OriginState", AttributeType::Text),
+            ("DestAirport", AttributeType::Text),
+            ("DestCity", AttributeType::Text),
+            ("DestState", AttributeType::Text),
+            ("Month", AttributeType::Integer),
+            ("DayOfWeek", AttributeType::Integer),
+            ("SchedDepTime", AttributeType::Integer),
+            ("DepTime", AttributeType::Integer),
+            ("SchedArrTime", AttributeType::Integer),
+            ("ArrTime", AttributeType::Integer),
+            ("SchedElapsed", AttributeType::Integer),
+            ("ElapsedTime", AttributeType::Integer),
+            ("Distance", AttributeType::Integer),
+            ("Cancelled", AttributeType::Integer),
+        ])
+    }
+
+    fn default_rows(&self) -> usize {
+        2_000
+    }
+
+    fn paper_rows(&self) -> usize {
+        582_000
+    }
+
+    fn paper_golden_dcs(&self) -> usize {
+        13
+    }
+
+    fn generate(&self, rows: usize, seed: u64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = Relation::builder(self.schema());
+        // A pool of routes: (airline, flight number) determines the route.
+        let num_routes = (rows / 10).max(1);
+        let airports = pools::AIRPORTS;
+        let routes: Vec<(usize, i64, usize, usize, i64)> = (0..num_routes)
+            .map(|k| {
+                let airline = rng.gen_range(0..pools::AIRLINES.len());
+                let flight_no = 100 + k as i64;
+                let origin = rng.gen_range(0..airports.len());
+                let mut dest = rng.gen_range(0..airports.len());
+                if dest == origin {
+                    dest = (dest + 1) % airports.len();
+                }
+                let distance = 200 + 150 * ((origin as i64 - dest as i64).abs());
+                (airline, flight_no, origin, dest, distance)
+            })
+            .collect();
+        for i in 0..rows {
+            let (airline, flight_no, origin, dest, distance) = routes[i % num_routes];
+            // Airport index -> city/state via the shared pools (airport k sits
+            // in city k of the CITIES pool, which belongs to state k/2).
+            let (ocity, ostate) = (pools::CITIES[origin], pools::STATES[origin / 2]);
+            let (dcity, dstate) = (pools::CITIES[dest], pools::STATES[dest / 2]);
+            let sched_dep = rng.gen_range(300..1_200i64);
+            let delay = rng.gen_range(0..45i64);
+            let dep = sched_dep + delay;
+            let sched_elapsed = 40 + distance / 8;
+            let elapsed = sched_elapsed + rng.gen_range(-10..20i64).max(10 - sched_elapsed);
+            let arr = dep + elapsed;
+            let sched_arr = sched_dep + sched_elapsed;
+            b.push_row(vec![
+                Value::Int(i as i64),
+                Value::from(pools::AIRLINES[airline]),
+                Value::Int(flight_no),
+                Value::from(format!("N{:05}", i % 500)),
+                Value::from(airports[origin]),
+                Value::from(ocity),
+                Value::from(ostate),
+                Value::from(airports[dest]),
+                Value::from(dcity),
+                Value::from(dstate),
+                Value::Int(1 + (i as i64 % 12)),
+                Value::Int(1 + (i as i64 % 7)),
+                Value::Int(sched_dep),
+                Value::Int(dep),
+                Value::Int(sched_arr),
+                Value::Int(arr),
+                Value::Int(sched_elapsed),
+                Value::Int(elapsed),
+                Value::Int(distance),
+                Value::Int(0),
+            ])
+            .expect("flight rows are well typed");
+        }
+        b.build()
+    }
+
+    fn golden_dcs(&self, space: &PredicateSpace) -> Vec<DenialConstraint> {
+        use TupleRole::Other;
+        resolve_dcs(
+            space,
+            &[
+                // The flight id is a key.
+                &[("FlightID", "=", Other, "FlightID")],
+                // Airports determine their city and state.
+                &[("OriginAirport", "=", Other, "OriginAirport"), ("OriginCity", "≠", Other, "OriginCity")],
+                &[("OriginAirport", "=", Other, "OriginAirport"), ("OriginState", "≠", Other, "OriginState")],
+                &[("DestAirport", "=", Other, "DestAirport"), ("DestCity", "≠", Other, "DestCity")],
+                &[("DestAirport", "=", Other, "DestAirport"), ("DestState", "≠", Other, "DestState")],
+                // Cities belong to a single state.
+                &[("OriginCity", "=", Other, "OriginCity"), ("OriginState", "≠", Other, "OriginState")],
+                &[("DestCity", "=", Other, "DestCity"), ("DestState", "≠", Other, "DestState")],
+                // (Airline, FlightNo) determines the route.
+                &[
+                    ("Airline", "=", Other, "Airline"),
+                    ("FlightNo", "=", Other, "FlightNo"),
+                    ("OriginAirport", "≠", Other, "OriginAirport"),
+                ],
+                &[
+                    ("Airline", "=", Other, "Airline"),
+                    ("FlightNo", "=", Other, "FlightNo"),
+                    ("DestAirport", "≠", Other, "DestAirport"),
+                ],
+                &[
+                    ("Airline", "=", Other, "Airline"),
+                    ("FlightNo", "=", Other, "FlightNo"),
+                    ("Distance", "≠", Other, "Distance"),
+                ],
+                // Elapsed-time consistency (Table 5 of the paper): departing
+                // later and arriving earlier cannot take longer.
+                &[
+                    ("OriginState", "=", Other, "OriginState"),
+                    ("DestState", "=", Other, "DestState"),
+                    ("DepTime", "≥", Other, "DepTime"),
+                    ("ArrTime", "≤", Other, "ArrTime"),
+                    ("ElapsedTime", ">", Other, "ElapsedTime"),
+                ],
+                // The same consistency holds for the scheduled times.
+                &[
+                    ("OriginState", "=", Other, "OriginState"),
+                    ("DestState", "=", Other, "DestState"),
+                    ("SchedDepTime", "≥", Other, "SchedDepTime"),
+                    ("SchedArrTime", "≤", Other, "SchedArrTime"),
+                    ("SchedElapsed", ">", Other, "SchedElapsed"),
+                ],
+                // (Airline, FlightNo) determines the scheduled elapsed time.
+                &[
+                    ("Airline", "=", Other, "Airline"),
+                    ("FlightNo", "=", Other, "FlightNo"),
+                    ("SchedElapsed", "≠", Other, "SchedElapsed"),
+                ],
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_predicates::SpaceConfig;
+
+    #[test]
+    fn schema_has_twenty_attributes() {
+        assert_eq!(FlightDataset.schema().arity(), 20);
+    }
+
+    #[test]
+    fn all_thirteen_golden_dcs_resolve() {
+        let r = FlightDataset.generate(150, 3);
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        assert_eq!(FlightDataset.golden_dcs(&space).len(), 13);
+    }
+
+    #[test]
+    fn elapsed_time_is_arrival_minus_departure() {
+        let r = FlightDataset.generate(200, 9);
+        let schema = FlightDataset.schema();
+        let dep = schema.index_of("DepTime").unwrap();
+        let arr = schema.index_of("ArrTime").unwrap();
+        let elapsed = schema.index_of("ElapsedTime").unwrap();
+        for row in 0..r.len() {
+            let d = r.value(row, dep).as_i64().unwrap();
+            let a = r.value(row, arr).as_i64().unwrap();
+            let e = r.value(row, elapsed).as_i64().unwrap();
+            assert_eq!(a - d, e);
+            assert!(e > 0);
+        }
+    }
+
+    #[test]
+    fn route_is_determined_by_airline_and_flight_number() {
+        let r = FlightDataset.generate(200, 4);
+        let schema = FlightDataset.schema();
+        let airline = schema.index_of("Airline").unwrap();
+        let no = schema.index_of("FlightNo").unwrap();
+        let origin = schema.index_of("OriginAirport").unwrap();
+        use std::collections::HashMap;
+        let mut by_route: HashMap<(String, i64), String> = HashMap::new();
+        for row in 0..r.len() {
+            let key = (r.value(row, airline).to_string(), r.value(row, no).as_i64().unwrap());
+            let o = r.value(row, origin).to_string();
+            if let Some(prev) = by_route.get(&key) {
+                assert_eq!(prev, &o);
+            } else {
+                by_route.insert(key, o);
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Synthetic analog of the **Food Inspection** dataset (200 K tuples,
+//! 17 attributes, 10 golden DCs). One row per inspection of a licensed
+//! facility; facility-level attributes repeat across inspections.
+
+use crate::generator::{pools, resolve_dcs, DatasetGenerator};
+use adc_core::DenialConstraint;
+use adc_data::{AttributeType, Relation, Schema, Value};
+use adc_predicates::{PredicateSpace, TupleRole};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator for the Food Inspection analog.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FoodDataset;
+
+impl DatasetGenerator for FoodDataset {
+    fn name(&self) -> &'static str {
+        "Food"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::of(&[
+            ("InspectionID", AttributeType::Integer),
+            ("LicenseNo", AttributeType::Integer),
+            ("DBAName", AttributeType::Text),
+            ("AKAName", AttributeType::Text),
+            ("FacilityType", AttributeType::Text),
+            ("Risk", AttributeType::Text),
+            ("Address", AttributeType::Text),
+            ("City", AttributeType::Text),
+            ("State", AttributeType::Text),
+            ("Zip", AttributeType::Integer),
+            ("Ward", AttributeType::Integer),
+            ("InspectionYear", AttributeType::Integer),
+            ("InspectionType", AttributeType::Text),
+            ("Results", AttributeType::Text),
+            ("ViolationCount", AttributeType::Integer),
+            ("Latitude", AttributeType::Float),
+            ("Longitude", AttributeType::Float),
+        ])
+    }
+
+    fn default_rows(&self) -> usize {
+        2_000
+    }
+
+    fn paper_rows(&self) -> usize {
+        200_000
+    }
+
+    fn paper_golden_dcs(&self) -> usize {
+        10
+    }
+
+    fn generate(&self, rows: usize, seed: u64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = Relation::builder(self.schema());
+        let num_facilities = (rows / 5).max(1);
+        let risks = ["Risk 1 (High)", "Risk 2 (Medium)", "Risk 3 (Low)"];
+        let inspection_types = ["Canvass", "Complaint", "License", "Re-inspection"];
+        let results = ["Pass", "Fail", "Pass w/ Conditions"];
+        // Facility-level attributes, fixed per license number.
+        let facilities: Vec<(usize, usize, usize, usize)> = (0..num_facilities)
+            .map(|_| {
+                (
+                    rng.gen_range(0..pools::STATES.len()),
+                    rng.gen_range(0..2usize),
+                    rng.gen_range(0..pools::FACILITY_TYPES.len()),
+                    rng.gen_range(0..risks.len()),
+                )
+            })
+            .collect();
+        for i in 0..rows {
+            let fid = i % num_facilities;
+            let (state_idx, city_sel, ftype, risk) = facilities[fid];
+            let city_idx = state_idx * 2 + city_sel;
+            let zip = pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + (fid as i64 % 700);
+            let ward = 1 + (zip % 50);
+            b.push_row(vec![
+                Value::Int(1_000_000 + i as i64),
+                Value::Int(200_000 + fid as i64),
+                Value::from(format!("Food Place {fid}")),
+                Value::from(format!("FP {fid}")),
+                Value::from(pools::FACILITY_TYPES[ftype]),
+                Value::from(risks[risk]),
+                Value::from(format!("{} Oak Ave", 10 + fid)),
+                Value::from(pools::CITIES[city_idx]),
+                Value::from(pools::STATES[state_idx]),
+                Value::Int(zip),
+                Value::Int(ward),
+                Value::Int(2_015 + rng.gen_range(0..6)),
+                Value::from(inspection_types[rng.gen_range(0..inspection_types.len())]),
+                Value::from(results[rng.gen_range(0..results.len())]),
+                Value::Int(rng.gen_range(0..15)),
+                Value::Float(40.0 + (fid % 90) as f64 / 100.0),
+                Value::Float(-87.0 - (fid % 90) as f64 / 100.0),
+            ])
+            .expect("food rows are well typed");
+        }
+        b.build()
+    }
+
+    fn golden_dcs(&self, space: &PredicateSpace) -> Vec<DenialConstraint> {
+        use TupleRole::Other;
+        resolve_dcs(
+            space,
+            &[
+                // Inspection id is a key.
+                &[("InspectionID", "=", Other, "InspectionID")],
+                // Zip codes do not cross states or cities.
+                &[("Zip", "=", Other, "Zip"), ("State", "≠", Other, "State")],
+                &[("Zip", "=", Other, "Zip"), ("City", "≠", Other, "City")],
+                // The license number determines the facility-level attributes.
+                &[("LicenseNo", "=", Other, "LicenseNo"), ("DBAName", "≠", Other, "DBAName")],
+                &[("LicenseNo", "=", Other, "LicenseNo"), ("FacilityType", "≠", Other, "FacilityType")],
+                &[("LicenseNo", "=", Other, "LicenseNo"), ("Address", "≠", Other, "Address")],
+                &[("LicenseNo", "=", Other, "LicenseNo"), ("Risk", "≠", Other, "Risk")],
+                // The doing-business-as name determines the also-known-as name.
+                &[("DBAName", "=", Other, "DBAName"), ("AKAName", "≠", Other, "AKAName")],
+                // An address has a single zip code and a single ward.
+                &[("Address", "=", Other, "Address"), ("Zip", "≠", Other, "Zip")],
+                &[("Address", "=", Other, "Address"), ("Ward", "≠", Other, "Ward")],
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_predicates::SpaceConfig;
+
+    #[test]
+    fn schema_has_seventeen_attributes() {
+        assert_eq!(FoodDataset.schema().arity(), 17);
+    }
+
+    #[test]
+    fn all_ten_golden_dcs_resolve() {
+        let r = FoodDataset.generate(150, 3);
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        assert_eq!(FoodDataset.golden_dcs(&space).len(), 10);
+    }
+
+    #[test]
+    fn inspection_id_is_unique() {
+        let r = FoodDataset.generate(200, 8);
+        let id_col = FoodDataset.schema().index_of("InspectionID").unwrap();
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for row in 0..r.len() {
+            assert!(seen.insert(r.value(row, id_col).as_i64().unwrap()));
+        }
+    }
+
+    #[test]
+    fn license_determines_facility_attributes() {
+        let r = FoodDataset.generate(120, 2);
+        let schema = FoodDataset.schema();
+        let lic = schema.index_of("LicenseNo").unwrap();
+        let dba = schema.index_of("DBAName").unwrap();
+        use std::collections::HashMap;
+        let mut by_license: HashMap<i64, String> = HashMap::new();
+        for row in 0..r.len() {
+            let l = r.value(row, lic).as_i64().unwrap();
+            let name = r.value(row, dba).to_string();
+            if let Some(prev) = by_license.get(&l) {
+                assert_eq!(prev, &name);
+            } else {
+                by_license.insert(l, name);
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Synthetic analog of the **Hospital** dataset (115 K tuples, 19 attributes,
+//! 7 golden DCs). One row per (provider, quality measure), with
+//! provider-level attributes repeated across that provider's rows.
+
+use crate::generator::{pools, resolve_dcs, DatasetGenerator};
+use adc_core::DenialConstraint;
+use adc_data::{AttributeType, Relation, Schema, Value};
+use adc_predicates::{PredicateSpace, TupleRole};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator for the Hospital analog.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HospitalDataset;
+
+impl DatasetGenerator for HospitalDataset {
+    fn name(&self) -> &'static str {
+        "Hospital"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::of(&[
+            ("ProviderID", AttributeType::Integer),
+            ("HospitalName", AttributeType::Text),
+            ("Address", AttributeType::Text),
+            ("City", AttributeType::Text),
+            ("State", AttributeType::Text),
+            ("Zip", AttributeType::Integer),
+            ("County", AttributeType::Text),
+            ("AreaCode", AttributeType::Integer),
+            ("Phone", AttributeType::Integer),
+            ("HospitalType", AttributeType::Text),
+            ("Owner", AttributeType::Text),
+            ("EmergencyService", AttributeType::Text),
+            ("Condition", AttributeType::Text),
+            ("MeasureCode", AttributeType::Text),
+            ("MeasureName", AttributeType::Text),
+            ("Score", AttributeType::Integer),
+            ("Sample", AttributeType::Integer),
+            ("StateAvg", AttributeType::Integer),
+            ("MeasureYear", AttributeType::Integer),
+        ])
+    }
+
+    fn default_rows(&self) -> usize {
+        2_000
+    }
+
+    fn paper_rows(&self) -> usize {
+        115_000
+    }
+
+    fn paper_golden_dcs(&self) -> usize {
+        7
+    }
+
+    fn generate(&self, rows: usize, seed: u64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = Relation::builder(self.schema());
+        let num_providers = (rows / 8).max(1);
+        let types = ["Acute Care", "Critical Access", "Childrens"];
+        let owners = ["Government", "Proprietary", "Voluntary non-profit"];
+        // Provider-level attributes, fixed per provider id.
+        let providers: Vec<(usize, usize)> = (0..num_providers)
+            .map(|_| (rng.gen_range(0..pools::STATES.len()), rng.gen_range(0..2usize)))
+            .collect();
+        for i in 0..rows {
+            let pid = i % num_providers;
+            let (state_idx, city_sel) = providers[pid];
+            let city_idx = state_idx * 2 + city_sel;
+            let measure_idx = rng.gen_range(0..pools::MEASURE_CODES.len());
+            let code = pools::MEASURE_CODES[measure_idx];
+            // Condition is the measure-code family (prefix before '-').
+            let condition = code.split('-').next().unwrap_or(code);
+            // StateAvg is a deterministic function of (state, measure).
+            let state_avg = 40 + (7 * state_idx + 11 * measure_idx) as i64 % 60;
+            b.push_row(vec![
+                Value::Int(10_000 + pid as i64),
+                Value::from(format!("General Hospital {pid}")),
+                Value::from(format!("{} Main St", 100 + pid)),
+                Value::from(pools::CITIES[city_idx]),
+                Value::from(pools::STATES[state_idx]),
+                Value::Int(pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + (pid as i64 % 500)),
+                Value::from(pools::COUNTIES[city_idx]),
+                Value::Int(pools::state_area_code(state_idx)),
+                Value::Int(pools::state_area_code(state_idx) * 10_000_000 + pid as i64),
+                Value::from(types[pid % types.len()]),
+                Value::from(owners[pid % owners.len()]),
+                Value::from(if pid % 2 == 0 { "Yes" } else { "No" }),
+                Value::from(condition),
+                Value::from(code),
+                Value::from(format!("Measure {code}")),
+                Value::Int(rng.gen_range(10..100)),
+                Value::Int(rng.gen_range(5..500)),
+                Value::Int(state_avg),
+                Value::Int(2018 + (measure_idx as i64 % 3)),
+            ])
+            .expect("hospital rows are well typed");
+        }
+        b.build()
+    }
+
+    fn golden_dcs(&self, space: &PredicateSpace) -> Vec<DenialConstraint> {
+        use TupleRole::Other;
+        resolve_dcs(
+            space,
+            &[
+                // Zip codes and cities do not cross state boundaries.
+                &[("Zip", "=", Other, "Zip"), ("State", "≠", Other, "State")],
+                &[("City", "=", Other, "City"), ("State", "≠", Other, "State")],
+                // The provider id determines the hospital name and the phone number.
+                &[("ProviderID", "=", Other, "ProviderID"), ("HospitalName", "≠", Other, "HospitalName")],
+                &[("Phone", "=", Other, "Phone"), ("ProviderID", "≠", Other, "ProviderID")],
+                // The measure code determines its name and condition family.
+                &[("MeasureCode", "=", Other, "MeasureCode"), ("MeasureName", "≠", Other, "MeasureName")],
+                &[("MeasureCode", "=", Other, "MeasureCode"), ("Condition", "≠", Other, "Condition")],
+                // The state average is a function of (state, measure code).
+                &[
+                    ("State", "=", Other, "State"),
+                    ("MeasureCode", "=", Other, "MeasureCode"),
+                    ("StateAvg", "≠", Other, "StateAvg"),
+                ],
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_predicates::SpaceConfig;
+
+    #[test]
+    fn schema_has_nineteen_attributes() {
+        assert_eq!(HospitalDataset.schema().arity(), 19);
+    }
+
+    #[test]
+    fn all_seven_golden_dcs_resolve() {
+        let r = HospitalDataset.generate(120, 3);
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        assert_eq!(HospitalDataset.golden_dcs(&space).len(), 7);
+    }
+
+    #[test]
+    fn provider_attributes_are_functionally_determined() {
+        let r = HospitalDataset.generate(160, 9);
+        let schema = HospitalDataset.schema();
+        let pid = schema.index_of("ProviderID").unwrap();
+        let name = schema.index_of("HospitalName").unwrap();
+        let phone = schema.index_of("Phone").unwrap();
+        use std::collections::HashMap;
+        let mut by_pid: HashMap<i64, (String, i64)> = HashMap::new();
+        for row in 0..r.len() {
+            let id = r.value(row, pid).as_i64().unwrap();
+            let entry = (r.value(row, name).to_string(), r.value(row, phone).as_i64().unwrap());
+            if let Some(prev) = by_pid.get(&id) {
+                assert_eq!(prev, &entry);
+            } else {
+                by_pid.insert(id, entry);
+            }
+        }
+        assert!(by_pid.len() > 1);
+    }
+}

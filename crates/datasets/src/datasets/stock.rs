@@ -1,0 +1,148 @@
+//! Synthetic analog of the **SP Stock** dataset (123 K tuples, 7 attributes,
+//! 6 golden DCs). Daily OHLCV bars per ticker; the golden rules are the
+//! classic price-sanity constraints (`High ≥ Low`, `Open ≤ High`, ...).
+
+use crate::generator::{pools, resolve_dcs, DatasetGenerator};
+use adc_core::DenialConstraint;
+use adc_data::{AttributeType, Relation, Schema, Value};
+use adc_predicates::{PredicateSpace, TupleRole};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator for the SP Stock analog.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StockDataset;
+
+impl DatasetGenerator for StockDataset {
+    fn name(&self) -> &'static str {
+        "Stock"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::of(&[
+            ("Ticker", AttributeType::Text),
+            ("Date", AttributeType::Integer),
+            ("Open", AttributeType::Integer),
+            ("High", AttributeType::Integer),
+            ("Low", AttributeType::Integer),
+            ("Close", AttributeType::Integer),
+            ("Volume", AttributeType::Integer),
+        ])
+    }
+
+    fn default_rows(&self) -> usize {
+        2_000
+    }
+
+    fn paper_rows(&self) -> usize {
+        123_000
+    }
+
+    fn paper_golden_dcs(&self) -> usize {
+        6
+    }
+
+    fn generate(&self, rows: usize, seed: u64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = Relation::builder(self.schema());
+        // One bar per (date, ticker), round-robin over tickers so (Ticker, Date)
+        // is a key by construction.
+        let tickers = pools::TICKERS;
+        let mut last_close: Vec<i64> = (0..tickers.len()).map(|_| rng.gen_range(50..150)).collect();
+        for i in 0..rows {
+            let t = i % tickers.len();
+            let date = (i / tickers.len()) as i64;
+            let open = last_close[t];
+            let close = (open + rng.gen_range(-10..=10)).clamp(10, 400);
+            let high = open.max(close) + rng.gen_range(0..5);
+            let low = (open.min(close) - rng.gen_range(0..5)).max(1);
+            let volume = rng.gen_range(1_000..100_000);
+            last_close[t] = close;
+            b.push_row(vec![
+                Value::from(tickers[t]),
+                Value::Int(date),
+                Value::Int(open),
+                Value::Int(high),
+                Value::Int(low),
+                Value::Int(close),
+                Value::Int(volume),
+            ])
+            .expect("stock rows are well typed");
+        }
+        b.build()
+    }
+
+    fn golden_dcs(&self, space: &PredicateSpace) -> Vec<DenialConstraint> {
+        use TupleRole::{Other, Same};
+        resolve_dcs(
+            space,
+            &[
+                // Price sanity within a single bar. Single-tuple predicates are
+                // generated once per unordered attribute pair (lower schema
+                // index on the left), so the constraints are phrased in that
+                // canonical direction.
+                &[("High", "<", Same, "Low")],
+                &[("Open", ">", Same, "High")],
+                &[("High", "<", Same, "Close")],
+                &[("Open", "<", Same, "Low")],
+                &[("Low", ">", Same, "Close")],
+                // (Ticker, Date) determines the closing price.
+                &[
+                    ("Ticker", "=", Other, "Ticker"),
+                    ("Date", "=", Other, "Date"),
+                    ("Close", "≠", Other, "Close"),
+                ],
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_predicates::SpaceConfig;
+
+    #[test]
+    fn price_sanity_holds_on_clean_data() {
+        let r = StockDataset.generate(300, 11);
+        let schema = StockDataset.schema();
+        let (open, high, low, close) = (
+            schema.index_of("Open").unwrap(),
+            schema.index_of("High").unwrap(),
+            schema.index_of("Low").unwrap(),
+            schema.index_of("Close").unwrap(),
+        );
+        for row in 0..r.len() {
+            let o = r.value(row, open).as_i64().unwrap();
+            let h = r.value(row, high).as_i64().unwrap();
+            let l = r.value(row, low).as_i64().unwrap();
+            let c = r.value(row, close).as_i64().unwrap();
+            assert!(l <= o && o <= h);
+            assert!(l <= c && c <= h);
+            assert!(l >= 1);
+        }
+    }
+
+    #[test]
+    fn ticker_date_is_a_key() {
+        let r = StockDataset.generate(250, 5);
+        let schema = StockDataset.schema();
+        let (ticker, date) = (schema.index_of("Ticker").unwrap(), schema.index_of("Date").unwrap());
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for row in 0..r.len() {
+            let key = (r.value(row, ticker).to_string(), r.value(row, date).to_string());
+            assert!(seen.insert(key), "duplicate (ticker, date) at row {row}");
+        }
+    }
+
+    #[test]
+    fn all_six_golden_dcs_resolve_including_single_tuple_predicates() {
+        let r = StockDataset.generate(200, 1);
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        let golden = StockDataset.golden_dcs(&space);
+        assert_eq!(golden.len(), 6);
+        // At least one golden DC uses a single-tuple predicate (t.High < t.Low).
+        assert!(golden.iter().any(|dc| dc.len() == 1));
+    }
+}

@@ -1,0 +1,183 @@
+//! Synthetic analog of the **Tax** dataset (1 M tuples, 15 attributes,
+//! 9 golden DCs in the paper). Person-level tax records where, within a
+//! state, tax owed grows monotonically with salary.
+
+use crate::generator::{pick, pools, resolve_dcs, DatasetGenerator};
+use adc_core::DenialConstraint;
+use adc_data::{AttributeType, Relation, Schema, Value};
+use adc_predicates::{PredicateSpace, TupleRole};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator for the Tax analog.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaxDataset;
+
+impl DatasetGenerator for TaxDataset {
+    fn name(&self) -> &'static str {
+        "Tax"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::of(&[
+            ("FirstName", AttributeType::Text),
+            ("LastName", AttributeType::Text),
+            ("Gender", AttributeType::Text),
+            ("AreaCode", AttributeType::Integer),
+            ("Phone", AttributeType::Integer),
+            ("City", AttributeType::Text),
+            ("State", AttributeType::Text),
+            ("Zip", AttributeType::Integer),
+            ("MaritalStatus", AttributeType::Text),
+            ("HasChild", AttributeType::Text),
+            ("Salary", AttributeType::Integer),
+            ("TaxRate", AttributeType::Integer),
+            ("Tax", AttributeType::Integer),
+            ("SingleExemption", AttributeType::Integer),
+            ("ChildExemption", AttributeType::Integer),
+        ])
+    }
+
+    fn default_rows(&self) -> usize {
+        2_000
+    }
+
+    fn paper_rows(&self) -> usize {
+        1_000_000
+    }
+
+    fn paper_golden_dcs(&self) -> usize {
+        9
+    }
+
+    fn generate(&self, rows: usize, seed: u64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = Relation::builder(self.schema());
+        for i in 0..rows {
+            let state_idx = rng.gen_range(0..pools::STATES.len());
+            let city_sel = rng.gen_range(0..2usize);
+            let city = pools::CITIES[state_idx * 2 + city_sel];
+            let area_code = pools::state_area_code(state_idx);
+            let phone = area_code * 10_000_000 + i as i64;
+            let zip = pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + rng.gen_range(0..1_000);
+            let marital = if rng.gen_bool(0.5) { "Single" } else { "Married" };
+            let has_child = if rng.gen_bool(0.4) { "Y" } else { "N" };
+            let salary = rng.gen_range(20..150) * 1_000i64;
+            // Per-state flat tax rate => tax is monotone in salary within a state.
+            let tax_rate = 10 + state_idx as i64;
+            let tax = salary * tax_rate / 100;
+            let single_exemption = if marital == "Single" { 3_000 } else { 0 };
+            let child_exemption = if has_child == "Y" { 1_000 } else { 0 };
+            b.push_row(vec![
+                Value::from(*pick(&mut rng, &pools::FIRST_NAMES)),
+                Value::from(*pick(&mut rng, &pools::LAST_NAMES)),
+                Value::from(if rng.gen_bool(0.5) { "F" } else { "M" }),
+                Value::Int(area_code),
+                Value::Int(phone),
+                Value::from(city),
+                Value::from(pools::STATES[state_idx]),
+                Value::Int(zip),
+                Value::from(marital),
+                Value::from(has_child),
+                Value::Int(salary),
+                Value::Int(tax_rate),
+                Value::Int(tax),
+                Value::Int(single_exemption),
+                Value::Int(child_exemption),
+            ])
+            .expect("tax rows are well typed");
+        }
+        b.build()
+    }
+
+    fn golden_dcs(&self, space: &PredicateSpace) -> Vec<DenialConstraint> {
+        use TupleRole::Other;
+        resolve_dcs(
+            space,
+            &[
+                // Within a state, higher salary implies at-least-as-high tax.
+                &[
+                    ("State", "=", Other, "State"),
+                    ("Salary", ">", Other, "Salary"),
+                    ("Tax", "<", Other, "Tax"),
+                ],
+                // Zip codes do not cross state or city boundaries.
+                &[("Zip", "=", Other, "Zip"), ("State", "≠", Other, "State")],
+                &[("Zip", "=", Other, "Zip"), ("City", "≠", Other, "City")],
+                // Area codes are state-specific; phone numbers embed the area code.
+                &[("AreaCode", "=", Other, "AreaCode"), ("State", "≠", Other, "State")],
+                &[("Phone", "=", Other, "Phone"), ("AreaCode", "≠", Other, "AreaCode")],
+                // Cities belong to a single state.
+                &[("City", "=", Other, "City"), ("State", "≠", Other, "State")],
+                // The tax rate is a function of the state.
+                &[("State", "=", Other, "State"), ("TaxRate", "≠", Other, "TaxRate")],
+                // Exemptions are functions of marital status / children.
+                &[
+                    ("MaritalStatus", "=", Other, "MaritalStatus"),
+                    ("SingleExemption", "≠", Other, "SingleExemption"),
+                ],
+                &[
+                    ("HasChild", "=", Other, "HasChild"),
+                    ("ChildExemption", "≠", Other, "ChildExemption"),
+                ],
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_predicates::SpaceConfig;
+
+    #[test]
+    fn schema_has_fifteen_attributes() {
+        assert_eq!(TaxDataset.schema().arity(), 15);
+    }
+
+    #[test]
+    fn all_nine_golden_dcs_resolve() {
+        let r = TaxDataset.generate(100, 3);
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        assert_eq!(TaxDataset.golden_dcs(&space).len(), 9);
+    }
+
+    #[test]
+    fn tax_is_monotone_in_salary_within_each_state() {
+        let r = TaxDataset.generate(200, 1);
+        let schema = TaxDataset.schema();
+        let state = schema.index_of("State").unwrap();
+        let salary = schema.index_of("Salary").unwrap();
+        let tax = schema.index_of("Tax").unwrap();
+        for a in 0..r.len() {
+            for b in 0..r.len() {
+                if r.value(a, state).sem_eq(&r.value(b, state)) {
+                    let (sa, sb) = (r.value(a, salary), r.value(b, salary));
+                    let (ta, tb) = (r.value(a, tax), r.value(b, tax));
+                    if sa.as_i64().unwrap() > sb.as_i64().unwrap() {
+                        assert!(ta.as_i64().unwrap() >= tb.as_i64().unwrap());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zip_codes_do_not_cross_states() {
+        let r = TaxDataset.generate(300, 2);
+        let schema = TaxDataset.schema();
+        let state = schema.index_of("State").unwrap();
+        let zip = schema.index_of("Zip").unwrap();
+        use std::collections::HashMap;
+        let mut zip_state: HashMap<i64, Value> = HashMap::new();
+        for row in 0..r.len() {
+            let z = r.value(row, zip).as_i64().unwrap();
+            let s = r.value(row, state);
+            if let Some(prev) = zip_state.get(&z) {
+                assert!(prev.sem_eq(&s), "zip {z} in two states");
+            } else {
+                zip_state.insert(z, s);
+            }
+        }
+    }
+}

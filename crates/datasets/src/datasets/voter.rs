@@ -1,0 +1,186 @@
+//! Synthetic analog of the **NCVoter** dataset (950 K tuples, 25 attributes,
+//! 12 golden DCs). One row per registered voter; address and demographic
+//! attributes obey the usual geographic and age/birth-year consistency rules.
+
+use crate::generator::{pick, pools, resolve_dcs, DatasetGenerator};
+use adc_core::DenialConstraint;
+use adc_data::{AttributeType, Relation, Schema, Value};
+use adc_predicates::{PredicateSpace, TupleRole};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator for the NCVoter analog.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VoterDataset;
+
+/// Reference year used to derive `BirthYear` from `Age`.
+const REFERENCE_YEAR: i64 = 2020;
+
+impl DatasetGenerator for VoterDataset {
+    fn name(&self) -> &'static str {
+        "Voter"
+    }
+
+    fn schema(&self) -> Schema {
+        Schema::of(&[
+            ("VoterID", AttributeType::Integer),
+            ("FirstName", AttributeType::Text),
+            ("MiddleName", AttributeType::Text),
+            ("LastName", AttributeType::Text),
+            ("Age", AttributeType::Integer),
+            ("BirthYear", AttributeType::Integer),
+            ("Gender", AttributeType::Text),
+            ("RegYear", AttributeType::Integer),
+            ("Party", AttributeType::Text),
+            ("Status", AttributeType::Text),
+            ("County", AttributeType::Text),
+            ("City", AttributeType::Text),
+            ("State", AttributeType::Text),
+            ("Zip", AttributeType::Integer),
+            ("AreaCode", AttributeType::Integer),
+            ("Phone", AttributeType::Integer),
+            ("Street", AttributeType::Text),
+            ("HouseNumber", AttributeType::Integer),
+            ("Precinct", AttributeType::Integer),
+            ("District", AttributeType::Integer),
+            ("Ward", AttributeType::Integer),
+            ("Ethnicity", AttributeType::Text),
+            ("MailCity", AttributeType::Text),
+            ("MailState", AttributeType::Text),
+            ("MailZip", AttributeType::Integer),
+        ])
+    }
+
+    fn default_rows(&self) -> usize {
+        2_000
+    }
+
+    fn paper_rows(&self) -> usize {
+        950_000
+    }
+
+    fn paper_golden_dcs(&self) -> usize {
+        12
+    }
+
+    fn generate(&self, rows: usize, seed: u64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = Relation::builder(self.schema());
+        let statuses = ["Active", "Inactive", "Removed"];
+        let ethnicities = ["NL", "HL", "UN"];
+        let streets = ["Main St", "Oak Ave", "Pine Rd", "Maple Dr", "Cedar Ln"];
+        for i in 0..rows {
+            let state_idx = rng.gen_range(0..pools::STATES.len());
+            let city_sel = rng.gen_range(0..2usize);
+            let city_idx = state_idx * 2 + city_sel;
+            let age = rng.gen_range(18..=95i64);
+            let zip = pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + rng.gen_range(0..800);
+            let area_code = pools::state_area_code(state_idx);
+            // Precinct / district / ward are county-scoped identifiers.
+            let precinct = (city_idx as i64) * 100 + rng.gen_range(0..100);
+            b.push_row(vec![
+                Value::Int(i as i64),
+                Value::from(*pick(&mut rng, &pools::FIRST_NAMES)),
+                Value::from(if rng.gen_bool(0.3) { "J" } else { "M" }),
+                Value::from(*pick(&mut rng, &pools::LAST_NAMES)),
+                Value::Int(age),
+                Value::Int(REFERENCE_YEAR - age),
+                Value::from(if rng.gen_bool(0.5) { "F" } else { "M" }),
+                Value::Int(REFERENCE_YEAR - rng.gen_range(0..=age.min(40))),
+                Value::from(*pick(&mut rng, &pools::PARTIES)),
+                Value::from(statuses[rng.gen_range(0..statuses.len())]),
+                Value::from(pools::COUNTIES[city_idx]),
+                Value::from(pools::CITIES[city_idx]),
+                Value::from(pools::STATES[state_idx]),
+                Value::Int(zip),
+                Value::Int(area_code),
+                Value::Int(area_code * 10_000_000 + i as i64),
+                Value::from(streets[rng.gen_range(0..streets.len())]),
+                Value::Int(rng.gen_range(1..9_999)),
+                Value::Int(precinct),
+                Value::Int(1 + (precinct % 13)),
+                Value::Int(1 + (precinct % 9)),
+                Value::from(ethnicities[rng.gen_range(0..ethnicities.len())]),
+                Value::from(pools::CITIES[city_idx]),
+                Value::from(pools::STATES[state_idx]),
+                Value::Int(zip),
+            ])
+            .expect("voter rows are well typed");
+        }
+        b.build()
+    }
+
+    fn golden_dcs(&self, space: &PredicateSpace) -> Vec<DenialConstraint> {
+        use TupleRole::Other;
+        resolve_dcs(
+            space,
+            &[
+                // The voter id is a key.
+                &[("VoterID", "=", Other, "VoterID")],
+                // Residential geography is consistent.
+                &[("Zip", "=", Other, "Zip"), ("State", "≠", Other, "State")],
+                &[("Zip", "=", Other, "Zip"), ("City", "≠", Other, "City")],
+                &[("Zip", "=", Other, "Zip"), ("County", "≠", Other, "County")],
+                &[("City", "=", Other, "City"), ("County", "≠", Other, "County")],
+                &[("County", "=", Other, "County"), ("State", "≠", Other, "State")],
+                // Age and birth year are consistent.
+                &[("Age", "<", Other, "Age"), ("BirthYear", "<", Other, "BirthYear")],
+                &[("Age", "=", Other, "Age"), ("BirthYear", "≠", Other, "BirthYear")],
+                // Phone numbers embed state-scoped area codes.
+                &[("AreaCode", "=", Other, "AreaCode"), ("State", "≠", Other, "State")],
+                &[("Phone", "=", Other, "Phone"), ("AreaCode", "≠", Other, "AreaCode")],
+                // Precincts are county-scoped; mailing geography is consistent.
+                &[("Precinct", "=", Other, "Precinct"), ("County", "≠", Other, "County")],
+                &[("MailZip", "=", Other, "MailZip"), ("MailState", "≠", Other, "MailState")],
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_predicates::SpaceConfig;
+
+    #[test]
+    fn schema_has_twenty_five_attributes() {
+        assert_eq!(VoterDataset.schema().arity(), 25);
+    }
+
+    #[test]
+    fn all_twelve_golden_dcs_resolve() {
+        let r = VoterDataset.generate(120, 3);
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        assert_eq!(VoterDataset.golden_dcs(&space).len(), 12);
+    }
+
+    #[test]
+    fn registration_is_not_before_birth() {
+        let r = VoterDataset.generate(200, 6);
+        let schema = VoterDataset.schema();
+        let by = schema.index_of("BirthYear").unwrap();
+        let reg = schema.index_of("RegYear").unwrap();
+        for row in 0..r.len() {
+            assert!(r.value(row, reg).as_i64().unwrap() >= r.value(row, by).as_i64().unwrap());
+        }
+    }
+
+    #[test]
+    fn precinct_is_county_scoped() {
+        let r = VoterDataset.generate(250, 8);
+        let schema = VoterDataset.schema();
+        let precinct = schema.index_of("Precinct").unwrap();
+        let county = schema.index_of("County").unwrap();
+        use std::collections::HashMap;
+        let mut map: HashMap<i64, String> = HashMap::new();
+        for row in 0..r.len() {
+            let p = r.value(row, precinct).as_i64().unwrap();
+            let c = r.value(row, county).to_string();
+            if let Some(prev) = map.get(&p) {
+                assert_eq!(prev, &c);
+            } else {
+                map.insert(p, c);
+            }
+        }
+    }
+}

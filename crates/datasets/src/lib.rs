@@ -1,0 +1,29 @@
+//! # adc-datasets
+//!
+//! Synthetic analogs of the eight datasets used in the evaluation of
+//! *"Approximate Denial Constraints"* (VLDB 2020), plus the paper's running
+//! example (Table 1), golden DCs, and the two noise models of Section 8.4.
+//!
+//! The original files (Tax, SP Stock, Hospital, Food Inspection, Airport,
+//! Adult, Flight, NCVoter) are not redistributable, so each module here
+//! generates a relation with the same schema shape (attribute count and type
+//! mix), the same kinds of semantic rules (the *golden DCs* the paper's
+//! experts provided), and configurable cardinality. Every golden DC holds on
+//! the clean generated data **by construction**; the noise injectors then
+//! produce the "dirty" variants the qualitative analysis of the paper uses.
+//!
+//! See `DESIGN.md` at the workspace root for the substitution rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod datasets;
+pub mod generator;
+pub mod noise;
+pub mod running_example;
+
+pub use catalog::Dataset;
+pub use generator::DatasetGenerator;
+pub use noise::{skewed_noise, spread_noise, NoiseConfig};
+pub use running_example::{phi1, phi2, running_example};

@@ -1,0 +1,287 @@
+//! Noise injection (Section 8.4 of the paper).
+//!
+//! The qualitative analysis dirties each dataset in two ways:
+//!
+//! * **Spread noise** — every *cell* is modified independently with
+//!   probability `p` (0.001 in the paper); a modified cell takes, with equal
+//!   probability, either a random value from the active domain of its column
+//!   or a "typo" (a perturbed version of the original value).
+//! * **Skewed (concentrated) noise** — only a `p` fraction of the *tuples*
+//!   are touched, but the errors are concentrated inside those tuples.
+//!
+//! Both injectors are deterministic given a seed and report which cells they
+//! changed, so tests can verify the error budget precisely.
+
+use adc_data::{Column, Relation, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Noise-injection parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseConfig {
+    /// Cell (spread) or tuple (skewed) modification probability.
+    pub rate: f64,
+    /// Probability that a modified cell receives an active-domain value
+    /// (otherwise it receives a typo). The paper uses 0.5.
+    pub active_domain_probability: f64,
+    /// Probability that a cell inside a noisy tuple is modified (skewed noise
+    /// only). Values close to 1 concentrate many errors in few tuples.
+    pub cell_probability_within_tuple: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            rate: 0.001,
+            active_domain_probability: 0.5,
+            cell_probability_within_tuple: 0.5,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// A configuration with the given modification rate and paper defaults
+    /// for everything else.
+    pub fn with_rate(rate: f64) -> Self {
+        NoiseConfig { rate, ..Default::default() }
+    }
+}
+
+/// A record of one modified cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoisyCell {
+    /// Row of the modified cell.
+    pub row: usize,
+    /// Column of the modified cell.
+    pub col: usize,
+    /// The value before modification.
+    pub original: Value,
+}
+
+/// Apply *spread* noise: each cell is modified independently with probability
+/// `config.rate`. Returns the dirty relation and the list of modified cells.
+pub fn spread_noise(relation: &Relation, config: &NoiseConfig, seed: u64) -> (Relation, Vec<NoisyCell>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dirty = relation.clone();
+    let mut changed = Vec::new();
+    for row in 0..relation.len() {
+        for col in 0..relation.arity() {
+            if rng.gen_bool(config.rate.clamp(0.0, 1.0)) {
+                corrupt_cell(&mut dirty, relation, row, col, config, &mut rng, &mut changed);
+            }
+        }
+    }
+    (dirty, changed)
+}
+
+/// Apply *skewed* (error-concentrated) noise: a `config.rate` fraction of the
+/// tuples is selected (at least one when the rate is positive), and cells
+/// inside those tuples are modified with probability
+/// `config.cell_probability_within_tuple`.
+pub fn skewed_noise(relation: &Relation, config: &NoiseConfig, seed: u64) -> (Relation, Vec<NoisyCell>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dirty = relation.clone();
+    let mut changed = Vec::new();
+    let n = relation.len();
+    let mut num_tuples = (n as f64 * config.rate).round() as usize;
+    if num_tuples == 0 && config.rate > 0.0 && n > 0 {
+        num_tuples = 1;
+    }
+    let noisy_rows = adc_data::sample::sample_indices(n, num_tuples, rng.gen());
+    for &row in &noisy_rows {
+        let mut touched_any = false;
+        for col in 0..relation.arity() {
+            if rng.gen_bool(config.cell_probability_within_tuple.clamp(0.0, 1.0)) {
+                corrupt_cell(&mut dirty, relation, row, col, config, &mut rng, &mut changed);
+                touched_any = true;
+            }
+        }
+        if !touched_any && relation.arity() > 0 {
+            // Guarantee that every selected tuple is actually dirty.
+            let col = rng.gen_range(0..relation.arity());
+            corrupt_cell(&mut dirty, relation, row, col, config, &mut rng, &mut changed);
+        }
+    }
+    (dirty, changed)
+}
+
+fn corrupt_cell(
+    dirty: &mut Relation,
+    original: &Relation,
+    row: usize,
+    col: usize,
+    config: &NoiseConfig,
+    rng: &mut StdRng,
+    changed: &mut Vec<NoisyCell>,
+) {
+    let old = original.value(row, col);
+    let new = if rng.gen_bool(config.active_domain_probability.clamp(0.0, 1.0)) {
+        active_domain_value(original.column(col), rng)
+    } else {
+        typo(&old, rng)
+    };
+    if dirty.set_value(row, col, new).is_ok() {
+        changed.push(NoisyCell { row, col, original: old });
+    }
+}
+
+/// Draw a random value from the active domain (the non-null values that
+/// already appear in the column).
+fn active_domain_value(column: &Column, rng: &mut StdRng) -> Value {
+    let n = column.len();
+    for _ in 0..16 {
+        let row = rng.gen_range(0..n.max(1));
+        if n > 0 && !column.is_null(row) {
+            return column.value(row);
+        }
+    }
+    Value::Null
+}
+
+/// Produce a "typo" version of a value: numeric values are perturbed by a
+/// small relative amount, strings get one character substituted or appended.
+fn typo(value: &Value, rng: &mut StdRng) -> Value {
+    match value {
+        Value::Int(i) => {
+            let delta = rng.gen_range(1..=9) * 10i64.pow(rng.gen_range(0..3));
+            Value::Int(if rng.gen_bool(0.5) { i + delta } else { i - delta })
+        }
+        Value::Float(f) => {
+            let factor = 1.0 + rng.gen_range(-0.3..0.3);
+            Value::Float(f * factor + 1.0)
+        }
+        Value::Str(s) => {
+            let mut chars: Vec<char> = s.chars().collect();
+            let replacement = (b'a' + rng.gen_range(0..26)) as char;
+            if chars.is_empty() || rng.gen_bool(0.3) {
+                chars.push(replacement);
+            } else {
+                let idx = rng.gen_range(0..chars.len());
+                chars[idx] = replacement;
+            }
+            Value::Str(chars.into_iter().collect())
+        }
+        Value::Null => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_data::{AttributeType, Schema};
+
+    fn relation(rows: usize) -> Relation {
+        let schema = Schema::of(&[
+            ("State", AttributeType::Text),
+            ("Income", AttributeType::Integer),
+            ("Rate", AttributeType::Float),
+        ]);
+        let mut b = Relation::builder(schema);
+        for i in 0..rows {
+            b.push_row(vec![
+                Value::from(if i % 2 == 0 { "NY" } else { "WA" }),
+                Value::Int(1_000 + i as i64),
+                Value::Float(0.1 * (i % 7) as f64),
+            ])
+            .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn spread_noise_changes_roughly_rate_fraction_of_cells() {
+        let r = relation(500);
+        let cfg = NoiseConfig::with_rate(0.05);
+        let (dirty, changed) = spread_noise(&r, &cfg, 42);
+        let total_cells = (r.len() * r.arity()) as f64;
+        let observed = changed.len() as f64 / total_cells;
+        assert!((observed - 0.05).abs() < 0.03, "observed noise rate {observed}");
+        assert_eq!(dirty.len(), r.len());
+        // Changed cells are recorded with their original values.
+        for cell in changed.iter().take(20) {
+            assert_eq!(cell.original, r.value(cell.row, cell.col));
+        }
+    }
+
+    #[test]
+    fn spread_noise_is_deterministic_per_seed() {
+        let r = relation(100);
+        let cfg = NoiseConfig::with_rate(0.05);
+        let (_, a) = spread_noise(&r, &cfg, 7);
+        let (_, b) = spread_noise(&r, &cfg, 7);
+        let (_, c) = spread_noise(&r, &cfg, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_rate_changes_nothing() {
+        let r = relation(50);
+        let cfg = NoiseConfig::with_rate(0.0);
+        let (dirty, changed) = spread_noise(&r, &cfg, 1);
+        assert!(changed.is_empty());
+        for row in 0..r.len() {
+            for col in 0..r.arity() {
+                assert!(dirty.value(row, col).sem_eq(&r.value(row, col)));
+            }
+        }
+        let (_, changed_skewed) = skewed_noise(&r, &cfg, 1);
+        assert!(changed_skewed.is_empty());
+    }
+
+    #[test]
+    fn skewed_noise_touches_few_tuples_but_many_of_their_cells() {
+        let r = relation(400);
+        let cfg = NoiseConfig::with_rate(0.01);
+        let (_, changed) = skewed_noise(&r, &cfg, 9);
+        assert!(!changed.is_empty());
+        let mut rows: Vec<usize> = changed.iter().map(|c| c.row).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        // ~1% of 400 tuples = ~4 tuples.
+        assert!(rows.len() <= 8, "too many tuples touched: {}", rows.len());
+        // Errors are concentrated: more changed cells than changed tuples.
+        assert!(changed.len() >= rows.len());
+    }
+
+    #[test]
+    fn skewed_noise_touches_at_least_one_tuple_for_positive_rate() {
+        let r = relation(50);
+        let cfg = NoiseConfig::with_rate(0.001);
+        let (_, changed) = skewed_noise(&r, &cfg, 3);
+        assert!(!changed.is_empty());
+    }
+
+    #[test]
+    fn typo_preserves_type() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            assert!(matches!(typo(&Value::Int(42), &mut rng), Value::Int(_)));
+            assert!(matches!(typo(&Value::Float(1.5), &mut rng), Value::Float(_)));
+            assert!(matches!(typo(&Value::from("NY"), &mut rng), Value::Str(_)));
+            assert!(matches!(typo(&Value::Null, &mut rng), Value::Null));
+        }
+    }
+
+    #[test]
+    fn typo_usually_differs_from_original() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut differing = 0;
+        for _ in 0..100 {
+            if typo(&Value::from("Seattle"), &mut rng) != Value::from("Seattle") {
+                differing += 1;
+            }
+        }
+        assert!(differing > 80);
+    }
+
+    #[test]
+    fn active_domain_values_come_from_the_column() {
+        let r = relation(20);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let v = active_domain_value(r.column(0), &mut rng);
+            assert!(v == Value::from("NY") || v == Value::from("WA"));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! The paper's running example (Table 1) and the two DCs of Example 1.2.
+
+use adc_core::DenialConstraint;
+use adc_data::{AttributeType, Relation, Schema, Value};
+use adc_predicates::{PredicateSpace, TupleRole};
+
+/// Build the 15-tuple relation of Table 1 of the paper
+/// (Name, State, Zip, Income, Tax).
+pub fn running_example() -> Relation {
+    let schema = Schema::of(&[
+        ("Name", AttributeType::Text),
+        ("State", AttributeType::Text),
+        ("Zip", AttributeType::Integer),
+        ("Income", AttributeType::Integer),
+        ("Tax", AttributeType::Integer),
+    ]);
+    let rows: [(&str, &str, i64, i64, i64); 15] = [
+        ("Alice", "NY", 11803, 28_000, 2_400),
+        ("Mark", "NY", 10102, 42_000, 4_700),
+        ("Bob", "NY", 13914, 93_000, 11_800),
+        ("Mary", "NY", 10437, 58_000, 6_700),
+        ("Alice", "NY", 10437, 26_000, 2_100),
+        ("Julia", "WA", 98112, 27_000, 1_400),
+        ("Jimmy", "WA", 98112, 24_000, 1_600),
+        ("Sam", "WA", 98112, 49_000, 6_800),
+        ("Jeff", "WA", 98112, 56_000, 7_800),
+        ("Gary", "WA", 98112, 50_000, 7_200),
+        ("Ron", "WA", 98112, 58_000, 8_000),
+        ("Jennifer", "WA", 98112, 61_000, 8_500),
+        ("Adam", "WA", 98112, 20_000, 1_000),
+        ("Tim", "IL", 62078, 39_000, 5_000),
+        ("Sarah", "IL", 98112, 54_000, 5_000),
+    ];
+    let mut b = Relation::builder(schema);
+    for (n, s, z, i, t) in rows {
+        b.push_row(vec![n.into(), s.into(), Value::Int(z), Value::Int(i), Value::Int(t)])
+            .expect("running example rows are well typed");
+    }
+    b.build()
+}
+
+/// ϕ₁ of Example 1.1/1.2: `¬(State = State' ∧ Income > Income' ∧ Tax ≤ Tax')`
+/// — within a state, a higher income implies a higher tax payment.
+///
+/// # Panics
+/// Panics if `space` was not built over the running example's schema.
+pub fn phi1(space: &PredicateSpace) -> DenialConstraint {
+    DenialConstraint::new(vec![
+        space.find("State", "=", TupleRole::Other, "State").expect("State = predicate"),
+        space.find("Income", ">", TupleRole::Other, "Income").expect("Income > predicate"),
+        space.find("Tax", "≤", TupleRole::Other, "Tax").expect("Tax ≤ predicate"),
+    ])
+}
+
+/// ϕ₂ of Example 1.2: `¬(Zip = Zip' ∧ State ≠ State')` — the same zip code
+/// cannot appear in two different states.
+///
+/// # Panics
+/// Panics if `space` was not built over the running example's schema.
+pub fn phi2(space: &PredicateSpace) -> DenialConstraint {
+    DenialConstraint::new(vec![
+        space.find("Zip", "=", TupleRole::Other, "Zip").expect("Zip = predicate"),
+        space.find("State", "≠", TupleRole::Other, "State").expect("State ≠ predicate"),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_predicates::SpaceConfig;
+
+    #[test]
+    fn table_1_shape() {
+        let r = running_example();
+        assert_eq!(r.len(), 15);
+        assert_eq!(r.arity(), 5);
+        assert_eq!(r.ordered_pair_count(), 210);
+        assert_eq!(r.value(5, 0), Value::from("Julia"));
+        assert_eq!(r.value(14, 2), Value::Int(98112));
+    }
+
+    #[test]
+    fn example_1_2_violation_counts() {
+        let r = running_example();
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        // ϕ₁: exactly 2 of 210 ordered pairs violate ((t6,t7) and (t14,t15)).
+        assert_eq!(phi1(&space).count_violations(&space, &r), 2);
+        // ϕ₂: 16 of 210 ordered pairs violate (t15 against each of t6..t13, both orders).
+        assert_eq!(phi2(&space).count_violations(&space, &r), 16);
+    }
+
+    #[test]
+    fn example_dcs_are_not_exact() {
+        let r = running_example();
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        assert!(!phi1(&space).is_valid(&space, &r));
+        assert!(!phi2(&space).is_valid(&space, &r));
+    }
+}

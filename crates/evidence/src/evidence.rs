@@ -1,0 +1,265 @@
+//! The interned evidence multiset `Evi(D)`.
+
+use adc_data::fx::FxHashMap;
+use adc_data::FixedBitSet;
+
+/// One distinct evidence set together with its multiplicity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvidenceEntry {
+    /// The set of predicate ids satisfied by every pair counted in `count`.
+    pub set: FixedBitSet,
+    /// Number of ordered tuple pairs whose satisfied-predicate set equals `set`.
+    pub count: u64,
+}
+
+/// The evidence set `Evi(D)` with bag semantics, stored interned: every
+/// distinct predicate set appears once along with its multiplicity
+/// (exactly the representation the paper prescribes in Section 3).
+#[derive(Debug, Clone, Default)]
+pub struct EvidenceSet {
+    entries: Vec<EvidenceEntry>,
+    total_pairs: u64,
+    num_tuples: usize,
+    num_predicates: usize,
+}
+
+impl EvidenceSet {
+    /// Create an empty evidence set for a space of `num_predicates` predicates
+    /// over a relation of `num_tuples` tuples.
+    pub fn new(num_predicates: usize, num_tuples: usize) -> Self {
+        EvidenceSet { entries: Vec::new(), total_pairs: 0, num_tuples, num_predicates }
+    }
+
+    /// Number of distinct evidence sets (the paper's `n`, which drives the
+    /// per-iteration cost of the enumeration algorithms).
+    pub fn distinct_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total multiplicity, i.e. the number of ordered tuple pairs `n·(n−1)`.
+    pub fn total_pairs(&self) -> u64 {
+        self.total_pairs
+    }
+
+    /// Number of tuples of the underlying relation.
+    pub fn num_tuples(&self) -> usize {
+        self.num_tuples
+    }
+
+    /// Number of predicates in the underlying predicate space.
+    pub fn num_predicates(&self) -> usize {
+        self.num_predicates
+    }
+
+    /// The distinct entries.
+    pub fn entries(&self) -> &[EvidenceEntry] {
+        &self.entries
+    }
+
+    /// Entry at index `idx`.
+    pub fn entry(&self, idx: usize) -> &EvidenceEntry {
+        &self.entries[idx]
+    }
+
+    /// Sum of `|set| · count` over all entries — the paper's `‖M‖` bound that
+    /// governs MMCS per-iteration complexity.
+    pub fn total_size(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| e.set.len() as u64 * e.count)
+            .sum()
+    }
+
+    /// Number of ordered pairs **violating** the DC whose complement set is
+    /// `hitting_set`: the total multiplicity of entries disjoint from it.
+    pub fn violation_count(&self, hitting_set: &FixedBitSet) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| !e.set.intersects(hitting_set))
+            .map(|e| e.count)
+            .sum()
+    }
+
+    /// Number of ordered pairs **satisfying** the DC whose complement set is
+    /// `hitting_set`.
+    pub fn satisfaction_count(&self, hitting_set: &FixedBitSet) -> u64 {
+        self.total_pairs - self.violation_count(hitting_set)
+    }
+
+    /// Indexes of the entries disjoint from `hitting_set` (the "uncovered"
+    /// evidence sets, i.e. the violating pair classes).
+    pub fn uncovered_indexes(&self, hitting_set: &FixedBitSet) -> Vec<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.set.intersects(hitting_set))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// `true` if `hitting_set` intersects every evidence set (the
+    /// corresponding DC is exactly valid).
+    pub fn is_hitting_set(&self, hitting_set: &FixedBitSet) -> bool {
+        self.entries.iter().all(|e| e.set.intersects(hitting_set))
+    }
+
+    /// Fraction of ordered pairs violating the DC with complement set
+    /// `hitting_set` (`1 − f1` in the paper's notation). Zero for an empty
+    /// relation.
+    pub fn violation_fraction(&self, hitting_set: &FixedBitSet) -> f64 {
+        if self.total_pairs == 0 {
+            0.0
+        } else {
+            self.violation_count(hitting_set) as f64 / self.total_pairs as f64
+        }
+    }
+}
+
+/// Incremental interner used by the builders.
+#[derive(Debug, Default)]
+pub struct EvidenceAccumulator {
+    index: FxHashMap<FixedBitSet, usize>,
+    set: EvidenceSet,
+}
+
+impl EvidenceAccumulator {
+    /// Create an accumulator for a predicate space of `num_predicates`
+    /// predicates and a relation of `num_tuples` tuples.
+    pub fn new(num_predicates: usize, num_tuples: usize) -> Self {
+        EvidenceAccumulator {
+            index: FxHashMap::default(),
+            set: EvidenceSet::new(num_predicates, num_tuples),
+        }
+    }
+
+    /// Record one ordered pair with the given satisfied-predicate set and
+    /// return the index of its (possibly newly created) entry.
+    pub fn add(&mut self, satisfied: FixedBitSet) -> usize {
+        self.set.total_pairs += 1;
+        match self.index.get(&satisfied) {
+            Some(&idx) => {
+                self.set.entries[idx].count += 1;
+                idx
+            }
+            None => {
+                let idx = self.set.entries.len();
+                self.index.insert(satisfied.clone(), idx);
+                self.set.entries.push(EvidenceEntry { set: satisfied, count: 1 });
+                idx
+            }
+        }
+    }
+
+    /// Record `count` pairs sharing the same satisfied-predicate set.
+    pub fn add_many(&mut self, satisfied: FixedBitSet, count: u64) -> usize {
+        if count == 0 {
+            return self.add_lookup_only(satisfied);
+        }
+        let idx = self.add(satisfied);
+        self.set.entries[idx].count += count - 1;
+        self.set.total_pairs += count - 1;
+        idx
+    }
+
+    fn add_lookup_only(&mut self, satisfied: FixedBitSet) -> usize {
+        match self.index.get(&satisfied) {
+            Some(&idx) => idx,
+            None => {
+                let idx = self.set.entries.len();
+                self.index.insert(satisfied.clone(), idx);
+                self.set.entries.push(EvidenceEntry { set: satisfied, count: 0 });
+                idx
+            }
+        }
+    }
+
+    /// Finish and return the interned evidence set.
+    pub fn finish(self) -> EvidenceSet {
+        self.set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(cap: usize, bits: &[usize]) -> FixedBitSet {
+        FixedBitSet::from_indices(cap, bits.iter().copied())
+    }
+
+    #[test]
+    fn interning_merges_equal_sets() {
+        let mut acc = EvidenceAccumulator::new(8, 3);
+        let a = acc.add(bs(8, &[0, 1]));
+        let b = acc.add(bs(8, &[0, 1]));
+        let c = acc.add(bs(8, &[2]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let e = acc.finish();
+        assert_eq!(e.distinct_count(), 2);
+        assert_eq!(e.total_pairs(), 3);
+        assert_eq!(e.entry(0).count, 2);
+        assert_eq!(e.entry(1).count, 1);
+        assert_eq!(e.num_predicates(), 8);
+        assert_eq!(e.num_tuples(), 3);
+    }
+
+    #[test]
+    fn add_many_counts_correctly() {
+        let mut acc = EvidenceAccumulator::new(4, 10);
+        acc.add_many(bs(4, &[1]), 5);
+        acc.add_many(bs(4, &[1]), 2);
+        acc.add_many(bs(4, &[2]), 0);
+        let e = acc.finish();
+        assert_eq!(e.total_pairs(), 7);
+        assert_eq!(e.distinct_count(), 2);
+        assert_eq!(e.entry(0).count, 7);
+        assert_eq!(e.entry(1).count, 0);
+    }
+
+    #[test]
+    fn violation_counting_against_hitting_sets() {
+        let mut acc = EvidenceAccumulator::new(6, 4);
+        acc.add_many(bs(6, &[0, 2]), 4);
+        acc.add_many(bs(6, &[1]), 3);
+        acc.add_many(bs(6, &[3, 4]), 5);
+        let e = acc.finish();
+        assert_eq!(e.total_pairs(), 12);
+
+        // Hitting set {0,1} misses only the {3,4} entry.
+        let h = bs(6, &[0, 1]);
+        assert_eq!(e.violation_count(&h), 5);
+        assert_eq!(e.satisfaction_count(&h), 7);
+        assert!((e.violation_fraction(&h) - 5.0 / 12.0).abs() < 1e-12);
+        assert_eq!(e.uncovered_indexes(&h), vec![2]);
+        assert!(!e.is_hitting_set(&h));
+
+        // Hitting set {2,1,4} hits everything.
+        let h2 = bs(6, &[1, 2, 4]);
+        assert_eq!(e.violation_count(&h2), 0);
+        assert!(e.is_hitting_set(&h2));
+
+        // Empty hitting set misses everything.
+        let h3 = bs(6, &[]);
+        assert_eq!(e.violation_count(&h3), 12);
+        assert_eq!(e.uncovered_indexes(&h3).len(), 3);
+    }
+
+    #[test]
+    fn total_size_sums_weighted_cardinality() {
+        let mut acc = EvidenceAccumulator::new(6, 3);
+        acc.add_many(bs(6, &[0, 2]), 4); // 2 * 4
+        acc.add_many(bs(6, &[1]), 3); // 1 * 3
+        let e = acc.finish();
+        assert_eq!(e.total_size(), 11);
+    }
+
+    #[test]
+    fn empty_evidence_set() {
+        let e = EvidenceSet::new(5, 0);
+        assert_eq!(e.distinct_count(), 0);
+        assert_eq!(e.total_pairs(), 0);
+        assert_eq!(e.violation_fraction(&bs(5, &[])), 0.0);
+        assert!(e.is_hitting_set(&bs(5, &[])));
+    }
+}

@@ -1,0 +1,66 @@
+//! # adc-evidence
+//!
+//! Evidence-set construction for denial constraint mining.
+//!
+//! The *evidence set* `Evi(D)` (Chu et al. 2013) is the multiset
+//! `{ Sat(t, t') | t, t' ∈ D, t ≠ t' }` where `Sat(t, t')` is the set of
+//! predicates satisfied by the ordered tuple pair. All (approximate) DC
+//! discovery in this workspace happens against the evidence set: a DC `ϕ` is
+//! valid iff the complement set `Ŝ_ϕ` intersects every evidence set, and the
+//! number of violating pairs of `ϕ` is the total multiplicity of evidence
+//! sets missed by `Ŝ_ϕ`.
+//!
+//! Two builders are provided:
+//!
+//! * [`NaiveEvidenceBuilder`] — the reference implementation (AFASTDC-style):
+//!   evaluates every predicate on every ordered pair through the dynamic
+//!   [`adc_predicates::Predicate::eval`] path.
+//! * [`ClusterEvidenceBuilder`] — the optimised builder in the spirit of
+//!   BFASTDC / DCFinder: per-column integer codes (PLI ranks / global
+//!   dictionary codes), per-structure-group bit masks, and word-level
+//!   assembly of each pair's evidence bitset.
+//!
+//! Both builders produce identical [`EvidenceSet`]s (tested by property
+//! tests); they differ only in construction time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod evidence;
+pub mod vios;
+
+pub use builder::{ClusterEvidenceBuilder, EvidenceBuilder, NaiveEvidenceBuilder};
+pub use evidence::{EvidenceEntry, EvidenceSet};
+pub use vios::Vios;
+
+use adc_data::Relation;
+use adc_predicates::PredicateSpace;
+
+/// Evidence data produced by a builder: the interned evidence set and,
+/// optionally, the per-tuple violation index (`vios`) needed by the `f2` and
+/// `f3` approximation functions.
+#[derive(Debug, Clone)]
+pub struct Evidence {
+    /// The interned evidence multiset.
+    pub evidence_set: EvidenceSet,
+    /// Per-evidence-entry, per-tuple pair counts (present when requested).
+    pub vios: Option<Vios>,
+}
+
+impl Evidence {
+    /// Build evidence with the default (optimised) builder, tracking `vios`.
+    pub fn build(relation: &Relation, space: &PredicateSpace) -> Evidence {
+        ClusterEvidenceBuilder::default().build(relation, space, true)
+    }
+
+    /// The `vios` index.
+    ///
+    /// # Panics
+    /// Panics if the evidence was built without `vios` tracking.
+    pub fn vios(&self) -> &Vios {
+        self.vios
+            .as_ref()
+            .expect("evidence was built without the vios index")
+    }
+}

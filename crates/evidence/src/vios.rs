@@ -1,0 +1,149 @@
+//! The `vios` index: per-evidence-entry, per-tuple violation counts.
+//!
+//! The greedy replacement for the `f3` approximation function (Figure 2 of
+//! the paper) needs, for every distinct evidence set `S` and tuple `t`, the
+//! number of ordered pairs with `Sat(t₁,t₂) = S` in which `t` participates.
+//! The `f2` function needs the set of tuples participating in each entry.
+//! Storing per-(entry, tuple) counts costs `O(distinct · tuples)` in the
+//! worst case but is tiny in practice because the number of distinct
+//! evidence sets is orders of magnitude smaller than the number of pairs
+//! (the paper makes the same observation in Section 5).
+
+use adc_data::fx::FxHashMap;
+
+/// Per-evidence-entry, per-tuple pair-participation counts.
+#[derive(Debug, Clone, Default)]
+pub struct Vios {
+    /// `per_entry[e][t]` = number of ordered pairs with evidence entry `e`
+    /// in which tuple `t` participates (as either element of the pair).
+    per_entry: Vec<FxHashMap<u32, u32>>,
+    num_tuples: usize,
+}
+
+impl Vios {
+    /// Create an empty index for `num_entries` evidence entries over
+    /// `num_tuples` tuples.
+    pub fn new(num_entries: usize, num_tuples: usize) -> Self {
+        Vios { per_entry: vec![FxHashMap::default(); num_entries], num_tuples }
+    }
+
+    /// Record the ordered pair `(t, t_prime)` as having evidence entry `entry`.
+    pub fn record_pair(&mut self, entry: usize, t: u32, t_prime: u32) {
+        if entry >= self.per_entry.len() {
+            self.per_entry.resize(entry + 1, FxHashMap::default());
+        }
+        let m = &mut self.per_entry[entry];
+        *m.entry(t).or_insert(0) += 1;
+        *m.entry(t_prime).or_insert(0) += 1;
+    }
+
+    /// Number of evidence entries tracked.
+    pub fn num_entries(&self) -> usize {
+        self.per_entry.len()
+    }
+
+    /// Number of tuples of the underlying relation.
+    pub fn num_tuples(&self) -> usize {
+        self.num_tuples
+    }
+
+    /// Tuples participating in at least one pair of entry `entry`, with their
+    /// participation counts.
+    pub fn entry_tuples(&self, entry: usize) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.per_entry[entry].iter().map(|(&t, &c)| (t, c))
+    }
+
+    /// Participation count of tuple `t` in entry `entry`.
+    pub fn count(&self, entry: usize, t: u32) -> u32 {
+        self.per_entry
+            .get(entry)
+            .and_then(|m| m.get(&t).copied())
+            .unwrap_or(0)
+    }
+
+    /// Accumulate, over the given entries, the per-tuple participation counts
+    /// (the `v(t)` values computed by `SortTuples` in Figure 2 of the paper).
+    pub fn accumulate_counts(&self, entries: &[usize]) -> FxHashMap<u32, u64> {
+        let mut counts: FxHashMap<u32, u64> = FxHashMap::default();
+        for &e in entries {
+            for (&t, &c) in &self.per_entry[e] {
+                *counts.entry(t).or_insert(0) += c as u64;
+            }
+        }
+        counts
+    }
+
+    /// Number of distinct tuples participating in at least one pair of the
+    /// given entries (used by the `f2` approximation function).
+    pub fn distinct_tuples(&self, entries: &[usize]) -> usize {
+        use adc_data::fx::FxHashSet;
+        let mut tuples: FxHashSet<u32> = FxHashSet::default();
+        for &e in entries {
+            tuples.extend(self.per_entry[e].keys().copied());
+        }
+        tuples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut v = Vios::new(2, 4);
+        v.record_pair(0, 0, 1);
+        v.record_pair(0, 1, 2);
+        v.record_pair(1, 3, 0);
+        assert_eq!(v.count(0, 1), 2);
+        assert_eq!(v.count(0, 0), 1);
+        assert_eq!(v.count(0, 3), 0);
+        assert_eq!(v.count(1, 3), 1);
+        assert_eq!(v.num_entries(), 2);
+        assert_eq!(v.num_tuples(), 4);
+    }
+
+    #[test]
+    fn entry_growth_on_demand() {
+        let mut v = Vios::new(0, 2);
+        v.record_pair(3, 0, 1);
+        assert_eq!(v.num_entries(), 4);
+        assert_eq!(v.count(3, 0), 1);
+        assert_eq!(v.count(2, 0), 0);
+    }
+
+    #[test]
+    fn accumulate_counts_over_entries() {
+        let mut v = Vios::new(3, 5);
+        v.record_pair(0, 0, 1);
+        v.record_pair(1, 0, 2);
+        v.record_pair(2, 3, 4);
+        let counts = v.accumulate_counts(&[0, 1]);
+        assert_eq!(counts.get(&0).copied(), Some(2));
+        assert_eq!(counts.get(&1).copied(), Some(1));
+        assert_eq!(counts.get(&2).copied(), Some(1));
+        assert_eq!(counts.get(&3), None);
+    }
+
+    #[test]
+    fn distinct_tuples_over_entries() {
+        let mut v = Vios::new(3, 6);
+        v.record_pair(0, 0, 1);
+        v.record_pair(1, 1, 2);
+        v.record_pair(2, 4, 5);
+        assert_eq!(v.distinct_tuples(&[0, 1]), 3);
+        assert_eq!(v.distinct_tuples(&[2]), 2);
+        assert_eq!(v.distinct_tuples(&[]), 0);
+        assert_eq!(v.distinct_tuples(&[0, 1, 2]), 5);
+    }
+
+    #[test]
+    fn entry_tuples_iteration() {
+        let mut v = Vios::new(1, 3);
+        v.record_pair(0, 0, 1);
+        v.record_pair(0, 0, 2);
+        let mut pairs: Vec<(u32, u32)> = v.entry_tuples(0).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 2), (1, 1), (2, 1)]);
+    }
+}

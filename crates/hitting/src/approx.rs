@@ -1,0 +1,631 @@
+//! Approximate minimal hitting-set enumeration — the generic core of
+//! `ADCEnum` (Figures 4 and 5 of the VLDB 2020 ADC paper).
+//!
+//! Compared to MMCS, three things change:
+//!
+//! 1. **Base case.** A partial solution is emitted as soon as
+//!    `1 − f(S) ≤ ε` *and* removing any single element breaks that bound
+//!    (the explicit `IsMinimal` check — criticality alone no longer implies
+//!    minimality because an approximate hitting set may leave subsets
+//!    uncovered).
+//! 2. **A second branch per step** that *does not* hit the chosen subset
+//!    `F`. To keep the recursion finite, every subset that can no longer be
+//!    hit by the remaining candidates is marked `canHit = false`
+//!    (`UpdateCanCover`) and is never selected again; the branch is only
+//!    explored if adding the whole candidate list would reach the threshold
+//!    (`WillCover` pruning, justified by monotonicity).
+//! 3. **Redundant-element suppression.** When element groups are supplied
+//!    (predicates differing only by operator), adding one element removes the
+//!    rest of its group from the candidate list for that branch, suppressing
+//!    trivial constraints.
+//!
+//! The scoring function is supplied by the caller and must satisfy the
+//! monotonicity and indifference-to-redundancy axioms for the enumeration to
+//! be complete (see `adc-approx`).
+
+use crate::{BranchStrategy, SetSystem};
+use adc_data::FixedBitSet;
+
+/// Configuration for [`enumerate_approx_minimal_hitting_sets`].
+#[derive(Debug, Clone)]
+pub struct ApproxEnumConfig<'a> {
+    /// Approximation threshold ε ≥ 0: emit `S` when `1 − f(S) ≤ ε`.
+    pub epsilon: f64,
+    /// Branching strategy for choosing the next subset to hit.
+    pub strategy: BranchStrategy,
+    /// Optional structure-group id per element; when an element enters the
+    /// partial solution, the rest of its group leaves the candidate list for
+    /// that branch (the paper's `RemoveRedundantPreds`).
+    pub element_groups: Option<&'a [usize]>,
+    /// Enable the `WillCover` pruning of the non-hitting branch (line 9 of
+    /// Figure 4). Disabling it is only useful for ablation studies.
+    pub will_cover_pruning: bool,
+    /// Stop after emitting this many results (`None` = unlimited).
+    pub max_results: Option<usize>,
+}
+
+impl<'a> ApproxEnumConfig<'a> {
+    /// Default configuration for a given threshold.
+    pub fn new(epsilon: f64) -> Self {
+        ApproxEnumConfig {
+            epsilon,
+            strategy: BranchStrategy::default(),
+            element_groups: None,
+            will_cover_pruning: true,
+            max_results: None,
+        }
+    }
+
+    /// Set the branch strategy.
+    pub fn with_strategy(mut self, strategy: BranchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Provide element structure groups.
+    pub fn with_element_groups(mut self, groups: &'a [usize]) -> Self {
+        self.element_groups = Some(groups);
+        self
+    }
+
+    /// Enable or disable the `WillCover` pruning.
+    pub fn with_will_cover_pruning(mut self, enabled: bool) -> Self {
+        self.will_cover_pruning = enabled;
+        self
+    }
+
+    /// Limit the number of emitted results.
+    pub fn with_max_results(mut self, max: usize) -> Self {
+        self.max_results = Some(max);
+        self
+    }
+}
+
+/// Counters describing one enumeration run (used by the benchmark harness
+/// and the ablation studies).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApproxEnumStats {
+    /// Number of recursive calls.
+    pub recursive_calls: u64,
+    /// Number of scoring-function evaluations.
+    pub score_evaluations: u64,
+    /// Number of emitted minimal approximate hitting sets.
+    pub emitted: u64,
+}
+
+/// Enumerate all minimal approximate hitting sets of `system` w.r.t. the
+/// scoring function `score` and the threshold in `config`.
+///
+/// `score(X)` must return `f(X) ∈ [0, 1]`; the callback receives each
+/// minimal set and may return `false` to stop early. Returns run statistics.
+pub fn enumerate_approx_minimal_hitting_sets<S, F>(
+    system: &SetSystem,
+    score: S,
+    config: &ApproxEnumConfig<'_>,
+    mut callback: F,
+) -> ApproxEnumStats
+where
+    S: Fn(&FixedBitSet) -> f64,
+    F: FnMut(&FixedBitSet) -> bool,
+{
+    assert!(config.epsilon >= 0.0, "epsilon must be non-negative");
+    if let Some(groups) = config.element_groups {
+        assert_eq!(
+            groups.len(),
+            system.num_elements(),
+            "element_groups length must equal the number of elements"
+        );
+    }
+    let mut state = EnumState::new(system, &score, config);
+    state.run(&mut callback);
+    state.stats
+}
+
+/// Convenience wrapper collecting the results into a vector.
+pub fn approx_minimal_hitting_sets<S>(
+    system: &SetSystem,
+    score: S,
+    config: &ApproxEnumConfig<'_>,
+) -> Vec<FixedBitSet>
+where
+    S: Fn(&FixedBitSet) -> f64,
+{
+    let mut out = Vec::new();
+    enumerate_approx_minimal_hitting_sets(system, score, config, |s| {
+        out.push(s.clone());
+        true
+    });
+    out
+}
+
+struct EnumState<'a, S: Fn(&FixedBitSet) -> f64> {
+    system: &'a SetSystem,
+    score: &'a S,
+    config: &'a ApproxEnumConfig<'a>,
+    s: Vec<usize>,
+    s_set: FixedBitSet,
+    cand: FixedBitSet,
+    uncov: Vec<usize>,
+    crit: Vec<Vec<usize>>,
+    can_hit: Vec<bool>,
+    stats: ApproxEnumStats,
+    stopped: bool,
+}
+
+struct CritUndo {
+    element: usize,
+    covered: Vec<usize>,
+    removed_from_crit: Vec<(usize, usize)>,
+}
+
+impl<'a, S: Fn(&FixedBitSet) -> f64> EnumState<'a, S> {
+    fn new(system: &'a SetSystem, score: &'a S, config: &'a ApproxEnumConfig<'a>) -> Self {
+        let m = system.num_elements();
+        EnumState {
+            system,
+            score,
+            config,
+            s: Vec::new(),
+            s_set: FixedBitSet::new(m),
+            cand: FixedBitSet::full(m),
+            uncov: (0..system.len()).collect(),
+            crit: vec![Vec::new(); m],
+            can_hit: vec![true; system.len()],
+            stats: ApproxEnumStats::default(),
+            stopped: false,
+        }
+    }
+
+    fn eval(&mut self, set: &FixedBitSet) -> f64 {
+        self.stats.score_evaluations += 1;
+        (self.score)(set)
+    }
+
+    fn meets_threshold(&mut self, set: &FixedBitSet) -> bool {
+        1.0 - self.eval(set) <= self.config.epsilon
+    }
+
+    /// `IsMinimal` of Figure 5: no single-element removal stays within ε.
+    fn is_minimal(&mut self) -> bool {
+        let elements = self.s.clone();
+        for e in elements {
+            let mut smaller = self.s_set.clone();
+            smaller.remove(e);
+            if self.meets_threshold(&smaller) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `WillCover` of Figure 5: could adding every remaining candidate reach ε?
+    fn will_cover(&mut self) -> bool {
+        let union = self.s_set.union(&self.cand);
+        self.meets_threshold(&union)
+    }
+
+    fn emit(&mut self, callback: &mut dyn FnMut(&FixedBitSet) -> bool) {
+        self.stats.emitted += 1;
+        if !callback(&self.s_set) {
+            self.stopped = true;
+        }
+        if let Some(max) = self.config.max_results {
+            if self.stats.emitted >= max as u64 {
+                self.stopped = true;
+            }
+        }
+    }
+
+    fn run(&mut self, callback: &mut dyn FnMut(&FixedBitSet) -> bool) {
+        if self.stopped {
+            return;
+        }
+        self.stats.recursive_calls += 1;
+
+        // Base case: the partial solution already satisfies the threshold.
+        // By monotonicity no strict superset can be minimal, so return either way.
+        let current = self.s_set.clone();
+        if self.meets_threshold(&current) {
+            if self.is_minimal() {
+                self.emit(callback);
+            }
+            return;
+        }
+
+        // Choose an uncovered, still-hittable subset.
+        let Some(chosen) = self.choose_subset() else {
+            return;
+        };
+        let f = self.system.subsets()[chosen].clone();
+
+        // ---- Branch 1: do NOT hit F. ----
+        let removed_from_cand: Vec<usize> = self.cand.intersection(&f).to_vec();
+        for &e in &removed_from_cand {
+            self.cand.remove(e);
+        }
+        let mut can_hit_cleared: Vec<usize> = Vec::new();
+        for &fi in &self.uncov {
+            if self.can_hit[fi] && !self.system.subsets()[fi].intersects(&self.cand) {
+                self.can_hit[fi] = false;
+                can_hit_cleared.push(fi);
+            }
+        }
+        let explore = !self.config.will_cover_pruning || self.will_cover();
+        if explore {
+            self.run(callback);
+        }
+        for fi in can_hit_cleared {
+            self.can_hit[fi] = true;
+        }
+        for &e in &removed_from_cand {
+            self.cand.insert(e);
+        }
+        if self.stopped {
+            return;
+        }
+
+        // ---- Branch 2: hit F with each admissible candidate. ----
+        let c: Vec<usize> = self.cand.intersection(&f).to_vec();
+        for &e in &c {
+            self.cand.remove(e);
+        }
+        let mut returned_to_cand: Vec<usize> = Vec::with_capacity(c.len());
+        for &e in &c {
+            let undo = self.update_crit_uncov(e);
+            let all_critical = self.s.iter().all(|&u| !self.crit[u].is_empty());
+            if all_critical {
+                // RemoveRedundantPreds: drop same-group elements for this branch.
+                let mut group_removed: Vec<usize> = Vec::new();
+                if let Some(groups) = self.config.element_groups {
+                    let g = groups[e];
+                    for other in 0..self.system.num_elements() {
+                        if other != e && groups[other] == g && self.cand.contains(other) {
+                            self.cand.remove(other);
+                            group_removed.push(other);
+                        }
+                    }
+                }
+                self.s.push(e);
+                self.s_set.insert(e);
+                self.run(callback);
+                self.s.pop();
+                self.s_set.remove(e);
+                for other in group_removed {
+                    self.cand.insert(other);
+                }
+                returned_to_cand.push(e);
+                self.cand.insert(e);
+            }
+            self.undo_crit_uncov(undo);
+            if self.stopped {
+                break;
+            }
+        }
+        for &e in &returned_to_cand {
+            self.cand.remove(e);
+        }
+        for &e in &c {
+            self.cand.insert(e);
+        }
+    }
+
+    fn choose_subset(&self) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for &fi in &self.uncov {
+            if !self.can_hit[fi] {
+                continue;
+            }
+            let inter = self.system.subsets()[fi].intersection_count(&self.cand);
+            best = match best {
+                None => Some((fi, inter)),
+                Some((_, b)) => match self.config.strategy {
+                    BranchStrategy::MaxIntersection if inter > b => Some((fi, inter)),
+                    BranchStrategy::MinIntersection if inter < b => Some((fi, inter)),
+                    _ => best,
+                },
+            };
+            if self.config.strategy == BranchStrategy::First && best.is_some() {
+                break;
+            }
+        }
+        best.map(|(fi, _)| fi)
+    }
+
+    fn update_crit_uncov(&mut self, e: usize) -> CritUndo {
+        let mut covered = Vec::new();
+        let mut kept = Vec::with_capacity(self.uncov.len());
+        for &fi in &self.uncov {
+            if self.system.subsets()[fi].contains(e) {
+                covered.push(fi);
+                self.crit[e].push(fi);
+            } else {
+                kept.push(fi);
+            }
+        }
+        self.uncov = kept;
+
+        let mut removed_from_crit = Vec::new();
+        for &u in &self.s {
+            let subsets = self.system.subsets();
+            self.crit[u].retain(|&fi| {
+                if subsets[fi].contains(e) {
+                    removed_from_crit.push((u, fi));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        CritUndo { element: e, covered, removed_from_crit }
+    }
+
+    fn undo_crit_uncov(&mut self, undo: CritUndo) {
+        for _ in 0..undo.covered.len() {
+            self.crit[undo.element].pop();
+        }
+        self.uncov.extend(undo.covered);
+        for (u, fi) in undo.removed_from_crit {
+            self.crit[u].push(fi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::{brute_force_minimal_approx_hitting_sets, brute_force_minimal_hitting_sets};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn as_sorted_vecs(sets: &[FixedBitSet]) -> Vec<Vec<usize>> {
+        let mut v: Vec<Vec<usize>> = sets.iter().map(|s| s.to_vec()).collect();
+        v.sort();
+        v
+    }
+
+    /// A weighted coverage score: fraction of subset weight hit. Monotone and
+    /// indifferent to redundancy by construction — the same family `f1`
+    /// belongs to.
+    fn coverage_score(system: &SetSystem, weights: Vec<u64>) -> impl Fn(&FixedBitSet) -> f64 + '_ {
+        let total: u64 = weights.iter().sum();
+        move |set: &FixedBitSet| {
+            if total == 0 {
+                return 1.0;
+            }
+            let hit: u64 = system
+                .subsets()
+                .iter()
+                .zip(&weights)
+                .filter(|(f, _)| f.intersects(set))
+                .map(|(_, w)| *w)
+                .sum();
+            hit as f64 / total as f64
+        }
+    }
+
+    #[test]
+    fn epsilon_zero_matches_exact_mmcs() {
+        let sys = SetSystem::from_indices(5, &[&[0, 1], &[1, 2], &[2, 3], &[3, 4]]);
+        let weights = vec![1u64; sys.len()];
+        let score = coverage_score(&sys, weights);
+        let cfg = ApproxEnumConfig::new(0.0);
+        let approx = approx_minimal_hitting_sets(&sys, &score, &cfg);
+        let exact = brute_force_minimal_hitting_sets(&sys);
+        assert_eq!(as_sorted_vecs(&approx), as_sorted_vecs(&exact));
+    }
+
+    #[test]
+    fn allows_missing_low_weight_subsets() {
+        // Subsets: {0} (weight 9), {1} (weight 1). With ε = 0.2 we may miss {1}.
+        let sys = SetSystem::from_indices(2, &[&[0], &[1]]);
+        let score = coverage_score(&sys, vec![9, 1]);
+        let cfg = ApproxEnumConfig::new(0.2);
+        let found = approx_minimal_hitting_sets(&sys, &score, &cfg);
+        // {0} misses only 10% of the weight -> approximate and minimal.
+        assert_eq!(as_sorted_vecs(&found), vec![vec![0]]);
+    }
+
+    #[test]
+    fn empty_set_emitted_when_threshold_is_loose() {
+        let sys = SetSystem::from_indices(3, &[&[0], &[1], &[2]]);
+        let score = coverage_score(&sys, vec![1, 1, 1]);
+        let cfg = ApproxEnumConfig::new(1.0);
+        let found = approx_minimal_hitting_sets(&sys, &score, &cfg);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances_all_strategies() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..25 {
+            let m = rng.gen_range(3..8);
+            let k = rng.gen_range(1..7);
+            let mut subsets = Vec::new();
+            let mut weights = Vec::new();
+            for _ in 0..k {
+                let mut s = FixedBitSet::new(m);
+                for e in 0..m {
+                    if rng.gen_bool(0.4) {
+                        s.insert(e);
+                    }
+                }
+                if s.is_empty() {
+                    s.insert(rng.gen_range(0..m));
+                }
+                subsets.push(s);
+                weights.push(rng.gen_range(1..5) as u64);
+            }
+            let sys = SetSystem::new(m, subsets);
+            let score = coverage_score(&sys, weights);
+            let epsilon = [0.0, 0.1, 0.25, 0.5][trial % 4];
+            let expected = brute_force_minimal_approx_hitting_sets(m, &score, epsilon);
+            for strategy in [
+                BranchStrategy::MaxIntersection,
+                BranchStrategy::MinIntersection,
+                BranchStrategy::First,
+            ] {
+                let cfg = ApproxEnumConfig::new(epsilon).with_strategy(strategy);
+                let found = approx_minimal_hitting_sets(&sys, &score, &cfg);
+                assert_eq!(
+                    as_sorted_vecs(&found),
+                    as_sorted_vecs(&expected),
+                    "trial {trial}, ε={epsilon}, strategy {strategy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn will_cover_pruning_does_not_change_results() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..10 {
+            let m = rng.gen_range(3..7);
+            let k = rng.gen_range(2..6);
+            let mut subsets = Vec::new();
+            for _ in 0..k {
+                let mut s = FixedBitSet::new(m);
+                for e in 0..m {
+                    if rng.gen_bool(0.5) {
+                        s.insert(e);
+                    }
+                }
+                if s.is_empty() {
+                    s.insert(0);
+                }
+                subsets.push(s);
+            }
+            let sys = SetSystem::new(m, subsets);
+            let score = coverage_score(&sys, vec![1; sys.len()]);
+            let on = approx_minimal_hitting_sets(
+                &sys,
+                &score,
+                &ApproxEnumConfig::new(0.3).with_will_cover_pruning(true),
+            );
+            let off = approx_minimal_hitting_sets(
+                &sys,
+                &score,
+                &ApproxEnumConfig::new(0.3).with_will_cover_pruning(false),
+            );
+            assert_eq!(as_sorted_vecs(&on), as_sorted_vecs(&off));
+        }
+    }
+
+    #[test]
+    fn element_groups_suppress_same_group_pairs() {
+        // Elements 0 and 1 are in the same group; subsets force hitting both
+        // {0,1}-ish structures. Without groups the pair {0,1} could appear;
+        // with groups it must not.
+        let sys = SetSystem::from_indices(4, &[&[0, 2], &[1, 3]]);
+        let score = coverage_score(&sys, vec![1, 1]);
+        let groups = vec![0, 0, 1, 2];
+        let cfg = ApproxEnumConfig::new(0.0).with_element_groups(&groups);
+        let found = approx_minimal_hitting_sets(&sys, &score, &cfg);
+        for s in &found {
+            let v = s.to_vec();
+            assert!(
+                !(v.contains(&0) && v.contains(&1)),
+                "same-group elements 0 and 1 must not co-occur: {v:?}"
+            );
+        }
+        // The group-free solutions {0,1} is replaced by solutions using 2/3.
+        assert!(found.iter().any(|s| s.to_vec() == vec![0, 3]));
+        assert!(found.iter().any(|s| s.to_vec() == vec![1, 2]));
+        assert!(found.iter().any(|s| s.to_vec() == vec![2, 3]));
+    }
+
+    #[test]
+    fn max_results_stops_early() {
+        let sys = SetSystem::from_indices(6, &[&[0, 1], &[2, 3], &[4, 5]]);
+        let score = coverage_score(&sys, vec![1, 1, 1]);
+        let cfg = ApproxEnumConfig::new(0.0).with_max_results(3);
+        let mut seen = 0usize;
+        let stats = enumerate_approx_minimal_hitting_sets(&sys, &score, &cfg, |_| {
+            seen += 1;
+            true
+        });
+        assert_eq!(seen, 3);
+        assert_eq!(stats.emitted, 3);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let sys = SetSystem::from_indices(4, &[&[0, 1], &[1, 2], &[2, 3]]);
+        let score = coverage_score(&sys, vec![1, 1, 1]);
+        let cfg = ApproxEnumConfig::new(0.0);
+        let stats = enumerate_approx_minimal_hitting_sets(&sys, &score, &cfg, |_| true);
+        assert!(stats.recursive_calls > 0);
+        assert!(stats.score_evaluations > 0);
+        assert_eq!(stats.emitted, 3);
+    }
+
+    #[test]
+    fn emits_each_result_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..15 {
+            let m = rng.gen_range(4..8);
+            let k = rng.gen_range(2..6);
+            let mut subsets = Vec::new();
+            for _ in 0..k {
+                let mut s = FixedBitSet::new(m);
+                for e in 0..m {
+                    if rng.gen_bool(0.45) {
+                        s.insert(e);
+                    }
+                }
+                if s.is_empty() {
+                    s.insert(rng.gen_range(0..m));
+                }
+                subsets.push(s);
+            }
+            let sys = SetSystem::new(m, subsets);
+            let score = coverage_score(&sys, vec![1; sys.len()]);
+            let cfg = ApproxEnumConfig::new(0.2);
+            let found = approx_minimal_hitting_sets(&sys, &score, &cfg);
+            let mut sorted = as_sorted_vecs(&found);
+            let before = sorted.len();
+            sorted.dedup();
+            assert_eq!(sorted.len(), before, "duplicate outputs detected");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be non-negative")]
+    fn negative_epsilon_rejected() {
+        let sys = SetSystem::from_indices(2, &[&[0]]);
+        let score = coverage_score(&sys, vec![1]);
+        approx_minimal_hitting_sets(&sys, &score, &ApproxEnumConfig::new(-0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "element_groups length")]
+    fn wrong_group_length_rejected() {
+        let sys = SetSystem::from_indices(3, &[&[0]]);
+        let score = coverage_score(&sys, vec![1]);
+        let groups = vec![0, 1];
+        approx_minimal_hitting_sets(
+            &sys,
+            &score,
+            &ApproxEnumConfig::new(0.1).with_element_groups(&groups),
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_matches_brute_force(
+            subsets in proptest::collection::vec(proptest::collection::vec(0usize..6, 1..4), 1..5),
+            eps_percent in 0u32..60,
+        ) {
+            let m = 6;
+            let refs: Vec<&[usize]> = subsets.iter().map(|s| s.as_slice()).collect();
+            let sys = SetSystem::from_indices(m, &refs);
+            let score = coverage_score(&sys, vec![1; sys.len()]);
+            let epsilon = eps_percent as f64 / 100.0;
+            let expected = brute_force_minimal_approx_hitting_sets(m, &score, epsilon);
+            let found = approx_minimal_hitting_sets(&sys, &score, &ApproxEnumConfig::new(epsilon));
+            prop_assert_eq!(as_sorted_vecs(&found), as_sorted_vecs(&expected));
+        }
+    }
+}

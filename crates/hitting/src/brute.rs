@@ -1,0 +1,127 @@
+//! Brute-force reference enumerators, used to validate MMCS and the
+//! approximate enumerator on small instances (tests and property tests).
+//!
+//! These are exponential in the number of elements and intended only for
+//! universes of at most ~20 elements.
+
+use crate::SetSystem;
+use adc_data::FixedBitSet;
+
+/// All minimal hitting sets of `system`, by exhaustive subset enumeration.
+///
+/// # Panics
+/// Panics if the universe has more than 22 elements (the enumeration would
+/// be astronomically large); use MMCS for real instances.
+pub fn brute_force_minimal_hitting_sets(system: &SetSystem) -> Vec<FixedBitSet> {
+    let m = system.num_elements();
+    assert!(m <= 22, "brute force limited to small universes, got {m} elements");
+    let mut hitting: Vec<FixedBitSet> = Vec::new();
+    for mask in 0u64..(1u64 << m) {
+        let set = FixedBitSet::from_words(m, &[mask]);
+        if system.is_hitting_set(&set) {
+            hitting.push(set);
+        }
+    }
+    keep_minimal(hitting)
+}
+
+/// All minimal *approximate* hitting sets: sets `X` with `1 − score(X) ≤ ε`
+/// such that no proper subset satisfies the same condition.
+///
+/// # Panics
+/// Panics if the universe has more than 22 elements.
+pub fn brute_force_minimal_approx_hitting_sets<F>(
+    num_elements: usize,
+    score: F,
+    epsilon: f64,
+) -> Vec<FixedBitSet>
+where
+    F: Fn(&FixedBitSet) -> f64,
+{
+    assert!(
+        num_elements <= 22,
+        "brute force limited to small universes, got {num_elements} elements"
+    );
+    let mut approx: Vec<FixedBitSet> = Vec::new();
+    for mask in 0u64..(1u64 << num_elements) {
+        let set = FixedBitSet::from_words(num_elements, &[mask]);
+        if 1.0 - score(&set) <= epsilon {
+            approx.push(set);
+        }
+    }
+    keep_minimal(approx)
+}
+
+/// Filter a family down to its inclusion-minimal members.
+pub fn keep_minimal(sets: Vec<FixedBitSet>) -> Vec<FixedBitSet> {
+    let mut minimal = Vec::new();
+    'outer: for (i, s) in sets.iter().enumerate() {
+        for (j, t) in sets.iter().enumerate() {
+            if i != j && t.is_proper_subset(s) {
+                continue 'outer;
+            }
+        }
+        minimal.push(s.clone());
+    }
+    minimal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brute_force_simple_instance() {
+        let sys = SetSystem::from_indices(4, &[&[0, 1], &[1, 2], &[2, 3]]);
+        let mut found: Vec<Vec<usize>> =
+            brute_force_minimal_hitting_sets(&sys).iter().map(|s| s.to_vec()).collect();
+        found.sort();
+        assert_eq!(found, vec![vec![0, 2], vec![1, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn keep_minimal_removes_supersets() {
+        let sets = vec![
+            FixedBitSet::from_indices(4, [0]),
+            FixedBitSet::from_indices(4, [0, 1]),
+            FixedBitSet::from_indices(4, [2, 3]),
+        ];
+        let min = keep_minimal(sets);
+        assert_eq!(min.len(), 2);
+        assert!(min.iter().any(|s| s.to_vec() == vec![0]));
+        assert!(min.iter().any(|s| s.to_vec() == vec![2, 3]));
+    }
+
+    #[test]
+    fn keep_minimal_preserves_duplicates_but_not_supersets() {
+        // Equal sets are not proper subsets of each other, so both survive;
+        // callers that intern their inputs never hit this case.
+        let sets = vec![FixedBitSet::from_indices(3, [1]), FixedBitSet::from_indices(3, [1])];
+        assert_eq!(keep_minimal(sets).len(), 2);
+    }
+
+    #[test]
+    fn approx_brute_force_with_counting_score() {
+        // Score = fraction of subsets hit; epsilon allows missing one of three.
+        let sys = SetSystem::from_indices(4, &[&[0], &[1], &[2, 3]]);
+        let score = |s: &FixedBitSet| {
+            sys.subsets().iter().filter(|f| f.intersects(s)).count() as f64 / sys.len() as f64
+        };
+        // ε slightly above 1/3 to stay clear of floating-point equality at the boundary.
+        let found = brute_force_minimal_approx_hitting_sets(4, score, 0.34);
+        // Any pair covering two of the three subsets is minimal: {0,1}, {0,2}, {0,3}, {1,2}, {1,3}.
+        let mut as_vecs: Vec<Vec<usize>> = found.iter().map(|s| s.to_vec()).collect();
+        as_vecs.sort();
+        assert_eq!(
+            as_vecs,
+            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3]]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force limited")]
+    fn large_universe_rejected() {
+        let sys = SetSystem::from_indices(23, &[&[0]]);
+        brute_force_minimal_hitting_sets(&sys);
+    }
+}

@@ -1,0 +1,318 @@
+//! MMCS: exact minimal hitting-set enumeration (Murakami & Uno 2014).
+//!
+//! This is the algorithm of Figure 3 of the ADC paper. It maintains three
+//! structures — `uncov` (subsets not yet intersected by the partial solution
+//! `S`), `cand` (elements still allowed into `S`), and `crit` (for each
+//! element of `S`, the subsets for which it is the only hitter) — and
+//! explores partial solutions depth-first, pruning any branch in which some
+//! element of `S` stops being critical (such a branch can never yield a
+//! *minimal* hitting set).
+
+use crate::{BranchStrategy, SetSystem};
+use adc_data::FixedBitSet;
+
+/// Enumerate all minimal hitting sets of `system`.
+///
+/// `strategy` controls which uncovered subset is branched on next (the
+/// classic choice is [`BranchStrategy::MinIntersection`]). The callback is
+/// invoked once per minimal hitting set; return `false` from it to stop the
+/// enumeration early.
+pub fn enumerate_minimal_hitting_sets<F>(
+    system: &SetSystem,
+    strategy: BranchStrategy,
+    mut callback: F,
+) -> usize
+where
+    F: FnMut(&FixedBitSet) -> bool,
+{
+    let mut state = MmcsState::new(system, strategy);
+    state.run(&mut callback);
+    state.emitted
+}
+
+/// Convenience wrapper collecting all minimal hitting sets into a vector.
+pub fn minimal_hitting_sets(system: &SetSystem, strategy: BranchStrategy) -> Vec<FixedBitSet> {
+    let mut out = Vec::new();
+    enumerate_minimal_hitting_sets(system, strategy, |s| {
+        out.push(s.clone());
+        true
+    });
+    out
+}
+
+struct MmcsState<'a> {
+    system: &'a SetSystem,
+    strategy: BranchStrategy,
+    /// Current partial hitting set.
+    s: Vec<usize>,
+    s_set: FixedBitSet,
+    /// Candidate elements.
+    cand: FixedBitSet,
+    /// Indexes of subsets not yet covered by `s`.
+    uncov: Vec<usize>,
+    /// `crit[e]` = subsets for which element `e ∈ s` is critical.
+    crit: Vec<Vec<usize>>,
+    emitted: usize,
+    stopped: bool,
+}
+
+/// Undo record for one `update_crit_uncov` call.
+struct Undo {
+    element: usize,
+    /// Subsets moved from `uncov` into `crit[element]`.
+    covered: Vec<usize>,
+    /// `(u, subset)` pairs removed from `crit[u]`.
+    removed_from_crit: Vec<(usize, usize)>,
+}
+
+impl<'a> MmcsState<'a> {
+    fn new(system: &'a SetSystem, strategy: BranchStrategy) -> Self {
+        let m = system.num_elements();
+        MmcsState {
+            system,
+            strategy,
+            s: Vec::new(),
+            s_set: FixedBitSet::new(m),
+            cand: FixedBitSet::full(m),
+            uncov: (0..system.len()).collect(),
+            crit: vec![Vec::new(); m],
+            emitted: 0,
+            stopped: false,
+        }
+    }
+
+    fn run<F: FnMut(&FixedBitSet) -> bool>(&mut self, callback: &mut F) {
+        if self.stopped {
+            return;
+        }
+        if self.uncov.is_empty() {
+            self.emitted += 1;
+            if !callback(&self.s_set) {
+                self.stopped = true;
+            }
+            return;
+        }
+        let Some(chosen) = self.choose_subset() else {
+            // Some uncovered subset has an empty intersection with cand:
+            // this branch can never produce a hitting set.
+            return;
+        };
+        let f = &self.system.subsets()[chosen];
+        // C = cand ∩ F; cand = cand \ C.
+        let c: Vec<usize> = self.cand.intersection(f).to_vec();
+        for &e in &c {
+            self.cand.remove(e);
+        }
+        let mut restored: Vec<usize> = Vec::with_capacity(c.len());
+        for &e in &c {
+            let undo = self.update_crit_uncov(e);
+            let all_critical = self.s.iter().all(|&u| !self.crit[u].is_empty());
+            if all_critical {
+                self.s.push(e);
+                self.s_set.insert(e);
+                self.run(callback);
+                self.s.pop();
+                self.s_set.remove(e);
+                // Only elements passing the criticality test return to cand
+                // (an element not critical for any subset w.r.t. S can never
+                // be critical w.r.t. a superset of S).
+                restored.push(e);
+                self.cand.insert(e);
+            }
+            self.undo_crit_uncov(undo);
+            if self.stopped {
+                break;
+            }
+        }
+        // Recover the cand changes: remove what we restored mid-loop, then
+        // re-insert all of C (line 13 of Figure 3).
+        for &e in &restored {
+            self.cand.remove(e);
+        }
+        for &e in &c {
+            self.cand.insert(e);
+        }
+    }
+
+    /// Select the next uncovered subset according to the branch strategy.
+    /// Returns `None` if some uncovered subset cannot be hit by any candidate
+    /// (making the branch hopeless).
+    fn choose_subset(&self) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for &fi in &self.uncov {
+            let inter = self.system.subsets()[fi].intersection_count(&self.cand);
+            if inter == 0 {
+                return None;
+            }
+            best = match (best, self.strategy) {
+                (None, _) => Some((fi, inter)),
+                (Some((_, b)), BranchStrategy::MaxIntersection) if inter > b => Some((fi, inter)),
+                (Some((_, b)), BranchStrategy::MinIntersection) if inter < b => Some((fi, inter)),
+                (Some(prev), BranchStrategy::First) => Some(prev),
+                (Some(prev), _) => Some(prev),
+            };
+            if self.strategy == BranchStrategy::First {
+                // Keep scanning only to verify every uncovered subset is hittable.
+                continue;
+            }
+        }
+        best.map(|(fi, _)| fi)
+    }
+
+    /// `UpdateCritUncov(e, S, crit, uncov)` of Figure 3.
+    fn update_crit_uncov(&mut self, e: usize) -> Undo {
+        let mut covered = Vec::new();
+        let mut kept = Vec::with_capacity(self.uncov.len());
+        for &fi in &self.uncov {
+            if self.system.subsets()[fi].contains(e) {
+                covered.push(fi);
+                self.crit[e].push(fi);
+            } else {
+                kept.push(fi);
+            }
+        }
+        self.uncov = kept;
+
+        let mut removed_from_crit = Vec::new();
+        for &u in &self.s {
+            let subsets = self.system.subsets();
+            self.crit[u].retain(|&fi| {
+                if subsets[fi].contains(e) {
+                    removed_from_crit.push((u, fi));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        Undo { element: e, covered, removed_from_crit }
+    }
+
+    fn undo_crit_uncov(&mut self, undo: Undo) {
+        for _ in 0..undo.covered.len() {
+            self.crit[undo.element].pop();
+        }
+        // Restore uncov (order is irrelevant to correctness).
+        self.uncov.extend(undo.covered);
+        for (u, fi) in undo.removed_from_crit {
+            self.crit[u].push(fi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_minimal_hitting_sets;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn as_sorted_vecs(mut sets: Vec<FixedBitSet>) -> Vec<Vec<usize>> {
+        let mut v: Vec<Vec<usize>> = sets.drain(..).map(|s| s.to_vec()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn simple_instance_all_strategies() {
+        // Subsets {0,1}, {1,2}, {2,3}: minimal hitting sets {1,2}, {1,3}, {0,2}.
+        let sys = SetSystem::from_indices(4, &[&[0, 1], &[1, 2], &[2, 3]]);
+        let expected = vec![vec![0, 2], vec![1, 2], vec![1, 3]];
+        for strategy in [
+            BranchStrategy::MaxIntersection,
+            BranchStrategy::MinIntersection,
+            BranchStrategy::First,
+        ] {
+            let found = as_sorted_vecs(minimal_hitting_sets(&sys, strategy));
+            assert_eq!(found, expected, "strategy {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn empty_family_yields_empty_set() {
+        let sys = SetSystem::from_indices(3, &[]);
+        let found = minimal_hitting_sets(&sys, BranchStrategy::default());
+        assert_eq!(found.len(), 1);
+        assert!(found[0].is_empty());
+    }
+
+    #[test]
+    fn unhittable_subset_yields_nothing() {
+        let sys = SetSystem::new(3, vec![FixedBitSet::new(3)]);
+        assert!(minimal_hitting_sets(&sys, BranchStrategy::default()).is_empty());
+    }
+
+    #[test]
+    fn disjoint_subsets_need_one_element_each() {
+        let sys = SetSystem::from_indices(6, &[&[0, 1], &[2, 3], &[4, 5]]);
+        let found = minimal_hitting_sets(&sys, BranchStrategy::default());
+        assert_eq!(found.len(), 8);
+        for hs in &found {
+            assert_eq!(hs.len(), 3);
+            assert!(sys.is_minimal_hitting_set(hs));
+        }
+    }
+
+    #[test]
+    fn duplicate_subsets_are_harmless() {
+        let sys = SetSystem::from_indices(3, &[&[0, 1], &[0, 1], &[2]]);
+        let found = as_sorted_vecs(minimal_hitting_sets(&sys, BranchStrategy::default()));
+        assert_eq!(found, vec![vec![0, 2], vec![1, 2]]);
+    }
+
+    #[test]
+    fn early_stop_via_callback() {
+        let sys = SetSystem::from_indices(6, &[&[0, 1], &[2, 3], &[4, 5]]);
+        let mut seen = 0;
+        let emitted = enumerate_minimal_hitting_sets(&sys, BranchStrategy::default(), |_| {
+            seen += 1;
+            seen < 3
+        });
+        assert_eq!(seen, 3);
+        assert_eq!(emitted, 3);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..30 {
+            let m = rng.gen_range(3..9);
+            let k = rng.gen_range(1..7);
+            let mut subsets = Vec::new();
+            for _ in 0..k {
+                let mut s = FixedBitSet::new(m);
+                for e in 0..m {
+                    if rng.gen_bool(0.4) {
+                        s.insert(e);
+                    }
+                }
+                if s.is_empty() {
+                    s.insert(rng.gen_range(0..m));
+                }
+                subsets.push(s);
+            }
+            let sys = SetSystem::new(m, subsets);
+            let expected = as_sorted_vecs(brute_force_minimal_hitting_sets(&sys));
+            for strategy in [BranchStrategy::MaxIntersection, BranchStrategy::MinIntersection] {
+                let found = as_sorted_vecs(minimal_hitting_sets(&sys, strategy));
+                assert_eq!(found, expected, "strategy {strategy:?}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_outputs_are_exactly_the_minimal_hitting_sets(
+            subsets in proptest::collection::vec(proptest::collection::vec(0usize..7, 1..5), 0..6)
+        ) {
+            let m = 7;
+            let refs: Vec<&[usize]> = subsets.iter().map(|s| s.as_slice()).collect();
+            let sys = SetSystem::from_indices(m, &refs);
+            let found = as_sorted_vecs(minimal_hitting_sets(&sys, BranchStrategy::default()));
+            let expected = as_sorted_vecs(brute_force_minimal_hitting_sets(&sys));
+            prop_assert_eq!(found, expected);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Denial constraints as sets of predicate ids.
+
+use crate::space::PredicateSpace;
+use adc_data::{FixedBitSet, Relation};
+use std::fmt;
+
+/// A denial constraint `∀t,t'. ¬(P₁ ∧ … ∧ Pₘ)`, stored as the sorted list of
+/// predicate ids `{P₁, …, Pₘ}` relative to a [`PredicateSpace`].
+///
+/// The constraint states that no ordered tuple pair may satisfy *all* of its
+/// predicates simultaneously. A constraint with an empty predicate set is the
+/// trivially violated constraint (`¬true`), which the miner never emits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DenialConstraint {
+    predicate_ids: Vec<usize>,
+}
+
+impl DenialConstraint {
+    /// Create a DC from predicate ids (duplicates are removed, order is normalised).
+    pub fn new(mut predicate_ids: Vec<usize>) -> Self {
+        predicate_ids.sort_unstable();
+        predicate_ids.dedup();
+        DenialConstraint { predicate_ids }
+    }
+
+    /// Create a DC from a bitset of predicate ids.
+    pub fn from_set(set: &FixedBitSet) -> Self {
+        DenialConstraint { predicate_ids: set.to_vec() }
+    }
+
+    /// The predicate ids, sorted ascending.
+    pub fn predicate_ids(&self) -> &[usize] {
+        &self.predicate_ids
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.predicate_ids.len()
+    }
+
+    /// `true` if the DC has no predicates.
+    pub fn is_empty(&self) -> bool {
+        self.predicate_ids.is_empty()
+    }
+
+    /// `true` if `id` is one of the DC's predicates.
+    pub fn contains(&self, id: usize) -> bool {
+        self.predicate_ids.binary_search(&id).is_ok()
+    }
+
+    /// The predicate set `S_ϕ` as a bitset over the space.
+    pub fn predicate_set(&self, space: &PredicateSpace) -> FixedBitSet {
+        FixedBitSet::from_indices(space.len(), self.predicate_ids.iter().copied())
+    }
+
+    /// The complement set `Ŝ_ϕ` as a bitset over the space. A DC is valid iff
+    /// `Ŝ_ϕ` is a hitting set of the evidence set (Section 6 of the paper).
+    pub fn complement_set(&self, space: &PredicateSpace) -> FixedBitSet {
+        FixedBitSet::from_indices(
+            space.len(),
+            self.predicate_ids.iter().map(|&i| space.complement_of(i)),
+        )
+    }
+
+    /// `true` if the DC contains both a predicate and its complement, or two
+    /// predicates of the same structure group whose conjunction is
+    /// unsatisfiable for every pair (e.g. `t[A] < t'[A] ∧ t[A] = t'[A]`).
+    /// Such DCs are trivially valid and carry no information.
+    pub fn is_trivial(&self, space: &PredicateSpace) -> bool {
+        for (k, &a) in self.predicate_ids.iter().enumerate() {
+            for &b in &self.predicate_ids[k + 1..] {
+                if space.group_of(a) != space.group_of(b) {
+                    continue;
+                }
+                let pa = space.predicate(a);
+                let pb = space.predicate(b);
+                // Same operands: the conjunction is unsatisfiable unless one
+                // operator implies the other (e.g. < and ≤ can co-hold, while
+                // < and ≥, or = and ≠, cannot).
+                let a_implies_b = pa.op.implied().contains(&pb.op);
+                let b_implies_a = pb.op.implied().contains(&pa.op);
+                if !a_implies_b && !b_implies_a {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// `true` if the ordered pair `(t, t')` satisfies the DC, i.e. at least
+    /// one predicate of the DC does not hold for the pair.
+    pub fn satisfied_by_pair(&self, space: &PredicateSpace, relation: &Relation, t: usize, t_prime: usize) -> bool {
+        self.predicate_ids
+            .iter()
+            .any(|&id| !space.predicate(id).eval(relation, t, t_prime))
+    }
+
+    /// Count the ordered tuple pairs violating the DC (both orders counted,
+    /// as in the paper). This is the reference implementation used by tests
+    /// and the qualitative analysis; the mining pipeline counts violations
+    /// through the evidence set instead.
+    pub fn count_violations(&self, space: &PredicateSpace, relation: &Relation) -> u64 {
+        let n = relation.len();
+        let mut violations = 0u64;
+        for t in 0..n {
+            for t_prime in 0..n {
+                if t != t_prime && !self.satisfied_by_pair(space, relation, t, t_prime) {
+                    violations += 1;
+                }
+            }
+        }
+        violations
+    }
+
+    /// `true` if no tuple pair of the relation violates the DC (an *exact* DC).
+    pub fn is_valid(&self, space: &PredicateSpace, relation: &Relation) -> bool {
+        self.count_violations(space, relation) == 0
+    }
+
+    /// Render as `∀t,t'. ¬(…)` with attribute names.
+    pub fn display<'a>(&'a self, space: &'a PredicateSpace) -> DcDisplay<'a> {
+        DcDisplay { dc: self, space }
+    }
+}
+
+/// Helper returned by [`DenialConstraint::display`].
+pub struct DcDisplay<'a> {
+    dc: &'a DenialConstraint,
+    space: &'a PredicateSpace,
+}
+
+impl fmt::Display for DcDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "∀t,t'. ¬(")?;
+        for (k, &id) in self.dc.predicate_ids.iter().enumerate() {
+            if k > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{}", self.space.predicate(id).display(self.space.schema()))?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::TupleRole;
+    use crate::space::SpaceConfig;
+    use adc_data::{AttributeType, Schema, Value};
+
+    /// The income/tax fragment of the paper's running example (Table 1).
+    fn relation() -> Relation {
+        let schema = Schema::of(&[
+            ("State", AttributeType::Text),
+            ("Income", AttributeType::Integer),
+            ("Tax", AttributeType::Integer),
+        ]);
+        let rows: [(&str, i64, i64); 5] = [
+            ("NY", 28_000, 2_400),
+            ("NY", 42_000, 4_700),
+            ("WA", 27_000, 1_400),
+            ("WA", 24_000, 1_600),
+            ("WA", 49_000, 6_800),
+        ];
+        let mut b = Relation::builder(schema);
+        for (s, i, t) in rows {
+            b.push_row(vec![s.into(), Value::Int(i), Value::Int(t)]).unwrap();
+        }
+        b.build()
+    }
+
+    fn space(r: &Relation) -> PredicateSpace {
+        PredicateSpace::build(r, SpaceConfig::default())
+    }
+
+    /// ϕ₁ of the paper: ¬(t.State = t'.State ∧ t.Income > t'.Income ∧ t.Tax ≤ t'.Tax).
+    fn phi1(space: &PredicateSpace) -> DenialConstraint {
+        DenialConstraint::new(vec![
+            space.find("State", "=", TupleRole::Other, "State").unwrap(),
+            space.find("Income", ">", TupleRole::Other, "Income").unwrap(),
+            space.find("Tax", "≤", TupleRole::Other, "Tax").unwrap(),
+        ])
+    }
+
+    #[test]
+    fn normalisation_sorts_and_dedups() {
+        let dc = DenialConstraint::new(vec![5, 1, 5, 3]);
+        assert_eq!(dc.predicate_ids(), &[1, 3, 5]);
+        assert_eq!(dc.len(), 3);
+        assert!(dc.contains(3));
+        assert!(!dc.contains(2));
+    }
+
+    #[test]
+    fn violation_counting_on_running_example_fragment() {
+        let r = relation();
+        let s = space(&r);
+        let dc = phi1(&s);
+        // Julia (27K, 1.4K) vs Jimmy (24K, 1.6K): Julia earns more but pays
+        // less -> the ordered pair (Julia, Jimmy) violates; no other pair does.
+        assert_eq!(dc.count_violations(&s, &r), 1);
+        assert!(!dc.is_valid(&s, &r));
+        assert!(!dc.satisfied_by_pair(&s, &r, 2, 3));
+        assert!(dc.satisfied_by_pair(&s, &r, 3, 2));
+    }
+
+    #[test]
+    fn valid_dc_has_no_violations() {
+        let r = relation();
+        let s = space(&r);
+        // Income is a key in this fragment: no two tuples share an income.
+        let dc = DenialConstraint::new(vec![s
+            .find("Income", "=", TupleRole::Other, "Income")
+            .unwrap()]);
+        assert!(dc.is_valid(&s, &r));
+        assert_eq!(dc.count_violations(&s, &r), 0);
+    }
+
+    #[test]
+    fn empty_dc_is_violated_by_every_pair() {
+        let r = relation();
+        let s = space(&r);
+        let dc = DenialConstraint::new(vec![]);
+        assert!(dc.is_empty());
+        assert_eq!(dc.count_violations(&s, &r), r.ordered_pair_count());
+    }
+
+    #[test]
+    fn predicate_and_complement_sets() {
+        let r = relation();
+        let s = space(&r);
+        let dc = phi1(&s);
+        let pset = dc.predicate_set(&s);
+        let cset = dc.complement_set(&s);
+        assert_eq!(pset.len(), 3);
+        assert_eq!(cset.len(), 3);
+        assert!(cset.contains(s.find("State", "≠", TupleRole::Other, "State").unwrap()));
+        assert!(cset.contains(s.find("Income", "≤", TupleRole::Other, "Income").unwrap()));
+        assert!(cset.contains(s.find("Tax", ">", TupleRole::Other, "Tax").unwrap()));
+        assert!(!pset.intersects(&cset));
+    }
+
+    #[test]
+    fn triviality_detection() {
+        let r = relation();
+        let s = space(&r);
+        let lt = s.find("Income", "<", TupleRole::Other, "Income").unwrap();
+        let geq = s.find("Income", "≥", TupleRole::Other, "Income").unwrap();
+        let leq = s.find("Income", "≤", TupleRole::Other, "Income").unwrap();
+        let eq = s.find("State", "=", TupleRole::Other, "State").unwrap();
+        let neq = s.find("State", "≠", TupleRole::Other, "State").unwrap();
+        // P and its complement -> trivial.
+        assert!(DenialConstraint::new(vec![lt, geq]).is_trivial(&s));
+        assert!(DenialConstraint::new(vec![eq, neq]).is_trivial(&s));
+        // < together with ≤ on the same operands is satisfiable (though redundant) -> not trivial.
+        assert!(!DenialConstraint::new(vec![lt, leq]).is_trivial(&s));
+        // Predicates on different structures -> not trivial.
+        assert!(!phi1(&s).is_trivial(&s));
+    }
+
+    #[test]
+    fn display_renders_full_constraint() {
+        let r = relation();
+        let s = space(&r);
+        let text = phi1(&s).display(&s).to_string();
+        assert!(text.starts_with("∀t,t'. ¬("));
+        assert!(text.contains("t.State = t'.State"));
+        assert!(text.contains("t.Income > t'.Income"));
+        assert!(text.contains("t.Tax ≤ t'.Tax"));
+    }
+
+    #[test]
+    fn from_set_roundtrip() {
+        let r = relation();
+        let s = space(&r);
+        let dc = phi1(&s);
+        let dc2 = DenialConstraint::from_set(&dc.predicate_set(&s));
+        assert_eq!(dc, dc2);
+    }
+}

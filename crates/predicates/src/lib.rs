@@ -1,0 +1,28 @@
+//! # adc-predicates
+//!
+//! Predicate-space generation and denial-constraint representation for
+//! approximate denial constraint mining (VLDB 2020).
+//!
+//! A *predicate* compares two cells drawn from a pair of tuples `⟨t, t'⟩`:
+//! `t[A] ρ t'[B]`, `t[A] ρ t'[A]`, or `t[A] ρ t[B]`, with
+//! `ρ ∈ {=, ≠, <, ≤, >, ≥}` (order operators only for numeric attributes).
+//! The [`PredicateSpace`] enumerates all predicates admissible for a
+//! relation, applying the ≥30 % common-values rule of Chu et al. for
+//! cross-column comparisons, and assigns each predicate a dense id so that
+//! sets of predicates are plain bitsets ([`adc_data::FixedBitSet`]).
+//!
+//! A [`DenialConstraint`] is a set of predicate ids interpreted as
+//! `∀t,t'. ¬(P₁ ∧ … ∧ Pₘ)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dc;
+pub mod operator;
+pub mod predicate;
+pub mod space;
+
+pub use dc::DenialConstraint;
+pub use operator::Operator;
+pub use predicate::{Predicate, TupleRole};
+pub use space::{PredicateSpace, SpaceConfig};

@@ -1,0 +1,276 @@
+//! Comparison operators for predicates.
+
+use adc_data::Value;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The six comparison operators `B = {=, ≠, <, ≤, >, ≥}` used by DCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Operator {
+    /// `=`
+    Eq,
+    /// `≠`
+    Neq,
+    /// `<`
+    Lt,
+    /// `≤`
+    Leq,
+    /// `>`
+    Gt,
+    /// `≥`
+    Geq,
+}
+
+impl Operator {
+    /// All six operators, in a stable order.
+    pub const ALL: [Operator; 6] = [
+        Operator::Eq,
+        Operator::Neq,
+        Operator::Lt,
+        Operator::Leq,
+        Operator::Gt,
+        Operator::Geq,
+    ];
+
+    /// The two operators applicable to textual attributes.
+    pub const EQUALITY: [Operator; 2] = [Operator::Eq, Operator::Neq];
+
+    /// The complement operator `ρ̂`: for every pair of comparable non-null
+    /// values exactly one of `ρ`, `ρ̂` holds (e.g. the complement of `>` is `≤`).
+    pub fn complement(self) -> Operator {
+        match self {
+            Operator::Eq => Operator::Neq,
+            Operator::Neq => Operator::Eq,
+            Operator::Lt => Operator::Geq,
+            Operator::Leq => Operator::Gt,
+            Operator::Gt => Operator::Leq,
+            Operator::Geq => Operator::Lt,
+        }
+    }
+
+    /// The symmetric operator: `a ρ b ⇔ b ρˢ a` (e.g. the symmetric of `<` is `>`).
+    pub fn symmetric(self) -> Operator {
+        match self {
+            Operator::Eq => Operator::Eq,
+            Operator::Neq => Operator::Neq,
+            Operator::Lt => Operator::Gt,
+            Operator::Leq => Operator::Geq,
+            Operator::Gt => Operator::Lt,
+            Operator::Geq => Operator::Leq,
+        }
+    }
+
+    /// Operators implied by `self` over the same operands: if `a self b`
+    /// holds then `a ρ b` holds for every `ρ` in the returned slice
+    /// (including `self` itself). Used to prune redundant predicates.
+    pub fn implied(self) -> &'static [Operator] {
+        match self {
+            Operator::Eq => &[Operator::Eq, Operator::Leq, Operator::Geq],
+            Operator::Neq => &[Operator::Neq],
+            Operator::Lt => &[Operator::Lt, Operator::Leq, Operator::Neq],
+            Operator::Leq => &[Operator::Leq],
+            Operator::Gt => &[Operator::Gt, Operator::Geq, Operator::Neq],
+            Operator::Geq => &[Operator::Geq],
+        }
+    }
+
+    /// `true` for the order operators `<, ≤, >, ≥` (which require numeric operands).
+    pub fn is_order(self) -> bool {
+        matches!(self, Operator::Lt | Operator::Leq | Operator::Gt | Operator::Geq)
+    }
+
+    /// Evaluate the operator on an ordering produced by [`Value::sem_cmp`].
+    #[inline]
+    pub fn eval_ordering(self, ord: Ordering) -> bool {
+        match self {
+            Operator::Eq => ord == Ordering::Equal,
+            Operator::Neq => ord != Ordering::Equal,
+            Operator::Lt => ord == Ordering::Less,
+            Operator::Leq => ord != Ordering::Greater,
+            Operator::Gt => ord == Ordering::Greater,
+            Operator::Geq => ord != Ordering::Less,
+        }
+    }
+
+    /// Evaluate the operator on two values.
+    ///
+    /// If either value is null, or the values are not comparable (e.g. a
+    /// string against a number), every operator evaluates to `false`: the
+    /// predicate is simply not satisfied by the pair.
+    pub fn eval(self, left: &Value, right: &Value) -> bool {
+        match self {
+            Operator::Eq => left.sem_eq(right),
+            Operator::Neq => {
+                // ≠ is "comparable and not equal", not "not (equal)": a null
+                // is neither equal nor unequal to anything.
+                match (self.is_order(), left.sem_cmp(right)) {
+                    (_, Some(ord)) => ord != Ordering::Equal,
+                    _ => false,
+                }
+            }
+            _ => match left.sem_cmp(right) {
+                Some(ord) => self.eval_ordering(ord),
+                None => false,
+            },
+        }
+    }
+
+    /// Mathematical symbol for display.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Operator::Eq => "=",
+            Operator::Neq => "≠",
+            Operator::Lt => "<",
+            Operator::Leq => "≤",
+            Operator::Gt => ">",
+            Operator::Geq => "≥",
+        }
+    }
+
+    /// Parse a symbol (`=`, `≠`/`!=`/`<>`, `<`, `<=`/`≤`, `>`, `>=`/`≥`).
+    pub fn parse(sym: &str) -> Option<Operator> {
+        match sym {
+            "=" | "==" => Some(Operator::Eq),
+            "≠" | "!=" | "<>" => Some(Operator::Neq),
+            "<" => Some(Operator::Lt),
+            "≤" | "<=" => Some(Operator::Leq),
+            ">" => Some(Operator::Gt),
+            "≥" | ">=" => Some(Operator::Geq),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn complement_is_involution() {
+        for op in Operator::ALL {
+            assert_eq!(op.complement().complement(), op);
+        }
+    }
+
+    #[test]
+    fn symmetric_is_involution() {
+        for op in Operator::ALL {
+            assert_eq!(op.symmetric().symmetric(), op);
+        }
+    }
+
+    #[test]
+    fn complement_pairs() {
+        assert_eq!(Operator::Gt.complement(), Operator::Leq);
+        assert_eq!(Operator::Eq.complement(), Operator::Neq);
+        assert_eq!(Operator::Lt.complement(), Operator::Geq);
+    }
+
+    #[test]
+    fn eval_on_integers() {
+        let a = Value::Int(3);
+        let b = Value::Int(5);
+        assert!(Operator::Lt.eval(&a, &b));
+        assert!(Operator::Leq.eval(&a, &b));
+        assert!(Operator::Neq.eval(&a, &b));
+        assert!(!Operator::Eq.eval(&a, &b));
+        assert!(!Operator::Gt.eval(&a, &b));
+        assert!(!Operator::Geq.eval(&a, &b));
+        assert!(Operator::Eq.eval(&a, &a));
+        assert!(Operator::Leq.eval(&a, &a));
+        assert!(Operator::Geq.eval(&a, &a));
+    }
+
+    #[test]
+    fn eval_on_strings() {
+        let a = Value::from("NY");
+        let b = Value::from("WA");
+        assert!(Operator::Neq.eval(&a, &b));
+        assert!(!Operator::Eq.eval(&a, &b));
+        assert!(Operator::Eq.eval(&a, &a));
+    }
+
+    #[test]
+    fn null_satisfies_nothing() {
+        for op in Operator::ALL {
+            assert!(!op.eval(&Value::Null, &Value::Int(1)), "{op:?}");
+            assert!(!op.eval(&Value::Int(1), &Value::Null), "{op:?}");
+            assert!(!op.eval(&Value::Null, &Value::Null), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn incomparable_satisfies_nothing() {
+        for op in Operator::ALL {
+            assert!(!op.eval(&Value::from("1"), &Value::Int(1)), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn implied_sets() {
+        assert!(Operator::Eq.implied().contains(&Operator::Leq));
+        assert!(Operator::Lt.implied().contains(&Operator::Neq));
+        assert_eq!(Operator::Leq.implied(), &[Operator::Leq]);
+    }
+
+    #[test]
+    fn parse_and_display() {
+        for op in Operator::ALL {
+            assert_eq!(Operator::parse(op.symbol()), Some(op));
+        }
+        assert_eq!(Operator::parse("!="), Some(Operator::Neq));
+        assert_eq!(Operator::parse(">="), Some(Operator::Geq));
+        assert_eq!(Operator::parse("?"), None);
+    }
+
+    proptest! {
+        /// Axiom behind the hitting-set reduction: for comparable non-null
+        /// values, exactly one of P and its complement holds.
+        #[test]
+        fn prop_complement_partition(a in -50i64..50, b in -50i64..50) {
+            let (va, vb) = (Value::Int(a), Value::Int(b));
+            for op in Operator::ALL {
+                prop_assert_ne!(op.eval(&va, &vb), op.complement().eval(&va, &vb));
+            }
+        }
+
+        /// a ρ b ⇔ b ρˢ a.
+        #[test]
+        fn prop_symmetric(a in -50i64..50, b in -50i64..50) {
+            let (va, vb) = (Value::Int(a), Value::Int(b));
+            for op in Operator::ALL {
+                prop_assert_eq!(op.eval(&va, &vb), op.symmetric().eval(&vb, &va));
+            }
+        }
+
+        /// If an operator holds then all operators it implies hold too.
+        #[test]
+        fn prop_implication(a in -50i64..50, b in -50i64..50) {
+            let (va, vb) = (Value::Int(a), Value::Int(b));
+            for op in Operator::ALL {
+                if op.eval(&va, &vb) {
+                    for imp in op.implied() {
+                        prop_assert!(imp.eval(&va, &vb), "{:?} implies {:?}", op, imp);
+                    }
+                }
+            }
+        }
+
+        /// Evaluating on floats agrees with the ordering-based shortcut.
+        #[test]
+        fn prop_eval_matches_ordering(a in -100f64..100f64, b in -100f64..100f64) {
+            let (va, vb) = (Value::Float(a), Value::Float(b));
+            let ord = va.sem_cmp(&vb).unwrap();
+            for op in Operator::ALL {
+                prop_assert_eq!(op.eval(&va, &vb), op.eval_ordering(ord));
+            }
+        }
+    }
+}

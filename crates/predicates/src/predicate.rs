@@ -1,0 +1,199 @@
+//! Individual predicates over a tuple pair.
+
+use crate::operator::Operator;
+use adc_data::{Relation, Schema, Value};
+use std::fmt;
+
+/// Which tuple of the ordered pair `⟨t, t'⟩` the right-hand side refers to.
+///
+/// The left-hand side of a predicate always refers to `t` (the first tuple);
+/// predicates whose only difference is swapping `t` and `t'` are equivalent
+/// up to the symmetric operator and would bloat the space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TupleRole {
+    /// The first tuple `t` — yields single-tuple predicates `t[A] ρ t[B]`.
+    Same,
+    /// The second tuple `t'` — yields cross-tuple predicates `t[A] ρ t'[B]`.
+    Other,
+}
+
+/// A single predicate `t[A] ρ x[B]` where `x` is `t` or `t'`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Predicate {
+    /// Attribute index of the left operand (always on tuple `t`).
+    pub left_col: usize,
+    /// Attribute index of the right operand.
+    pub right_col: usize,
+    /// Which tuple the right operand is read from.
+    pub right_role: TupleRole,
+    /// The comparison operator.
+    pub op: Operator,
+}
+
+impl Predicate {
+    /// Create a cross-tuple predicate `t[left] op t'[right]`.
+    pub fn cross(left_col: usize, op: Operator, right_col: usize) -> Self {
+        Predicate { left_col, right_col, right_role: TupleRole::Other, op }
+    }
+
+    /// Create a single-tuple predicate `t[left] op t[right]`.
+    pub fn single(left_col: usize, op: Operator, right_col: usize) -> Self {
+        Predicate { left_col, right_col, right_role: TupleRole::Same, op }
+    }
+
+    /// The complement predicate `P̂` (same operands, complement operator).
+    pub fn complement(&self) -> Predicate {
+        Predicate { op: self.op.complement(), ..*self }
+    }
+
+    /// The *structure key* of the predicate: everything except the operator.
+    ///
+    /// Predicates with equal structure keys differ only by operator; the
+    /// enumeration algorithm removes all same-structure predicates from the
+    /// candidate list once one of them enters the partial DC
+    /// (`RemoveRedundantPreds` in the paper), which suppresses trivial DCs
+    /// such as `¬(t[A] < t'[A] ∧ t[A] ≥ t'[A])`.
+    pub fn structure_key(&self) -> (usize, usize, TupleRole) {
+        (self.left_col, self.right_col, self.right_role)
+    }
+
+    /// `true` if the predicate compares an attribute with itself on the same
+    /// tuple (e.g. `t[A] = t[A]`), which is either a tautology or unsatisfiable
+    /// and therefore never generated.
+    pub fn is_degenerate(&self) -> bool {
+        self.right_role == TupleRole::Same && self.left_col == self.right_col
+    }
+
+    /// Evaluate the predicate on the ordered tuple pair `(t, t')` of a relation.
+    ///
+    /// For single-tuple predicates only `t` is consulted; `t'` is ignored.
+    pub fn eval(&self, relation: &Relation, t: usize, t_prime: usize) -> bool {
+        let left = relation.value(t, self.left_col);
+        let right = match self.right_role {
+            TupleRole::Same => relation.value(t, self.right_col),
+            TupleRole::Other => relation.value(t_prime, self.right_col),
+        };
+        self.op.eval(&left, &right)
+    }
+
+    /// Evaluate on explicit values (used by tests and the naive evidence builder).
+    pub fn eval_values(&self, left: &Value, right: &Value) -> bool {
+        self.op.eval(left, right)
+    }
+
+    /// Render with attribute names from a schema, e.g. `t.State = t'.State`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> PredicateDisplay<'a> {
+        PredicateDisplay { predicate: self, schema }
+    }
+}
+
+/// Helper returned by [`Predicate::display`].
+pub struct PredicateDisplay<'a> {
+    predicate: &'a Predicate,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for PredicateDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.predicate;
+        let left = self.schema.attribute(p.left_col).name();
+        let right = self.schema.attribute(p.right_col).name();
+        let right_tuple = match p.right_role {
+            TupleRole::Same => "t",
+            TupleRole::Other => "t'",
+        };
+        write!(f, "t.{} {} {}.{}", left, p.op, right_tuple, right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_data::{AttributeType, Schema};
+
+    fn schema() -> Schema {
+        Schema::of(&[
+            ("State", AttributeType::Text),
+            ("Income", AttributeType::Integer),
+            ("Tax", AttributeType::Float),
+        ])
+    }
+
+    fn relation() -> Relation {
+        let mut b = Relation::builder(schema());
+        b.push_row(vec!["NY".into(), Value::Int(42_000), Value::Float(4_700.0)]).unwrap();
+        b.push_row(vec!["NY".into(), Value::Int(28_000), Value::Float(2_400.0)]).unwrap();
+        b.push_row(vec!["WA".into(), Value::Int(27_000), Value::Float(1_400.0)]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn cross_tuple_evaluation() {
+        let r = relation();
+        let p = Predicate::cross(0, Operator::Eq, 0); // t.State = t'.State
+        assert!(p.eval(&r, 0, 1));
+        assert!(!p.eval(&r, 0, 2));
+        let q = Predicate::cross(1, Operator::Gt, 1); // t.Income > t'.Income
+        assert!(q.eval(&r, 0, 1));
+        assert!(!q.eval(&r, 1, 0));
+    }
+
+    #[test]
+    fn single_tuple_evaluation_ignores_second_tuple() {
+        let r = relation();
+        let p = Predicate::single(1, Operator::Gt, 2); // t.Income > t.Tax
+        assert!(p.eval(&r, 0, 1));
+        assert!(p.eval(&r, 0, 2)); // same t, different t' — same result
+        assert!(p.eval(&r, 2, 0));
+    }
+
+    #[test]
+    fn complement_flips_op_only() {
+        let p = Predicate::cross(1, Operator::Leq, 2);
+        let c = p.complement();
+        assert_eq!(c.op, Operator::Gt);
+        assert_eq!(c.left_col, p.left_col);
+        assert_eq!(c.right_col, p.right_col);
+        assert_eq!(c.right_role, p.right_role);
+        assert_eq!(c.complement(), p);
+    }
+
+    #[test]
+    fn structure_key_groups_operator_variants() {
+        let a = Predicate::cross(1, Operator::Lt, 2);
+        let b = Predicate::cross(1, Operator::Geq, 2);
+        let c = Predicate::cross(2, Operator::Lt, 1);
+        let d = Predicate::single(1, Operator::Lt, 2);
+        assert_eq!(a.structure_key(), b.structure_key());
+        assert_ne!(a.structure_key(), c.structure_key());
+        assert_ne!(a.structure_key(), d.structure_key());
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        assert!(Predicate::single(1, Operator::Eq, 1).is_degenerate());
+        assert!(!Predicate::single(1, Operator::Eq, 2).is_degenerate());
+        assert!(!Predicate::cross(1, Operator::Eq, 1).is_degenerate());
+    }
+
+    #[test]
+    fn display_format() {
+        let s = schema();
+        let p = Predicate::cross(1, Operator::Gt, 2);
+        assert_eq!(p.display(&s).to_string(), "t.Income > t'.Tax");
+        let q = Predicate::single(1, Operator::Leq, 2);
+        assert_eq!(q.display(&s).to_string(), "t.Income ≤ t.Tax");
+    }
+
+    #[test]
+    fn eval_against_null_cell() {
+        let mut b = Relation::builder(schema());
+        b.push_row(vec![Value::Null, Value::Int(1), Value::Float(1.0)]).unwrap();
+        b.push_row(vec!["NY".into(), Value::Int(2), Value::Float(2.0)]).unwrap();
+        let r = b.build();
+        let p = Predicate::cross(0, Operator::Eq, 0);
+        let np = Predicate::cross(0, Operator::Neq, 0);
+        assert!(!p.eval(&r, 0, 1));
+        assert!(!np.eval(&r, 0, 1));
+    }
+}

@@ -1,0 +1,422 @@
+//! The predicate space `P_R` for a relation.
+//!
+//! Component (1) of ADCMiner: the *predicate space generator*. Following the
+//! paper (Section 4.2) and Chu et al., the space contains predicates of three
+//! shapes — `t[A] ρ t'[A]`, `t[A] ρ t[B]`, and `t[A] ρ t'[B]` — where:
+//!
+//! * order operators are used only for numeric attributes,
+//! * only attributes of comparable types are compared,
+//! * two *different* attributes are compared only if they share at least 30 %
+//!   of their distinct values (configurable via [`SpaceConfig`]).
+//!
+//! Every predicate gets a dense id (`0..len`); sets of predicates are
+//! [`FixedBitSet`]s over that id range.
+
+use crate::operator::Operator;
+use crate::predicate::{Predicate, TupleRole};
+use adc_data::fx::FxHashMap;
+use adc_data::{FixedBitSet, Relation, Schema};
+
+/// Configuration for predicate-space generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpaceConfig {
+    /// Minimum fraction of shared distinct values required to compare two
+    /// *different* attributes (the paper and Chu et al. use 0.3).
+    pub min_shared_fraction: f64,
+    /// Generate cross-column, cross-tuple predicates `t[A] ρ t'[B]`.
+    pub cross_column_cross_tuple: bool,
+    /// Generate cross-column, single-tuple predicates `t[A] ρ t[B]`.
+    pub single_tuple: bool,
+}
+
+impl Default for SpaceConfig {
+    fn default() -> Self {
+        SpaceConfig {
+            min_shared_fraction: 0.3,
+            cross_column_cross_tuple: true,
+            single_tuple: true,
+        }
+    }
+}
+
+impl SpaceConfig {
+    /// A configuration that only generates same-attribute cross-tuple
+    /// predicates `t[A] ρ t'[A]` — the fragment corresponding to classic
+    /// FD-style constraints plus order comparisons.
+    pub fn same_column_only() -> Self {
+        SpaceConfig {
+            min_shared_fraction: 1.1, // nothing passes the cross-column filter
+            cross_column_cross_tuple: false,
+            single_tuple: false,
+        }
+    }
+}
+
+/// The predicate space for one relation.
+#[derive(Debug, Clone)]
+pub struct PredicateSpace {
+    schema: Schema,
+    predicates: Vec<Predicate>,
+    /// `complement_of[i]` = id of the complement predicate of `i`.
+    complement_of: Vec<usize>,
+    /// `group_of[i]` = structure-group id of predicate `i`.
+    group_of: Vec<usize>,
+    /// Structure groups: predicates sharing operands and differing only in operator.
+    groups: Vec<Vec<usize>>,
+    /// Reverse index for lookup by value.
+    index: FxHashMap<Predicate, usize>,
+    config: SpaceConfig,
+}
+
+impl PredicateSpace {
+    /// Build the predicate space for a relation.
+    pub fn build(relation: &Relation, config: SpaceConfig) -> Self {
+        let schema = relation.schema().clone();
+        let mut candidate_structures: Vec<(usize, usize, TupleRole)> = Vec::new();
+
+        // Same attribute, cross tuple: always admissible.
+        for col in 0..schema.arity() {
+            candidate_structures.push((col, col, TupleRole::Other));
+        }
+
+        // Different attributes: admissible when types are comparable and the
+        // shared-values fraction passes the threshold.
+        for a in 0..schema.arity() {
+            for b in 0..schema.arity() {
+                if a == b {
+                    continue;
+                }
+                let ta = schema.attribute(a).ty();
+                let tb = schema.attribute(b).ty();
+                if !ta.comparable_with(tb) {
+                    continue;
+                }
+                let shared = relation.shared_value_fraction(a, b);
+                if shared < config.min_shared_fraction {
+                    continue;
+                }
+                if config.cross_column_cross_tuple {
+                    candidate_structures.push((a, b, TupleRole::Other));
+                }
+                // Single-tuple predicates are symmetric in (a, b) up to the
+                // symmetric operator, so generate each unordered pair once.
+                if config.single_tuple && a < b {
+                    candidate_structures.push((a, b, TupleRole::Same));
+                }
+            }
+        }
+
+        let mut predicates = Vec::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut group_of = Vec::new();
+        for (left, right, role) in candidate_structures {
+            let numeric =
+                schema.attribute(left).ty().is_numeric() && schema.attribute(right).ty().is_numeric();
+            let ops: &[Operator] = if numeric { &Operator::ALL } else { &Operator::EQUALITY };
+            let group_id = groups.len();
+            let mut group = Vec::with_capacity(ops.len());
+            for &op in ops {
+                let p = Predicate { left_col: left, right_col: right, right_role: role, op };
+                debug_assert!(!p.is_degenerate());
+                group.push(predicates.len());
+                group_of.push(group_id);
+                predicates.push(p);
+            }
+            groups.push(group);
+        }
+
+        let mut index = FxHashMap::default();
+        for (i, p) in predicates.iter().enumerate() {
+            index.insert(*p, i);
+        }
+        let complement_of = predicates
+            .iter()
+            .map(|p| {
+                *index
+                    .get(&p.complement())
+                    .expect("complement of every generated predicate is generated")
+            })
+            .collect();
+
+        PredicateSpace { schema, predicates, complement_of, group_of, groups, index, config }
+    }
+
+    /// The schema the space was built for.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The configuration the space was built with.
+    pub fn config(&self) -> &SpaceConfig {
+        &self.config
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// `true` if the space contains no predicates.
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// Predicate with id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn predicate(&self, id: usize) -> &Predicate {
+        &self.predicates[id]
+    }
+
+    /// All predicates in id order.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Id of the complement predicate of `id`.
+    pub fn complement_of(&self, id: usize) -> usize {
+        self.complement_of[id]
+    }
+
+    /// Map a set of predicate ids to the set of their complements.
+    pub fn complement_set(&self, set: &FixedBitSet) -> FixedBitSet {
+        FixedBitSet::from_indices(self.len(), set.iter().map(|i| self.complement_of[i]))
+    }
+
+    /// Structure-group id of predicate `id` (predicates in the same group
+    /// share operands and differ only by operator).
+    pub fn group_of(&self, id: usize) -> usize {
+        self.group_of[id]
+    }
+
+    /// Members of structure group `group`.
+    pub fn group_members(&self, group: usize) -> &[usize] {
+        &self.groups[group]
+    }
+
+    /// Number of structure groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Look up the id of a predicate by value.
+    pub fn id_of(&self, predicate: &Predicate) -> Option<usize> {
+        self.index.get(predicate).copied()
+    }
+
+    /// Look up a predicate by attribute names, operator symbol, and role.
+    ///
+    /// `find("Income", ">", TupleRole::Other, "Tax")` resolves
+    /// `t.Income > t'.Tax`. Returns `None` if the attribute names are unknown
+    /// or the predicate is not part of the space (e.g. filtered by the
+    /// shared-values rule).
+    pub fn find(&self, left: &str, op: &str, role: TupleRole, right: &str) -> Option<usize> {
+        let left_col = self.schema.index_of(left)?;
+        let right_col = self.schema.index_of(right)?;
+        let op = Operator::parse(op)?;
+        self.id_of(&Predicate { left_col, right_col, right_role: role, op })
+    }
+
+    /// Compute `Sat(t, t')`: the set of predicates satisfied by the ordered
+    /// tuple pair. This is the reference (naive) implementation; the
+    /// evidence builders in `adc-evidence` compute the same sets column-wise.
+    pub fn satisfied_set(&self, relation: &Relation, t: usize, t_prime: usize) -> FixedBitSet {
+        let mut set = FixedBitSet::new(self.len());
+        for (i, p) in self.predicates.iter().enumerate() {
+            if p.eval(relation, t, t_prime) {
+                set.insert(i);
+            }
+        }
+        set
+    }
+
+    /// Render a predicate set (e.g. a DC body) as text.
+    pub fn render_set(&self, set: &FixedBitSet) -> String {
+        let parts: Vec<String> = set
+            .iter()
+            .map(|i| self.predicates[i].display(&self.schema).to_string())
+            .collect();
+        parts.join(" ∧ ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_data::{AttributeType, Schema, Value};
+
+    /// Running-example-like relation: Name, State (text), Income, Tax (numeric).
+    fn relation() -> Relation {
+        let schema = Schema::of(&[
+            ("Name", AttributeType::Text),
+            ("State", AttributeType::Text),
+            ("Income", AttributeType::Integer),
+            ("Tax", AttributeType::Integer),
+        ]);
+        let mut b = Relation::builder(schema);
+        let rows: [(&str, &str, i64, i64); 4] = [
+            ("Alice", "NY", 28_000, 2_400),
+            ("Mark", "NY", 42_000, 4_700),
+            ("Julia", "WA", 27_000, 1_400),
+            ("Jimmy", "WA", 24_000, 1_600),
+        ];
+        for (n, s, i, t) in rows {
+            b.push_row(vec![n.into(), s.into(), Value::Int(i), Value::Int(t)]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn same_column_predicates_always_present() {
+        let r = relation();
+        let space = PredicateSpace::build(&r, SpaceConfig::same_column_only());
+        // Name, State: 2 ops each; Income, Tax: 6 ops each.
+        assert_eq!(space.len(), 2 + 2 + 6 + 6);
+        assert!(space.find("State", "=", TupleRole::Other, "State").is_some());
+        assert!(space.find("Income", "<", TupleRole::Other, "Income").is_some());
+        // No order predicates on text attributes.
+        assert!(space.find("State", "<", TupleRole::Other, "State").is_none());
+        // No cross-column predicates in this config.
+        assert!(space.find("Income", ">", TupleRole::Other, "Tax").is_none());
+    }
+
+    #[test]
+    fn shared_value_rule_filters_cross_column() {
+        let r = relation();
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        // Income and Tax values do not overlap at all -> no Income/Tax predicates.
+        assert!(space.find("Income", ">", TupleRole::Other, "Tax").is_none());
+        assert!(space.find("Income", ">", TupleRole::Same, "Tax").is_none());
+        // Name and State do not overlap either.
+        assert!(space.find("Name", "=", TupleRole::Other, "State").is_none());
+    }
+
+    #[test]
+    fn cross_column_predicates_appear_when_values_overlap() {
+        // Two numeric columns with identical value sets.
+        let schema = Schema::of(&[("A", AttributeType::Integer), ("B", AttributeType::Integer)]);
+        let mut b = Relation::builder(schema);
+        for i in 0..10i64 {
+            b.push_row(vec![Value::Int(i), Value::Int(i)]).unwrap();
+        }
+        let r = b.build();
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        // Same-column: 2 * 6. Cross-column cross-tuple: A/B and B/A -> 2 * 6.
+        // Single-tuple: unordered {A,B} -> 6.
+        assert_eq!(space.len(), 12 + 12 + 6);
+        assert!(space.find("A", "≤", TupleRole::Other, "B").is_some());
+        assert!(space.find("B", "≥", TupleRole::Other, "A").is_some());
+        assert!(space.find("A", "<", TupleRole::Same, "B").is_some());
+        // Single-tuple pairs are generated once (A,B), not twice.
+        assert!(space.find("B", "<", TupleRole::Same, "A").is_none());
+    }
+
+    #[test]
+    fn complement_map_is_involutive_and_consistent() {
+        let r = relation();
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        for id in 0..space.len() {
+            let c = space.complement_of(id);
+            assert_eq!(space.complement_of(c), id);
+            assert_eq!(*space.predicate(c), space.predicate(id).complement());
+        }
+    }
+
+    #[test]
+    fn complement_set_maps_elementwise() {
+        let r = relation();
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        let a = space.find("State", "=", TupleRole::Other, "State").unwrap();
+        let b = space.find("Income", "<", TupleRole::Other, "Income").unwrap();
+        let set = FixedBitSet::from_indices(space.len(), [a, b]);
+        let comp = space.complement_set(&set);
+        assert!(comp.contains(space.find("State", "≠", TupleRole::Other, "State").unwrap()));
+        assert!(comp.contains(space.find("Income", "≥", TupleRole::Other, "Income").unwrap()));
+        assert_eq!(comp.len(), 2);
+    }
+
+    #[test]
+    fn structure_groups_partition_the_space() {
+        let r = relation();
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        let mut seen = vec![false; space.len()];
+        for g in 0..space.group_count() {
+            for &id in space.group_members(g) {
+                assert_eq!(space.group_of(id), g);
+                assert!(!seen[id], "predicate {id} in two groups");
+                seen[id] = true;
+            }
+            // All members share the structure key.
+            let key = space.predicate(space.group_members(g)[0]).structure_key();
+            for &id in space.group_members(g) {
+                assert_eq!(space.predicate(id).structure_key(), key);
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn satisfied_set_matches_example_3_1_style_expectations() {
+        let r = relation();
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        // Pair (Mark, Alice): same state, Mark earns and pays more.
+        let sat = space.satisfied_set(&r, 1, 0);
+        let id = |l: &str, op: &str, r_: &str| space.find(l, op, TupleRole::Other, r_).unwrap();
+        assert!(sat.contains(id("State", "=", "State")));
+        assert!(sat.contains(id("Name", "≠", "Name")));
+        assert!(sat.contains(id("Income", ">", "Income")));
+        assert!(sat.contains(id("Income", "≥", "Income")));
+        assert!(sat.contains(id("Tax", ">", "Tax")));
+        assert!(!sat.contains(id("Income", "<", "Income")));
+        assert!(!sat.contains(id("State", "≠", "State")));
+        // Reversed pair flips the order predicates.
+        let sat_rev = space.satisfied_set(&r, 0, 1);
+        assert!(sat_rev.contains(id("Income", "<", "Income")));
+        assert!(!sat_rev.contains(id("Income", ">", "Income")));
+    }
+
+    #[test]
+    fn exactly_one_of_predicate_and_complement_holds_per_pair() {
+        let r = relation();
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        for t in 0..r.len() {
+            for tp in 0..r.len() {
+                if t == tp {
+                    continue;
+                }
+                let sat = space.satisfied_set(&r, t, tp);
+                for id in 0..space.len() {
+                    let c = space.complement_of(id);
+                    assert_ne!(
+                        sat.contains(id),
+                        sat.contains(c),
+                        "pair ({t},{tp}) predicate {id}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_set_is_readable() {
+        let r = relation();
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        let a = space.find("State", "=", TupleRole::Other, "State").unwrap();
+        let b = space.find("Income", ">", TupleRole::Other, "Income").unwrap();
+        let set = FixedBitSet::from_indices(space.len(), [a, b]);
+        let s = space.render_set(&set);
+        assert!(s.contains("t.State = t'.State"));
+        assert!(s.contains("t.Income > t'.Income"));
+        assert!(s.contains(" ∧ "));
+    }
+
+    #[test]
+    fn lookup_unknown_names_returns_none() {
+        let r = relation();
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        assert!(space.find("Nope", "=", TupleRole::Other, "State").is_none());
+        assert!(space.find("State", "=", TupleRole::Other, "Nope").is_none());
+        assert!(space.find("State", "??", TupleRole::Other, "State").is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! Tax-audit scenario (the paper's motivating workload): discover the
+//! income/tax monotonicity rule and the geographic consistency rules from a
+//! *dirty* tax dataset, then measure how many of the golden rules were
+//! recovered (G-recall, as in Figure 14 of the paper).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example tax_audit
+//! ```
+
+use adc::datasets::{spread_noise, Dataset, NoiseConfig};
+use adc::prelude::*;
+
+fn main() {
+    let generator = Dataset::Tax.generator();
+    let rows = 400;
+    let clean = generator.generate(rows, 42);
+    println!("Generated a clean Tax relation: {rows} tuples × {} attributes", clean.arity());
+
+    // Dirty the data the way Section 8.4 of the paper does: every cell is
+    // modified with probability 0.001 (half active-domain swaps, half typos).
+    let (dirty, changed) = spread_noise(&clean, &NoiseConfig::with_rate(0.002), 7);
+    println!("Injected spread noise: {} cells modified", changed.len());
+
+    // Mine the dirty relation under each approximation function.
+    for (kind, epsilon) in [(ApproxKind::F1, 1e-3), (ApproxKind::F2, 1e-2), (ApproxKind::F3, 1e-2)] {
+        let config = MinerConfig::new(epsilon).with_approx(kind);
+        let result = AdcMiner::new(config).mine(&dirty);
+        let golden = generator.golden_dcs(&result.space);
+        let recall = g_recall(&result.dcs, &golden);
+        println!(
+            "\n=== {kind} (ε = {epsilon}) ===\n  discovered {} DCs in {:?} (G-recall {:.2})",
+            result.dcs.len(),
+            result.timings.total(),
+            recall
+        );
+        // Show the golden rules that were recovered.
+        for g in &golden {
+            if result.dcs.iter().any(|d| adc::core::metrics::implies(d, g)) {
+                println!("  ✓ {}", g.display(&result.space));
+            }
+        }
+    }
+
+    // For contrast: mining *exact* DCs on the dirty data recovers (almost)
+    // none of the golden rules — the motivation for approximate DCs.
+    let exact = AdcMiner::new(MinerConfig::new(0.0)).mine(&dirty);
+    let golden = generator.golden_dcs(&exact.space);
+    println!(
+        "\nExact DCs on the dirty data: G-recall {:.2} ({} DCs discovered)",
+        g_recall(&exact.dcs, &golden),
+        exact.dcs.len()
+    );
+}

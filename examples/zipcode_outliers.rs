@@ -1,0 +1,65 @@
+//! Outlier-tolerant rule discovery: when errors are concentrated in a few
+//! tuples (one bad record pollutes many pairs), the pair-counting function
+//! `f1` and the tuple-removal function `f3` behave very differently — the
+//! zip-code example of Example 1.2 of the paper.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example zipcode_outliers
+//! ```
+
+use adc::approx::{ApproxContext, ApproximationFunction, F1ViolationRate, F3GreedyRepair};
+use adc::datasets::{phi1, phi2, running_example, skewed_noise, Dataset, NoiseConfig};
+use adc::evidence::Evidence;
+use adc::prelude::*;
+
+fn main() {
+    // Part 1: the exact numbers of Example 1.2 on Table 1.
+    let relation = running_example();
+    let space = PredicateSpace::build(&relation, SpaceConfig::default());
+    let evidence = Evidence::build(&relation, &space);
+    let ctx = ApproxContext::with_vios(&evidence.evidence_set, evidence.vios());
+
+    let income_rule = phi1(&space);
+    let zip_rule = phi2(&space);
+    println!("ϕ1 = {}", income_rule.display(&space));
+    println!("ϕ2 = {}\n", zip_rule.display(&space));
+    for (name, dc) in [("ϕ1 (income/tax)", &income_rule), ("ϕ2 (zip/state)", &zip_rule)] {
+        let cset = dc.complement_set(&space);
+        println!(
+            "{name}: violating-pair rate (1 − f1) = {:.4}, greedy removal rate (1 − f3) = {:.4}",
+            F1ViolationRate.exception_rate(&ctx, &cset),
+            F3GreedyRepair.exception_rate(&ctx, &cset),
+        );
+    }
+    println!("\nAt ε = 0.05, ϕ1 is an ADC under f1 but not under f3;");
+    println!("at ε = 0.07, ϕ2 is an ADC under f3 but not under f1 — semantics matter.\n");
+
+    // Part 2: the same effect at scale, on the Voter analog with skewed noise
+    // (all errors concentrated in a handful of tuples).
+    let generator = Dataset::Voter.generator();
+    let clean = generator.generate(300, 3);
+    let (dirty, changed) = skewed_noise(&clean, &NoiseConfig::with_rate(0.01), 11);
+    let touched: std::collections::HashSet<usize> = changed.iter().map(|c| c.row).collect();
+    println!(
+        "Voter analog: 300 tuples, skewed noise touched {} tuples ({} cells).",
+        touched.len(),
+        changed.len()
+    );
+
+    for kind in [ApproxKind::F1, ApproxKind::F3] {
+        let epsilon = match kind {
+            ApproxKind::F1 => 1e-4,
+            _ => 1e-1,
+        };
+        let result = AdcMiner::new(MinerConfig::new(epsilon).with_approx(kind)).mine(&dirty);
+        let golden = generator.golden_dcs(&result.space);
+        println!(
+            "  {kind} at ε = {epsilon:>6}: {} DCs, G-recall {:.2}",
+            result.dcs.len(),
+            g_recall(&result.dcs, &golden)
+        );
+    }
+    println!("\nWith error-concentrated noise, the tuple-removal semantics (f3) tolerates the bad");
+    println!("tuples at a small ε, while f1 needs a threshold tuned to the (quadratic) pair count.");
+}
