@@ -134,7 +134,9 @@ fn coverage_signature(ctx: &ApproxContext<'_>, set: &FixedBitSet) -> Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::functions::{F1ViolationRate, F2ProblematicTuples, F3GreedyRepair, SampleAdjustedF1};
+    use crate::functions::{
+        F1ViolationRate, F2ProblematicTuples, F3GreedyRepair, SampleAdjustedF1,
+    };
     use adc_data::{AttributeType, Relation, Schema, Value};
     use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder};
     use adc_predicates::{PredicateSpace, SpaceConfig};
@@ -168,7 +170,10 @@ mod tests {
             let space = PredicateSpace::build(&r, SpaceConfig::default());
             let ev = ClusterEvidenceBuilder.build(&r, &space, true);
             let ctx = ApproxContext::with_vios(&ev.evidence_set, ev.vios());
-            for f in [&F1ViolationRate as &dyn ApproximationFunction, &F2ProblematicTuples] {
+            for f in [
+                &F1ViolationRate as &dyn ApproximationFunction,
+                &F2ProblematicTuples,
+            ] {
                 assert!(
                     check_monotonicity(f, &ctx, space.len(), 20, seed).is_none(),
                     "{} not monotonic (seed {seed})",

@@ -1,8 +1,8 @@
 //! The approximation-function trait and the concrete functions of the paper.
 
 use crate::normal;
-use adc_evidence::{EvidenceSet, Vios};
 use adc_data::FixedBitSet;
+use adc_evidence::{EvidenceSet, Vios};
 
 /// Everything an approximation function may consult: the interned evidence
 /// set and (for tuple-level measures) the `vios` participation index.
@@ -22,12 +22,18 @@ pub struct ApproxContext<'a> {
 impl<'a> ApproxContext<'a> {
     /// Build a context from an evidence set alone (sufficient for `f1`).
     pub fn new(evidence: &'a EvidenceSet) -> Self {
-        ApproxContext { evidence, vios: None }
+        ApproxContext {
+            evidence,
+            vios: None,
+        }
     }
 
     /// Build a context with the `vios` index (required for `f2` / `f3`).
     pub fn with_vios(evidence: &'a EvidenceSet, vios: &'a Vios) -> Self {
-        ApproxContext { evidence, vios: Some(vios) }
+        ApproxContext {
+            evidence,
+            vios: Some(vios),
+        }
     }
 
     fn vios(&self) -> &'a Vios {
@@ -113,7 +119,11 @@ pub struct F3GreedyRepair;
 impl F3GreedyRepair {
     /// Size of the greedy repair set `R` for the DC with complement set
     /// `complement_set` (the loop of Figure 2).
-    pub fn greedy_repair_size(&self, ctx: &ApproxContext<'_>, complement_set: &FixedBitSet) -> usize {
+    pub fn greedy_repair_size(
+        &self,
+        ctx: &ApproxContext<'_>,
+        complement_set: &FixedBitSet,
+    ) -> usize {
         let evidence = ctx.evidence;
         let uncovered = evidence.uncovered_indexes(complement_set);
         // u = total number of violating pairs (bag semantics).
@@ -175,7 +185,9 @@ impl SampleAdjustedF1 {
     /// Build from the error bound `α` of the paper (confidence `1 − α` that an
     /// accepted DC is an ε-ADC on the full database).
     pub fn with_alpha(alpha: f64) -> Self {
-        SampleAdjustedF1 { z: normal::z_for_alpha(alpha) }
+        SampleAdjustedF1 {
+            z: normal::z_for_alpha(alpha),
+        }
     }
 }
 
@@ -237,8 +249,14 @@ mod tests {
         ];
         let mut b = Relation::builder(schema);
         for (n, s, z, i, t) in rows {
-            b.push_row(vec![n.into(), s.into(), Value::Int(z), Value::Int(i), Value::Int(t)])
-                .unwrap();
+            b.push_row(vec![
+                n.into(),
+                s.into(),
+                Value::Int(z),
+                Value::Int(i),
+                Value::Int(t),
+            ])
+            .unwrap();
         }
         b.build()
     }
@@ -259,7 +277,9 @@ mod tests {
     fn phi1(space: &PredicateSpace) -> DenialConstraint {
         DenialConstraint::new(vec![
             space.find("State", "=", TupleRole::Other, "State").unwrap(),
-            space.find("Income", ">", TupleRole::Other, "Income").unwrap(),
+            space
+                .find("Income", ">", TupleRole::Other, "Income")
+                .unwrap(),
             space.find("Tax", "≤", TupleRole::Other, "Tax").unwrap(),
         ])
     }

@@ -27,7 +27,8 @@ pub fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -43,7 +44,7 @@ pub fn quantile(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -97,7 +98,10 @@ pub fn quantile(p: f64) -> f64 {
 /// # Panics
 /// Panics unless `0 < alpha < 0.5`.
 pub fn z_for_alpha(alpha: f64) -> f64 {
-    assert!(alpha > 0.0 && alpha < 0.5, "alpha must be in (0, 0.5), got {alpha}");
+    assert!(
+        alpha > 0.0 && alpha < 0.5,
+        "alpha must be in (0, 0.5), got {alpha}"
+    );
     quantile(1.0 - alpha)
 }
 

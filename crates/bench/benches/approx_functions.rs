@@ -3,10 +3,10 @@
 
 use adc_approx::{ApproxContext, ApproxKind};
 use adc_core::{enumerate_adcs, EnumerationOptions};
+use adc_data::FixedBitSet;
 use adc_datasets::Dataset;
 use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder};
 use adc_predicates::{PredicateSpace, SpaceConfig};
-use adc_data::FixedBitSet;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -20,7 +20,9 @@ fn bench(c: &mut Criterion) {
         let f = kind.instantiate();
         group.bench_function(format!("enumerate/{}", kind), |b| {
             b.iter(|| {
-                enumerate_adcs(&space, &evidence, f.as_ref(), &EnumerationOptions::new(0.1)).dcs.len()
+                enumerate_adcs(&space, &evidence, f.as_ref(), &EnumerationOptions::new(0.1))
+                    .dcs
+                    .len()
             })
         });
 

@@ -15,12 +15,17 @@ fn bench(c: &mut Criterion) {
         let relation = dataset.generator().generate(200, 3);
         let space = PredicateSpace::build(&relation, SpaceConfig::default());
         let evidence = ClusterEvidenceBuilder.build(&relation, &space, false);
-        for strategy in [BranchStrategy::MaxIntersection, BranchStrategy::MinIntersection] {
+        for strategy in [
+            BranchStrategy::MaxIntersection,
+            BranchStrategy::MinIntersection,
+        ] {
             group.bench_function(format!("{}/{}", strategy.label(), dataset.name()), |b| {
                 b.iter(|| {
                     let mut options = EnumerationOptions::new(0.1);
                     options.strategy = strategy;
-                    enumerate_adcs(&space, &evidence, &F1ViolationRate, &options).dcs.len()
+                    enumerate_adcs(&space, &evidence, &F1ViolationRate, &options)
+                        .dcs
+                        .len()
                 })
             });
         }

@@ -31,7 +31,12 @@ fn bench(c: &mut Criterion) {
             })
         });
         group.bench_function(format!("searchmc/{}", dataset.name()), |b| {
-            b.iter(|| SearchMinimalCovers::new(epsilon).run(&space, &evidence.evidence_set).0.len())
+            b.iter(|| {
+                SearchMinimalCovers::new(epsilon)
+                    .run(&space, &evidence.evidence_set)
+                    .0
+                    .len()
+            })
         });
     }
     group.finish();

@@ -34,7 +34,12 @@ fn coverage_score(system: &SetSystem) -> impl Fn(&FixedBitSet) -> f64 + '_ {
         if system.is_empty() {
             return 1.0;
         }
-        system.subsets().iter().filter(|f| f.intersects(set)).count() as f64 / system.len() as f64
+        system
+            .subsets()
+            .iter()
+            .filter(|f| f.intersects(set))
+            .count() as f64
+            / system.len() as f64
     }
 }
 

@@ -21,7 +21,9 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     let mut options = EnumerationOptions::new(0.05);
                     options.will_cover_pruning = pruning;
-                    enumerate_adcs(&space, &evidence, &F1ViolationRate, &options).dcs.len()
+                    enumerate_adcs(&space, &evidence, &F1ViolationRate, &options)
+                        .dcs
+                        .len()
                 })
             });
         }

@@ -27,7 +27,7 @@ fn main() {
             let evidence = ClusterEvidenceBuilder.build(&relation, &space, true);
             let f = kind.instantiate();
 
-            let mut run = |strategy: BranchStrategy| {
+            let run = |strategy: BranchStrategy| {
                 let mut options = EnumerationOptions::new(epsilon);
                 options.strategy = strategy;
                 let t = Instant::now();
@@ -45,6 +45,8 @@ fn main() {
                 min_calls.to_string(),
             ]);
         }
-        table.print(&format!("Figure 10 — branch strategy ablation under {kind} (ε = 0.1)"));
+        table.print(&format!(
+            "Figure 10 — branch strategy ablation under {kind} (ε = 0.1)"
+        ));
     }
 }

@@ -26,7 +26,9 @@ fn main() {
                 for &fraction in &sample_sizes {
                     let sampled = run_miner(
                         &relation,
-                        MinerConfig::new(epsilon).with_approx(kind).with_sample(fraction, 23),
+                        MinerConfig::new(epsilon)
+                            .with_approx(kind)
+                            .with_sample(fraction, 23),
                     );
                     cells.push(format!("{:.2}", f1_score(&sampled.dcs, &reference.dcs)));
                 }
@@ -48,10 +50,13 @@ fn main() {
                 let relation = bench_relation(dataset);
                 let mut cells = vec![dataset.name().to_string()];
                 for &epsilon in &thresholds {
-                    let reference = run_miner(&relation, MinerConfig::new(epsilon).with_approx(kind));
+                    let reference =
+                        run_miner(&relation, MinerConfig::new(epsilon).with_approx(kind));
                     let sampled = run_miner(
                         &relation,
-                        MinerConfig::new(epsilon).with_approx(kind).with_sample(fraction, 23),
+                        MinerConfig::new(epsilon)
+                            .with_approx(kind)
+                            .with_sample(fraction, 23),
                     );
                     cells.push(format!("{:.2}", f1_score(&sampled.dcs, &reference.dcs)));
                 }

@@ -18,7 +18,10 @@ fn main() {
         let relation = bench_relation(dataset);
         let mut cells = vec![dataset.name().to_string()];
         for &fraction in &fractions {
-            let result = run_miner(&relation, MinerConfig::new(epsilon).with_sample(fraction, 13));
+            let result = run_miner(
+                &relation,
+                MinerConfig::new(epsilon).with_sample(fraction, 13),
+            );
             // Recompute p̂ of each discovered DC on the same sample.
             let sample = sampling::draw_sample(&relation, fraction, 13);
             let evidence = ClusterEvidenceBuilder
@@ -29,7 +32,11 @@ fn main() {
                 .iter()
                 .map(|dc| epsilon - sampling::estimate_violation_rate(&evidence, &result.space, dc))
                 .collect();
-            let avg = if gaps.is_empty() { 0.0 } else { gaps.iter().sum::<f64>() / gaps.len() as f64 };
+            let avg = if gaps.is_empty() {
+                0.0
+            } else {
+                gaps.iter().sum::<f64>() / gaps.len() as f64
+            };
             cells.push(format!("{avg:.5}"));
         }
         table.add_row(cells);

@@ -29,7 +29,7 @@ fn main() {
                     spread_noise(&clean, &noise, 0xBAD)
                 };
                 let mut cells = vec![dataset.name().to_string()];
-                let mut golden_recall = |epsilon: f64| {
+                let golden_recall = |epsilon: f64| {
                     let result = run_miner(&dirty, MinerConfig::new(epsilon).with_approx(kind));
                     let golden = generator.golden_dcs(&result.space);
                     format!("{:.2}", g_recall(&result.dcs, &golden))

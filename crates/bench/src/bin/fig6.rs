@@ -4,10 +4,10 @@
 //! The evidence set is built once per dataset and shared by both algorithms,
 //! exactly as the paper isolates the enumeration component.
 
+use adc_approx::F1ViolationRate;
 use adc_bench::{bench_datasets, bench_relation, secs, Table};
 use adc_core::baseline::SearchMinimalCovers;
 use adc_core::{enumerate_adcs, EnumerationOptions};
-use adc_approx::F1ViolationRate;
 use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder};
 use adc_predicates::{PredicateSpace, SpaceConfig};
 use std::time::Instant;
@@ -30,11 +30,17 @@ fn main() {
         let evidence = ClusterEvidenceBuilder.build(&relation, &space, false);
 
         let t0 = Instant::now();
-        let adcenum = enumerate_adcs(&space, &evidence, &F1ViolationRate, &EnumerationOptions::new(epsilon));
+        let adcenum = enumerate_adcs(
+            &space,
+            &evidence,
+            &F1ViolationRate,
+            &EnumerationOptions::new(epsilon),
+        );
         let adcenum_time = t0.elapsed();
 
         let t1 = Instant::now();
-        let (searchmc_dcs, _) = SearchMinimalCovers::new(epsilon).run(&space, &evidence.evidence_set);
+        let (searchmc_dcs, _) =
+            SearchMinimalCovers::new(epsilon).run(&space, &evidence.evidence_set);
         let searchmc_time = t1.elapsed();
 
         table.add_row(vec![
@@ -43,7 +49,10 @@ fn main() {
             evidence.evidence_set.distinct_count().to_string(),
             secs(adcenum_time),
             secs(searchmc_time),
-            format!("{:.2}x", searchmc_time.as_secs_f64() / adcenum_time.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.2}x",
+                searchmc_time.as_secs_f64() / adcenum_time.as_secs_f64().max(1e-9)
+            ),
             adcenum.dcs.len().to_string(),
             searchmc_dcs.len().to_string(),
         ]);

@@ -24,6 +24,8 @@ fn main() {
             }
             table.add_row(cells);
         }
-        table.print(&format!("Figure 8 — ADCMiner {section} time per approximation function (ε = 0.1)"));
+        table.print(&format!(
+            "Figure 8 — ADCMiner {section} time per approximation function (ε = 0.1)"
+        ));
     }
 }

@@ -31,7 +31,12 @@ fn main() {
             let evidence = ClusterEvidenceBuilder.build(&sample, &space, false);
 
             let t0 = Instant::now();
-            let _ = enumerate_adcs(&space, &evidence, &F1ViolationRate, &EnumerationOptions::new(epsilon));
+            let _ = enumerate_adcs(
+                &space,
+                &evidence,
+                &F1ViolationRate,
+                &EnumerationOptions::new(epsilon),
+            );
             let enum_time = t0.elapsed();
 
             let t1 = Instant::now();
@@ -46,6 +51,9 @@ fn main() {
                 secs(searchmc_time),
             ]);
         }
-        table.print(&format!("Figure 9 — {}: enumeration time vs sample size (f1, ε = 0.1)", dataset.name()));
+        table.print(&format!(
+            "Figure 9 — {}: enumeration time vs sample size (f1, ε = 0.1)",
+            dataset.name()
+        ));
     }
 }

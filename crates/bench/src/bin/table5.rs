@@ -3,10 +3,10 @@
 //! a corresponding *valid* (exact) DC mined from the same dirty data, showing
 //! how exact mining pads the rule with extra predicates to cover the errors.
 
+use adc_bench::run_miner;
 use adc_bench::{bench_datasets, bench_relation};
 use adc_core::{metrics, MinerConfig};
 use adc_datasets::{spread_noise, NoiseConfig};
-use adc_bench::run_miner;
 
 fn main() {
     println!("## Table 5 — approximate vs valid DCs on dirty data (f1, best threshold)\n");
@@ -40,7 +40,9 @@ fn main() {
                     .min_by_key(|d| d.len());
                 match valid {
                     Some(v) => println!("  valid DC       : {}", v.display(&exact.space)),
-                    None => println!("  valid DC       : (no exact DC extends the approximate rule)"),
+                    None => {
+                        println!("  valid DC       : (no exact DC extends the approximate rule)")
+                    }
                 }
             }
             None => println!("  (no golden rule recovered at ε = 1e-3 on this dirty sample)"),

@@ -34,17 +34,18 @@ pub fn bench_rows(dataset: Dataset) -> usize {
 /// The datasets to run, honouring `ADC_BENCH_DATASETS`.
 pub fn bench_datasets() -> Vec<Dataset> {
     match std::env::var("ADC_BENCH_DATASETS") {
-        Ok(value) if !value.trim().is_empty() => value
-            .split(',')
-            .filter_map(|name| Dataset::parse(name))
-            .collect(),
+        Ok(value) if !value.trim().is_empty() => {
+            value.split(',').filter_map(Dataset::parse).collect()
+        }
         _ => Dataset::ALL.to_vec(),
     }
 }
 
 /// Generate the harness relation for a dataset (fixed seed for comparability).
 pub fn bench_relation(dataset: Dataset) -> Relation {
-    dataset.generator().generate(bench_rows(dataset), 0xADC0 + dataset as u64)
+    dataset
+        .generator()
+        .generate(bench_rows(dataset), 0xADC0 + dataset as u64)
 }
 
 /// Run the ADCMiner pipeline with a given configuration.
@@ -66,7 +67,10 @@ pub struct Table {
 impl Table {
     /// Create a table with the given column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must have the same number of cells as there are headers).
@@ -138,7 +142,7 @@ mod tests {
     fn bench_rows_is_positive_and_capped() {
         for d in Dataset::ALL {
             let rows = bench_rows(d);
-            assert!(rows >= 10 && rows <= 800);
+            assert!((10..=800).contains(&rows));
         }
     }
 

@@ -15,7 +15,9 @@
 //! than comparing a Rust implementation against the original Java ones.
 
 use adc_data::{FixedBitSet, Relation};
-use adc_evidence::{ClusterEvidenceBuilder, Evidence, EvidenceBuilder, EvidenceSet, NaiveEvidenceBuilder};
+use adc_evidence::{
+    ClusterEvidenceBuilder, Evidence, EvidenceBuilder, EvidenceSet, NaiveEvidenceBuilder,
+};
 use adc_predicates::{DenialConstraint, PredicateSpace, SpaceConfig};
 use std::time::{Duration, Instant};
 
@@ -43,12 +45,19 @@ pub struct SearchMinimalCovers {
 impl SearchMinimalCovers {
     /// Create a searcher with the given threshold and no practical depth bound.
     pub fn new(epsilon: f64) -> Self {
-        SearchMinimalCovers { epsilon, max_depth: usize::MAX }
+        SearchMinimalCovers {
+            epsilon,
+            max_depth: usize::MAX,
+        }
     }
 
     /// Enumerate the minimal approximate covers of the evidence set and
     /// return them as DCs (predicate sets are the complements of the covers).
-    pub fn run(&self, space: &PredicateSpace, evidence: &EvidenceSet) -> (Vec<DenialConstraint>, SearchMcStats) {
+    pub fn run(
+        &self,
+        space: &PredicateSpace,
+        evidence: &EvidenceSet,
+    ) -> (Vec<DenialConstraint>, SearchMcStats) {
         let mut stats = SearchMcStats::default();
         let mut results: Vec<FixedBitSet> = Vec::new();
         let total_pairs = evidence.total_pairs();
@@ -59,15 +68,16 @@ impl SearchMinimalCovers {
 
         // Entry indexes sorted by descending count so coverage estimates are
         // cheap; the DFS re-sorts candidates by marginal coverage at each node.
-        let entries: Vec<(FixedBitSet, u64)> =
-            evidence.entries().iter().map(|e| (e.set.clone(), e.count)).collect();
+        let entries: Vec<(FixedBitSet, u64)> = evidence
+            .entries()
+            .iter()
+            .map(|e| (e.set.clone(), e.count))
+            .collect();
 
         let mut path = FixedBitSet::new(space.len());
         let all_candidates: Vec<usize> = (0..space.len()).collect();
         self.dfs(
-            space,
             &entries,
-            total_pairs,
             allowed_violations,
             &all_candidates,
             &mut path,
@@ -102,9 +112,7 @@ impl SearchMinimalCovers {
     #[allow(clippy::too_many_arguments)]
     fn dfs(
         &self,
-        space: &PredicateSpace,
         entries: &[(FixedBitSet, u64)],
-        total_pairs: u64,
         allowed: u64,
         candidates: &[usize],
         path: &mut FixedBitSet,
@@ -153,11 +161,10 @@ impl SearchMinimalCovers {
         if Self::violations(entries, &all_remaining) > allowed {
             return;
         }
-        let _ = total_pairs;
         for (i, &(p, _)) in scored.iter().enumerate() {
             path.insert(p);
             let rest: Vec<usize> = scored[i + 1..].iter().map(|&(q, _)| q).collect();
-            self.dfs(space, entries, total_pairs, allowed, &rest, path, depth + 1, results, stats);
+            self.dfs(entries, allowed, &rest, path, depth + 1, results, stats);
             path.remove(p);
         }
     }
@@ -215,7 +222,11 @@ fn run_pipeline(
     PipelineResult {
         dcs,
         space,
-        timings: PipelineTimings { space: space_time, evidence: evidence_time, enumeration: enumeration_time },
+        timings: PipelineTimings {
+            space: space_time,
+            evidence: evidence_time,
+            enumeration: enumeration_time,
+        },
         stats,
     }
 }
@@ -232,12 +243,20 @@ pub struct AFastDcPipeline {
 impl AFastDcPipeline {
     /// Create a pipeline with the default predicate-space configuration.
     pub fn new(epsilon: f64) -> Self {
-        AFastDcPipeline { epsilon, space_config: SpaceConfig::default() }
+        AFastDcPipeline {
+            epsilon,
+            space_config: SpaceConfig::default(),
+        }
     }
 
     /// Run the full pipeline on a relation.
     pub fn run(&self, relation: &Relation) -> PipelineResult {
-        run_pipeline(relation, self.space_config, self.epsilon, &NaiveEvidenceBuilder)
+        run_pipeline(
+            relation,
+            self.space_config,
+            self.epsilon,
+            &NaiveEvidenceBuilder,
+        )
     }
 }
 
@@ -253,12 +272,20 @@ pub struct DcFinderPipeline {
 impl DcFinderPipeline {
     /// Create a pipeline with the default predicate-space configuration.
     pub fn new(epsilon: f64) -> Self {
-        DcFinderPipeline { epsilon, space_config: SpaceConfig::default() }
+        DcFinderPipeline {
+            epsilon,
+            space_config: SpaceConfig::default(),
+        }
     }
 
     /// Run the full pipeline on a relation.
     pub fn run(&self, relation: &Relation) -> PipelineResult {
-        run_pipeline(relation, self.space_config, self.epsilon, &ClusterEvidenceBuilder)
+        run_pipeline(
+            relation,
+            self.space_config,
+            self.epsilon,
+            &ClusterEvidenceBuilder,
+        )
     }
 }
 
@@ -288,7 +315,8 @@ mod tests {
         ];
         let mut b = Relation::builder(schema);
         for (s, i, t) in rows {
-            b.push_row(vec![s.into(), Value::Int(i), Value::Int(t)]).unwrap();
+            b.push_row(vec![s.into(), Value::Int(i), Value::Int(t)])
+                .unwrap();
         }
         b.build()
     }
@@ -320,8 +348,11 @@ mod tests {
             let mc_filtered: Vec<DenialConstraint> = mc_dcs
                 .into_iter()
                 .filter(|dc| {
-                    let groups: Vec<usize> =
-                        dc.predicate_ids().iter().map(|&p| space.group_of(p)).collect();
+                    let groups: Vec<usize> = dc
+                        .predicate_ids()
+                        .iter()
+                        .map(|&p| space.group_of(p))
+                        .collect();
                     let mut dedup = groups.clone();
                     dedup.sort_unstable();
                     dedup.dedup();

@@ -71,7 +71,11 @@ pub fn enumerate_adcs(
         "evidence was built over a different predicate space"
     );
 
-    let subsets: Vec<FixedBitSet> = evidence_set.entries().iter().map(|e| e.set.clone()).collect();
+    let subsets: Vec<FixedBitSet> = evidence_set
+        .entries()
+        .iter()
+        .map(|e| e.set.clone())
+        .collect();
     let system = SetSystem::new(space.len(), subsets);
 
     let groups: Vec<usize> = (0..space.len()).map(|i| space.group_of(i)).collect();
@@ -100,7 +104,8 @@ pub fn enumerate_adcs(
             // The empty DC (`¬true`) carries no information.
             return true;
         }
-        let dc = DenialConstraint::new(hitting_set.iter().map(|e| space.complement_of(e)).collect());
+        let dc =
+            DenialConstraint::new(hitting_set.iter().map(|e| space.complement_of(e)).collect());
         if !dc.is_trivial(space) {
             dcs.push(dc);
         }
@@ -149,8 +154,14 @@ mod tests {
         ];
         let mut b = Relation::builder(schema);
         for (n, s, z, i, t) in rows {
-            b.push_row(vec![n.into(), s.into(), Value::Int(z), Value::Int(i), Value::Int(t)])
-                .unwrap();
+            b.push_row(vec![
+                n.into(),
+                s.into(),
+                Value::Int(z),
+                Value::Int(i),
+                Value::Int(t),
+            ])
+            .unwrap();
         }
         b.build()
     }
@@ -184,7 +195,11 @@ mod tests {
             // Minimality: removing any predicate must push the DC above ε.
             for &p in dc.predicate_ids() {
                 let smaller = DenialConstraint::new(
-                    dc.predicate_ids().iter().copied().filter(|&q| q != p).collect(),
+                    dc.predicate_ids()
+                        .iter()
+                        .copied()
+                        .filter(|&q| q != p)
+                        .collect(),
                 );
                 if smaller.is_empty() {
                     continue;
@@ -210,7 +225,9 @@ mod tests {
             &EnumerationOptions::new(0.05),
         );
         let state_eq = space.find("State", "=", TupleRole::Other, "State").unwrap();
-        let income_gt = space.find("Income", ">", TupleRole::Other, "Income").unwrap();
+        let income_gt = space
+            .find("Income", ">", TupleRole::Other, "Income")
+            .unwrap();
         let tax_leq = space.find("Tax", "≤", TupleRole::Other, "Tax").unwrap();
         let phi1 = DenialConstraint::new(vec![state_eq, income_gt, tax_leq]);
         let found = out
@@ -234,7 +251,11 @@ mod tests {
             &EnumerationOptions::new(0.0),
         );
         for dc in &out.dcs {
-            assert!(dc.is_valid(&space, &r), "{} is not valid", dc.display(&space));
+            assert!(
+                dc.is_valid(&space, &r),
+                "{} is not valid",
+                dc.display(&space)
+            );
         }
         assert!(!out.dcs.is_empty());
     }
@@ -262,8 +283,12 @@ mod tests {
         // more general (shorter) constraints.
         let (_, space, evidence) = setup(SpaceConfig::same_column_only());
         let avg_len = |eps: f64| {
-            let out =
-                enumerate_adcs(&space, &evidence, &F1ViolationRate, &EnumerationOptions::new(eps));
+            let out = enumerate_adcs(
+                &space,
+                &evidence,
+                &F1ViolationRate,
+                &EnumerationOptions::new(eps),
+            );
             let total: usize = out.dcs.iter().map(|d| d.len()).sum();
             total as f64 / out.dcs.len().max(1) as f64
         };
@@ -275,8 +300,7 @@ mod tests {
         let (r, space, evidence) = setup(SpaceConfig::same_column_only());
         for kind in ApproxKind::ALL {
             let f = kind.instantiate();
-            let out =
-                enumerate_adcs(&space, &evidence, f.as_ref(), &EnumerationOptions::new(0.1));
+            let out = enumerate_adcs(&space, &evidence, f.as_ref(), &EnumerationOptions::new(0.1));
             assert!(!out.dcs.is_empty(), "{} produced no DCs", kind);
             assert!(out.stats.recursive_calls > 0);
             // All emitted DCs respect the threshold under their own function.
@@ -300,15 +324,19 @@ mod tests {
         let run = |strategy| {
             let mut opts = EnumerationOptions::new(0.05);
             opts.strategy = strategy;
-            let mut dcs: Vec<Vec<usize>> = enumerate_adcs(&space, &evidence, &F1ViolationRate, &opts)
-                .dcs
-                .iter()
-                .map(|d| d.predicate_ids().to_vec())
-                .collect();
+            let mut dcs: Vec<Vec<usize>> =
+                enumerate_adcs(&space, &evidence, &F1ViolationRate, &opts)
+                    .dcs
+                    .iter()
+                    .map(|d| d.predicate_ids().to_vec())
+                    .collect();
             dcs.sort();
             dcs
         };
-        assert_eq!(run(BranchStrategy::MaxIntersection), run(BranchStrategy::MinIntersection));
+        assert_eq!(
+            run(BranchStrategy::MaxIntersection),
+            run(BranchStrategy::MinIntersection)
+        );
     }
 
     #[test]

@@ -31,14 +31,34 @@ pub struct DcSetComparison {
 /// Both sets must refer to the same predicate space (the same relation and
 /// space configuration), which is how the paper's sample-vs-full comparison
 /// is set up.
-pub fn compare_dc_sets(discovered: &[DenialConstraint], reference: &[DenialConstraint]) -> DcSetComparison {
+pub fn compare_dc_sets(
+    discovered: &[DenialConstraint],
+    reference: &[DenialConstraint],
+) -> DcSetComparison {
     let discovered_set: FxHashSet<&DenialConstraint> = discovered.iter().collect();
     let reference_set: FxHashSet<&DenialConstraint> = reference.iter().collect();
     let common = discovered_set.intersection(&reference_set).count();
-    let precision = if discovered_set.is_empty() { 0.0 } else { common as f64 / discovered_set.len() as f64 };
-    let recall = if reference_set.is_empty() { 0.0 } else { common as f64 / reference_set.len() as f64 };
-    let f1 = if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
-    DcSetComparison { precision, recall, f1, common }
+    let precision = if discovered_set.is_empty() {
+        0.0
+    } else {
+        common as f64 / discovered_set.len() as f64
+    };
+    let recall = if reference_set.is_empty() {
+        0.0
+    } else {
+        common as f64 / reference_set.len() as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    DcSetComparison {
+        precision,
+        recall,
+        f1,
+        common,
+    }
 }
 
 /// The F1 score of a discovered DC set against a reference set
@@ -51,7 +71,11 @@ pub fn f1_score(discovered: &[DenialConstraint], reference: &[DenialConstraint])
 /// predicate of `specific`, so any pair violating `specific`'s full
 /// conjunction also violates `general`'s.
 pub fn implies(general: &DenialConstraint, specific: &DenialConstraint) -> bool {
-    !general.is_empty() && general.predicate_ids().iter().all(|p| specific.contains(*p))
+    !general.is_empty()
+        && general
+            .predicate_ids()
+            .iter()
+            .all(|p| specific.contains(*p))
 }
 
 /// G-recall: the fraction of golden DCs that are implied by at least one
@@ -176,7 +200,11 @@ mod tests {
         let schema = Schema::of(&[("A", AttributeType::Text), ("B", AttributeType::Integer)]);
         let mut b = Relation::builder(schema);
         for i in 0..4i64 {
-            b.push_row(vec![Value::from(if i % 2 == 0 { "x" } else { "y" }), Value::Int(i)]).unwrap();
+            b.push_row(vec![
+                Value::from(if i % 2 == 0 { "x" } else { "y" }),
+                Value::Int(i),
+            ])
+            .unwrap();
         }
         let r = b.build();
         let space = PredicateSpace::build(&r, SpaceConfig::same_column_only());
@@ -187,8 +215,11 @@ mod tests {
         let fd_like = DenialConstraint::new(vec![a_eq, a_neq]);
         // Order-based DC: not expressible as an FD.
         let order_based = DenialConstraint::new(vec![a_eq, b_lt]);
-        assert_eq!(non_fd_fraction(&[fd_like.clone()], &space), 0.0);
-        assert_eq!(non_fd_fraction(&[order_based.clone()], &space), 1.0);
+        assert_eq!(non_fd_fraction(std::slice::from_ref(&fd_like), &space), 0.0);
+        assert_eq!(
+            non_fd_fraction(std::slice::from_ref(&order_based), &space),
+            1.0
+        );
         assert!((non_fd_fraction(&[fd_like, order_based], &space) - 0.5).abs() < 1e-12);
         assert_eq!(non_fd_fraction(&[], &space), 0.0);
     }

@@ -32,14 +32,22 @@ pub fn draw_sample(relation: &Relation, fraction: f64, seed: u64) -> Relation {
 
 /// The observed violation rate `p̂` of a DC on (the evidence set of) a sample:
 /// the fraction of ordered tuple pairs violating the DC.
-pub fn estimate_violation_rate(evidence: &EvidenceSet, space: &PredicateSpace, dc: &DenialConstraint) -> f64 {
+pub fn estimate_violation_rate(
+    evidence: &EvidenceSet,
+    space: &PredicateSpace,
+    dc: &DenialConstraint,
+) -> f64 {
     let hitting_set: FixedBitSet = dc.complement_set(space);
     evidence.violation_fraction(&hitting_set)
 }
 
 /// The exact violation rate of a DC on a relation (quadratic; used by the
 /// experiments to compare `p̂` against `p`).
-pub fn exact_violation_rate(relation: &Relation, space: &PredicateSpace, dc: &DenialConstraint) -> f64 {
+pub fn exact_violation_rate(
+    relation: &Relation,
+    space: &PredicateSpace,
+    dc: &DenialConstraint,
+) -> f64 {
     let total = relation.ordered_pair_count();
     if total == 0 {
         return 0.0;
@@ -91,7 +99,11 @@ impl SampleThreshold {
     /// Panics unless `epsilon ≥ 0` and `0 < alpha < 0.5`.
     pub fn new(epsilon: f64, alpha: f64) -> Self {
         assert!(epsilon >= 0.0, "epsilon must be non-negative");
-        SampleThreshold { epsilon, alpha, z: normal::z_for_alpha(alpha) }
+        SampleThreshold {
+            epsilon,
+            alpha,
+            z: normal::z_for_alpha(alpha),
+        }
     }
 
     /// The sample threshold `ε_J` for a DC with observed violation rate
@@ -138,7 +150,11 @@ mod tests {
             let income = rng.gen_range(20_000..100_000);
             // Tax is normally 10% of income; every `violation_every`-th tuple
             // underpays drastically, creating income/tax violations.
-            let tax = if i % violation_every == 0 { 100 } else { income / 10 };
+            let tax = if i % violation_every == 0 {
+                100
+            } else {
+                income / 10
+            };
             b.push_row(vec![
                 Value::from(states[rng.gen_range(0..states.len())]),
                 Value::Int(income),
@@ -152,7 +168,9 @@ mod tests {
     fn phi1(space: &PredicateSpace) -> DenialConstraint {
         DenialConstraint::new(vec![
             space.find("State", "=", TupleRole::Other, "State").unwrap(),
-            space.find("Income", ">", TupleRole::Other, "Income").unwrap(),
+            space
+                .find("Income", ">", TupleRole::Other, "Income")
+                .unwrap(),
             space.find("Tax", "≤", TupleRole::Other, "Tax").unwrap(),
         ])
     }
@@ -166,7 +184,9 @@ mod tests {
         assert!(exact > 0.0);
 
         let sample = draw_sample(&r, 0.4, 7);
-        let evidence = ClusterEvidenceBuilder.build(&sample, &space, false).evidence_set;
+        let evidence = ClusterEvidenceBuilder
+            .build(&sample, &space, false)
+            .evidence_set;
         let estimated = estimate_violation_rate(&evidence, &space, &dc);
         // 40% of 300 tuples gives a good estimate; allow a generous band.
         assert!(
@@ -185,7 +205,9 @@ mod tests {
         let trials = 40;
         for seed in 0..trials {
             let sample = draw_sample(&r, 0.3, seed);
-            let evidence = ClusterEvidenceBuilder.build(&sample, &space, false).evidence_set;
+            let evidence = ClusterEvidenceBuilder
+                .build(&sample, &space, false)
+                .evidence_set;
             sum += estimate_violation_rate(&evidence, &space, &dc);
         }
         let mean = sum / trials as f64;
@@ -215,7 +237,10 @@ mod tests {
     fn normal_margin_shrinks_as_inverse_sqrt_n() {
         let m1 = normal_margin(0.05, 1_000, 1.96);
         let m2 = normal_margin(0.05, 4_000, 1.96);
-        assert!((m1 / m2 - 2.0).abs() < 1e-9, "quadrupling n must halve the margin");
+        assert!(
+            (m1 / m2 - 2.0).abs() < 1e-9,
+            "quadrupling n must halve the margin"
+        );
         assert_eq!(normal_margin(0.05, 0, 1.96), 1.0);
         assert_eq!(normal_margin(0.0, 100, 1.96), 0.0);
     }
@@ -247,7 +272,9 @@ mod tests {
         let mut false_accepts = 0;
         for seed in 0..30 {
             let sample = draw_sample(&r, 0.3, seed);
-            let evidence = ClusterEvidenceBuilder.build(&sample, &space, false).evidence_set;
+            let evidence = ClusterEvidenceBuilder
+                .build(&sample, &space, false)
+                .evidence_set;
             let p_hat = estimate_violation_rate(&evidence, &space, &dc);
             if st.accept(p_hat, evidence.total_pairs()) {
                 accepted += 1;
@@ -256,7 +283,10 @@ mod tests {
                 }
             }
         }
-        assert!(accepted > 0, "the DC should be accepted on at least some samples");
+        assert!(
+            accepted > 0,
+            "the DC should be accepted on at least some samples"
+        );
         assert_eq!(false_accepts, 0);
     }
 

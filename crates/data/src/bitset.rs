@@ -75,7 +75,11 @@ impl FixedBitSet {
     /// Panics if `i >= capacity`.
     #[inline]
     pub fn insert(&mut self, i: usize) {
-        assert!(i < self.capacity, "bit index {i} out of range 0..{}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit index {i} out of range 0..{}",
+            self.capacity
+        );
         self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
     }
 
@@ -85,7 +89,11 @@ impl FixedBitSet {
     /// Panics if `i >= capacity`.
     #[inline]
     pub fn remove(&mut self, i: usize) {
-        assert!(i < self.capacity, "bit index {i} out of range 0..{}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit index {i} out of range 0..{}",
+            self.capacity
+        );
         self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
     }
 
@@ -120,10 +128,7 @@ impl FixedBitSet {
     /// `true` if `self` and `other` share at least one set bit.
     #[inline]
     pub fn intersects(&self, other: &FixedBitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// `true` if every bit set in `self` is also set in `other`.

@@ -34,7 +34,10 @@ impl Column {
         match ty {
             AttributeType::Integer => Column::Int(Vec::new()),
             AttributeType::Float => Column::Float(Vec::new()),
-            AttributeType::Text => Column::Text { codes: Vec::new(), dict: Vec::new() },
+            AttributeType::Text => Column::Text {
+                codes: Vec::new(),
+                dict: Vec::new(),
+            },
         }
     }
 

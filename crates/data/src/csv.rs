@@ -94,7 +94,9 @@ fn infer_type(tokens: &[&str]) -> AttributeType {
 /// types from the data.
 pub fn parse_csv(text: &str) -> Result<Relation, DataError> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header = lines.next().ok_or_else(|| DataError::Csv("empty input".into()))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| DataError::Csv("empty input".into()))?;
     let names = parse_record(header)?;
     if names.iter().any(|n| n.trim().is_empty()) {
         return Err(DataError::Csv("empty column name in header".into()));
@@ -152,7 +154,12 @@ pub fn read_csv_file(path: impl AsRef<Path>) -> Result<Relation, DataError> {
 /// Serialise a relation back to CSV (used by examples and round-trip tests).
 pub fn to_csv(relation: &Relation) -> String {
     let mut out = String::new();
-    let names: Vec<&str> = relation.schema().attributes().iter().map(|a| a.name()).collect();
+    let names: Vec<&str> = relation
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| a.name())
+        .collect();
     out.push_str(&names.join(","));
     out.push('\n');
     for row in 0..relation.len() {
@@ -184,7 +191,8 @@ fn escape(field: &str) -> String {
 mod tests {
     use super::*;
 
-    const SAMPLE: &str = "Name,State,Income,Tax\nAlice,NY,28000,2400.5\nMark,NY,42000,4700\nJulia,WA,27000,1400\n";
+    const SAMPLE: &str =
+        "Name,State,Income,Tax\nAlice,NY,28000,2400.5\nMark,NY,42000,4700\nJulia,WA,27000,1400\n";
 
     #[test]
     fn parse_with_type_inference() {

@@ -35,9 +35,16 @@ impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DataError::ArityMismatch { expected, found } => {
-                write!(f, "row arity mismatch: expected {expected} cells, found {found}")
+                write!(
+                    f,
+                    "row arity mismatch: expected {expected} cells, found {found}"
+                )
             }
-            DataError::TypeMismatch { attribute, expected, found } => {
+            DataError::TypeMismatch {
+                attribute,
+                expected,
+                found,
+            } => {
                 write!(f, "type mismatch in attribute `{attribute}`: expected {expected}, found `{found}`")
             }
             DataError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
@@ -56,8 +63,14 @@ mod tests {
 
     #[test]
     fn display_arity() {
-        let e = DataError::ArityMismatch { expected: 3, found: 2 };
-        assert_eq!(e.to_string(), "row arity mismatch: expected 3 cells, found 2");
+        let e = DataError::ArityMismatch {
+            expected: 3,
+            found: 2,
+        };
+        assert_eq!(
+            e.to_string(),
+            "row arity mismatch: expected 3 cells, found 2"
+        );
     }
 
     #[test]
@@ -73,7 +86,9 @@ mod tests {
 
     #[test]
     fn display_unknown_attribute() {
-        assert!(DataError::UnknownAttribute("Zip".into()).to_string().contains("Zip"));
+        assert!(DataError::UnknownAttribute("Zip".into())
+            .to_string()
+            .contains("Zip"));
     }
 
     #[test]

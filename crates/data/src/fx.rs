@@ -130,13 +130,9 @@ mod tests {
 
     #[test]
     fn string_hashing_differs_by_content() {
-        use std::hash::{BuildHasher, Hash};
+        use std::hash::BuildHasher;
         let bh = FxBuildHasher::default();
-        let h = |s: &str| {
-            let mut hasher = bh.build_hasher();
-            s.hash(&mut hasher);
-            hasher.finish()
-        };
+        let h = |s: &str| bh.hash_one(s);
         assert_ne!(h("alice"), h("bob"));
         assert_eq!(h("alice"), h("alice"));
     }

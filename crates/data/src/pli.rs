@@ -51,7 +51,12 @@ impl PositionListIndex {
                 // Deterministic order: by first row index.
                 clusters.sort_by_key(|c| c[0]);
                 let cluster_of = Self::invert(&clusters, codes.len());
-                PositionListIndex { clusters, cluster_of, sorted_numeric: false, nulls }
+                PositionListIndex {
+                    clusters,
+                    cluster_of,
+                    sorted_numeric: false,
+                    nulls,
+                }
             }
         }
     }
@@ -82,7 +87,12 @@ impl PositionListIndex {
             i = j;
         }
         let cluster_of = Self::invert(&clusters, values.len());
-        PositionListIndex { clusters, cluster_of, sorted_numeric: true, nulls }
+        PositionListIndex {
+            clusters,
+            cluster_of,
+            sorted_numeric: true,
+            nulls,
+        }
     }
 
     fn invert(clusters: &[Cluster], rows: usize) -> Vec<u32> {

@@ -22,8 +22,16 @@ pub struct Relation {
 impl Relation {
     /// Create an empty relation with the given schema.
     pub fn empty(schema: Schema) -> Self {
-        let columns = schema.attributes().iter().map(|a| Column::new(a.ty())).collect();
-        Relation { schema, columns, rows: 0 }
+        let columns = schema
+            .attributes()
+            .iter()
+            .map(|a| Column::new(a.ty()))
+            .collect();
+        Relation {
+            schema,
+            columns,
+            rows: 0,
+        }
     }
 
     /// Start building a relation row by row.
@@ -87,7 +95,38 @@ impl Relation {
     /// Row indexes in the result are re-numbered `0..rows.len()`.
     pub fn project_rows(&self, rows: &[usize]) -> Relation {
         let columns = self.columns.iter().map(|c| c.project(rows)).collect();
-        Relation { schema: self.schema.clone(), columns, rows: rows.len() }
+        Relation {
+            schema: self.schema.clone(),
+            columns,
+            rows: rows.len(),
+        }
+    }
+
+    /// Build a new relation containing only the named columns, in the given
+    /// order. Narrowing a wide relation to the attributes a constraint set
+    /// actually mentions keeps the predicate space — and with it the number
+    /// of minimal covers — small.
+    ///
+    /// # Errors
+    /// [`DataError::UnknownAttribute`] for a name absent from the schema, and
+    /// [`DataError::DuplicateAttribute`] / [`DataError::EmptySchema`] when
+    /// the name list repeats a column or is empty.
+    pub fn project_columns(&self, names: &[&str]) -> Result<Relation, DataError> {
+        let indexes: Vec<usize> = names
+            .iter()
+            .map(|n| self.schema.require(n))
+            .collect::<Result<_, _>>()?;
+        let attributes = indexes
+            .iter()
+            .map(|&i| self.schema.attribute(i).clone())
+            .collect();
+        let schema = Schema::new(attributes)?;
+        let columns = indexes.iter().map(|&i| self.columns[i].clone()).collect();
+        Ok(Relation {
+            schema,
+            columns,
+            rows: self.rows,
+        })
     }
 
     /// Fraction of distinct non-null values shared between two columns,
@@ -143,7 +182,9 @@ impl Relation {
         let mut out = String::new();
         out.push_str(&format!("{}\n", self.schema));
         for r in 0..self.rows.min(limit) {
-            let cells: Vec<String> = (0..self.arity()).map(|c| self.value(r, c).to_string()).collect();
+            let cells: Vec<String> = (0..self.arity())
+                .map(|c| self.value(r, c).to_string())
+                .collect();
             out.push_str(&format!("t{}: [{}]\n", r + 1, cells.join(", ")));
         }
         if self.rows > limit {
@@ -170,9 +211,22 @@ pub struct RelationBuilder {
 impl RelationBuilder {
     /// Create a builder for the given schema.
     pub fn new(schema: Schema) -> Self {
-        let columns = schema.attributes().iter().map(|a| Column::new(a.ty())).collect();
-        let dict_indexes = schema.attributes().iter().map(|_| FxHashMap::default()).collect();
-        RelationBuilder { schema, columns, dict_indexes, rows: 0 }
+        let columns = schema
+            .attributes()
+            .iter()
+            .map(|a| Column::new(a.ty()))
+            .collect();
+        let dict_indexes = schema
+            .attributes()
+            .iter()
+            .map(|_| FxHashMap::default())
+            .collect();
+        RelationBuilder {
+            schema,
+            columns,
+            dict_indexes,
+            rows: 0,
+        }
     }
 
     /// Append a row given as a vector of values (schema order).
@@ -181,7 +235,10 @@ impl RelationBuilder {
     /// Arity and type mismatches are rejected.
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), DataError> {
         if row.len() != self.schema.arity() {
-            return Err(DataError::ArityMismatch { expected: self.schema.arity(), found: row.len() });
+            return Err(DataError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: row.len(),
+            });
         }
         for (c, value) in row.into_iter().enumerate() {
             let name = self.schema.attribute(c).name().to_string();
@@ -198,7 +255,10 @@ impl RelationBuilder {
     /// Propagates type mismatches (e.g. `"abc"` in an integer column).
     pub fn push_raw_row(&mut self, row: &[&str]) -> Result<(), DataError> {
         if row.len() != self.schema.arity() {
-            return Err(DataError::ArityMismatch { expected: self.schema.arity(), found: row.len() });
+            return Err(DataError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: row.len(),
+            });
         }
         let values = row
             .iter()
@@ -225,7 +285,11 @@ impl RelationBuilder {
 
     /// Finish building.
     pub fn build(self) -> Relation {
-        Relation { schema: self.schema, columns: self.columns, rows: self.rows }
+        Relation {
+            schema: self.schema,
+            columns: self.columns,
+            rows: self.rows,
+        }
     }
 }
 
@@ -236,7 +300,10 @@ fn parse_typed(token: &str, ty: AttributeType) -> Result<Value, (String, usize)>
         return Ok(Value::Null);
     }
     match ty {
-        AttributeType::Integer => t.parse::<i64>().map(Value::Int).map_err(|_| (t.to_string(), 0)),
+        AttributeType::Integer => t
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| (t.to_string(), 0)),
         AttributeType::Float => t
             .parse::<f64>()
             .ok()
@@ -259,9 +326,27 @@ mod tests {
             ("Tax", AttributeType::Float),
         ]);
         let mut b = Relation::builder(schema);
-        b.push_row(vec!["Alice".into(), "NY".into(), Value::Int(28_000), Value::Float(2_400.0)]).unwrap();
-        b.push_row(vec!["Mark".into(), "NY".into(), Value::Int(42_000), Value::Float(4_700.0)]).unwrap();
-        b.push_row(vec!["Julia".into(), "WA".into(), Value::Int(27_000), Value::Float(1_400.0)]).unwrap();
+        b.push_row(vec![
+            "Alice".into(),
+            "NY".into(),
+            Value::Int(28_000),
+            Value::Float(2_400.0),
+        ])
+        .unwrap();
+        b.push_row(vec![
+            "Mark".into(),
+            "NY".into(),
+            Value::Int(42_000),
+            Value::Float(4_700.0),
+        ])
+        .unwrap();
+        b.push_row(vec![
+            "Julia".into(),
+            "WA".into(),
+            Value::Int(27_000),
+            Value::Float(1_400.0),
+        ])
+        .unwrap();
         b.build()
     }
 
@@ -281,7 +366,13 @@ mod tests {
         let schema = Schema::of(&[("A", AttributeType::Integer)]);
         let mut b = Relation::builder(schema);
         let err = b.push_row(vec![Value::Int(1), Value::Int(2)]).unwrap_err();
-        assert!(matches!(err, DataError::ArityMismatch { expected: 1, found: 2 }));
+        assert!(matches!(
+            err,
+            DataError::ArityMismatch {
+                expected: 1,
+                found: 2
+            }
+        ));
     }
 
     #[test]
@@ -309,6 +400,29 @@ mod tests {
         assert_eq!(p.value(0, 0), Value::from("Julia"));
         assert_eq!(p.value(1, 0), Value::from("Alice"));
         assert_eq!(p.schema().arity(), 4);
+    }
+
+    #[test]
+    fn column_projection_selects_and_reorders() {
+        let r = sample();
+        let p = r.project_columns(&["Income", "Name"]).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.schema().attribute(0).name(), "Income");
+        assert_eq!(p.value(0, 0), Value::Int(28_000));
+        assert_eq!(p.value(2, 1), Value::from("Julia"));
+        assert!(matches!(
+            r.project_columns(&["Nope"]),
+            Err(DataError::UnknownAttribute(_))
+        ));
+        assert!(matches!(
+            r.project_columns(&["Name", "Name"]),
+            Err(DataError::DuplicateAttribute(_))
+        ));
+        assert!(matches!(
+            r.project_columns(&[]),
+            Err(DataError::EmptySchema)
+        ));
     }
 
     #[test]

@@ -124,7 +124,10 @@ mod tests {
             }
         }
         for &c in &counts {
-            assert!((120..=280).contains(&c), "count {c} far from expectation 200");
+            assert!(
+                (120..=280).contains(&c),
+                "count {c} far from expectation 200"
+            );
         }
     }
 

@@ -47,13 +47,13 @@ impl AttributeType {
     /// `true` if `value` is admissible in a column of this type
     /// (nulls are admissible everywhere; integers widen into float columns).
     pub fn admits(self, value: &Value) -> bool {
-        match (self, value) {
-            (_, Value::Null) => true,
-            (AttributeType::Integer, Value::Int(_)) => true,
-            (AttributeType::Float, Value::Int(_) | Value::Float(_)) => true,
-            (AttributeType::Text, Value::Str(_)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (AttributeType::Integer, Value::Int(_))
+                | (AttributeType::Float, Value::Int(_) | Value::Float(_))
+                | (AttributeType::Text, Value::Str(_))
+        )
     }
 }
 
@@ -73,7 +73,10 @@ pub struct Attribute {
 impl Attribute {
     /// Create a new attribute.
     pub fn new(name: impl Into<String>, ty: AttributeType) -> Self {
-        Attribute { name: name.into(), ty }
+        Attribute {
+            name: name.into(),
+            ty,
+        }
     }
 
     /// Attribute name.
@@ -110,7 +113,10 @@ impl Schema {
                 return Err(DataError::DuplicateAttribute(a.name.clone()));
             }
         }
-        Ok(Schema { attributes, by_name })
+        Ok(Schema {
+            attributes,
+            by_name,
+        })
     }
 
     /// Convenience constructor from `(name, type)` pairs.
@@ -120,13 +126,8 @@ impl Schema {
     /// schemas (dataset generators, tests). Use [`Schema::new`] for dynamic
     /// input.
     pub fn of(pairs: &[(&str, AttributeType)]) -> Self {
-        Schema::new(
-            pairs
-                .iter()
-                .map(|(n, t)| Attribute::new(*n, *t))
-                .collect(),
-        )
-        .expect("static schema must be valid")
+        Schema::new(pairs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect())
+            .expect("static schema must be valid")
     }
 
     /// Number of attributes.

@@ -48,7 +48,11 @@ pub fn shared_value_fraction(a: &Column, b: &Column) -> f64 {
     if ka.is_empty() || kb.is_empty() {
         return 0.0;
     }
-    let (small, large) = if ka.len() <= kb.len() { (&ka, &kb) } else { (&kb, &ka) };
+    let (small, large) = if ka.len() <= kb.len() {
+        (&ka, &kb)
+    } else {
+        (&kb, &ka)
+    };
     let common = small.iter().filter(|k| large.contains(*k)).count();
     common as f64 / small.len() as f64
 }
@@ -115,8 +119,13 @@ mod tests {
             (98112, 98112, "WA", 50.0),
             (98113, 77777, "WA", 60.0),
         ] {
-            b.push_row(vec![Value::Int(zip), Value::Int(alt), state.into(), Value::Float(inc)])
-                .unwrap();
+            b.push_row(vec![
+                Value::Int(zip),
+                Value::Int(alt),
+                state.into(),
+                Value::Float(inc),
+            ])
+            .unwrap();
         }
         b.build()
     }

@@ -56,11 +56,23 @@ impl DatasetGenerator for AdultDataset {
     fn generate(&self, rows: usize, seed: u64) -> Relation {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut b = Relation::builder(self.schema());
-        let workclasses = ["Private", "Self-emp", "Federal-gov", "State-gov", "Local-gov"];
+        let workclasses = [
+            "Private",
+            "Self-emp",
+            "Federal-gov",
+            "State-gov",
+            "Local-gov",
+        ];
         let marital = ["Never-married", "Married", "Divorced", "Widowed"];
         let relationship = ["Husband", "Wife", "Own-child", "Unmarried", "Not-in-family"];
         let races = ["White", "Black", "Asian-Pac-Islander", "Other"];
-        let countries = ["United-States", "Mexico", "Philippines", "Germany", "Canada"];
+        let countries = [
+            "United-States",
+            "Mexico",
+            "Philippines",
+            "Germany",
+            "Canada",
+        ];
         for _ in 0..rows {
             let age = rng.gen_range(17..=90i64);
             let edu_idx = rng.gen_range(0..pools::EDUCATION.len());
@@ -76,8 +88,16 @@ impl DatasetGenerator for AdultDataset {
                 Value::from(*pick(&mut rng, &relationship)),
                 Value::from(*pick(&mut rng, &races)),
                 Value::from(if rng.gen_bool(0.5) { "Male" } else { "Female" }),
-                Value::Int(if rng.gen_bool(0.1) { rng.gen_range(1..50_000) } else { 0 }),
-                Value::Int(if rng.gen_bool(0.05) { rng.gen_range(1..3_000) } else { 0 }),
+                Value::Int(if rng.gen_bool(0.1) {
+                    rng.gen_range(1..50_000)
+                } else {
+                    0
+                }),
+                Value::Int(if rng.gen_bool(0.05) {
+                    rng.gen_range(1..3_000)
+                } else {
+                    0
+                }),
                 Value::Int(rng.gen_range(10..80)),
                 Value::from(*pick(&mut rng, &countries)),
             ])
@@ -92,11 +112,20 @@ impl DatasetGenerator for AdultDataset {
             space,
             &[
                 // A younger person cannot have an earlier birth year.
-                &[("Age", "<", Other, "Age"), ("BirthYear", "<", Other, "BirthYear")],
+                &[
+                    ("Age", "<", Other, "Age"),
+                    ("BirthYear", "<", Other, "BirthYear"),
+                ],
                 // Equal ages imply equal birth years (single reference year).
-                &[("Age", "=", Other, "Age"), ("BirthYear", "≠", Other, "BirthYear")],
+                &[
+                    ("Age", "=", Other, "Age"),
+                    ("BirthYear", "≠", Other, "BirthYear"),
+                ],
                 // The textual education level determines the numeric encoding.
-                &[("Education", "=", Other, "Education"), ("EducationNum", "≠", Other, "EducationNum")],
+                &[
+                    ("Education", "=", Other, "Education"),
+                    ("EducationNum", "≠", Other, "EducationNum"),
+                ],
             ],
         )
     }

@@ -88,11 +88,20 @@ impl DatasetGenerator for AirportDataset {
                 &[("Name", "=", Other, "Name"), ("City", "≠", Other, "City")],
                 // Geography is consistent.
                 &[("City", "=", Other, "City"), ("State", "≠", Other, "State")],
-                &[("State", "=", Other, "State"), ("Country", "≠", Other, "Country")],
+                &[
+                    ("State", "=", Other, "State"),
+                    ("Country", "≠", Other, "Country"),
+                ],
                 // Timezone and DST are functions of the state.
-                &[("State", "=", Other, "State"), ("TimezoneOffset", "≠", Other, "TimezoneOffset")],
+                &[
+                    ("State", "=", Other, "State"),
+                    ("TimezoneOffset", "≠", Other, "TimezoneOffset"),
+                ],
                 &[("State", "=", Other, "State"), ("DST", "≠", Other, "DST")],
-                &[("City", "=", Other, "City"), ("TimezoneOffset", "≠", Other, "TimezoneOffset")],
+                &[
+                    ("City", "=", Other, "City"),
+                    ("TimezoneOffset", "≠", Other, "TimezoneOffset"),
+                ],
             ],
         )
     }
@@ -123,7 +132,10 @@ mod tests {
         let mut ids = HashSet::new();
         let mut iatas = HashSet::new();
         for row in 0..r.len() {
-            ids.insert(r.value(row, schema.index_of("AirportID").unwrap()).to_string());
+            ids.insert(
+                r.value(row, schema.index_of("AirportID").unwrap())
+                    .to_string(),
+            );
             iatas.insert(r.value(row, schema.index_of("IATA").unwrap()).to_string());
         }
         assert_eq!(ids.len(), r.len());

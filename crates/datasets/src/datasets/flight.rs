@@ -123,13 +123,31 @@ impl DatasetGenerator for FlightDataset {
                 // The flight id is a key.
                 &[("FlightID", "=", Other, "FlightID")],
                 // Airports determine their city and state.
-                &[("OriginAirport", "=", Other, "OriginAirport"), ("OriginCity", "≠", Other, "OriginCity")],
-                &[("OriginAirport", "=", Other, "OriginAirport"), ("OriginState", "≠", Other, "OriginState")],
-                &[("DestAirport", "=", Other, "DestAirport"), ("DestCity", "≠", Other, "DestCity")],
-                &[("DestAirport", "=", Other, "DestAirport"), ("DestState", "≠", Other, "DestState")],
+                &[
+                    ("OriginAirport", "=", Other, "OriginAirport"),
+                    ("OriginCity", "≠", Other, "OriginCity"),
+                ],
+                &[
+                    ("OriginAirport", "=", Other, "OriginAirport"),
+                    ("OriginState", "≠", Other, "OriginState"),
+                ],
+                &[
+                    ("DestAirport", "=", Other, "DestAirport"),
+                    ("DestCity", "≠", Other, "DestCity"),
+                ],
+                &[
+                    ("DestAirport", "=", Other, "DestAirport"),
+                    ("DestState", "≠", Other, "DestState"),
+                ],
                 // Cities belong to a single state.
-                &[("OriginCity", "=", Other, "OriginCity"), ("OriginState", "≠", Other, "OriginState")],
-                &[("DestCity", "=", Other, "DestCity"), ("DestState", "≠", Other, "DestState")],
+                &[
+                    ("OriginCity", "=", Other, "OriginCity"),
+                    ("OriginState", "≠", Other, "OriginState"),
+                ],
+                &[
+                    ("DestCity", "=", Other, "DestCity"),
+                    ("DestState", "≠", Other, "DestState"),
+                ],
                 // (Airline, FlightNo) determines the route.
                 &[
                     ("Airline", "=", Other, "Airline"),
@@ -217,7 +235,10 @@ mod tests {
         use std::collections::HashMap;
         let mut by_route: HashMap<(String, i64), String> = HashMap::new();
         for row in 0..r.len() {
-            let key = (r.value(row, airline).to_string(), r.value(row, no).as_i64().unwrap());
+            let key = (
+                r.value(row, airline).to_string(),
+                r.value(row, no).as_i64().unwrap(),
+            );
             let o = r.value(row, origin).to_string();
             if let Some(prev) = by_route.get(&key) {
                 assert_eq!(prev, &o);

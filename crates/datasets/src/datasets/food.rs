@@ -74,7 +74,8 @@ impl DatasetGenerator for FoodDataset {
             let fid = i % num_facilities;
             let (state_idx, city_sel, ftype, risk) = facilities[fid];
             let city_idx = state_idx * 2 + city_sel;
-            let zip = pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + (fid as i64 % 700);
+            let zip =
+                pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + (fid as i64 % 700);
             let ward = 1 + (zip % 50);
             b.push_row(vec![
                 Value::Int(1_000_000 + i as i64),
@@ -111,15 +112,36 @@ impl DatasetGenerator for FoodDataset {
                 &[("Zip", "=", Other, "Zip"), ("State", "≠", Other, "State")],
                 &[("Zip", "=", Other, "Zip"), ("City", "≠", Other, "City")],
                 // The license number determines the facility-level attributes.
-                &[("LicenseNo", "=", Other, "LicenseNo"), ("DBAName", "≠", Other, "DBAName")],
-                &[("LicenseNo", "=", Other, "LicenseNo"), ("FacilityType", "≠", Other, "FacilityType")],
-                &[("LicenseNo", "=", Other, "LicenseNo"), ("Address", "≠", Other, "Address")],
-                &[("LicenseNo", "=", Other, "LicenseNo"), ("Risk", "≠", Other, "Risk")],
+                &[
+                    ("LicenseNo", "=", Other, "LicenseNo"),
+                    ("DBAName", "≠", Other, "DBAName"),
+                ],
+                &[
+                    ("LicenseNo", "=", Other, "LicenseNo"),
+                    ("FacilityType", "≠", Other, "FacilityType"),
+                ],
+                &[
+                    ("LicenseNo", "=", Other, "LicenseNo"),
+                    ("Address", "≠", Other, "Address"),
+                ],
+                &[
+                    ("LicenseNo", "=", Other, "LicenseNo"),
+                    ("Risk", "≠", Other, "Risk"),
+                ],
                 // The doing-business-as name determines the also-known-as name.
-                &[("DBAName", "=", Other, "DBAName"), ("AKAName", "≠", Other, "AKAName")],
+                &[
+                    ("DBAName", "=", Other, "DBAName"),
+                    ("AKAName", "≠", Other, "AKAName"),
+                ],
                 // An address has a single zip code and a single ward.
-                &[("Address", "=", Other, "Address"), ("Zip", "≠", Other, "Zip")],
-                &[("Address", "=", Other, "Address"), ("Ward", "≠", Other, "Ward")],
+                &[
+                    ("Address", "=", Other, "Address"),
+                    ("Zip", "≠", Other, "Zip"),
+                ],
+                &[
+                    ("Address", "=", Other, "Address"),
+                    ("Ward", "≠", Other, "Ward"),
+                ],
             ],
         )
     }

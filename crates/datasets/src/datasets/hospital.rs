@@ -62,7 +62,12 @@ impl DatasetGenerator for HospitalDataset {
         let owners = ["Government", "Proprietary", "Voluntary non-profit"];
         // Provider-level attributes, fixed per provider id.
         let providers: Vec<(usize, usize)> = (0..num_providers)
-            .map(|_| (rng.gen_range(0..pools::STATES.len()), rng.gen_range(0..2usize)))
+            .map(|_| {
+                (
+                    rng.gen_range(0..pools::STATES.len()),
+                    rng.gen_range(0..2usize),
+                )
+            })
             .collect();
         for i in 0..rows {
             let pid = i % num_providers;
@@ -80,13 +85,15 @@ impl DatasetGenerator for HospitalDataset {
                 Value::from(format!("{} Main St", 100 + pid)),
                 Value::from(pools::CITIES[city_idx]),
                 Value::from(pools::STATES[state_idx]),
-                Value::Int(pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + (pid as i64 % 500)),
+                Value::Int(
+                    pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + (pid as i64 % 500),
+                ),
                 Value::from(pools::COUNTIES[city_idx]),
                 Value::Int(pools::state_area_code(state_idx)),
                 Value::Int(pools::state_area_code(state_idx) * 10_000_000 + pid as i64),
                 Value::from(types[pid % types.len()]),
                 Value::from(owners[pid % owners.len()]),
-                Value::from(if pid % 2 == 0 { "Yes" } else { "No" }),
+                Value::from(if pid.is_multiple_of(2) { "Yes" } else { "No" }),
                 Value::from(condition),
                 Value::from(code),
                 Value::from(format!("Measure {code}")),
@@ -109,11 +116,23 @@ impl DatasetGenerator for HospitalDataset {
                 &[("Zip", "=", Other, "Zip"), ("State", "≠", Other, "State")],
                 &[("City", "=", Other, "City"), ("State", "≠", Other, "State")],
                 // The provider id determines the hospital name and the phone number.
-                &[("ProviderID", "=", Other, "ProviderID"), ("HospitalName", "≠", Other, "HospitalName")],
-                &[("Phone", "=", Other, "Phone"), ("ProviderID", "≠", Other, "ProviderID")],
+                &[
+                    ("ProviderID", "=", Other, "ProviderID"),
+                    ("HospitalName", "≠", Other, "HospitalName"),
+                ],
+                &[
+                    ("Phone", "=", Other, "Phone"),
+                    ("ProviderID", "≠", Other, "ProviderID"),
+                ],
                 // The measure code determines its name and condition family.
-                &[("MeasureCode", "=", Other, "MeasureCode"), ("MeasureName", "≠", Other, "MeasureName")],
-                &[("MeasureCode", "=", Other, "MeasureCode"), ("Condition", "≠", Other, "Condition")],
+                &[
+                    ("MeasureCode", "=", Other, "MeasureCode"),
+                    ("MeasureName", "≠", Other, "MeasureName"),
+                ],
+                &[
+                    ("MeasureCode", "=", Other, "MeasureCode"),
+                    ("Condition", "≠", Other, "Condition"),
+                ],
                 // The state average is a function of (state, measure code).
                 &[
                     ("State", "=", Other, "State"),
@@ -153,7 +172,10 @@ mod tests {
         let mut by_pid: HashMap<i64, (String, i64)> = HashMap::new();
         for row in 0..r.len() {
             let id = r.value(row, pid).as_i64().unwrap();
-            let entry = (r.value(row, name).to_string(), r.value(row, phone).as_i64().unwrap());
+            let entry = (
+                r.value(row, name).to_string(),
+                r.value(row, phone).as_i64().unwrap(),
+            );
             if let Some(prev) = by_pid.get(&id) {
                 assert_eq!(prev, &entry);
             } else {

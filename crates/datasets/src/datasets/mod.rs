@@ -43,7 +43,8 @@ mod shared_tests {
                 for row in [0usize, rows / 2, rows - 1] {
                     assert!(
                         relation.value(row, col).sem_eq(&again.value(row, col))
-                            || (relation.value(row, col).is_null() && again.value(row, col).is_null()),
+                            || (relation.value(row, col).is_null()
+                                && again.value(row, col).is_null()),
                         "{} not deterministic at ({row},{col})",
                         gen.name()
                     );

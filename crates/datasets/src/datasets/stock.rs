@@ -127,11 +127,17 @@ mod tests {
     fn ticker_date_is_a_key() {
         let r = StockDataset.generate(250, 5);
         let schema = StockDataset.schema();
-        let (ticker, date) = (schema.index_of("Ticker").unwrap(), schema.index_of("Date").unwrap());
+        let (ticker, date) = (
+            schema.index_of("Ticker").unwrap(),
+            schema.index_of("Date").unwrap(),
+        );
         use std::collections::HashSet;
         let mut seen = HashSet::new();
         for row in 0..r.len() {
-            let key = (r.value(row, ticker).to_string(), r.value(row, date).to_string());
+            let key = (
+                r.value(row, ticker).to_string(),
+                r.value(row, date).to_string(),
+            );
             assert!(seen.insert(key), "duplicate (ticker, date) at row {row}");
         }
     }

@@ -59,8 +59,14 @@ impl DatasetGenerator for TaxDataset {
             let city = pools::CITIES[state_idx * 2 + city_sel];
             let area_code = pools::state_area_code(state_idx);
             let phone = area_code * 10_000_000 + i as i64;
-            let zip = pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + rng.gen_range(0..1_000);
-            let marital = if rng.gen_bool(0.5) { "Single" } else { "Married" };
+            let zip = pools::state_zip_base(state_idx)
+                + city_sel as i64 * 1_000
+                + rng.gen_range(0..1_000);
+            let marital = if rng.gen_bool(0.5) {
+                "Single"
+            } else {
+                "Married"
+            };
             let has_child = if rng.gen_bool(0.4) { "Y" } else { "N" };
             let salary = rng.gen_range(20..150) * 1_000i64;
             // Per-state flat tax rate => tax is monotone in salary within a state.
@@ -105,12 +111,21 @@ impl DatasetGenerator for TaxDataset {
                 &[("Zip", "=", Other, "Zip"), ("State", "≠", Other, "State")],
                 &[("Zip", "=", Other, "Zip"), ("City", "≠", Other, "City")],
                 // Area codes are state-specific; phone numbers embed the area code.
-                &[("AreaCode", "=", Other, "AreaCode"), ("State", "≠", Other, "State")],
-                &[("Phone", "=", Other, "Phone"), ("AreaCode", "≠", Other, "AreaCode")],
+                &[
+                    ("AreaCode", "=", Other, "AreaCode"),
+                    ("State", "≠", Other, "State"),
+                ],
+                &[
+                    ("Phone", "=", Other, "Phone"),
+                    ("AreaCode", "≠", Other, "AreaCode"),
+                ],
                 // Cities belong to a single state.
                 &[("City", "=", Other, "City"), ("State", "≠", Other, "State")],
                 // The tax rate is a function of the state.
-                &[("State", "=", Other, "State"), ("TaxRate", "≠", Other, "TaxRate")],
+                &[
+                    ("State", "=", Other, "State"),
+                    ("TaxRate", "≠", Other, "TaxRate"),
+                ],
                 // Exemptions are functions of marital status / children.
                 &[
                     ("MaritalStatus", "=", Other, "MaritalStatus"),

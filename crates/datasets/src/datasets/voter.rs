@@ -74,7 +74,8 @@ impl DatasetGenerator for VoterDataset {
             let city_sel = rng.gen_range(0..2usize);
             let city_idx = state_idx * 2 + city_sel;
             let age = rng.gen_range(18..=95i64);
-            let zip = pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + rng.gen_range(0..800);
+            let zip =
+                pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + rng.gen_range(0..800);
             let area_code = pools::state_area_code(state_idx);
             // Precinct / district / ward are county-scoped identifiers.
             let precinct = (city_idx as i64) * 100 + rng.gen_range(0..100);
@@ -121,17 +122,41 @@ impl DatasetGenerator for VoterDataset {
                 &[("Zip", "=", Other, "Zip"), ("State", "≠", Other, "State")],
                 &[("Zip", "=", Other, "Zip"), ("City", "≠", Other, "City")],
                 &[("Zip", "=", Other, "Zip"), ("County", "≠", Other, "County")],
-                &[("City", "=", Other, "City"), ("County", "≠", Other, "County")],
-                &[("County", "=", Other, "County"), ("State", "≠", Other, "State")],
+                &[
+                    ("City", "=", Other, "City"),
+                    ("County", "≠", Other, "County"),
+                ],
+                &[
+                    ("County", "=", Other, "County"),
+                    ("State", "≠", Other, "State"),
+                ],
                 // Age and birth year are consistent.
-                &[("Age", "<", Other, "Age"), ("BirthYear", "<", Other, "BirthYear")],
-                &[("Age", "=", Other, "Age"), ("BirthYear", "≠", Other, "BirthYear")],
+                &[
+                    ("Age", "<", Other, "Age"),
+                    ("BirthYear", "<", Other, "BirthYear"),
+                ],
+                &[
+                    ("Age", "=", Other, "Age"),
+                    ("BirthYear", "≠", Other, "BirthYear"),
+                ],
                 // Phone numbers embed state-scoped area codes.
-                &[("AreaCode", "=", Other, "AreaCode"), ("State", "≠", Other, "State")],
-                &[("Phone", "=", Other, "Phone"), ("AreaCode", "≠", Other, "AreaCode")],
+                &[
+                    ("AreaCode", "=", Other, "AreaCode"),
+                    ("State", "≠", Other, "State"),
+                ],
+                &[
+                    ("Phone", "=", Other, "Phone"),
+                    ("AreaCode", "≠", Other, "AreaCode"),
+                ],
                 // Precincts are county-scoped; mailing geography is consistent.
-                &[("Precinct", "=", Other, "Precinct"), ("County", "≠", Other, "County")],
-                &[("MailZip", "=", Other, "MailZip"), ("MailState", "≠", Other, "MailState")],
+                &[
+                    ("Precinct", "=", Other, "Precinct"),
+                    ("County", "≠", Other, "County"),
+                ],
+                &[
+                    ("MailZip", "=", Other, "MailZip"),
+                    ("MailState", "≠", Other, "MailState"),
+                ],
             ],
         )
     }

@@ -43,7 +43,10 @@ impl NoiseConfig {
     /// A configuration with the given modification rate and paper defaults
     /// for everything else.
     pub fn with_rate(rate: f64) -> Self {
-        NoiseConfig { rate, ..Default::default() }
+        NoiseConfig {
+            rate,
+            ..Default::default()
+        }
     }
 }
 
@@ -60,14 +63,26 @@ pub struct NoisyCell {
 
 /// Apply *spread* noise: each cell is modified independently with probability
 /// `config.rate`. Returns the dirty relation and the list of modified cells.
-pub fn spread_noise(relation: &Relation, config: &NoiseConfig, seed: u64) -> (Relation, Vec<NoisyCell>) {
+pub fn spread_noise(
+    relation: &Relation,
+    config: &NoiseConfig,
+    seed: u64,
+) -> (Relation, Vec<NoisyCell>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut dirty = relation.clone();
     let mut changed = Vec::new();
     for row in 0..relation.len() {
         for col in 0..relation.arity() {
             if rng.gen_bool(config.rate.clamp(0.0, 1.0)) {
-                corrupt_cell(&mut dirty, relation, row, col, config, &mut rng, &mut changed);
+                corrupt_cell(
+                    &mut dirty,
+                    relation,
+                    row,
+                    col,
+                    config,
+                    &mut rng,
+                    &mut changed,
+                );
             }
         }
     }
@@ -78,7 +93,11 @@ pub fn spread_noise(relation: &Relation, config: &NoiseConfig, seed: u64) -> (Re
 /// tuples is selected (at least one when the rate is positive), and cells
 /// inside those tuples are modified with probability
 /// `config.cell_probability_within_tuple`.
-pub fn skewed_noise(relation: &Relation, config: &NoiseConfig, seed: u64) -> (Relation, Vec<NoisyCell>) {
+pub fn skewed_noise(
+    relation: &Relation,
+    config: &NoiseConfig,
+    seed: u64,
+) -> (Relation, Vec<NoisyCell>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut dirty = relation.clone();
     let mut changed = Vec::new();
@@ -92,14 +111,30 @@ pub fn skewed_noise(relation: &Relation, config: &NoiseConfig, seed: u64) -> (Re
         let mut touched_any = false;
         for col in 0..relation.arity() {
             if rng.gen_bool(config.cell_probability_within_tuple.clamp(0.0, 1.0)) {
-                corrupt_cell(&mut dirty, relation, row, col, config, &mut rng, &mut changed);
+                corrupt_cell(
+                    &mut dirty,
+                    relation,
+                    row,
+                    col,
+                    config,
+                    &mut rng,
+                    &mut changed,
+                );
                 touched_any = true;
             }
         }
         if !touched_any && relation.arity() > 0 {
             // Guarantee that every selected tuple is actually dirty.
             let col = rng.gen_range(0..relation.arity());
-            corrupt_cell(&mut dirty, relation, row, col, config, &mut rng, &mut changed);
+            corrupt_cell(
+                &mut dirty,
+                relation,
+                row,
+                col,
+                config,
+                &mut rng,
+                &mut changed,
+            );
         }
     }
     (dirty, changed)
@@ -121,7 +156,11 @@ fn corrupt_cell(
         typo(&old, rng)
     };
     if dirty.set_value(row, col, new).is_ok() {
-        changed.push(NoisyCell { row, col, original: old });
+        changed.push(NoisyCell {
+            row,
+            col,
+            original: old,
+        });
     }
 }
 
@@ -144,7 +183,11 @@ fn typo(value: &Value, rng: &mut StdRng) -> Value {
     match value {
         Value::Int(i) => {
             let delta = rng.gen_range(1..=9) * 10i64.pow(rng.gen_range(0..3));
-            Value::Int(if rng.gen_bool(0.5) { i + delta } else { i - delta })
+            Value::Int(if rng.gen_bool(0.5) {
+                i + delta
+            } else {
+                i - delta
+            })
         }
         Value::Float(f) => {
             let factor = 1.0 + rng.gen_range(-0.3..0.3);
@@ -195,7 +238,10 @@ mod tests {
         let (dirty, changed) = spread_noise(&r, &cfg, 42);
         let total_cells = (r.len() * r.arity()) as f64;
         let observed = changed.len() as f64 / total_cells;
-        assert!((observed - 0.05).abs() < 0.03, "observed noise rate {observed}");
+        assert!(
+            (observed - 0.05).abs() < 0.03,
+            "observed noise rate {observed}"
+        );
         assert_eq!(dirty.len(), r.len());
         // Changed cells are recorded with their original values.
         for cell in changed.iter().take(20) {
@@ -257,7 +303,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         for _ in 0..50 {
             assert!(matches!(typo(&Value::Int(42), &mut rng), Value::Int(_)));
-            assert!(matches!(typo(&Value::Float(1.5), &mut rng), Value::Float(_)));
+            assert!(matches!(
+                typo(&Value::Float(1.5), &mut rng),
+                Value::Float(_)
+            ));
             assert!(matches!(typo(&Value::from("NY"), &mut rng), Value::Str(_)));
             assert!(matches!(typo(&Value::Null, &mut rng), Value::Null));
         }

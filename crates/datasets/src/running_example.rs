@@ -33,8 +33,14 @@ pub fn running_example() -> Relation {
     ];
     let mut b = Relation::builder(schema);
     for (n, s, z, i, t) in rows {
-        b.push_row(vec![n.into(), s.into(), Value::Int(z), Value::Int(i), Value::Int(t)])
-            .expect("running example rows are well typed");
+        b.push_row(vec![
+            n.into(),
+            s.into(),
+            Value::Int(z),
+            Value::Int(i),
+            Value::Int(t),
+        ])
+        .expect("running example rows are well typed");
     }
     b.build()
 }
@@ -46,9 +52,15 @@ pub fn running_example() -> Relation {
 /// Panics if `space` was not built over the running example's schema.
 pub fn phi1(space: &PredicateSpace) -> DenialConstraint {
     DenialConstraint::new(vec![
-        space.find("State", "=", TupleRole::Other, "State").expect("State = predicate"),
-        space.find("Income", ">", TupleRole::Other, "Income").expect("Income > predicate"),
-        space.find("Tax", "≤", TupleRole::Other, "Tax").expect("Tax ≤ predicate"),
+        space
+            .find("State", "=", TupleRole::Other, "State")
+            .expect("State = predicate"),
+        space
+            .find("Income", ">", TupleRole::Other, "Income")
+            .expect("Income > predicate"),
+        space
+            .find("Tax", "≤", TupleRole::Other, "Tax")
+            .expect("Tax ≤ predicate"),
     ])
 }
 
@@ -59,8 +71,12 @@ pub fn phi1(space: &PredicateSpace) -> DenialConstraint {
 /// Panics if `space` was not built over the running example's schema.
 pub fn phi2(space: &PredicateSpace) -> DenialConstraint {
     DenialConstraint::new(vec![
-        space.find("Zip", "=", TupleRole::Other, "Zip").expect("Zip = predicate"),
-        space.find("State", "≠", TupleRole::Other, "State").expect("State ≠ predicate"),
+        space
+            .find("Zip", "=", TupleRole::Other, "Zip")
+            .expect("Zip = predicate"),
+        space
+            .find("State", "≠", TupleRole::Other, "State")
+            .expect("State ≠ predicate"),
     ])
 }
 

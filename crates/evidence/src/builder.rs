@@ -57,7 +57,10 @@ impl EvidenceBuilder for NaiveEvidenceBuilder {
                 }
             }
         }
-        Evidence { evidence_set: acc.finish(), vios }
+        Evidence {
+            evidence_set: acc.finish(),
+            vios,
+        }
     }
 }
 
@@ -176,7 +179,10 @@ impl EvidenceBuilder for ClusterEvidenceBuilder {
         let mut acc = EvidenceAccumulator::new(space.len(), n);
         let mut vios = track_vios.then(|| Vios::new(0, n));
         if n == 0 || space.is_empty() {
-            return Evidence { evidence_set: acc.finish(), vios };
+            return Evidence {
+                evidence_set: acc.finish(),
+                vios,
+            };
         }
 
         let codes = Self::column_codes(relation);
@@ -234,7 +240,10 @@ impl EvidenceBuilder for ClusterEvidenceBuilder {
                 }
             }
         }
-        Evidence { evidence_set: acc.finish(), vios }
+        Evidence {
+            evidence_set: acc.finish(),
+            vios,
+        }
     }
 }
 
@@ -262,7 +271,8 @@ mod tests {
         ];
         let mut b = Relation::builder(schema);
         for (n, s, i, t) in rows {
-            b.push_row(vec![n.into(), s.into(), Value::Int(i), Value::Int(t)]).unwrap();
+            b.push_row(vec![n.into(), s.into(), Value::Int(i), Value::Int(t)])
+                .unwrap();
         }
         b.build()
     }
@@ -283,7 +293,11 @@ mod tests {
             } else {
                 Value::from(cats[rng.gen_range(0..cats.len())])
             };
-            let bval = if rng.gen_bool(0.1) { Value::Null } else { Value::Int(rng.gen_range(0..5)) };
+            let bval = if rng.gen_bool(0.1) {
+                Value::Null
+            } else {
+                Value::Int(rng.gen_range(0..5))
+            };
             let c = Value::Int(rng.gen_range(0..5));
             let d = Value::Float(rng.gen_range(0..4) as f64 / 2.0);
             b.push_row(vec![a, bval, c, d]).unwrap();
@@ -363,12 +377,20 @@ mod tests {
     fn vios_counts_sum_to_twice_total_pairs() {
         let r = small_relation();
         let space = PredicateSpace::build(&r, SpaceConfig::default());
-        for builder in [&NaiveEvidenceBuilder as &dyn EvidenceBuilder, &ClusterEvidenceBuilder] {
+        for builder in [
+            &NaiveEvidenceBuilder as &dyn EvidenceBuilder,
+            &ClusterEvidenceBuilder,
+        ] {
             let ev = builder.build(&r, &space, true);
             let vios = ev.vios();
             let all_entries: Vec<usize> = (0..ev.evidence_set.distinct_count()).collect();
             let total: u64 = vios.accumulate_counts(&all_entries).values().sum();
-            assert_eq!(total, 2 * ev.evidence_set.total_pairs(), "{}", builder.name());
+            assert_eq!(
+                total,
+                2 * ev.evidence_set.total_pairs(),
+                "{}",
+                builder.name()
+            );
             // Every tuple participates in 2*(n-1) ordered pairs.
             let counts = vios.accumulate_counts(&all_entries);
             for t in 0..r.len() as u32 {
@@ -402,9 +424,17 @@ mod tests {
     fn cross_column_text_equality_uses_global_codes() {
         // Two text columns holding overlapping city names; cross-column
         // equality must hold exactly when the strings match.
-        let schema = Schema::of(&[("Origin", AttributeType::Text), ("Dest", AttributeType::Text)]);
+        let schema = Schema::of(&[
+            ("Origin", AttributeType::Text),
+            ("Dest", AttributeType::Text),
+        ]);
         let mut b = Relation::builder(schema);
-        for (o, d) in [("JFK", "SEA"), ("SEA", "JFK"), ("JFK", "JFK"), ("ORD", "SEA")] {
+        for (o, d) in [
+            ("JFK", "SEA"),
+            ("SEA", "JFK"),
+            ("JFK", "JFK"),
+            ("ORD", "SEA"),
+        ] {
             b.push_row(vec![o.into(), d.into()]).unwrap();
         }
         let r = b.build();
@@ -420,6 +450,9 @@ mod tests {
             .filter(|en| en.set.contains(eq_id))
             .map(|en| en.count)
             .sum();
-        assert_eq!(satisfying, 3, "t3 appears as first element of 3 ordered pairs");
+        assert_eq!(
+            satisfying, 3,
+            "t3 appears as first element of 3 ordered pairs"
+        );
     }
 }

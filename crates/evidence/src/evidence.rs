@@ -27,7 +27,12 @@ impl EvidenceSet {
     /// Create an empty evidence set for a space of `num_predicates` predicates
     /// over a relation of `num_tuples` tuples.
     pub fn new(num_predicates: usize, num_tuples: usize) -> Self {
-        EvidenceSet { entries: Vec::new(), total_pairs: 0, num_tuples, num_predicates }
+        EvidenceSet {
+            entries: Vec::new(),
+            total_pairs: 0,
+            num_tuples,
+            num_predicates,
+        }
     }
 
     /// Number of distinct evidence sets (the paper's `n`, which drives the
@@ -144,7 +149,10 @@ impl EvidenceAccumulator {
             None => {
                 let idx = self.set.entries.len();
                 self.index.insert(satisfied.clone(), idx);
-                self.set.entries.push(EvidenceEntry { set: satisfied, count: 1 });
+                self.set.entries.push(EvidenceEntry {
+                    set: satisfied,
+                    count: 1,
+                });
                 idx
             }
         }
@@ -167,7 +175,10 @@ impl EvidenceAccumulator {
             None => {
                 let idx = self.set.entries.len();
                 self.index.insert(satisfied.clone(), idx);
-                self.set.entries.push(EvidenceEntry { set: satisfied, count: 0 });
+                self.set.entries.push(EvidenceEntry {
+                    set: satisfied,
+                    count: 0,
+                });
                 idx
             }
         }

@@ -51,7 +51,7 @@ pub struct Evidence {
 impl Evidence {
     /// Build evidence with the default (optimised) builder, tracking `vios`.
     pub fn build(relation: &Relation, space: &PredicateSpace) -> Evidence {
-        ClusterEvidenceBuilder::default().build(relation, space, true)
+        ClusterEvidenceBuilder.build(relation, space, true)
     }
 
     /// The `vios` index.

@@ -24,7 +24,10 @@ impl Vios {
     /// Create an empty index for `num_entries` evidence entries over
     /// `num_tuples` tuples.
     pub fn new(num_entries: usize, num_tuples: usize) -> Self {
-        Vios { per_entry: vec![FxHashMap::default(); num_entries], num_tuples }
+        Vios {
+            per_entry: vec![FxHashMap::default(); num_entries],
+            num_tuples,
+        }
     }
 
     /// Record the ordered pair `(t, t_prime)` as having evidence entry `entry`.

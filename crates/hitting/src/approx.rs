@@ -278,8 +278,8 @@ impl<'a, S: Fn(&FixedBitSet) -> f64> EnumState<'a, S> {
                 let mut group_removed: Vec<usize> = Vec::new();
                 if let Some(groups) = self.config.element_groups {
                     let g = groups[e];
-                    for other in 0..self.system.num_elements() {
-                        if other != e && groups[other] == g && self.cand.contains(other) {
+                    for (other, &og) in groups.iter().enumerate() {
+                        if other != e && og == g && self.cand.contains(other) {
                             self.cand.remove(other);
                             group_removed.push(other);
                         }
@@ -356,7 +356,11 @@ impl<'a, S: Fn(&FixedBitSet) -> f64> EnumState<'a, S> {
                 }
             });
         }
-        CritUndo { element: e, covered, removed_from_crit }
+        CritUndo {
+            element: e,
+            covered,
+            removed_from_crit,
+        }
     }
 
     fn undo_crit_uncov(&mut self, undo: CritUndo) {

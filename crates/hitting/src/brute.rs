@@ -14,7 +14,10 @@ use adc_data::FixedBitSet;
 /// be astronomically large); use MMCS for real instances.
 pub fn brute_force_minimal_hitting_sets(system: &SetSystem) -> Vec<FixedBitSet> {
     let m = system.num_elements();
-    assert!(m <= 22, "brute force limited to small universes, got {m} elements");
+    assert!(
+        m <= 22,
+        "brute force limited to small universes, got {m} elements"
+    );
     let mut hitting: Vec<FixedBitSet> = Vec::new();
     for mask in 0u64..(1u64 << m) {
         let set = FixedBitSet::from_words(m, &[mask]);
@@ -73,8 +76,10 @@ mod tests {
     #[test]
     fn brute_force_simple_instance() {
         let sys = SetSystem::from_indices(4, &[&[0, 1], &[1, 2], &[2, 3]]);
-        let mut found: Vec<Vec<usize>> =
-            brute_force_minimal_hitting_sets(&sys).iter().map(|s| s.to_vec()).collect();
+        let mut found: Vec<Vec<usize>> = brute_force_minimal_hitting_sets(&sys)
+            .iter()
+            .map(|s| s.to_vec())
+            .collect();
         found.sort();
         assert_eq!(found, vec![vec![0, 2], vec![1, 2], vec![1, 3]]);
     }
@@ -96,7 +101,10 @@ mod tests {
     fn keep_minimal_preserves_duplicates_but_not_supersets() {
         // Equal sets are not proper subsets of each other, so both survive;
         // callers that intern their inputs never hit this case.
-        let sets = vec![FixedBitSet::from_indices(3, [1]), FixedBitSet::from_indices(3, [1])];
+        let sets = vec![
+            FixedBitSet::from_indices(3, [1]),
+            FixedBitSet::from_indices(3, [1]),
+        ];
         assert_eq!(keep_minimal(sets).len(), 2);
     }
 

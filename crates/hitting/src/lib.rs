@@ -74,7 +74,10 @@ impl SetSystem {
         for s in &subsets {
             assert_eq!(s.capacity(), num_elements, "subset capacity mismatch");
         }
-        SetSystem { num_elements, subsets }
+        SetSystem {
+            num_elements,
+            subsets,
+        }
     }
 
     /// Build from explicit index lists (convenient in tests).

@@ -185,7 +185,11 @@ impl<'a> MmcsState<'a> {
                 }
             });
         }
-        Undo { element: e, covered, removed_from_crit }
+        Undo {
+            element: e,
+            covered,
+            removed_from_crit,
+        }
     }
 
     fn undo_crit_uncov(&mut self, undo: Undo) {
@@ -294,7 +298,10 @@ mod tests {
             }
             let sys = SetSystem::new(m, subsets);
             let expected = as_sorted_vecs(brute_force_minimal_hitting_sets(&sys));
-            for strategy in [BranchStrategy::MaxIntersection, BranchStrategy::MinIntersection] {
+            for strategy in [
+                BranchStrategy::MaxIntersection,
+                BranchStrategy::MinIntersection,
+            ] {
                 let found = as_sorted_vecs(minimal_hitting_sets(&sys, strategy));
                 assert_eq!(found, expected, "strategy {strategy:?}");
             }

@@ -25,7 +25,9 @@ impl DenialConstraint {
 
     /// Create a DC from a bitset of predicate ids.
     pub fn from_set(set: &FixedBitSet) -> Self {
-        DenialConstraint { predicate_ids: set.to_vec() }
+        DenialConstraint {
+            predicate_ids: set.to_vec(),
+        }
     }
 
     /// The predicate ids, sorted ascending.
@@ -89,7 +91,13 @@ impl DenialConstraint {
 
     /// `true` if the ordered pair `(t, t')` satisfies the DC, i.e. at least
     /// one predicate of the DC does not hold for the pair.
-    pub fn satisfied_by_pair(&self, space: &PredicateSpace, relation: &Relation, t: usize, t_prime: usize) -> bool {
+    pub fn satisfied_by_pair(
+        &self,
+        space: &PredicateSpace,
+        relation: &Relation,
+        t: usize,
+        t_prime: usize,
+    ) -> bool {
         self.predicate_ids
             .iter()
             .any(|&id| !space.predicate(id).eval(relation, t, t_prime))
@@ -136,7 +144,11 @@ impl fmt::Display for DcDisplay<'_> {
             if k > 0 {
                 write!(f, " ∧ ")?;
             }
-            write!(f, "{}", self.space.predicate(id).display(self.space.schema()))?;
+            write!(
+                f,
+                "{}",
+                self.space.predicate(id).display(self.space.schema())
+            )?;
         }
         write!(f, ")")
     }
@@ -165,7 +177,8 @@ mod tests {
         ];
         let mut b = Relation::builder(schema);
         for (s, i, t) in rows {
-            b.push_row(vec![s.into(), Value::Int(i), Value::Int(t)]).unwrap();
+            b.push_row(vec![s.into(), Value::Int(i), Value::Int(t)])
+                .unwrap();
         }
         b.build()
     }
@@ -178,7 +191,9 @@ mod tests {
     fn phi1(space: &PredicateSpace) -> DenialConstraint {
         DenialConstraint::new(vec![
             space.find("State", "=", TupleRole::Other, "State").unwrap(),
-            space.find("Income", ">", TupleRole::Other, "Income").unwrap(),
+            space
+                .find("Income", ">", TupleRole::Other, "Income")
+                .unwrap(),
             space.find("Tax", "≤", TupleRole::Other, "Tax").unwrap(),
         ])
     }

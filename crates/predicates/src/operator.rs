@@ -76,7 +76,10 @@ impl Operator {
 
     /// `true` for the order operators `<, ≤, >, ≥` (which require numeric operands).
     pub fn is_order(self) -> bool {
-        matches!(self, Operator::Lt | Operator::Leq | Operator::Gt | Operator::Geq)
+        matches!(
+            self,
+            Operator::Lt | Operator::Leq | Operator::Gt | Operator::Geq
+        )
     }
 
     /// Evaluate the operator on an ordering produced by [`Value::sem_cmp`].

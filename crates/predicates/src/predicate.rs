@@ -33,17 +33,30 @@ pub struct Predicate {
 impl Predicate {
     /// Create a cross-tuple predicate `t[left] op t'[right]`.
     pub fn cross(left_col: usize, op: Operator, right_col: usize) -> Self {
-        Predicate { left_col, right_col, right_role: TupleRole::Other, op }
+        Predicate {
+            left_col,
+            right_col,
+            right_role: TupleRole::Other,
+            op,
+        }
     }
 
     /// Create a single-tuple predicate `t[left] op t[right]`.
     pub fn single(left_col: usize, op: Operator, right_col: usize) -> Self {
-        Predicate { left_col, right_col, right_role: TupleRole::Same, op }
+        Predicate {
+            left_col,
+            right_col,
+            right_role: TupleRole::Same,
+            op,
+        }
     }
 
     /// The complement predicate `P̂` (same operands, complement operator).
     pub fn complement(&self) -> Predicate {
-        Predicate { op: self.op.complement(), ..*self }
+        Predicate {
+            op: self.op.complement(),
+            ..*self
+        }
     }
 
     /// The *structure key* of the predicate: everything except the operator.
@@ -83,7 +96,10 @@ impl Predicate {
 
     /// Render with attribute names from a schema, e.g. `t.State = t'.State`.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> PredicateDisplay<'a> {
-        PredicateDisplay { predicate: self, schema }
+        PredicateDisplay {
+            predicate: self,
+            schema,
+        }
     }
 }
 
@@ -121,9 +137,12 @@ mod tests {
 
     fn relation() -> Relation {
         let mut b = Relation::builder(schema());
-        b.push_row(vec!["NY".into(), Value::Int(42_000), Value::Float(4_700.0)]).unwrap();
-        b.push_row(vec!["NY".into(), Value::Int(28_000), Value::Float(2_400.0)]).unwrap();
-        b.push_row(vec!["WA".into(), Value::Int(27_000), Value::Float(1_400.0)]).unwrap();
+        b.push_row(vec!["NY".into(), Value::Int(42_000), Value::Float(4_700.0)])
+            .unwrap();
+        b.push_row(vec!["NY".into(), Value::Int(28_000), Value::Float(2_400.0)])
+            .unwrap();
+        b.push_row(vec!["WA".into(), Value::Int(27_000), Value::Float(1_400.0)])
+            .unwrap();
         b.build()
     }
 
@@ -188,8 +207,10 @@ mod tests {
     #[test]
     fn eval_against_null_cell() {
         let mut b = Relation::builder(schema());
-        b.push_row(vec![Value::Null, Value::Int(1), Value::Float(1.0)]).unwrap();
-        b.push_row(vec!["NY".into(), Value::Int(2), Value::Float(2.0)]).unwrap();
+        b.push_row(vec![Value::Null, Value::Int(1), Value::Float(1.0)])
+            .unwrap();
+        b.push_row(vec!["NY".into(), Value::Int(2), Value::Float(2.0)])
+            .unwrap();
         let r = b.build();
         let p = Predicate::cross(0, Operator::Eq, 0);
         let np = Predicate::cross(0, Operator::Neq, 0);

@@ -110,13 +110,22 @@ impl PredicateSpace {
         let mut groups: Vec<Vec<usize>> = Vec::new();
         let mut group_of = Vec::new();
         for (left, right, role) in candidate_structures {
-            let numeric =
-                schema.attribute(left).ty().is_numeric() && schema.attribute(right).ty().is_numeric();
-            let ops: &[Operator] = if numeric { &Operator::ALL } else { &Operator::EQUALITY };
+            let numeric = schema.attribute(left).ty().is_numeric()
+                && schema.attribute(right).ty().is_numeric();
+            let ops: &[Operator] = if numeric {
+                &Operator::ALL
+            } else {
+                &Operator::EQUALITY
+            };
             let group_id = groups.len();
             let mut group = Vec::with_capacity(ops.len());
             for &op in ops {
-                let p = Predicate { left_col: left, right_col: right, right_role: role, op };
+                let p = Predicate {
+                    left_col: left,
+                    right_col: right,
+                    right_role: role,
+                    op,
+                };
                 debug_assert!(!p.is_degenerate());
                 group.push(predicates.len());
                 group_of.push(group_id);
@@ -138,7 +147,15 @@ impl PredicateSpace {
             })
             .collect();
 
-        PredicateSpace { schema, predicates, complement_of, group_of, groups, index, config }
+        PredicateSpace {
+            schema,
+            predicates,
+            complement_of,
+            group_of,
+            groups,
+            index,
+            config,
+        }
     }
 
     /// The schema the space was built for.
@@ -215,7 +232,12 @@ impl PredicateSpace {
         let left_col = self.schema.index_of(left)?;
         let right_col = self.schema.index_of(right)?;
         let op = Operator::parse(op)?;
-        self.id_of(&Predicate { left_col, right_col, right_role: role, op })
+        self.id_of(&Predicate {
+            left_col,
+            right_col,
+            right_role: role,
+            op,
+        })
     }
 
     /// Compute `Sat(t, t')`: the set of predicates satisfied by the ordered
@@ -262,7 +284,8 @@ mod tests {
             ("Jimmy", "WA", 24_000, 1_600),
         ];
         for (n, s, i, t) in rows {
-            b.push_row(vec![n.into(), s.into(), Value::Int(i), Value::Int(t)]).unwrap();
+            b.push_row(vec![n.into(), s.into(), Value::Int(i), Value::Int(t)])
+                .unwrap();
         }
         b.build()
     }
@@ -273,10 +296,16 @@ mod tests {
         let space = PredicateSpace::build(&r, SpaceConfig::same_column_only());
         // Name, State: 2 ops each; Income, Tax: 6 ops each.
         assert_eq!(space.len(), 2 + 2 + 6 + 6);
-        assert!(space.find("State", "=", TupleRole::Other, "State").is_some());
-        assert!(space.find("Income", "<", TupleRole::Other, "Income").is_some());
+        assert!(space
+            .find("State", "=", TupleRole::Other, "State")
+            .is_some());
+        assert!(space
+            .find("Income", "<", TupleRole::Other, "Income")
+            .is_some());
         // No order predicates on text attributes.
-        assert!(space.find("State", "<", TupleRole::Other, "State").is_none());
+        assert!(space
+            .find("State", "<", TupleRole::Other, "State")
+            .is_none());
         // No cross-column predicates in this config.
         assert!(space.find("Income", ">", TupleRole::Other, "Tax").is_none());
     }
@@ -328,11 +357,17 @@ mod tests {
         let r = relation();
         let space = PredicateSpace::build(&r, SpaceConfig::default());
         let a = space.find("State", "=", TupleRole::Other, "State").unwrap();
-        let b = space.find("Income", "<", TupleRole::Other, "Income").unwrap();
+        let b = space
+            .find("Income", "<", TupleRole::Other, "Income")
+            .unwrap();
         let set = FixedBitSet::from_indices(space.len(), [a, b]);
         let comp = space.complement_set(&set);
         assert!(comp.contains(space.find("State", "≠", TupleRole::Other, "State").unwrap()));
-        assert!(comp.contains(space.find("Income", "≥", TupleRole::Other, "Income").unwrap()));
+        assert!(comp.contains(
+            space
+                .find("Income", "≥", TupleRole::Other, "Income")
+                .unwrap()
+        ));
         assert_eq!(comp.len(), 2);
     }
 
@@ -403,7 +438,9 @@ mod tests {
         let r = relation();
         let space = PredicateSpace::build(&r, SpaceConfig::default());
         let a = space.find("State", "=", TupleRole::Other, "State").unwrap();
-        let b = space.find("Income", ">", TupleRole::Other, "Income").unwrap();
+        let b = space
+            .find("Income", ">", TupleRole::Other, "Income")
+            .unwrap();
         let set = FixedBitSet::from_indices(space.len(), [a, b]);
         let s = space.render_set(&set);
         assert!(s.contains("t.State = t'.State"));
@@ -417,6 +454,8 @@ mod tests {
         let space = PredicateSpace::build(&r, SpaceConfig::default());
         assert!(space.find("Nope", "=", TupleRole::Other, "State").is_none());
         assert!(space.find("State", "=", TupleRole::Other, "Nope").is_none());
-        assert!(space.find("State", "??", TupleRole::Other, "State").is_none());
+        assert!(space
+            .find("State", "??", TupleRole::Other, "State")
+            .is_none());
     }
 }

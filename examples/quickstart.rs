@@ -17,7 +17,10 @@ fn main() {
     // contains a couple of inconsistencies, the exact constraints are long
     // and contrived — exactly the problem the paper's introduction describes.
     let exact = AdcMiner::new(MinerConfig::new(0.0)).mine(&relation);
-    println!("\n=== Exact DCs (ε = 0): {} constraints ===", exact.dcs.len());
+    println!(
+        "\n=== Exact DCs (ε = 0): {} constraints ===",
+        exact.dcs.len()
+    );
     for dc in exact.dcs.iter().take(5) {
         println!("  {}", dc.display(&exact.space));
     }
@@ -28,14 +31,20 @@ fn main() {
     // Approximate DCs with a 5% exception budget under f1 (the fraction of
     // violating tuple pairs). The income/tax rule of Example 1.1 appears.
     let approx = AdcMiner::new(MinerConfig::new(0.05)).mine(&relation);
-    println!("\n=== Approximate DCs (f1, ε = 0.05): {} constraints ===", approx.dcs.len());
+    println!(
+        "\n=== Approximate DCs (f1, ε = 0.05): {} constraints ===",
+        approx.dcs.len()
+    );
     for dc in &approx.dcs {
         println!("  {}", dc.display(&approx.space));
     }
 
     // The same mining run under the tuple-removal semantics (greedy f3).
     let f3 = AdcMiner::new(MinerConfig::new(0.15).with_approx(ApproxKind::F3)).mine(&relation);
-    println!("\n=== Approximate DCs (greedy f3, ε = 0.15): {} constraints ===", f3.dcs.len());
+    println!(
+        "\n=== Approximate DCs (greedy f3, ε = 0.15): {} constraints ===",
+        f3.dcs.len()
+    );
     for dc in f3.dcs.iter().take(10) {
         println!("  {}", dc.display(&f3.space));
     }

@@ -10,11 +10,11 @@
 use adc::prelude::*;
 
 fn main() {
-    let generator = Dataset::Flight.generator();
+    let generator = Dataset::Airport.generator();
     let rows = 600;
     let relation = generator.generate(rows, 5);
     println!(
-        "Flight analog: {rows} tuples × {} attributes ({} ordered pairs)\n",
+        "Airport analog: {rows} tuples × {} attributes ({} ordered pairs)\n",
         relation.arity(),
         relation.ordered_pair_count()
     );
@@ -35,7 +35,9 @@ fn main() {
     // (f1' at 95% confidence) so that accepted DCs are ε-ADCs on the full
     // data with high probability.
     for fraction in [0.2, 0.3, 0.4, 0.6] {
-        let config = MinerConfig::new(epsilon).with_sample(fraction, 17).with_confidence(0.05);
+        let config = MinerConfig::new(epsilon)
+            .with_sample(fraction, 17)
+            .with_confidence(0.05);
         let sampled = AdcMiner::new(config).mine(&relation);
         let f1 = f1_score(&sampled.dcs, &full.dcs);
         let speedup = full.timings.total().as_secs_f64() / sampled.timings.total().as_secs_f64();

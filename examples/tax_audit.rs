@@ -14,17 +14,41 @@ use adc::prelude::*;
 fn main() {
     let generator = Dataset::Tax.generator();
     let rows = 400;
-    let clean = generator.generate(rows, 42);
-    println!("Generated a clean Tax relation: {rows} tuples × {} attributes", clean.arity());
+    // Audit the geographic and income/tax attributes. This covers 7 of the 9
+    // golden rules — the two exemption rules (marital status / children)
+    // live on columns left out here, because their low-cardinality numeric
+    // attributes inflate the minimal-DC count enormously.
+    let audit_columns = [
+        "State", "Zip", "City", "AreaCode", "Phone", "Salary", "Tax", "TaxRate",
+    ];
+    let clean = generator
+        .generate(rows, 42)
+        .project_columns(&audit_columns)
+        .expect("audit columns exist");
+    println!(
+        "Generated a clean Tax relation: {rows} tuples × {} audited attributes",
+        clean.arity()
+    );
+    println!("Auditing 7 of the 9 golden rules (the exemption rules are out of scope here).");
 
     // Dirty the data the way Section 8.4 of the paper does: every cell is
-    // modified with probability 0.001 (half active-domain swaps, half typos).
-    let (dirty, changed) = spread_noise(&clean, &NoiseConfig::with_rate(0.002), 7);
+    // modified with probability 0.01 (half active-domain swaps, half typos).
+    let (dirty, changed) = spread_noise(&clean, &NoiseConfig::with_rate(0.01), 7);
     println!("Injected spread noise: {} cells modified", changed.len());
 
     // Mine the dirty relation under each approximation function.
-    for (kind, epsilon) in [(ApproxKind::F1, 1e-3), (ApproxKind::F2, 1e-2), (ApproxKind::F3, 1e-2)] {
-        let config = MinerConfig::new(epsilon).with_approx(kind);
+    // A single fully corrupted tuple pollutes ~2/n of all ordered pairs
+    // (~0.005 here), so the pair-counting budgets must sit above that.
+    for (kind, epsilon) in [
+        (ApproxKind::F1, 2e-2),
+        (ApproxKind::F2, 1e-1),
+        (ApproxKind::F3, 5e-2),
+    ] {
+        // All of the audit rules are same-column cross-tuple constraints, so
+        // mine that fragment; the full space mostly adds minimal-DC volume.
+        let config = MinerConfig::new(epsilon)
+            .with_approx(kind)
+            .with_space(SpaceConfig::same_column_only());
         let result = AdcMiner::new(config).mine(&dirty);
         let golden = generator.golden_dcs(&result.space);
         let recall = g_recall(&result.dcs, &golden);
@@ -44,7 +68,8 @@ fn main() {
 
     // For contrast: mining *exact* DCs on the dirty data recovers (almost)
     // none of the golden rules — the motivation for approximate DCs.
-    let exact = AdcMiner::new(MinerConfig::new(0.0)).mine(&dirty);
+    let exact = AdcMiner::new(MinerConfig::new(0.0).with_space(SpaceConfig::same_column_only()))
+        .mine(&dirty);
     let golden = generator.golden_dcs(&exact.space);
     println!(
         "\nExact DCs on the dirty data: G-recall {:.2} ({} DCs discovered)",

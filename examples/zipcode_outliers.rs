@@ -24,7 +24,10 @@ fn main() {
     let zip_rule = phi2(&space);
     println!("ϕ1 = {}", income_rule.display(&space));
     println!("ϕ2 = {}\n", zip_rule.display(&space));
-    for (name, dc) in [("ϕ1 (income/tax)", &income_rule), ("ϕ2 (zip/state)", &zip_rule)] {
+    for (name, dc) in [
+        ("ϕ1 (income/tax)", &income_rule),
+        ("ϕ2 (zip/state)", &zip_rule),
+    ] {
         let cset = dc.complement_set(&space);
         println!(
             "{name}: violating-pair rate (1 − f1) = {:.4}, greedy removal rate (1 − f3) = {:.4}",
@@ -38,7 +41,18 @@ fn main() {
     // Part 2: the same effect at scale, on the Voter analog with skewed noise
     // (all errors concentrated in a handful of tuples).
     let generator = Dataset::Voter.generator();
-    let clean = generator.generate(300, 3);
+    let clean = generator
+        .generate(300, 3)
+        .project_columns(&[
+            "VoterID",
+            "Zip",
+            "State",
+            "City",
+            "County",
+            "Age",
+            "BirthYear",
+        ])
+        .expect("golden columns exist");
     let (dirty, changed) = skewed_noise(&clean, &NoiseConfig::with_rate(0.01), 11);
     let touched: std::collections::HashSet<usize> = changed.iter().map(|c| c.row).collect();
     println!(
@@ -61,5 +75,7 @@ fn main() {
         );
     }
     println!("\nWith error-concentrated noise, the tuple-removal semantics (f3) tolerates the bad");
-    println!("tuples at a small ε, while f1 needs a threshold tuned to the (quadratic) pair count.");
+    println!(
+        "tuples at a small ε, while f1 needs a threshold tuned to the (quadratic) pair count."
+    );
 }

@@ -1,7 +1,9 @@
 //! End-to-end reproduction of the paper's running example (Table 1,
 //! Examples 1.1–1.2, and Example 4.5) through the public facade API.
 
-use adc::approx::{ApproxContext, ApproximationFunction, F1ViolationRate, F2ProblematicTuples, F3GreedyRepair};
+use adc::approx::{
+    ApproxContext, ApproximationFunction, F1ViolationRate, F2ProblematicTuples, F3GreedyRepair,
+};
 use adc::datasets::{phi1, phi2, running_example};
 use adc::evidence::Evidence;
 use adc::prelude::*;
@@ -91,20 +93,22 @@ fn minimality_holds_across_all_three_functions() {
         [&F1ViolationRate, &F2ProblematicTuples, &F3GreedyRepair];
     for f in functions {
         let epsilon = 0.1;
-        let result = AdcMiner::new(
-            MinerConfig::new(epsilon).with_approx(match f.name() {
-                "f1" => ApproxKind::F1,
-                "f2" => ApproxKind::F2,
-                _ => ApproxKind::F3,
-            }),
-        )
+        let result = AdcMiner::new(MinerConfig::new(epsilon).with_approx(match f.name() {
+            "f1" => ApproxKind::F1,
+            "f2" => ApproxKind::F2,
+            _ => ApproxKind::F3,
+        }))
         .mine(&relation);
         for dc in &result.dcs {
             let cset = dc.complement_set(&space);
             assert!(1.0 - f.score(&ctx, &cset) <= epsilon + 1e-9);
             for &drop in dc.predicate_ids() {
                 let smaller = DenialConstraint::new(
-                    dc.predicate_ids().iter().copied().filter(|&p| p != drop).collect(),
+                    dc.predicate_ids()
+                        .iter()
+                        .copied()
+                        .filter(|&p| p != drop)
+                        .collect(),
                 );
                 if smaller.is_empty() {
                     continue;

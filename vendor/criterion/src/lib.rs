@@ -1,0 +1,164 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! the subset of the criterion 0.5 API the workspace's benches use:
+//! [`Criterion`], [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, `finish`, [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Instead of statistical
+//! measurement it runs each benchmark a fixed number of iterations and
+//! reports the mean wall-clock time — enough for `cargo bench` to produce
+//! indicative numbers and for `cargo bench --no-run` to compile everything.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// An opaque value barrier, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Honours no CLI arguments in this stand-in; present for API parity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), 10, f);
+        self
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (a no-op in this stand-in; present for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(label: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        total_ns: 0,
+        iters: 0,
+    };
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    let mean = if bencher.iters == 0 {
+        0.0
+    } else {
+        bencher.total_ns as f64 / bencher.iters as f64
+    };
+    println!(
+        "bench: {label:<60} {:>12.1} ns/iter ({} iters)",
+        mean, bencher.iters
+    );
+}
+
+/// Per-benchmark timing handle, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    total_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        self.total_ns += start.elapsed().as_nanos();
+        self.iters += 1;
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.bench_function("f", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn bench_function_outside_group_works() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("solo", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 10);
+    }
+}
