@@ -23,6 +23,24 @@
 //! Scores are computed from the interned evidence set (and the `vios` index
 //! for `f2`/`f3`), never from raw tuple pairs, matching the complexity
 //! discussion in Section 5 of the paper.
+//!
+//! ```
+//! use adc_approx::{ApproxContext, ApproximationFunction, F1ViolationRate};
+//! use adc_data::FixedBitSet;
+//! use adc_evidence::evidence::EvidenceAccumulator;
+//!
+//! // An evidence multiset: 4 pairs satisfy predicates {0,1}, 1 pair satisfies {2}.
+//! let mut acc = EvidenceAccumulator::new(3, 3);
+//! acc.add_many(FixedBitSet::from_indices(3, [0, 1]), 4);
+//! acc.add_many(FixedBitSet::from_indices(3, [2]), 1);
+//! let evidence = acc.finish();
+//!
+//! // The DC with complement set {0} misses only the {2} entry: 1 of 5 pairs
+//! // violate, so f1 = 4/5.
+//! let ctx = ApproxContext::new(&evidence);
+//! let score = F1ViolationRate.score(&ctx, &FixedBitSet::from_indices(3, [0]));
+//! assert!((score - 0.8).abs() < 1e-12);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,8 +1,16 @@
-//! Criterion benchmark: naive vs cluster/bitmask evidence-set construction
-//! (the ablation behind the AFASTDC vs DCFinder gap in Figure 7).
+//! Criterion benchmark: naive vs cluster/bitmask vs parallel tiled
+//! evidence-set construction (the ablation behind the AFASTDC vs DCFinder
+//! gap in Figure 7, plus the thread-scaling of the tiled builder).
+//!
+//! The `parallel/t*` entries all produce output bit-identical to `cluster`;
+//! they differ only in wall-clock time. On a single-core machine the
+//! parallel entries mostly measure tiling/merge overhead — see
+//! `crates/bench/README.md` for a recorded comparison table.
 
 use adc_datasets::Dataset;
-use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder, NaiveEvidenceBuilder};
+use adc_evidence::{
+    ClusterEvidenceBuilder, EvidenceBuilder, NaiveEvidenceBuilder, ParallelEvidenceBuilder,
+};
 use adc_predicates::{PredicateSpace, SpaceConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -36,8 +44,52 @@ fn bench(c: &mut Criterion) {
                     .distinct_count()
             })
         });
+        for threads in [2, 4, 8] {
+            group.bench_function(format!("parallel/t{threads}/{}", dataset.name()), |b| {
+                b.iter(|| {
+                    ParallelEvidenceBuilder::new(threads)
+                        .build(&relation, &space, false)
+                        .evidence_set
+                        .distinct_count()
+                })
+            });
+        }
+        group.bench_function(format!("parallel/t4+vios/{}", dataset.name()), |b| {
+            b.iter(|| {
+                ParallelEvidenceBuilder::new(4)
+                    .build(&relation, &space, true)
+                    .evidence_set
+                    .distinct_count()
+            })
+        });
     }
     group.finish();
+
+    // The thread-scaling headline: a 1k-row relation, sequential vs 1/2/4/8
+    // worker threads (compare `scaling/seq` against `scaling/t*`).
+    let relation = Dataset::Tax.generator().generate(1000, 3);
+    let space = PredicateSpace::build(&relation, SpaceConfig::default());
+    let mut scaling = c.benchmark_group("evidence_scaling_1k");
+    scaling.sample_size(10);
+    scaling.bench_function("seq", |b| {
+        b.iter(|| {
+            ClusterEvidenceBuilder
+                .build(&relation, &space, false)
+                .evidence_set
+                .distinct_count()
+        })
+    });
+    for threads in [1, 2, 4, 8] {
+        scaling.bench_function(format!("t{threads}"), |b| {
+            b.iter(|| {
+                ParallelEvidenceBuilder::new(threads)
+                    .build(&relation, &space, false)
+                    .evidence_set
+                    .distinct_count()
+            })
+        });
+    }
+    scaling.finish();
 }
 
 criterion_group!(benches, bench);

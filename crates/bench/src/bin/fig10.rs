@@ -3,10 +3,9 @@
 //! candidate list, for f1, f2, and f3 on Tax, Stock, and Hospital.
 
 use adc_approx::ApproxKind;
-use adc_bench::{bench_relation, secs, Table};
+use adc_bench::{bench_relation, build_evidence, secs, Table};
 use adc_core::{enumerate_adcs, BranchStrategy, EnumerationOptions};
 use adc_datasets::Dataset;
-use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder};
 use adc_predicates::{PredicateSpace, SpaceConfig};
 use std::time::Instant;
 
@@ -24,7 +23,7 @@ fn main() {
         for dataset in datasets {
             let relation = bench_relation(dataset);
             let space = PredicateSpace::build(&relation, SpaceConfig::default());
-            let evidence = ClusterEvidenceBuilder.build(&relation, &space, true);
+            let evidence = build_evidence(&relation, &space, true);
             let f = kind.instantiate();
 
             let run = |strategy: BranchStrategy| {

@@ -4,8 +4,8 @@
 //! sample sizes (30% and 40%), for f1, f2, and f3.
 
 use adc_approx::ApproxKind;
-use adc_bench::{bench_datasets, bench_relation, run_miner, Table};
-use adc_core::{f1_score, MinerConfig};
+use adc_bench::{bench_config, bench_datasets, bench_relation, run_miner, Table};
+use adc_core::f1_score;
 
 fn main() {
     let sample_sizes = [0.01, 0.05, 0.1, 0.2, 0.3, 0.4];
@@ -21,12 +21,12 @@ fn main() {
             );
             for dataset in bench_datasets() {
                 let relation = bench_relation(dataset);
-                let reference = run_miner(&relation, MinerConfig::new(epsilon).with_approx(kind));
+                let reference = run_miner(&relation, bench_config(epsilon).with_approx(kind));
                 let mut cells = vec![dataset.name().to_string()];
                 for &fraction in &sample_sizes {
                     let sampled = run_miner(
                         &relation,
-                        MinerConfig::new(epsilon)
+                        bench_config(epsilon)
                             .with_approx(kind)
                             .with_sample(fraction, 23),
                     );
@@ -50,11 +50,10 @@ fn main() {
                 let relation = bench_relation(dataset);
                 let mut cells = vec![dataset.name().to_string()];
                 for &epsilon in &thresholds {
-                    let reference =
-                        run_miner(&relation, MinerConfig::new(epsilon).with_approx(kind));
+                    let reference = run_miner(&relation, bench_config(epsilon).with_approx(kind));
                     let sampled = run_miner(
                         &relation,
-                        MinerConfig::new(epsilon)
+                        bench_config(epsilon)
                             .with_approx(kind)
                             .with_sample(fraction, 23),
                     );

@@ -1,8 +1,7 @@
 //! Figure 12: total ADCMiner runtime for varying sample sizes
 //! (20%, 40%, 60%, 80%, 100%), f1, ε = 0.1.
 
-use adc_bench::{bench_datasets, bench_relation, run_miner, secs, Table};
-use adc_core::MinerConfig;
+use adc_bench::{bench_config, bench_datasets, bench_relation, run_miner, secs, Table};
 
 fn main() {
     let epsilon = 0.1;
@@ -16,7 +15,7 @@ fn main() {
         let relation = bench_relation(dataset);
         let mut cells = vec![dataset.name().to_string()];
         for &fraction in &fractions {
-            let config = MinerConfig::new(epsilon).with_sample(fraction, 31);
+            let config = bench_config(epsilon).with_sample(fraction, 31);
             let result = run_miner(&relation, config);
             cells.push(secs(result.timings.total()));
         }

@@ -2,9 +2,8 @@
 //! sample sizes. The paper shows the gap shrinking like `1/√n`, which
 //! validates the confidence-interval analysis of Section 7.
 
-use adc_bench::{bench_datasets, bench_relation, run_miner, Table};
-use adc_core::{sampling, MinerConfig};
-use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder};
+use adc_bench::{bench_config, bench_datasets, bench_relation, build_evidence, run_miner, Table};
+use adc_core::sampling;
 
 fn main() {
     let epsilon = 0.01;
@@ -18,15 +17,10 @@ fn main() {
         let relation = bench_relation(dataset);
         let mut cells = vec![dataset.name().to_string()];
         for &fraction in &fractions {
-            let result = run_miner(
-                &relation,
-                MinerConfig::new(epsilon).with_sample(fraction, 13),
-            );
+            let result = run_miner(&relation, bench_config(epsilon).with_sample(fraction, 13));
             // Recompute p̂ of each discovered DC on the same sample.
             let sample = sampling::draw_sample(&relation, fraction, 13);
-            let evidence = ClusterEvidenceBuilder
-                .build(&sample, &result.space, false)
-                .evidence_set;
+            let evidence = build_evidence(&sample, &result.space, false).evidence_set;
             let gaps: Vec<f64> = result
                 .dcs
                 .iter()

@@ -4,8 +4,8 @@
 //! mining (ε = 0) is reported alongside, as in the paper's parentheses.
 
 use adc_approx::ApproxKind;
-use adc_bench::{bench_datasets, bench_relation, run_miner, Table};
-use adc_core::{g_recall, MinerConfig};
+use adc_bench::{bench_config, bench_datasets, bench_relation, run_miner, Table};
+use adc_core::g_recall;
 use adc_datasets::{skewed_noise, spread_noise, NoiseConfig};
 
 fn main() {
@@ -30,7 +30,7 @@ fn main() {
                 };
                 let mut cells = vec![dataset.name().to_string()];
                 let golden_recall = |epsilon: f64| {
-                    let result = run_miner(&dirty, MinerConfig::new(epsilon).with_approx(kind));
+                    let result = run_miner(&dirty, bench_config(epsilon).with_approx(kind));
                     let golden = generator.golden_dcs(&result.space);
                     format!("{:.2}", g_recall(&result.dcs, &golden))
                 };

@@ -5,10 +5,9 @@
 //! exactly as the paper isolates the enumeration component.
 
 use adc_approx::F1ViolationRate;
-use adc_bench::{bench_datasets, bench_relation, secs, Table};
+use adc_bench::{bench_datasets, bench_relation, build_evidence, secs, Table};
 use adc_core::baseline::SearchMinimalCovers;
 use adc_core::{enumerate_adcs, EnumerationOptions};
-use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder};
 use adc_predicates::{PredicateSpace, SpaceConfig};
 use std::time::Instant;
 
@@ -27,7 +26,7 @@ fn main() {
     for dataset in bench_datasets() {
         let relation = bench_relation(dataset);
         let space = PredicateSpace::build(&relation, SpaceConfig::default());
-        let evidence = ClusterEvidenceBuilder.build(&relation, &space, false);
+        let evidence = build_evidence(&relation, &space, false);
 
         let t0 = Instant::now();
         let adcenum = enumerate_adcs(

@@ -1,9 +1,15 @@
 //! Figure 7: total pipeline runtime of ADCMiner vs DCFinder vs AFASTDC
 //! (predicate space + evidence construction + enumeration), f1, ε = 0.1.
+//!
+//! ADCMiner builds its evidence with the tiled parallel builder (all cores
+//! by default), while the two baseline pipelines stay sequential — on a
+//! multi-core machine part of ADCMiner's margin is thread count, not
+//! algorithm. Set `ADC_BENCH_THREADS=1` to pin ADCMiner to the sequential
+//! cluster builder and isolate the algorithmic gap the paper's Figure 7
+//! reports.
 
-use adc_bench::{bench_datasets, bench_relation, run_miner, secs, Table};
+use adc_bench::{bench_config, bench_datasets, bench_relation, run_miner, secs, Table};
 use adc_core::baseline::{AFastDcPipeline, DcFinderPipeline};
-use adc_core::MinerConfig;
 
 fn main() {
     let epsilon = 0.1;
@@ -18,7 +24,7 @@ fn main() {
     for dataset in bench_datasets() {
         let relation = bench_relation(dataset);
 
-        let miner = run_miner(&relation, MinerConfig::new(epsilon));
+        let miner = run_miner(&relation, bench_config(epsilon));
         let dcfinder = DcFinderPipeline::new(epsilon).run(&relation);
         let afastdc = AFastDcPipeline::new(epsilon).run(&relation);
 

@@ -3,8 +3,7 @@
 //! f1, f2, and f3 on every dataset (ε = 0.1).
 
 use adc_approx::ApproxKind;
-use adc_bench::{bench_datasets, bench_relation, run_miner, secs, Table};
-use adc_core::MinerConfig;
+use adc_bench::{bench_config, bench_datasets, bench_relation, run_miner, secs, Table};
 
 fn main() {
     let epsilon = 0.1;
@@ -14,7 +13,7 @@ fn main() {
             let relation = bench_relation(dataset);
             let mut cells = vec![dataset.name().to_string()];
             for kind in ApproxKind::ALL {
-                let result = run_miner(&relation, MinerConfig::new(epsilon).with_approx(kind));
+                let result = run_miner(&relation, bench_config(epsilon).with_approx(kind));
                 let duration = match section {
                     "total" => result.timings.total(),
                     "enumeration" => result.timings.enumeration,

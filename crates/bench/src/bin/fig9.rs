@@ -2,10 +2,9 @@
 //! sizes (20%–100% of the tuples), f1, ε = 0.1.
 
 use adc_approx::F1ViolationRate;
-use adc_bench::{bench_datasets, bench_relation, secs, Table};
+use adc_bench::{bench_datasets, bench_relation, build_evidence, secs, Table};
 use adc_core::baseline::SearchMinimalCovers;
 use adc_core::{enumerate_adcs, sampling, EnumerationOptions};
-use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder};
 use adc_predicates::{PredicateSpace, SpaceConfig};
 use std::time::Instant;
 
@@ -28,7 +27,7 @@ fn main() {
             } else {
                 sampling::draw_sample(&relation, fraction, 7)
             };
-            let evidence = ClusterEvidenceBuilder.build(&sample, &space, false);
+            let evidence = build_evidence(&sample, &space, false);
 
             let t0 = Instant::now();
             let _ = enumerate_adcs(

@@ -3,9 +3,9 @@
 //! a corresponding *valid* (exact) DC mined from the same dirty data, showing
 //! how exact mining pads the rule with extra predicates to cover the errors.
 
-use adc_bench::run_miner;
+use adc_bench::{bench_config, run_miner};
 use adc_bench::{bench_datasets, bench_relation};
-use adc_core::{metrics, MinerConfig};
+use adc_core::metrics;
 use adc_datasets::{spread_noise, NoiseConfig};
 
 fn main() {
@@ -15,8 +15,8 @@ fn main() {
         let clean = bench_relation(dataset);
         let (dirty, _) = spread_noise(&clean, &NoiseConfig::with_rate(0.002), 0x5EED);
 
-        let approx = run_miner(&dirty, MinerConfig::new(1e-3));
-        let exact = run_miner(&dirty, MinerConfig::new(0.0));
+        let approx = run_miner(&dirty, bench_config(1e-3));
+        let exact = run_miner(&dirty, bench_config(0.0));
         let golden = generator.golden_dcs(&approx.space);
 
         // Pick a golden rule recovered approximately.

@@ -1,22 +1,35 @@
 //! Shared infrastructure for the experiment harness.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the paper's
-//! evaluation section (see `DESIGN.md` for the experiment index and
-//! `EXPERIMENTS.md` for recorded results). The binaries print plain-text
-//! tables; absolute numbers depend on the machine and on the scaled-down
-//! dataset sizes, but the *shapes* (who wins, by roughly what factor, where
-//! crossovers fall) are the reproduction target.
+//! evaluation section (see this crate's `README.md` for the experiment index
+//! and recorded results). The binaries print plain-text tables; absolute
+//! numbers depend on the machine and on the scaled-down dataset sizes, but
+//! the *shapes* (who wins, by roughly what factor, where crossovers fall)
+//! are the reproduction target.
 //!
 //! Environment variables understood by every binary:
 //!
 //! * `ADC_BENCH_ROWS` — override the number of generated tuples per dataset.
 //! * `ADC_BENCH_DATASETS` — comma-separated subset of dataset names to run.
+//! * `ADC_BENCH_THREADS` — evidence-builder worker threads (default: all
+//!   available cores; `1` forces the sequential cluster builder).
+//!
+//! ```
+//! use adc_bench::Table;
+//!
+//! let mut table = Table::new(vec!["dataset", "time (s)"]);
+//! table.add_row(vec!["Tax", "0.132"]);
+//! assert!(table.render().lines().count() == 3); // header + rule + 1 row
+//! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use adc_core::{AdcMiner, MinerConfig, MiningResult};
 use adc_data::Relation;
 use adc_datasets::Dataset;
+use adc_evidence::{Evidence, EvidenceBuilder, ParallelEvidenceBuilder};
+use adc_predicates::PredicateSpace;
 use std::time::Duration;
 
 /// Number of rows to generate for a dataset in the harness: the generator's
@@ -46,6 +59,38 @@ pub fn bench_relation(dataset: Dataset) -> Relation {
     dataset
         .generator()
         .generate(bench_rows(dataset), 0xADC0 + dataset as u64)
+}
+
+/// Evidence-builder worker threads, honouring `ADC_BENCH_THREADS`
+/// (`0` = let the builder use all available cores, which is the default).
+pub fn bench_threads() -> usize {
+    std::env::var("ADC_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(0)
+}
+
+/// The harness miner configuration: like [`MinerConfig::new`] but building
+/// evidence with the tiled parallel builder on [`bench_threads`] workers,
+/// which is what makes paper-scale row counts tractable end-to-end.
+/// `ADC_BENCH_THREADS=1` selects the plain sequential cluster builder (no
+/// thread spawn, no tiling/merge overhead) so single-threaded baselines are
+/// a true apples-to-apples reference.
+pub fn bench_config(epsilon: f64) -> MinerConfig {
+    match bench_threads() {
+        1 => MinerConfig::new(epsilon),
+        t => MinerConfig::new(epsilon).with_parallel_evidence(t),
+    }
+}
+
+/// Build the evidence set with the harness builder (parallel, honouring
+/// `ADC_BENCH_THREADS` with the same `=1` ⇒ sequential rule as
+/// [`bench_config`]) for binaries that time enumeration in isolation.
+pub fn build_evidence(relation: &Relation, space: &PredicateSpace, track_vios: bool) -> Evidence {
+    match bench_threads() {
+        1 => adc_evidence::ClusterEvidenceBuilder.build(relation, space, track_vios),
+        t => ParallelEvidenceBuilder::new(t).build(relation, space, track_vios),
+    }
 }
 
 /// Run the ADCMiner pipeline with a given configuration.
@@ -143,6 +188,22 @@ mod tests {
         for d in Dataset::ALL {
             let rows = bench_rows(d);
             assert!((10..=800).contains(&rows));
+        }
+    }
+
+    #[test]
+    fn bench_config_maps_one_thread_to_sequential_builder() {
+        use adc_core::EvidenceStrategy;
+        // The env var is unset in the test environment, so bench_threads()
+        // is 0 and the parallel builder is selected with all cores.
+        if std::env::var("ADC_BENCH_THREADS").is_err() {
+            assert_eq!(
+                bench_config(0.1).evidence,
+                EvidenceStrategy::Parallel {
+                    threads: 0,
+                    tile_rows: 0
+                }
+            );
         }
     }
 

@@ -4,7 +4,10 @@ use crate::enumeration::{enumerate_adcs, EnumerationOptions};
 use crate::sampling;
 use adc_approx::{ApproxKind, ApproximationFunction, SampleAdjustedF1};
 use adc_data::Relation;
-use adc_evidence::{ClusterEvidenceBuilder, Evidence, EvidenceBuilder, NaiveEvidenceBuilder};
+use adc_evidence::{
+    ClusterEvidenceBuilder, Evidence, EvidenceBuilder, NaiveEvidenceBuilder,
+    ParallelEvidenceBuilder,
+};
 use adc_hitting::{ApproxEnumStats, BranchStrategy};
 use adc_predicates::{DenialConstraint, PredicateSpace, SpaceConfig};
 use std::time::{Duration, Instant};
@@ -17,6 +20,15 @@ pub enum EvidenceStrategy {
     Cluster,
     /// The naive per-pair per-predicate builder (AFASTDC-style).
     Naive,
+    /// The tiled multi-threaded cluster builder; produces output identical
+    /// to [`EvidenceStrategy::Cluster`] (deterministic merge), only faster
+    /// on multi-core machines.
+    Parallel {
+        /// Worker threads (`0` = all available cores).
+        threads: usize,
+        /// Outer rows per tile (`0` = automatic sizing).
+        tile_rows: usize,
+    },
 }
 
 /// Configuration of one mining run.
@@ -83,6 +95,17 @@ impl MinerConfig {
     /// Select the evidence builder.
     pub fn with_evidence(mut self, evidence: EvidenceStrategy) -> Self {
         self.evidence = evidence;
+        self
+    }
+
+    /// Build the evidence set on `threads` worker threads (`0` = all
+    /// available cores) with automatic tile sizing. Shorthand for
+    /// [`EvidenceStrategy::Parallel`].
+    pub fn with_parallel_evidence(mut self, threads: usize) -> Self {
+        self.evidence = EvidenceStrategy::Parallel {
+            threads,
+            tile_rows: 0,
+        };
         self
     }
 
@@ -198,6 +221,9 @@ impl AdcMiner {
         let evidence: Evidence = match cfg.evidence {
             EvidenceStrategy::Cluster => ClusterEvidenceBuilder.build(&mined, &space, track_vios),
             EvidenceStrategy::Naive => NaiveEvidenceBuilder.build(&mined, &space, track_vios),
+            EvidenceStrategy::Parallel { threads, tile_rows } => {
+                ParallelEvidenceBuilder { threads, tile_rows }.build(&mined, &space, track_vios)
+            }
         };
         let evidence_time = t2.elapsed();
 
@@ -318,7 +344,14 @@ mod tests {
     fn all_functions_and_builders_work_end_to_end() {
         let r = tax_relation(30, 1, 2);
         for kind in ApproxKind::ALL {
-            for evidence in [EvidenceStrategy::Cluster, EvidenceStrategy::Naive] {
+            for evidence in [
+                EvidenceStrategy::Cluster,
+                EvidenceStrategy::Naive,
+                EvidenceStrategy::Parallel {
+                    threads: 4,
+                    tile_rows: 0,
+                },
+            ] {
                 let cfg = MinerConfig::new(0.1)
                     .with_approx(kind)
                     .with_evidence(evidence);
@@ -375,11 +408,18 @@ mod tests {
             AdcMiner::new(MinerConfig::new(0.05).with_evidence(EvidenceStrategy::Cluster)).mine(&r);
         let b =
             AdcMiner::new(MinerConfig::new(0.05).with_evidence(EvidenceStrategy::Naive)).mine(&r);
-        let mut ids_a: Vec<_> = a.dcs.iter().map(|d| d.predicate_ids().to_vec()).collect();
-        let mut ids_b: Vec<_> = b.dcs.iter().map(|d| d.predicate_ids().to_vec()).collect();
-        ids_a.sort();
-        ids_b.sort();
-        assert_eq!(ids_a, ids_b);
+        let c = AdcMiner::new(MinerConfig::new(0.05).with_parallel_evidence(3)).mine(&r);
+        let ids = |m: &MiningResult| {
+            let mut v: Vec<_> = m.dcs.iter().map(|d| d.predicate_ids().to_vec()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(ids(&a), ids(&b));
+        // The parallel builder's merge is deterministic, so its results match
+        // the sequential cluster builder's *without* sorting normalisation.
+        let ids_c: Vec<_> = c.dcs.iter().map(|d| d.predicate_ids().to_vec()).collect();
+        let ids_a_raw: Vec<_> = a.dcs.iter().map(|d| d.predicate_ids().to_vec()).collect();
+        assert_eq!(ids_a_raw, ids_c);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! default) is unnecessarily expensive there and HashDoS resistance is not a
 //! concern for an offline mining tool, so we use the Firefox/rustc "Fx" hash.
 //! The implementation is ~30 lines; keeping it in-tree avoids an external
-//! dependency (see DESIGN.md).
+//! dependency (the workspace builds offline — see the top-level README).
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};

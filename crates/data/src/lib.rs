@@ -22,6 +22,27 @@
 //!
 //! The crate has no knowledge of predicates or constraints; those live in
 //! `adc-predicates` and above.
+//!
+//! ```
+//! use adc_data::{AttributeType, Relation, Schema, Value};
+//!
+//! let schema = Schema::of(&[
+//!     ("Name", AttributeType::Text),
+//!     ("State", AttributeType::Text),
+//!     ("Income", AttributeType::Integer),
+//! ]);
+//! let mut b = Relation::builder(schema);
+//! b.push_row(vec!["Alice".into(), "NY".into(), Value::Int(28_000)]).unwrap();
+//! b.push_row(vec!["Mark".into(), "NY".into(), Value::Int(42_000)]).unwrap();
+//! let relation = b.build();
+//! assert_eq!((relation.len(), relation.arity()), (2, 3));
+//!
+//! // Narrow to the attributes a constraint set mentions (keeps the
+//! // downstream predicate space small).
+//! let slim = relation.project_columns(&["State", "Income"]).unwrap();
+//! assert_eq!(slim.arity(), 2);
+//! assert_eq!(slim.value(1, 1), Value::Int(42_000));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -103,12 +103,46 @@ impl Relation {
     }
 
     /// Build a new relation containing only the named columns, in the given
-    /// order. Narrowing a wide relation to the attributes a constraint set
-    /// actually mentions keeps the predicate space — and with it the number
-    /// of minimal covers — small.
+    /// order (so it also reorders). Narrowing a wide relation to the
+    /// attributes a constraint set actually mentions keeps the predicate
+    /// space — and with it the number of minimal covers — small; the
+    /// integration tests in `tests/pipeline.rs` rely on this to keep the
+    /// synthetic datasets' minimal-ADC sets tractable.
+    ///
+    /// Row count and cell values are preserved; column data is cloned, so
+    /// the projection is independent of `self`.
+    ///
+    /// ```
+    /// use adc_data::{AttributeType, DataError, Relation, Schema, Value};
+    ///
+    /// let schema = Schema::of(&[
+    ///     ("Name", AttributeType::Text),
+    ///     ("State", AttributeType::Text),
+    ///     ("Income", AttributeType::Integer),
+    /// ]);
+    /// let mut b = Relation::builder(schema);
+    /// b.push_row(vec!["Alice".into(), "NY".into(), Value::Int(28_000)]).unwrap();
+    /// let relation = b.build();
+    ///
+    /// // Select and reorder.
+    /// let p = relation.project_columns(&["Income", "State"]).unwrap();
+    /// assert_eq!(p.schema().attribute(0).name(), "Income");
+    /// assert_eq!(p.value(0, 1), Value::from("NY"));
+    ///
+    /// // Name lists that don't describe a valid schema are rejected.
+    /// assert!(matches!(
+    ///     relation.project_columns(&["Salary"]),
+    ///     Err(DataError::UnknownAttribute(_))
+    /// ));
+    /// assert!(matches!(
+    ///     relation.project_columns(&["Name", "Name"]),
+    ///     Err(DataError::DuplicateAttribute(_))
+    /// ));
+    /// ```
     ///
     /// # Errors
-    /// [`DataError::UnknownAttribute`] for a name absent from the schema, and
+    /// [`DataError::UnknownAttribute`] for a name absent from the schema
+    /// (including case mismatches — lookup is exact), and
     /// [`DataError::DuplicateAttribute`] / [`DataError::EmptySchema`] when
     /// the name list repeats a column or is empty.
     pub fn project_columns(&self, names: &[&str]) -> Result<Relation, DataError> {
@@ -411,18 +445,49 @@ mod tests {
         assert_eq!(p.schema().attribute(0).name(), "Income");
         assert_eq!(p.value(0, 0), Value::Int(28_000));
         assert_eq!(p.value(2, 1), Value::from("Julia"));
+    }
+
+    #[test]
+    fn column_projection_rejects_invalid_name_lists() {
+        let r = sample();
+        // Unknown attribute, including near-misses: lookup is exact.
         assert!(matches!(
             r.project_columns(&["Nope"]),
             Err(DataError::UnknownAttribute(_))
         ));
         assert!(matches!(
+            r.project_columns(&["name"]),
+            Err(DataError::UnknownAttribute(_))
+        ));
+        // A valid prefix does not mask a later bad name.
+        assert!(matches!(
+            r.project_columns(&["Name", "Income", "Nope"]),
+            Err(DataError::UnknownAttribute(_))
+        ));
+        // Duplicates — adjacent or not — and the empty list are rejected.
+        assert!(matches!(
             r.project_columns(&["Name", "Name"]),
+            Err(DataError::DuplicateAttribute(_))
+        ));
+        assert!(matches!(
+            r.project_columns(&["Name", "Income", "Name"]),
             Err(DataError::DuplicateAttribute(_))
         ));
         assert!(matches!(
             r.project_columns(&[]),
             Err(DataError::EmptySchema)
         ));
+        // The source relation is untouched by failed projections.
+        assert_eq!(r.arity(), 4);
+    }
+
+    #[test]
+    fn column_projection_clones_data() {
+        let mut r = sample();
+        let p = r.project_columns(&["Income"]).unwrap();
+        r.set_value(0, 2, Value::Int(1)).unwrap();
+        // The projection keeps the pre-mutation value: deep copy, not a view.
+        assert_eq!(p.value(0, 0), Value::Int(28_000));
     }
 
     #[test]

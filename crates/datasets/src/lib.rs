@@ -12,7 +12,22 @@
 //! the clean generated data **by construction**; the noise injectors then
 //! produce the "dirty" variants the qualitative analysis of the paper uses.
 //!
-//! See `DESIGN.md` at the workspace root for the substitution rationale.
+//! See `ARCHITECTURE.md` at the workspace root for the substitution
+//! rationale.
+//!
+//! ```
+//! use adc_datasets::{running_example, Dataset};
+//!
+//! // Table 1 of the paper: 15 tax records with planted inconsistencies.
+//! let table1 = running_example();
+//! assert_eq!(table1.len(), 15);
+//!
+//! // A synthetic Stock analog at any cardinality, deterministic in the seed.
+//! let stock = Dataset::Stock.generator().generate(50, 7);
+//! assert_eq!(stock.len(), 50);
+//! let again = Dataset::Stock.generator().generate(50, 7);
+//! assert_eq!(stock.preview(50), again.preview(50));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -12,6 +12,10 @@
 //!   same operands are grouped so only one comparison per group per pair is
 //!   executed, and the satisfied-predicate bits are assembled with
 //!   precomputed word masks.
+//!
+//! A third, data-parallel builder lives in [`crate::parallel`]: it runs the
+//! cluster kernel defined here over row-range tiles on a scoped thread pool
+//! and merges the per-tile results deterministically.
 
 use crate::evidence::EvidenceAccumulator;
 use crate::vios::Vios;
@@ -65,7 +69,7 @@ impl EvidenceBuilder for NaiveEvidenceBuilder {
 }
 
 /// Per-column data reduced to comparison-friendly primitives.
-enum ColumnCodes {
+pub(crate) enum ColumnCodes {
     /// Numeric cell values (`None` = null).
     Numeric(Vec<Option<f64>>),
     /// Text cell values mapped to a *global* dictionary shared by all text
@@ -74,7 +78,7 @@ enum ColumnCodes {
 }
 
 /// Word-level masks to set for each comparison outcome of one structure group.
-struct GroupMasks {
+pub(crate) struct GroupMasks {
     left_col: usize,
     right_col: usize,
     right_role: TupleRole,
@@ -86,88 +90,137 @@ struct GroupMasks {
     greater: Vec<(usize, u64)>,
 }
 
+/// Reduce every column to comparison-friendly primitive codes.
+pub(crate) fn column_codes(relation: &Relation) -> Vec<ColumnCodes> {
+    // Global text dictionary so that codes are comparable across columns.
+    let mut global: FxHashMap<&str, u32> = FxHashMap::default();
+    for col in relation.columns() {
+        if let Column::Text { dict, .. } = col {
+            for s in dict {
+                let next = global.len() as u32;
+                global.entry(s.as_str()).or_insert(next);
+            }
+        }
+    }
+    relation
+        .columns()
+        .iter()
+        .map(|col| match col {
+            Column::Int(v) => ColumnCodes::Numeric(v.iter().map(|x| x.map(|i| i as f64)).collect()),
+            Column::Float(v) => ColumnCodes::Numeric(v.clone()),
+            Column::Text { codes, dict } => ColumnCodes::Text(
+                codes
+                    .iter()
+                    .map(|c| c.map(|c| global[dict[c as usize].as_str()]))
+                    .collect(),
+            ),
+        })
+        .collect()
+}
+
+/// Assemble `Sat(t, t_prime)` into `buffer` (one `u64` word per 64 predicate
+/// ids, zeroed by this function) using precomputed codes and group masks.
+///
+/// This is the shared inner kernel of [`ClusterEvidenceBuilder`] and
+/// [`crate::parallel::ParallelEvidenceBuilder`] — keeping it in one place is
+/// what guarantees the two produce bit-identical evidence.
+pub(crate) fn fill_pair(
+    codes: &[ColumnCodes],
+    groups: &[GroupMasks],
+    t: usize,
+    t_prime: usize,
+    buffer: &mut [u64],
+) {
+    buffer.iter_mut().for_each(|w| *w = 0);
+    for g in groups {
+        let right_row = match g.right_role {
+            TupleRole::Same => t,
+            TupleRole::Other => t_prime,
+        };
+        let outcome = if g.numeric {
+            match (&codes[g.left_col], &codes[g.right_col]) {
+                (ColumnCodes::Numeric(l), ColumnCodes::Numeric(r)) => match (l[t], r[right_row]) {
+                    (Some(a), Some(b)) => a.partial_cmp(&b),
+                    _ => None,
+                },
+                _ => None,
+            }
+        } else {
+            match (&codes[g.left_col], &codes[g.right_col]) {
+                (ColumnCodes::Text(l), ColumnCodes::Text(r)) => match (l[t], r[right_row]) {
+                    // Text outcomes reuse Equal / Greater ("not equal").
+                    (Some(a), Some(b)) if a == b => Some(Ordering::Equal),
+                    (Some(_), Some(_)) => Some(Ordering::Greater),
+                    _ => None,
+                },
+                _ => None,
+            }
+        };
+        let masks = match outcome {
+            Some(Ordering::Less) => &g.less,
+            Some(Ordering::Equal) => &g.equal,
+            Some(Ordering::Greater) => &g.greater,
+            None => continue,
+        };
+        for &(w, m) in masks {
+            buffer[w] |= m;
+        }
+    }
+}
+
+/// Group every predicate of the space by operand structure and precompute,
+/// per group, the word-level masks to OR in for each comparison outcome.
+pub(crate) fn group_masks(space: &PredicateSpace) -> Vec<GroupMasks> {
+    let mut groups = Vec::with_capacity(space.group_count());
+    for g in 0..space.group_count() {
+        let members = space.group_members(g);
+        let first = space.predicate(members[0]);
+        let numeric = members.len() > 2;
+        let mut masks = GroupMasks {
+            left_col: first.left_col,
+            right_col: first.right_col,
+            right_role: first.right_role,
+            numeric,
+            less: Vec::new(),
+            equal: Vec::new(),
+            greater: Vec::new(),
+        };
+        for &id in members {
+            let op = space.predicate(id).op;
+            let word = id / 64;
+            let bit = 1u64 << (id % 64);
+            let add = |target: &mut Vec<(usize, u64)>| {
+                if let Some(entry) = target.iter_mut().find(|(w, _)| *w == word) {
+                    entry.1 |= bit;
+                } else {
+                    target.push((word, bit));
+                }
+            };
+            // Which outcomes satisfy this operator?
+            let satisfied_on: &[Ordering] = match op {
+                Operator::Eq => &[Ordering::Equal],
+                Operator::Neq => &[Ordering::Less, Ordering::Greater],
+                Operator::Lt => &[Ordering::Less],
+                Operator::Leq => &[Ordering::Less, Ordering::Equal],
+                Operator::Gt => &[Ordering::Greater],
+                Operator::Geq => &[Ordering::Greater, Ordering::Equal],
+            };
+            for &o in satisfied_on {
+                match o {
+                    Ordering::Less => add(&mut masks.less),
+                    Ordering::Equal => add(&mut masks.equal),
+                    Ordering::Greater => add(&mut masks.greater),
+                }
+            }
+        }
+        groups.push(masks);
+    }
+    groups
+}
+
 /// Optimised builder: integer codes + per-group outcome masks.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct ClusterEvidenceBuilder;
-
-impl ClusterEvidenceBuilder {
-    fn column_codes(relation: &Relation) -> Vec<ColumnCodes> {
-        // Global text dictionary so that codes are comparable across columns.
-        let mut global: FxHashMap<&str, u32> = FxHashMap::default();
-        for col in relation.columns() {
-            if let Column::Text { dict, .. } = col {
-                for s in dict {
-                    let next = global.len() as u32;
-                    global.entry(s.as_str()).or_insert(next);
-                }
-            }
-        }
-        relation
-            .columns()
-            .iter()
-            .map(|col| match col {
-                Column::Int(v) => {
-                    ColumnCodes::Numeric(v.iter().map(|x| x.map(|i| i as f64)).collect())
-                }
-                Column::Float(v) => ColumnCodes::Numeric(v.clone()),
-                Column::Text { codes, dict } => ColumnCodes::Text(
-                    codes
-                        .iter()
-                        .map(|c| c.map(|c| global[dict[c as usize].as_str()]))
-                        .collect(),
-                ),
-            })
-            .collect()
-    }
-
-    fn group_masks(space: &PredicateSpace) -> Vec<GroupMasks> {
-        let mut groups = Vec::with_capacity(space.group_count());
-        for g in 0..space.group_count() {
-            let members = space.group_members(g);
-            let first = space.predicate(members[0]);
-            let numeric = members.len() > 2;
-            let mut masks = GroupMasks {
-                left_col: first.left_col,
-                right_col: first.right_col,
-                right_role: first.right_role,
-                numeric,
-                less: Vec::new(),
-                equal: Vec::new(),
-                greater: Vec::new(),
-            };
-            for &id in members {
-                let op = space.predicate(id).op;
-                let word = id / 64;
-                let bit = 1u64 << (id % 64);
-                let add = |target: &mut Vec<(usize, u64)>| {
-                    if let Some(entry) = target.iter_mut().find(|(w, _)| *w == word) {
-                        entry.1 |= bit;
-                    } else {
-                        target.push((word, bit));
-                    }
-                };
-                // Which outcomes satisfy this operator?
-                let satisfied_on: &[Ordering] = match op {
-                    Operator::Eq => &[Ordering::Equal],
-                    Operator::Neq => &[Ordering::Less, Ordering::Greater],
-                    Operator::Lt => &[Ordering::Less],
-                    Operator::Leq => &[Ordering::Less, Ordering::Equal],
-                    Operator::Gt => &[Ordering::Greater],
-                    Operator::Geq => &[Ordering::Greater, Ordering::Equal],
-                };
-                for &o in satisfied_on {
-                    match o {
-                        Ordering::Less => add(&mut masks.less),
-                        Ordering::Equal => add(&mut masks.equal),
-                        Ordering::Greater => add(&mut masks.greater),
-                    }
-                }
-            }
-            groups.push(masks);
-        }
-        groups
-    }
-}
 
 impl EvidenceBuilder for ClusterEvidenceBuilder {
     fn name(&self) -> &'static str {
@@ -185,8 +238,8 @@ impl EvidenceBuilder for ClusterEvidenceBuilder {
             };
         }
 
-        let codes = Self::column_codes(relation);
-        let groups = Self::group_masks(space);
+        let codes = column_codes(relation);
+        let groups = group_masks(space);
         let words = space.len().div_ceil(64);
         let mut buffer = vec![0u64; words];
 
@@ -195,45 +248,7 @@ impl EvidenceBuilder for ClusterEvidenceBuilder {
                 if t == t_prime {
                     continue;
                 }
-                buffer.iter_mut().for_each(|w| *w = 0);
-                for g in &groups {
-                    let right_row = match g.right_role {
-                        TupleRole::Same => t,
-                        TupleRole::Other => t_prime,
-                    };
-                    let outcome = if g.numeric {
-                        match (&codes[g.left_col], &codes[g.right_col]) {
-                            (ColumnCodes::Numeric(l), ColumnCodes::Numeric(r)) => {
-                                match (l[t], r[right_row]) {
-                                    (Some(a), Some(b)) => a.partial_cmp(&b),
-                                    _ => None,
-                                }
-                            }
-                            _ => None,
-                        }
-                    } else {
-                        match (&codes[g.left_col], &codes[g.right_col]) {
-                            (ColumnCodes::Text(l), ColumnCodes::Text(r)) => {
-                                match (l[t], r[right_row]) {
-                                    // Text outcomes reuse Equal / Greater ("not equal").
-                                    (Some(a), Some(b)) if a == b => Some(Ordering::Equal),
-                                    (Some(_), Some(_)) => Some(Ordering::Greater),
-                                    _ => None,
-                                }
-                            }
-                            _ => None,
-                        }
-                    };
-                    let masks = match outcome {
-                        Some(Ordering::Less) => &g.less,
-                        Some(Ordering::Equal) => &g.equal,
-                        Some(Ordering::Greater) => &g.greater,
-                        None => continue,
-                    };
-                    for &(w, m) in masks {
-                        buffer[w] |= m;
-                    }
-                }
+                fill_pair(&codes, &groups, t, t_prime, &mut buffer);
                 let entry = acc.add(FixedBitSet::from_words(space.len(), &buffer));
                 if let Some(v) = vios.as_mut() {
                     v.record_pair(entry, t as u32, t_prime as u32);
@@ -248,14 +263,15 @@ impl EvidenceBuilder for ClusterEvidenceBuilder {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use adc_data::{AttributeType, Schema, Value};
     use adc_predicates::SpaceConfig;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn small_relation() -> Relation {
+    /// The paper's Table-1-style 5-row fixture (shared with `parallel.rs`).
+    pub(crate) fn small_relation() -> Relation {
         let schema = Schema::of(&[
             ("Name", AttributeType::Text),
             ("State", AttributeType::Text),
@@ -277,7 +293,8 @@ mod tests {
         b.build()
     }
 
-    fn random_relation(rows: usize, seed: u64) -> Relation {
+    /// A noisy 4-column relation with ~10 % nulls (shared with `parallel.rs`).
+    pub(crate) fn random_relation(rows: usize, seed: u64) -> Relation {
         let schema = Schema::of(&[
             ("A", AttributeType::Text),
             ("B", AttributeType::Integer),

@@ -15,7 +15,11 @@ pub struct EvidenceEntry {
 /// The evidence set `Evi(D)` with bag semantics, stored interned: every
 /// distinct predicate set appears once along with its multiplicity
 /// (exactly the representation the paper prescribes in Section 3).
-#[derive(Debug, Clone, Default)]
+///
+/// Equality compares entry **order** as well as contents, so asserting two
+/// evidence sets equal proves the builders that produced them interned pairs
+/// in the same traversal order (the parallel-merge determinism guarantee).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EvidenceSet {
     entries: Vec<EvidenceEntry>,
     total_pairs: u64,
@@ -182,6 +186,24 @@ impl EvidenceAccumulator {
                 idx
             }
         }
+    }
+
+    /// Merge a finished shard into this accumulator, preserving
+    /// first-encounter entry order: shard entries already present keep their
+    /// existing index, new ones are appended in the shard's own order.
+    ///
+    /// Returns the index translation `mapping[shard_idx] = merged_idx`, which
+    /// callers use to re-target per-entry side indexes such as
+    /// [`crate::Vios`] (via [`crate::Vios::merge_mapped`]).
+    ///
+    /// Merging tile shards in ascending row order therefore reproduces *bit
+    /// for bit* the evidence set a single sequential scan would intern.
+    pub fn merge_set(&mut self, shard: &EvidenceSet) -> Vec<usize> {
+        let mut mapping = Vec::with_capacity(shard.entries.len());
+        for entry in &shard.entries {
+            mapping.push(self.add_many(entry.set.clone(), entry.count));
+        }
+        mapping
     }
 
     /// Finish and return the interned evidence set.

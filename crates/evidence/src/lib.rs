@@ -10,7 +10,7 @@
 //! number of violating pairs of `ϕ` is the total multiplicity of evidence
 //! sets missed by `Ŝ_ϕ`.
 //!
-//! Two builders are provided:
+//! Three builders are provided:
 //!
 //! * [`NaiveEvidenceBuilder`] — the reference implementation (AFASTDC-style):
 //!   evaluates every predicate on every ordered pair through the dynamic
@@ -19,19 +19,44 @@
 //!   BFASTDC / DCFinder: per-column integer codes (PLI ranks / global
 //!   dictionary codes), per-structure-group bit masks, and word-level
 //!   assembly of each pair's evidence bitset.
+//! * [`ParallelEvidenceBuilder`] — the cluster kernel run over row-range
+//!   tiles on a scoped thread pool, with a deterministic order-preserving
+//!   merge (see [`parallel`]).
 //!
-//! Both builders produce identical [`EvidenceSet`]s (tested by property
-//! tests); they differ only in construction time.
+//! All builders produce identical [`EvidenceSet`]s (tested by property and
+//! equality tests); they differ only in construction time.
+//!
+//! ```
+//! use adc_data::{AttributeType, Relation, Schema, Value};
+//! use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder, ParallelEvidenceBuilder};
+//! use adc_predicates::{PredicateSpace, SpaceConfig};
+//!
+//! let schema = Schema::of(&[("City", AttributeType::Text), ("Pop", AttributeType::Integer)]);
+//! let mut b = Relation::builder(schema);
+//! for (c, p) in [("Oslo", 700), ("Bergen", 280), ("Oslo", 700)] {
+//!     b.push_row(vec![c.into(), Value::Int(p)]).unwrap();
+//! }
+//! let relation = b.build();
+//! let space = PredicateSpace::build(&relation, SpaceConfig::default());
+//!
+//! // 3 tuples → 6 ordered pairs; the two identical "Oslo" tuples collapse
+//! // into shared evidence entries, and every builder agrees bit for bit.
+//! let evidence = ClusterEvidenceBuilder.build(&relation, &space, false);
+//! assert_eq!(evidence.evidence_set.total_pairs(), 6);
+//! assert_eq!(evidence, ParallelEvidenceBuilder::new(2).build(&relation, &space, false));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;
 pub mod evidence;
+pub mod parallel;
 pub mod vios;
 
 pub use builder::{ClusterEvidenceBuilder, EvidenceBuilder, NaiveEvidenceBuilder};
 pub use evidence::{EvidenceEntry, EvidenceSet};
+pub use parallel::ParallelEvidenceBuilder;
 pub use vios::Vios;
 
 use adc_data::Relation;
@@ -40,7 +65,7 @@ use adc_predicates::PredicateSpace;
 /// Evidence data produced by a builder: the interned evidence set and,
 /// optionally, the per-tuple violation index (`vios`) needed by the `f2` and
 /// `f3` approximation functions.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Evidence {
     /// The interned evidence multiset.
     pub evidence_set: EvidenceSet,

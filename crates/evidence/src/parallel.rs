@@ -1,0 +1,271 @@
+//! Parallel, tiled evidence-set construction.
+//!
+//! The ordered-pair space `{(t, t') | t ≠ t'}` is an `n × n` grid minus the
+//! diagonal. [`ParallelEvidenceBuilder`] partitions that grid into
+//! *row-range tiles* (`tile_rows` consecutive outer rows each, every tile
+//! spanning all `n` inner columns) and processes tiles on a scoped
+//! `std::thread` pool. Workers pull tile indexes from a shared atomic
+//! counter (cheap dynamic load balancing — tiles over skewed rows cost
+//! unequal time because interning cost depends on the distinct-set churn),
+//! and each tile fills its own [`EvidenceAccumulator`] and optional
+//! [`Vios`] shard with the same word-mask kernel the sequential
+//! [`ClusterEvidenceBuilder`](crate::ClusterEvidenceBuilder) uses.
+//!
+//! ## Deterministic merge
+//!
+//! The sequential builder interns pairs in row-major order, and the index of
+//! an evidence entry is its first-encounter position. To reproduce that
+//! *exactly*, the per-tile shards are merged **in ascending tile order**
+//! after all workers finish: [`EvidenceAccumulator::merge_set`] appends each
+//! shard's entries in the shard's own first-encounter order (keeping the
+//! existing index when the set was already seen), and the returned index
+//! mapping re-targets the shard's [`Vios`] counts via
+//! [`Vios::merge_mapped`]. The merged result is therefore bit-for-bit equal
+//! to the sequential one — same entry order, same counts, same violation
+//! index — regardless of thread count, tile size, or scheduling order. The
+//! equality tests in this module and in `tests/parallel_evidence.rs` at the
+//! workspace root hold by construction, not by accident of scheduling.
+
+use crate::builder::{column_codes, fill_pair, group_masks, EvidenceBuilder};
+use crate::evidence::EvidenceAccumulator;
+use crate::vios::Vios;
+use crate::{Evidence, EvidenceSet};
+use adc_data::{FixedBitSet, Relation};
+use adc_predicates::PredicateSpace;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Evidence of one row-range tile, with entry ids local to the tile.
+struct TileShard {
+    /// Tile index (= first row / `tile_rows`); merge order key.
+    tile: usize,
+    set: EvidenceSet,
+    vios: Option<Vios>,
+}
+
+/// Data-parallel evidence builder: row-range tiles on scoped threads, with a
+/// deterministic order-preserving merge.
+///
+/// Produces output bit-for-bit identical to
+/// [`ClusterEvidenceBuilder`](crate::ClusterEvidenceBuilder) (see the
+/// [module docs](self)); only wall-clock time differs.
+///
+/// ```
+/// use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder, ParallelEvidenceBuilder};
+/// # use adc_data::{AttributeType, Relation, Schema, Value};
+/// # use adc_predicates::{PredicateSpace, SpaceConfig};
+/// # let schema = Schema::of(&[("A", AttributeType::Integer), ("B", AttributeType::Integer)]);
+/// # let mut b = Relation::builder(schema);
+/// # for i in 0..20i64 { b.push_row(vec![Value::Int(i % 4), Value::Int(i % 3)]).unwrap(); }
+/// # let relation = b.build();
+/// # let space = PredicateSpace::build(&relation, SpaceConfig::default());
+/// let parallel = ParallelEvidenceBuilder::new(4).build(&relation, &space, true);
+/// let sequential = ClusterEvidenceBuilder.build(&relation, &space, true);
+/// assert_eq!(parallel, sequential);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelEvidenceBuilder {
+    /// Worker thread count; `0` uses [`std::thread::available_parallelism`].
+    pub threads: usize,
+    /// Outer rows per tile; `0` picks a size yielding ~4 tiles per thread.
+    pub tile_rows: usize,
+}
+
+impl ParallelEvidenceBuilder {
+    /// Builder with the given thread count (`0` = all available cores) and
+    /// automatic tile sizing.
+    pub fn new(threads: usize) -> Self {
+        ParallelEvidenceBuilder {
+            threads,
+            tile_rows: 0,
+        }
+    }
+
+    /// Override the number of outer rows per tile.
+    pub fn with_tile_rows(mut self, tile_rows: usize) -> Self {
+        self.tile_rows = tile_rows;
+        self
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            thread::available_parallelism().map_or(1, |p| p.get())
+        }
+    }
+
+    /// Tile height: explicit override, or enough tiles for ~4 work units per
+    /// thread so the dynamic scheduler can absorb per-tile cost skew.
+    fn resolved_tile_rows(&self, n: usize, threads: usize) -> usize {
+        if self.tile_rows > 0 {
+            self.tile_rows
+        } else {
+            n.div_ceil(threads * 4).max(1)
+        }
+    }
+}
+
+impl EvidenceBuilder for ParallelEvidenceBuilder {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn build(&self, relation: &Relation, space: &PredicateSpace, track_vios: bool) -> Evidence {
+        let n = relation.len();
+        if n == 0 || space.is_empty() {
+            return Evidence {
+                evidence_set: EvidenceAccumulator::new(space.len(), n).finish(),
+                vios: track_vios.then(|| Vios::new(0, n)),
+            };
+        }
+
+        let threads = self.resolved_threads();
+        let tile_rows = self.resolved_tile_rows(n, threads);
+        let num_tiles = n.div_ceil(tile_rows);
+        let workers = threads.min(num_tiles);
+
+        let codes = column_codes(relation);
+        let groups = group_masks(space);
+        let words = space.len().div_ceil(64);
+        let next_tile = AtomicUsize::new(0);
+
+        // Each worker drains tiles from the shared counter and returns its
+        // shards; no locks beyond the counter and the final joins.
+        let mut shards: Vec<TileShard> = thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        let mut buffer = vec![0u64; words];
+                        loop {
+                            let tile = next_tile.fetch_add(1, Ordering::Relaxed);
+                            if tile >= num_tiles {
+                                return out;
+                            }
+                            let start = tile * tile_rows;
+                            let end = (start + tile_rows).min(n);
+                            let mut acc = EvidenceAccumulator::new(space.len(), n);
+                            let mut vios = track_vios.then(|| Vios::new(0, n));
+                            for t in start..end {
+                                for t_prime in 0..n {
+                                    if t == t_prime {
+                                        continue;
+                                    }
+                                    fill_pair(&codes, &groups, t, t_prime, &mut buffer);
+                                    let entry =
+                                        acc.add(FixedBitSet::from_words(space.len(), &buffer));
+                                    if let Some(v) = vios.as_mut() {
+                                        v.record_pair(entry, t as u32, t_prime as u32);
+                                    }
+                                }
+                            }
+                            out.push(TileShard {
+                                tile,
+                                set: acc.finish(),
+                                vios,
+                            });
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("evidence worker panicked"))
+                .collect()
+        });
+
+        // Deterministic merge: ascending tile order reproduces the sequential
+        // row-major interning order exactly.
+        shards.sort_unstable_by_key(|s| s.tile);
+        let mut acc = EvidenceAccumulator::new(space.len(), n);
+        let mut vios = track_vios.then(|| Vios::new(0, n));
+        for shard in &shards {
+            let mapping = acc.merge_set(&shard.set);
+            if let (Some(v), Some(sv)) = (vios.as_mut(), shard.vios.as_ref()) {
+                v.merge_mapped(sv, &mapping);
+            }
+        }
+        Evidence {
+            evidence_set: acc.finish(),
+            vios,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::tests::{random_relation, small_relation};
+    use crate::ClusterEvidenceBuilder;
+    use adc_predicates::SpaceConfig;
+
+    fn assert_identical(r: &Relation, builder: ParallelEvidenceBuilder) {
+        let space = PredicateSpace::build(r, SpaceConfig::default());
+        let sequential = ClusterEvidenceBuilder.build(r, &space, true);
+        let parallel = builder.build(r, &space, true);
+        assert_eq!(
+            parallel.evidence_set, sequential.evidence_set,
+            "entry order/counts diverged for {builder:?}"
+        );
+        assert_eq!(parallel.vios, sequential.vios, "vios diverged");
+    }
+
+    #[test]
+    fn matches_sequential_on_small_relation() {
+        assert_identical(&small_relation(), ParallelEvidenceBuilder::new(4));
+    }
+
+    #[test]
+    fn matches_sequential_across_thread_and_tile_shapes() {
+        let r = random_relation(40, 7);
+        for threads in [1, 2, 3, 8] {
+            for tile_rows in [0, 1, 7, 40, 1000] {
+                assert_identical(
+                    &r,
+                    ParallelEvidenceBuilder::new(threads).with_tile_rows(tile_rows),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_random_relations_with_nulls() {
+        for seed in 0..4 {
+            assert_identical(&random_relation(30, seed), ParallelEvidenceBuilder::new(4));
+        }
+    }
+
+    #[test]
+    fn empty_relation_and_single_tuple() {
+        use adc_data::{AttributeType, Schema, Value};
+        let schema = Schema::of(&[("A", AttributeType::Integer)]);
+        let empty = Relation::empty(schema.clone());
+        let space = PredicateSpace::build(&empty, SpaceConfig::default());
+        let e = ParallelEvidenceBuilder::new(4).build(&empty, &space, true);
+        assert_eq!(e.evidence_set.total_pairs(), 0);
+        assert_eq!(e.vios().num_entries(), 0);
+
+        let mut b = Relation::builder(schema);
+        b.push_row(vec![Value::Int(1)]).unwrap();
+        let one = b.build();
+        let space = PredicateSpace::build(&one, SpaceConfig::default());
+        let e = ParallelEvidenceBuilder::new(4).build(&one, &space, false);
+        assert_eq!(e.evidence_set.total_pairs(), 0);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let builder = ParallelEvidenceBuilder::default();
+        assert!(builder.resolved_threads() >= 1);
+        assert_identical(&small_relation(), builder);
+    }
+
+    #[test]
+    fn tile_sizing_targets_four_tiles_per_thread() {
+        let b = ParallelEvidenceBuilder::new(4);
+        assert_eq!(b.resolved_tile_rows(1000, 4), 63);
+        assert_eq!(b.resolved_tile_rows(3, 4), 1);
+        assert_eq!(b.with_tile_rows(10).resolved_tile_rows(1000, 4), 10);
+    }
+}

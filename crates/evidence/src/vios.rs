@@ -12,7 +12,11 @@
 use adc_data::fx::FxHashMap;
 
 /// Per-evidence-entry, per-tuple pair-participation counts.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality compares the per-entry count maps by content (hash maps are
+/// order-insensitive), so two indexes are equal exactly when every
+/// `(entry, tuple)` pair carries the same count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Vios {
     /// `per_entry[e][t]` = number of ordered pairs with evidence entry `e`
     /// in which tuple `t` participates (as either element of the pair).
@@ -38,6 +42,32 @@ impl Vios {
         let m = &mut self.per_entry[entry];
         *m.entry(t).or_insert(0) += 1;
         *m.entry(t_prime).or_insert(0) += 1;
+    }
+
+    /// Merge a shard index whose entry ids are *local* to the shard's own
+    /// accumulator, translating them through `mapping` (as returned by
+    /// [`crate::evidence::EvidenceAccumulator::merge_set`] for that shard):
+    /// shard entry `e` contributes its counts to entry `mapping[e]` here.
+    ///
+    /// # Panics
+    /// Panics if the shard tracks more entries than `mapping` covers.
+    pub fn merge_mapped(&mut self, shard: &Vios, mapping: &[usize]) {
+        assert!(
+            shard.per_entry.len() <= mapping.len(),
+            "shard has {} entries but mapping covers only {}",
+            shard.per_entry.len(),
+            mapping.len()
+        );
+        for (local, counts) in shard.per_entry.iter().enumerate() {
+            let global = mapping[local];
+            if global >= self.per_entry.len() {
+                self.per_entry.resize(global + 1, FxHashMap::default());
+            }
+            let m = &mut self.per_entry[global];
+            for (&t, &c) in counts {
+                *m.entry(t).or_insert(0) += c;
+            }
+        }
     }
 
     /// Number of evidence entries tracked.

@@ -16,6 +16,20 @@
 //! function), but as the paper notes the algorithm is independent of that
 //! application — this crate depends only on `adc-data` for its bitset and can
 //! be used for any hypergraph-transversal-style workload.
+//!
+//! ```
+//! use adc_hitting::{enumerate_minimal_hitting_sets, BranchStrategy, SetSystem};
+//!
+//! // The path hypergraph {0,1}, {1,2}, {2,3} has three minimal transversals.
+//! let system = SetSystem::from_indices(4, &[&[0, 1], &[1, 2], &[2, 3]]);
+//! let mut found = Vec::new();
+//! enumerate_minimal_hitting_sets(&system, BranchStrategy::MinIntersection, |hs| {
+//!     found.push(hs.to_vec());
+//!     true // keep enumerating
+//! });
+//! found.sort();
+//! assert_eq!(found, vec![vec![0, 2], vec![1, 2], vec![1, 3]]);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

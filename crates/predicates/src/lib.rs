@@ -13,6 +13,23 @@
 //!
 //! A [`DenialConstraint`] is a set of predicate ids interpreted as
 //! `∀t,t'. ¬(P₁ ∧ … ∧ Pₘ)`.
+//!
+//! ```
+//! use adc_data::{AttributeType, Relation, Schema, Value};
+//! use adc_predicates::{PredicateSpace, SpaceConfig, TupleRole};
+//!
+//! let schema = Schema::of(&[("Income", AttributeType::Integer)]);
+//! let mut b = Relation::builder(schema);
+//! b.push_row(vec![Value::Int(28_000)]).unwrap();
+//! b.push_row(vec![Value::Int(42_000)]).unwrap();
+//! let relation = b.build();
+//!
+//! let space = PredicateSpace::build(&relation, SpaceConfig::default());
+//! let gt = space.find("Income", ">", TupleRole::Other, "Income").unwrap();
+//! // Tuple 1 earns more than tuple 0.
+//! assert!(space.predicate(gt).eval(&relation, 1, 0));
+//! assert!(!space.predicate(gt).eval(&relation, 0, 1));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

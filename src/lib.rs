@@ -76,6 +76,9 @@ pub mod prelude {
     };
     pub use adc_data::{AttributeType, Relation, Schema, Value};
     pub use adc_datasets::{Dataset, DatasetGenerator, NoiseConfig};
+    pub use adc_evidence::{
+        ClusterEvidenceBuilder, EvidenceBuilder, NaiveEvidenceBuilder, ParallelEvidenceBuilder,
+    };
 }
 
 #[cfg(test)]
