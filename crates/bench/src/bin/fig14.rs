@@ -6,7 +6,7 @@
 use adc_approx::ApproxKind;
 use adc_bench::{bench_config, bench_datasets, bench_relation, run_miner, Table};
 use adc_core::g_recall;
-use adc_datasets::{skewed_noise, spread_noise, NoiseConfig};
+use adc_datasets::{targeted_skewed_noise, targeted_spread_noise, NoiseConfig};
 
 fn main() {
     let thresholds = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1];
@@ -23,10 +23,11 @@ fn main() {
             for dataset in bench_datasets() {
                 let generator = dataset.generator();
                 let clean = bench_relation(dataset);
+                let spec = generator.correlation();
                 let (dirty, _) = if skewed {
-                    skewed_noise(&clean, &noise, 0xBAD)
+                    targeted_skewed_noise(&clean, &spec, &noise, 0xBAD)
                 } else {
-                    spread_noise(&clean, &noise, 0xBAD)
+                    targeted_spread_noise(&clean, &spec, &noise, 0xBAD)
                 };
                 let mut cells = vec![dataset.name().to_string()];
                 let golden_recall = |epsilon: f64| {

@@ -1,0 +1,65 @@
+//! Tractability probe: mines every dataset over its **unprojected** predicate
+//! space (the full `SpaceConfig::default()` space — same-column, cross-column,
+//! and single-tuple predicates) at the generator's default row count and
+//! reports how large the output is.
+//!
+//! This is the gate for running the fig/table binaries at paper-scale rows:
+//! the generators must keep the minimal-ADC count of their *clean* relations
+//! in the hundreds-to-thousands, not the hundreds of thousands. The recorded
+//! before/after table lives in this crate's `README.md`.
+//!
+//! Environment variables: the usual `ADC_BENCH_ROWS` / `ADC_BENCH_DATASETS` /
+//! `ADC_BENCH_THREADS`, plus `ADC_TRACT_CAP` (default 20000) — the cap on
+//! emitted DCs so a still-intractable generator terminates with `>cap`
+//! instead of hanging.
+
+use adc_bench::{bench_config, bench_datasets, bench_relation, bench_rows, secs, Table};
+use adc_core::metrics::g_recall;
+use adc_core::AdcMiner;
+
+fn main() {
+    let cap: usize = std::env::var("ADC_TRACT_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(20_000);
+    let epsilon = 1e-6;
+    let mut table = Table::new(vec![
+        "Dataset",
+        "Rows",
+        "|Space|",
+        "Distinct evidence",
+        "Minimal ADCs",
+        "Golden recall",
+        "Time (s)",
+    ]);
+    for dataset in bench_datasets() {
+        let generator = dataset.generator();
+        let rows = bench_rows(dataset);
+        let relation = bench_relation(dataset);
+        let start = std::time::Instant::now();
+        let result = AdcMiner::new(bench_config(epsilon).with_max_dcs(cap)).mine(&relation);
+        let elapsed = start.elapsed();
+        let golden = generator.golden_dcs(&result.space);
+        let recall = g_recall(&result.dcs, &golden);
+        let count = if result.dcs.len() >= cap {
+            format!(">{cap}")
+        } else {
+            result.dcs.len().to_string()
+        };
+        table.add_row(vec![
+            generator.name().to_string(),
+            rows.to_string(),
+            result.space.len().to_string(),
+            result.distinct_evidence.to_string(),
+            count,
+            format!(
+                "{:.2} ({}/{})",
+                recall,
+                (recall * golden.len() as f64).round(),
+                golden.len()
+            ),
+            secs(elapsed),
+        ]);
+    }
+    table.print("Tractability — unprojected predicate space, clean data");
+}

@@ -33,15 +33,16 @@ use adc_predicates::PredicateSpace;
 use std::time::Duration;
 
 /// Number of rows to generate for a dataset in the harness: the generator's
-/// scaled-down default, further capped so that the full 8-dataset sweeps
-/// finish in minutes, and overridable via `ADC_BENCH_ROWS`.
+/// scaled-down default (full, no cap — the correlated generators keep the
+/// unprojected space tractable at 10³-scale rows, see the `tractability`
+/// binary), overridable via `ADC_BENCH_ROWS` for paper-scale runs.
 pub fn bench_rows(dataset: Dataset) -> usize {
     if let Ok(value) = std::env::var("ADC_BENCH_ROWS") {
         if let Ok(rows) = value.trim().parse::<usize>() {
             return rows.max(10);
         }
     }
-    dataset.generator().default_rows().min(800)
+    dataset.generator().default_rows()
 }
 
 /// The datasets to run, honouring `ADC_BENCH_DATASETS`.
@@ -77,10 +78,23 @@ pub fn bench_threads() -> usize {
 /// thread spawn, no tiling/merge overhead) so single-threaded baselines are
 /// a true apples-to-apples reference.
 pub fn bench_config(epsilon: f64) -> MinerConfig {
-    match bench_threads() {
+    let config = match bench_threads() {
         1 => MinerConfig::new(epsilon),
         t => MinerConfig::new(epsilon).with_parallel_evidence(t),
-    }
+    };
+    config.with_max_dcs(bench_max_dcs())
+}
+
+/// Cap on DCs emitted per mining run (`ADC_BENCH_MAX_DCS`, default 50 000).
+/// Clean relations stay far below it (< 10⁴ minimal ADCs each, see the
+/// `tractability` binary); the cap is what keeps the *dirty*-data
+/// experiments (fig14, table5) terminating, since approximate enumeration
+/// over a noisy relation can have a combinatorially larger minimal frontier.
+pub fn bench_max_dcs() -> usize {
+    std::env::var("ADC_BENCH_MAX_DCS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(50_000)
 }
 
 /// Build the evidence set with the harness builder (parallel, honouring
@@ -184,10 +198,19 @@ mod tests {
     }
 
     #[test]
-    fn bench_rows_is_positive_and_capped() {
-        for d in Dataset::ALL {
-            let rows = bench_rows(d);
-            assert!((10..=800).contains(&rows));
+    fn bench_rows_defaults_to_the_generator_default() {
+        // The env var is unset in the test environment.
+        if std::env::var("ADC_BENCH_ROWS").is_err() {
+            for d in Dataset::ALL {
+                assert_eq!(bench_rows(d), d.generator().default_rows());
+            }
+        }
+    }
+
+    #[test]
+    fn bench_config_caps_emitted_dcs() {
+        if std::env::var("ADC_BENCH_MAX_DCS").is_err() {
+            assert_eq!(bench_config(0.1).max_dcs, Some(50_000));
         }
     }
 

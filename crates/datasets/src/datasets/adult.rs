@@ -1,11 +1,16 @@
 //! Synthetic analog of the **Adult** (census income) dataset (32 K tuples,
 //! 15 attributes, 3 golden DCs). The golden rules relate age to birth year
 //! and tie the textual education level to its numeric encoding.
+//!
+//! Correlation model: three small drivers — an age bracket, an education
+//! index, and an occupation index — determine every other column. The birth
+//! year and the census weight are deterministic functions of the age (their
+//! cross-row orders coincide with the age order), capital gain/loss and
+//! hours derive from education/occupation, and all remaining categoricals
+//! are functions of the occupation and education indexes.
 
-use crate::generator::{pick, pools, resolve_dcs, DatasetGenerator};
-use adc_core::DenialConstraint;
+use crate::generator::{bucket, pools, CorrelationSpec, DatasetGenerator, Fd, Monotone};
 use adc_data::{AttributeType, Relation, Schema, Value};
-use adc_predicates::{PredicateSpace, TupleRole};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -74,67 +79,120 @@ impl DatasetGenerator for AdultDataset {
             "Canada",
         ];
         for _ in 0..rows {
-            let age = rng.gen_range(17..=90i64);
+            // Drivers: age bracket, education index, occupation index. All
+            // derived columns are graded (threshold/bucket) functions of a
+            // single driver so their equality and order patterns stay
+            // aligned with the driver's.
+            let age = 18 + 3 * rng.gen_range(0..25i64);
             let edu_idx = rng.gen_range(0..pools::EDUCATION.len());
+            let occ_idx = rng.gen_range(0..pools::OCCUPATIONS.len());
+            let occ = pools::OCCUPATIONS.len();
             b.push_row(vec![
                 Value::Int(age),
                 Value::Int(REFERENCE_YEAR - age),
-                Value::from(*pick(&mut rng, &workclasses)),
-                Value::Int(rng.gen_range(10_000..500_000)),
+                Value::from(workclasses[bucket(occ_idx, occ, workclasses.len())]),
+                // Census weight: monotone in age (tie-broken by education),
+                // so its cross-row order coincides with the age order.
+                Value::Int(500_000 + 1_000 * age + 40 * edu_idx as i64),
                 Value::from(pools::EDUCATION[edu_idx]),
                 Value::Int(pools::EDUCATION_YEARS[edu_idx]),
-                Value::from(*pick(&mut rng, &marital)),
-                Value::from(*pick(&mut rng, &pools::OCCUPATIONS)),
-                Value::from(*pick(&mut rng, &relationship)),
-                Value::from(*pick(&mut rng, &races)),
-                Value::from(if rng.gen_bool(0.5) { "Male" } else { "Female" }),
-                Value::Int(if rng.gen_bool(0.1) {
-                    rng.gen_range(1..50_000)
+                Value::from(marital[bucket(occ_idx, occ, marital.len())]),
+                Value::from(pools::OCCUPATIONS[occ_idx]),
+                Value::from(relationship[bucket(occ_idx, occ, relationship.len())]),
+                Value::from(races[bucket(occ_idx, occ, races.len())]),
+                Value::from(if occ_idx < 4 { "Male" } else { "Female" }),
+                Value::Int(if edu_idx >= 5 {
+                    5_000 * (edu_idx as i64 - 4)
                 } else {
                     0
                 }),
-                Value::Int(if rng.gen_bool(0.05) {
-                    rng.gen_range(1..3_000)
+                // The 250 floor keeps the loss value set disjoint from the
+                // gain's {0, ...}, so no cross-column predicates appear.
+                Value::Int(if occ_idx >= 6 {
+                    700 + 100 * occ_idx as i64
                 } else {
-                    0
+                    250
                 }),
-                Value::Int(rng.gen_range(10..80)),
-                Value::from(*pick(&mut rng, &countries)),
+                Value::Int(20 + 5 * occ_idx as i64),
+                Value::from(countries[bucket(occ_idx, occ, countries.len())]),
             ])
             .expect("adult rows are well typed");
         }
         b.build()
     }
 
-    fn golden_dcs(&self, space: &PredicateSpace) -> Vec<DenialConstraint> {
-        use TupleRole::Other;
-        resolve_dcs(
-            space,
-            &[
-                // A younger person cannot have an earlier birth year.
-                &[
-                    ("Age", "<", Other, "Age"),
-                    ("BirthYear", "<", Other, "BirthYear"),
-                ],
-                // Equal ages imply equal birth years (single reference year).
-                &[
-                    ("Age", "=", Other, "Age"),
-                    ("BirthYear", "≠", Other, "BirthYear"),
-                ],
-                // The textual education level determines the numeric encoding.
-                &[
-                    ("Education", "=", Other, "Education"),
-                    ("EducationNum", "≠", Other, "EducationNum"),
-                ],
+    fn correlation(&self) -> CorrelationSpec {
+        CorrelationSpec {
+            fds: vec![
+                // Golden set (Table 4: 2 FD-style rules + 1 order rule).
+                Fd {
+                    lhs: &["Age"],
+                    rhs: "BirthYear",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["Education"],
+                    rhs: "EducationNum",
+                    golden: true,
+                },
+                // Structural (non-golden) driver-derived dependencies.
+                Fd {
+                    lhs: &["Age", "Education"],
+                    rhs: "Fnlwgt",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["Education"],
+                    rhs: "CapitalGain",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["Occupation"],
+                    rhs: "Workclass",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["Occupation"],
+                    rhs: "MaritalStatus",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["Occupation"],
+                    rhs: "Relationship",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["Occupation"],
+                    rhs: "Sex",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["Occupation"],
+                    rhs: "CapitalLoss",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["Occupation"],
+                    rhs: "HoursPerWeek",
+                    golden: false,
+                },
             ],
-        )
+            monotones: vec![Monotone {
+                group: &[],
+                driver: "Age",
+                dependent: "BirthYear",
+                decreasing: true,
+                golden: true,
+            }],
+            ..CorrelationSpec::default()
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adc_predicates::SpaceConfig;
+    use adc_predicates::{PredicateSpace, SpaceConfig};
 
     #[test]
     fn schema_has_fifteen_attributes() {
@@ -145,7 +203,14 @@ mod tests {
     fn all_three_golden_dcs_resolve() {
         let r = AdultDataset.generate(120, 3);
         let space = PredicateSpace::build(&r, SpaceConfig::default());
+        assert_eq!(AdultDataset.correlation().golden_count(), 3);
         assert_eq!(AdultDataset.golden_dcs(&space).len(), 3);
+    }
+
+    #[test]
+    fn clean_data_satisfies_the_correlation_spec() {
+        let r = AdultDataset.generate(300, 8);
+        AdultDataset.correlation().verify(&r).unwrap();
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! Synthetic analog of the **Airport** dataset (55 K tuples, 12 attributes,
 //! 9 golden DCs). One row per airport; identifiers are unique and
 //! geographic attributes are functionally dependent on the state.
+//!
+//! Correlation model: the state index is the master driver — city, country,
+//! timezone, DST flag, and the coordinate bands all derive from it, with
+//! latitude/longitude bands disjoint per state so coordinate order equals
+//! state order. Identifiers embed the row index, and the altitude is a
+//! function of (city, altitude tier).
 
-use crate::generator::{pools, resolve_dcs, DatasetGenerator};
-use adc_core::DenialConstraint;
+use crate::generator::{bucket, pools, CorrelationSpec, DatasetGenerator, Fd, Key};
 use adc_data::{AttributeType, Relation, Schema, Value};
-use adc_predicates::{PredicateSpace, TupleRole};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -51,23 +55,32 @@ impl DatasetGenerator for AirportDataset {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut b = Relation::builder(self.schema());
         for i in 0..rows {
-            let state_idx = rng.gen_range(0..pools::STATES.len());
-            let city_sel = rng.gen_range(0..2usize);
-            let city_idx = state_idx * 2 + city_sel;
-            // Timezone offset and DST flag are functions of the state.
-            let tz = -5 - (state_idx as i64 % 4);
-            let dst = if state_idx % 2 == 0 { "A" } else { "N" };
+            // Drivers: the city index (which nests inside the state and
+            // fixes timezone, DST, and the coordinate/altitude bands via
+            // graded derivations) and a small in-band offset shared by both
+            // coordinates and the altitude.
+            let city_idx = rng.gen_range(0..pools::CITIES.len());
+            let state_idx = city_idx / 2;
+            let tz = -5 - bucket(state_idx, pools::STATES.len(), 4) as i64;
+            let dst = if state_idx < 4 { "A" } else { "N" };
+            // Coordinate bands are disjoint per state (band gap 3.0 / 5.0,
+            // in-band offsets ≤ 1.0), so coordinate order equals state
+            // order; within a band, latitude, longitude, and altitude all
+            // follow the same offset driver.
+            let offset = rng.gen_range(0..=2i64);
             b.push_row(vec![
-                Value::Int(i as i64),
+                // Id range kept above every altitude value so the
+                // shared-values rule never compares the two columns.
+                Value::Int(7_000 + i as i64),
                 Value::from(format!("{} Field {i}", pools::CITIES[city_idx])),
                 Value::from(pools::CITIES[city_idx]),
                 Value::from(pools::STATES[state_idx]),
                 Value::from("US"),
                 Value::from(format!("A{i:04}")),
                 Value::from(format!("KA{i:04}")),
-                Value::Float(25.0 + (state_idx as f64) * 3.0 + rng.gen_range(0.0..2.0)),
-                Value::Float(-70.0 - (state_idx as f64) * 5.0 - rng.gen_range(0.0..2.0)),
-                Value::Int(rng.gen_range(0..9_000)),
+                Value::Float(25.0 + (state_idx as f64) * 3.0 + offset as f64 * 0.5),
+                Value::Float(-70.0 - (state_idx as f64) * 5.0 - offset as f64 * 0.5),
+                Value::Int(1_000 + 200 * city_idx as i64 + 50 * offset),
                 Value::Int(tz),
                 Value::from(dst),
             ])
@@ -76,41 +89,79 @@ impl DatasetGenerator for AirportDataset {
         b.build()
     }
 
-    fn golden_dcs(&self, space: &PredicateSpace) -> Vec<DenialConstraint> {
-        use TupleRole::Other;
-        resolve_dcs(
-            space,
-            &[
-                // Identifiers are keys.
-                &[("AirportID", "=", Other, "AirportID")],
-                &[("IATA", "=", Other, "IATA"), ("Name", "≠", Other, "Name")],
-                &[("ICAO", "=", Other, "ICAO"), ("IATA", "≠", Other, "IATA")],
-                &[("Name", "=", Other, "Name"), ("City", "≠", Other, "City")],
-                // Geography is consistent.
-                &[("City", "=", Other, "City"), ("State", "≠", Other, "State")],
-                &[
-                    ("State", "=", Other, "State"),
-                    ("Country", "≠", Other, "Country"),
-                ],
-                // Timezone and DST are functions of the state.
-                &[
-                    ("State", "=", Other, "State"),
-                    ("TimezoneOffset", "≠", Other, "TimezoneOffset"),
-                ],
-                &[("State", "=", Other, "State"), ("DST", "≠", Other, "DST")],
-                &[
-                    ("City", "=", Other, "City"),
-                    ("TimezoneOffset", "≠", Other, "TimezoneOffset"),
-                ],
+    fn correlation(&self) -> CorrelationSpec {
+        CorrelationSpec {
+            keys: vec![
+                Key {
+                    attr: "AirportID",
+                    golden: true,
+                },
+                Key {
+                    attr: "IATA",
+                    golden: false,
+                },
+                Key {
+                    attr: "ICAO",
+                    golden: false,
+                },
+                Key {
+                    attr: "Name",
+                    golden: false,
+                },
             ],
-        )
+            hierarchies: vec![&["City", "State", "Country"]],
+            fds: vec![
+                // Golden set (Table 4: key + 8 FD-style rules).
+                Fd {
+                    lhs: &["IATA"],
+                    rhs: "Name",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["ICAO"],
+                    rhs: "IATA",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["Name"],
+                    rhs: "City",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["City"],
+                    rhs: "State",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["State"],
+                    rhs: "Country",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["State"],
+                    rhs: "TimezoneOffset",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["State"],
+                    rhs: "DST",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["City"],
+                    rhs: "TimezoneOffset",
+                    golden: true,
+                },
+            ],
+            ..CorrelationSpec::default()
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adc_predicates::SpaceConfig;
+    use adc_predicates::{PredicateSpace, SpaceConfig};
 
     #[test]
     fn schema_has_twelve_attributes() {
@@ -121,7 +172,14 @@ mod tests {
     fn all_nine_golden_dcs_resolve() {
         let r = AirportDataset.generate(100, 3);
         let space = PredicateSpace::build(&r, SpaceConfig::default());
+        assert_eq!(AirportDataset.correlation().golden_count(), 9);
         assert_eq!(AirportDataset.golden_dcs(&space).len(), 9);
+    }
+
+    #[test]
+    fn clean_data_satisfies_the_correlation_spec() {
+        let r = AirportDataset.generate(250, 6);
+        AirportDataset.correlation().verify(&r).unwrap();
     }
 
     #[test]

@@ -2,11 +2,17 @@
 //! 13 golden DCs). One row per flight leg; routes (airline + flight number)
 //! determine origin and destination, airports determine city and state, and
 //! the elapsed time is consistent with departure and arrival times.
+//!
+//! Correlation model: the route (airline, flight number) is the master
+//! driver — endpoints, distance, scheduled times, and tail number are all
+//! deterministic functions of it. The actual times derive from the schedule
+//! plus two small drivers (departure delay, air-time adjustment), with
+//! `ArrTime = DepTime + ElapsedTime` holding exactly so the paper's
+//! elapsed-time consistency rules hold by construction.
 
-use crate::generator::{pools, resolve_dcs, DatasetGenerator};
-use adc_core::DenialConstraint;
+use crate::generator::{bucket, pools, CorrelationSpec, DatasetGenerator, Fd, Key};
 use adc_data::{AttributeType, Relation, Schema, Value};
-use adc_predicates::{PredicateSpace, TupleRole};
+use adc_predicates::TupleRole;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -59,48 +65,66 @@ impl DatasetGenerator for FlightDataset {
     fn generate(&self, rows: usize, seed: u64) -> Relation {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut b = Relation::builder(self.schema());
-        // A pool of routes: (airline, flight number) determines the route.
+        // Route driver: (airline, flight number) determines the endpoints,
+        // the distance, the schedule, and the tail number.
         let num_routes = (rows / 10).max(1);
         let airports = pools::AIRPORTS;
-        let routes: Vec<(usize, i64, usize, usize, i64)> = (0..num_routes)
-            .map(|k| {
-                let airline = rng.gen_range(0..pools::AIRLINES.len());
-                let flight_no = 100 + k as i64;
-                let origin = rng.gen_range(0..airports.len());
-                let mut dest = rng.gen_range(0..airports.len());
-                if dest == origin {
-                    dest = (dest + 1) % airports.len();
-                }
-                let distance = 200 + 150 * ((origin as i64 - dest as i64).abs());
-                (airline, flight_no, origin, dest, distance)
-            })
-            .collect();
         for i in 0..rows {
-            let (airline, flight_no, origin, dest, distance) = routes[i % num_routes];
+            // Route driver: everything route-level is a graded bucket of the
+            // route id (laminar chain 6 | 12 | 24), with the destination
+            // paired to the origin so endpoint equality patterns coincide.
+            let r = i % num_routes;
+            let airline = bucket(r, num_routes, pools::AIRLINES.len());
+            // Flight numbers sit above every time/distance value so the
+            // shared-values rule never compares them with the time columns.
+            let flight_no = 2_000 + r as i64;
+            // Hub-and-spoke endpoints: origins come from the first six
+            // airports, destinations from the last six, so the origin and
+            // destination columns share no values and the shared-values rule
+            // generates no cross predicates between the endpoint blocks.
+            let origin = bucket(r, num_routes, airports.len() / 2);
+            let dest = airports.len() / 2 + origin;
+            // One route *scale* (aligned with the airline grading) drives
+            // distance and every scheduled time **linearly**, so all time
+            // comparisons are thresholds on the scale difference. The
+            // actual-vs-scheduled offsets are chosen so that every pair of
+            // time/distance columns has disjoint value sets — the paper's
+            // golden rules only need same-column time predicates, and the
+            // disjointness keeps the predicate space free of incidental
+            // cross-column time comparisons.
+            let scale = bucket(r, num_routes, 6) as i64;
+            let distance = 200 + 150 * scale;
+            let sched_dep = 300 + 120 * scale;
+            let sched_elapsed = 40 + 30 * scale;
             // Airport index -> city/state via the shared pools (airport k sits
             // in city k of the CITIES pool, which belongs to state k/2).
             let (ocity, ostate) = (pools::CITIES[origin], pools::STATES[origin / 2]);
             let (dcity, dstate) = (pools::CITIES[dest], pools::STATES[dest / 2]);
-            let sched_dep = rng.gen_range(300..1_200i64);
-            let delay = rng.gen_range(0..45i64);
-            let dep = sched_dep + delay;
-            let sched_elapsed = 40 + distance / 8;
-            let elapsed = sched_elapsed + rng.gen_range(-10..20i64).max(10 - sched_elapsed);
-            let arr = dep + elapsed;
             let sched_arr = sched_dep + sched_elapsed;
+            // Leg driver: a punctuality level fixing both the departure
+            // delay and the air-time adjustment.
+            let leg = rng.gen_range(0..3usize);
+            let delay = [5, 15, 35][leg];
+            let adjustment = [3, 3, 8][leg];
+            let dep = sched_dep + delay;
+            let elapsed = sched_elapsed + adjustment;
+            let arr = dep + elapsed;
+            let round = (i / num_routes) as i64;
             b.push_row(vec![
-                Value::Int(i as i64),
+                // Id range kept above every other numeric column at any
+                // generated scale.
+                Value::Int(1_000_000 + i as i64),
                 Value::from(pools::AIRLINES[airline]),
                 Value::Int(flight_no),
-                Value::from(format!("N{:05}", i % 500)),
+                Value::from(format!("N{:05}", 100 + r)),
                 Value::from(airports[origin]),
                 Value::from(ocity),
                 Value::from(ostate),
                 Value::from(airports[dest]),
                 Value::from(dcity),
                 Value::from(dstate),
-                Value::Int(1 + (i as i64 % 12)),
-                Value::Int(1 + (i as i64 % 7)),
+                Value::Int(1 + round.min(11)),
+                Value::Int(1 + bucket(round.min(11) as usize, 12, 7) as i64),
                 Value::Int(sched_dep),
                 Value::Int(dep),
                 Value::Int(sched_arr),
@@ -115,57 +139,102 @@ impl DatasetGenerator for FlightDataset {
         b.build()
     }
 
-    fn golden_dcs(&self, space: &PredicateSpace) -> Vec<DenialConstraint> {
+    fn correlation(&self) -> CorrelationSpec {
         use TupleRole::Other;
-        resolve_dcs(
-            space,
-            &[
-                // The flight id is a key.
-                &[("FlightID", "=", Other, "FlightID")],
-                // Airports determine their city and state.
-                &[
-                    ("OriginAirport", "=", Other, "OriginAirport"),
-                    ("OriginCity", "≠", Other, "OriginCity"),
-                ],
-                &[
-                    ("OriginAirport", "=", Other, "OriginAirport"),
-                    ("OriginState", "≠", Other, "OriginState"),
-                ],
-                &[
-                    ("DestAirport", "=", Other, "DestAirport"),
-                    ("DestCity", "≠", Other, "DestCity"),
-                ],
-                &[
-                    ("DestAirport", "=", Other, "DestAirport"),
-                    ("DestState", "≠", Other, "DestState"),
-                ],
-                // Cities belong to a single state.
-                &[
-                    ("OriginCity", "=", Other, "OriginCity"),
-                    ("OriginState", "≠", Other, "OriginState"),
-                ],
-                &[
-                    ("DestCity", "=", Other, "DestCity"),
-                    ("DestState", "≠", Other, "DestState"),
-                ],
-                // (Airline, FlightNo) determines the route.
-                &[
-                    ("Airline", "=", Other, "Airline"),
-                    ("FlightNo", "=", Other, "FlightNo"),
-                    ("OriginAirport", "≠", Other, "OriginAirport"),
-                ],
-                &[
-                    ("Airline", "=", Other, "Airline"),
-                    ("FlightNo", "=", Other, "FlightNo"),
-                    ("DestAirport", "≠", Other, "DestAirport"),
-                ],
-                &[
-                    ("Airline", "=", Other, "Airline"),
-                    ("FlightNo", "=", Other, "FlightNo"),
-                    ("Distance", "≠", Other, "Distance"),
-                ],
-                // Elapsed-time consistency (Table 5 of the paper): departing
-                // later and arriving earlier cannot take longer.
+        CorrelationSpec {
+            keys: vec![Key {
+                attr: "FlightID",
+                golden: true,
+            }],
+            hierarchies: vec![
+                &["OriginAirport", "OriginCity", "OriginState"],
+                &["DestAirport", "DestCity", "DestState"],
+            ],
+            fds: vec![
+                // Golden set (Table 4: key + 9 FD-style rules + 2 order
+                // rules + 1 route rule, listed under `extras`).
+                Fd {
+                    lhs: &["OriginAirport"],
+                    rhs: "OriginCity",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["OriginAirport"],
+                    rhs: "OriginState",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["DestAirport"],
+                    rhs: "DestCity",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["DestAirport"],
+                    rhs: "DestState",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["OriginCity"],
+                    rhs: "OriginState",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["DestCity"],
+                    rhs: "DestState",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["Airline", "FlightNo"],
+                    rhs: "OriginAirport",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["Airline", "FlightNo"],
+                    rhs: "DestAirport",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["Airline", "FlightNo"],
+                    rhs: "Distance",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["Airline", "FlightNo"],
+                    rhs: "SchedElapsed",
+                    golden: true,
+                },
+                // Structural (non-golden) route-level FDs.
+                Fd {
+                    lhs: &["FlightNo"],
+                    rhs: "Airline",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["FlightNo"],
+                    rhs: "TailNumber",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["FlightNo"],
+                    rhs: "SchedDepTime",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["FlightNo"],
+                    rhs: "SchedArrTime",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["DepTime", "ElapsedTime"],
+                    rhs: "ArrTime",
+                    golden: false,
+                },
+            ],
+            // Elapsed-time consistency (Table 5 of the paper): departing
+            // later and arriving earlier cannot take longer; the same holds
+            // for the scheduled times. These hold exactly because
+            // `ArrTime = DepTime + ElapsedTime` by construction.
+            extras: vec![
                 &[
                     ("OriginState", "=", Other, "OriginState"),
                     ("DestState", "=", Other, "DestState"),
@@ -173,7 +242,6 @@ impl DatasetGenerator for FlightDataset {
                     ("ArrTime", "≤", Other, "ArrTime"),
                     ("ElapsedTime", ">", Other, "ElapsedTime"),
                 ],
-                // The same consistency holds for the scheduled times.
                 &[
                     ("OriginState", "=", Other, "OriginState"),
                     ("DestState", "=", Other, "DestState"),
@@ -181,21 +249,16 @@ impl DatasetGenerator for FlightDataset {
                     ("SchedArrTime", "≤", Other, "SchedArrTime"),
                     ("SchedElapsed", ">", Other, "SchedElapsed"),
                 ],
-                // (Airline, FlightNo) determines the scheduled elapsed time.
-                &[
-                    ("Airline", "=", Other, "Airline"),
-                    ("FlightNo", "=", Other, "FlightNo"),
-                    ("SchedElapsed", "≠", Other, "SchedElapsed"),
-                ],
             ],
-        )
+            ..CorrelationSpec::default()
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adc_predicates::SpaceConfig;
+    use adc_predicates::{PredicateSpace, SpaceConfig};
 
     #[test]
     fn schema_has_twenty_attributes() {
@@ -206,7 +269,14 @@ mod tests {
     fn all_thirteen_golden_dcs_resolve() {
         let r = FlightDataset.generate(150, 3);
         let space = PredicateSpace::build(&r, SpaceConfig::default());
+        assert_eq!(FlightDataset.correlation().golden_count(), 13);
         assert_eq!(FlightDataset.golden_dcs(&space).len(), 13);
+    }
+
+    #[test]
+    fn clean_data_satisfies_the_correlation_spec() {
+        let r = FlightDataset.generate(300, 9);
+        FlightDataset.correlation().verify(&r).unwrap();
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! Synthetic analog of the **Food Inspection** dataset (200 K tuples,
 //! 17 attributes, 10 golden DCs). One row per inspection of a licensed
 //! facility; facility-level attributes repeat across inspections.
+//!
+//! Correlation model: the facility (license number) is the master driver —
+//! name, type, risk, address, geography, ward, and coordinates are all
+//! deterministic functions of it, with the ward derived from the zip code.
+//! Inspection-level attributes derive from two small drivers: the inspection
+//! round (year) and the violation count (which fixes the result).
 
-use crate::generator::{pools, resolve_dcs, DatasetGenerator};
-use adc_core::DenialConstraint;
+use crate::generator::{bucket, pools, CorrelationSpec, DatasetGenerator, Fd, Key};
 use adc_data::{AttributeType, Relation, Schema, Value};
-use adc_predicates::{PredicateSpace, TupleRole};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -56,101 +60,153 @@ impl DatasetGenerator for FoodDataset {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut b = Relation::builder(self.schema());
         let num_facilities = (rows / 5).max(1);
-        let risks = ["Risk 1 (High)", "Risk 2 (Medium)", "Risk 3 (Low)"];
+        let risks = ["Risk 1 (High)", "Risk 2 (Medium)"];
         let inspection_types = ["Canvass", "Complaint", "License", "Re-inspection"];
-        let results = ["Pass", "Fail", "Pass w/ Conditions"];
-        // Facility-level attributes, fixed per license number.
-        let facilities: Vec<(usize, usize, usize, usize)> = (0..num_facilities)
-            .map(|_| {
-                (
-                    rng.gen_range(0..pools::STATES.len()),
-                    rng.gen_range(0..2usize),
-                    rng.gen_range(0..pools::FACILITY_TYPES.len()),
-                    rng.gen_range(0..risks.len()),
-                )
-            })
-            .collect();
         for i in 0..rows {
+            // Facility driver: fixes every facility-level attribute through
+            // nested graded buckets (laminar chain 2 | 4 | 8 | 16 | 48), so
+            // the pair pattern of the facility block is just the finest
+            // level at which two facilities agree, times the facility order.
             let fid = i % num_facilities;
-            let (state_idx, city_sel, ftype, risk) = facilities[fid];
+            let state_idx = bucket(fid, num_facilities, pools::STATES.len());
+            let city_sel = bucket(fid, num_facilities, 16) % 2;
             let city_idx = state_idx * 2 + city_sel;
+            let geo48 = bucket(fid, num_facilities, 48);
+            let zip_block = geo48 % 3;
             let zip =
-                pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + (fid as i64 % 700);
-            let ward = 1 + (zip % 50);
+                pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + zip_block as i64 * 30;
+            // Ward range kept clear of the small count/year domains so the
+            // shared-values rule never compares it with them; one ward per
+            // zip, so the ward order follows the geography.
+            let ward = 130 + geo48 as i64;
+            // Inspection drivers: the round (which fixes year and inspection
+            // type) and the violation count (which fixes the result).
+            let round = i / num_facilities;
+            let violations = rng.gen_range(0..5i64);
+            let results = match violations {
+                0 => "Pass",
+                1 | 2 => "Pass w/ Conditions",
+                _ => "Fail",
+            };
             b.push_row(vec![
                 Value::Int(1_000_000 + i as i64),
                 Value::Int(200_000 + fid as i64),
                 Value::from(format!("Food Place {fid}")),
                 Value::from(format!("FP {fid}")),
-                Value::from(pools::FACILITY_TYPES[ftype]),
-                Value::from(risks[risk]),
+                Value::from(pools::FACILITY_TYPES[bucket(fid, num_facilities, 4)]),
+                Value::from(risks[bucket(fid, num_facilities, 2)]),
                 Value::from(format!("{} Oak Ave", 10 + fid)),
                 Value::from(pools::CITIES[city_idx]),
                 Value::from(pools::STATES[state_idx]),
                 Value::Int(zip),
                 Value::Int(ward),
-                Value::Int(2_015 + rng.gen_range(0..6)),
-                Value::from(inspection_types[rng.gen_range(0..inspection_types.len())]),
-                Value::from(results[rng.gen_range(0..results.len())]),
-                Value::Int(rng.gen_range(0..15)),
-                Value::Float(40.0 + (fid % 90) as f64 / 100.0),
-                Value::Float(-87.0 - (fid % 90) as f64 / 100.0),
+                Value::Int(2_015 + round as i64 % 6),
+                Value::from(inspection_types[bucket(round % 6, 6, 4)]),
+                Value::from(results),
+                Value::Int(violations),
+                Value::Float(40.0 + geo48 as f64 / 100.0),
+                Value::Float(-87.0 - geo48 as f64 / 100.0),
             ])
             .expect("food rows are well typed");
         }
         b.build()
     }
 
-    fn golden_dcs(&self, space: &PredicateSpace) -> Vec<DenialConstraint> {
-        use TupleRole::Other;
-        resolve_dcs(
-            space,
-            &[
-                // Inspection id is a key.
-                &[("InspectionID", "=", Other, "InspectionID")],
-                // Zip codes do not cross states or cities.
-                &[("Zip", "=", Other, "Zip"), ("State", "≠", Other, "State")],
-                &[("Zip", "=", Other, "Zip"), ("City", "≠", Other, "City")],
-                // The license number determines the facility-level attributes.
-                &[
-                    ("LicenseNo", "=", Other, "LicenseNo"),
-                    ("DBAName", "≠", Other, "DBAName"),
-                ],
-                &[
-                    ("LicenseNo", "=", Other, "LicenseNo"),
-                    ("FacilityType", "≠", Other, "FacilityType"),
-                ],
-                &[
-                    ("LicenseNo", "=", Other, "LicenseNo"),
-                    ("Address", "≠", Other, "Address"),
-                ],
-                &[
-                    ("LicenseNo", "=", Other, "LicenseNo"),
-                    ("Risk", "≠", Other, "Risk"),
-                ],
-                // The doing-business-as name determines the also-known-as name.
-                &[
-                    ("DBAName", "=", Other, "DBAName"),
-                    ("AKAName", "≠", Other, "AKAName"),
-                ],
-                // An address has a single zip code and a single ward.
-                &[
-                    ("Address", "=", Other, "Address"),
-                    ("Zip", "≠", Other, "Zip"),
-                ],
-                &[
-                    ("Address", "=", Other, "Address"),
-                    ("Ward", "≠", Other, "Ward"),
-                ],
+    fn correlation(&self) -> CorrelationSpec {
+        CorrelationSpec {
+            keys: vec![Key {
+                attr: "InspectionID",
+                golden: true,
+            }],
+            hierarchies: vec![&["Zip", "City", "State"]],
+            fds: vec![
+                // Golden set (Table 4: key + 9 FD-style rules).
+                Fd {
+                    lhs: &["Zip"],
+                    rhs: "State",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["Zip"],
+                    rhs: "City",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["LicenseNo"],
+                    rhs: "DBAName",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["LicenseNo"],
+                    rhs: "FacilityType",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["LicenseNo"],
+                    rhs: "Address",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["LicenseNo"],
+                    rhs: "Risk",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["DBAName"],
+                    rhs: "AKAName",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["Address"],
+                    rhs: "Zip",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["Address"],
+                    rhs: "Ward",
+                    golden: true,
+                },
+                // Structural (non-golden) facility-level FDs.
+                Fd {
+                    lhs: &["LicenseNo"],
+                    rhs: "City",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["LicenseNo"],
+                    rhs: "Zip",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["Zip"],
+                    rhs: "Ward",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["LicenseNo"],
+                    rhs: "Latitude",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["LicenseNo"],
+                    rhs: "Longitude",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["ViolationCount"],
+                    rhs: "Results",
+                    golden: false,
+                },
             ],
-        )
+            ..CorrelationSpec::default()
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adc_predicates::SpaceConfig;
+    use adc_predicates::{PredicateSpace, SpaceConfig};
 
     #[test]
     fn schema_has_seventeen_attributes() {
@@ -161,7 +217,14 @@ mod tests {
     fn all_ten_golden_dcs_resolve() {
         let r = FoodDataset.generate(150, 3);
         let space = PredicateSpace::build(&r, SpaceConfig::default());
+        assert_eq!(FoodDataset.correlation().golden_count(), 10);
         assert_eq!(FoodDataset.golden_dcs(&space).len(), 10);
+    }
+
+    #[test]
+    fn clean_data_satisfies_the_correlation_spec() {
+        let r = FoodDataset.generate(300, 4);
+        FoodDataset.correlation().verify(&r).unwrap();
     }
 
     #[test]

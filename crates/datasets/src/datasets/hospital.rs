@@ -1,11 +1,18 @@
 //! Synthetic analog of the **Hospital** dataset (115 K tuples, 19 attributes,
 //! 7 golden DCs). One row per (provider, quality measure), with
 //! provider-level attributes repeated across that provider's rows.
+//!
+//! Correlation model: the provider id is the master driver — every
+//! provider-level attribute (name, address, geography, phone, type, owner,
+//! emergency service, sample size) is a deterministic function of it, with
+//! zip/area-code/phone orders aligned with the state index and provider id.
+//! The measure code is the second driver and fixes the measure name,
+//! condition family, and measure year. The score is a function of
+//! (state, measure, small offset driver) centred on the state average, which
+//! itself is a function of (state, measure).
 
-use crate::generator::{pools, resolve_dcs, DatasetGenerator};
-use adc_core::DenialConstraint;
+use crate::generator::{bucket, pools, CorrelationSpec, DatasetGenerator, Fd};
 use adc_data::{AttributeType, Relation, Schema, Value};
-use adc_predicates::{PredicateSpace, TupleRole};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -58,27 +65,40 @@ impl DatasetGenerator for HospitalDataset {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut b = Relation::builder(self.schema());
         let num_providers = (rows / 8).max(1);
-        let types = ["Acute Care", "Critical Access", "Childrens"];
-        let owners = ["Government", "Proprietary", "Voluntary non-profit"];
-        // Provider-level attributes, fixed per provider id.
-        let providers: Vec<(usize, usize)> = (0..num_providers)
-            .map(|_| {
-                (
-                    rng.gen_range(0..pools::STATES.len()),
-                    rng.gen_range(0..2usize),
-                )
-            })
-            .collect();
+        // Provider-level categoricals are graded with bucket counts from
+        // the chain 2 | 4 | 8 | 16 | 64, so every derived partition nests
+        // inside the next (laminar structure): the pair pattern of the whole
+        // provider block is just the finest level at which two providers
+        // still agree, times the provider order.
+        let types = ["Acute Care", "Critical Access"];
+        let owners = [
+            "Government",
+            "Proprietary",
+            "Voluntary non-profit",
+            "Physician",
+        ];
         for i in 0..rows {
+            // Provider driver: fixes every provider-level attribute through
+            // nested graded buckets, so geography, phone, type, owner,
+            // emergency service, and sample size all share the provider
+            // order.
             let pid = i % num_providers;
-            let (state_idx, city_sel) = providers[pid];
+            let state_idx = bucket(pid, num_providers, pools::STATES.len());
+            let city_sel = bucket(pid, num_providers, 16) % 2;
             let city_idx = state_idx * 2 + city_sel;
+            let zip_block = bucket(pid, num_providers, 64) % 4;
+            let area_code = pools::state_area_code(state_idx);
+            // Measure driver: fixes code, name, condition, and year.
             let measure_idx = rng.gen_range(0..pools::MEASURE_CODES.len());
             let code = pools::MEASURE_CODES[measure_idx];
-            // Condition is the measure-code family (prefix before '-').
             let condition = code.split('-').next().unwrap_or(code);
-            // StateAvg is a deterministic function of (state, measure).
-            let state_avg = 40 + (7 * state_idx + 11 * measure_idx) as i64 % 60;
+            // StateAvg is a *graded* function of (state, measure) — linear,
+            // not modular, so its cross-row order follows the two driver
+            // orders. The score sits 5 points around it, driven by a small
+            // per-row offset whose effect never crosses a neighbouring
+            // average (gaps of 20 per state step, 200 per measure step).
+            let state_avg = 40 + 20 * state_idx as i64 + 200 * measure_idx as i64;
+            let score_offset = rng.gen_range(-1..=1i64);
             b.push_row(vec![
                 Value::Int(10_000 + pid as i64),
                 Value::from(format!("General Hospital {pid}")),
@@ -86,68 +106,154 @@ impl DatasetGenerator for HospitalDataset {
                 Value::from(pools::CITIES[city_idx]),
                 Value::from(pools::STATES[state_idx]),
                 Value::Int(
-                    pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + (pid as i64 % 500),
+                    pools::state_zip_base(state_idx)
+                        + city_sel as i64 * 1_000
+                        + zip_block as i64 * 25,
                 ),
                 Value::from(pools::COUNTIES[city_idx]),
-                Value::Int(pools::state_area_code(state_idx)),
-                Value::Int(pools::state_area_code(state_idx) * 10_000_000 + pid as i64),
-                Value::from(types[pid % types.len()]),
-                Value::from(owners[pid % owners.len()]),
-                Value::from(if pid.is_multiple_of(2) { "Yes" } else { "No" }),
+                Value::Int(area_code),
+                Value::Int(area_code * 10_000_000 + pid as i64),
+                Value::from(types[bucket(pid, num_providers, 2)]),
+                Value::from(owners[bucket(pid, num_providers, 4)]),
+                Value::from(if bucket(pid, num_providers, 2) == 0 {
+                    "Yes"
+                } else {
+                    "No"
+                }),
                 Value::from(condition),
                 Value::from(code),
                 Value::from(format!("Measure {code}")),
-                Value::Int(rng.gen_range(10..100)),
-                Value::Int(rng.gen_range(5..500)),
+                Value::Int(state_avg + 5 * score_offset),
+                // Sample sizes sit between the score range (≤ 1600) and the
+                // zip/id ranges (≥ 10000), clear of both.
+                Value::Int(5_000 + 25 * bucket(pid, num_providers, 4) as i64),
                 Value::Int(state_avg),
-                Value::Int(2018 + (measure_idx as i64 % 3)),
+                // Year buckets align exactly with the condition families, so
+                // the measure block is a three-level chain (same code, same
+                // condition/year, different family).
+                Value::Int(2_018 + bucket(measure_idx, pools::MEASURE_CODES.len(), 4) as i64),
             ])
             .expect("hospital rows are well typed");
         }
         b.build()
     }
 
-    fn golden_dcs(&self, space: &PredicateSpace) -> Vec<DenialConstraint> {
-        use TupleRole::Other;
-        resolve_dcs(
-            space,
-            &[
-                // Zip codes and cities do not cross state boundaries.
-                &[("Zip", "=", Other, "Zip"), ("State", "≠", Other, "State")],
-                &[("City", "=", Other, "City"), ("State", "≠", Other, "State")],
-                // The provider id determines the hospital name and the phone number.
-                &[
-                    ("ProviderID", "=", Other, "ProviderID"),
-                    ("HospitalName", "≠", Other, "HospitalName"),
-                ],
-                &[
-                    ("Phone", "=", Other, "Phone"),
-                    ("ProviderID", "≠", Other, "ProviderID"),
-                ],
-                // The measure code determines its name and condition family.
-                &[
-                    ("MeasureCode", "=", Other, "MeasureCode"),
-                    ("MeasureName", "≠", Other, "MeasureName"),
-                ],
-                &[
-                    ("MeasureCode", "=", Other, "MeasureCode"),
-                    ("Condition", "≠", Other, "Condition"),
-                ],
-                // The state average is a function of (state, measure code).
-                &[
-                    ("State", "=", Other, "State"),
-                    ("MeasureCode", "=", Other, "MeasureCode"),
-                    ("StateAvg", "≠", Other, "StateAvg"),
-                ],
+    fn correlation(&self) -> CorrelationSpec {
+        CorrelationSpec {
+            hierarchies: vec![&["Zip", "City", "State"]],
+            fds: vec![
+                // Golden set (Table 4: 7 rules).
+                Fd {
+                    lhs: &["Zip"],
+                    rhs: "State",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["City"],
+                    rhs: "State",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["ProviderID"],
+                    rhs: "HospitalName",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["Phone"],
+                    rhs: "ProviderID",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["MeasureCode"],
+                    rhs: "MeasureName",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["MeasureCode"],
+                    rhs: "Condition",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["State", "MeasureCode"],
+                    rhs: "StateAvg",
+                    golden: true,
+                },
+                // Structural (non-golden) provider- and measure-level FDs.
+                Fd {
+                    lhs: &["ProviderID"],
+                    rhs: "Address",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["ProviderID"],
+                    rhs: "City",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["ProviderID"],
+                    rhs: "Zip",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["ProviderID"],
+                    rhs: "County",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["ProviderID"],
+                    rhs: "AreaCode",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["ProviderID"],
+                    rhs: "Phone",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["ProviderID"],
+                    rhs: "HospitalType",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["ProviderID"],
+                    rhs: "Owner",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["ProviderID"],
+                    rhs: "EmergencyService",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["ProviderID"],
+                    rhs: "Sample",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["City"],
+                    rhs: "County",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["AreaCode"],
+                    rhs: "State",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["MeasureCode"],
+                    rhs: "MeasureYear",
+                    golden: false,
+                },
             ],
-        )
+            ..CorrelationSpec::default()
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adc_predicates::SpaceConfig;
+    use adc_predicates::{PredicateSpace, SpaceConfig};
 
     #[test]
     fn schema_has_nineteen_attributes() {
@@ -158,7 +264,14 @@ mod tests {
     fn all_seven_golden_dcs_resolve() {
         let r = HospitalDataset.generate(120, 3);
         let space = PredicateSpace::build(&r, SpaceConfig::default());
+        assert_eq!(HospitalDataset.correlation().golden_count(), 7);
         assert_eq!(HospitalDataset.golden_dcs(&space).len(), 7);
+    }
+
+    #[test]
+    fn clean_data_satisfies_the_correlation_spec() {
+        let r = HospitalDataset.generate(320, 5);
+        HospitalDataset.correlation().verify(&r).unwrap();
     }
 
     #[test]

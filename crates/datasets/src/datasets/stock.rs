@@ -1,11 +1,16 @@
 //! Synthetic analog of the **SP Stock** dataset (123 K tuples, 7 attributes,
 //! 6 golden DCs). Daily OHLCV bars per ticker; the golden rules are the
 //! classic price-sanity constraints (`High ≥ Low`, `Open ≤ High`, ...).
+//!
+//! Correlation model: each ticker trades in its own disjoint price band
+//! (`base(ticker)`, bands 20 apart), and daily prices are the band base plus
+//! small driver moves (|move| ≤ 3). Cross-ticker price order therefore always
+//! equals the ticker order, and within a ticker every OHLC relation is a
+//! function of the two move drivers — no column carries an independent random
+//! order. Volume is a function of (ticker, volume tier).
 
-use crate::generator::{pools, resolve_dcs, DatasetGenerator};
-use adc_core::DenialConstraint;
+use crate::generator::{pools, CorrelationSpec, DatasetGenerator, Fd, Forbidden};
 use adc_data::{AttributeType, Relation, Schema, Value};
-use adc_predicates::{PredicateSpace, TupleRole};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -45,19 +50,36 @@ impl DatasetGenerator for StockDataset {
     fn generate(&self, rows: usize, seed: u64) -> Relation {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut b = Relation::builder(self.schema());
-        // One bar per (date, ticker), round-robin over tickers so (Ticker, Date)
-        // is a key by construction.
+        // One bar per (date, ticker), round-robin over tickers so (Ticker,
+        // Date) is a key by construction. Each ticker owns the disjoint band
+        // [base - 5, base + 5] around base = 50 + 20 * ticker.
         let tickers = pools::TICKERS;
-        let mut last_close: Vec<i64> = (0..tickers.len()).map(|_| rng.gen_range(50..150)).collect();
+        // Day-shape templates, *co-monotone* in the shape index: every OHLC
+        // column (and the volume) strictly increases with the shape, so all
+        // within-ticker order patterns collapse to the single shape
+        // relation, and the per-row single-tuple signature is one of three.
+        // The value sets still overlap pairwise by ≥ 1/3 so the shared-values
+        // rule generates the single-tuple predicates the golden rules need.
         for i in 0..rows {
             let t = i % tickers.len();
-            let date = (i / tickers.len()) as i64;
-            let open = last_close[t];
-            let close = (open + rng.gen_range(-10..=10)).clamp(10, 400);
-            let high = open.max(close) + rng.gen_range(0..5);
-            let low = (open.min(close) - rng.gen_range(0..5)).max(1);
-            let volume = rng.gen_range(1_000..100_000);
-            last_close[t] = close;
+            // Date-code style values, far from every price/volume range so
+            // the shared-values rule never compares dates with prices.
+            let date = 20_180_000 + (i / tickers.len()) as i64;
+            let base = 50 + 20 * t as i64;
+            // Driver: the day level. The whole bar translates with it at
+            // *constant gaps* (High = Open + 2, Low = Open − 1,
+            // Close = Open + 1), so every within-ticker comparison — same
+            // column or cross column — is a threshold predicate on the level
+            // difference, a one-dimensional (nested) family that keeps the
+            // minimal-ADC set small. The gaps still give pairwise value
+            // overlaps ≥ 40 % so the single-tuple predicates the golden
+            // price-sanity rules need are all generated.
+            let level = rng.gen_range(-2..=2i64);
+            let open = base + level;
+            let high = open + 2;
+            let low = open - 1;
+            let close = open + 1;
+            let volume = 10_000 + 1_000 * t as i64 + 100 * (level + 2);
             b.push_row(vec![
                 Value::from(tickers[t]),
                 Value::Int(date),
@@ -72,35 +94,83 @@ impl DatasetGenerator for StockDataset {
         b.build()
     }
 
-    fn golden_dcs(&self, space: &PredicateSpace) -> Vec<DenialConstraint> {
-        use TupleRole::{Other, Same};
-        resolve_dcs(
-            space,
-            &[
-                // Price sanity within a single bar. Single-tuple predicates are
-                // generated once per unordered attribute pair (lower schema
-                // index on the left), so the constraints are phrased in that
-                // canonical direction.
-                &[("High", "<", Same, "Low")],
-                &[("Open", ">", Same, "High")],
-                &[("High", "<", Same, "Close")],
-                &[("Open", "<", Same, "Low")],
-                &[("Low", ">", Same, "Close")],
-                // (Ticker, Date) determines the closing price.
-                &[
-                    ("Ticker", "=", Other, "Ticker"),
-                    ("Date", "=", Other, "Date"),
-                    ("Close", "≠", Other, "Close"),
-                ],
+    fn correlation(&self) -> CorrelationSpec {
+        CorrelationSpec {
+            fds: vec![
+                // (Ticker, Date) determines the closing price (golden; it is
+                // also a key of the relation, so the FD holds trivially).
+                Fd {
+                    lhs: &["Ticker", "Date"],
+                    rhs: "Close",
+                    golden: true,
+                },
+                // Structural: every bar column is determined by the full key.
+                Fd {
+                    lhs: &["Ticker", "Date"],
+                    rhs: "Open",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["Ticker", "Date"],
+                    rhs: "High",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["Ticker", "Date"],
+                    rhs: "Low",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["Ticker", "Date"],
+                    rhs: "Volume",
+                    golden: false,
+                },
             ],
-        )
+            // Price sanity within a single bar. Single-tuple predicates are
+            // generated once per unordered attribute pair (lower schema index
+            // on the left), so the rules are phrased in that canonical
+            // direction.
+            forbidden: vec![
+                Forbidden {
+                    left: "High",
+                    op: "<",
+                    right: "Low",
+                    golden: true,
+                },
+                Forbidden {
+                    left: "Open",
+                    op: ">",
+                    right: "High",
+                    golden: true,
+                },
+                Forbidden {
+                    left: "High",
+                    op: "<",
+                    right: "Close",
+                    golden: true,
+                },
+                Forbidden {
+                    left: "Open",
+                    op: "<",
+                    right: "Low",
+                    golden: true,
+                },
+                Forbidden {
+                    left: "Low",
+                    op: ">",
+                    right: "Close",
+                    golden: true,
+                },
+            ],
+            ..CorrelationSpec::default()
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adc_predicates::SpaceConfig;
+    use adc_predicates::{PredicateSpace, SpaceConfig};
 
     #[test]
     fn price_sanity_holds_on_clean_data() {
@@ -143,10 +213,17 @@ mod tests {
     }
 
     #[test]
+    fn clean_data_satisfies_the_correlation_spec() {
+        let r = StockDataset.generate(300, 7);
+        StockDataset.correlation().verify(&r).unwrap();
+    }
+
+    #[test]
     fn all_six_golden_dcs_resolve_including_single_tuple_predicates() {
         let r = StockDataset.generate(200, 1);
         let space = PredicateSpace::build(&r, SpaceConfig::default());
         let golden = StockDataset.golden_dcs(&space);
+        assert_eq!(StockDataset.correlation().golden_count(), 6);
         assert_eq!(golden.len(), 6);
         // At least one golden DC uses a single-tuple predicate (t.High < t.Low).
         assert!(golden.iter().any(|dc| dc.len() == 1));

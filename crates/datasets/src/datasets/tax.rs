@@ -1,11 +1,18 @@
 //! Synthetic analog of the **Tax** dataset (1 M tuples, 15 attributes,
-//! 9 golden DCs in the paper). Person-level tax records where, within a
-//! state, tax owed grows monotonically with salary.
+//! 9 golden DCs in the paper). Person-level tax records.
+//!
+//! Correlation model: rows belong to *households* (≈ rows/3). A household
+//! determines the geographic block — state, city, zip, area code, phone,
+//! last name — with zip and area code both increasing in the state index so
+//! their cross-row orders coincide, and the phone embedding the household id.
+//! Person-level attributes derive from two small drivers: a first-name index
+//! (which fixes gender, marital status, and has-child, and through them the
+//! exemptions) and a salary bracket (which, with the state's flat tax rate,
+//! fixes the tax). No cell carries an independent random order, which keeps
+//! the unprojected predicate space tractable (see `generator.rs`).
 
-use crate::generator::{pick, pools, resolve_dcs, DatasetGenerator};
-use adc_core::DenialConstraint;
+use crate::generator::{bucket, pools, CorrelationSpec, DatasetGenerator, Fd, Monotone};
 use adc_data::{AttributeType, Relation, Schema, Value};
-use adc_predicates::{PredicateSpace, TupleRole};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -53,31 +60,48 @@ impl DatasetGenerator for TaxDataset {
     fn generate(&self, rows: usize, seed: u64) -> Relation {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut b = Relation::builder(self.schema());
+        let households = (rows / 3).max(1);
         for i in 0..rows {
-            let state_idx = rng.gen_range(0..pools::STATES.len());
-            let city_sel = rng.gen_range(0..2usize);
+            // Household driver: fixes the geographic block through *nested
+            // graded buckets* of the household id, so state, city, zip
+            // block, last name, and phone all share the household order.
+            let h = i % households;
+            let state_idx = bucket(h, households, pools::STATES.len());
+            let city_sel = bucket(h, households, 16) % 2;
+            let zip_block = bucket(h, households, 48) % 3;
             let city = pools::CITIES[state_idx * 2 + city_sel];
             let area_code = pools::state_area_code(state_idx);
-            let phone = area_code * 10_000_000 + i as i64;
-            let zip = pools::state_zip_base(state_idx)
-                + city_sel as i64 * 1_000
-                + rng.gen_range(0..1_000);
-            let marital = if rng.gen_bool(0.5) {
-                "Single"
-            } else {
-                "Married"
-            };
-            let has_child = if rng.gen_bool(0.4) { "Y" } else { "N" };
-            let salary = rng.gen_range(20..150) * 1_000i64;
-            // Per-state flat tax rate => tax is monotone in salary within a state.
-            let tax_rate = 10 + state_idx as i64;
-            let tax = salary * tax_rate / 100;
-            let single_exemption = if marital == "Single" { 3_000 } else { 0 };
-            let child_exemption = if has_child == "Y" { 1_000 } else { 0 };
+            let phone = area_code * 10_000_000 + h as i64;
+            let zip =
+                pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + zip_block as i64 * 40;
+            let last_name = pools::LAST_NAMES[bucket(h, households, 480) % 10];
+            // Person drivers: a first-name index (→ gender, marital, child)
+            // and a salary bracket (→ tax via the state's flat rate), both
+            // with graded derivations.
+            let first_idx = rng.gen_range(0..pools::FIRST_NAMES.len());
+            // One shared threshold derivation (not modulo): the three
+            // demographic flags partition the first names identically, so
+            // the pair pattern of the whole block collapses to three cases
+            // (same name / same half / different halves).
+            let gender = if first_idx < 6 { "F" } else { "M" };
+            let marital = if first_idx < 6 { "Single" } else { "Married" };
+            let has_child = if first_idx < 6 { "N" } else { "Y" };
+            let bracket = rng.gen_range(0..6i64);
+            let salary = (2 + 2 * bracket) * 10_000;
+            // Per-mille flat rates with a small spread (100‰..107‰): rates
+            // are still a function of the state, but the spread is below the
+            // bracket ratio, so the cross-row tax order is fully determined
+            // by (salary order, state order) — no independent order dim.
+            let tax_rate = 100 + state_idx as i64;
+            let tax = salary * tax_rate / 1_000;
+            // Exemption value sets are disjoint (no shared 0), so the
+            // shared-values rule generates no cross-column predicates here.
+            let single_exemption = if marital == "Single" { 3_500 } else { 0 };
+            let child_exemption = if has_child == "Y" { 1_500 } else { 200 };
             b.push_row(vec![
-                Value::from(*pick(&mut rng, &pools::FIRST_NAMES)),
-                Value::from(*pick(&mut rng, &pools::LAST_NAMES)),
-                Value::from(if rng.gen_bool(0.5) { "F" } else { "M" }),
+                Value::from(pools::FIRST_NAMES[first_idx]),
+                Value::from(last_name),
+                Value::from(gender),
                 Value::Int(area_code),
                 Value::Int(phone),
                 Value::from(city),
@@ -96,54 +120,94 @@ impl DatasetGenerator for TaxDataset {
         b.build()
     }
 
-    fn golden_dcs(&self, space: &PredicateSpace) -> Vec<DenialConstraint> {
-        use TupleRole::Other;
-        resolve_dcs(
-            space,
-            &[
-                // Within a state, higher salary implies at-least-as-high tax.
-                &[
-                    ("State", "=", Other, "State"),
-                    ("Salary", ">", Other, "Salary"),
-                    ("Tax", "<", Other, "Tax"),
-                ],
-                // Zip codes do not cross state or city boundaries.
-                &[("Zip", "=", Other, "Zip"), ("State", "≠", Other, "State")],
-                &[("Zip", "=", Other, "Zip"), ("City", "≠", Other, "City")],
-                // Area codes are state-specific; phone numbers embed the area code.
-                &[
-                    ("AreaCode", "=", Other, "AreaCode"),
-                    ("State", "≠", Other, "State"),
-                ],
-                &[
-                    ("Phone", "=", Other, "Phone"),
-                    ("AreaCode", "≠", Other, "AreaCode"),
-                ],
-                // Cities belong to a single state.
-                &[("City", "=", Other, "City"), ("State", "≠", Other, "State")],
-                // The tax rate is a function of the state.
-                &[
-                    ("State", "=", Other, "State"),
-                    ("TaxRate", "≠", Other, "TaxRate"),
-                ],
-                // Exemptions are functions of marital status / children.
-                &[
-                    ("MaritalStatus", "=", Other, "MaritalStatus"),
-                    ("SingleExemption", "≠", Other, "SingleExemption"),
-                ],
-                &[
-                    ("HasChild", "=", Other, "HasChild"),
-                    ("ChildExemption", "≠", Other, "ChildExemption"),
-                ],
+    fn correlation(&self) -> CorrelationSpec {
+        CorrelationSpec {
+            hierarchies: vec![&["Zip", "City", "State"]],
+            fds: vec![
+                // Golden set (Table 4: 8 FD-style rules + 1 order rule).
+                Fd {
+                    lhs: &["Zip"],
+                    rhs: "State",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["Zip"],
+                    rhs: "City",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["AreaCode"],
+                    rhs: "State",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["Phone"],
+                    rhs: "AreaCode",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["City"],
+                    rhs: "State",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["State"],
+                    rhs: "TaxRate",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["MaritalStatus"],
+                    rhs: "SingleExemption",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["HasChild"],
+                    rhs: "ChildExemption",
+                    golden: true,
+                },
+                // Structural (non-golden) dependencies of the generator.
+                Fd {
+                    lhs: &["State", "Salary"],
+                    rhs: "Tax",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["Phone"],
+                    rhs: "Zip",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["FirstName"],
+                    rhs: "Gender",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["FirstName"],
+                    rhs: "MaritalStatus",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["FirstName"],
+                    rhs: "HasChild",
+                    golden: false,
+                },
             ],
-        )
+            monotones: vec![Monotone {
+                group: &["State"],
+                driver: "Salary",
+                dependent: "Tax",
+                decreasing: false,
+                golden: true,
+            }],
+            ..CorrelationSpec::default()
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adc_predicates::SpaceConfig;
+    use adc_predicates::{PredicateSpace, SpaceConfig};
 
     #[test]
     fn schema_has_fifteen_attributes() {
@@ -154,7 +218,14 @@ mod tests {
     fn all_nine_golden_dcs_resolve() {
         let r = TaxDataset.generate(100, 3);
         let space = PredicateSpace::build(&r, SpaceConfig::default());
+        assert_eq!(TaxDataset.correlation().golden_count(), 9);
         assert_eq!(TaxDataset.golden_dcs(&space).len(), 9);
+    }
+
+    #[test]
+    fn clean_data_satisfies_the_correlation_spec() {
+        let r = TaxDataset.generate(300, 1);
+        TaxDataset.correlation().verify(&r).unwrap();
     }
 
     #[test]

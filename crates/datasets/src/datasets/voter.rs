@@ -1,11 +1,18 @@
 //! Synthetic analog of the **NCVoter** dataset (950 K tuples, 25 attributes,
 //! 12 golden DCs). One row per registered voter; address and demographic
 //! attributes obey the usual geographic and age/birth-year consistency rules.
+//!
+//! Correlation model: rows belong to *households* (≈ rows/2) that fix the
+//! entire geographic block — state, city, county, zip, area code, phone,
+//! street, house number, precinct, district, ward, and the mailing address
+//! (which mirrors the residential one). Zip, area code, and phone orders are
+//! aligned with the state index and household id. Person-level attributes
+//! derive from three small drivers: an age bracket (→ birth year and
+//! registration year), a first-name index (→ gender), and a party index
+//! (→ status, ethnicity).
 
-use crate::generator::{pick, pools, resolve_dcs, DatasetGenerator};
-use adc_core::DenialConstraint;
+use crate::generator::{bucket, pools, CorrelationSpec, DatasetGenerator, Fd, Key, Monotone};
 use adc_data::{AttributeType, Relation, Schema, Value};
-use adc_predicates::{PredicateSpace, TupleRole};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -66,106 +73,211 @@ impl DatasetGenerator for VoterDataset {
     fn generate(&self, rows: usize, seed: u64) -> Relation {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut b = Relation::builder(self.schema());
-        let statuses = ["Active", "Inactive", "Removed"];
-        let ethnicities = ["NL", "HL", "UN"];
-        let streets = ["Main St", "Oak Ave", "Pine Rd", "Maple Dr", "Cedar Ln"];
+        let statuses = ["Active", "Inactive"];
+        let streets = ["Main St", "Oak Ave", "Pine Rd", "Maple Dr"];
+        // Four voters per household: enough same-household pairs that every
+        // person-driver combination is saturated at the default row count
+        // (sparse combinations would otherwise read as accidental DCs).
+        let households = (rows / 4).max(1);
+        // Rows per household, rounded up, so household-local voter ids never
+        // collide across households at any row count.
+        let rounds = rows.div_ceil(households) as i64;
         for i in 0..rows {
-            let state_idx = rng.gen_range(0..pools::STATES.len());
-            let city_sel = rng.gen_range(0..2usize);
+            // Household driver: fixes the entire geographic block through
+            // nested graded buckets (laminar chain 4 | 8 | 16 | 64), so
+            // state, city, county, zip, street, house number, precinct,
+            // district, ward, phone, and the mailing mirror all share the
+            // household order.
+            let h = i % households;
+            let state_idx = bucket(h, households, pools::STATES.len());
+            let city_sel = bucket(h, households, 16) % 2;
             let city_idx = state_idx * 2 + city_sel;
-            let age = rng.gen_range(18..=95i64);
+            let geo64 = bucket(h, households, 64);
+            let zip_block = geo64 % 4;
             let zip =
-                pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + rng.gen_range(0..800);
+                pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + zip_block as i64 * 30;
             let area_code = pools::state_area_code(state_idx);
-            // Precinct / district / ward are county-scoped identifiers.
-            let precinct = (city_idx as i64) * 100 + rng.gen_range(0..100);
+            // Precinct / district / ward are city-scoped identifiers, all
+            // graded against the same geography.
+            let precinct = 3_000 + city_idx as i64 * 100 + zip_block as i64;
+            // Person drivers: age bracket, first-name index, party index,
+            // each with threshold (graded) derivations.
+            let age = 18 + 3 * rng.gen_range(0..26i64);
+            let first_idx = rng.gen_range(0..pools::FIRST_NAMES.len());
+            let party_idx = rng.gen_range(0..pools::PARTIES.len());
+            let round = (i / households) as i64;
             b.push_row(vec![
-                Value::Int(i as i64),
-                Value::from(*pick(&mut rng, &pools::FIRST_NAMES)),
-                Value::from(if rng.gen_bool(0.3) { "J" } else { "M" }),
-                Value::from(*pick(&mut rng, &pools::LAST_NAMES)),
+                // Voter ids are assigned household-by-household, so the id
+                // order coincides with the household (and hence phone/zip)
+                // order instead of adding an independent row-order dim.
+                Value::Int(5_000_000 + h as i64 * rounds + round),
+                Value::from(pools::FIRST_NAMES[first_idx]),
+                // Middle initials share no values with the gender column,
+                // so no cross predicates arise between the two.
+                Value::from(if first_idx < 6 { "A" } else { "J" }),
+                Value::from(pools::LAST_NAMES[bucket(h, households, 8)]),
                 Value::Int(age),
                 Value::Int(REFERENCE_YEAR - age),
-                Value::from(if rng.gen_bool(0.5) { "F" } else { "M" }),
-                Value::Int(REFERENCE_YEAR - rng.gen_range(0..=age.min(40))),
-                Value::from(*pick(&mut rng, &pools::PARTIES)),
-                Value::from(statuses[rng.gen_range(0..statuses.len())]),
+                Value::from(if first_idx < 6 { "F" } else { "M" }),
+                // Registration at 19: the registration year is a pure
+                // translation of the birth year, and its step-3 lattice is
+                // offset by one so the two columns share no values.
+                Value::Int(REFERENCE_YEAR + 19 - age),
+                Value::from(pools::PARTIES[party_idx]),
+                Value::from(statuses[bucket(party_idx, 4, 2)]),
                 Value::from(pools::COUNTIES[city_idx]),
                 Value::from(pools::CITIES[city_idx]),
                 Value::from(pools::STATES[state_idx]),
                 Value::Int(zip),
                 Value::Int(area_code),
-                Value::Int(area_code * 10_000_000 + i as i64),
-                Value::from(streets[rng.gen_range(0..streets.len())]),
-                Value::Int(rng.gen_range(1..9_999)),
+                Value::Int(area_code * 10_000_000 + h as i64),
+                Value::from(streets[bucket(h, households, 4)]),
+                // House number, ward, and district sit at *different*
+                // levels of the geographic chain (8 / 32 / 16 buckets), so
+                // none of them duplicates the zip/precinct pair pattern.
+                Value::Int(700 + 7 * bucket(h, households, 8) as i64),
                 Value::Int(precinct),
-                Value::Int(1 + (precinct % 13)),
-                Value::Int(1 + (precinct % 9)),
-                Value::from(ethnicities[rng.gen_range(0..ethnicities.len())]),
-                Value::from(pools::CITIES[city_idx]),
-                Value::from(pools::STATES[state_idx]),
-                Value::Int(zip),
+                Value::Int(1 + city_idx as i64),
+                Value::Int(101 + bucket(h, households, 32) as i64),
+                // The ethnicity split nests strictly inside the status
+                // split (laminar over the party domain), so the two columns
+                // have distinct — not interchangeable — pair patterns.
+                Value::from(if party_idx < 1 { "NL" } else { "HL" }),
+                // The mailing mirror is value-disjoint from the residential
+                // columns (PO-box city names, lowercase state codes, +1 zip
+                // offsets), so the shared-values rule generates no
+                // residential-vs-mailing cross predicates while the mailing
+                // hierarchy itself stays intact.
+                Value::from(format!("{} PO", pools::CITIES[city_idx])),
+                Value::from(pools::STATES[state_idx].to_lowercase()),
+                Value::Int(pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + 777),
             ])
             .expect("voter rows are well typed");
         }
         b.build()
     }
 
-    fn golden_dcs(&self, space: &PredicateSpace) -> Vec<DenialConstraint> {
-        use TupleRole::Other;
-        resolve_dcs(
-            space,
-            &[
-                // The voter id is a key.
-                &[("VoterID", "=", Other, "VoterID")],
-                // Residential geography is consistent.
-                &[("Zip", "=", Other, "Zip"), ("State", "≠", Other, "State")],
-                &[("Zip", "=", Other, "Zip"), ("City", "≠", Other, "City")],
-                &[("Zip", "=", Other, "Zip"), ("County", "≠", Other, "County")],
-                &[
-                    ("City", "=", Other, "City"),
-                    ("County", "≠", Other, "County"),
-                ],
-                &[
-                    ("County", "=", Other, "County"),
-                    ("State", "≠", Other, "State"),
-                ],
-                // Age and birth year are consistent.
-                &[
-                    ("Age", "<", Other, "Age"),
-                    ("BirthYear", "<", Other, "BirthYear"),
-                ],
-                &[
-                    ("Age", "=", Other, "Age"),
-                    ("BirthYear", "≠", Other, "BirthYear"),
-                ],
-                // Phone numbers embed state-scoped area codes.
-                &[
-                    ("AreaCode", "=", Other, "AreaCode"),
-                    ("State", "≠", Other, "State"),
-                ],
-                &[
-                    ("Phone", "=", Other, "Phone"),
-                    ("AreaCode", "≠", Other, "AreaCode"),
-                ],
-                // Precincts are county-scoped; mailing geography is consistent.
-                &[
-                    ("Precinct", "=", Other, "Precinct"),
-                    ("County", "≠", Other, "County"),
-                ],
-                &[
-                    ("MailZip", "=", Other, "MailZip"),
-                    ("MailState", "≠", Other, "MailState"),
-                ],
+    fn correlation(&self) -> CorrelationSpec {
+        CorrelationSpec {
+            keys: vec![Key {
+                attr: "VoterID",
+                golden: true,
+            }],
+            hierarchies: vec![
+                &["Zip", "City", "County", "State"],
+                &["MailZip", "MailCity", "MailState"],
             ],
-        )
+            fds: vec![
+                // Golden set (Table 4: key + 10 FD-style rules + 1 order
+                // rule).
+                Fd {
+                    lhs: &["Zip"],
+                    rhs: "State",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["Zip"],
+                    rhs: "City",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["Zip"],
+                    rhs: "County",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["City"],
+                    rhs: "County",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["County"],
+                    rhs: "State",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["Age"],
+                    rhs: "BirthYear",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["AreaCode"],
+                    rhs: "State",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["Phone"],
+                    rhs: "AreaCode",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["Precinct"],
+                    rhs: "County",
+                    golden: true,
+                },
+                Fd {
+                    lhs: &["MailZip"],
+                    rhs: "MailState",
+                    golden: true,
+                },
+                // Structural (non-golden) household- and driver-level FDs.
+                Fd {
+                    lhs: &["Phone"],
+                    rhs: "Zip",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["Age"],
+                    rhs: "RegYear",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["FirstName"],
+                    rhs: "Gender",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["FirstName"],
+                    rhs: "MiddleName",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["Party"],
+                    rhs: "Status",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["Precinct"],
+                    rhs: "District",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["Precinct"],
+                    rhs: "Ward",
+                    golden: false,
+                },
+                Fd {
+                    lhs: &["Zip"],
+                    rhs: "MailZip",
+                    golden: false,
+                },
+            ],
+            monotones: vec![Monotone {
+                group: &[],
+                driver: "Age",
+                dependent: "BirthYear",
+                decreasing: true,
+                golden: true,
+            }],
+            ..CorrelationSpec::default()
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adc_predicates::SpaceConfig;
+    use adc_predicates::{PredicateSpace, SpaceConfig};
 
     #[test]
     fn schema_has_twenty_five_attributes() {
@@ -176,7 +288,18 @@ mod tests {
     fn all_twelve_golden_dcs_resolve() {
         let r = VoterDataset.generate(120, 3);
         let space = PredicateSpace::build(&r, SpaceConfig::default());
+        assert_eq!(VoterDataset.correlation().golden_count(), 12);
         assert_eq!(VoterDataset.golden_dcs(&space).len(), 12);
+    }
+
+    #[test]
+    fn clean_data_satisfies_the_correlation_spec() {
+        // Row counts off the 4-per-household grid included: voter ids must
+        // stay unique (and the spec satisfied) at any cardinality.
+        for rows in [320, 250, 9] {
+            let r = VoterDataset.generate(rows, 5);
+            VoterDataset.correlation().verify(&r).unwrap();
+        }
     }
 
     #[test]

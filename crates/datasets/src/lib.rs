@@ -39,6 +39,8 @@ pub mod noise;
 pub mod running_example;
 
 pub use catalog::Dataset;
-pub use generator::DatasetGenerator;
-pub use noise::{skewed_noise, spread_noise, NoiseConfig};
+pub use generator::{CorrelationSpec, DatasetGenerator, Fd, Forbidden, Key, Monotone};
+pub use noise::{
+    skewed_noise, spread_noise, targeted_skewed_noise, targeted_spread_noise, NoiseConfig,
+};
 pub use running_example::{phi1, phi2, running_example};

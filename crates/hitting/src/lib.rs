@@ -38,8 +38,11 @@ pub mod approx;
 pub mod brute;
 pub mod mmcs;
 
-pub use approx::{enumerate_approx_minimal_hitting_sets, ApproxEnumConfig, ApproxEnumStats};
-pub use mmcs::enumerate_minimal_hitting_sets;
+pub use approx::{
+    approx_minimal_hitting_sets, enumerate_approx_minimal_hitting_sets, ApproxEnumConfig,
+    ApproxEnumStats,
+};
+pub use mmcs::{enumerate_minimal_hitting_sets, minimal_hitting_sets};
 
 use adc_data::FixedBitSet;
 

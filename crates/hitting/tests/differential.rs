@@ -1,0 +1,144 @@
+//! Property-based differential tests for the hitting-set enumerators, in the
+//! spirit of black-box cross-implementation checking: on random set systems,
+//! the brute-force reference, MMCS (under every branch strategy), and the
+//! approximate enumerator at ε = 0 must all enumerate exactly the same
+//! family, and every returned set must be a *minimal* hitting set.
+//!
+//! Case count is controlled by `PROPTEST_CASES` (default 256); CI runs the
+//! suite with a raised count.
+
+use adc_data::FixedBitSet;
+use adc_hitting::brute::{
+    brute_force_minimal_approx_hitting_sets, brute_force_minimal_hitting_sets,
+};
+use adc_hitting::{
+    approx_minimal_hitting_sets, enumerate_minimal_hitting_sets, ApproxEnumConfig, BranchStrategy,
+    SetSystem,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Build a set system over `3 + universe_seed % 8` elements from raw index
+/// lists (indices are folded into the universe, so every subset is non-empty
+/// and in range).
+fn build_system(universe_seed: usize, raw_subsets: &[Vec<usize>]) -> SetSystem {
+    let num_elements = 3 + universe_seed % 8;
+    let subsets: Vec<&[usize]> = raw_subsets.iter().map(|s| s.as_slice()).collect();
+    let folded: Vec<Vec<usize>> = subsets
+        .iter()
+        .map(|s| s.iter().map(|&e| e % num_elements).collect())
+        .collect();
+    let folded_refs: Vec<&[usize]> = folded.iter().map(|s| s.as_slice()).collect();
+    SetSystem::from_indices(num_elements, &folded_refs)
+}
+
+/// Collect MMCS results for a strategy.
+fn mmcs(system: &SetSystem, strategy: BranchStrategy) -> Vec<FixedBitSet> {
+    let mut out = Vec::new();
+    enumerate_minimal_hitting_sets(system, strategy, |s| {
+        out.push(s.clone());
+        true
+    });
+    out
+}
+
+/// The exact-cover score used to drive the approximate enumerator at ε = 0:
+/// the fraction of subsets hit (monotone, 1 exactly on hitting sets).
+fn coverage_score(system: &SetSystem) -> impl Fn(&FixedBitSet) -> f64 + '_ {
+    move |set: &FixedBitSet| {
+        if system.is_empty() {
+            return 1.0;
+        }
+        system
+            .subsets()
+            .iter()
+            .filter(|s| s.intersects(set))
+            .count() as f64
+            / system.len() as f64
+    }
+}
+
+/// Normalise a family for comparison.
+fn canon(mut sets: Vec<FixedBitSet>) -> Vec<Vec<usize>> {
+    let mut v: Vec<Vec<usize>> = sets.drain(..).map(|s| s.to_vec()).collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #[test]
+    fn brute_mmcs_and_approx_agree_on_random_systems(
+        universe_seed in 0usize..1_000,
+        raw_subsets in vec(vec(0usize..16, 1..5), 1..10),
+    ) {
+        let system = build_system(universe_seed, &raw_subsets);
+        let reference = canon(brute_force_minimal_hitting_sets(&system));
+
+        for strategy in [
+            BranchStrategy::MaxIntersection,
+            BranchStrategy::MinIntersection,
+            BranchStrategy::First,
+        ] {
+            let found = canon(mmcs(&system, strategy));
+            prop_assert_eq!(
+                &found, &reference,
+                "MMCS/{:?} diverged from brute force", strategy
+            );
+
+            let config = ApproxEnumConfig::new(0.0).with_strategy(strategy);
+            let approx = canon(approx_minimal_hitting_sets(
+                &system,
+                coverage_score(&system),
+                &config,
+            ));
+            prop_assert_eq!(
+                &approx, &reference,
+                "approx(ε=0)/{:?} diverged from brute force", strategy
+            );
+        }
+    }
+
+    #[test]
+    fn every_enumerated_set_is_a_minimal_cover(
+        universe_seed in 0usize..1_000,
+        raw_subsets in vec(vec(0usize..16, 1..5), 1..10),
+    ) {
+        let system = build_system(universe_seed, &raw_subsets);
+        for set in mmcs(&system, BranchStrategy::MaxIntersection) {
+            prop_assert!(
+                system.is_minimal_hitting_set(&set),
+                "MMCS emitted a non-minimal cover {:?}", set.to_vec()
+            );
+        }
+        let config = ApproxEnumConfig::new(0.0);
+        for set in approx_minimal_hitting_sets(&system, coverage_score(&system), &config) {
+            prop_assert!(
+                system.is_minimal_hitting_set(&set),
+                "approx(ε=0) emitted a non-minimal cover {:?}", set.to_vec()
+            );
+        }
+    }
+
+    #[test]
+    fn approx_brute_force_agrees_at_positive_epsilon(
+        universe_seed in 0usize..1_000,
+        raw_subsets in vec(vec(0usize..16, 1..5), 1..8),
+        epsilon_mil in 0usize..500,
+    ) {
+        // At ε > 0 the approximate enumerator must match the brute-force
+        // approximate reference (same score, same threshold). ε is kept off
+        // exact coverage-fraction boundaries by a +1/2000 offset so
+        // floating-point comparisons at the boundary cannot flip.
+        let epsilon = epsilon_mil as f64 / 1_000.0 + 0.000_5;
+        let system = build_system(universe_seed, &raw_subsets);
+        let score = coverage_score(&system);
+        let reference = canon(brute_force_minimal_approx_hitting_sets(
+            system.num_elements(),
+            &score,
+            epsilon,
+        ));
+        let config = ApproxEnumConfig::new(epsilon);
+        let found = canon(approx_minimal_hitting_sets(&system, &score, &config));
+        prop_assert_eq!(found, reference);
+    }
+}

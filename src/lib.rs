@@ -75,7 +75,7 @@ pub mod prelude {
         SampleThreshold, SpaceConfig, TupleRole,
     };
     pub use adc_data::{AttributeType, Relation, Schema, Value};
-    pub use adc_datasets::{Dataset, DatasetGenerator, NoiseConfig};
+    pub use adc_datasets::{CorrelationSpec, Dataset, DatasetGenerator, NoiseConfig};
     pub use adc_evidence::{
         ClusterEvidenceBuilder, EvidenceBuilder, NaiveEvidenceBuilder, ParallelEvidenceBuilder,
     };

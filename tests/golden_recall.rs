@@ -1,0 +1,101 @@
+//! Golden-DC recall over the **unprojected** predicate space.
+//!
+//! This is the acceptance gate for the correlated dataset generators: for
+//! every dataset at its default (10³-scale) row count, mining the clean
+//! relation over the *full* `SpaceConfig::default()` space — no
+//! `project_columns` workaround — must terminate with fewer than 10⁴ minimal
+//! ADCs and recover at least 80 % of the golden DCs at low ε. (The earlier
+//! generators produced 10⁵–10⁶ minimal ADCs at just 40–100 rows, which is
+//! why the old `tests/pipeline.rs` had to mine projections.)
+//!
+//! `ADC_RECALL_ROWS` overrides the row count for manual paper-scale runs;
+//! CI runs this suite in release mode at the default row counts (its
+//! 10 k-row smoke uses the `tractability`/`table4` bench binaries with
+//! `ADC_BENCH_ROWS` instead).
+
+use adc::prelude::*;
+
+/// The tractability budget from the acceptance criteria.
+const MAX_MINIMAL_ADCS: usize = 10_000;
+
+fn recall_rows(default_rows: usize) -> usize {
+    std::env::var("ADC_RECALL_ROWS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default_rows)
+}
+
+fn assert_unprojected_recall(dataset: Dataset) {
+    let generator = dataset.generator();
+    let rows = recall_rows(generator.default_rows());
+    let relation = generator.generate(rows, 0xADC0 + dataset as u64);
+
+    // Clean data satisfies the declared correlation model...
+    generator
+        .correlation()
+        .verify(&relation)
+        .unwrap_or_else(|e| panic!("{dataset}: clean data violates its spec: {e}"));
+
+    // ...and mines tractably over the full space at low ε.
+    let config = MinerConfig::new(1e-6).with_max_dcs(MAX_MINIMAL_ADCS);
+    let result = AdcMiner::new(config).mine(&relation);
+    assert!(
+        result.dcs.len() < MAX_MINIMAL_ADCS,
+        "{dataset}: unprojected mining hit the {MAX_MINIMAL_ADCS}-DC cap at {rows} rows"
+    );
+
+    // Every paper golden DC resolves against the unprojected space, and at
+    // least 80 % are recovered (in practice: all of them).
+    let golden = generator.golden_dcs(&result.space);
+    assert_eq!(
+        golden.len(),
+        generator.paper_golden_dcs(),
+        "{dataset}: golden DCs failed to resolve against the unprojected space"
+    );
+    let recall = g_recall(&result.dcs, &golden);
+    assert!(
+        recall >= 0.8,
+        "{dataset}: unprojected G-recall {recall} < 0.8 over {} mined DCs at {rows} rows",
+        result.dcs.len()
+    );
+}
+
+#[test]
+fn tax_unprojected_recall() {
+    assert_unprojected_recall(Dataset::Tax);
+}
+
+#[test]
+fn stock_unprojected_recall() {
+    assert_unprojected_recall(Dataset::Stock);
+}
+
+#[test]
+fn hospital_unprojected_recall() {
+    assert_unprojected_recall(Dataset::Hospital);
+}
+
+#[test]
+fn food_unprojected_recall() {
+    assert_unprojected_recall(Dataset::Food);
+}
+
+#[test]
+fn airport_unprojected_recall() {
+    assert_unprojected_recall(Dataset::Airport);
+}
+
+#[test]
+fn adult_unprojected_recall() {
+    assert_unprojected_recall(Dataset::Adult);
+}
+
+#[test]
+fn flight_unprojected_recall() {
+    assert_unprojected_recall(Dataset::Flight);
+}
+
+#[test]
+fn voter_unprojected_recall() {
+    assert_unprojected_recall(Dataset::Voter);
+}

@@ -50,6 +50,97 @@ fn identical_on_noisy_tax() {
     assert_builders_identical(&dirty, ParallelEvidenceBuilder::new(3).with_tile_rows(9));
 }
 
+mod properties {
+    //! Property-based generalisation of the fixture tests above: on *random*
+    //! relations (random schema shapes, values, and null placement) and
+    //! random `{threads, tile_rows}` shapes, the parallel builder's output
+    //! must be bit-for-bit identical to the sequential builder's. Case count
+    //! scales with `PROPTEST_CASES` (default 256; raised in CI).
+
+    use super::*;
+    use adc::data::{AttributeType, Schema, Value};
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    /// Build a relation with a schema shape derived from `arity_seed` and
+    /// cell values folded from `cells` (column type cycles through integer /
+    /// text / float; an occasional value becomes NULL).
+    fn random_relation(arity_seed: usize, cells: &[Vec<u8>]) -> Relation {
+        let arity = 1 + arity_seed % 5;
+        let attrs: Vec<(String, AttributeType)> = (0..arity)
+            .map(|c| {
+                let ty = match c % 3 {
+                    0 => AttributeType::Integer,
+                    1 => AttributeType::Text,
+                    _ => AttributeType::Float,
+                };
+                (format!("A{c}"), ty)
+            })
+            .collect();
+        let attr_refs: Vec<(&str, AttributeType)> =
+            attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let mut b = Relation::builder(Schema::of(&attr_refs));
+        for row in cells {
+            let cells: Vec<Value> = (0..arity)
+                .map(|c| {
+                    let v = row[c % row.len()] as i64;
+                    if v % 13 == 0 {
+                        return Value::Null;
+                    }
+                    match c % 3 {
+                        0 => Value::Int(v % 9),
+                        1 => Value::from(["x", "y", "z", "w"][(v as usize) % 4]),
+                        _ => Value::Float((v % 5) as f64 / 2.0),
+                    }
+                })
+                .collect();
+            b.push_row(cells).unwrap();
+        }
+        b.build()
+    }
+
+    proptest! {
+        #[test]
+        fn parallel_equals_sequential_on_random_relations(
+            arity_seed in 0usize..1_000,
+            cells in vec(vec(0u8..255, 1..6), 2..40),
+            threads in 1usize..8,
+            tile_rows in 0usize..40,
+            track_vios in any::<bool>(),
+        ) {
+            let relation = random_relation(arity_seed, &cells);
+            let space = PredicateSpace::build(&relation, SpaceConfig::default());
+            let sequential: Evidence = ClusterEvidenceBuilder.build(&relation, &space, track_vios);
+            let builder = ParallelEvidenceBuilder::new(threads).with_tile_rows(tile_rows);
+            let parallel: Evidence = builder.build(&relation, &space, track_vios);
+            prop_assert_eq!(
+                parallel, sequential,
+                "diverged on {} rows × {} cols, {} threads, {} tile rows",
+                relation.len(), relation.arity(), threads, tile_rows
+            );
+        }
+
+        #[test]
+        fn parallel_equals_sequential_on_random_noisy_datasets(
+            dataset_idx in 0usize..8,
+            rows in 10usize..60,
+            seed in any::<u64>(),
+            noise_mil in 0usize..40,
+            threads in 1usize..8,
+            tile_rows in 0usize..30,
+        ) {
+            let dataset = Dataset::ALL[dataset_idx];
+            let clean = dataset.generator().generate(rows, seed);
+            let (dirty, _) =
+                spread_noise(&clean, &NoiseConfig::with_rate(noise_mil as f64 / 1_000.0), seed ^ 1);
+            assert_builders_identical(
+                &dirty,
+                ParallelEvidenceBuilder::new(threads).with_tile_rows(tile_rows),
+            );
+        }
+    }
+}
+
 #[test]
 fn miner_results_identical_under_parallel_evidence() {
     // End-to-end: the full pipeline must emit the same DCs in the same order

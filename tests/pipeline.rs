@@ -1,161 +1,70 @@
 //! Cross-crate integration tests: datasets → noise → miner → metrics,
 //! exercising the same flow as the paper's evaluation (scaled down).
 //!
-//! The synthetic relations are projected onto the attributes their golden
-//! DCs mention before mining. The unprojected relations carry many
-//! unconstrained (near-random) columns, and the number of *minimal* ADCs —
-//! which the enumeration must emit in full — grows combinatorially with
-//! every such column; projection keeps each test's output in the hundreds
-//! instead of the hundreds of thousands while leaving the golden rules and
-//! their violations untouched.
+//! The relations are mined **unprojected**: the correlated generators keep
+//! the minimal-ADC set of every clean relation small over the full predicate
+//! space (see `tests/golden_recall.rs`, which asserts that per dataset), so
+//! none of these tests needs the historical `Relation::project_columns`
+//! workaround. Where a test restricts the space it uses a *space
+//! configuration* (`SpaceConfig::same_column_only()`), which is a legitimate
+//! fragment from the paper, not a projection of the data.
+//!
+//! Noise is injected with the **targeted** injectors, so every error is a
+//! violation of a declared dependency (a golden-DC violation); assertions
+//! about noisy-data behaviour aggregate over several seeds instead of
+//! relying on one RNG stream, so they stay valid when the vendored `rand`
+//! stand-in is swapped for the registry crate (ChaCha12 `StdRng`).
 
-use adc::datasets::{skewed_noise, spread_noise, NoiseConfig};
+use adc::datasets::{targeted_skewed_noise, targeted_spread_noise, NoiseConfig};
 use adc::prelude::*;
 
-/// Attributes mentioned by the golden DCs of the datasets used below.
-const STOCK_COLS: &[&str] = &["Ticker", "Date", "Open", "High", "Low", "Close"];
-const ADULT_COLS: &[&str] = &["Age", "BirthYear", "Education", "EducationNum"];
-const TAX_COLS: &[&str] = &[
-    "State",
-    "Zip",
-    "City",
-    "AreaCode",
-    "Phone",
-    "Salary",
-    "Tax",
-    "TaxRate",
-    "MaritalStatus",
-    "SingleExemption",
-    "HasChild",
-    "ChildExemption",
-];
-const HOSPITAL_COLS: &[&str] = &[
-    "Zip",
-    "State",
-    "City",
-    "ProviderID",
-    "HospitalName",
-    "Phone",
-    "MeasureCode",
-    "MeasureName",
-    "Condition",
-    "StateAvg",
-];
-const VOTER_COLS: &[&str] = &[
-    "VoterID",
-    "Zip",
-    "State",
-    "City",
-    "County",
-    "Age",
-    "BirthYear",
-];
-
-/// Mining clean synthetic data at a small threshold recovers every golden DC.
-/// (Tax and Adult are mined over the same-attribute predicate fragment, where
-/// all of their golden rules live; Stock additionally needs single-tuple
-/// predicates for `t.High < t.Low` and friends, but not the cross-tuple
-/// cross-column ones.)
-#[test]
-fn golden_rules_are_recovered_from_clean_data() {
-    let stock_space = SpaceConfig {
-        cross_column_cross_tuple: false,
-        ..SpaceConfig::default()
-    };
-    // Minimum number of golden DCs that must resolve against the projected
-    // space, guarding against a projection silently dropping rules from the
-    // golden set. Adult and Tax use only same-column cross-tuple predicates,
-    // which are always generated, so every paper rule must resolve; Stock's
-    // single-tuple rules additionally depend on the 30 % shared-values
-    // statistic of the generated data, so a subset may be filtered.
-    let cases: [(Dataset, &[&str], SpaceConfig, usize, usize); 3] = [
-        (Dataset::Stock, STOCK_COLS, stock_space, 30, 4),
-        (
-            Dataset::Adult,
-            ADULT_COLS,
-            SpaceConfig::same_column_only(),
-            50,
-            3, // = paper_golden_dcs(): all of Adult's rules are same-column
-        ),
-        (
-            Dataset::Tax,
-            TAX_COLS,
-            SpaceConfig::same_column_only(),
-            50,
-            9, // = paper_golden_dcs(): all of Tax's rules are same-column
-        ),
-    ];
-    for (dataset, cols, space, rows, min_golden) in cases {
-        let generator = dataset.generator();
-        let relation = generator
-            .generate(rows, 3)
-            .project_columns(cols)
-            .expect("golden columns");
-        let result = AdcMiner::new(MinerConfig::new(1e-6).with_space(space)).mine(&relation);
-        let golden = generator.golden_dcs(&result.space);
-        assert!(
-            golden.len() >= min_golden,
-            "{}: only {} of the golden DCs resolved against the projected space",
-            generator.name(),
-            golden.len()
-        );
-        let recall = g_recall(&result.dcs, &golden);
-        assert!(
-            recall >= 0.99,
-            "{}: expected full G-recall on clean data, got {recall}",
-            generator.name()
-        );
-    }
-}
-
-/// Exact mining on dirty data loses golden rules; approximate mining keeps them
-/// (the headline claim of Figure 14). The threshold must sit above the
-/// violation mass of a single corrupted tuple (≈ 2/n of all ordered pairs),
-/// otherwise the approximate miner is forced to drop the same rules the exact
-/// miner drops.
+/// Exact mining on dirty data loses golden rules; approximate mining keeps
+/// them (the headline claim of Figure 14), over the **full unprojected**
+/// space. The threshold must sit above the violation mass of a single
+/// corrupted tuple (≈ 2/n of all ordered pairs), otherwise the approximate
+/// miner is forced to drop the same rules the exact miner drops. Aggregated
+/// over seeds so the claim does not hinge on one RNG stream.
 #[test]
 fn approximate_mining_beats_exact_mining_on_dirty_data() {
-    let generator = Dataset::Tax.generator();
-    // The first eight TAX_COLS (everything but the exemption attributes)
-    // carry 7 of the 9 golden rules; this test compares recalls relative to
-    // the same golden set, so the narrower — much faster — projection is
-    // enough. Full golden coverage is asserted by
-    // `golden_rules_are_recovered_from_clean_data`.
-    let clean = generator
-        .generate(80, 11)
-        .project_columns(&TAX_COLS[..8])
-        .expect("golden columns");
-    let (dirty, changed) = spread_noise(&clean, &NoiseConfig::with_rate(0.004), 7);
-    assert!(!changed.is_empty());
+    let generator = Dataset::Airport.generator();
+    let spec = generator.correlation();
+    let mut approx_total = 0.0;
+    let mut exact_total = 0.0;
+    for seed in [11, 12, 13] {
+        let clean = generator.generate(400, seed);
+        let (dirty, changed) =
+            targeted_spread_noise(&clean, &spec, &NoiseConfig::with_rate(0.004), seed ^ 7);
+        assert!(!changed.is_empty());
 
-    let fragment = SpaceConfig::same_column_only();
-    let exact = AdcMiner::new(MinerConfig::new(0.0).with_space(fragment)).mine(&dirty);
-    let approx = AdcMiner::new(MinerConfig::new(0.03).with_space(fragment)).mine(&dirty);
-    let golden_exact = generator.golden_dcs(&exact.space);
-    let golden_approx = generator.golden_dcs(&approx.space);
+        let exact = AdcMiner::new(MinerConfig::new(0.0).with_max_dcs(20_000)).mine(&dirty);
+        let approx = AdcMiner::new(MinerConfig::new(0.01).with_max_dcs(20_000)).mine(&dirty);
+        let golden_exact = generator.golden_dcs(&exact.space);
+        let golden_approx = generator.golden_dcs(&approx.space);
 
-    let exact_recall = g_recall(&exact.dcs, &golden_exact);
-    let approx_recall = g_recall(&approx.dcs, &golden_approx);
+        approx_total += g_recall(&approx.dcs, &golden_approx);
+        exact_total += g_recall(&exact.dcs, &golden_exact);
+    }
     assert!(
-        approx_recall > exact_recall,
-        "approximate recall {approx_recall} should exceed exact recall {exact_recall}"
+        approx_total > exact_total,
+        "aggregate approximate recall {approx_total} should exceed exact recall {exact_total}"
     );
-    assert!(approx_recall >= 0.5);
+    assert!(approx_total / 3.0 >= 0.8);
 }
 
 /// Error-concentrated (skewed) noise: the tuple-removal semantics tolerates a
 /// handful of fully corrupted tuples at small thresholds (Section 8.4).
 #[test]
 fn skewed_noise_favours_tuple_level_semantics() {
-    let generator = Dataset::Stock.generator();
-    let clean = generator.generate(100, 2);
-    let (dirty, changed) = skewed_noise(&clean, &NoiseConfig::with_rate(0.02), 8);
+    let generator = Dataset::Airport.generator();
+    let spec = generator.correlation();
+    let clean = generator.generate(400, 2);
+    let (dirty, changed) = targeted_skewed_noise(&clean, &spec, &NoiseConfig::with_rate(0.01), 8);
     assert!(!changed.is_empty());
 
     let f3 = AdcMiner::new(
         MinerConfig::new(0.1)
             .with_approx(ApproxKind::F3)
-            .with_space(SpaceConfig::same_column_only()),
+            .with_max_dcs(20_000),
     )
     .mine(&dirty);
     let golden = generator.golden_dcs(&f3.space);
@@ -171,27 +80,28 @@ fn skewed_noise_favours_tuple_level_semantics() {
 #[test]
 fn sampling_preserves_quality_with_less_work() {
     let generator = Dataset::Hospital.generator();
-    let relation = generator
-        .generate(140, 4)
-        .project_columns(HOSPITAL_COLS)
-        .expect("golden columns");
-    let full = AdcMiner::new(MinerConfig::new(0.01)).mine(&relation);
-    let sampled = AdcMiner::new(MinerConfig::new(0.01).with_sample(0.4, 9)).mine(&relation);
+    let relation = generator.generate(560, 4);
+    let full = AdcMiner::new(MinerConfig::new(1e-6).with_max_dcs(30_000)).mine(&relation);
+    let sampled = AdcMiner::new(
+        MinerConfig::new(1e-6)
+            .with_sample(0.4, 9)
+            .with_max_dcs(30_000),
+    )
+    .mine(&relation);
     assert!(sampled.total_pairs < full.total_pairs);
-    assert_eq!(sampled.mined_tuples, 56);
+    assert_eq!(sampled.mined_tuples, 224);
     let f1 = f1_score(&sampled.dcs, &full.dcs);
     assert!(f1 > 0.3, "sample-vs-full F1 too low: {f1}");
 }
 
 /// The three pipelines (ADCMiner, AFASTDC, DCFinder) agree on the discovered
-/// constraints under f1; only their runtimes differ (Figure 7).
+/// constraints under f1; only their runtimes differ (Figure 7). The baseline
+/// pipelines are quadratic-per-predicate, so this runs on the same-column
+/// fragment (a space configuration of the paper, not a data projection).
 #[test]
 fn adcminer_and_baselines_agree_under_f1() {
     let generator = Dataset::Adult.generator();
-    let relation = generator
-        .generate(40, 6)
-        .project_columns(ADULT_COLS)
-        .expect("golden columns");
+    let relation = generator.generate(40, 6);
     let epsilon = 0.01;
     let fragment = SpaceConfig::same_column_only();
 
@@ -239,59 +149,65 @@ fn csv_roundtrip_preserves_mining_results() {
 /// adjusted rule (`f₁'`, Section 7) hold their ε budget on the full database,
 /// while the raw rule false-accepts borderline constraints. The theory models
 /// violations as (approximately) independent across pairs, so ε must exceed
-/// the violation mass a single corrupted tuple concentrates (≈ 2/n); below
-/// that, no per-pair confidence margin can compensate for an unsampled
-/// corrupted tuple.
+/// the violation mass a single corrupted tuple concentrates (≈ 2/n).
+///
+/// Soundness of the adjusted rule is asserted per seed; the *strictness*
+/// claim (the raw rule false-accepts more) is asserted in aggregate over
+/// several seeds, so the test does not depend on one RNG stream.
 #[test]
 fn confidence_adjusted_acceptance_is_sound() {
-    let generator = Dataset::Voter.generator();
-    let relation = generator
-        .generate(100, 21)
-        .project_columns(VOTER_COLS)
-        .expect("golden columns");
-    let (dirty, changed) = spread_noise(&relation, &NoiseConfig::with_rate(0.002), 3);
-    assert!(!changed.is_empty());
+    let generator = Dataset::Airport.generator();
+    let spec = generator.correlation();
     let epsilon = 0.03;
-    let fragment = SpaceConfig::same_column_only();
+    let mut bad_adjusted_total = 0usize;
+    let mut bad_plain_total = 0usize;
+    for seed in [3, 4, 5] {
+        let relation = generator.generate(100, 21 ^ seed);
+        let (dirty, changed) =
+            targeted_spread_noise(&relation, &spec, &NoiseConfig::with_rate(0.002), seed);
+        assert!(!changed.is_empty());
 
-    let adjusted = AdcMiner::new(
-        MinerConfig::new(epsilon)
-            .with_space(fragment)
-            .with_sample(0.4, 2)
-            .with_confidence(0.05),
-    )
-    .mine(&dirty);
-    let plain = AdcMiner::new(
-        MinerConfig::new(epsilon)
-            .with_space(fragment)
-            .with_sample(0.4, 2),
-    )
-    .mine(&dirty);
-    assert!(!adjusted.dcs.is_empty());
+        let adjusted = AdcMiner::new(
+            MinerConfig::new(epsilon)
+                .with_sample(0.4, seed)
+                .with_confidence(0.05)
+                .with_max_dcs(20_000),
+        )
+        .mine(&dirty);
+        let plain = AdcMiner::new(
+            MinerConfig::new(epsilon)
+                .with_sample(0.4, seed)
+                .with_max_dcs(20_000),
+        )
+        .mine(&dirty);
+        assert!(!adjusted.dcs.is_empty());
 
-    let total = dirty.ordered_pair_count() as f64;
-    let false_accepts = |result: &MiningResult| {
-        result
-            .dcs
-            .iter()
-            .filter(|dc| dc.count_violations(&result.space, &dirty) as f64 / total > epsilon)
-            .count()
-    };
-    let bad_adjusted = false_accepts(&adjusted);
-    let bad_plain = false_accepts(&plain);
-
-    // Every adjusted-accepted DC must meet the ε budget on the full dirty
-    // relation; allow a single confidence failure (α = 5 % per constraint).
+        let total = dirty.ordered_pair_count() as f64;
+        let false_accepts = |result: &MiningResult| {
+            result
+                .dcs
+                .iter()
+                .filter(|dc| dc.count_violations(&result.space, &dirty) as f64 / total > epsilon)
+                .count()
+        };
+        let bad_adjusted = false_accepts(&adjusted);
+        // Every adjusted-accepted DC holds its ε budget on the full dirty
+        // relation up to the per-constraint confidence level: with
+        // α = 5 % per constraint, allow up to 2α of the accepted set to
+        // fail (a > 2× margin over the expectation, for any RNG stream).
+        assert!(
+            bad_adjusted as f64 <= 0.10 * adjusted.dcs.len() as f64,
+            "seed {seed}: {bad_adjusted} of {} adjusted-accepted DCs exceed ε on the full data",
+            adjusted.dcs.len()
+        );
+        bad_adjusted_total += bad_adjusted;
+        bad_plain_total += false_accepts(&plain);
+    }
+    // The margin is what provides the protection: across the seeds, the raw
+    // acceptance rule must false-accept strictly more than the adjusted one.
     assert!(
-        bad_adjusted <= 1,
-        "{bad_adjusted} of {} adjusted-accepted DCs exceed ε on the full data",
-        adjusted.dcs.len()
-    );
-    // The margin is what provides the protection: the raw acceptance rule on
-    // the same sample must do strictly worse on this noisy instance.
-    assert!(
-        bad_adjusted < bad_plain,
+        bad_adjusted_total < bad_plain_total,
         "expected the raw rule to false-accept more than the adjusted rule \
-         ({bad_adjusted} vs {bad_plain})"
+         ({bad_adjusted_total} vs {bad_plain_total} across seeds)"
     );
 }

@@ -133,8 +133,16 @@ pub mod test_runner {
     }
 
     impl Default for Config {
+        /// Defaults to 256 cases, overridable via the `PROPTEST_CASES`
+        /// environment variable — the same knob the real `proptest` crate
+        /// honours, which CI uses to raise the case count.
         fn default() -> Self {
-            Config { cases: 256 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .filter(|&c| c > 0)
+                .unwrap_or(256);
+            Config { cases }
         }
     }
 }
