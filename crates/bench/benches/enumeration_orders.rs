@@ -1,0 +1,91 @@
+//! Criterion benchmark: frontier-order comparison for the enumeration
+//! engine — classic DFS vs shortest-first (best-first on `|S|` + admissible
+//! lower bound). Two regimes matter:
+//!
+//! * **Full enumeration wall-clock** — what shortest-first's per-node
+//!   overhead (node snapshots + a binary heap) costs when everything is
+//!   mined anyway.
+//! * **First-K latency** — the anytime case the order exists for: time until
+//!   the K shortest minimal ADCs are in hand, where shortest-first can stop
+//!   at the shortest frontier while DFS must be compared on whichever K it
+//!   reaches first.
+
+use adc_approx::F1ViolationRate;
+use adc_core::{enumerate_adcs, EnumerationOptions, SearchOrder};
+use adc_datasets::{targeted_spread_noise, Dataset, NoiseConfig};
+use adc_evidence::{ClusterEvidenceBuilder, Evidence, EvidenceBuilder};
+use adc_predicates::{PredicateSpace, SpaceConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn order_label(order: SearchOrder) -> &'static str {
+    match order {
+        SearchOrder::Dfs => "dfs",
+        SearchOrder::ShortestFirst => "shortest-first",
+    }
+}
+
+fn setup(dataset: Dataset, dirty: bool) -> (PredicateSpace, Evidence) {
+    let generator = dataset.generator();
+    let clean = generator.generate(200, 3);
+    let relation = if dirty {
+        let (noisy, _) = targeted_spread_noise(
+            &clean,
+            &generator.correlation(),
+            &NoiseConfig::with_rate(0.005),
+            11,
+        );
+        noisy
+    } else {
+        clean
+    };
+    let space = PredicateSpace::build(&relation, SpaceConfig::default());
+    let evidence = ClusterEvidenceBuilder.build(&relation, &space, false);
+    (space, evidence)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration_orders");
+    group.sample_size(10);
+
+    // Full enumeration: order changes traversal, not the answer set.
+    for dataset in [Dataset::Tax, Dataset::Airport] {
+        let (space, evidence) = setup(dataset, false);
+        for order in [SearchOrder::Dfs, SearchOrder::ShortestFirst] {
+            group.bench_function(
+                format!("full/{}/{}", dataset.name(), order_label(order)),
+                |b| {
+                    b.iter(|| {
+                        let options = EnumerationOptions::new(1e-3).with_order(order);
+                        enumerate_adcs(&space, &evidence, &F1ViolationRate, &options)
+                            .dcs
+                            .len()
+                    })
+                },
+            );
+        }
+    }
+
+    // First-K latency on dirty data — the capped-dirty-run regime of
+    // fig14/table5, where the frontier is large and only K DCs are kept.
+    for (dataset, k) in [(Dataset::Tax, 50), (Dataset::Hospital, 50)] {
+        let (space, evidence) = setup(dataset, true);
+        for order in [SearchOrder::Dfs, SearchOrder::ShortestFirst] {
+            group.bench_function(
+                format!("first-{k}/{}/{}", dataset.name(), order_label(order)),
+                |b| {
+                    b.iter(|| {
+                        let mut options = EnumerationOptions::new(1e-3).with_order(order);
+                        options.max_dcs = Some(k);
+                        enumerate_adcs(&space, &evidence, &F1ViolationRate, &options)
+                            .dcs
+                            .len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

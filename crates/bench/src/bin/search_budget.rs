@@ -1,0 +1,100 @@
+//! Anytime-mining smoke: a dirty paper-scale mine under an explicit
+//! [`SearchBudget`] must terminate within that budget and report the cut via
+//! `MiningResult::truncation`. CI runs this in release mode at
+//! `ADC_BENCH_ROWS=10000` so the anytime behaviour cannot silently regress.
+//!
+//! The run mines targeted-noise dirty data at a moderate threshold — the
+//! regime whose minimal frontier is combinatorially large (the reason
+//! fig14/table5 need the `ADC_BENCH_MAX_DCS` cap) — with a node budget, a
+//! wall-clock deadline, *and* a small DC cap, so some limit is guaranteed to
+//! fire. The process exits non-zero if the enumeration overruns the deadline
+//! or the truncation report is missing.
+//!
+//! Environment variables: the usual `ADC_BENCH_ROWS` / `ADC_BENCH_DATASETS` /
+//! `ADC_BENCH_THREADS`, plus `ADC_BUDGET_NODES` (default 100 000),
+//! `ADC_BUDGET_MILLIS` (default 30 000), and `ADC_BUDGET_DCS` (default 500).
+
+use adc_bench::{
+    bench_datasets, bench_relation, bench_shortest_first_config, run_miner, secs, Table,
+};
+use adc_core::SearchBudget;
+use adc_datasets::{targeted_spread_noise, NoiseConfig};
+use std::time::Duration;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let max_nodes = env_u64("ADC_BUDGET_NODES", 100_000);
+    let deadline = Duration::from_millis(env_u64("ADC_BUDGET_MILLIS", 30_000));
+    let max_dcs = env_u64("ADC_BUDGET_DCS", 500) as usize;
+    let epsilon = 1e-3;
+
+    let mut table = Table::new(vec!["Dataset", "DCs", "Nodes", "Enum (s)", "Truncation"]);
+    let mut overruns = 0usize;
+    let mut truncated_runs = 0usize;
+    for dataset in bench_datasets() {
+        let generator = dataset.generator();
+        let clean = bench_relation(dataset);
+        let (dirty, _) = targeted_spread_noise(
+            &clean,
+            &generator.correlation(),
+            &NoiseConfig::with_rate(0.002),
+            0xBAD,
+        );
+        let config = bench_shortest_first_config(epsilon)
+            .with_max_dcs(max_dcs)
+            .with_budget(
+                SearchBudget::unlimited()
+                    .with_max_nodes(max_nodes)
+                    .with_deadline(deadline),
+            );
+        let result = run_miner(&dirty, config);
+
+        // The deadline is checked once per expanded node, so allow the cost
+        // of one in-flight expansion (generously) on top of the budget.
+        let overran = result.timings.enumeration > deadline + Duration::from_secs(10);
+        let truncation = match result.truncation {
+            Some(t) => t.to_string(),
+            None => "none (exhaustive)".to_string(),
+        };
+        if overran {
+            overruns += 1;
+        }
+        if result.truncation.is_some() {
+            truncated_runs += 1;
+        }
+        table.add_row(vec![
+            generator.name().to_string(),
+            result.dcs.len().to_string(),
+            result.enum_stats.recursive_calls.to_string(),
+            secs(result.timings.enumeration),
+            if overran {
+                format!("{truncation} — DEADLINE OVERRUN")
+            } else {
+                truncation
+            },
+        ]);
+    }
+    table.print(&format!(
+        "Anytime smoke — dirty mine at ε={epsilon}, budget: {max_nodes} nodes / {deadline:?} / {max_dcs} DCs"
+    ));
+    // Two regressions this smoke exists to catch: an enumeration that blows
+    // through its deadline, and a budget-cut run that fails to say so. Dirty
+    // mining at this ε has a frontier far beyond the DC cap on the large
+    // datasets, so at least one run must report truncation (a small-space
+    // dataset may legitimately exhaust under the cap).
+    if overruns > 0 {
+        eprintln!("search_budget smoke: {overruns} run(s) overran the deadline");
+        std::process::exit(1);
+    }
+    if truncated_runs == 0 {
+        eprintln!("search_budget smoke: no run reported truncation — budget reporting regressed?");
+        std::process::exit(1);
+    }
+    println!("all runs terminated within budget; {truncated_runs} reported truncation");
+}

@@ -25,7 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use adc_core::{AdcMiner, MinerConfig, MiningResult};
+use adc_core::{AdcMiner, MinerConfig, MiningResult, SearchOrder};
 use adc_data::Relation;
 use adc_datasets::Dataset;
 use adc_evidence::{Evidence, EvidenceBuilder, ParallelEvidenceBuilder};
@@ -83,6 +83,18 @@ pub fn bench_config(epsilon: f64) -> MinerConfig {
         t => MinerConfig::new(epsilon).with_parallel_evidence(t),
     };
     config.with_max_dcs(bench_max_dcs())
+}
+
+/// The harness configuration for runs whose emission cap is expected to
+/// *bite* — the dirty-data experiments (fig14, table5) and the tractability
+/// gate: [`bench_config`] plus shortest-first enumeration, so the
+/// `ADC_BENCH_MAX_DCS` cap keeps the K **shortest** minimal ADCs (the entire
+/// shortest frontier, ties broken deterministically) instead of whichever
+/// covers the DFS recursion happens to reach first. This is what makes
+/// capped dirty runs representative; `MiningResult::truncation` says whether
+/// the cap actually fired.
+pub fn bench_shortest_first_config(epsilon: f64) -> MinerConfig {
+    bench_config(epsilon).with_order(SearchOrder::ShortestFirst)
 }
 
 /// Cap on DCs emitted per mining run (`ADC_BENCH_MAX_DCS`, default 50 000).
@@ -212,6 +224,16 @@ mod tests {
         if std::env::var("ADC_BENCH_MAX_DCS").is_err() {
             assert_eq!(bench_config(0.1).max_dcs, Some(50_000));
         }
+    }
+
+    #[test]
+    fn shortest_first_config_changes_only_the_order() {
+        let plain = bench_config(0.1);
+        let sf = bench_shortest_first_config(0.1);
+        assert_eq!(plain.order, SearchOrder::Dfs);
+        assert_eq!(sf.order, SearchOrder::ShortestFirst);
+        assert_eq!(plain.max_dcs, sf.max_dcs);
+        assert_eq!(plain.evidence, sf.evidence);
     }
 
     #[test]

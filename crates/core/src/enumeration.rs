@@ -13,10 +13,47 @@ use adc_approx::{ApproxContext, ApproximationFunction};
 use adc_data::FixedBitSet;
 use adc_evidence::Evidence;
 use adc_hitting::{
-    enumerate_approx_minimal_hitting_sets, ApproxEnumConfig, ApproxEnumStats, BranchStrategy,
-    SetSystem,
+    search_approx_minimal_hitting_sets, ApproxEnumConfig, ApproxEnumStats, BranchStrategy,
+    SearchBudget, SearchOrder, SetSystem, TruncationReason,
 };
 use adc_predicates::{DenialConstraint, PredicateSpace};
+use std::fmt;
+
+/// How and where a non-exhaustive enumeration was cut short. Attached to
+/// [`EnumerationOutcome`] and `MiningResult` so callers can tell an exact
+/// (complete) answer set from an anytime prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruncationInfo {
+    /// What stopped the search: the DC cap, a node/deadline budget, or the
+    /// caller's callback. [`TruncationReason::MaxEmitted`] means the
+    /// result-cap machinery fired; when the result holds *fewer* than
+    /// `max_dcs` DCs, it was the raw-cover headroom (the engine emits up to
+    /// `4 × max_dcs` hitting sets to leave room for trivial/empty covers
+    /// that are filtered out) or a caller-set `budget.max_emitted` rather
+    /// than the DC cap itself — compare `stats.emitted` with the DC count
+    /// to see how many covers the filter dropped.
+    pub reason: TruncationReason,
+    /// Under [`SearchOrder::ShortestFirst`]: every minimal ADC with strictly
+    /// fewer predicates than this was emitted — the returned DCs contain the
+    /// *entire* frontier below that size. `None` under DFS order, where the
+    /// kept prefix is arbitrary.
+    pub complete_below_size: Option<usize>,
+}
+
+impl fmt::Display for TruncationInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let reason = match self.reason {
+            TruncationReason::MaxNodes => "node budget",
+            TruncationReason::Deadline => "deadline",
+            TruncationReason::MaxEmitted => "result cap",
+            TruncationReason::Callback => "caller stop",
+        };
+        match self.complete_below_size {
+            Some(size) => write!(f, "truncated by {reason}; complete below size {size}"),
+            None => write!(f, "truncated by {reason}"),
+        }
+    }
+}
 
 /// Result of one enumeration run.
 #[derive(Debug, Clone)]
@@ -25,6 +62,9 @@ pub struct EnumerationOutcome {
     pub dcs: Vec<DenialConstraint>,
     /// Counters from the underlying hitting-set enumeration.
     pub stats: ApproxEnumStats,
+    /// `None` when the enumeration was exhaustive; `Some` when the DC cap or
+    /// the search budget cut it short.
+    pub truncation: Option<TruncationInfo>,
 }
 
 /// Options for [`enumerate_adcs`].
@@ -38,6 +78,15 @@ pub struct EnumerationOptions {
     pub will_cover_pruning: bool,
     /// Stop after this many DCs (`None` = exhaustive).
     pub max_dcs: Option<usize>,
+    /// Frontier order of the search engine. Under
+    /// [`SearchOrder::ShortestFirst`] DCs are emitted in nondecreasing
+    /// predicate count, so `max_dcs` keeps the shortest minimal ADCs instead
+    /// of an arbitrary DFS prefix.
+    pub order: SearchOrder,
+    /// Anytime budget (nodes, wall-clock deadline, emitted covers) for the
+    /// search engine; exceeding it is reported via
+    /// [`EnumerationOutcome::truncation`].
+    pub budget: SearchBudget,
 }
 
 impl EnumerationOptions {
@@ -48,7 +97,21 @@ impl EnumerationOptions {
             strategy: BranchStrategy::default(),
             will_cover_pruning: true,
             max_dcs: None,
+            order: SearchOrder::default(),
+            budget: SearchBudget::default(),
         }
+    }
+
+    /// Select the frontier order.
+    pub fn with_order(mut self, order: SearchOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Bound the search by nodes, wall-clock time, and/or emitted covers.
+    pub fn with_budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
     }
 }
 
@@ -82,9 +145,12 @@ pub fn enumerate_adcs(
     let mut config = ApproxEnumConfig::new(options.epsilon)
         .with_strategy(options.strategy)
         .with_will_cover_pruning(options.will_cover_pruning)
-        .with_element_groups(&groups);
+        .with_element_groups(&groups)
+        .with_order(options.order)
+        .with_budget(options.budget);
     if let Some(max) = options.max_dcs {
-        // Leave headroom for filtered-out trivial/empty sets.
+        // Leave headroom for filtered-out trivial/empty sets; the exact DC
+        // cap is enforced in the callback below.
         config = config.with_max_results(max.saturating_mul(4).max(max));
     }
 
@@ -99,23 +165,45 @@ pub fn enumerate_adcs(
     let score = |hitting_set: &FixedBitSet| f.score(&ctx, hitting_set);
 
     let mut dcs = Vec::new();
-    let stats = enumerate_approx_minimal_hitting_sets(&system, score, &config, |hitting_set| {
-        if hitting_set.is_empty() {
-            // The empty DC (`¬true`) carries no information.
-            return true;
-        }
-        let dc =
-            DenialConstraint::new(hitting_set.iter().map(|e| space.complement_of(e)).collect());
-        if !dc.is_trivial(space) {
-            dcs.push(dc);
-        }
-        match options.max_dcs {
-            Some(max) => dcs.len() < max,
-            None => true,
-        }
+    let (stats, search_outcome) =
+        search_approx_minimal_hitting_sets(&system, score, &config, &mut |hitting_set| {
+            if hitting_set.is_empty() {
+                // The empty DC (`¬true`) carries no information.
+                return true;
+            }
+            let dc =
+                DenialConstraint::new(hitting_set.iter().map(|e| space.complement_of(e)).collect());
+            if !dc.is_trivial(space) {
+                dcs.push(dc);
+            }
+            match options.max_dcs {
+                Some(max) => dcs.len() < max,
+                None => true,
+            }
+        });
+
+    let truncation = search_outcome.truncation.map(|t| TruncationInfo {
+        // The DC cap stops the search through the callback; relabel that as
+        // the result cap it is, so callers need not know the mechanism.
+        // `MaxEmitted` can also arrive straight from the engine when the
+        // raw-cover headroom above (or a caller-set `budget.max_emitted`)
+        // fires before `max_dcs` non-trivial DCs accumulate — in that case
+        // `dcs.len() < max_dcs`, and `stats.emitted` vs `dcs.len()` shows
+        // how many raw covers were filtered as trivial/empty.
+        reason: match (t.reason, options.max_dcs) {
+            (TruncationReason::Callback, Some(max)) if dcs.len() >= max => {
+                TruncationReason::MaxEmitted
+            }
+            (reason, _) => reason,
+        },
+        complete_below_size: t.complete_below,
     });
 
-    EnumerationOutcome { dcs, stats }
+    EnumerationOutcome {
+        dcs,
+        stats,
+        truncation,
+    }
 }
 
 #[cfg(test)]
@@ -347,6 +435,98 @@ mod tests {
         let out = enumerate_adcs(&space, &evidence, &F1ViolationRate, &opts);
         assert!(out.dcs.len() <= 3);
         assert!(!out.dcs.is_empty());
+    }
+
+    #[test]
+    fn exhaustive_runs_report_no_truncation() {
+        let (_, space, evidence) = setup(SpaceConfig::same_column_only());
+        let out = enumerate_adcs(
+            &space,
+            &evidence,
+            &F1ViolationRate,
+            &EnumerationOptions::new(0.05),
+        );
+        assert!(out.truncation.is_none());
+    }
+
+    #[test]
+    fn shortest_first_emits_shortest_dcs_first_and_same_family() {
+        let (_, space, evidence) = setup(SpaceConfig::same_column_only());
+        let dfs = enumerate_adcs(
+            &space,
+            &evidence,
+            &F1ViolationRate,
+            &EnumerationOptions::new(0.05),
+        );
+        let sf = enumerate_adcs(
+            &space,
+            &evidence,
+            &F1ViolationRate,
+            &EnumerationOptions::new(0.05).with_order(SearchOrder::ShortestFirst),
+        );
+        let canon = |dcs: &[DenialConstraint]| {
+            let mut v: Vec<Vec<usize>> = dcs.iter().map(|d| d.predicate_ids().to_vec()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(canon(&dfs.dcs), canon(&sf.dcs));
+        let lengths: Vec<usize> = sf.dcs.iter().map(|d| d.len()).collect();
+        let mut sorted = lengths.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            lengths, sorted,
+            "shortest-first DCs must come shortest first"
+        );
+    }
+
+    #[test]
+    fn dc_cap_is_reported_as_result_cap_truncation() {
+        let (_, space, evidence) = setup(SpaceConfig::default());
+        let options = EnumerationOptions::new(0.1).with_order(SearchOrder::ShortestFirst);
+        let full = enumerate_adcs(&space, &evidence, &F1ViolationRate, &options);
+        assert!(full.truncation.is_none());
+        assert!(full.dcs.len() > 3);
+
+        let mut capped_options = options;
+        capped_options.max_dcs = Some(3);
+        let capped = enumerate_adcs(&space, &evidence, &F1ViolationRate, &capped_options);
+        assert_eq!(capped.dcs.len(), 3);
+        let truncation = capped.truncation.expect("capped run must be truncated");
+        assert_eq!(truncation.reason, adc_hitting::TruncationReason::MaxEmitted);
+        // Shortest-first: the capped run holds exactly the first 3 DCs of the
+        // uncapped emission sequence, i.e. the 3 shortest (ties deterministic).
+        let prefix: Vec<Vec<usize>> = full.dcs[..3]
+            .iter()
+            .map(|d| d.predicate_ids().to_vec())
+            .collect();
+        let capped_ids: Vec<Vec<usize>> = capped
+            .dcs
+            .iter()
+            .map(|d| d.predicate_ids().to_vec())
+            .collect();
+        assert_eq!(capped_ids, prefix);
+        if let Some(size) = truncation.complete_below_size {
+            for dc in &full.dcs {
+                if dc.len() < size {
+                    assert!(
+                        capped_ids.contains(&dc.predicate_ids().to_vec()),
+                        "DC below the complete-frontier size missing from capped run"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_budget_truncates_and_is_reported() {
+        let (_, space, evidence) = setup(SpaceConfig::default());
+        let options = EnumerationOptions::new(0.1)
+            .with_order(SearchOrder::ShortestFirst)
+            .with_budget(SearchBudget::unlimited().with_max_nodes(5));
+        let out = enumerate_adcs(&space, &evidence, &F1ViolationRate, &options);
+        let truncation = out.truncation.expect("tiny node budget must truncate");
+        assert_eq!(truncation.reason, adc_hitting::TruncationReason::MaxNodes);
+        assert!(out.stats.recursive_calls <= 5);
     }
 
     #[test]

@@ -48,12 +48,12 @@ pub mod metrics;
 pub mod miner;
 pub mod sampling;
 
-pub use enumeration::{enumerate_adcs, EnumerationOptions, EnumerationOutcome};
+pub use enumeration::{enumerate_adcs, EnumerationOptions, EnumerationOutcome, TruncationInfo};
 pub use metrics::{f1_score, g_recall, DcSetComparison};
 pub use miner::{AdcMiner, EvidenceStrategy, MinerConfig, MiningResult, Timings};
 pub use sampling::SampleThreshold;
 
 // Re-export the pieces users need to drive the miner without importing every crate.
 pub use adc_approx::{ApproxKind, ApproximationFunction};
-pub use adc_hitting::BranchStrategy;
+pub use adc_hitting::{BranchStrategy, SearchBudget, SearchOrder, TruncationReason};
 pub use adc_predicates::{DenialConstraint, PredicateSpace, SpaceConfig, TupleRole};

@@ -1,6 +1,6 @@
 //! The end-to-end `ADCMiner` pipeline (Figure 1 of the paper).
 
-use crate::enumeration::{enumerate_adcs, EnumerationOptions};
+use crate::enumeration::{enumerate_adcs, EnumerationOptions, TruncationInfo};
 use crate::sampling;
 use adc_approx::{ApproxKind, ApproximationFunction, SampleAdjustedF1};
 use adc_data::Relation;
@@ -8,7 +8,7 @@ use adc_evidence::{
     ClusterEvidenceBuilder, Evidence, EvidenceBuilder, NaiveEvidenceBuilder,
     ParallelEvidenceBuilder,
 };
-use adc_hitting::{ApproxEnumStats, BranchStrategy};
+use adc_hitting::{ApproxEnumStats, BranchStrategy, SearchBudget, SearchOrder};
 use adc_predicates::{DenialConstraint, PredicateSpace, SpaceConfig};
 use std::time::{Duration, Instant};
 
@@ -54,6 +54,15 @@ pub struct MinerConfig {
     pub confidence_alpha: Option<f64>,
     /// Optional cap on the number of returned DCs.
     pub max_dcs: Option<usize>,
+    /// Frontier order of the enumeration engine. With
+    /// [`SearchOrder::ShortestFirst`], DCs are mined in nondecreasing
+    /// predicate count, so `max_dcs` (and any budget) keeps the entire
+    /// shortest part of the minimal frontier instead of a DFS-order prefix.
+    pub order: SearchOrder,
+    /// Anytime budget (search nodes, wall-clock deadline, emitted covers).
+    /// Exceeding it ends the run early and is reported in
+    /// [`MiningResult::truncation`].
+    pub budget: SearchBudget,
 }
 
 impl MinerConfig {
@@ -70,6 +79,8 @@ impl MinerConfig {
             strategy: BranchStrategy::MaxIntersection,
             confidence_alpha: None,
             max_dcs: None,
+            order: SearchOrder::default(),
+            budget: SearchBudget::default(),
         }
     }
 
@@ -126,6 +137,21 @@ impl MinerConfig {
         self.max_dcs = Some(max);
         self
     }
+
+    /// Select the enumeration frontier order (shortest-first makes capped
+    /// and budgeted runs keep the shortest minimal ADCs).
+    pub fn with_order(mut self, order: SearchOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Bound the enumeration by nodes, wall-clock time, and/or emitted
+    /// covers — the anytime-mining knob. Truncated runs are flagged in
+    /// [`MiningResult::truncation`].
+    pub fn with_budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
 }
 
 /// Wall-clock breakdown of one mining run, matching the decomposition the
@@ -166,6 +192,11 @@ pub struct MiningResult {
     pub timings: Timings,
     /// Enumeration counters.
     pub enum_stats: ApproxEnumStats,
+    /// `None` when the enumeration was exhaustive (the DCs are the complete
+    /// answer set); `Some` when the DC cap or the search budget cut the run
+    /// short (the DCs are an anytime prefix — under shortest-first order,
+    /// the shortest part of the minimal frontier).
+    pub truncation: Option<TruncationInfo>,
 }
 
 impl MiningResult {
@@ -238,6 +269,8 @@ impl AdcMiner {
         let mut options = EnumerationOptions::new(cfg.epsilon);
         options.strategy = cfg.strategy;
         options.max_dcs = cfg.max_dcs;
+        options.order = cfg.order;
+        options.budget = cfg.budget;
         let outcome = enumerate_adcs(&space, &evidence, function.as_ref(), &options);
         let enumeration_time = t3.elapsed();
 
@@ -254,6 +287,7 @@ impl AdcMiner {
                 enumeration: enumeration_time,
             },
             enum_stats: outcome.stats,
+            truncation: outcome.truncation,
         }
     }
 }
@@ -399,6 +433,63 @@ mod tests {
         let r = tax_relation(40, 1, 9);
         let result = AdcMiner::new(MinerConfig::new(0.1).with_max_dcs(2)).mine(&r);
         assert!(result.dcs.len() <= 2);
+    }
+
+    #[test]
+    fn uncapped_mining_is_exhaustive_and_capped_mining_reports_truncation() {
+        let r = tax_relation(40, 1, 9);
+        let full = AdcMiner::new(MinerConfig::new(0.1)).mine(&r);
+        assert!(full.truncation.is_none(), "uncapped run must be exhaustive");
+        assert!(full.dcs.len() > 2);
+        let capped = AdcMiner::new(
+            MinerConfig::new(0.1)
+                .with_max_dcs(2)
+                .with_order(SearchOrder::ShortestFirst),
+        )
+        .mine(&r);
+        assert_eq!(capped.dcs.len(), 2);
+        assert!(
+            capped.truncation.is_some(),
+            "capped run must flag truncation"
+        );
+    }
+
+    #[test]
+    fn shortest_first_order_mines_the_same_dcs_sorted_by_length() {
+        let r = tax_relation(40, 1, 9);
+        let dfs = AdcMiner::new(MinerConfig::new(0.05)).mine(&r);
+        let sf =
+            AdcMiner::new(MinerConfig::new(0.05).with_order(SearchOrder::ShortestFirst)).mine(&r);
+        let canon = |m: &MiningResult| {
+            let mut v: Vec<_> = m.dcs.iter().map(|d| d.predicate_ids().to_vec()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(canon(&dfs), canon(&sf));
+        let lengths: Vec<usize> = sf.dcs.iter().map(|d| d.len()).collect();
+        let mut sorted = lengths.clone();
+        sorted.sort_unstable();
+        assert_eq!(lengths, sorted);
+    }
+
+    #[test]
+    fn deadline_budget_bounds_enumeration_time() {
+        use adc_hitting::TruncationReason;
+        let r = tax_relation(80, 2, 21);
+        let budget = SearchBudget::unlimited().with_deadline(Duration::ZERO);
+        let result = AdcMiner::new(
+            MinerConfig::new(0.1)
+                .with_order(SearchOrder::ShortestFirst)
+                .with_budget(budget),
+        )
+        .mine(&r);
+        // A zero deadline admits no expansion at all: nothing mined, and the
+        // truncation is attributed to the deadline.
+        assert!(result.dcs.is_empty());
+        assert_eq!(
+            result.truncation.map(|t| t.reason),
+            Some(TruncationReason::Deadline)
+        );
     }
 
     #[test]

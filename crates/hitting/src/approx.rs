@@ -9,7 +9,7 @@
 //!    minimality because an approximate hitting set may leave subsets
 //!    uncovered).
 //! 2. **A second branch per step** that *does not* hit the chosen subset
-//!    `F`. To keep the recursion finite, every subset that can no longer be
+//!    `F`. To keep the search finite, every subset that can no longer be
 //!    hit by the remaining candidates is marked `canHit = false`
 //!    (`UpdateCanCover`) and is never selected again; the branch is only
 //!    explored if adding the whole candidate list would reach the threshold
@@ -19,10 +19,20 @@
 //!    rest of its group from the candidate list for that branch, suppressing
 //!    trivial constraints.
 //!
+//! All three are plugged into the shared [`search engine`](crate::search) as
+//! an [`ApproxDriver`](self): this module holds no tree walk of its own, so
+//! the approximate enumerator inherits the engine's frontier orders
+//! ([`SearchOrder::ShortestFirst`] emits in nondecreasing size) and anytime
+//! budgets ([`SearchBudget`]) unchanged.
+//!
 //! The scoring function is supplied by the caller and must satisfy the
 //! monotonicity and indifference-to-redundancy axioms for the enumeration to
 //! be complete (see `adc-approx`).
 
+use crate::search::{
+    run_search, NodeDisposition, SearchBudget, SearchConfig, SearchDriver, SearchNode, SearchOrder,
+    SearchOutcome,
+};
 use crate::{BranchStrategy, SetSystem};
 use adc_data::FixedBitSet;
 
@@ -40,8 +50,14 @@ pub struct ApproxEnumConfig<'a> {
     /// Enable the `WillCover` pruning of the non-hitting branch (line 9 of
     /// Figure 4). Disabling it is only useful for ablation studies.
     pub will_cover_pruning: bool,
-    /// Stop after emitting this many results (`None` = unlimited).
+    /// Stop after emitting this many results (`None` = unlimited). Folded
+    /// into [`ApproxEnumConfig::budget`] at run time; kept as its own field
+    /// for backward compatibility.
     pub max_results: Option<usize>,
+    /// Frontier order of the underlying search engine.
+    pub order: SearchOrder,
+    /// Resource budget of the underlying search engine.
+    pub budget: SearchBudget,
 }
 
 impl<'a> ApproxEnumConfig<'a> {
@@ -53,6 +69,8 @@ impl<'a> ApproxEnumConfig<'a> {
             element_groups: None,
             will_cover_pruning: true,
             max_results: None,
+            order: SearchOrder::default(),
+            budget: SearchBudget::default(),
         }
     }
 
@@ -79,13 +97,38 @@ impl<'a> ApproxEnumConfig<'a> {
         self.max_results = Some(max);
         self
     }
+
+    /// Select the frontier order (shortest-first emits in nondecreasing size).
+    pub fn with_order(mut self, order: SearchOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Bound the search by nodes, wall-clock time, and/or emitted results.
+    pub fn with_budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The engine budget with [`ApproxEnumConfig::max_results`] folded in.
+    fn effective_budget(&self) -> SearchBudget {
+        let mut budget = self.budget;
+        if let Some(max) = self.max_results {
+            budget.max_emitted = Some(match budget.max_emitted {
+                Some(existing) => existing.min(max),
+                None => max,
+            });
+        }
+        budget
+    }
 }
 
 /// Counters describing one enumeration run (used by the benchmark harness
 /// and the ablation studies).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ApproxEnumStats {
-    /// Number of recursive calls.
+    /// Number of search nodes visited (one per recursive call in the paper's
+    /// formulation).
     pub recursive_calls: u64,
     /// Number of scoring-function evaluations.
     pub score_evaluations: u64,
@@ -108,6 +151,22 @@ where
     S: Fn(&FixedBitSet) -> f64,
     F: FnMut(&FixedBitSet) -> bool,
 {
+    search_approx_minimal_hitting_sets(system, score, config, &mut callback).0
+}
+
+/// Like [`enumerate_approx_minimal_hitting_sets`], but also returning the
+/// engine's [`SearchOutcome`] so callers can distinguish an exhaustive run
+/// from one cut short by the budget, the result cap, or the callback.
+pub fn search_approx_minimal_hitting_sets<S, F>(
+    system: &SetSystem,
+    score: S,
+    config: &ApproxEnumConfig<'_>,
+    callback: &mut F,
+) -> (ApproxEnumStats, SearchOutcome)
+where
+    S: Fn(&FixedBitSet) -> f64,
+    F: FnMut(&FixedBitSet) -> bool,
+{
     assert!(config.epsilon >= 0.0, "epsilon must be non-negative");
     if let Some(groups) = config.element_groups {
         assert_eq!(
@@ -116,9 +175,25 @@ where
             "element_groups length must equal the number of elements"
         );
     }
-    let mut state = EnumState::new(system, &score, config);
-    state.run(&mut callback);
-    state.stats
+    let mut driver = ApproxDriver {
+        score: &score,
+        epsilon: config.epsilon,
+        element_groups: config.element_groups,
+        will_cover_pruning: config.will_cover_pruning,
+        score_evaluations: 0,
+    };
+    let engine_config = SearchConfig {
+        strategy: config.strategy,
+        order: config.order,
+        budget: config.effective_budget(),
+    };
+    let outcome = run_search(system, &mut driver, &engine_config, callback);
+    let stats = ApproxEnumStats {
+        recursive_calls: outcome.nodes_expanded,
+        score_evaluations: driver.score_evaluations,
+        emitted: outcome.emitted as u64,
+    };
+    (stats, outcome)
 }
 
 /// Convenience wrapper collecting the results into a vector.
@@ -138,240 +213,69 @@ where
     out
 }
 
-struct EnumState<'a, S: Fn(&FixedBitSet) -> f64> {
-    system: &'a SetSystem,
+/// The `ADCEnum` configuration of the search engine: ε-acceptance base case
+/// with the explicit `IsMinimal` check, the non-hitting branch guarded by
+/// `WillCover`, and redundant-group suppression.
+struct ApproxDriver<'a, S: Fn(&FixedBitSet) -> f64> {
     score: &'a S,
-    config: &'a ApproxEnumConfig<'a>,
-    s: Vec<usize>,
-    s_set: FixedBitSet,
-    cand: FixedBitSet,
-    uncov: Vec<usize>,
-    crit: Vec<Vec<usize>>,
-    can_hit: Vec<bool>,
-    stats: ApproxEnumStats,
-    stopped: bool,
+    epsilon: f64,
+    element_groups: Option<&'a [usize]>,
+    will_cover_pruning: bool,
+    score_evaluations: u64,
 }
 
-struct CritUndo {
-    element: usize,
-    covered: Vec<usize>,
-    removed_from_crit: Vec<(usize, usize)>,
-}
-
-impl<'a, S: Fn(&FixedBitSet) -> f64> EnumState<'a, S> {
-    fn new(system: &'a SetSystem, score: &'a S, config: &'a ApproxEnumConfig<'a>) -> Self {
-        let m = system.num_elements();
-        EnumState {
-            system,
-            score,
-            config,
-            s: Vec::new(),
-            s_set: FixedBitSet::new(m),
-            cand: FixedBitSet::full(m),
-            uncov: (0..system.len()).collect(),
-            crit: vec![Vec::new(); m],
-            can_hit: vec![true; system.len()],
-            stats: ApproxEnumStats::default(),
-            stopped: false,
-        }
-    }
-
-    fn eval(&mut self, set: &FixedBitSet) -> f64 {
-        self.stats.score_evaluations += 1;
-        (self.score)(set)
-    }
-
+impl<S: Fn(&FixedBitSet) -> f64> ApproxDriver<'_, S> {
     fn meets_threshold(&mut self, set: &FixedBitSet) -> bool {
-        1.0 - self.eval(set) <= self.config.epsilon
+        self.score_evaluations += 1;
+        1.0 - (self.score)(set) <= self.epsilon
     }
+}
 
-    /// `IsMinimal` of Figure 5: no single-element removal stays within ε.
-    fn is_minimal(&mut self) -> bool {
-        let elements = self.s.clone();
-        for e in elements {
-            let mut smaller = self.s_set.clone();
+impl<S: Fn(&FixedBitSet) -> f64> SearchDriver for ApproxDriver<'_, S> {
+    fn classify(&mut self, _system: &SetSystem, node: &SearchNode) -> NodeDisposition {
+        // Base case: once the threshold is met, no strict superset can be
+        // minimal (monotonicity), so the node is terminal either way.
+        if !self.meets_threshold(node.solution()) {
+            return NodeDisposition::Expand;
+        }
+        // `IsMinimal` of Figure 5: no single-element removal stays within ε.
+        for &e in node.elements() {
+            let mut smaller = node.solution().clone();
             smaller.remove(e);
             if self.meets_threshold(&smaller) {
-                return false;
+                return NodeDisposition::Discard;
             }
         }
+        NodeDisposition::Emit
+    }
+
+    fn wants_skip_branch(&self) -> bool {
         true
     }
 
-    /// `WillCover` of Figure 5: could adding every remaining candidate reach ε?
-    fn will_cover(&mut self) -> bool {
-        let union = self.s_set.union(&self.cand);
-        self.meets_threshold(&union)
+    fn explore_skip_branch(
+        &mut self,
+        _system: &SetSystem,
+        solution: &FixedBitSet,
+        cand: &FixedBitSet,
+    ) -> bool {
+        // `WillCover` of Figure 5: could adding every remaining candidate
+        // reach ε? (Skippable only for ablation studies.)
+        !self.will_cover_pruning || self.meets_threshold(&solution.union(cand))
     }
 
-    fn emit(&mut self, callback: &mut dyn FnMut(&FixedBitSet) -> bool) {
-        self.stats.emitted += 1;
-        if !callback(&self.s_set) {
-            self.stopped = true;
-        }
-        if let Some(max) = self.config.max_results {
-            if self.stats.emitted >= max as u64 {
-                self.stopped = true;
-            }
-        }
+    fn group_of(&self, element: usize) -> Option<usize> {
+        self.element_groups.map(|groups| groups[element])
     }
 
-    fn run(&mut self, callback: &mut dyn FnMut(&FixedBitSet) -> bool) {
-        if self.stopped {
-            return;
-        }
-        self.stats.recursive_calls += 1;
-
-        // Base case: the partial solution already satisfies the threshold.
-        // By monotonicity no strict superset can be minimal, so return either way.
-        let current = self.s_set.clone();
-        if self.meets_threshold(&current) {
-            if self.is_minimal() {
-                self.emit(callback);
-            }
-            return;
-        }
-
-        // Choose an uncovered, still-hittable subset.
-        let Some(chosen) = self.choose_subset() else {
-            return;
-        };
-        let f = self.system.subsets()[chosen].clone();
-
-        // ---- Branch 1: do NOT hit F. ----
-        let removed_from_cand: Vec<usize> = self.cand.intersection(&f).to_vec();
-        for &e in &removed_from_cand {
-            self.cand.remove(e);
-        }
-        let mut can_hit_cleared: Vec<usize> = Vec::new();
-        for &fi in &self.uncov {
-            if self.can_hit[fi] && !self.system.subsets()[fi].intersects(&self.cand) {
-                self.can_hit[fi] = false;
-                can_hit_cleared.push(fi);
-            }
-        }
-        let explore = !self.config.will_cover_pruning || self.will_cover();
-        if explore {
-            self.run(callback);
-        }
-        for fi in can_hit_cleared {
-            self.can_hit[fi] = true;
-        }
-        for &e in &removed_from_cand {
-            self.cand.insert(e);
-        }
-        if self.stopped {
-            return;
-        }
-
-        // ---- Branch 2: hit F with each admissible candidate. ----
-        let c: Vec<usize> = self.cand.intersection(&f).to_vec();
-        for &e in &c {
-            self.cand.remove(e);
-        }
-        let mut returned_to_cand: Vec<usize> = Vec::with_capacity(c.len());
-        for &e in &c {
-            let undo = self.update_crit_uncov(e);
-            let all_critical = self.s.iter().all(|&u| !self.crit[u].is_empty());
-            if all_critical {
-                // RemoveRedundantPreds: drop same-group elements for this branch.
-                let mut group_removed: Vec<usize> = Vec::new();
-                if let Some(groups) = self.config.element_groups {
-                    let g = groups[e];
-                    for (other, &og) in groups.iter().enumerate() {
-                        if other != e && og == g && self.cand.contains(other) {
-                            self.cand.remove(other);
-                            group_removed.push(other);
-                        }
-                    }
-                }
-                self.s.push(e);
-                self.s_set.insert(e);
-                self.run(callback);
-                self.s.pop();
-                self.s_set.remove(e);
-                for other in group_removed {
-                    self.cand.insert(other);
-                }
-                returned_to_cand.push(e);
-                self.cand.insert(e);
-            }
-            self.undo_crit_uncov(undo);
-            if self.stopped {
-                break;
-            }
-        }
-        for &e in &returned_to_cand {
-            self.cand.remove(e);
-        }
-        for &e in &c {
-            self.cand.insert(e);
-        }
+    fn unhittable_is_fatal(&self) -> bool {
+        false
     }
 
-    fn choose_subset(&self) -> Option<usize> {
-        let mut best: Option<(usize, usize)> = None;
-        for &fi in &self.uncov {
-            if !self.can_hit[fi] {
-                continue;
-            }
-            let inter = self.system.subsets()[fi].intersection_count(&self.cand);
-            best = match best {
-                None => Some((fi, inter)),
-                Some((_, b)) => match self.config.strategy {
-                    BranchStrategy::MaxIntersection if inter > b => Some((fi, inter)),
-                    BranchStrategy::MinIntersection if inter < b => Some((fi, inter)),
-                    _ => best,
-                },
-            };
-            if self.config.strategy == BranchStrategy::First && best.is_some() {
-                break;
-            }
-        }
-        best.map(|(fi, _)| fi)
-    }
-
-    fn update_crit_uncov(&mut self, e: usize) -> CritUndo {
-        let mut covered = Vec::new();
-        let mut kept = Vec::with_capacity(self.uncov.len());
-        for &fi in &self.uncov {
-            if self.system.subsets()[fi].contains(e) {
-                covered.push(fi);
-                self.crit[e].push(fi);
-            } else {
-                kept.push(fi);
-            }
-        }
-        self.uncov = kept;
-
-        let mut removed_from_crit = Vec::new();
-        for &u in &self.s {
-            let subsets = self.system.subsets();
-            self.crit[u].retain(|&fi| {
-                if subsets[fi].contains(e) {
-                    removed_from_crit.push((u, fi));
-                    false
-                } else {
-                    true
-                }
-            });
-        }
-        CritUndo {
-            element: e,
-            covered,
-            removed_from_crit,
-        }
-    }
-
-    fn undo_crit_uncov(&mut self, undo: CritUndo) {
-        for _ in 0..undo.covered.len() {
-            self.crit[undo.element].pop();
-        }
-        self.uncov.extend(undo.covered);
-        for (u, fi) in undo.removed_from_crit {
-            self.crit[u].push(fi);
-        }
-    }
+    // The default `lower_bound` of 0 is deliberate: an approximate cover may
+    // leave subsets uncovered, so the disjoint-uncovered bound of the exact
+    // problem is NOT admissible here. `|S|` alone still orders emissions by
+    // size under shortest-first.
 }
 
 #[cfg(test)]
@@ -551,6 +455,58 @@ mod tests {
         });
         assert_eq!(seen, 3);
         assert_eq!(stats.emitted, 3);
+    }
+
+    #[test]
+    fn max_results_reports_truncation_via_outcome() {
+        use crate::search::TruncationReason;
+        let sys = SetSystem::from_indices(6, &[&[0, 1], &[2, 3], &[4, 5]]);
+        let score = coverage_score(&sys, vec![1, 1, 1]);
+        let cfg = ApproxEnumConfig::new(0.0)
+            .with_max_results(3)
+            .with_order(SearchOrder::ShortestFirst);
+        let (stats, outcome) =
+            search_approx_minimal_hitting_sets(&sys, &score, &cfg, &mut |_: &FixedBitSet| true);
+        assert_eq!(stats.emitted, 3);
+        assert_eq!(
+            outcome.truncation.map(|t| t.reason),
+            Some(TruncationReason::MaxEmitted)
+        );
+    }
+
+    #[test]
+    fn shortest_first_returns_the_same_family() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..10 {
+            let m = rng.gen_range(4..8);
+            let k = rng.gen_range(2..6);
+            let mut subsets = Vec::new();
+            for _ in 0..k {
+                let mut s = FixedBitSet::new(m);
+                for e in 0..m {
+                    if rng.gen_bool(0.4) {
+                        s.insert(e);
+                    }
+                }
+                if s.is_empty() {
+                    s.insert(rng.gen_range(0..m));
+                }
+                subsets.push(s);
+            }
+            let sys = SetSystem::new(m, subsets);
+            let score = coverage_score(&sys, vec![1; sys.len()]);
+            let dfs = approx_minimal_hitting_sets(&sys, &score, &ApproxEnumConfig::new(0.2));
+            let sf = approx_minimal_hitting_sets(
+                &sys,
+                &score,
+                &ApproxEnumConfig::new(0.2).with_order(SearchOrder::ShortestFirst),
+            );
+            assert_eq!(as_sorted_vecs(&dfs), as_sorted_vecs(&sf));
+            let sizes: Vec<usize> = sf.iter().map(|s| s.len()).collect();
+            let mut sorted = sizes.clone();
+            sorted.sort_unstable();
+            assert_eq!(sizes, sorted, "shortest-first emission must be sorted");
+        }
     }
 
     #[test]

@@ -37,12 +37,16 @@
 pub mod approx;
 pub mod brute;
 pub mod mmcs;
+pub mod search;
 
 pub use approx::{
-    approx_minimal_hitting_sets, enumerate_approx_minimal_hitting_sets, ApproxEnumConfig,
-    ApproxEnumStats,
+    approx_minimal_hitting_sets, enumerate_approx_minimal_hitting_sets,
+    search_approx_minimal_hitting_sets, ApproxEnumConfig, ApproxEnumStats,
 };
-pub use mmcs::{enumerate_minimal_hitting_sets, minimal_hitting_sets};
+pub use mmcs::{enumerate_minimal_hitting_sets, minimal_hitting_sets, search_minimal_hitting_sets};
+pub use search::{
+    SearchBudget, SearchDriver, SearchOrder, SearchOutcome, Truncation, TruncationReason,
+};
 
 use adc_data::FixedBitSet;
 

@@ -1,13 +1,25 @@
 //! MMCS: exact minimal hitting-set enumeration (Murakami & Uno 2014).
 //!
-//! This is the algorithm of Figure 3 of the ADC paper. It maintains three
-//! structures — `uncov` (subsets not yet intersected by the partial solution
-//! `S`), `cand` (elements still allowed into `S`), and `crit` (for each
-//! element of `S`, the subsets for which it is the only hitter) — and
-//! explores partial solutions depth-first, pruning any branch in which some
-//! element of `S` stops being critical (such a branch can never yield a
-//! *minimal* hitting set).
+//! This is the algorithm of Figure 3 of the ADC paper. The tree walk itself —
+//! `uncov` (subsets not yet intersected by the partial solution `S`), `cand`
+//! (elements still allowed into `S`), `crit` (for each element of `S`, the
+//! subsets for which it is the only hitter), and the pruning of any branch in
+//! which some element of `S` stops being critical — lives in the shared
+//! [`search engine`](crate::search). This module is the *exact* configuration
+//! of that engine: a node is terminal exactly when `uncov` is empty, there is
+//! no non-hitting branch, and an uncovered subset no candidate can hit kills
+//! the branch outright.
+//!
+//! Because it is engine-backed, exact enumeration gets the anytime features
+//! for free: [`search_minimal_hitting_sets`] accepts a [`SearchOrder`]
+//! (shortest-first emission uses the [`greedy_disjoint_lower_bound`] as an
+//! admissible frontier key) and a [`SearchBudget`], and reports a
+//! [`SearchOutcome`] that distinguishes exhaustive from truncated runs.
 
+use crate::search::{
+    greedy_disjoint_lower_bound, run_search, NodeDisposition, SearchBudget, SearchConfig,
+    SearchDriver, SearchNode, SearchOrder, SearchOutcome,
+};
 use crate::{BranchStrategy, SetSystem};
 use adc_data::FixedBitSet;
 
@@ -16,7 +28,7 @@ use adc_data::FixedBitSet;
 /// `strategy` controls which uncovered subset is branched on next (the
 /// classic choice is [`BranchStrategy::MinIntersection`]). The callback is
 /// invoked once per minimal hitting set; return `false` from it to stop the
-/// enumeration early.
+/// enumeration early. Returns the number of emitted sets.
 pub fn enumerate_minimal_hitting_sets<F>(
     system: &SetSystem,
     strategy: BranchStrategy,
@@ -25,9 +37,39 @@ pub fn enumerate_minimal_hitting_sets<F>(
 where
     F: FnMut(&FixedBitSet) -> bool,
 {
-    let mut state = MmcsState::new(system, strategy);
-    state.run(&mut callback);
-    state.emitted
+    search_minimal_hitting_sets(
+        system,
+        strategy,
+        SearchOrder::Dfs,
+        SearchBudget::unlimited(),
+        &mut callback,
+    )
+    .emitted
+}
+
+/// Enumerate minimal hitting sets under an explicit frontier order and
+/// budget, returning the full [`SearchOutcome`].
+///
+/// With [`SearchOrder::ShortestFirst`] the sets are emitted in nondecreasing
+/// size (ties broken deterministically by discovery order), so a truncated
+/// run keeps the entire shortest part of the minimal frontier —
+/// [`SearchOutcome::truncation`] reports up to which size it is complete.
+pub fn search_minimal_hitting_sets<F>(
+    system: &SetSystem,
+    strategy: BranchStrategy,
+    order: SearchOrder,
+    budget: SearchBudget,
+    callback: &mut F,
+) -> SearchOutcome
+where
+    F: FnMut(&FixedBitSet) -> bool,
+{
+    let config = SearchConfig {
+        strategy,
+        order,
+        budget,
+    };
+    run_search(system, &mut ExactDriver, &config, callback)
 }
 
 /// Convenience wrapper collecting all minimal hitting sets into a vector.
@@ -40,167 +82,22 @@ pub fn minimal_hitting_sets(system: &SetSystem, strategy: BranchStrategy) -> Vec
     out
 }
 
-struct MmcsState<'a> {
-    system: &'a SetSystem,
-    strategy: BranchStrategy,
-    /// Current partial hitting set.
-    s: Vec<usize>,
-    s_set: FixedBitSet,
-    /// Candidate elements.
-    cand: FixedBitSet,
-    /// Indexes of subsets not yet covered by `s`.
-    uncov: Vec<usize>,
-    /// `crit[e]` = subsets for which element `e ∈ s` is critical.
-    crit: Vec<Vec<usize>>,
-    emitted: usize,
-    stopped: bool,
-}
+/// The exact MMCS configuration of the search engine.
+struct ExactDriver;
 
-/// Undo record for one `update_crit_uncov` call.
-struct Undo {
-    element: usize,
-    /// Subsets moved from `uncov` into `crit[element]`.
-    covered: Vec<usize>,
-    /// `(u, subset)` pairs removed from `crit[u]`.
-    removed_from_crit: Vec<(usize, usize)>,
-}
-
-impl<'a> MmcsState<'a> {
-    fn new(system: &'a SetSystem, strategy: BranchStrategy) -> Self {
-        let m = system.num_elements();
-        MmcsState {
-            system,
-            strategy,
-            s: Vec::new(),
-            s_set: FixedBitSet::new(m),
-            cand: FixedBitSet::full(m),
-            uncov: (0..system.len()).collect(),
-            crit: vec![Vec::new(); m],
-            emitted: 0,
-            stopped: false,
+impl SearchDriver for ExactDriver {
+    fn classify(&mut self, _system: &SetSystem, node: &SearchNode) -> NodeDisposition {
+        if node.uncov().is_empty() {
+            // Criticality is maintained along every path, so a full cover is
+            // automatically minimal.
+            NodeDisposition::Emit
+        } else {
+            NodeDisposition::Expand
         }
     }
 
-    fn run<F: FnMut(&FixedBitSet) -> bool>(&mut self, callback: &mut F) {
-        if self.stopped {
-            return;
-        }
-        if self.uncov.is_empty() {
-            self.emitted += 1;
-            if !callback(&self.s_set) {
-                self.stopped = true;
-            }
-            return;
-        }
-        let Some(chosen) = self.choose_subset() else {
-            // Some uncovered subset has an empty intersection with cand:
-            // this branch can never produce a hitting set.
-            return;
-        };
-        let f = &self.system.subsets()[chosen];
-        // C = cand ∩ F; cand = cand \ C.
-        let c: Vec<usize> = self.cand.intersection(f).to_vec();
-        for &e in &c {
-            self.cand.remove(e);
-        }
-        let mut restored: Vec<usize> = Vec::with_capacity(c.len());
-        for &e in &c {
-            let undo = self.update_crit_uncov(e);
-            let all_critical = self.s.iter().all(|&u| !self.crit[u].is_empty());
-            if all_critical {
-                self.s.push(e);
-                self.s_set.insert(e);
-                self.run(callback);
-                self.s.pop();
-                self.s_set.remove(e);
-                // Only elements passing the criticality test return to cand
-                // (an element not critical for any subset w.r.t. S can never
-                // be critical w.r.t. a superset of S).
-                restored.push(e);
-                self.cand.insert(e);
-            }
-            self.undo_crit_uncov(undo);
-            if self.stopped {
-                break;
-            }
-        }
-        // Recover the cand changes: remove what we restored mid-loop, then
-        // re-insert all of C (line 13 of Figure 3).
-        for &e in &restored {
-            self.cand.remove(e);
-        }
-        for &e in &c {
-            self.cand.insert(e);
-        }
-    }
-
-    /// Select the next uncovered subset according to the branch strategy.
-    /// Returns `None` if some uncovered subset cannot be hit by any candidate
-    /// (making the branch hopeless).
-    fn choose_subset(&self) -> Option<usize> {
-        let mut best: Option<(usize, usize)> = None;
-        for &fi in &self.uncov {
-            let inter = self.system.subsets()[fi].intersection_count(&self.cand);
-            if inter == 0 {
-                return None;
-            }
-            best = match (best, self.strategy) {
-                (None, _) => Some((fi, inter)),
-                (Some((_, b)), BranchStrategy::MaxIntersection) if inter > b => Some((fi, inter)),
-                (Some((_, b)), BranchStrategy::MinIntersection) if inter < b => Some((fi, inter)),
-                (Some(prev), BranchStrategy::First) => Some(prev),
-                (Some(prev), _) => Some(prev),
-            };
-            if self.strategy == BranchStrategy::First {
-                // Keep scanning only to verify every uncovered subset is hittable.
-                continue;
-            }
-        }
-        best.map(|(fi, _)| fi)
-    }
-
-    /// `UpdateCritUncov(e, S, crit, uncov)` of Figure 3.
-    fn update_crit_uncov(&mut self, e: usize) -> Undo {
-        let mut covered = Vec::new();
-        let mut kept = Vec::with_capacity(self.uncov.len());
-        for &fi in &self.uncov {
-            if self.system.subsets()[fi].contains(e) {
-                covered.push(fi);
-                self.crit[e].push(fi);
-            } else {
-                kept.push(fi);
-            }
-        }
-        self.uncov = kept;
-
-        let mut removed_from_crit = Vec::new();
-        for &u in &self.s {
-            let subsets = self.system.subsets();
-            self.crit[u].retain(|&fi| {
-                if subsets[fi].contains(e) {
-                    removed_from_crit.push((u, fi));
-                    false
-                } else {
-                    true
-                }
-            });
-        }
-        Undo {
-            element: e,
-            covered,
-            removed_from_crit,
-        }
-    }
-
-    fn undo_crit_uncov(&mut self, undo: Undo) {
-        for _ in 0..undo.covered.len() {
-            self.crit[undo.element].pop();
-        }
-        // Restore uncov (order is irrelevant to correctness).
-        self.uncov.extend(undo.covered);
-        for (u, fi) in undo.removed_from_crit {
-            self.crit[u].push(fi);
-        }
+    fn lower_bound(&mut self, system: &SetSystem, node: &SearchNode) -> usize {
+        greedy_disjoint_lower_bound(system, node.uncov(), node.cand())
     }
 }
 
@@ -218,6 +115,23 @@ mod tests {
         v
     }
 
+    fn shortest_first(system: &SetSystem, strategy: BranchStrategy) -> Vec<FixedBitSet> {
+        let mut out = Vec::new();
+        let outcome = search_minimal_hitting_sets(
+            system,
+            strategy,
+            SearchOrder::ShortestFirst,
+            SearchBudget::unlimited(),
+            &mut |s: &FixedBitSet| {
+                out.push(s.clone());
+                true
+            },
+        );
+        assert!(outcome.is_exhaustive());
+        assert_eq!(outcome.emitted, out.len());
+        out
+    }
+
     #[test]
     fn simple_instance_all_strategies() {
         // Subsets {0,1}, {1,2}, {2,3}: minimal hitting sets {1,2}, {1,3}, {0,2}.
@@ -230,6 +144,8 @@ mod tests {
         ] {
             let found = as_sorted_vecs(minimal_hitting_sets(&sys, strategy));
             assert_eq!(found, expected, "strategy {strategy:?}");
+            let found = as_sorted_vecs(shortest_first(&sys, strategy));
+            assert_eq!(found, expected, "shortest-first, strategy {strategy:?}");
         }
     }
 
@@ -275,6 +191,67 @@ mod tests {
         });
         assert_eq!(seen, 3);
         assert_eq!(emitted, 3);
+    }
+
+    #[test]
+    fn callback_stop_reports_truncation() {
+        use crate::search::TruncationReason;
+        let sys = SetSystem::from_indices(6, &[&[0, 1], &[2, 3], &[4, 5]]);
+        let mut seen = 0;
+        let outcome = search_minimal_hitting_sets(
+            &sys,
+            BranchStrategy::default(),
+            SearchOrder::ShortestFirst,
+            SearchBudget::unlimited(),
+            &mut |_: &FixedBitSet| {
+                seen += 1;
+                seen < 3
+            },
+        );
+        assert_eq!(outcome.emitted, 3);
+        let truncation = outcome.truncation.expect("run was cut short");
+        assert_eq!(truncation.reason, TruncationReason::Callback);
+        // All 8 covers have size 3, so nothing below size 3 is pending.
+        assert_eq!(truncation.complete_below, Some(3));
+    }
+
+    #[test]
+    fn shortest_first_emits_in_nondecreasing_size() {
+        // Mixed cover sizes: {4} hits the last subset alone, the chain needs 2.
+        let sys = SetSystem::from_indices(5, &[&[0, 1, 4], &[1, 2, 4], &[2, 3, 4], &[4]]);
+        let found = shortest_first(&sys, BranchStrategy::default());
+        let sizes: Vec<usize> = found.iter().map(|s| s.len()).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted, "emission must be nondecreasing in size");
+        assert_eq!(
+            found[0].to_vec(),
+            vec![4],
+            "the singleton cover comes first"
+        );
+    }
+
+    #[test]
+    fn max_nodes_budget_truncates() {
+        use crate::search::TruncationReason;
+        let sys = SetSystem::from_indices(8, &[&[0, 1], &[2, 3], &[4, 5], &[6, 7]]);
+        let mut out = Vec::new();
+        let outcome = search_minimal_hitting_sets(
+            &sys,
+            BranchStrategy::default(),
+            SearchOrder::ShortestFirst,
+            SearchBudget::unlimited().with_max_nodes(3),
+            &mut |s: &FixedBitSet| {
+                out.push(s.clone());
+                true
+            },
+        );
+        assert!(!outcome.is_exhaustive());
+        assert_eq!(outcome.nodes_expanded, 3);
+        assert_eq!(
+            outcome.truncation.unwrap().reason,
+            TruncationReason::MaxNodes
+        );
     }
 
     #[test]

@@ -1,0 +1,786 @@
+//! The shared tree-search engine behind every hitting-set enumerator.
+//!
+//! Both the exact MMCS enumeration ([`crate::mmcs`]) and the approximate
+//! `ADCEnum` core ([`crate::approx`]) explore the same search tree: a node is
+//! a partial solution `S` together with the bookkeeping MMCS maintains —
+//! `cand` (elements still allowed into `S`), `uncov` (subsets not yet hit),
+//! and `crit` (per element of `S`, the subsets it alone hits — the minimality
+//! invariant). The two algorithms differ only in *local* decisions: when a
+//! node is terminal, whether a non-hitting branch exists, and how candidate
+//! lists are thinned. This module owns the tree walk; the algorithms supply
+//! those decisions through [`SearchDriver`].
+//!
+//! The walk is an **explicit frontier**, not recursion, which buys two things
+//! the recursive implementations could not offer:
+//!
+//! * **Pluggable order** ([`SearchOrder`]): a LIFO stack reproduces the
+//!   classic depth-first traversal; [`SearchOrder::ShortestFirst`] is a
+//!   best-first priority queue keyed by `|S|` plus an admissible lower bound
+//!   on the elements still needed ([`greedy_disjoint_lower_bound`]), which
+//!   guarantees covers are emitted in nondecreasing size — so any output cap
+//!   keeps the entire shortest frontier instead of an arbitrary DFS prefix.
+//! * **Anytime budgets** ([`SearchBudget`]): node, wall-clock, and emission
+//!   limits checked at every step, with a [`SearchOutcome`] reporting whether
+//!   the run was exhaustive and, under shortest-first, up to which cover size
+//!   the emitted frontier is provably complete.
+
+use crate::{BranchStrategy, SetSystem};
+use adc_data::FixedBitSet;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// The order in which frontier nodes are expanded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SearchOrder {
+    /// Classic depth-first traversal (a LIFO stack): children are explored in
+    /// the order the recursive algorithms visit them. Cheapest per node, but
+    /// emission order is arbitrary, so truncated runs keep an arbitrary
+    /// prefix of the answer set.
+    #[default]
+    Dfs,
+    /// Best-first traversal keyed by `|S| +` an admissible lower bound on the
+    /// elements still needed. Covers are emitted in nondecreasing size, and
+    /// ties are broken by insertion order, so truncated runs keep exactly the
+    /// shortest part of the minimal frontier, deterministically.
+    ShortestFirst,
+}
+
+/// Resource limits for one search run. The default is unlimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchBudget {
+    /// Stop after expanding this many nodes.
+    pub max_nodes: Option<u64>,
+    /// Stop once this much wall-clock time has elapsed since the search
+    /// started (checked before each node expansion).
+    pub deadline: Option<Duration>,
+    /// Stop after emitting this many results.
+    pub max_emitted: Option<usize>,
+}
+
+impl SearchBudget {
+    /// No limits (same as `Default`).
+    pub fn unlimited() -> Self {
+        SearchBudget::default()
+    }
+
+    /// Limit the number of expanded nodes.
+    pub fn with_max_nodes(mut self, max_nodes: u64) -> Self {
+        self.max_nodes = Some(max_nodes);
+        self
+    }
+
+    /// Limit the wall-clock time, measured from the start of the search.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Limit the number of emitted results.
+    pub fn with_max_emitted(mut self, max_emitted: usize) -> Self {
+        self.max_emitted = Some(max_emitted);
+        self
+    }
+
+    /// `true` when no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_nodes.is_none() && self.deadline.is_none() && self.max_emitted.is_none()
+    }
+}
+
+/// Why a search stopped before exhausting its frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TruncationReason {
+    /// [`SearchBudget::max_nodes`] was reached.
+    MaxNodes,
+    /// [`SearchBudget::deadline`] passed.
+    Deadline,
+    /// [`SearchBudget::max_emitted`] was reached.
+    MaxEmitted,
+    /// The caller's callback returned `false`.
+    Callback,
+}
+
+/// Description of a truncated (non-exhaustive) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Truncation {
+    /// What cut the search short.
+    pub reason: TruncationReason,
+    /// Under [`SearchOrder::ShortestFirst`]: every cover of size *strictly
+    /// below* this was emitted before the cut — the frontier is complete up
+    /// to (but excluding) this size. `None` under [`SearchOrder::Dfs`], where
+    /// no such guarantee exists.
+    pub complete_below: Option<usize>,
+}
+
+/// What one search run did and whether it finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// Number of results handed to the callback.
+    pub emitted: usize,
+    /// Number of frontier nodes expanded (the explicit-stack equivalent of
+    /// the recursive call count).
+    pub nodes_expanded: u64,
+    /// `None` when the frontier was exhausted — the enumeration is complete.
+    /// `Some` when a budget or the callback cut the run short.
+    pub truncation: Option<Truncation>,
+}
+
+impl SearchOutcome {
+    /// `true` when the whole search space was explored.
+    pub fn is_exhaustive(&self) -> bool {
+        self.truncation.is_none()
+    }
+}
+
+/// A frontier node: a partial solution plus the MMCS bookkeeping needed to
+/// expand it independently of every other node.
+#[derive(Debug, Clone)]
+pub struct SearchNode {
+    /// Elements of the partial solution, in insertion order.
+    s: Vec<usize>,
+    /// The partial solution as a bitset.
+    s_set: FixedBitSet,
+    /// Elements still allowed into the solution.
+    cand: FixedBitSet,
+    /// Indexes of subsets not yet hit by `s`, in stable order.
+    uncov: Vec<usize>,
+    /// `crit[i]` = subsets for which `s[i]` is the only hitter (parallel to
+    /// `s`; every entry non-empty — the MMCS minimality invariant).
+    crit: Vec<Vec<usize>>,
+    /// Subsets still reachable by some candidate (only thinned by drivers
+    /// that take the non-hitting branch; full otherwise).
+    can_hit: FixedBitSet,
+}
+
+impl SearchNode {
+    fn root(system: &SetSystem) -> Self {
+        let m = system.num_elements();
+        SearchNode {
+            s: Vec::new(),
+            s_set: FixedBitSet::new(m),
+            cand: FixedBitSet::full(m),
+            uncov: (0..system.len()).collect(),
+            crit: Vec::new(),
+            can_hit: FixedBitSet::full(system.len()),
+        }
+    }
+
+    /// The partial solution as a bitset.
+    pub fn solution(&self) -> &FixedBitSet {
+        &self.s_set
+    }
+
+    /// The partial solution's elements in insertion order.
+    pub fn elements(&self) -> &[usize] {
+        &self.s
+    }
+
+    /// Candidate elements still allowed into the solution.
+    pub fn cand(&self) -> &FixedBitSet {
+        &self.cand
+    }
+
+    /// Subsets not yet hit by the partial solution.
+    pub fn uncov(&self) -> &[usize] {
+        &self.uncov
+    }
+}
+
+/// What the engine should do with a freshly popped node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeDisposition {
+    /// Terminal: hand the solution to the callback; do not expand.
+    Emit,
+    /// Terminal: neither emit nor expand (e.g. threshold met but not minimal).
+    Discard,
+    /// Interior: expand by branching on an uncovered subset.
+    Expand,
+}
+
+/// The algorithm-specific decisions plugged into [`run_search`].
+///
+/// The engine owns node expansion (candidate thinning, the criticality /
+/// minimality invariant, subset selection, frontier discipline, budgets);
+/// the driver decides when a node is terminal and which optional rules —
+/// non-hitting branch, redundant-group suppression, lower bounds — apply.
+pub trait SearchDriver {
+    /// Classify a popped node: emit, discard, or expand.
+    fn classify(&mut self, system: &SetSystem, node: &SearchNode) -> NodeDisposition;
+
+    /// Whether expansion also produces the branch that does *not* hit the
+    /// chosen subset (`ADCEnum`'s second branch). Defaults to `false` (exact
+    /// MMCS: every hitting set must hit every subset).
+    fn wants_skip_branch(&self) -> bool {
+        false
+    }
+
+    /// Given the reduced candidate list of the non-hitting branch, decide
+    /// whether that branch is worth exploring (the `WillCover` pruning).
+    /// Only called when [`Self::wants_skip_branch`] is `true`.
+    fn explore_skip_branch(
+        &mut self,
+        _system: &SetSystem,
+        _solution: &FixedBitSet,
+        _cand: &FixedBitSet,
+    ) -> bool {
+        true
+    }
+
+    /// Structure group of an element, if redundant-group suppression applies:
+    /// when an element enters the solution, the rest of its group leaves the
+    /// candidate list for that branch.
+    fn group_of(&self, _element: usize) -> Option<usize> {
+        None
+    }
+
+    /// Admissible lower bound on how many more elements any solution emitted
+    /// below `node` must add. Used by [`SearchOrder::ShortestFirst`] to order
+    /// the frontier; must never overestimate. Defaults to 0 (always safe).
+    fn lower_bound(&mut self, _system: &SetSystem, _node: &SearchNode) -> usize {
+        0
+    }
+
+    /// Whether an uncovered subset that no candidate can hit makes the whole
+    /// branch hopeless. `true` for exact enumeration (the subset can never be
+    /// hit); `false` for approximate enumeration, where such subsets are
+    /// tracked as unhittable and simply never branched on again.
+    fn unhittable_is_fatal(&self) -> bool {
+        true
+    }
+}
+
+/// Engine configuration: branching strategy, frontier order, budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchConfig {
+    /// How the next uncovered subset to hit is selected.
+    pub strategy: BranchStrategy,
+    /// Frontier discipline.
+    pub order: SearchOrder,
+    /// Resource limits.
+    pub budget: SearchBudget,
+}
+
+/// Run the search over `system` with the given driver and configuration,
+/// invoking `callback` once per emitted solution. The callback may return
+/// `false` to stop the search early.
+pub fn run_search<D, F>(
+    system: &SetSystem,
+    driver: &mut D,
+    config: &SearchConfig,
+    callback: &mut F,
+) -> SearchOutcome
+where
+    D: SearchDriver,
+    F: FnMut(&FixedBitSet) -> bool,
+{
+    let start = Instant::now();
+    let mut frontier = Frontier::new(config.order);
+    let root = SearchNode::root(system);
+    let root_priority = match config.order {
+        SearchOrder::Dfs => 0,
+        SearchOrder::ShortestFirst => driver.lower_bound(system, &root),
+    };
+    frontier.push(root, root_priority);
+
+    let mut nodes_expanded: u64 = 0;
+    let mut emitted: usize = 0;
+    let mut stop: Option<TruncationReason> = None;
+
+    while !frontier.is_empty() {
+        if let Some(max) = config.budget.max_nodes {
+            if nodes_expanded >= max {
+                stop = Some(TruncationReason::MaxNodes);
+                break;
+            }
+        }
+        if let Some(limit) = config.budget.deadline {
+            if start.elapsed() >= limit {
+                stop = Some(TruncationReason::Deadline);
+                break;
+            }
+        }
+        let (node, priority) = frontier.pop().expect("frontier checked non-empty");
+        nodes_expanded += 1;
+        match driver.classify(system, &node) {
+            NodeDisposition::Emit => {
+                emitted += 1;
+                if !callback(&node.s_set) {
+                    stop = Some(TruncationReason::Callback);
+                    break;
+                }
+                if let Some(max) = config.budget.max_emitted {
+                    if emitted >= max {
+                        stop = Some(TruncationReason::MaxEmitted);
+                        break;
+                    }
+                }
+            }
+            NodeDisposition::Discard => {}
+            NodeDisposition::Expand => {
+                expand(system, driver, config, &node, priority, &mut frontier);
+            }
+        }
+    }
+
+    let truncation = match stop {
+        Some(reason) if !frontier.is_empty() => Some(Truncation {
+            reason,
+            complete_below: frontier.min_priority(),
+        }),
+        // The frontier drained on the same step the cut fired: the
+        // enumeration is in fact complete, so report it as exhaustive.
+        _ => None,
+    };
+    SearchOutcome {
+        emitted,
+        nodes_expanded,
+        truncation,
+    }
+}
+
+/// Expand one interior node: pick the subset to branch on, generate the
+/// optional non-hitting child and one child per admissible hitting element
+/// (enforcing the criticality invariant), and push them onto the frontier.
+fn expand<D: SearchDriver>(
+    system: &SetSystem,
+    driver: &mut D,
+    config: &SearchConfig,
+    node: &SearchNode,
+    node_priority: usize,
+    frontier: &mut Frontier,
+) {
+    let Some(chosen) = choose_branch_subset(
+        system,
+        &node.uncov,
+        &node.cand,
+        &node.can_hit,
+        config.strategy,
+        driver.unhittable_is_fatal(),
+    ) else {
+        return;
+    };
+    let subset = &system.subsets()[chosen];
+
+    // Children are generated in the order the recursive algorithms visit
+    // them: the non-hitting branch first, then each hitting element in
+    // ascending order. The frontier restores that order for DFS.
+    let mut children: Vec<SearchNode> = Vec::new();
+
+    if driver.wants_skip_branch() {
+        // Branch that does NOT hit the chosen subset: every element of the
+        // subset leaves the candidate list, and any uncovered subset left
+        // without candidates is marked unhittable (`UpdateCanCover`).
+        let mut skip_cand = node.cand.clone();
+        skip_cand.difference_with(subset);
+        let mut skip_can_hit = node.can_hit.clone();
+        for &fi in &node.uncov {
+            if skip_can_hit.contains(fi) && !system.subsets()[fi].intersects(&skip_cand) {
+                skip_can_hit.remove(fi);
+            }
+        }
+        if driver.explore_skip_branch(system, &node.s_set, &skip_cand) {
+            children.push(SearchNode {
+                s: node.s.clone(),
+                s_set: node.s_set.clone(),
+                cand: skip_cand,
+                uncov: node.uncov.clone(),
+                crit: node.crit.clone(),
+                can_hit: skip_can_hit,
+            });
+        }
+    }
+
+    // Hitting children. `base_cand` reproduces the sequential candidate
+    // discipline of MMCS: all of `C = cand ∩ F` leaves the pool first, and an
+    // element re-enters it for *later* siblings only after passing the
+    // criticality test (a non-critical element can never become critical for
+    // a superset of S).
+    let c: Vec<usize> = node.cand.intersection(subset).to_vec();
+    let mut base_cand = node.cand.clone();
+    for &e in &c {
+        base_cand.remove(e);
+    }
+    'next_element: for &e in &c {
+        let mut crit = Vec::with_capacity(node.s.len() + 1);
+        for crit_u in &node.crit {
+            let filtered: Vec<usize> = crit_u
+                .iter()
+                .copied()
+                .filter(|&fi| !system.subsets()[fi].contains(e))
+                .collect();
+            if filtered.is_empty() {
+                // Some current element would stop being critical: no minimal
+                // solution extends S ∪ {e}. The element does not return to
+                // `base_cand` either.
+                continue 'next_element;
+            }
+            crit.push(filtered);
+        }
+        let mut covered = Vec::new();
+        let mut kept = Vec::with_capacity(node.uncov.len());
+        for &fi in &node.uncov {
+            if system.subsets()[fi].contains(e) {
+                covered.push(fi);
+            } else {
+                kept.push(fi);
+            }
+        }
+        crit.push(covered);
+
+        let mut cand = base_cand.clone();
+        if let Some(group) = driver.group_of(e) {
+            // RemoveRedundantPreds: same-group elements leave the candidate
+            // list for this branch only.
+            for other in 0..system.num_elements() {
+                if other != e && driver.group_of(other) == Some(group) && cand.contains(other) {
+                    cand.remove(other);
+                }
+            }
+        }
+        let mut s = node.s.clone();
+        s.push(e);
+        let mut s_set = node.s_set.clone();
+        s_set.insert(e);
+        children.push(SearchNode {
+            s,
+            s_set,
+            cand,
+            uncov: kept,
+            crit,
+            can_hit: node.can_hit.clone(),
+        });
+        base_cand.insert(e);
+    }
+
+    let scored: Vec<(SearchNode, usize)> = children
+        .into_iter()
+        .map(|child| {
+            let priority = match config.order {
+                SearchOrder::Dfs => 0,
+                // Clamping to the parent's priority keeps the key monotone
+                // along every path even if a driver's bound weakens as the
+                // candidate pool shrinks — the best-first invariant needs
+                // child keys ≥ parent keys.
+                SearchOrder::ShortestFirst => {
+                    node_priority.max(child.s.len() + driver.lower_bound(system, &child))
+                }
+            };
+            (child, priority)
+        })
+        .collect();
+    frontier.extend(scored);
+}
+
+/// Select the next uncovered subset to branch on.
+///
+/// Shared by every driver; `strategy` picks among the still-hittable
+/// uncovered subsets (iterated in the node's stable order):
+///
+/// * `MaxIntersection` / `MinIntersection` — extremal `|F ∩ cand|`;
+/// * `First` — the first subset considered. When an unhittable subset is
+///   fatal (exact enumeration) the scan still continues past the chosen
+///   subset, because a later subset with an empty candidate intersection
+///   proves the whole branch hopeless; otherwise the scan stops at the first
+///   subset, since nothing later can change the choice.
+///
+/// Returns `None` when there is nothing to branch on: either some subset is
+/// unhittable and that is fatal, or (non-fatal mode) every uncovered subset
+/// has already been marked unhittable.
+fn choose_branch_subset(
+    system: &SetSystem,
+    uncov: &[usize],
+    cand: &FixedBitSet,
+    can_hit: &FixedBitSet,
+    strategy: BranchStrategy,
+    unhittable_is_fatal: bool,
+) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None;
+    for &fi in uncov {
+        if !can_hit.contains(fi) {
+            continue;
+        }
+        let inter = system.subsets()[fi].intersection_count(cand);
+        if inter == 0 && unhittable_is_fatal {
+            return None;
+        }
+        best = match (best, strategy) {
+            (None, _) => Some((fi, inter)),
+            (Some((_, b)), BranchStrategy::MaxIntersection) if inter > b => Some((fi, inter)),
+            (Some((_, b)), BranchStrategy::MinIntersection) if inter < b => Some((fi, inter)),
+            // `First` (and losing Max/Min comparisons) keep the incumbent.
+            (prev, _) => prev,
+        };
+        if strategy == BranchStrategy::First && !unhittable_is_fatal {
+            break;
+        }
+    }
+    best.map(|(fi, _)| fi)
+}
+
+/// Admissible lower bound on the elements any cover below a node must still
+/// add: the size of a greedily-built family of pairwise-disjoint uncovered
+/// subsets (restricted to candidate elements). Each member of a disjoint
+/// family needs its own element, and one element can hit at most one member,
+/// so the bound never overestimates and decreases by at most 1 per added
+/// element — exactly what best-first ordering requires.
+pub fn greedy_disjoint_lower_bound(
+    system: &SetSystem,
+    uncov: &[usize],
+    cand: &FixedBitSet,
+) -> usize {
+    let mut used = FixedBitSet::new(system.num_elements());
+    let mut bound = 0;
+    for &fi in uncov {
+        let reachable = system.subsets()[fi].intersection(cand);
+        // A subset with no remaining candidates is a dead branch, not an
+        // element demand; expansion prunes it.
+        if reachable.is_empty() || reachable.intersects(&used) {
+            continue;
+        }
+        used.union_with(&reachable);
+        bound += 1;
+    }
+    bound
+}
+
+/// Heap entry for the best-first frontier: ordered by `(priority, seq)`, so
+/// ties pop in insertion order and the traversal is deterministic.
+struct HeapEntry {
+    priority: usize,
+    seq: u64,
+    node: SearchNode,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.priority, self.seq).cmp(&(other.priority, other.seq))
+    }
+}
+
+/// The two frontier disciplines behind one push/pop interface.
+enum Frontier {
+    /// LIFO stack (priorities are carried but ignored).
+    Dfs(Vec<(SearchNode, usize)>),
+    /// Min-heap on `(priority, insertion seq)`.
+    Shortest {
+        heap: BinaryHeap<Reverse<HeapEntry>>,
+        next_seq: u64,
+    },
+}
+
+impl Frontier {
+    fn new(order: SearchOrder) -> Self {
+        match order {
+            SearchOrder::Dfs => Frontier::Dfs(Vec::new()),
+            SearchOrder::ShortestFirst => Frontier::Shortest {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+            },
+        }
+    }
+
+    fn push(&mut self, node: SearchNode, priority: usize) {
+        match self {
+            Frontier::Dfs(stack) => stack.push((node, priority)),
+            Frontier::Shortest { heap, next_seq } => {
+                heap.push(Reverse(HeapEntry {
+                    priority,
+                    seq: *next_seq,
+                    node,
+                }));
+                *next_seq += 1;
+            }
+        }
+    }
+
+    /// Add a sibling group in its natural processing order: the stack gets
+    /// them reversed (so the first sibling pops first), the heap in order (so
+    /// equal-priority siblings pop FIFO).
+    fn extend(&mut self, scored: Vec<(SearchNode, usize)>) {
+        match self {
+            Frontier::Dfs(stack) => stack.extend(scored.into_iter().rev()),
+            Frontier::Shortest { .. } => {
+                for (node, priority) in scored {
+                    self.push(node, priority);
+                }
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SearchNode, usize)> {
+        match self {
+            Frontier::Dfs(stack) => stack.pop(),
+            Frontier::Shortest { heap, .. } => heap
+                .pop()
+                .map(|Reverse(entry)| (entry.node, entry.priority)),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            Frontier::Dfs(stack) => stack.is_empty(),
+            Frontier::Shortest { heap, .. } => heap.is_empty(),
+        }
+    }
+
+    /// Smallest priority still pending — only meaningful for the best-first
+    /// frontier, where it bounds the size of every not-yet-emitted cover.
+    fn min_priority(&self) -> Option<usize> {
+        match self {
+            Frontier::Dfs(_) => None,
+            Frontier::Shortest { heap, .. } => heap.peek().map(|Reverse(entry)| entry.priority),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full(m: usize) -> FixedBitSet {
+        FixedBitSet::full(m)
+    }
+
+    #[test]
+    fn first_strategy_picks_the_first_uncovered_subset() {
+        // Pin the `BranchStrategy::First` semantics that the old MMCS
+        // implementation obscured behind a shadowed match arm: the *first*
+        // subset in `uncov` order wins regardless of intersection sizes.
+        let sys = SetSystem::from_indices(5, &[&[0, 1, 2, 3], &[4], &[0, 4]]);
+        let cand = full(5);
+        let can_hit = full(3);
+        let chosen = choose_branch_subset(
+            &sys,
+            &[0, 1, 2],
+            &cand,
+            &can_hit,
+            BranchStrategy::First,
+            true,
+        );
+        assert_eq!(chosen, Some(0));
+        // A different uncov order changes the choice: First is order-driven.
+        let chosen = choose_branch_subset(
+            &sys,
+            &[2, 1, 0],
+            &cand,
+            &can_hit,
+            BranchStrategy::First,
+            true,
+        );
+        assert_eq!(chosen, Some(2));
+    }
+
+    #[test]
+    fn first_strategy_still_detects_fatal_unhittable_subsets() {
+        // Exact enumeration must keep scanning past the chosen subset: an
+        // unhittable subset later in the list kills the branch.
+        let sys = SetSystem::from_indices(3, &[&[0, 1], &[2]]);
+        let mut cand = full(3);
+        cand.remove(2); // subset {2} can no longer be hit
+        let chosen =
+            choose_branch_subset(&sys, &[0, 1], &cand, &full(2), BranchStrategy::First, true);
+        assert_eq!(chosen, None, "fatal unhittable subset must kill the branch");
+    }
+
+    #[test]
+    fn first_strategy_non_fatal_stops_at_the_first_selectable_subset() {
+        // Approximate enumeration: unhittable subsets are skipped via
+        // `can_hit`, and the scan stops at the first live subset.
+        let sys = SetSystem::from_indices(3, &[&[0], &[1], &[2]]);
+        let mut can_hit = full(3);
+        can_hit.remove(0);
+        let chosen = choose_branch_subset(
+            &sys,
+            &[0, 1, 2],
+            &full(3),
+            &can_hit,
+            BranchStrategy::First,
+            false,
+        );
+        assert_eq!(chosen, Some(1), "first *live* subset wins");
+    }
+
+    #[test]
+    fn non_fatal_mode_accepts_subsets_with_empty_intersection() {
+        // The approximate enumerator may select a subset no candidate hits —
+        // its skip branch then marks the subset unhittable. Preserved here.
+        let sys = SetSystem::from_indices(2, &[&[0]]);
+        let cand = FixedBitSet::new(2); // nothing left
+        let chosen = choose_branch_subset(
+            &sys,
+            &[0],
+            &cand,
+            &full(1),
+            BranchStrategy::MaxIntersection,
+            false,
+        );
+        assert_eq!(chosen, Some(0));
+    }
+
+    #[test]
+    fn max_and_min_strategies_pick_extremal_intersections() {
+        let sys = SetSystem::from_indices(4, &[&[0], &[0, 1, 2], &[2, 3]]);
+        let cand = full(4);
+        let can_hit = full(3);
+        let max = choose_branch_subset(
+            &sys,
+            &[0, 1, 2],
+            &cand,
+            &can_hit,
+            BranchStrategy::MaxIntersection,
+            true,
+        );
+        assert_eq!(max, Some(1));
+        let min = choose_branch_subset(
+            &sys,
+            &[0, 1, 2],
+            &cand,
+            &can_hit,
+            BranchStrategy::MinIntersection,
+            true,
+        );
+        assert_eq!(min, Some(0));
+    }
+
+    #[test]
+    fn disjoint_lower_bound_counts_a_disjoint_family() {
+        let sys = SetSystem::from_indices(6, &[&[0, 1], &[1, 2], &[3], &[4, 5]]);
+        let uncov: Vec<usize> = (0..4).collect();
+        // {0,1}, {3}, {4,5} are pairwise disjoint; {1,2} overlaps the first.
+        assert_eq!(greedy_disjoint_lower_bound(&sys, &uncov, &full(6)), 3);
+        // Restricting candidates merges demands: without element 1 the first
+        // two subsets reduce to {0} and {2}, still disjoint — bound 4.
+        let mut cand = full(6);
+        cand.remove(1);
+        assert_eq!(greedy_disjoint_lower_bound(&sys, &uncov, &cand), 4);
+        // A subset with no remaining candidates contributes nothing.
+        let mut cand = full(6);
+        cand.remove(3);
+        assert_eq!(greedy_disjoint_lower_bound(&sys, &uncov, &cand), 2);
+    }
+
+    #[test]
+    fn budget_default_is_unlimited() {
+        let budget = SearchBudget::default();
+        assert!(budget.is_unlimited());
+        let budget = budget
+            .with_max_nodes(10)
+            .with_deadline(Duration::from_secs(1))
+            .with_max_emitted(5);
+        assert!(!budget.is_unlimited());
+        assert_eq!(budget.max_nodes, Some(10));
+        assert_eq!(budget.max_emitted, Some(5));
+    }
+}

@@ -2,7 +2,10 @@
 //! spirit of black-box cross-implementation checking: on random set systems,
 //! the brute-force reference, MMCS (under every branch strategy), and the
 //! approximate enumerator at ε = 0 must all enumerate exactly the same
-//! family, and every returned set must be a *minimal* hitting set.
+//! family, and every returned set must be a *minimal* hitting set. The
+//! frontier orders of the shared search engine are differentials too:
+//! `ShortestFirst` and `Dfs` must emit identical cover sets, and the
+//! `ShortestFirst` emission sequence must be nondecreasing in cover size.
 //!
 //! Case count is controlled by `PROPTEST_CASES` (default 256); CI runs the
 //! suite with a raised count.
@@ -12,8 +15,8 @@ use adc_hitting::brute::{
     brute_force_minimal_approx_hitting_sets, brute_force_minimal_hitting_sets,
 };
 use adc_hitting::{
-    approx_minimal_hitting_sets, enumerate_minimal_hitting_sets, ApproxEnumConfig, BranchStrategy,
-    SetSystem,
+    approx_minimal_hitting_sets, enumerate_minimal_hitting_sets, search_minimal_hitting_sets,
+    ApproxEnumConfig, BranchStrategy, SearchBudget, SearchOrder, SetSystem,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -40,6 +43,36 @@ fn mmcs(system: &SetSystem, strategy: BranchStrategy) -> Vec<FixedBitSet> {
         true
     });
     out
+}
+
+/// Collect exact MMCS results under the shortest-first frontier, asserting
+/// the run reports itself exhaustive.
+fn mmcs_shortest_first(system: &SetSystem, strategy: BranchStrategy) -> Vec<FixedBitSet> {
+    let mut out = Vec::new();
+    let outcome = search_minimal_hitting_sets(
+        system,
+        strategy,
+        SearchOrder::ShortestFirst,
+        SearchBudget::unlimited(),
+        &mut |s: &FixedBitSet| {
+            out.push(s.clone());
+            true
+        },
+    );
+    assert!(outcome.is_exhaustive());
+    out
+}
+
+/// Assert an emission sequence is nondecreasing in cover size.
+fn assert_nondecreasing_sizes(sets: &[FixedBitSet], context: &str) {
+    for window in sets.windows(2) {
+        assert!(
+            window[0].len() <= window[1].len(),
+            "{context}: cover of size {} emitted after size {}",
+            window[1].len(),
+            window[0].len()
+        );
+    }
 }
 
 /// The exact-cover score used to drive the approximate enumerator at ε = 0:
@@ -116,6 +149,59 @@ proptest! {
                 system.is_minimal_hitting_set(&set),
                 "approx(ε=0) emitted a non-minimal cover {:?}", set.to_vec()
             );
+        }
+    }
+
+    #[test]
+    fn shortest_first_and_dfs_agree_and_shortest_first_is_sorted(
+        universe_seed in 0usize..1_000,
+        raw_subsets in vec(vec(0usize..16, 1..5), 1..10),
+    ) {
+        let system = build_system(universe_seed, &raw_subsets);
+        for strategy in [
+            BranchStrategy::MaxIntersection,
+            BranchStrategy::MinIntersection,
+            BranchStrategy::First,
+        ] {
+            // Exact enumeration: both orders emit identical cover *sets*,
+            // and shortest-first emission is nondecreasing in cover size.
+            let dfs = mmcs(&system, strategy);
+            let sf = mmcs_shortest_first(&system, strategy);
+            assert_nondecreasing_sizes(&sf, &format!("exact/{strategy:?}"));
+            prop_assert_eq!(
+                canon(dfs), canon(sf),
+                "exact ShortestFirst/{:?} changed the cover set", strategy
+            );
+        }
+    }
+
+    #[test]
+    fn approx_shortest_first_agrees_with_dfs_at_any_epsilon(
+        universe_seed in 0usize..1_000,
+        raw_subsets in vec(vec(0usize..16, 1..5), 1..8),
+        epsilon_mil in 0usize..500,
+    ) {
+        // The same differential for the approximate enumerator, at ε = 0 and
+        // at the (boundary-offset) positive ε, under every strategy.
+        let epsilon = epsilon_mil as f64 / 1_000.0 + 0.000_5;
+        let system = build_system(universe_seed, &raw_subsets);
+        let score = coverage_score(&system);
+        for eps in [0.0, epsilon] {
+            for strategy in [
+                BranchStrategy::MaxIntersection,
+                BranchStrategy::MinIntersection,
+                BranchStrategy::First,
+            ] {
+                let dfs_cfg = ApproxEnumConfig::new(eps).with_strategy(strategy);
+                let sf_cfg = dfs_cfg.clone().with_order(SearchOrder::ShortestFirst);
+                let dfs = approx_minimal_hitting_sets(&system, &score, &dfs_cfg);
+                let sf = approx_minimal_hitting_sets(&system, &score, &sf_cfg);
+                assert_nondecreasing_sizes(&sf, &format!("approx ε={eps}/{strategy:?}"));
+                prop_assert_eq!(
+                    canon(dfs), canon(sf),
+                    "approx(ε={}) ShortestFirst/{:?} changed the cover set", eps, strategy
+                );
+            }
         }
     }
 

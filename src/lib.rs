@@ -72,7 +72,8 @@ pub mod prelude {
         baseline::{AFastDcPipeline, DcFinderPipeline, SearchMinimalCovers},
         enumerate_adcs, f1_score, g_recall, AdcMiner, BranchStrategy, DenialConstraint,
         EnumerationOptions, EvidenceStrategy, MinerConfig, MiningResult, PredicateSpace,
-        SampleThreshold, SpaceConfig, TupleRole,
+        SampleThreshold, SearchBudget, SearchOrder, SpaceConfig, TruncationInfo, TruncationReason,
+        TupleRole,
     };
     pub use adc_data::{AttributeType, Relation, Schema, Value};
     pub use adc_datasets::{CorrelationSpec, Dataset, DatasetGenerator, NoiseConfig};
