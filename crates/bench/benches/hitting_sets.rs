@@ -4,8 +4,9 @@
 
 use adc_data::FixedBitSet;
 use adc_hitting::{
-    approx::approx_minimal_hitting_sets, mmcs::minimal_hitting_sets, ApproxEnumConfig,
-    BranchStrategy, SetSystem,
+    approx::approx_minimal_hitting_sets, mmcs::minimal_hitting_sets,
+    mmcs::search_minimal_hitting_sets, ApproxEnumConfig, BranchStrategy, SearchBudget, SearchOrder,
+    SetSystem,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -48,8 +49,27 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let system = random_system(24, 120, 0.2, 99);
 
+    // Unbudgeted DFS takes the in-place undo walk (the recursive kernel's
+    // cost profile); forcing any budget falls back to the explicit snapshot
+    // frontier, so the pair measures exactly what the undo hybrid reclaims.
     group.bench_function("mmcs_exact", |b| {
         b.iter(|| minimal_hitting_sets(&system, BranchStrategy::MinIntersection).len())
+    });
+    group.bench_function("mmcs_exact_engine", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            search_minimal_hitting_sets(
+                &system,
+                BranchStrategy::MinIntersection,
+                SearchOrder::Dfs,
+                SearchBudget::unlimited().with_max_nodes(u64::MAX),
+                &mut |_: &FixedBitSet| {
+                    count += 1;
+                    true
+                },
+            );
+            count
+        })
     });
     for epsilon in [0.0, 0.05, 0.15] {
         group.bench_function(format!("approx_eps_{epsilon}"), |b| {

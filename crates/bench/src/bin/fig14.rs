@@ -2,6 +2,12 @@
 //! (10⁻⁶ … 10⁻¹) under f1, f2, and f3, on datasets dirtied with *spread*
 //! noise and with *skewed* (error-concentrated) noise. The G-recall of exact
 //! mining (ε = 0) is reported alongside, as in the paper's parentheses.
+//!
+//! Set `ADC_BENCH_SLICE_NODES` to run every mine in **resume-in-slices**
+//! mode (node-budget slices resumed via the engine's suspend token): the
+//! recall numbers are identical by the cut-and-resume determinism
+//! guarantee, while each slice's peak memory stays bounded by the frontier
+//! it holds — the operating mode for long dirty mines on shared machines.
 
 use adc_approx::ApproxKind;
 use adc_bench::{bench_datasets, bench_relation, bench_shortest_first_config, run_miner, Table};

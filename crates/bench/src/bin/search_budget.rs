@@ -1,42 +1,64 @@
 //! Anytime-mining smoke: a dirty paper-scale mine under an explicit
-//! [`SearchBudget`] must terminate within that budget and report the cut via
-//! `MiningResult::truncation`. CI runs this in release mode at
-//! `ADC_BENCH_ROWS=10000` so the anytime behaviour cannot silently regress.
+//! [`SearchBudget`] must terminate within that budget, report the cut via
+//! `truncation`, and — since the engine became resumable — a cut run
+//! continued in **resume-in-slices** mode must replay exactly the DCs of a
+//! single run with the same limits. CI runs this in release mode at
+//! `ADC_BENCH_ROWS=10000` so neither behaviour can silently regress.
 //!
-//! The run mines targeted-noise dirty data at a moderate threshold — the
-//! regime whose minimal frontier is combinatorially large (the reason
-//! fig14/table5 need the `ADC_BENCH_MAX_DCS` cap) — with a node budget, a
-//! wall-clock deadline, *and* a small DC cap, so some limit is guaranteed to
-//! fire. The process exits non-zero if the enumeration overruns the deadline
-//! or the truncation report is missing.
+//! Three enumerations per dataset, over one shared evidence set:
+//!
+//! 1. **Deadline smoke** — node budget + wall-clock deadline + DC cap; the
+//!    process exits non-zero if the enumeration overruns the deadline or the
+//!    truncation report is missing everywhere.
+//! 2. **Reference** — the same limits minus the deadline (wall-clock cuts
+//!    are not reproducible), run once.
+//! 3. **Sliced** — the same limits executed as node-budget slices
+//!    (`max_nodes / 4` each) resumed via the opaque token until the node
+//!    budget, the DC cap, or exhaustion. The concatenated DCs must be
+//!    byte-identical to the reference's, and when the reference finished
+//!    exhaustively the final slice must report no truncation.
 //!
 //! Environment variables: the usual `ADC_BENCH_ROWS` / `ADC_BENCH_DATASETS` /
 //! `ADC_BENCH_THREADS`, plus `ADC_BUDGET_NODES` (default 100 000),
-//! `ADC_BUDGET_MILLIS` (default 30 000), and `ADC_BUDGET_DCS` (default 500).
+//! `ADC_BUDGET_MILLIS` (default 30 000), `ADC_BUDGET_DCS` (default 500),
+//! `ADC_BUDGET_EPSILON` (default 1e-3), `ADC_BUDGET_SLICE_NODES` (nodes per
+//! resume slice; default `max_nodes / 4` — set it *below* the node count
+//! the DC cap needs, as CI does, to force several genuine cut/resume
+//! round-trips), and `ADC_BUDGET_REQUIRE_COMPLETE` (when `1`, a reference
+//! run that does *not* exhaust its frontier within the node budget is an
+//! error — used by CI on a small-space dataset to guarantee the
+//! truncation-free completion path is exercised).
 
-use adc_bench::{
-    bench_datasets, bench_relation, bench_shortest_first_config, run_miner, secs, Table,
-};
-use adc_core::SearchBudget;
+use adc_approx::F1ViolationRate;
+use adc_bench::{bench_datasets, bench_relation, build_evidence, parsed_env, secs, Table};
+use adc_core::{enumerate_adcs, resume_adcs, EnumerationOptions, SearchBudget, SearchOrder};
 use adc_datasets::{targeted_spread_noise, NoiseConfig};
-use std::time::Duration;
+use adc_predicates::{DenialConstraint, PredicateSpace, SpaceConfig};
+use std::time::{Duration, Instant};
 
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(default)
+fn ids(dcs: &[DenialConstraint]) -> Vec<Vec<usize>> {
+    dcs.iter().map(|d| d.predicate_ids().to_vec()).collect()
 }
 
 fn main() {
-    let max_nodes = env_u64("ADC_BUDGET_NODES", 100_000);
-    let deadline = Duration::from_millis(env_u64("ADC_BUDGET_MILLIS", 30_000));
-    let max_dcs = env_u64("ADC_BUDGET_DCS", 500) as usize;
-    let epsilon = 1e-3;
+    let max_nodes: u64 = parsed_env("ADC_BUDGET_NODES").unwrap_or(100_000);
+    let deadline = Duration::from_millis(parsed_env("ADC_BUDGET_MILLIS").unwrap_or(30_000));
+    let max_dcs: usize = parsed_env("ADC_BUDGET_DCS").unwrap_or(500);
+    let epsilon: f64 = parsed_env("ADC_BUDGET_EPSILON").unwrap_or(1e-3);
+    let require_complete = parsed_env::<u8>("ADC_BUDGET_REQUIRE_COMPLETE").unwrap_or(0) == 1;
 
-    let mut table = Table::new(vec!["Dataset", "DCs", "Nodes", "Enum (s)", "Truncation"]);
+    let mut table = Table::new(vec![
+        "Dataset",
+        "DCs",
+        "Nodes",
+        "Enum (s)",
+        "Truncation",
+        "Sliced",
+    ]);
     let mut overruns = 0usize;
     let mut truncated_runs = 0usize;
+    let mut slice_mismatches = 0usize;
+    let mut incomplete_refs = 0usize;
     for dataset in bench_datasets() {
         let generator = dataset.generator();
         let clean = bench_relation(dataset);
@@ -46,55 +68,162 @@ fn main() {
             &NoiseConfig::with_rate(0.002),
             0xBAD,
         );
-        let config = bench_shortest_first_config(epsilon)
-            .with_max_dcs(max_dcs)
-            .with_budget(
-                SearchBudget::unlimited()
-                    .with_max_nodes(max_nodes)
-                    .with_deadline(deadline),
-            );
-        let result = run_miner(&dirty, config);
+        let space = PredicateSpace::build(&dirty, SpaceConfig::default());
+        let evidence = build_evidence(&dirty, &space, false);
 
-        // The deadline is checked once per expanded node, so allow the cost
-        // of one in-flight expansion (generously) on top of the budget.
-        let overran = result.timings.enumeration > deadline + Duration::from_secs(10);
-        let truncation = match result.truncation {
-            Some(t) => t.to_string(),
-            None => "none (exhaustive)".to_string(),
-        };
+        let base = EnumerationOptions::new(epsilon).with_order(SearchOrder::ShortestFirst);
+
+        // 1. Deadline smoke: everything budgeted at once.
+        let mut smoke_options = base;
+        smoke_options.max_dcs = Some(max_dcs);
+        smoke_options.budget = SearchBudget::unlimited()
+            .with_max_nodes(max_nodes)
+            .with_deadline(deadline);
+        let clock = Instant::now();
+        let smoke = enumerate_adcs(&space, &evidence, &F1ViolationRate, &smoke_options);
+        let smoke_time = clock.elapsed();
+        // The deadline is checked per node pop *and* inside wide expansions,
+        // so allow a generous constant for one in-flight step.
+        let overran = smoke_time > deadline + Duration::from_secs(10);
         if overran {
             overruns += 1;
         }
-        if result.truncation.is_some() {
+        if smoke.truncation.is_some() {
             truncated_runs += 1;
         }
+
+        // 2. Reference: same limits, no deadline (not reproducible), one run.
+        let mut reference_options = base;
+        reference_options.max_dcs = Some(max_dcs);
+        reference_options.budget = SearchBudget::unlimited().with_max_nodes(max_nodes);
+        let reference = enumerate_adcs(&space, &evidence, &F1ViolationRate, &reference_options);
+        if reference.truncation.is_none() {
+            // Exhausted within the node budget: the sliced replay below must
+            // also end truncation-free.
+        } else if require_complete {
+            incomplete_refs += 1;
+        }
+
+        // 3. Resume-in-slices: cut every `slice_nodes` nodes, resume from
+        //    the opaque token, stop at the same overall limits. The raw-
+        //    cover emission cap (`enumerate_adcs` gives `max_dcs` 4×
+        //    headroom for filtered trivial/empty covers) is carried as an
+        //    *accumulated* budget so a resumed slice cannot outrun the
+        //    reference on fresh headroom.
+        let slice_nodes: u64 =
+            parsed_env("ADC_BUDGET_SLICE_NODES").unwrap_or((max_nodes / 4).max(1));
+        let cover_cap = max_dcs.saturating_mul(4).max(max_dcs);
+        let mut dcs: Vec<DenialConstraint> = Vec::new();
+        let mut nodes_used: u64 = 0;
+        let mut covers_emitted: u64 = 0;
+        let mut slices = 0usize;
+        let mut resume_token = None;
+        let mut last_truncation = None;
+        loop {
+            let remaining_nodes = max_nodes.saturating_sub(nodes_used);
+            let remaining_dcs = max_dcs.saturating_sub(dcs.len());
+            let remaining_covers = (cover_cap as u64).saturating_sub(covers_emitted);
+            if remaining_nodes == 0 || remaining_dcs == 0 || remaining_covers == 0 {
+                break;
+            }
+            let mut slice_options = base;
+            slice_options.max_dcs = Some(remaining_dcs);
+            slice_options.budget = SearchBudget::unlimited()
+                .with_max_nodes(slice_nodes.min(remaining_nodes))
+                .with_max_emitted(remaining_covers as usize);
+            let mut outcome = match resume_token.take() {
+                None => enumerate_adcs(&space, &evidence, &F1ViolationRate, &slice_options),
+                Some(token) => {
+                    resume_adcs(&space, &evidence, &F1ViolationRate, &slice_options, token)
+                }
+            };
+            slices += 1;
+            nodes_used += outcome.stats.recursive_calls;
+            covers_emitted += outcome.stats.emitted;
+            dcs.append(&mut outcome.dcs);
+            last_truncation = outcome.truncation;
+            match outcome.resume {
+                Some(token) => resume_token = Some(token),
+                None => break,
+            }
+        }
+
+        let reference_ids = ids(&reference.dcs);
+        let sliced_ids = ids(&dcs);
+        let identical = sliced_ids == reference_ids;
+        let complete_ok = reference.truncation.is_some() || last_truncation.is_none();
+        if !identical || !complete_ok {
+            slice_mismatches += 1;
+        }
+        let sliced_cell = format!(
+            "{slices} slice(s): {}{}",
+            if identical { "identical" } else { "MISMATCH" },
+            if reference.truncation.is_none() {
+                if last_truncation.is_none() {
+                    ", complete"
+                } else {
+                    ", NOT COMPLETE"
+                }
+            } else {
+                ""
+            }
+        );
+
+        let truncation = match smoke.truncation {
+            Some(t) => t.to_string(),
+            None => "none (exhaustive)".to_string(),
+        };
         table.add_row(vec![
             generator.name().to_string(),
-            result.dcs.len().to_string(),
-            result.enum_stats.recursive_calls.to_string(),
-            secs(result.timings.enumeration),
+            smoke.dcs.len().to_string(),
+            smoke.stats.recursive_calls.to_string(),
+            secs(smoke_time),
             if overran {
                 format!("{truncation} — DEADLINE OVERRUN")
             } else {
                 truncation
             },
+            sliced_cell,
         ]);
     }
     table.print(&format!(
-        "Anytime smoke — dirty mine at ε={epsilon}, budget: {max_nodes} nodes / {deadline:?} / {max_dcs} DCs"
+        "Anytime smoke — dirty enumeration at ε={epsilon}, budget: {max_nodes} nodes / {deadline:?} / {max_dcs} DCs"
     ));
-    // Two regressions this smoke exists to catch: an enumeration that blows
-    // through its deadline, and a budget-cut run that fails to say so. Dirty
+    // Regressions this smoke exists to catch: an enumeration that blows
+    // through its deadline, a budget-cut run that fails to say so, and a
+    // sliced (cut + resume) replay that diverges from the single run. Dirty
     // mining at this ε has a frontier far beyond the DC cap on the large
-    // datasets, so at least one run must report truncation (a small-space
-    // dataset may legitimately exhaust under the cap).
+    // datasets, so at least one run must report truncation unless the
+    // completion mode is on (small-space datasets legitimately exhaust).
     if overruns > 0 {
         eprintln!("search_budget smoke: {overruns} run(s) overran the deadline");
         std::process::exit(1);
     }
-    if truncated_runs == 0 {
-        eprintln!("search_budget smoke: no run reported truncation — budget reporting regressed?");
+    if slice_mismatches > 0 {
+        eprintln!(
+            "search_budget smoke: {slice_mismatches} sliced run(s) diverged from the single run"
+        );
         std::process::exit(1);
     }
-    println!("all runs terminated within budget; {truncated_runs} reported truncation");
+    if require_complete {
+        if incomplete_refs > 0 {
+            eprintln!(
+                "search_budget smoke: {incomplete_refs} reference run(s) failed to exhaust \
+                 within the node budget (ADC_BUDGET_REQUIRE_COMPLETE=1)"
+            );
+            std::process::exit(1);
+        }
+        println!("all sliced runs replayed their reference identically and completed");
+    } else {
+        if truncated_runs == 0 {
+            eprintln!(
+                "search_budget smoke: no run reported truncation — budget reporting regressed?"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "all runs terminated within budget; {truncated_runs} reported truncation; \
+             all sliced runs replayed their reference identically"
+        );
+    }
 }

@@ -2,6 +2,10 @@
 //! recovered as an *approximate* DC at the function's best threshold, next to
 //! a corresponding *valid* (exact) DC mined from the same dirty data, showing
 //! how exact mining pads the rule with extra predicates to cover the errors.
+//!
+//! Set `ADC_BENCH_SLICE_NODES` to run every mine in **resume-in-slices**
+//! mode — node-budget slices resumed from the engine's suspend token, with
+//! output identical to the single run by the determinism guarantee.
 
 use adc_bench::{bench_datasets, bench_relation, bench_shortest_first_config, run_miner};
 use adc_core::metrics;

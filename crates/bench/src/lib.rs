@@ -13,6 +13,15 @@
 //! * `ADC_BENCH_DATASETS` — comma-separated subset of dataset names to run.
 //! * `ADC_BENCH_THREADS` — evidence-builder worker threads (default: all
 //!   available cores; `1` forces the sequential cluster builder).
+//! * `ADC_BENCH_SLICE_NODES` — when set (> 0), every harness mining run
+//!   executes in **resume-in-slices** mode: node-budget slices of that size,
+//!   resumed until the run's own budget/cap/exhaustion point. By the
+//!   engine's determinism guarantee this changes *nothing* about the mined
+//!   DCs — it exists to exercise suspend/resume at paper scale.
+//!
+//! A malformed value in any numeric variable is a **hard error** with an
+//! explanatory panic — a typo must never silently fall back to a default
+//! and masquerade as a real measurement.
 //!
 //! ```
 //! use adc_bench::Table;
@@ -25,32 +34,70 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use adc_core::{AdcMiner, MinerConfig, MiningResult, SearchOrder};
+use adc_core::{AdcMiner, MinerConfig, MiningResult, SearchBudget, SearchOrder, Timings};
 use adc_data::Relation;
 use adc_datasets::Dataset;
 use adc_evidence::{Evidence, EvidenceBuilder, ParallelEvidenceBuilder};
 use adc_predicates::PredicateSpace;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Parse the value of an environment variable, treating a malformed value
+/// as a hard, explanatory error rather than silently falling back to a
+/// default (a typo in `ADC_BENCH_ROWS=10k` must not quietly benchmark the
+/// default row count). Returns `None` when the variable is unset or empty.
+pub fn parsed_env<T: std::str::FromStr>(name: &str) -> Option<T>
+where
+    T::Err: std::fmt::Display,
+{
+    let value = std::env::var(name).ok()?;
+    if value.trim().is_empty() {
+        return None;
+    }
+    Some(parse_env_value(name, &value))
+}
+
+/// The parsing half of [`parsed_env`], split out so the hard-error contract
+/// is unit-testable without touching the process environment.
+fn parse_env_value<T: std::str::FromStr>(name: &str, value: &str) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    match value.trim().parse() {
+        Ok(parsed) => parsed,
+        Err(err) => panic!(
+            "{name}={value:?} is not a valid value ({err}); \
+             fix or unset {name} instead of relying on a silent default"
+        ),
+    }
+}
 
 /// Number of rows to generate for a dataset in the harness: the generator's
 /// scaled-down default (full, no cap — the correlated generators keep the
 /// unprojected space tractable at 10³-scale rows, see the `tractability`
 /// binary), overridable via `ADC_BENCH_ROWS` for paper-scale runs.
 pub fn bench_rows(dataset: Dataset) -> usize {
-    if let Ok(value) = std::env::var("ADC_BENCH_ROWS") {
-        if let Ok(rows) = value.trim().parse::<usize>() {
-            return rows.max(10);
-        }
+    match parsed_env::<usize>("ADC_BENCH_ROWS") {
+        Some(rows) => rows.max(10),
+        None => dataset.generator().default_rows(),
     }
-    dataset.generator().default_rows()
 }
 
-/// The datasets to run, honouring `ADC_BENCH_DATASETS`.
+/// The datasets to run, honouring `ADC_BENCH_DATASETS`. An unknown dataset
+/// name is a hard error (same contract as the numeric variables).
 pub fn bench_datasets() -> Vec<Dataset> {
     match std::env::var("ADC_BENCH_DATASETS") {
-        Ok(value) if !value.trim().is_empty() => {
-            value.split(',').filter_map(Dataset::parse).collect()
-        }
+        Ok(value) if !value.trim().is_empty() => value
+            .split(',')
+            .map(|name| {
+                Dataset::parse(name).unwrap_or_else(|| {
+                    panic!(
+                        "ADC_BENCH_DATASETS contains unknown dataset {name:?}; \
+                         known names: {:?}",
+                        Dataset::ALL.iter().map(|d| d.name()).collect::<Vec<_>>()
+                    )
+                })
+            })
+            .collect(),
         _ => Dataset::ALL.to_vec(),
     }
 }
@@ -65,10 +112,14 @@ pub fn bench_relation(dataset: Dataset) -> Relation {
 /// Evidence-builder worker threads, honouring `ADC_BENCH_THREADS`
 /// (`0` = let the builder use all available cores, which is the default).
 pub fn bench_threads() -> usize {
-    std::env::var("ADC_BENCH_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .unwrap_or(0)
+    parsed_env("ADC_BENCH_THREADS").unwrap_or(0)
+}
+
+/// Node budget per slice for resume-in-slices mode, honouring
+/// `ADC_BENCH_SLICE_NODES` (`None` = single-run mode, the default; `0` is
+/// treated as unset).
+pub fn bench_slice_nodes() -> Option<u64> {
+    parsed_env::<u64>("ADC_BENCH_SLICE_NODES").filter(|&nodes| nodes > 0)
 }
 
 /// The harness miner configuration: like [`MinerConfig::new`] but building
@@ -103,10 +154,7 @@ pub fn bench_shortest_first_config(epsilon: f64) -> MinerConfig {
 /// experiments (fig14, table5) terminating, since approximate enumeration
 /// over a noisy relation can have a combinatorially larger minimal frontier.
 pub fn bench_max_dcs() -> usize {
-    std::env::var("ADC_BENCH_MAX_DCS")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(50_000)
+    parsed_env("ADC_BENCH_MAX_DCS").unwrap_or(50_000)
 }
 
 /// Build the evidence set with the harness builder (parallel, honouring
@@ -119,9 +167,116 @@ pub fn build_evidence(relation: &Relation, space: &PredicateSpace, track_vios: b
     }
 }
 
-/// Run the ADCMiner pipeline with a given configuration.
+/// Run the ADCMiner pipeline with a given configuration. When
+/// `ADC_BENCH_SLICE_NODES` is set, the run executes in resume-in-slices
+/// mode ([`run_miner_sliced`]) — same DCs, same truncation semantics, but
+/// the enumeration suspends and resumes between node-budget slices.
 pub fn run_miner(relation: &Relation, config: MinerConfig) -> MiningResult {
-    AdcMiner::new(config).mine(relation)
+    match bench_slice_nodes() {
+        Some(slice_nodes) => run_miner_sliced(relation, config, slice_nodes).0,
+        None => AdcMiner::new(config).mine(relation),
+    }
+}
+
+/// Run the ADCMiner pipeline as a sequence of node-budget slices, resuming
+/// the suspended enumeration between slices, and merge the slices into one
+/// [`MiningResult`]. Returns the merged result and the number of slices.
+/// `slice_nodes` is clamped to at least 1 (a zero-node slice would make no
+/// progress).
+///
+/// The merged result is — by the engine's cut-and-resume determinism
+/// guarantee — identical in DCs to a single run with the same
+/// configuration: `config.max_dcs` is enforced on the *accumulated* DC
+/// count, `config.budget.max_nodes` on the accumulated node count,
+/// `config.budget.max_emitted` (and the miner's internal 4× raw-cover
+/// headroom over `max_dcs`) on the accumulated raw-cover count, and
+/// `config.budget.deadline` on the wall clock across all slices (each
+/// slice otherwise runs node-bounded, so the deadline can only be overshot
+/// by one slice — wall-clock cuts are the one knob that is inherently not
+/// reproducible between a sliced and a single run).
+pub fn run_miner_sliced(
+    relation: &Relation,
+    config: MinerConfig,
+    slice_nodes: u64,
+) -> (MiningResult, usize) {
+    let clock = Instant::now();
+    let slice_nodes = slice_nodes.max(1);
+    let overall = config.budget;
+    // The single run stops emitting raw covers at the earliest of its own
+    // `budget.max_emitted` and the miner's 4× headroom over `max_dcs`
+    // (`enumerate_adcs`). Replicate that as an *accumulated* cap so a
+    // sliced run cannot outrun the single run it replays: each resumed
+    // slice would otherwise get fresh headroom.
+    let headroom = |max: usize| max.saturating_mul(4).max(max);
+    let emitted_cap: Option<u64> = match (overall.max_emitted, config.max_dcs) {
+        (Some(budget_cap), Some(dcs)) => Some((budget_cap.min(headroom(dcs))) as u64),
+        (Some(budget_cap), None) => Some(budget_cap as u64),
+        (None, Some(dcs)) => Some(headroom(dcs) as u64),
+        (None, None) => None,
+    };
+    let slice_budget = |nodes_used: u64, covers_emitted: u64| {
+        let remaining = overall
+            .max_nodes
+            .map(|max| max.saturating_sub(nodes_used))
+            .unwrap_or(u64::MAX)
+            .min(slice_nodes);
+        let mut budget = SearchBudget::unlimited().with_max_nodes(remaining);
+        budget.max_emitted = emitted_cap.map(|cap| cap.saturating_sub(covers_emitted) as usize);
+        budget.max_frontier_nodes = overall.max_frontier_nodes;
+        budget
+    };
+    let slice_config = |dcs_mined: usize, nodes_used: u64, covers_emitted: u64| {
+        let mut cfg = config.with_budget(slice_budget(nodes_used, covers_emitted));
+        cfg.max_dcs = config.max_dcs.map(|max| max.saturating_sub(dcs_mined));
+        cfg
+    };
+
+    let mut result = AdcMiner::new(slice_config(0, 0, 0)).mine(relation);
+    let mut dcs = std::mem::take(&mut result.dcs);
+    let mut stats = result.enum_stats;
+    let pipeline_timings = result.timings;
+    let mut enumeration_time = result.timings.enumeration;
+    let mut slices = 1;
+    loop {
+        let out_of_nodes = overall
+            .max_nodes
+            .is_some_and(|max| stats.recursive_calls >= max);
+        let out_of_dcs = config.max_dcs.is_some_and(|max| dcs.len() >= max);
+        let out_of_covers = emitted_cap.is_some_and(|cap| stats.emitted >= cap);
+        let out_of_time = overall
+            .deadline
+            .is_some_and(|limit| clock.elapsed() >= limit);
+        if out_of_nodes || out_of_dcs || out_of_covers || out_of_time {
+            break;
+        }
+        let Some(token) = result.resume.take() else {
+            break;
+        };
+        let miner = AdcMiner::new(slice_config(
+            dcs.len(),
+            stats.recursive_calls,
+            stats.emitted,
+        ));
+        result = miner.resume(token);
+        slices += 1;
+        dcs.extend(std::mem::take(&mut result.dcs));
+        stats.recursive_calls += result.enum_stats.recursive_calls;
+        stats.score_evaluations += result.enum_stats.score_evaluations;
+        stats.emitted += result.enum_stats.emitted;
+        stats.peak_frontier = stats.peak_frontier.max(result.enum_stats.peak_frontier);
+        stats.frontier_contractions += result.enum_stats.frontier_contractions;
+        enumeration_time += result.timings.enumeration;
+    }
+    result.dcs = dcs;
+    result.enum_stats = stats;
+    // Resumed slices carry zeroed pipeline stages (they reuse the stored
+    // evidence); the merged result reports slice 1's real pipeline costs
+    // plus the summed enumeration time.
+    result.timings = Timings {
+        enumeration: enumeration_time,
+        ..pipeline_timings
+    };
+    (result, slices)
 }
 
 /// Render a duration in seconds with three decimals.
@@ -258,5 +413,68 @@ mod tests {
         if std::env::var("ADC_BENCH_DATASETS").is_err() {
             assert_eq!(bench_datasets().len(), 8);
         }
+    }
+
+    #[test]
+    fn env_values_parse_when_well_formed() {
+        assert_eq!(parse_env_value::<usize>("ADC_BENCH_ROWS", " 1500 "), 1500);
+        assert_eq!(parse_env_value::<u64>("ADC_BUDGET_NODES", "100000"), 100000);
+    }
+
+    #[test]
+    #[should_panic(expected = "ADC_BENCH_ROWS=\"10k\" is not a valid value")]
+    fn malformed_rows_value_is_a_hard_error() {
+        // A typo like `ADC_BENCH_ROWS=10k` must abort with an explanation,
+        // not silently benchmark the default row count.
+        let _: usize = parse_env_value("ADC_BENCH_ROWS", "10k");
+    }
+
+    #[test]
+    #[should_panic(expected = "ADC_BENCH_THREADS=\"two\" is not a valid value")]
+    fn malformed_threads_value_is_a_hard_error() {
+        let _: usize = parse_env_value("ADC_BENCH_THREADS", "two");
+    }
+
+    #[test]
+    fn unset_env_parses_to_none() {
+        assert_eq!(
+            parsed_env::<usize>("ADC_BENCH_THIS_VARIABLE_DOES_NOT_EXIST"),
+            None
+        );
+    }
+
+    #[test]
+    fn sliced_mining_matches_the_single_run() {
+        let relation = Dataset::Airport.generator().generate(120, 7);
+        let config = MinerConfig::new(0.01).with_order(SearchOrder::ShortestFirst);
+        let single = AdcMiner::new(config).mine(&relation);
+        assert!(single.truncation.is_none());
+        let (sliced, slices) = run_miner_sliced(&relation, config, 50);
+        assert!(slices > 1, "the slice budget never fired");
+        assert!(sliced.truncation.is_none());
+        let ids = |m: &MiningResult| {
+            m.dcs
+                .iter()
+                .map(|d| d.predicate_ids().to_vec())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ids(&sliced), ids(&single));
+        // Slice 1's real pipeline costs survive the merge (resumed slices
+        // reuse the evidence and report zero for those stages).
+        assert!(sliced.timings.evidence > Duration::ZERO);
+        assert!(sliced.timings.predicate_space > Duration::ZERO);
+
+        // A raw-cover emission budget must bind on the accumulated count,
+        // not per slice: the sliced run may not outrun the single run.
+        let capped = config.with_budget(SearchBudget::unlimited().with_max_emitted(40));
+        let single_capped = AdcMiner::new(capped).mine(&relation);
+        let (sliced_capped, capped_slices) = run_miner_sliced(&relation, capped, 7);
+        assert!(capped_slices > 1);
+        assert_eq!(ids(&sliced_capped), ids(&single_capped));
+        assert_eq!(sliced_capped.enum_stats.emitted, 40);
+
+        // A zero slice size must clamp to 1 and terminate, not spin.
+        let (clamped, _) = run_miner_sliced(&relation, config, 0);
+        assert_eq!(ids(&clamped), ids(&single));
     }
 }

@@ -13,8 +13,9 @@ use adc_approx::{ApproxContext, ApproximationFunction};
 use adc_data::FixedBitSet;
 use adc_evidence::Evidence;
 use adc_hitting::{
-    search_approx_minimal_hitting_sets, ApproxEnumConfig, ApproxEnumStats, BranchStrategy,
-    SearchBudget, SearchOrder, SetSystem, TruncationReason,
+    resume_approx_minimal_hitting_sets, search_approx_minimal_hitting_sets_resumable,
+    ApproxEnumConfig, ApproxEnumStats, BranchStrategy, SearchBudget, SearchOrder, SetSystem,
+    SuspendedSearch, TruncationReason,
 };
 use adc_predicates::{DenialConstraint, PredicateSpace};
 use std::fmt;
@@ -55,6 +56,35 @@ impl fmt::Display for TruncationInfo {
     }
 }
 
+/// Opaque resume token of a budget- or cap-cut enumeration: the engine's
+/// entire pending frontier plus its cumulative counters. Hand it back to
+/// [`resume_adcs`] (with the same space, evidence, function, and options) to
+/// continue the run exactly where it stopped — the concatenated DC sequence
+/// across slices equals the sequence of a single uncut run.
+#[derive(Debug, Clone)]
+pub struct EnumerationResume {
+    suspended: SuspendedSearch,
+}
+
+impl EnumerationResume {
+    /// Number of pending search nodes the token holds (a proxy for its
+    /// memory footprint).
+    pub fn frontier_len(&self) -> usize {
+        self.suspended.frontier_len()
+    }
+
+    /// Raw hitting-set covers emitted so far across every slice (including
+    /// covers filtered out as trivial/empty DCs).
+    pub fn total_covers_emitted(&self) -> usize {
+        self.suspended.total_emitted()
+    }
+
+    /// Search nodes expanded so far across every slice.
+    pub fn total_nodes_expanded(&self) -> u64 {
+        self.suspended.total_nodes_expanded()
+    }
+}
+
 /// Result of one enumeration run.
 #[derive(Debug, Clone)]
 pub struct EnumerationOutcome {
@@ -65,6 +95,9 @@ pub struct EnumerationOutcome {
     /// `None` when the enumeration was exhaustive; `Some` when the DC cap or
     /// the search budget cut it short.
     pub truncation: Option<TruncationInfo>,
+    /// Present exactly when the run was truncated: the token [`resume_adcs`]
+    /// continues from.
+    pub resume: Option<EnumerationResume>,
 }
 
 /// Options for [`enumerate_adcs`].
@@ -127,6 +160,35 @@ pub fn enumerate_adcs(
     f: &dyn ApproximationFunction,
     options: &EnumerationOptions,
 ) -> EnumerationOutcome {
+    run_adcs(space, evidence, f, options, None)
+}
+
+/// Continue an enumeration cut short by a budget, the DC cap, or the
+/// caller's callback, from the token carried by
+/// [`EnumerationOutcome::resume`].
+///
+/// The space, evidence, approximation function, and the problem-defining
+/// options (`epsilon`, `strategy`, `will_cover_pruning`, `order`) must be
+/// identical to the original run's; `options.budget` and `options.max_dcs`
+/// apply to this slice alone. Under those conditions the concatenation of
+/// the slices' DC sequences equals the sequence of a single uncut run.
+pub fn resume_adcs(
+    space: &PredicateSpace,
+    evidence: &Evidence,
+    f: &dyn ApproximationFunction,
+    options: &EnumerationOptions,
+    resume: EnumerationResume,
+) -> EnumerationOutcome {
+    run_adcs(space, evidence, f, options, Some(resume.suspended))
+}
+
+fn run_adcs(
+    space: &PredicateSpace,
+    evidence: &Evidence,
+    f: &dyn ApproximationFunction,
+    options: &EnumerationOptions,
+    suspended: Option<SuspendedSearch>,
+) -> EnumerationOutcome {
     let evidence_set = &evidence.evidence_set;
     assert_eq!(
         evidence_set.num_predicates(),
@@ -165,22 +227,29 @@ pub fn enumerate_adcs(
     let score = |hitting_set: &FixedBitSet| f.score(&ctx, hitting_set);
 
     let mut dcs = Vec::new();
-    let (stats, search_outcome) =
-        search_approx_minimal_hitting_sets(&system, score, &config, &mut |hitting_set| {
-            if hitting_set.is_empty() {
-                // The empty DC (`¬true`) carries no information.
-                return true;
-            }
-            let dc =
-                DenialConstraint::new(hitting_set.iter().map(|e| space.complement_of(e)).collect());
-            if !dc.is_trivial(space) {
-                dcs.push(dc);
-            }
-            match options.max_dcs {
-                Some(max) => dcs.len() < max,
-                None => true,
-            }
-        });
+    let mut callback = |hitting_set: &FixedBitSet| {
+        if hitting_set.is_empty() {
+            // The empty DC (`¬true`) carries no information.
+            return true;
+        }
+        let dc =
+            DenialConstraint::new(hitting_set.iter().map(|e| space.complement_of(e)).collect());
+        if !dc.is_trivial(space) {
+            dcs.push(dc);
+        }
+        match options.max_dcs {
+            Some(max) => dcs.len() < max,
+            None => true,
+        }
+    };
+    let (stats, search_outcome, next_suspended) = match suspended {
+        None => {
+            search_approx_minimal_hitting_sets_resumable(&system, score, &config, &mut callback)
+        }
+        Some(token) => {
+            resume_approx_minimal_hitting_sets(&system, score, &config, token, &mut callback)
+        }
+    };
 
     let truncation = search_outcome.truncation.map(|t| TruncationInfo {
         // The DC cap stops the search through the callback; relabel that as
@@ -203,6 +272,7 @@ pub fn enumerate_adcs(
         dcs,
         stats,
         truncation,
+        resume: next_suspended.map(|suspended| EnumerationResume { suspended }),
     }
 }
 
@@ -527,6 +597,42 @@ mod tests {
         let truncation = out.truncation.expect("tiny node budget must truncate");
         assert_eq!(truncation.reason, adc_hitting::TruncationReason::MaxNodes);
         assert!(out.stats.recursive_calls <= 5);
+    }
+
+    #[test]
+    fn budget_cut_enumeration_resumes_to_the_uncut_sequence() {
+        let (_, space, evidence) = setup(SpaceConfig::default());
+        for order in [SearchOrder::Dfs, SearchOrder::ShortestFirst] {
+            let reference = enumerate_adcs(
+                &space,
+                &evidence,
+                &F1ViolationRate,
+                &EnumerationOptions::new(0.1).with_order(order),
+            );
+            assert!(reference.truncation.is_none());
+            assert!(reference.resume.is_none());
+
+            let slice_options = EnumerationOptions::new(0.1)
+                .with_order(order)
+                .with_budget(SearchBudget::unlimited().with_max_nodes(25));
+            let mut sliced = enumerate_adcs(&space, &evidence, &F1ViolationRate, &slice_options);
+            let mut dcs = std::mem::take(&mut sliced.dcs);
+            let mut slices = 1;
+            while let Some(token) = sliced.resume.take() {
+                slices += 1;
+                assert!(slices < 10_000, "runaway resume loop");
+                sliced = resume_adcs(&space, &evidence, &F1ViolationRate, &slice_options, token);
+                dcs.extend(std::mem::take(&mut sliced.dcs));
+            }
+            assert!(slices > 2, "the slice budget never fired ({order:?})");
+            assert!(sliced.truncation.is_none());
+            let ids = |dcs: &[DenialConstraint]| {
+                dcs.iter()
+                    .map(|d| d.predicate_ids().to_vec())
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(ids(&dcs), ids(&reference.dcs), "order {order:?}");
+        }
     }
 
     #[test]

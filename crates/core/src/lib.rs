@@ -48,12 +48,17 @@ pub mod metrics;
 pub mod miner;
 pub mod sampling;
 
-pub use enumeration::{enumerate_adcs, EnumerationOptions, EnumerationOutcome, TruncationInfo};
+pub use enumeration::{
+    enumerate_adcs, resume_adcs, EnumerationOptions, EnumerationOutcome, EnumerationResume,
+    TruncationInfo,
+};
 pub use metrics::{f1_score, g_recall, DcSetComparison};
-pub use miner::{AdcMiner, EvidenceStrategy, MinerConfig, MiningResult, Timings};
+pub use miner::{AdcMiner, EvidenceStrategy, MinerConfig, MiningResult, MiningResume, Timings};
 pub use sampling::SampleThreshold;
 
 // Re-export the pieces users need to drive the miner without importing every crate.
 pub use adc_approx::{ApproxKind, ApproximationFunction};
-pub use adc_hitting::{BranchStrategy, SearchBudget, SearchOrder, TruncationReason};
+pub use adc_hitting::{
+    BranchStrategy, SearchBudget, SearchOrder, SuspendedSearch, TruncationReason,
+};
 pub use adc_predicates::{DenialConstraint, PredicateSpace, SpaceConfig, TupleRole};

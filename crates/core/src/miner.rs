@@ -1,6 +1,8 @@
 //! The end-to-end `ADCMiner` pipeline (Figure 1 of the paper).
 
-use crate::enumeration::{enumerate_adcs, EnumerationOptions, TruncationInfo};
+use crate::enumeration::{
+    enumerate_adcs, resume_adcs, EnumerationOptions, EnumerationResume, TruncationInfo,
+};
 use crate::sampling;
 use adc_approx::{ApproxKind, ApproximationFunction, SampleAdjustedF1};
 use adc_data::Relation;
@@ -175,6 +177,34 @@ impl Timings {
     }
 }
 
+/// Opaque resume token of a budget-cut mining run: the suspended search
+/// frontier together with the predicate space and the already-built evidence
+/// set, so [`AdcMiner::resume`] continues the enumeration **without**
+/// redoing the `O(n²)` evidence scan. Resuming with the same miner
+/// configuration replays the identical deterministic traversal — the DC
+/// sequences of the slices concatenate to the single-run sequence.
+#[derive(Debug, Clone)]
+pub struct MiningResume {
+    space: PredicateSpace,
+    evidence: Evidence,
+    mined_tuples: usize,
+    enumeration: EnumerationResume,
+}
+
+impl MiningResume {
+    /// Number of pending search nodes the token holds (a proxy for its
+    /// memory footprint; bound it with
+    /// [`SearchBudget::with_max_frontier_nodes`]).
+    pub fn frontier_len(&self) -> usize {
+        self.enumeration.frontier_len()
+    }
+
+    /// Search nodes expanded so far across every slice.
+    pub fn total_nodes_expanded(&self) -> u64 {
+        self.enumeration.total_nodes_expanded()
+    }
+}
+
 /// The output of [`AdcMiner::mine`].
 #[derive(Debug, Clone)]
 pub struct MiningResult {
@@ -197,6 +227,9 @@ pub struct MiningResult {
     /// short (the DCs are an anytime prefix — under shortest-first order,
     /// the shortest part of the minimal frontier).
     pub truncation: Option<TruncationInfo>,
+    /// Present exactly when the run was truncated: hand it to
+    /// [`AdcMiner::resume`] to continue mining where this run stopped.
+    pub resume: Option<MiningResume>,
 }
 
 impl MiningResult {
@@ -260,25 +293,25 @@ impl AdcMiner {
 
         // 4. Enumeration.
         let t3 = Instant::now();
-        let function: Box<dyn ApproximationFunction> = match (cfg.approx, cfg.confidence_alpha) {
-            (ApproxKind::F1, Some(alpha)) if cfg.sample_fraction < 1.0 => {
-                Box::new(SampleAdjustedF1::with_alpha(alpha))
-            }
-            (kind, _) => kind.instantiate(),
-        };
-        let mut options = EnumerationOptions::new(cfg.epsilon);
-        options.strategy = cfg.strategy;
-        options.max_dcs = cfg.max_dcs;
-        options.order = cfg.order;
-        options.budget = cfg.budget;
+        let function = self.approximation_function();
+        let options = self.enumeration_options();
         let outcome = enumerate_adcs(&space, &evidence, function.as_ref(), &options);
         let enumeration_time = t3.elapsed();
 
+        let mined_tuples = mined.len();
+        let distinct_evidence = evidence.evidence_set.distinct_count();
+        let total_pairs = evidence.evidence_set.total_pairs();
         MiningResult {
             dcs: outcome.dcs,
-            mined_tuples: mined.len(),
-            distinct_evidence: evidence.evidence_set.distinct_count(),
-            total_pairs: evidence.evidence_set.total_pairs(),
+            mined_tuples,
+            distinct_evidence,
+            total_pairs,
+            resume: outcome.resume.map(|enumeration| MiningResume {
+                space: space.clone(),
+                evidence,
+                mined_tuples,
+                enumeration,
+            }),
             space,
             timings: Timings {
                 predicate_space: predicate_space_time,
@@ -289,6 +322,77 @@ impl AdcMiner {
             enum_stats: outcome.stats,
             truncation: outcome.truncation,
         }
+    }
+
+    /// Continue a budget-cut mining run from the token carried by
+    /// [`MiningResult::resume`]. The evidence set stored in the token is
+    /// reused — no sampling and no `O(n²)` evidence scan happens here — and
+    /// the enumeration picks up exactly where the previous slice stopped.
+    ///
+    /// The miner configuration must be the one that produced the token
+    /// (same ε, approximation function, strategy, and order); the budget
+    /// and `max_dcs` apply per slice, so a caller can mine in fixed-size
+    /// slices by resuming in a loop until [`MiningResult::resume`] is
+    /// `None`. The concatenated DC sequence across slices is identical to a
+    /// single uncut run's.
+    pub fn resume(&self, resume: MiningResume) -> MiningResult {
+        let MiningResume {
+            space,
+            evidence,
+            mined_tuples,
+            enumeration,
+        } = resume;
+        let t = Instant::now();
+        let function = self.approximation_function();
+        let options = self.enumeration_options();
+        let outcome = resume_adcs(&space, &evidence, function.as_ref(), &options, enumeration);
+        let enumeration_time = t.elapsed();
+
+        let distinct_evidence = evidence.evidence_set.distinct_count();
+        let total_pairs = evidence.evidence_set.total_pairs();
+        MiningResult {
+            dcs: outcome.dcs,
+            mined_tuples,
+            distinct_evidence,
+            total_pairs,
+            resume: outcome.resume.map(|enumeration| MiningResume {
+                space: space.clone(),
+                evidence,
+                mined_tuples,
+                enumeration,
+            }),
+            space,
+            timings: Timings {
+                enumeration: enumeration_time,
+                ..Timings::default()
+            },
+            enum_stats: outcome.stats,
+            truncation: outcome.truncation,
+        }
+    }
+
+    /// The approximation function the configuration selects (shared by
+    /// [`AdcMiner::mine`] and [`AdcMiner::resume`] so resumed slices score
+    /// identically).
+    fn approximation_function(&self) -> Box<dyn ApproximationFunction> {
+        let cfg = &self.config;
+        match (cfg.approx, cfg.confidence_alpha) {
+            (ApproxKind::F1, Some(alpha)) if cfg.sample_fraction < 1.0 => {
+                Box::new(SampleAdjustedF1::with_alpha(alpha))
+            }
+            (kind, _) => kind.instantiate(),
+        }
+    }
+
+    /// The enumeration options the configuration selects.
+    fn enumeration_options(&self) -> EnumerationOptions {
+        let cfg = &self.config;
+        let mut options = EnumerationOptions::new(cfg.epsilon);
+        options.strategy = cfg.strategy;
+        options.max_dcs = cfg.max_dcs;
+        options.order = cfg.order;
+        options.budget = cfg.budget;
+        options
     }
 }
 
@@ -490,6 +594,42 @@ mod tests {
             result.truncation.map(|t| t.reason),
             Some(TruncationReason::Deadline)
         );
+    }
+
+    #[test]
+    fn budget_cut_mining_resumes_in_slices_to_the_single_run_result() {
+        let r = tax_relation(60, 2, 5);
+        let config = MinerConfig::new(0.05).with_order(SearchOrder::ShortestFirst);
+        let reference = AdcMiner::new(config).mine(&r);
+        assert!(reference.truncation.is_none());
+        assert!(reference.resume.is_none());
+
+        let sliced_config = config.with_budget(SearchBudget::unlimited().with_max_nodes(40));
+        let miner = AdcMiner::new(sliced_config);
+        let mut result = miner.mine(&r);
+        let mut dcs = std::mem::take(&mut result.dcs);
+        let mut slices = 1;
+        while let Some(token) = result.resume.take() {
+            slices += 1;
+            assert!(slices < 10_000, "runaway resume loop");
+            result = miner.resume(token);
+            // Resumed slices reuse the stored evidence: no new evidence scan.
+            assert_eq!(result.timings.evidence, Duration::ZERO);
+            dcs.extend(std::mem::take(&mut result.dcs));
+        }
+        assert!(slices > 2, "the slice budget never fired");
+        assert!(
+            result.truncation.is_none(),
+            "final slice must be exhaustive"
+        );
+        let ids = |dcs: &[DenialConstraint]| {
+            dcs.iter()
+                .map(|d| d.predicate_ids().to_vec())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ids(&dcs), ids(&reference.dcs));
+        assert_eq!(result.mined_tuples, reference.mined_tuples);
+        assert_eq!(result.distinct_evidence, reference.distinct_evidence);
     }
 
     #[test]

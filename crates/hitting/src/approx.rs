@@ -30,8 +30,8 @@
 //! be complete (see `adc-approx`).
 
 use crate::search::{
-    run_search, NodeDisposition, SearchBudget, SearchConfig, SearchDriver, SearchNode, SearchOrder,
-    SearchOutcome,
+    resume_search, run_search_resumable, NodeDisposition, SearchBudget, SearchConfig, SearchDriver,
+    SearchNode, SearchOrder, SearchOutcome, SuspendedSearch,
 };
 use crate::{BranchStrategy, SetSystem};
 use adc_data::FixedBitSet;
@@ -134,6 +134,12 @@ pub struct ApproxEnumStats {
     pub score_evaluations: u64,
     /// Number of emitted minimal approximate hitting sets.
     pub emitted: u64,
+    /// High-water mark of simultaneously held frontier nodes — the memory
+    /// footprint the `max_frontier_nodes` budget bounds.
+    pub peak_frontier: u64,
+    /// Memory-bound frontier contractions performed (non-zero only when
+    /// [`SearchBudget::max_frontier_nodes`] fired).
+    pub frontier_contractions: u64,
 }
 
 /// Enumerate all minimal approximate hitting sets of `system` w.r.t. the
@@ -167,6 +173,57 @@ where
     S: Fn(&FixedBitSet) -> f64,
     F: FnMut(&FixedBitSet) -> bool,
 {
+    let (stats, outcome, _) =
+        search_approx_minimal_hitting_sets_resumable(system, score, config, callback);
+    (stats, outcome)
+}
+
+/// Like [`search_approx_minimal_hitting_sets`], but a budget- or cap-cut run
+/// also returns a [`SuspendedSearch`] token for
+/// [`resume_approx_minimal_hitting_sets`]. A cut run resumed to completion
+/// (with the identical system, score, and config) emits exactly the same
+/// cover sequence as a single uncut run.
+pub fn search_approx_minimal_hitting_sets_resumable<S, F>(
+    system: &SetSystem,
+    score: S,
+    config: &ApproxEnumConfig<'_>,
+    callback: &mut F,
+) -> (ApproxEnumStats, SearchOutcome, Option<SuspendedSearch>)
+where
+    S: Fn(&FixedBitSet) -> f64,
+    F: FnMut(&FixedBitSet) -> bool,
+{
+    approx_run(system, score, config, None, callback)
+}
+
+/// Continue a suspended approximate enumeration. `config` must describe the
+/// same problem as the original run (threshold, groups, pruning, score);
+/// its budget and result cap apply to this slice alone.
+pub fn resume_approx_minimal_hitting_sets<S, F>(
+    system: &SetSystem,
+    score: S,
+    config: &ApproxEnumConfig<'_>,
+    suspended: SuspendedSearch,
+    callback: &mut F,
+) -> (ApproxEnumStats, SearchOutcome, Option<SuspendedSearch>)
+where
+    S: Fn(&FixedBitSet) -> f64,
+    F: FnMut(&FixedBitSet) -> bool,
+{
+    approx_run(system, score, config, Some(suspended), callback)
+}
+
+fn approx_run<S, F>(
+    system: &SetSystem,
+    score: S,
+    config: &ApproxEnumConfig<'_>,
+    suspended: Option<SuspendedSearch>,
+    callback: &mut F,
+) -> (ApproxEnumStats, SearchOutcome, Option<SuspendedSearch>)
+where
+    S: Fn(&FixedBitSet) -> f64,
+    F: FnMut(&FixedBitSet) -> bool,
+{
     assert!(config.epsilon >= 0.0, "epsilon must be non-negative");
     if let Some(groups) = config.element_groups {
         assert_eq!(
@@ -187,13 +244,18 @@ where
         order: config.order,
         budget: config.effective_budget(),
     };
-    let outcome = run_search(system, &mut driver, &engine_config, callback);
+    let (outcome, next) = match suspended {
+        None => run_search_resumable(system, &mut driver, &engine_config, callback),
+        Some(token) => resume_search(system, &mut driver, &engine_config, token, callback),
+    };
     let stats = ApproxEnumStats {
         recursive_calls: outcome.nodes_expanded,
         score_evaluations: driver.score_evaluations,
         emitted: outcome.emitted as u64,
+        peak_frontier: outcome.peak_frontier as u64,
+        frontier_contractions: outcome.contractions,
     };
-    (stats, outcome)
+    (stats, outcome, next)
 }
 
 /// Convenience wrapper collecting the results into a vector.

@@ -41,11 +41,16 @@ pub mod search;
 
 pub use approx::{
     approx_minimal_hitting_sets, enumerate_approx_minimal_hitting_sets,
-    search_approx_minimal_hitting_sets, ApproxEnumConfig, ApproxEnumStats,
+    resume_approx_minimal_hitting_sets, search_approx_minimal_hitting_sets,
+    search_approx_minimal_hitting_sets_resumable, ApproxEnumConfig, ApproxEnumStats,
 };
-pub use mmcs::{enumerate_minimal_hitting_sets, minimal_hitting_sets, search_minimal_hitting_sets};
+pub use mmcs::{
+    enumerate_minimal_hitting_sets, minimal_hitting_sets, resume_minimal_hitting_sets,
+    search_minimal_hitting_sets, search_minimal_hitting_sets_resumable,
+};
 pub use search::{
-    SearchBudget, SearchDriver, SearchOrder, SearchOutcome, Truncation, TruncationReason,
+    SearchBudget, SearchDriver, SearchOrder, SearchOutcome, SuspendedSearch, Truncation,
+    TruncationReason,
 };
 
 use adc_data::FixedBitSet;

@@ -15,10 +15,15 @@
 //! (shortest-first emission uses the [`greedy_disjoint_lower_bound`] as an
 //! admissible frontier key) and a [`SearchBudget`], and reports a
 //! [`SearchOutcome`] that distinguishes exhaustive from truncated runs.
+//! Budget-cut runs are resumable ([`search_minimal_hitting_sets_resumable`] /
+//! [`resume_minimal_hitting_sets`]), and unbudgeted depth-first runs take the
+//! engine's in-place undo walk, which skips per-child node snapshots
+//! entirely — the classic recursive MMCS cost profile.
 
 use crate::search::{
-    greedy_disjoint_lower_bound, run_search, NodeDisposition, SearchBudget, SearchConfig,
-    SearchDriver, SearchNode, SearchOrder, SearchOutcome,
+    greedy_disjoint_lower_bound, resume_search, run_search, run_search_resumable, NodeDisposition,
+    SearchBudget, SearchConfig, SearchDriver, SearchNode, SearchOrder, SearchOutcome,
+    SuspendedSearch,
 };
 use crate::{BranchStrategy, SetSystem};
 use adc_data::FixedBitSet;
@@ -72,6 +77,49 @@ where
     run_search(system, &mut ExactDriver, &config, callback)
 }
 
+/// Like [`search_minimal_hitting_sets`], but a budget-cut run also returns a
+/// [`SuspendedSearch`] token. Feeding the token to
+/// [`resume_minimal_hitting_sets`] continues the traversal exactly where it
+/// stopped: the concatenated emission across slices equals the sequence of a
+/// single uncapped run.
+pub fn search_minimal_hitting_sets_resumable<F>(
+    system: &SetSystem,
+    strategy: BranchStrategy,
+    order: SearchOrder,
+    budget: SearchBudget,
+    callback: &mut F,
+) -> (SearchOutcome, Option<SuspendedSearch>)
+where
+    F: FnMut(&FixedBitSet) -> bool,
+{
+    let config = SearchConfig {
+        strategy,
+        order,
+        budget,
+    };
+    run_search_resumable(system, &mut ExactDriver, &config, callback)
+}
+
+/// Continue a suspended exact enumeration. `budget` applies to this slice
+/// alone; order and strategy are taken from the token (which
+/// [`resume_search`] validates against).
+pub fn resume_minimal_hitting_sets<F>(
+    system: &SetSystem,
+    budget: SearchBudget,
+    suspended: SuspendedSearch,
+    callback: &mut F,
+) -> (SearchOutcome, Option<SuspendedSearch>)
+where
+    F: FnMut(&FixedBitSet) -> bool,
+{
+    let config = SearchConfig {
+        strategy: suspended.strategy(),
+        order: suspended.order(),
+        budget,
+    };
+    resume_search(system, &mut ExactDriver, &config, suspended, callback)
+}
+
 /// Convenience wrapper collecting all minimal hitting sets into a vector.
 pub fn minimal_hitting_sets(system: &SetSystem, strategy: BranchStrategy) -> Vec<FixedBitSet> {
     let mut out = Vec::new();
@@ -98,6 +146,13 @@ impl SearchDriver for ExactDriver {
 
     fn lower_bound(&mut self, system: &SetSystem, node: &SearchNode) -> usize {
         greedy_disjoint_lower_bound(system, node.uncov(), node.cand())
+    }
+
+    fn supports_inplace_dfs(&self) -> bool {
+        // `classify` is exactly the exact-MMCS rule (emit iff `uncov` is
+        // empty), so unbudgeted DFS runs may use the engine's in-place undo
+        // walk instead of per-child node snapshots.
+        true
     }
 }
 
@@ -252,6 +307,110 @@ mod tests {
             outcome.truncation.unwrap().reason,
             TruncationReason::MaxNodes
         );
+    }
+
+    #[test]
+    fn inplace_dfs_matches_the_explicit_engine_order() {
+        // `enumerate_minimal_hitting_sets` (unbudgeted DFS) takes the
+        // in-place undo walk; forcing any budget falls back to the explicit
+        // frontier. Both must emit the identical sequence, not just set.
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let m = rng.gen_range(3..9);
+            let k = rng.gen_range(1..7);
+            let mut subsets = Vec::new();
+            for _ in 0..k {
+                let mut s = FixedBitSet::new(m);
+                for e in 0..m {
+                    if rng.gen_bool(0.4) {
+                        s.insert(e);
+                    }
+                }
+                if s.is_empty() {
+                    s.insert(rng.gen_range(0..m));
+                }
+                subsets.push(s);
+            }
+            let sys = SetSystem::new(m, subsets);
+            for strategy in [
+                BranchStrategy::MaxIntersection,
+                BranchStrategy::MinIntersection,
+                BranchStrategy::First,
+            ] {
+                let mut inplace = Vec::new();
+                let fast = search_minimal_hitting_sets(
+                    &sys,
+                    strategy,
+                    SearchOrder::Dfs,
+                    SearchBudget::unlimited(),
+                    &mut |s: &FixedBitSet| {
+                        inplace.push(s.to_vec());
+                        true
+                    },
+                );
+                let mut explicit = Vec::new();
+                let slow = search_minimal_hitting_sets(
+                    &sys,
+                    strategy,
+                    SearchOrder::Dfs,
+                    SearchBudget::unlimited().with_max_nodes(u64::MAX),
+                    &mut |s: &FixedBitSet| {
+                        explicit.push(s.to_vec());
+                        true
+                    },
+                );
+                assert_eq!(inplace, explicit, "strategy {strategy:?}");
+                assert_eq!(fast.emitted, slow.emitted);
+                assert_eq!(fast.nodes_expanded, slow.nodes_expanded);
+                assert!(fast.is_exhaustive() && slow.is_exhaustive());
+            }
+        }
+    }
+
+    #[test]
+    fn budget_cut_exact_run_resumes_to_the_uncapped_sequence() {
+        let sys = SetSystem::from_indices(8, &[&[0, 1], &[2, 3], &[4, 5], &[6, 7]]);
+        for order in [SearchOrder::Dfs, SearchOrder::ShortestFirst] {
+            let mut reference = Vec::new();
+            let outcome = search_minimal_hitting_sets(
+                &sys,
+                BranchStrategy::default(),
+                order,
+                SearchBudget::unlimited(),
+                &mut |s: &FixedBitSet| {
+                    reference.push(s.to_vec());
+                    true
+                },
+            );
+            assert!(outcome.is_exhaustive());
+            assert_eq!(reference.len(), 16);
+
+            let slice = SearchBudget::unlimited().with_max_nodes(5);
+            let mut covers = Vec::new();
+            let (_, mut suspended) = search_minimal_hitting_sets_resumable(
+                &sys,
+                BranchStrategy::default(),
+                order,
+                slice,
+                &mut |s: &FixedBitSet| {
+                    covers.push(s.to_vec());
+                    true
+                },
+            );
+            let mut slices = 1;
+            while let Some(token) = suspended.take() {
+                slices += 1;
+                assert!(slices < 100, "runaway resume loop");
+                let (_, next) =
+                    resume_minimal_hitting_sets(&sys, slice, token, &mut |s: &FixedBitSet| {
+                        covers.push(s.to_vec());
+                        true
+                    });
+                suspended = next;
+            }
+            assert!(slices > 2, "the slice budget never fired ({order:?})");
+            assert_eq!(covers, reference, "order {order:?}");
+        }
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! lists are thinned. This module owns the tree walk; the algorithms supply
 //! those decisions through [`SearchDriver`].
 //!
-//! The walk is an **explicit frontier**, not recursion, which buys two things
-//! the recursive implementations could not offer:
+//! The walk is an **explicit frontier**, not recursion, which buys four
+//! things the recursive implementations could not offer:
 //!
 //! * **Pluggable order** ([`SearchOrder`]): a LIFO stack reproduces the
 //!   classic depth-first traversal; [`SearchOrder::ShortestFirst`] is a
@@ -23,11 +23,28 @@
 //!   limits checked at every step, with a [`SearchOutcome`] reporting whether
 //!   the run was exhaustive and, under shortest-first, up to which cover size
 //!   the emitted frontier is provably complete.
+//! * **Suspend / resume** ([`SuspendedSearch`]): a budget-cut run hands back
+//!   its live frontier as an opaque token; [`resume_search`] continues the
+//!   traversal exactly where it stopped, and a cut-then-resumed run emits
+//!   **the same cover sequence** as a single uncapped run.
+//! * **Bounded memory** ([`SearchBudget::max_frontier_nodes`]): when the
+//!   best-first frontier outgrows the cap, the deepest tail of the heap is
+//!   spilled to a DFS lane and expanded in place, so the frontier never
+//!   holds more than ~1.5× the cap while the nondecreasing-size emission
+//!   guarantee degrades gracefully (the [`Truncation::complete_below`] bound
+//!   stays honest throughout).
+//!
+//! One escape hatch remains from the recursion era: an **in-place undo walk**
+//! ([`SearchDriver::supports_inplace_dfs`]) used for unbudgeted depth-first
+//! exact enumeration, where per-child node snapshots would only cost — it
+//! visits the identical tree in the identical order while mutating a single
+//! node's state with O(1) undo instead of cloning it per child.
 
 use crate::{BranchStrategy, SetSystem};
 use adc_data::FixedBitSet;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 /// The order in which frontier nodes are expanded.
@@ -46,16 +63,30 @@ pub enum SearchOrder {
     ShortestFirst,
 }
 
-/// Resource limits for one search run. The default is unlimited.
+/// Resource limits for one search run (one *slice*, when resuming). The
+/// default is unlimited.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SearchBudget {
     /// Stop after expanding this many nodes.
     pub max_nodes: Option<u64>,
     /// Stop once this much wall-clock time has elapsed since the search
-    /// started (checked before each node expansion).
+    /// started (checked before each node expansion *and* periodically inside
+    /// wide expansions, so a single huge subset-selection loop cannot
+    /// overshoot the deadline unboundedly).
     pub deadline: Option<Duration>,
     /// Stop after emitting this many results.
     pub max_emitted: Option<usize>,
+    /// Memory bound: maximum number of nodes the best-first frontier may
+    /// hold. Exceeding it triggers a *contraction* — the deepest (largest
+    /// key) half of the heap is spilled to a DFS lane and expanded in place
+    /// before best-first popping resumes — so total held nodes stay within
+    /// ~1.5× this cap plus transient DFS depth. Contractions trade the
+    /// global nondecreasing-size emission guarantee for bounded memory;
+    /// [`Truncation::complete_below`] remains a correct bound either way,
+    /// and [`SearchOutcome::contractions`] reports how often it happened.
+    /// Ignored under [`SearchOrder::Dfs`], whose stack is inherently bounded
+    /// by tree depth × branching.
+    pub max_frontier_nodes: Option<usize>,
 }
 
 impl SearchBudget {
@@ -82,9 +113,19 @@ impl SearchBudget {
         self
     }
 
+    /// Bound the number of nodes the best-first frontier may hold (see
+    /// [`SearchBudget::max_frontier_nodes`] for the contraction policy).
+    pub fn with_max_frontier_nodes(mut self, max_frontier_nodes: usize) -> Self {
+        self.max_frontier_nodes = Some(max_frontier_nodes);
+        self
+    }
+
     /// `true` when no limit is set.
     pub fn is_unlimited(&self) -> bool {
-        self.max_nodes.is_none() && self.deadline.is_none() && self.max_emitted.is_none()
+        self.max_nodes.is_none()
+            && self.deadline.is_none()
+            && self.max_emitted.is_none()
+            && self.max_frontier_nodes.is_none()
     }
 }
 
@@ -108,28 +149,76 @@ pub struct Truncation {
     pub reason: TruncationReason,
     /// Under [`SearchOrder::ShortestFirst`]: every cover of size *strictly
     /// below* this was emitted before the cut — the frontier is complete up
-    /// to (but excluding) this size. `None` under [`SearchOrder::Dfs`], where
-    /// no such guarantee exists.
+    /// to (but excluding) this size. The bound is the minimum admissible key
+    /// over **every** pending node (heap, DFS spill lane, and any expansion
+    /// aborted mid-flight), so it stays correct even after memory-bound
+    /// contractions have perturbed the emission order. `None` under
+    /// [`SearchOrder::Dfs`], where frontier priorities carry no admissible
+    /// completeness information and no such guarantee exists.
     pub complete_below: Option<usize>,
 }
 
-/// What one search run did and whether it finished.
+/// What one search run (slice) did and whether it finished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SearchOutcome {
-    /// Number of results handed to the callback.
+    /// Number of results handed to the callback *by this run*. When
+    /// resuming, the per-slice counters add up across slices;
+    /// [`SuspendedSearch::total_emitted`] carries the running total.
     pub emitted: usize,
-    /// Number of frontier nodes expanded (the explicit-stack equivalent of
-    /// the recursive call count).
+    /// Number of frontier nodes expanded by this run (the explicit-stack
+    /// equivalent of the recursive call count).
     pub nodes_expanded: u64,
     /// `None` when the frontier was exhausted — the enumeration is complete.
     /// `Some` when a budget or the callback cut the run short.
     pub truncation: Option<Truncation>,
+    /// High-water mark of simultaneously held frontier nodes (heap + spill
+    /// lane + any in-flight node). Under the in-place undo walk, where
+    /// pending siblings are implicit, this reports the maximum walk depth
+    /// instead.
+    pub peak_frontier: usize,
+    /// Number of memory-bound frontier contractions performed by this run
+    /// (always 0 unless [`SearchBudget::max_frontier_nodes`] is set). Any
+    /// non-zero value means the nondecreasing-size emission guarantee of
+    /// [`SearchOrder::ShortestFirst`] was locally relaxed to stay within
+    /// the memory bound.
+    pub contractions: u64,
 }
 
 impl SearchOutcome {
     /// `true` when the whole search space was explored.
     pub fn is_exhaustive(&self) -> bool {
         self.truncation.is_none()
+    }
+}
+
+/// Compact storage for a node's `uncov` and `crit` lists: one shared `u32`
+/// buffer addressed by region bounds, instead of one heap allocation per
+/// list. Region 0 is `uncov`; region `i + 1` is `crit[i]`. The whole thing
+/// sits behind an `Rc` so children that keep the lists unchanged (the
+/// non-hitting branch) share them for free — this is what makes wide
+/// frontiers cheap enough to hold and suspend.
+#[derive(Debug)]
+struct NodeLists {
+    buf: Box<[u32]>,
+    /// `bounds[i]..bounds[i + 1]` delimits region `i`.
+    bounds: Box<[u32]>,
+}
+
+impl NodeLists {
+    fn root(num_subsets: usize) -> Self {
+        NodeLists {
+            buf: (0..num_subsets as u32).collect(),
+            bounds: vec![0, num_subsets as u32].into_boxed_slice(),
+        }
+    }
+
+    fn region(&self, i: usize) -> &[u32] {
+        &self.buf[self.bounds[i] as usize..self.bounds[i + 1] as usize]
+    }
+
+    /// Number of criticality regions (equals `|S|`).
+    fn crit_regions(&self) -> usize {
+        self.bounds.len() - 2
     }
 }
 
@@ -143,14 +232,13 @@ pub struct SearchNode {
     s_set: FixedBitSet,
     /// Elements still allowed into the solution.
     cand: FixedBitSet,
-    /// Indexes of subsets not yet hit by `s`, in stable order.
-    uncov: Vec<usize>,
-    /// `crit[i]` = subsets for which `s[i]` is the only hitter (parallel to
-    /// `s`; every entry non-empty — the MMCS minimality invariant).
-    crit: Vec<Vec<usize>>,
+    /// `uncov` (subsets not yet hit, stable ascending order) and `crit[i]`
+    /// (subsets for which `s[i]` is the only hitter; every region non-empty —
+    /// the MMCS minimality invariant), interned in one compact buffer.
+    lists: Rc<NodeLists>,
     /// Subsets still reachable by some candidate (only thinned by drivers
-    /// that take the non-hitting branch; full otherwise).
-    can_hit: FixedBitSet,
+    /// that take the non-hitting branch; shared untouched otherwise).
+    can_hit: Rc<FixedBitSet>,
 }
 
 impl SearchNode {
@@ -160,9 +248,8 @@ impl SearchNode {
             s: Vec::new(),
             s_set: FixedBitSet::new(m),
             cand: FixedBitSet::full(m),
-            uncov: (0..system.len()).collect(),
-            crit: Vec::new(),
-            can_hit: FixedBitSet::full(system.len()),
+            lists: Rc::new(NodeLists::root(system.len())),
+            can_hit: Rc::new(FixedBitSet::full(system.len())),
         }
     }
 
@@ -181,9 +268,15 @@ impl SearchNode {
         &self.cand
     }
 
-    /// Subsets not yet hit by the partial solution.
-    pub fn uncov(&self) -> &[usize] {
-        &self.uncov
+    /// Indexes of the subsets not yet hit by the partial solution, in stable
+    /// ascending order.
+    pub fn uncov(&self) -> &[u32] {
+        self.lists.region(0)
+    }
+
+    /// `crit[i]`: the subsets for which `s[i]` is the only hitter.
+    fn crit(&self, i: usize) -> &[u32] {
+        self.lists.region(i + 1)
     }
 }
 
@@ -248,6 +341,15 @@ pub trait SearchDriver {
     fn unhittable_is_fatal(&self) -> bool {
         true
     }
+
+    /// Opt-in for the in-place undo walk used on unbudgeted DFS runs. A
+    /// driver may return `true` only when its [`Self::classify`] is exactly
+    /// the exact-MMCS rule — emit iff `uncov` is empty, expand otherwise —
+    /// and [`Self::wants_skip_branch`] is `false`; the fast path inlines that
+    /// classification instead of materialising nodes. Defaults to `false`.
+    fn supports_inplace_dfs(&self) -> bool {
+        false
+    }
 }
 
 /// Engine configuration: branching strategy, frontier order, budget.
@@ -261,9 +363,98 @@ pub struct SearchConfig {
     pub budget: SearchBudget,
 }
 
+/// Which lane of the frontier a node came from / its children go to.
+///
+/// `Best` is the configured discipline (heap or DFS stack); `Spill` is the
+/// DFS lane holding memory-bound contraction victims, whose whole subtrees
+/// are expanded depth-first in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lane {
+    Best,
+    Spill,
+}
+
+/// The live state of a budget-cut search: the entire pending frontier plus
+/// the cumulative emission/node counters. Obtained from
+/// [`run_search_resumable`] when a [`SearchBudget`] (or the callback) cuts a
+/// run short, and handed to [`resume_search`] to continue the traversal.
+///
+/// Resuming with the same system, driver configuration, order, and strategy
+/// continues the *identical* deterministic traversal: the concatenation of
+/// the cover sequences emitted by the slices equals the sequence a single
+/// uncapped run emits. The token is self-describing (it records order and
+/// strategy and validates them on resume) but deliberately opaque otherwise.
+#[derive(Debug, Clone)]
+pub struct SuspendedSearch {
+    order: SearchOrder,
+    strategy: BranchStrategy,
+    /// Best-lane entries: heap content as `(node, priority, seq)` (sorted by
+    /// key for determinism of the stored form), or the DFS stack bottom→top
+    /// with `seq = 0`.
+    entries: Vec<FrontierEntry>,
+    /// The DFS spill lane, bottom→top (always empty under [`SearchOrder::Dfs`]).
+    spill: Vec<SpillEntry>,
+    /// A node that was popped but whose expansion was aborted mid-flight by
+    /// the deadline; it is re-expanded (from scratch, deterministically)
+    /// before the frontier is popped again.
+    pending: Option<(SearchNode, usize, bool)>,
+    next_seq: u64,
+    total_nodes_expanded: u64,
+    total_emitted: usize,
+    total_contractions: u64,
+}
+
+impl SuspendedSearch {
+    /// The frontier order the suspended run was using.
+    pub fn order(&self) -> SearchOrder {
+        self.order
+    }
+
+    /// The branch strategy the suspended run was using.
+    pub fn strategy(&self) -> BranchStrategy {
+        self.strategy
+    }
+
+    /// Number of pending frontier nodes held by the token.
+    pub fn frontier_len(&self) -> usize {
+        self.entries.len() + self.spill.len() + usize::from(self.pending.is_some())
+    }
+
+    /// Results emitted so far across every slice of this search.
+    pub fn total_emitted(&self) -> usize {
+        self.total_emitted
+    }
+
+    /// Nodes expanded so far across every slice of this search.
+    pub fn total_nodes_expanded(&self) -> u64 {
+        self.total_nodes_expanded
+    }
+
+    /// Memory-bound frontier contractions performed so far across every
+    /// slice of this search.
+    pub fn total_contractions(&self) -> u64 {
+        self.total_contractions
+    }
+}
+
+/// Wall-clock deadline shared by the main loop and the expansion internals.
+struct DeadlineGuard {
+    start: Instant,
+    limit: Duration,
+}
+
+impl DeadlineGuard {
+    fn expired(&self) -> bool {
+        self.start.elapsed() >= self.limit
+    }
+}
+
 /// Run the search over `system` with the given driver and configuration,
 /// invoking `callback` once per emitted solution. The callback may return
 /// `false` to stop the search early.
+///
+/// Any suspended state is discarded; use [`run_search_resumable`] when a
+/// budget-cut run should be continuable.
 pub fn run_search<D, F>(
     system: &SetSystem,
     driver: &mut D,
@@ -274,33 +465,160 @@ where
     D: SearchDriver,
     F: FnMut(&FixedBitSet) -> bool,
 {
-    let start = Instant::now();
-    let mut frontier = Frontier::new(config.order);
-    let root = SearchNode::root(system);
-    let root_priority = match config.order {
-        SearchOrder::Dfs => 0,
-        SearchOrder::ShortestFirst => driver.lower_bound(system, &root),
+    run_search_resumable(system, driver, config, callback).0
+}
+
+/// Like [`run_search`], but a budget- or callback-cut run also returns a
+/// [`SuspendedSearch`] token that [`resume_search`] can continue from. The
+/// token is `Some` exactly when [`SearchOutcome::truncation`] is `Some`,
+/// with one exception: the in-place undo walk (unbudgeted exact DFS) does
+/// not materialise a frontier, so a callback stop there yields no token.
+pub fn run_search_resumable<D, F>(
+    system: &SetSystem,
+    driver: &mut D,
+    config: &SearchConfig,
+    callback: &mut F,
+) -> (SearchOutcome, Option<SuspendedSearch>)
+where
+    D: SearchDriver,
+    F: FnMut(&FixedBitSet) -> bool,
+{
+    if config.order == SearchOrder::Dfs
+        && config.budget.is_unlimited()
+        && !driver.wants_skip_branch()
+        && driver.supports_inplace_dfs()
+    {
+        return (
+            run_dfs_inplace(system, driver, config.strategy, callback),
+            None,
+        );
+    }
+    drive(system, driver, config, None, callback)
+}
+
+/// Continue a search suspended by an earlier budget cut.
+///
+/// `config.budget` applies to this slice alone (each slice gets its own
+/// limits); `config.order` and `config.strategy` must match the original
+/// run's, and the driver must be configured identically — the resumed
+/// traversal is then byte-identical to the uncut one.
+///
+/// # Panics
+/// Panics when the order or strategy differs from the suspended run's, or
+/// when the token does not belong to `system` (element-universe mismatch).
+pub fn resume_search<D, F>(
+    system: &SetSystem,
+    driver: &mut D,
+    config: &SearchConfig,
+    suspended: SuspendedSearch,
+    callback: &mut F,
+) -> (SearchOutcome, Option<SuspendedSearch>)
+where
+    D: SearchDriver,
+    F: FnMut(&FixedBitSet) -> bool,
+{
+    assert_eq!(
+        config.order, suspended.order,
+        "resume_search: the frontier order must match the suspended run's"
+    );
+    assert_eq!(
+        config.strategy, suspended.strategy,
+        "resume_search: the branch strategy must match the suspended run's"
+    );
+    let sample = suspended
+        .entries
+        .first()
+        .map(|(n, _, _)| n)
+        .or_else(|| suspended.spill.first().map(|(n, _)| n))
+        .or_else(|| suspended.pending.as_ref().map(|(n, _, _)| n));
+    if let Some(node) = sample {
+        assert_eq!(
+            node.cand.capacity(),
+            system.num_elements(),
+            "resume_search: the token was produced over a different set system"
+        );
+    }
+    drive(system, driver, config, Some(suspended), callback)
+}
+
+/// The explicit-frontier engine shared by fresh and resumed runs.
+fn drive<D, F>(
+    system: &SetSystem,
+    driver: &mut D,
+    config: &SearchConfig,
+    resume: Option<SuspendedSearch>,
+    callback: &mut F,
+) -> (SearchOutcome, Option<SuspendedSearch>)
+where
+    D: SearchDriver,
+    F: FnMut(&FixedBitSet) -> bool,
+{
+    let guard = config.budget.deadline.map(|limit| DeadlineGuard {
+        start: Instant::now(),
+        limit,
+    });
+
+    let (mut frontier, mut pending, prior_nodes, prior_emitted, prior_contractions) = match resume {
+        Some(token) => {
+            let SuspendedSearch {
+                entries,
+                spill,
+                pending,
+                next_seq,
+                total_nodes_expanded,
+                total_emitted,
+                total_contractions,
+                ..
+            } = token;
+            let frontier = Frontier::restore(config, entries, spill, next_seq);
+            let pending = pending.map(|(node, priority, spilled)| {
+                (
+                    node,
+                    priority,
+                    if spilled { Lane::Spill } else { Lane::Best },
+                )
+            });
+            (
+                frontier,
+                pending,
+                total_nodes_expanded,
+                total_emitted,
+                total_contractions,
+            )
+        }
+        None => {
+            let mut frontier = Frontier::new(config);
+            let root = SearchNode::root(system);
+            let root_priority = match config.order {
+                SearchOrder::Dfs => 0,
+                SearchOrder::ShortestFirst => driver.lower_bound(system, &root),
+            };
+            frontier.push_best(root, root_priority);
+            (frontier, None, 0, 0, 0)
+        }
     };
-    frontier.push(root, root_priority);
 
     let mut nodes_expanded: u64 = 0;
     let mut emitted: usize = 0;
     let mut stop: Option<TruncationReason> = None;
+    let mut peak = frontier.len() + usize::from(pending.is_some());
 
-    while !frontier.is_empty() {
+    loop {
         if let Some(max) = config.budget.max_nodes {
             if nodes_expanded >= max {
                 stop = Some(TruncationReason::MaxNodes);
                 break;
             }
         }
-        if let Some(limit) = config.budget.deadline {
-            if start.elapsed() >= limit {
+        if let Some(guard) = &guard {
+            if guard.expired() {
                 stop = Some(TruncationReason::Deadline);
                 break;
             }
         }
-        let (node, priority) = frontier.pop().expect("frontier checked non-empty");
+        let Some((node, priority, lane)) = pending.take().or_else(|| frontier.pop()) else {
+            break;
+        };
         nodes_expanded += 1;
         match driver.classify(system, &node) {
             NodeDisposition::Emit => {
@@ -318,49 +636,120 @@ where
             }
             NodeDisposition::Discard => {}
             NodeDisposition::Expand => {
-                expand(system, driver, config, &node, priority, &mut frontier);
+                match expand(
+                    system,
+                    driver,
+                    config,
+                    &node,
+                    priority,
+                    lane,
+                    guard.as_ref(),
+                    &mut frontier,
+                ) {
+                    ExpandOutcome::Done => peak = peak.max(frontier.len()),
+                    ExpandOutcome::DeadlineAborted => {
+                        // Nothing was pushed: undo the node count and park
+                        // the in-flight node so the resumed slice re-expands
+                        // it from scratch, deterministically.
+                        nodes_expanded -= 1;
+                        pending = Some((node, priority, lane));
+                        stop = Some(TruncationReason::Deadline);
+                        break;
+                    }
+                }
             }
         }
     }
 
+    let contractions = frontier.contractions();
+    let has_pending_work = pending.is_some() || !frontier.is_empty();
     let truncation = match stop {
-        Some(reason) if !frontier.is_empty() => Some(Truncation {
+        Some(reason) if has_pending_work => Some(Truncation {
             reason,
-            complete_below: frontier.min_priority(),
+            complete_below: match config.order {
+                SearchOrder::Dfs => None,
+                SearchOrder::ShortestFirst => {
+                    let frontier_min = frontier.min_priority();
+                    let pending_min = pending.as_ref().map(|(_, p, _)| *p);
+                    match (frontier_min, pending_min) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (Some(a), None) => Some(a),
+                        (None, b) => b,
+                    }
+                }
+            },
         }),
         // The frontier drained on the same step the cut fired: the
         // enumeration is in fact complete, so report it as exhaustive.
         _ => None,
     };
-    SearchOutcome {
-        emitted,
-        nodes_expanded,
-        truncation,
-    }
+
+    let suspended = truncation.map(|_| {
+        let (entries, spill, next_seq) = frontier.into_parts();
+        SuspendedSearch {
+            order: config.order,
+            strategy: config.strategy,
+            entries,
+            spill,
+            pending: pending.map(|(node, priority, lane)| (node, priority, lane == Lane::Spill)),
+            next_seq,
+            total_nodes_expanded: prior_nodes + nodes_expanded,
+            total_emitted: prior_emitted + emitted,
+            total_contractions: prior_contractions + contractions,
+        }
+    });
+
+    (
+        SearchOutcome {
+            emitted,
+            nodes_expanded,
+            truncation,
+            peak_frontier: peak,
+            contractions,
+        },
+        suspended,
+    )
+}
+
+enum ExpandOutcome {
+    /// Children generated and pushed.
+    Done,
+    /// The deadline fired mid-expansion; nothing was pushed.
+    DeadlineAborted,
 }
 
 /// Expand one interior node: pick the subset to branch on, generate the
 /// optional non-hitting child and one child per admissible hitting element
-/// (enforcing the criticality invariant), and push them onto the frontier.
+/// (enforcing the criticality invariant), and push them onto the frontier —
+/// the spill lane when the node came from it, the configured discipline
+/// otherwise. The deadline guard is consulted periodically so a wide
+/// expansion aborts (atomically — no partial children) instead of
+/// overshooting the budget.
+#[allow(clippy::too_many_arguments)]
 fn expand<D: SearchDriver>(
     system: &SetSystem,
     driver: &mut D,
     config: &SearchConfig,
     node: &SearchNode,
     node_priority: usize,
+    lane: Lane,
+    guard: Option<&DeadlineGuard>,
     frontier: &mut Frontier,
-) {
-    let Some(chosen) = choose_branch_subset(
+) -> ExpandOutcome {
+    let chosen = match choose_branch_subset(
         system,
-        &node.uncov,
+        node.uncov(),
         &node.cand,
         &node.can_hit,
         config.strategy,
         driver.unhittable_is_fatal(),
-    ) else {
-        return;
+        guard,
+    ) {
+        Ok(Some(fi)) => fi,
+        Ok(None) => return ExpandOutcome::Done,
+        Err(DeadlineHit) => return ExpandOutcome::DeadlineAborted,
     };
-    let subset = &system.subsets()[chosen];
+    let subset = &system.subsets()[chosen as usize];
 
     // Children are generated in the order the recursive algorithms visit
     // them: the non-hitting branch first, then each hitting element in
@@ -373,10 +762,12 @@ fn expand<D: SearchDriver>(
         // without candidates is marked unhittable (`UpdateCanCover`).
         let mut skip_cand = node.cand.clone();
         skip_cand.difference_with(subset);
-        let mut skip_can_hit = node.can_hit.clone();
-        for &fi in &node.uncov {
-            if skip_can_hit.contains(fi) && !system.subsets()[fi].intersects(&skip_cand) {
-                skip_can_hit.remove(fi);
+        let mut skip_can_hit = node.can_hit.as_ref().clone();
+        for &fi in node.uncov() {
+            if skip_can_hit.contains(fi as usize)
+                && !system.subsets()[fi as usize].intersects(&skip_cand)
+            {
+                skip_can_hit.remove(fi as usize);
             }
         }
         if driver.explore_skip_branch(system, &node.s_set, &skip_cand) {
@@ -384,9 +775,10 @@ fn expand<D: SearchDriver>(
                 s: node.s.clone(),
                 s_set: node.s_set.clone(),
                 cand: skip_cand,
-                uncov: node.uncov.clone(),
-                crit: node.crit.clone(),
-                can_hit: skip_can_hit,
+                // The partial solution is unchanged, so uncov and every
+                // criticality list are too: share them.
+                lists: Rc::clone(&node.lists),
+                can_hit: Rc::new(skip_can_hit),
             });
         }
     }
@@ -401,32 +793,64 @@ fn expand<D: SearchDriver>(
     for &e in &c {
         base_cand.remove(e);
     }
+    // Scratch buffers reused across children; the surviving child copies
+    // them into one exact-size interned buffer.
+    let mut crit_scratch: Vec<u32> = Vec::new();
+    let mut crit_bounds: Vec<u32> = Vec::new();
+    let mut kept: Vec<u32> = Vec::new();
+    let mut covered: Vec<u32> = Vec::new();
     'next_element: for &e in &c {
-        let mut crit = Vec::with_capacity(node.s.len() + 1);
-        for crit_u in &node.crit {
-            let filtered: Vec<usize> = crit_u
-                .iter()
-                .copied()
-                .filter(|&fi| !system.subsets()[fi].contains(e))
-                .collect();
-            if filtered.is_empty() {
+        if let Some(guard) = guard {
+            if guard.expired() {
+                return ExpandOutcome::DeadlineAborted;
+            }
+        }
+        crit_scratch.clear();
+        crit_bounds.clear();
+        for i in 0..node.lists.crit_regions() {
+            crit_bounds.push(crit_scratch.len() as u32);
+            let before = crit_scratch.len();
+            crit_scratch.extend(
+                node.crit(i)
+                    .iter()
+                    .copied()
+                    .filter(|&fi| !system.subsets()[fi as usize].contains(e)),
+            );
+            if crit_scratch.len() == before {
                 // Some current element would stop being critical: no minimal
                 // solution extends S ∪ {e}. The element does not return to
                 // `base_cand` either.
                 continue 'next_element;
             }
-            crit.push(filtered);
         }
-        let mut covered = Vec::new();
-        let mut kept = Vec::with_capacity(node.uncov.len());
-        for &fi in &node.uncov {
-            if system.subsets()[fi].contains(e) {
+        crit_bounds.push(crit_scratch.len() as u32);
+        kept.clear();
+        covered.clear();
+        for &fi in node.uncov() {
+            if system.subsets()[fi as usize].contains(e) {
                 covered.push(fi);
             } else {
                 kept.push(fi);
             }
         }
-        crit.push(covered);
+
+        // Assemble the child's interned lists: [kept][crit…][covered].
+        let total = kept.len() + crit_scratch.len() + covered.len();
+        let mut buf = Vec::with_capacity(total);
+        buf.extend_from_slice(&kept);
+        buf.extend_from_slice(&crit_scratch);
+        buf.extend_from_slice(&covered);
+        let mut bounds = Vec::with_capacity(crit_bounds.len() + 2);
+        bounds.push(0u32);
+        let crit_base = kept.len() as u32;
+        for &b in &crit_bounds {
+            bounds.push(crit_base + b);
+        }
+        bounds.push(total as u32);
+        let lists = Rc::new(NodeLists {
+            buf: buf.into_boxed_slice(),
+            bounds: bounds.into_boxed_slice(),
+        });
 
         let mut cand = base_cand.clone();
         if let Some(group) = driver.group_of(e) {
@@ -446,9 +870,8 @@ fn expand<D: SearchDriver>(
             s,
             s_set,
             cand,
-            uncov: kept,
-            crit,
-            can_hit: node.can_hit.clone(),
+            lists,
+            can_hit: Rc::clone(&node.can_hit),
         });
         base_cand.insert(e);
     }
@@ -469,8 +892,12 @@ fn expand<D: SearchDriver>(
             (child, priority)
         })
         .collect();
-    frontier.extend(scored);
+    frontier.extend(scored, lane);
+    ExpandOutcome::Done
 }
+
+/// Marker error: the deadline fired inside a wide loop.
+struct DeadlineHit;
 
 /// Select the next uncovered subset to branch on.
 ///
@@ -484,25 +911,35 @@ fn expand<D: SearchDriver>(
 ///   proves the whole branch hopeless; otherwise the scan stops at the first
 ///   subset, since nothing later can change the choice.
 ///
-/// Returns `None` when there is nothing to branch on: either some subset is
-/// unhittable and that is fatal, or (non-fatal mode) every uncovered subset
-/// has already been marked unhittable.
+/// Returns `Ok(None)` when there is nothing to branch on: either some subset
+/// is unhittable and that is fatal, or (non-fatal mode) every uncovered
+/// subset has already been marked unhittable. Returns `Err(DeadlineHit)`
+/// when the guard expires mid-scan (checked every 128 subsets, so a huge
+/// selection loop cannot overshoot the deadline unboundedly).
 fn choose_branch_subset(
     system: &SetSystem,
-    uncov: &[usize],
+    uncov: &[u32],
     cand: &FixedBitSet,
     can_hit: &FixedBitSet,
     strategy: BranchStrategy,
     unhittable_is_fatal: bool,
-) -> Option<usize> {
-    let mut best: Option<(usize, usize)> = None;
-    for &fi in uncov {
-        if !can_hit.contains(fi) {
+    guard: Option<&DeadlineGuard>,
+) -> Result<Option<u32>, DeadlineHit> {
+    let mut best: Option<(u32, usize)> = None;
+    for (step, &fi) in uncov.iter().enumerate() {
+        if step % 128 == 127 {
+            if let Some(guard) = guard {
+                if guard.expired() {
+                    return Err(DeadlineHit);
+                }
+            }
+        }
+        if !can_hit.contains(fi as usize) {
             continue;
         }
-        let inter = system.subsets()[fi].intersection_count(cand);
+        let inter = system.subsets()[fi as usize].intersection_count(cand);
         if inter == 0 && unhittable_is_fatal {
-            return None;
+            return Ok(None);
         }
         best = match (best, strategy) {
             (None, _) => Some((fi, inter)),
@@ -515,7 +952,7 @@ fn choose_branch_subset(
             break;
         }
     }
-    best.map(|(fi, _)| fi)
+    Ok(best.map(|(fi, _)| fi))
 }
 
 /// Admissible lower bound on the elements any cover below a node must still
@@ -524,15 +961,11 @@ fn choose_branch_subset(
 /// family needs its own element, and one element can hit at most one member,
 /// so the bound never overestimates and decreases by at most 1 per added
 /// element — exactly what best-first ordering requires.
-pub fn greedy_disjoint_lower_bound(
-    system: &SetSystem,
-    uncov: &[usize],
-    cand: &FixedBitSet,
-) -> usize {
+pub fn greedy_disjoint_lower_bound(system: &SetSystem, uncov: &[u32], cand: &FixedBitSet) -> usize {
     let mut used = FixedBitSet::new(system.num_elements());
     let mut bound = 0;
     for &fi in uncov {
-        let reachable = system.subsets()[fi].intersection(cand);
+        let reachable = system.subsets()[fi as usize].intersection(cand);
         // A subset with no remaining candidates is a dead branch, not an
         // element demand; expansion prunes it.
         if reachable.is_empty() || reachable.intersects(&used) {
@@ -543,6 +976,208 @@ pub fn greedy_disjoint_lower_bound(
     }
     bound
 }
+
+// ---------------------------------------------------------------------------
+// In-place undo walk (unbudgeted exact DFS)
+// ---------------------------------------------------------------------------
+
+/// Shared mutable state of the in-place walk.
+struct InplaceCtx<'a, D, F> {
+    system: &'a SetSystem,
+    driver: &'a mut D,
+    callback: &'a mut F,
+    strategy: BranchStrategy,
+    nodes_expanded: u64,
+    emitted: usize,
+    stopped: bool,
+    /// Whether, at stop time, any unexplored sibling anywhere on the path
+    /// would have survived the criticality check (i.e. the explicit engine's
+    /// frontier would be non-empty).
+    unexplored: bool,
+    peak_depth: usize,
+}
+
+/// The undo-hybrid fast path for unbudgeted DFS runs of drivers with exact
+/// classification (see [`SearchDriver::supports_inplace_dfs`]): the same
+/// tree, visited in the same order with the same prunes, but mutating one
+/// node state in place (push/insert on entry, pop/remove on exit) instead of
+/// snapshotting a `SearchNode` per child. This is what reclaims the
+/// snapshot overhead of the explicit engine on the exact MMCS kernel.
+fn run_dfs_inplace<D, F>(
+    system: &SetSystem,
+    driver: &mut D,
+    strategy: BranchStrategy,
+    callback: &mut F,
+) -> SearchOutcome
+where
+    D: SearchDriver,
+    F: FnMut(&FixedBitSet) -> bool,
+{
+    let m = system.num_elements();
+    let mut s: Vec<usize> = Vec::new();
+    let mut s_set = FixedBitSet::new(m);
+    let mut cand = FixedBitSet::full(m);
+    let can_hit = FixedBitSet::full(system.len());
+    let uncov: Vec<u32> = (0..system.len() as u32).collect();
+    let crit: Vec<Vec<u32>> = Vec::new();
+    let mut ctx = InplaceCtx {
+        system,
+        driver,
+        callback,
+        strategy,
+        nodes_expanded: 0,
+        emitted: 0,
+        stopped: false,
+        unexplored: false,
+        peak_depth: 0,
+    };
+    inplace_walk(
+        &mut ctx, &mut s, &mut s_set, &mut cand, &uncov, &crit, &can_hit, 1,
+    );
+    SearchOutcome {
+        emitted: ctx.emitted,
+        nodes_expanded: ctx.nodes_expanded,
+        truncation: if ctx.stopped && ctx.unexplored {
+            Some(Truncation {
+                reason: TruncationReason::Callback,
+                complete_below: None,
+            })
+        } else {
+            None
+        },
+        peak_frontier: ctx.peak_depth,
+        contractions: 0,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn inplace_walk<D, F>(
+    ctx: &mut InplaceCtx<'_, D, F>,
+    s: &mut Vec<usize>,
+    s_set: &mut FixedBitSet,
+    cand: &mut FixedBitSet,
+    uncov: &[u32],
+    crit: &[Vec<u32>],
+    can_hit: &FixedBitSet,
+    depth: usize,
+) where
+    D: SearchDriver,
+    F: FnMut(&FixedBitSet) -> bool,
+{
+    ctx.nodes_expanded += 1;
+    ctx.peak_depth = ctx.peak_depth.max(depth);
+    if uncov.is_empty() {
+        // Criticality is maintained along every path, so a full cover is
+        // automatically minimal (the exact classification the driver
+        // promised via `supports_inplace_dfs`).
+        ctx.emitted += 1;
+        if !(ctx.callback)(s_set) {
+            ctx.stopped = true;
+        }
+        return;
+    }
+    let chosen = match choose_branch_subset(
+        ctx.system,
+        uncov,
+        cand,
+        can_hit,
+        ctx.strategy,
+        ctx.driver.unhittable_is_fatal(),
+        None,
+    ) {
+        Ok(Some(fi)) => fi,
+        _ => return,
+    };
+    let subset = &ctx.system.subsets()[chosen as usize];
+
+    let c: Vec<usize> = cand.intersection(subset).to_vec();
+    for &e in &c {
+        cand.remove(e);
+    }
+    let mut stopped_at: Option<usize> = None;
+    'next_element: for (idx, &e) in c.iter().enumerate() {
+        // Criticality test, building the child's filtered lists.
+        let mut new_crit: Vec<Vec<u32>> = Vec::with_capacity(s.len() + 1);
+        for crit_u in crit.iter() {
+            let filtered: Vec<u32> = crit_u
+                .iter()
+                .copied()
+                .filter(|&fi| !ctx.system.subsets()[fi as usize].contains(e))
+                .collect();
+            if filtered.is_empty() {
+                // `e` stays out of `cand` for later siblings, exactly as in
+                // the explicit engine's `base_cand` discipline.
+                continue 'next_element;
+            }
+            new_crit.push(filtered);
+        }
+        let mut kept: Vec<u32> = Vec::with_capacity(uncov.len());
+        let mut covered: Vec<u32> = Vec::new();
+        for &fi in uncov {
+            if ctx.system.subsets()[fi as usize].contains(e) {
+                covered.push(fi);
+            } else {
+                kept.push(fi);
+            }
+        }
+        new_crit.push(covered);
+
+        let mut group_removed: Vec<usize> = Vec::new();
+        if let Some(group) = ctx.driver.group_of(e) {
+            for other in 0..ctx.system.num_elements() {
+                if other != e && ctx.driver.group_of(other) == Some(group) && cand.contains(other) {
+                    cand.remove(other);
+                    group_removed.push(other);
+                }
+            }
+        }
+        s.push(e);
+        s_set.insert(e);
+        inplace_walk(ctx, s, s_set, cand, &kept, &new_crit, can_hit, depth + 1);
+        s.pop();
+        s_set.remove(e);
+        for other in group_removed {
+            cand.insert(other);
+        }
+        cand.insert(e);
+        if ctx.stopped {
+            stopped_at = Some(idx);
+            break;
+        }
+    }
+    if let Some(idx) = stopped_at {
+        // Mirror the explicit engine's truncation report: the run counts as
+        // truncated iff its frontier would be non-empty, i.e. iff some
+        // not-yet-visited sibling survives the criticality check (pruned
+        // siblings are never materialised as frontier nodes).
+        if !ctx.unexplored {
+            ctx.unexplored = c[idx + 1..].iter().any(|&e| {
+                crit.iter().all(|crit_u| {
+                    crit_u
+                        .iter()
+                        .any(|&fi| !ctx.system.subsets()[fi as usize].contains(e))
+                })
+            });
+        }
+    }
+    // Restore the candidate pool exactly (criticality-pruned elements did
+    // not re-enter above; on an early stop later siblings did not either).
+    for &e in &c {
+        if !cand.contains(e) {
+            cand.insert(e);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frontier
+// ---------------------------------------------------------------------------
+
+/// A best-lane frontier entry in suspended form: node, priority key, and
+/// (shortest-first only) the heap insertion sequence number.
+type FrontierEntry = (SearchNode, usize, u64);
+/// A spill-lane entry: node plus its (still admissible) priority key.
+type SpillEntry = (SearchNode, usize);
 
 /// Heap entry for the best-first frontier: ordered by `(priority, seq)`, so
 /// ties pop in insertion order and the traversal is deterministic.
@@ -569,32 +1204,75 @@ impl Ord for HeapEntry {
     }
 }
 
-/// The two frontier disciplines behind one push/pop interface.
+/// The frontier disciplines behind one push/pop interface.
 enum Frontier {
     /// LIFO stack (priorities are carried but ignored).
     Dfs(Vec<(SearchNode, usize)>),
-    /// Min-heap on `(priority, insertion seq)`.
+    /// Min-heap on `(priority, insertion seq)` plus the memory-bound DFS
+    /// spill lane, which is drained (LIFO) before the heap is popped.
     Shortest {
         heap: BinaryHeap<Reverse<HeapEntry>>,
+        spill: Vec<(SearchNode, usize)>,
         next_seq: u64,
+        cap: Option<usize>,
+        contractions: u64,
     },
 }
 
 impl Frontier {
-    fn new(order: SearchOrder) -> Self {
-        match order {
+    fn new(config: &SearchConfig) -> Self {
+        match config.order {
             SearchOrder::Dfs => Frontier::Dfs(Vec::new()),
             SearchOrder::ShortestFirst => Frontier::Shortest {
                 heap: BinaryHeap::new(),
+                spill: Vec::new(),
                 next_seq: 0,
+                cap: config.budget.max_frontier_nodes,
+                contractions: 0,
             },
         }
     }
 
-    fn push(&mut self, node: SearchNode, priority: usize) {
+    /// Rebuild a frontier from a suspended run's parts. The memory cap comes
+    /// from the *resuming* config; keep it identical across slices for the
+    /// cut-and-resume determinism guarantee to hold.
+    fn restore(
+        config: &SearchConfig,
+        entries: Vec<FrontierEntry>,
+        spill: Vec<SpillEntry>,
+        next_seq: u64,
+    ) -> Self {
+        match config.order {
+            SearchOrder::Dfs => {
+                Frontier::Dfs(entries.into_iter().map(|(n, p, _)| (n, p)).collect())
+            }
+            SearchOrder::ShortestFirst => {
+                let heap = entries
+                    .into_iter()
+                    .map(|(node, priority, seq)| {
+                        Reverse(HeapEntry {
+                            priority,
+                            seq,
+                            node,
+                        })
+                    })
+                    .collect();
+                Frontier::Shortest {
+                    heap,
+                    spill,
+                    next_seq,
+                    cap: config.budget.max_frontier_nodes,
+                    contractions: 0,
+                }
+            }
+        }
+    }
+
+    /// Push a single node on the best lane (used for the root).
+    fn push_best(&mut self, node: SearchNode, priority: usize) {
         match self {
             Frontier::Dfs(stack) => stack.push((node, priority)),
-            Frontier::Shortest { heap, next_seq } => {
+            Frontier::Shortest { heap, next_seq, .. } => {
                 heap.push(Reverse(HeapEntry {
                     priority,
                     seq: *next_seq,
@@ -605,42 +1283,131 @@ impl Frontier {
         }
     }
 
-    /// Add a sibling group in its natural processing order: the stack gets
-    /// them reversed (so the first sibling pops first), the heap in order (so
-    /// equal-priority siblings pop FIFO).
-    fn extend(&mut self, scored: Vec<(SearchNode, usize)>) {
+    /// Add a sibling group in its natural processing order: DFS lanes get
+    /// them reversed (so the first sibling pops first), the heap in order
+    /// (so equal-priority siblings pop FIFO). Children of spill-lane nodes
+    /// stay on the spill lane — their subtrees are expanded depth-first in
+    /// place, which is what keeps memory bounded after a contraction.
+    fn extend(&mut self, scored: Vec<(SearchNode, usize)>, lane: Lane) {
         match self {
             Frontier::Dfs(stack) => stack.extend(scored.into_iter().rev()),
+            Frontier::Shortest { spill, .. } if lane == Lane::Spill => {
+                spill.extend(scored.into_iter().rev());
+            }
             Frontier::Shortest { .. } => {
                 for (node, priority) in scored {
-                    self.push(node, priority);
+                    self.push_best(node, priority);
+                }
+                self.contract_if_needed();
+            }
+        }
+    }
+
+    /// Memory-bound contraction: when the heap outgrows the cap, keep the
+    /// best half and spill the deepest tail to the DFS lane (smallest key on
+    /// top, so the least-bad spilled subtree is expanded first). Halving —
+    /// rather than trimming to the cap — amortises the `O(n log n)` drain
+    /// over many pushes.
+    fn contract_if_needed(&mut self) {
+        let Frontier::Shortest {
+            heap,
+            spill,
+            cap: Some(cap),
+            contractions,
+            ..
+        } = self
+        else {
+            return;
+        };
+        if heap.len() <= *cap {
+            return;
+        }
+        let keep = (*cap / 2).max(1);
+        let mut entries: Vec<HeapEntry> = std::mem::take(heap)
+            .into_iter()
+            .map(|Reverse(e)| e)
+            .collect();
+        entries.sort_unstable_by_key(|entry| (entry.priority, entry.seq));
+        let tail = entries.split_off(keep);
+        *heap = entries.into_iter().map(Reverse).collect();
+        // Deepest first onto the LIFO lane, so the shallowest spilled node
+        // is processed first.
+        spill.extend(tail.into_iter().rev().map(|e| (e.node, e.priority)));
+        *contractions += 1;
+    }
+
+    fn pop(&mut self) -> Option<(SearchNode, usize, Lane)> {
+        match self {
+            Frontier::Dfs(stack) => stack.pop().map(|(n, p)| (n, p, Lane::Best)),
+            Frontier::Shortest { heap, spill, .. } => {
+                if let Some((node, priority)) = spill.pop() {
+                    return Some((node, priority, Lane::Spill));
+                }
+                heap.pop()
+                    .map(|Reverse(entry)| (entry.node, entry.priority, Lane::Best))
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Frontier::Dfs(stack) => stack.len(),
+            Frontier::Shortest { heap, spill, .. } => heap.len() + spill.len(),
+        }
+    }
+
+    fn contractions(&self) -> u64 {
+        match self {
+            Frontier::Dfs(_) => 0,
+            Frontier::Shortest { contractions, .. } => *contractions,
+        }
+    }
+
+    /// Smallest priority still pending — only meaningful for the best-first
+    /// frontier, where it bounds the size of every not-yet-emitted cover
+    /// (the spill lane is included: its keys are admissible too).
+    fn min_priority(&self) -> Option<usize> {
+        match self {
+            Frontier::Dfs(_) => None,
+            Frontier::Shortest { heap, spill, .. } => {
+                let heap_min = heap.peek().map(|Reverse(entry)| entry.priority);
+                let spill_min = spill.iter().map(|(_, p)| *p).min();
+                match (heap_min, spill_min) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, None) => a,
+                    (None, b) => b,
                 }
             }
         }
     }
 
-    fn pop(&mut self) -> Option<(SearchNode, usize)> {
+    /// Decompose into suspendable parts: best-lane entries (heap sorted by
+    /// key for a deterministic stored form; DFS stack bottom→top), the spill
+    /// lane, and the sequence counter.
+    fn into_parts(self) -> (Vec<FrontierEntry>, Vec<SpillEntry>, u64) {
         match self {
-            Frontier::Dfs(stack) => stack.pop(),
-            Frontier::Shortest { heap, .. } => heap
-                .pop()
-                .map(|Reverse(entry)| (entry.node, entry.priority)),
-        }
-    }
-
-    fn is_empty(&self) -> bool {
-        match self {
-            Frontier::Dfs(stack) => stack.is_empty(),
-            Frontier::Shortest { heap, .. } => heap.is_empty(),
-        }
-    }
-
-    /// Smallest priority still pending — only meaningful for the best-first
-    /// frontier, where it bounds the size of every not-yet-emitted cover.
-    fn min_priority(&self) -> Option<usize> {
-        match self {
-            Frontier::Dfs(_) => None,
-            Frontier::Shortest { heap, .. } => heap.peek().map(|Reverse(entry)| entry.priority),
+            Frontier::Dfs(stack) => (
+                stack.into_iter().map(|(n, p)| (n, p, 0)).collect(),
+                Vec::new(),
+                0,
+            ),
+            Frontier::Shortest {
+                heap,
+                spill,
+                next_seq,
+                ..
+            } => {
+                let mut entries: Vec<FrontierEntry> = heap
+                    .into_iter()
+                    .map(|Reverse(e)| (e.node, e.priority, e.seq))
+                    .collect();
+                entries.sort_unstable_by_key(|&(_, priority, seq)| (priority, seq));
+                (entries, spill, next_seq)
+            }
         }
     }
 }
@@ -653,6 +1420,52 @@ mod tests {
         FixedBitSet::full(m)
     }
 
+    fn choose(
+        system: &SetSystem,
+        uncov: &[u32],
+        cand: &FixedBitSet,
+        can_hit: &FixedBitSet,
+        strategy: BranchStrategy,
+        fatal: bool,
+    ) -> Option<u32> {
+        choose_branch_subset(system, uncov, cand, can_hit, strategy, fatal, None)
+            .ok()
+            .unwrap()
+    }
+
+    /// Exact-MMCS driver clone for engine-level tests (the real one lives in
+    /// `crate::mmcs`).
+    struct TestExactDriver;
+    impl SearchDriver for TestExactDriver {
+        fn classify(&mut self, _system: &SetSystem, node: &SearchNode) -> NodeDisposition {
+            if node.uncov().is_empty() {
+                NodeDisposition::Emit
+            } else {
+                NodeDisposition::Expand
+            }
+        }
+        fn lower_bound(&mut self, system: &SetSystem, node: &SearchNode) -> usize {
+            greedy_disjoint_lower_bound(system, node.uncov(), node.cand())
+        }
+    }
+
+    fn collect_resumable(
+        system: &SetSystem,
+        config: &SearchConfig,
+    ) -> (Vec<Vec<usize>>, SearchOutcome, Option<SuspendedSearch>) {
+        let mut out = Vec::new();
+        let (outcome, suspended) = run_search_resumable(
+            system,
+            &mut TestExactDriver,
+            config,
+            &mut |s: &FixedBitSet| {
+                out.push(s.to_vec());
+                true
+            },
+        );
+        (out, outcome, suspended)
+    }
+
     #[test]
     fn first_strategy_picks_the_first_uncovered_subset() {
         // Pin the `BranchStrategy::First` semantics that the old MMCS
@@ -661,7 +1474,7 @@ mod tests {
         let sys = SetSystem::from_indices(5, &[&[0, 1, 2, 3], &[4], &[0, 4]]);
         let cand = full(5);
         let can_hit = full(3);
-        let chosen = choose_branch_subset(
+        let chosen = choose(
             &sys,
             &[0, 1, 2],
             &cand,
@@ -671,7 +1484,7 @@ mod tests {
         );
         assert_eq!(chosen, Some(0));
         // A different uncov order changes the choice: First is order-driven.
-        let chosen = choose_branch_subset(
+        let chosen = choose(
             &sys,
             &[2, 1, 0],
             &cand,
@@ -689,8 +1502,7 @@ mod tests {
         let sys = SetSystem::from_indices(3, &[&[0, 1], &[2]]);
         let mut cand = full(3);
         cand.remove(2); // subset {2} can no longer be hit
-        let chosen =
-            choose_branch_subset(&sys, &[0, 1], &cand, &full(2), BranchStrategy::First, true);
+        let chosen = choose(&sys, &[0, 1], &cand, &full(2), BranchStrategy::First, true);
         assert_eq!(chosen, None, "fatal unhittable subset must kill the branch");
     }
 
@@ -701,7 +1513,7 @@ mod tests {
         let sys = SetSystem::from_indices(3, &[&[0], &[1], &[2]]);
         let mut can_hit = full(3);
         can_hit.remove(0);
-        let chosen = choose_branch_subset(
+        let chosen = choose(
             &sys,
             &[0, 1, 2],
             &full(3),
@@ -718,7 +1530,7 @@ mod tests {
         // its skip branch then marks the subset unhittable. Preserved here.
         let sys = SetSystem::from_indices(2, &[&[0]]);
         let cand = FixedBitSet::new(2); // nothing left
-        let chosen = choose_branch_subset(
+        let chosen = choose(
             &sys,
             &[0],
             &cand,
@@ -734,7 +1546,7 @@ mod tests {
         let sys = SetSystem::from_indices(4, &[&[0], &[0, 1, 2], &[2, 3]]);
         let cand = full(4);
         let can_hit = full(3);
-        let max = choose_branch_subset(
+        let max = choose(
             &sys,
             &[0, 1, 2],
             &cand,
@@ -743,7 +1555,7 @@ mod tests {
             true,
         );
         assert_eq!(max, Some(1));
-        let min = choose_branch_subset(
+        let min = choose(
             &sys,
             &[0, 1, 2],
             &cand,
@@ -757,7 +1569,7 @@ mod tests {
     #[test]
     fn disjoint_lower_bound_counts_a_disjoint_family() {
         let sys = SetSystem::from_indices(6, &[&[0, 1], &[1, 2], &[3], &[4, 5]]);
-        let uncov: Vec<usize> = (0..4).collect();
+        let uncov: Vec<u32> = (0..4).collect();
         // {0,1}, {3}, {4,5} are pairwise disjoint; {1,2} overlaps the first.
         assert_eq!(greedy_disjoint_lower_bound(&sys, &uncov, &full(6)), 3);
         // Restricting candidates merges demands: without element 1 the first
@@ -778,9 +1590,239 @@ mod tests {
         let budget = budget
             .with_max_nodes(10)
             .with_deadline(Duration::from_secs(1))
-            .with_max_emitted(5);
+            .with_max_emitted(5)
+            .with_max_frontier_nodes(1000);
         assert!(!budget.is_unlimited());
         assert_eq!(budget.max_nodes, Some(10));
         assert_eq!(budget.max_emitted, Some(5));
+        assert_eq!(budget.max_frontier_nodes, Some(1000));
+        assert!(!SearchBudget::unlimited()
+            .with_max_frontier_nodes(7)
+            .is_unlimited());
+    }
+
+    #[test]
+    fn dfs_truncation_reports_no_complete_below() {
+        // Under DFS the frontier priorities are all zero — not an admissible
+        // completeness bound — so a truncated DFS run must never claim a
+        // "provably complete below k" size.
+        let sys = SetSystem::from_indices(8, &[&[0, 1], &[2, 3], &[4, 5], &[6, 7]]);
+        let config = SearchConfig {
+            strategy: BranchStrategy::default(),
+            order: SearchOrder::Dfs,
+            budget: SearchBudget::unlimited().with_max_nodes(3),
+        };
+        let (_, outcome, suspended) = collect_resumable(&sys, &config);
+        let truncation = outcome.truncation.expect("run must be truncated");
+        assert_eq!(truncation.reason, TruncationReason::MaxNodes);
+        assert_eq!(
+            truncation.complete_below, None,
+            "DFS must not report a completeness bound"
+        );
+        assert!(suspended.is_some(), "budget cut must yield a resume token");
+    }
+
+    #[test]
+    fn mid_expansion_deadline_aborts_atomically() {
+        // A deadline that is already expired when `expand` runs must abort
+        // the expansion before pushing any child — the in-flight node is
+        // parked and re-expanded on resume, so no child is lost or doubled.
+        let indices: Vec<usize> = (0..512).collect();
+        let sys = SetSystem::from_indices(512, &[&indices]);
+        let node = SearchNode::root(&sys);
+        let config = SearchConfig {
+            strategy: BranchStrategy::default(),
+            order: SearchOrder::ShortestFirst,
+            budget: SearchBudget::unlimited().with_deadline(Duration::ZERO),
+        };
+        let mut frontier = Frontier::new(&config);
+        let guard = DeadlineGuard {
+            start: Instant::now(),
+            limit: Duration::ZERO,
+        };
+        let outcome = expand(
+            &sys,
+            &mut TestExactDriver,
+            &config,
+            &node,
+            0,
+            Lane::Best,
+            Some(&guard),
+            &mut frontier,
+        );
+        assert!(matches!(outcome, ExpandOutcome::DeadlineAborted));
+        assert!(frontier.is_empty(), "no partial children may be pushed");
+    }
+
+    #[test]
+    fn wide_expansion_deadline_overshoot_is_bounded_and_resumable() {
+        // One subset with 3000 elements: a single expansion generates 3000
+        // children. A tiny deadline must cut the run (at the loop top or
+        // mid-expansion) well before the full expansion would complete, and
+        // resuming to completion must emit exactly the uncapped sequence.
+        let indices: Vec<usize> = (0..3000).collect();
+        let sys = SetSystem::from_indices(3000, &[&indices]);
+        let config = SearchConfig {
+            strategy: BranchStrategy::default(),
+            order: SearchOrder::ShortestFirst,
+            budget: SearchBudget::unlimited(),
+        };
+        let (uncapped, outcome, _) = collect_resumable(&sys, &config);
+        assert!(outcome.is_exhaustive());
+        assert_eq!(uncapped.len(), 3000);
+
+        let cut_config = SearchConfig {
+            budget: SearchBudget::unlimited().with_deadline(Duration::from_nanos(1)),
+            ..config
+        };
+        let clock = Instant::now();
+        let (mut covers, outcome, mut suspended) = collect_resumable(&sys, &cut_config);
+        assert!(
+            clock.elapsed() < Duration::from_secs(2),
+            "deadline overshoot must stay bounded"
+        );
+        assert_eq!(
+            outcome.truncation.map(|t| t.reason),
+            Some(TruncationReason::Deadline)
+        );
+        let mut guard_iters = 0;
+        while let Some(token) = suspended.take() {
+            guard_iters += 1;
+            assert!(guard_iters < 10, "resume failed to make progress");
+            let (_, next) = resume_search(
+                &sys,
+                &mut TestExactDriver,
+                &config,
+                token,
+                &mut |s: &FixedBitSet| {
+                    covers.push(s.to_vec());
+                    true
+                },
+            );
+            suspended = next;
+        }
+        assert_eq!(covers, uncapped, "cut + resume must replay the sequence");
+    }
+
+    #[test]
+    fn memory_bound_contracts_and_preserves_the_answer_set() {
+        // 8 disjoint pairs: 2^8 = 256 covers; the unbounded shortest-first
+        // frontier grows into the hundreds. With a 16-node cap the frontier
+        // must stay within cap + spilled half + transient DFS depth, the
+        // run must report contractions, and the emitted family must be
+        // unchanged (only its order may degrade).
+        let pairs: Vec<Vec<usize>> = (0..8).map(|i| vec![2 * i, 2 * i + 1]).collect();
+        let refs: Vec<&[usize]> = pairs.iter().map(|p| p.as_slice()).collect();
+        let sys = SetSystem::from_indices(16, &refs);
+        let config = SearchConfig {
+            strategy: BranchStrategy::default(),
+            order: SearchOrder::ShortestFirst,
+            budget: SearchBudget::unlimited(),
+        };
+        let (unbounded, outcome, _) = collect_resumable(&sys, &config);
+        assert_eq!(unbounded.len(), 256);
+        assert!(outcome.contractions == 0);
+        assert!(
+            outcome.peak_frontier > 48,
+            "test instance too small to exercise the bound (peak {})",
+            outcome.peak_frontier
+        );
+
+        let cap = 16;
+        let bounded_config = SearchConfig {
+            budget: SearchBudget::unlimited().with_max_frontier_nodes(cap),
+            ..config
+        };
+        let (bounded, outcome, suspended) = collect_resumable(&sys, &bounded_config);
+        assert!(suspended.is_none());
+        assert!(outcome.is_exhaustive());
+        assert!(outcome.contractions > 0, "the cap must have fired");
+        assert!(
+            outcome.peak_frontier <= 3 * cap,
+            "peak frontier {} exceeds the documented bound for cap {cap}",
+            outcome.peak_frontier
+        );
+        let canon = |mut v: Vec<Vec<usize>>| {
+            v.sort();
+            v
+        };
+        assert_eq!(canon(bounded), canon(unbounded));
+    }
+
+    #[test]
+    fn memory_bounded_run_is_still_resumable_deterministically() {
+        let pairs: Vec<Vec<usize>> = (0..7).map(|i| vec![2 * i, 2 * i + 1]).collect();
+        let refs: Vec<&[usize]> = pairs.iter().map(|p| p.as_slice()).collect();
+        let sys = SetSystem::from_indices(14, &refs);
+        let config = SearchConfig {
+            strategy: BranchStrategy::default(),
+            order: SearchOrder::ShortestFirst,
+            budget: SearchBudget::unlimited().with_max_frontier_nodes(8),
+        };
+        let (reference, outcome, _) = collect_resumable(&sys, &config);
+        assert!(outcome.is_exhaustive());
+
+        let mut covers = Vec::new();
+        let slice_config = SearchConfig {
+            budget: config.budget.with_max_nodes(13),
+            ..config
+        };
+        let (_, mut suspended) = run_search_resumable(
+            &sys,
+            &mut TestExactDriver,
+            &slice_config,
+            &mut |s: &FixedBitSet| {
+                covers.push(s.to_vec());
+                true
+            },
+        );
+        let mut slices = 1;
+        while let Some(token) = suspended.take() {
+            slices += 1;
+            assert!(slices < 10_000, "runaway resume loop");
+            assert_eq!(token.total_emitted(), covers.len());
+            let (_, next) = resume_search(
+                &sys,
+                &mut TestExactDriver,
+                &slice_config,
+                token,
+                &mut |s: &FixedBitSet| {
+                    covers.push(s.to_vec());
+                    true
+                },
+            );
+            suspended = next;
+        }
+        assert!(slices > 2, "the slice budget never fired");
+        assert_eq!(
+            covers, reference,
+            "sliced memory-bounded run must replay the single-run sequence"
+        );
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_configuration() {
+        let sys = SetSystem::from_indices(4, &[&[0, 1], &[2, 3]]);
+        let config = SearchConfig {
+            strategy: BranchStrategy::default(),
+            order: SearchOrder::ShortestFirst,
+            budget: SearchBudget::unlimited().with_max_nodes(1),
+        };
+        let (_, _, suspended) = collect_resumable(&sys, &config);
+        let token = suspended.expect("one-node budget must suspend");
+        let wrong_order = SearchConfig {
+            order: SearchOrder::Dfs,
+            ..config
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            resume_search(
+                &sys,
+                &mut TestExactDriver,
+                &wrong_order,
+                token,
+                &mut |_: &FixedBitSet| true,
+            )
+        }));
+        assert!(result.is_err(), "order mismatch must be rejected");
     }
 }

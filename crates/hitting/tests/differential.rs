@@ -15,8 +15,11 @@ use adc_hitting::brute::{
     brute_force_minimal_approx_hitting_sets, brute_force_minimal_hitting_sets,
 };
 use adc_hitting::{
-    approx_minimal_hitting_sets, enumerate_minimal_hitting_sets, search_minimal_hitting_sets,
-    ApproxEnumConfig, BranchStrategy, SearchBudget, SearchOrder, SetSystem,
+    approx_minimal_hitting_sets, enumerate_minimal_hitting_sets,
+    resume_approx_minimal_hitting_sets, resume_minimal_hitting_sets,
+    search_approx_minimal_hitting_sets_resumable, search_minimal_hitting_sets,
+    search_minimal_hitting_sets_resumable, ApproxEnumConfig, BranchStrategy, SearchBudget,
+    SearchOrder, SetSystem,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -96,6 +99,66 @@ fn canon(mut sets: Vec<FixedBitSet>) -> Vec<Vec<usize>> {
     let mut v: Vec<Vec<usize>> = sets.drain(..).map(|s| s.to_vec()).collect();
     v.sort();
     v
+}
+
+/// Collect the exact enumeration as a sequence of node-budget slices,
+/// resuming from the suspend token until exhaustion. Returns the
+/// concatenated emission sequence and the number of slices run.
+fn mmcs_sliced(
+    system: &SetSystem,
+    strategy: BranchStrategy,
+    order: SearchOrder,
+    slice_budget: SearchBudget,
+) -> (Vec<Vec<usize>>, usize) {
+    let mut covers: Vec<Vec<usize>> = Vec::new();
+    let (_, mut suspended) = search_minimal_hitting_sets_resumable(
+        system,
+        strategy,
+        order,
+        slice_budget,
+        &mut |s: &FixedBitSet| {
+            covers.push(s.to_vec());
+            true
+        },
+    );
+    let mut slices = 1;
+    while let Some(token) = suspended.take() {
+        slices += 1;
+        assert!(slices < 100_000, "runaway resume loop");
+        let (_, next) =
+            resume_minimal_hitting_sets(system, slice_budget, token, &mut |s: &FixedBitSet| {
+                covers.push(s.to_vec());
+                true
+            });
+        suspended = next;
+    }
+    (covers, slices)
+}
+
+/// Same slicing harness for the approximate enumerator.
+fn approx_sliced(
+    system: &SetSystem,
+    score: impl Fn(&FixedBitSet) -> f64,
+    config: &ApproxEnumConfig<'_>,
+) -> (Vec<Vec<usize>>, usize) {
+    let mut covers: Vec<Vec<usize>> = Vec::new();
+    let (_, _, mut suspended) =
+        search_approx_minimal_hitting_sets_resumable(system, &score, config, &mut |s| {
+            covers.push(s.to_vec());
+            true
+        });
+    let mut slices = 1;
+    while let Some(token) = suspended.take() {
+        slices += 1;
+        assert!(slices < 100_000, "runaway resume loop");
+        let (_, _, next) =
+            resume_approx_minimal_hitting_sets(system, &score, config, token, &mut |s| {
+                covers.push(s.to_vec());
+                true
+            });
+        suspended = next;
+    }
+    (covers, slices)
 }
 
 proptest! {
@@ -202,6 +265,164 @@ proptest! {
                     "approx(ε={}) ShortestFirst/{:?} changed the cover set", eps, strategy
                 );
             }
+        }
+    }
+
+    #[test]
+    fn budget_cut_exact_runs_resume_to_the_uncapped_sequence(
+        universe_seed in 0usize..1_000,
+        raw_subsets in vec(vec(0usize..16, 1..5), 1..10),
+        node_slice in 1u64..12,
+        emit_slice in 1usize..4,
+    ) {
+        // Cut at arbitrary points (node budget, emission budget), resume to
+        // completion: the concatenated emission must equal the single
+        // uncapped run's *sequence* (not just its set), for both orders.
+        let system = build_system(universe_seed, &raw_subsets);
+        for order in [SearchOrder::Dfs, SearchOrder::ShortestFirst] {
+            let mut reference: Vec<Vec<usize>> = Vec::new();
+            let outcome = search_minimal_hitting_sets(
+                &system,
+                BranchStrategy::MaxIntersection,
+                order,
+                SearchBudget::unlimited(),
+                &mut |s: &FixedBitSet| {
+                    reference.push(s.to_vec());
+                    true
+                },
+            );
+            prop_assert!(outcome.is_exhaustive());
+
+            let (by_nodes, _) = mmcs_sliced(
+                &system,
+                BranchStrategy::MaxIntersection,
+                order,
+                SearchBudget::unlimited().with_max_nodes(node_slice),
+            );
+            prop_assert_eq!(&by_nodes, &reference, "node-sliced {:?}", order);
+
+            let (by_emitted, _) = mmcs_sliced(
+                &system,
+                BranchStrategy::MaxIntersection,
+                order,
+                SearchBudget::unlimited().with_max_emitted(emit_slice),
+            );
+            prop_assert_eq!(&by_emitted, &reference, "emission-sliced {:?}", order);
+        }
+    }
+
+    #[test]
+    fn budget_cut_approx_runs_resume_to_the_uncapped_sequence(
+        universe_seed in 0usize..1_000,
+        raw_subsets in vec(vec(0usize..16, 1..5), 1..8),
+        epsilon_mil in 0usize..400,
+        node_slice in 1u64..12,
+    ) {
+        let epsilon = epsilon_mil as f64 / 1_000.0 + 0.000_5;
+        let system = build_system(universe_seed, &raw_subsets);
+        let score = coverage_score(&system);
+        for eps in [0.0, epsilon] {
+            for order in [SearchOrder::Dfs, SearchOrder::ShortestFirst] {
+                let uncapped_cfg = ApproxEnumConfig::new(eps).with_order(order);
+                let mut reference: Vec<Vec<usize>> = Vec::new();
+                let (_, outcome, token) = search_approx_minimal_hitting_sets_resumable(
+                    &system,
+                    &score,
+                    &uncapped_cfg,
+                    &mut |s| {
+                        reference.push(s.to_vec());
+                        true
+                    },
+                );
+                prop_assert!(outcome.is_exhaustive());
+                prop_assert!(token.is_none());
+
+                let sliced_cfg = uncapped_cfg
+                    .clone()
+                    .with_budget(SearchBudget::unlimited().with_max_nodes(node_slice));
+                let (covers, _) = approx_sliced(&system, &score, &sliced_cfg);
+                prop_assert_eq!(&covers, &reference, "ε={} {:?}", eps, order);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_bounded_shortest_first_resumes_and_keeps_the_answer_set(
+        universe_seed in 0usize..1_000,
+        raw_subsets in vec(vec(0usize..16, 1..5), 1..10),
+        cap in 1usize..8,
+        node_slice in 1u64..12,
+    ) {
+        // The frontier cap perturbs only the emission *order*: the answer
+        // set must match the unbounded run, and a cut memory-bounded run
+        // resumed to completion must replay the single memory-bounded run's
+        // sequence exactly.
+        let system = build_system(universe_seed, &raw_subsets);
+        let unbounded = canon(mmcs(&system, BranchStrategy::MaxIntersection));
+
+        let bounded_budget = SearchBudget::unlimited().with_max_frontier_nodes(cap);
+        let mut bounded: Vec<Vec<usize>> = Vec::new();
+        let outcome = search_minimal_hitting_sets(
+            &system,
+            BranchStrategy::MaxIntersection,
+            SearchOrder::ShortestFirst,
+            bounded_budget,
+            &mut |s: &FixedBitSet| {
+                bounded.push(s.to_vec());
+                true
+            },
+        );
+        prop_assert!(outcome.is_exhaustive());
+        let mut bounded_set = bounded.clone();
+        bounded_set.sort();
+        prop_assert_eq!(&bounded_set, &unbounded, "the cap changed the answer set");
+
+        let (sliced, _) = mmcs_sliced(
+            &system,
+            BranchStrategy::MaxIntersection,
+            SearchOrder::ShortestFirst,
+            bounded_budget.with_max_nodes(node_slice),
+        );
+        prop_assert_eq!(&sliced, &bounded, "memory-bounded cut+resume diverged");
+    }
+
+    #[test]
+    fn inplace_dfs_walk_matches_the_explicit_engine_sequence(
+        universe_seed in 0usize..1_000,
+        raw_subsets in vec(vec(0usize..16, 1..5), 1..10),
+    ) {
+        // Unbudgeted exact DFS takes the in-place undo walk; any budget
+        // forces the explicit snapshot frontier. Same tree, same order —
+        // the emission sequences must be identical.
+        let system = build_system(universe_seed, &raw_subsets);
+        for strategy in [
+            BranchStrategy::MaxIntersection,
+            BranchStrategy::MinIntersection,
+            BranchStrategy::First,
+        ] {
+            let mut inplace: Vec<Vec<usize>> = Vec::new();
+            search_minimal_hitting_sets(
+                &system,
+                strategy,
+                SearchOrder::Dfs,
+                SearchBudget::unlimited(),
+                &mut |s: &FixedBitSet| {
+                    inplace.push(s.to_vec());
+                    true
+                },
+            );
+            let mut explicit: Vec<Vec<usize>> = Vec::new();
+            search_minimal_hitting_sets(
+                &system,
+                strategy,
+                SearchOrder::Dfs,
+                SearchBudget::unlimited().with_max_nodes(u64::MAX),
+                &mut |s: &FixedBitSet| {
+                    explicit.push(s.to_vec());
+                    true
+                },
+            );
+            prop_assert_eq!(&inplace, &explicit, "strategy {:?}", strategy);
         }
     }
 

@@ -147,6 +147,107 @@ fn node_and_deadline_budgets_report_their_reason() {
     assert!(deadline_cut.dcs.is_empty());
 }
 
+/// Run a miner in resume-in-slices mode until completion, returning the
+/// concatenated DC id sequence, the slice count, and the final result.
+fn mine_in_slices(
+    config: MinerConfig,
+    relation: &Relation,
+) -> (Vec<Vec<usize>>, usize, MiningResult) {
+    let miner = AdcMiner::new(config);
+    let mut result = miner.mine(relation);
+    let mut dcs = ids(&result);
+    let mut slices = 1;
+    while let Some(token) = result.resume.take() {
+        slices += 1;
+        assert!(slices < 100_000, "runaway resume loop");
+        result = miner.resume(token);
+        dcs.extend(ids(&result));
+    }
+    (dcs, slices, result)
+}
+
+#[test]
+fn resume_in_slices_replays_the_single_run_at_every_budget_point() {
+    // The tentpole determinism guarantee, at miner level: suspend at each
+    // budget dimension (node budget, deadline, result cap, memory bound),
+    // resume to completion, and the concatenated DC sequence must equal the
+    // single uncapped run's, with a truncation-free final report.
+    let dirty = dirty_airport();
+    let epsilon = 0.01;
+    let reference = AdcMiner::new(miner(epsilon)).mine(&dirty);
+    assert!(reference.truncation.is_none());
+    assert!(reference.resume.is_none());
+    let reference_ids = ids(&reference);
+    assert!(
+        reference_ids.len() >= 15,
+        "frontier too small to be meaningful"
+    );
+
+    // Node-budget slices.
+    let (dcs, slices, last) = mine_in_slices(
+        miner(epsilon).with_budget(SearchBudget::unlimited().with_max_nodes(500)),
+        &dirty,
+    );
+    assert!(slices > 2, "node slice budget never fired");
+    assert!(last.truncation.is_none(), "final slice must be exhaustive");
+    assert_eq!(dcs, reference_ids, "node-budget slices diverged");
+
+    // Result-cap slices (each slice stops after 5 DCs, then resumes).
+    let (dcs, slices, _) = mine_in_slices(miner(epsilon).with_max_dcs(5), &dirty);
+    assert!(slices > 2, "DC cap slices never fired");
+    assert_eq!(dcs, reference_ids, "result-cap slices diverged");
+
+    // Deadline cut: a zero deadline suspends before any expansion; resuming
+    // without the deadline must still replay the full sequence.
+    let zero_deadline =
+        miner(epsilon).with_budget(SearchBudget::unlimited().with_deadline(Duration::ZERO));
+    let cut = AdcMiner::new(zero_deadline).mine(&dirty);
+    assert_eq!(
+        cut.truncation.map(|t| t.reason),
+        Some(TruncationReason::Deadline)
+    );
+    let token = cut.resume.expect("deadline cut must be resumable");
+    let resumed = AdcMiner::new(miner(epsilon)).resume(token);
+    assert!(resumed.truncation.is_none());
+    assert_eq!(
+        ids(&resumed),
+        reference_ids,
+        "deadline cut + resume diverged"
+    );
+
+    // Memory bound: the frontier cap may permute emission order, so the
+    // sliced memory-bounded run is compared against the *single*
+    // memory-bounded run (sequence) and the unbounded one (set).
+    let bounded_budget = SearchBudget::unlimited().with_max_frontier_nodes(64);
+    let bounded = AdcMiner::new(miner(epsilon).with_budget(bounded_budget)).mine(&dirty);
+    assert!(bounded.truncation.is_none());
+    let (dcs, slices, _) = mine_in_slices(
+        miner(epsilon).with_budget(bounded_budget.with_max_nodes(500)),
+        &dirty,
+    );
+    assert!(slices > 2, "memory-bounded slices never fired");
+    assert_eq!(dcs, ids(&bounded), "memory-bounded slices diverged");
+    let canon = |mut v: Vec<Vec<usize>>| {
+        v.sort();
+        v
+    };
+    assert_eq!(
+        canon(ids(&bounded)),
+        canon(reference_ids.clone()),
+        "the memory bound changed the answer set"
+    );
+}
+
+#[test]
+fn resume_tokens_report_cumulative_progress() {
+    let dirty = dirty_airport();
+    let cut = AdcMiner::new(miner(0.01).with_budget(SearchBudget::unlimited().with_max_nodes(300)))
+        .mine(&dirty);
+    let token = cut.resume.as_ref().expect("node cut must be resumable");
+    assert_eq!(token.total_nodes_expanded(), 300);
+    assert!(token.frontier_len() > 0);
+}
+
 #[test]
 fn budgeted_prefix_is_a_prefix_of_the_unbudgeted_emission() {
     // Anytime soundness: cutting the same deterministic traversal earlier
