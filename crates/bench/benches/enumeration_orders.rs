@@ -9,8 +9,15 @@
 //!   the K shortest minimal ADCs are in hand, where shortest-first can stop
 //!   at the shortest frontier while DFS must be compared on whichever K it
 //!   reaches first.
+//!
+//! Besides criterion's own statistics, every configuration records a
+//! one-shot measurement (wall-clock + DC count) into
+//! `BENCH_enumeration_orders.json` via the shared [`adc_bench::json_report`]
+//! writer, so order regressions diff across commits without parsing
+//! criterion's output directory.
 
 use adc_approx::F1ViolationRate;
+use adc_bench::{object, write_report, Json};
 use adc_core::{enumerate_adcs, EnumerationOptions, SearchOrder};
 use adc_datasets::{targeted_spread_noise, Dataset, NoiseConfig};
 use adc_evidence::{ClusterEvidenceBuilder, Evidence, EvidenceBuilder};
@@ -43,24 +50,40 @@ fn setup(dataset: Dataset, dirty: bool) -> (PredicateSpace, Evidence) {
     (space, evidence)
 }
 
+fn run_once(
+    space: &PredicateSpace,
+    evidence: &Evidence,
+    order: SearchOrder,
+    k: Option<usize>,
+) -> usize {
+    let mut options = EnumerationOptions::new(1e-3).with_order(order);
+    options.max_dcs = k;
+    enumerate_adcs(space, evidence, &F1ViolationRate, &options)
+        .dcs
+        .len()
+}
+
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("enumeration_orders");
     group.sample_size(10);
+    let mut recorded: Vec<Json> = Vec::new();
 
     // Full enumeration: order changes traversal, not the answer set.
     for dataset in [Dataset::Tax, Dataset::Airport] {
         let (space, evidence) = setup(dataset, false);
         for order in [SearchOrder::Dfs, SearchOrder::ShortestFirst] {
+            let start = std::time::Instant::now();
+            let dcs = run_once(&space, &evidence, order, None);
+            recorded.push(object(vec![
+                ("regime", Json::from("full")),
+                ("dataset", Json::from(dataset.name())),
+                ("order", Json::from(order_label(order))),
+                ("dcs", Json::from(dcs)),
+                ("seconds", Json::from(start.elapsed().as_secs_f64())),
+            ]));
             group.bench_function(
                 format!("full/{}/{}", dataset.name(), order_label(order)),
-                |b| {
-                    b.iter(|| {
-                        let options = EnumerationOptions::new(1e-3).with_order(order);
-                        enumerate_adcs(&space, &evidence, &F1ViolationRate, &options)
-                            .dcs
-                            .len()
-                    })
-                },
+                |b| b.iter(|| run_once(&space, &evidence, order, None)),
             );
         }
     }
@@ -70,21 +93,31 @@ fn bench(c: &mut Criterion) {
     for (dataset, k) in [(Dataset::Tax, 50), (Dataset::Hospital, 50)] {
         let (space, evidence) = setup(dataset, true);
         for order in [SearchOrder::Dfs, SearchOrder::ShortestFirst] {
+            let start = std::time::Instant::now();
+            let dcs = run_once(&space, &evidence, order, Some(k));
+            recorded.push(object(vec![
+                ("regime", Json::from(format!("first-{k}"))),
+                ("dataset", Json::from(dataset.name())),
+                ("order", Json::from(order_label(order))),
+                ("dcs", Json::from(dcs)),
+                ("seconds", Json::from(start.elapsed().as_secs_f64())),
+            ]));
             group.bench_function(
                 format!("first-{k}/{}/{}", dataset.name(), order_label(order)),
-                |b| {
-                    b.iter(|| {
-                        let mut options = EnumerationOptions::new(1e-3).with_order(order);
-                        options.max_dcs = Some(k);
-                        enumerate_adcs(&space, &evidence, &F1ViolationRate, &options)
-                            .dcs
-                            .len()
-                    })
-                },
+                |b| b.iter(|| run_once(&space, &evidence, order, Some(k))),
             );
         }
     }
     group.finish();
+
+    let report = object(vec![
+        ("report", Json::from("enumeration_orders")),
+        ("epsilon", Json::from(1e-3)),
+        ("rows", Json::from(200usize)),
+        ("configurations", Json::Array(recorded)),
+    ]);
+    let path = write_report("enumeration_orders", &report);
+    println!("recorded {}", path.display());
 }
 
 criterion_group!(benches, bench);

@@ -1,0 +1,187 @@
+//! Incremental-maintenance experiment: **batch re-mine vs differential
+//! refresh** at 1-, 10-, and 100-tuple deltas.
+//!
+//! For each dataset (Tax and Stock by default, override with
+//! `ADC_BENCH_DATASETS`) and each data regime (clean, and dirty under
+//! targeted spread noise), the harness seeds an [`AdcMonitor`] on a base
+//! relation, then appends a delta of k tuples two ways:
+//!
+//! * **batch** — re-mine the patched relation from scratch: the evidence
+//!   scan touches all `n·(n−1)` ordered pairs again;
+//! * **refresh** — queue the same k tuples on the monitor and refresh: the
+//!   differential evidence builder touches only the `O(k·n)` pairs that
+//!   involve a new tuple, and (exact clean runs) the previous answer is
+//!   *repaired* instead of re-enumerated.
+//!
+//! Both answers are checked for equality (canonical order) before anything
+//! is recorded — a speedup over a wrong answer is not a speedup. Results go
+//! to stdout and to `BENCH_incremental.json` (via the shared
+//! [`adc_bench::json_report`] writer). The headline acceptance number is
+//! `pairs_ratio` at k = 1: a single-tuple refresh must scan ≥ 10× fewer
+//! pairs than the batch rebuild (it scans `2n` of `n·(n+1)`, so the ratio
+//! grows linearly with the relation — ~`n/2`).
+//!
+//! Environment variables: `ADC_BENCH_ROWS` (default 200 here — the point is
+//! the ratio, not paper-scale wall-clock, and the dirty-regime re-mines are
+//! the quadratic baseline being beaten), `ADC_BENCH_DATASETS`, and the
+//! usual hard-error parsing contract.
+
+use adc_bench::{object, parsed_env, secs, write_report, Json, Table};
+use adc_core::{AdcMiner, AdcMonitor, MinerConfig, MiningResult, SearchOrder};
+use adc_datasets::{targeted_spread_noise, Dataset, NoiseConfig};
+use adc_predicates::SpaceConfig;
+use std::time::Instant;
+
+/// Canonical answer key: covers (DC complement sets) sorted by size then
+/// element — the order `AdcMonitor` already emits in.
+fn canonical(result: &MiningResult) -> Vec<Vec<usize>> {
+    let mut keyed: Vec<(usize, Vec<usize>)> = result
+        .dcs
+        .iter()
+        .map(|dc| {
+            let cover = dc.complement_set(&result.space).to_vec();
+            (cover.len(), cover)
+        })
+        .collect();
+    keyed.sort();
+    keyed.into_iter().map(|(_, cover)| cover).collect()
+}
+
+fn main() {
+    let rows: usize = parsed_env("ADC_BENCH_ROWS").unwrap_or(200);
+    let datasets = match std::env::var("ADC_BENCH_DATASETS") {
+        Ok(v) if !v.trim().is_empty() => adc_bench::bench_datasets(),
+        _ => vec![Dataset::Tax, Dataset::Stock],
+    };
+    let deltas = [1usize, 10, 100];
+
+    let mut table = Table::new(vec![
+        "Dataset",
+        "Regime",
+        "Δ rows",
+        "Batch pairs",
+        "Refresh pairs",
+        "Ratio",
+        "Path",
+        "Batch (s)",
+        "Refresh (s)",
+    ]);
+    let mut dataset_reports: Vec<Json> = Vec::new();
+
+    for dataset in datasets {
+        let generator = dataset.generator();
+        // The pool provides both the base relation and the delta tuples, so
+        // deltas are in-distribution rows, not synthetic outliers.
+        let pool = generator.generate(
+            rows + *deltas.iter().max().unwrap(),
+            0xADC0 + dataset as u64,
+        );
+
+        for (regime, epsilon, relation) in [
+            ("clean", 0.0, pool.clone()),
+            ("dirty", 0.01, {
+                let (noisy, changed) = targeted_spread_noise(
+                    &pool,
+                    &generator.correlation(),
+                    &NoiseConfig::with_rate(0.004),
+                    17,
+                );
+                assert!(!changed.is_empty(), "noise injection must change cells");
+                noisy
+            }),
+        ] {
+            // Exact runs (ε = 0) exercise the cover-repair fast path; dirty
+            // runs at ε > 0 restart enumeration but keep the differential
+            // evidence win. Shortest-first keeps dirty frontiers bounded, and
+            // the same-column space keeps exact enumeration tractable — the
+            // fast path is only legal without a `max_dcs` cap, so the answer
+            // set itself must stay small.
+            let config = MinerConfig::new(epsilon)
+                .with_space(SpaceConfig::same_column_only())
+                .with_order(SearchOrder::ShortestFirst);
+            let base = relation.project_rows(&(0..rows).collect::<Vec<_>>());
+            let mut delta_reports: Vec<Json> = Vec::new();
+
+            for k in deltas {
+                let delta_rows: Vec<Vec<adc_data::Value>> =
+                    (rows..rows + k).map(|i| relation.row(i)).collect();
+
+                // Batch: re-mine the patched relation from scratch.
+                let patched = relation.project_rows(&(0..rows + k).collect::<Vec<_>>());
+                let t_batch = Instant::now();
+                let batch = AdcMiner::new(config).mine(&patched);
+                let batch_time = t_batch.elapsed();
+                let batch_pairs = batch.total_pairs;
+
+                // Refresh: differential maintenance from a warm monitor.
+                let mut monitor = AdcMonitor::new(config, &base);
+                monitor.refresh().expect("initial refresh");
+                monitor.insert_tuples(delta_rows);
+                let t_refresh = Instant::now();
+                let (refreshed, stats) = monitor.refresh().expect("delta refresh");
+                let refresh_time = t_refresh.elapsed();
+
+                // Equality first: the speedup only counts if the answers are
+                // identical. (The monitor's space is frozen on the base
+                // relation; at these delta sizes the patched relation's
+                // space statistics do not move.)
+                assert_eq!(
+                    canonical(&refreshed),
+                    canonical(&batch),
+                    "{}/{regime}/Δ{k}: refresh and re-mine disagree",
+                    generator.name()
+                );
+
+                let ratio = batch_pairs as f64 / (stats.pairs_scanned.max(1)) as f64;
+                if k == 1 {
+                    assert!(
+                        ratio >= 10.0,
+                        "{}/{regime}: single-tuple refresh must scan ≥10× fewer \
+                         pairs than a rebuild (got {ratio:.1}×)",
+                        generator.name()
+                    );
+                }
+                table.add_row(vec![
+                    generator.name().to_string(),
+                    regime.to_string(),
+                    k.to_string(),
+                    batch_pairs.to_string(),
+                    stats.pairs_scanned.to_string(),
+                    format!("{ratio:.0}×"),
+                    if stats.repaired { "repair" } else { "restart" }.to_string(),
+                    secs(batch_time),
+                    secs(refresh_time),
+                ]);
+                delta_reports.push(object(vec![
+                    ("delta_rows", Json::from(k)),
+                    ("batch_pairs", Json::from(batch_pairs)),
+                    ("refresh_pairs", Json::from(stats.pairs_scanned)),
+                    ("pairs_ratio", Json::from(ratio)),
+                    ("entries_touched", Json::from(stats.entries_touched)),
+                    ("covers_reopened", Json::from(stats.covers_reopened)),
+                    ("repaired", Json::from(stats.repaired)),
+                    ("dcs", Json::from(refreshed.dcs.len())),
+                    ("answers_match", Json::from(true)),
+                    ("batch_seconds", Json::from(batch_time.as_secs_f64())),
+                    ("refresh_seconds", Json::from(refresh_time.as_secs_f64())),
+                ]));
+            }
+            dataset_reports.push(object(vec![
+                ("dataset", Json::from(generator.name())),
+                ("regime", Json::from(regime)),
+                ("epsilon", Json::from(epsilon)),
+                ("base_rows", Json::from(rows)),
+                ("deltas", Json::Array(delta_reports)),
+            ]));
+        }
+    }
+
+    table.print("Incremental maintenance — batch re-mine vs differential refresh");
+    let report = object(vec![
+        ("report", Json::from("incremental")),
+        ("base_rows", Json::from(rows)),
+        ("runs", Json::Array(dataset_reports)),
+    ]);
+    let path = write_report("incremental", &report);
+    println!("recorded {}", path.display());
+}

@@ -1,0 +1,148 @@
+//! Streaming smoke test: drive an [`AdcMonitor`] through a long deterministic
+//! churn of mixed insert/delete batches and enforce the differential cost
+//! contract — every refresh must stay within a pair-scan budget, and the
+//! final answer must equal a from-scratch re-mine.
+//!
+//! This is the CI guard for the incremental path: a regression that silently
+//! falls back to quadratic rebuilds (or drifts from batch semantics) fails
+//! the run. Environment variables, all parsed with the crate's hard-error
+//! contract:
+//!
+//! * `ADC_STREAM_ROWS` — base relation size (default 400);
+//! * `ADC_STREAM_BATCHES` — number of churn batches (default 40);
+//! * `ADC_STREAM_MAX_PAIRS` — per-refresh budget on `stats.pairs_scanned`;
+//!   defaults to `32 × (rows + total churn)`, comfortably above the ~`2·k·n`
+//!   pairs an honest differential scan of a k-row batch needs and far below
+//!   the `n·(n−1)` of a rebuild.
+
+use adc_bench::parsed_env;
+use adc_core::{AdcMiner, AdcMonitor, MinerConfig, MiningResult, SearchOrder};
+use adc_data::Value;
+use adc_datasets::Dataset;
+use adc_predicates::SpaceConfig;
+use std::time::Instant;
+
+fn canonical(result: &MiningResult) -> Vec<Vec<usize>> {
+    let mut covers: Vec<Vec<usize>> = result
+        .dcs
+        .iter()
+        .map(|dc| dc.complement_set(&result.space).to_vec())
+        .collect();
+    covers.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    covers
+}
+
+/// xorshift64* — deterministic churn, no RNG dependency.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn main() {
+    let rows: usize = parsed_env("ADC_STREAM_ROWS").unwrap_or(400);
+    let batches: usize = parsed_env("ADC_STREAM_BATCHES").unwrap_or(40);
+    // Up to 4 inserts + 4 deletes per batch.
+    let churn = 4 * batches;
+    let max_pairs: u64 =
+        parsed_env("ADC_STREAM_MAX_PAIRS").unwrap_or(32 * (rows as u64 + churn as u64));
+
+    // The 4-column audit slice keeps the exact answer set small enough that
+    // a from-scratch re-mine (the final oracle check) stays cheap; the
+    // differential machinery under test is the same either way.
+    let pool = Dataset::Tax
+        .generator()
+        .generate(rows + churn, 0xBEEF)
+        .project_columns(&["State", "Zip", "Salary", "Tax"])
+        .expect("audit columns exist");
+    let base = pool.project_rows(&(0..rows).collect::<Vec<_>>());
+    let config = MinerConfig::new(0.0)
+        .with_space(SpaceConfig::same_column_only())
+        .with_order(SearchOrder::ShortestFirst);
+
+    let start = Instant::now();
+    let mut monitor = AdcMonitor::new(config, &base);
+    let (initial, _) = monitor.refresh().expect("initial refresh");
+    println!(
+        "seeded {} rows | {} predicates | {} DCs | {:.2}s",
+        rows,
+        monitor.space().predicates().len(),
+        initial.dcs.len(),
+        start.elapsed().as_secs_f64()
+    );
+
+    let mut rng = XorShift(0x5EED ^ rows as u64);
+    let mut next_pool_row = rows;
+    let mut repaired = 0usize;
+    let mut worst_pairs = 0u64;
+    for batch in 0..batches {
+        let n = monitor.relation().len();
+        let num_deletes = (rng.next() % 5) as usize;
+        let num_inserts = (rng.next() % 5) as usize;
+        let mut deletes: Vec<usize> = (0..num_deletes.min(n))
+            .map(|_| (rng.next() % n as u64) as usize)
+            .collect();
+        // Every tenth batch retracts the newest rows as well — recent
+        // (often corrupted) inserts carry rare evidence entries, so this
+        // regularly drives counts to zero and forces the restart path.
+        if batch % 10 == 9 {
+            deletes.extend(n.saturating_sub(3)..n);
+        }
+        deletes.sort_unstable();
+        deletes.dedup();
+        let inserts: Vec<Vec<Value>> = (0..num_inserts)
+            .map(|_| {
+                let mut row = pool.row(next_pool_row % pool.len());
+                next_pool_row += 1;
+                // Occasionally corrupt an insert (one fixed bad value, so
+                // the answer shifts without collapsing), ensuring entries
+                // appear *and* vanish over the stream and both refresh paths
+                // get exercised.
+                if rng.next().is_multiple_of(10) {
+                    row[3] = Value::Int(-1);
+                }
+                row
+            })
+            .collect();
+
+        monitor.delete_tuples(&deletes).expect("indexes in bounds");
+        monitor.insert_tuples(inserts);
+        let (_, stats) = monitor.refresh().expect("refresh");
+        repaired += usize::from(stats.repaired);
+        worst_pairs = worst_pairs.max(stats.pairs_scanned);
+        assert!(
+            stats.pairs_scanned <= max_pairs,
+            "batch {batch}: refresh scanned {} pairs, over the {} budget \
+             (n = {}) — the differential path has regressed",
+            stats.pairs_scanned,
+            max_pairs,
+            monitor.relation().len()
+        );
+    }
+
+    let final_answer = monitor.refresh().expect("noop refresh").0;
+    let remine = AdcMiner::new(config).mine(monitor.relation());
+    assert_eq!(
+        canonical(&final_answer),
+        canonical(&remine),
+        "after {batches} batches the monitor answer diverged from a rebuild"
+    );
+    println!(
+        "streamed {} batches over {} → {} rows | {}/{} repaired | worst refresh {} pairs \
+         (budget {}) | final answer matches re-mine ({} DCs) | {:.2}s total",
+        batches,
+        rows,
+        monitor.relation().len(),
+        repaired,
+        batches,
+        worst_pairs,
+        max_pairs,
+        remine.dcs.len(),
+        start.elapsed().as_secs_f64()
+    );
+}

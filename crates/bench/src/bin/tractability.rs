@@ -14,7 +14,8 @@
 //! instead of hanging.
 
 use adc_bench::{
-    bench_datasets, bench_relation, bench_rows, bench_shortest_first_config, secs, Table,
+    bench_datasets, bench_relation, bench_rows, bench_shortest_first_config, object, secs,
+    write_report, Json, Table,
 };
 use adc_core::metrics::g_recall;
 use adc_core::AdcMiner;
@@ -34,6 +35,7 @@ fn main() {
         "Golden recall",
         "Time (s)",
     ]);
+    let mut rows_json: Vec<Json> = Vec::new();
     for dataset in bench_datasets() {
         let generator = dataset.generator();
         let rows = bench_rows(dataset);
@@ -54,6 +56,17 @@ fn main() {
             Some(_) => format!("≥{} (cut)", result.dcs.len()),
             None => result.dcs.len().to_string(),
         };
+        rows_json.push(object(vec![
+            ("dataset", Json::from(generator.name())),
+            ("rows", Json::from(rows)),
+            ("space", Json::from(result.space.len())),
+            ("distinct_evidence", Json::from(result.distinct_evidence)),
+            ("minimal_adcs", Json::from(result.dcs.len())),
+            ("truncated", Json::from(result.truncation.is_some())),
+            ("golden_recall", Json::from(recall)),
+            ("golden_total", Json::from(golden.len())),
+            ("seconds", Json::from(elapsed.as_secs_f64())),
+        ]));
         table.add_row(vec![
             generator.name().to_string(),
             rows.to_string(),
@@ -70,4 +83,12 @@ fn main() {
         ]);
     }
     table.print("Tractability — unprojected predicate space, clean data");
+    let report = object(vec![
+        ("report", Json::from("tractability")),
+        ("epsilon", Json::from(epsilon)),
+        ("cap", Json::from(cap)),
+        ("datasets", Json::Array(rows_json)),
+    ]);
+    let path = write_report("tractability", &report);
+    println!("recorded {}", path.display());
 }

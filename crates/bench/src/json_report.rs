@@ -1,0 +1,230 @@
+//! Machine-readable benchmark reports: a dependency-free JSON value type and
+//! one shared writer, so every harness recorder (`incremental`,
+//! `tractability`, the `enumeration_orders` bench, …) produces its
+//! `BENCH_<name>.json` artifact through the same path — same file naming,
+//! same deterministic key order, same pretty-printing — and downstream
+//! tooling can diff recorded runs across commits.
+//!
+//! The type is deliberately tiny (this workspace vendors no JSON crate):
+//! objects preserve insertion order, floats render with enough precision to
+//! round-trip, and strings are escaped per RFC 8259.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A JSON value. Objects preserve insertion order so reports are
+/// deterministic and diff cleanly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (covers counts and indexes; stored signed for simplicity).
+    Int(i64),
+    /// A float; non-finite values render as `null` (JSON has no NaN).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Int(v as i64)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Float(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Build an ordered object from `(key, value)` pairs.
+pub fn object<K: Into<String>, V: Into<Json>>(pairs: Vec<(K, V)>) -> Json {
+    Json::Object(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.into(), v.into()))
+            .collect(),
+    )
+}
+
+impl Json {
+    /// Render the value as pretty-printed JSON (two-space indent, trailing
+    /// newline) — the exact bytes [`write_report`] records.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) if !v.is_finite() => out.push_str("null"),
+            Json::Float(v) => {
+                // Shortest representation that round-trips; force a decimal
+                // point so the value re-parses as a float.
+                let s = format!("{v}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Array(items) if items.is_empty() => out.push_str("[]"),
+            Json::Array(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Object(pairs) if pairs.is_empty() => out.push_str("{}"),
+            Json::Object(pairs) => {
+                out.push_str("{\n");
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    escape_into(key, out);
+                    out.push_str(": ");
+                    value.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Where reports land: `ADC_BENCH_REPORT_DIR` when set, else the workspace
+/// root (two levels above this crate's manifest), so recorded artifacts sit
+/// next to `README.md` and are committed with the run that produced them.
+pub fn report_dir() -> PathBuf {
+    match std::env::var("ADC_BENCH_REPORT_DIR") {
+        Ok(dir) if !dir.trim().is_empty() => PathBuf::from(dir),
+        _ => Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crates/bench sits two levels below the workspace root")
+            .to_path_buf(),
+    }
+}
+
+/// Write `BENCH_<name>.json` into [`report_dir`], returning the path.
+///
+/// # Panics
+/// Panics (hard error, same contract as the env parsing) if the file cannot
+/// be written — a benchmark that silently loses its artifact records nothing.
+pub fn write_report(name: &str, report: &Json) -> PathBuf {
+    let dir = report_dir();
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|err| panic!("cannot create {}: {err}", dir.display()));
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, report.render())
+        .unwrap_or_else(|err| panic!("cannot write {}: {err}", path.display()));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values_deterministically() {
+        let report = object(vec![
+            ("name", Json::from("incremental")),
+            ("ratio", Json::from(12.5)),
+            ("count", Json::from(3usize)),
+            ("flags", Json::Array(vec![Json::Bool(true), Json::Null])),
+            ("empty", Json::Object(vec![])),
+        ]);
+        let text = report.render();
+        assert_eq!(
+            text,
+            "{\n  \"name\": \"incremental\",\n  \"ratio\": 12.5,\n  \"count\": 3,\n  \"flags\": [\n    true,\n    null\n  ],\n  \"empty\": {}\n}\n"
+        );
+    }
+
+    #[test]
+    fn floats_round_trip_and_escape_is_correct() {
+        assert_eq!(Json::from(10.0).render(), "10.0\n");
+        assert_eq!(Json::Float(f64::NAN).render(), "null\n");
+        assert_eq!(Json::from("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"\n");
+        assert_eq!(
+            Json::from(0.1 + 0.2)
+                .render()
+                .trim()
+                .parse::<f64>()
+                .unwrap(),
+            0.1 + 0.2
+        );
+    }
+
+    #[test]
+    fn report_dir_is_the_workspace_root_by_default() {
+        if std::env::var("ADC_BENCH_REPORT_DIR").is_err() {
+            assert!(report_dir().join("Cargo.toml").exists());
+        }
+    }
+}

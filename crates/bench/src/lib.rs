@@ -34,6 +34,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json_report;
+
+pub use json_report::{object, report_dir, write_report, Json};
+
 use adc_core::{AdcMiner, MinerConfig, MiningResult, SearchBudget, SearchOrder, Timings};
 use adc_data::Relation;
 use adc_datasets::Dataset;

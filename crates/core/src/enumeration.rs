@@ -160,7 +160,40 @@ pub fn enumerate_adcs(
     f: &dyn ApproximationFunction,
     options: &EnumerationOptions,
 ) -> EnumerationOutcome {
-    run_adcs(space, evidence, f, options, None)
+    run_adcs(space, evidence, f, options, None, None)
+}
+
+/// Like [`enumerate_adcs`], but also captures every **raw hitting-set
+/// cover** the engine emits — including the empty cover and covers whose DC
+/// is trivial, both of which [`enumerate_adcs`] filters out before they
+/// reach the result. The differential monitor needs the unfiltered answer
+/// set: `adc_hitting::repair_covers` is exact only when handed the complete
+/// transversal family, and a trivial cover can graft into a non-trivial one
+/// when the system grows.
+pub(crate) fn enumerate_adcs_capturing(
+    space: &PredicateSpace,
+    evidence: &Evidence,
+    f: &dyn ApproximationFunction,
+    options: &EnumerationOptions,
+    covers: &mut Vec<FixedBitSet>,
+) -> EnumerationOutcome {
+    run_adcs(space, evidence, f, options, None, Some(covers))
+}
+
+/// Convert one raw hitting-set cover into its denial constraint, applying
+/// the same filter as [`enumerate_adcs`]: `None` for the empty cover (the
+/// uninformative `¬true`) and for covers whose complement DC is trivially
+/// valid.
+pub(crate) fn cover_to_dc(space: &PredicateSpace, cover: &FixedBitSet) -> Option<DenialConstraint> {
+    if cover.is_empty() {
+        return None;
+    }
+    let dc = DenialConstraint::new(cover.iter().map(|e| space.complement_of(e)).collect());
+    if dc.is_trivial(space) {
+        None
+    } else {
+        Some(dc)
+    }
 }
 
 /// Continue an enumeration cut short by a budget, the DC cap, or the
@@ -179,7 +212,7 @@ pub fn resume_adcs(
     options: &EnumerationOptions,
     resume: EnumerationResume,
 ) -> EnumerationOutcome {
-    run_adcs(space, evidence, f, options, Some(resume.suspended))
+    run_adcs(space, evidence, f, options, Some(resume.suspended), None)
 }
 
 fn run_adcs(
@@ -188,6 +221,7 @@ fn run_adcs(
     f: &dyn ApproximationFunction,
     options: &EnumerationOptions,
     suspended: Option<SuspendedSearch>,
+    mut capture: Option<&mut Vec<FixedBitSet>>,
 ) -> EnumerationOutcome {
     let evidence_set = &evidence.evidence_set;
     assert_eq!(
@@ -228,6 +262,9 @@ fn run_adcs(
 
     let mut dcs = Vec::new();
     let mut callback = |hitting_set: &FixedBitSet| {
+        if let Some(covers) = capture.as_deref_mut() {
+            covers.push(hitting_set.clone());
+        }
         if hitting_set.is_empty() {
             // The empty DC (`¬true`) carries no information.
             return true;

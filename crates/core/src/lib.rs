@@ -46,6 +46,7 @@ pub mod baseline;
 pub mod enumeration;
 pub mod metrics;
 pub mod miner;
+pub mod monitor;
 pub mod sampling;
 
 pub use enumeration::{
@@ -54,6 +55,7 @@ pub use enumeration::{
 };
 pub use metrics::{f1_score, g_recall, DcSetComparison};
 pub use miner::{AdcMiner, EvidenceStrategy, MinerConfig, MiningResult, MiningResume, Timings};
+pub use monitor::{AdcMonitor, DeltaStats};
 pub use sampling::SampleThreshold;
 
 // Re-export the pieces users need to drive the miner without importing every crate.

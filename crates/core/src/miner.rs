@@ -192,6 +192,23 @@ pub struct MiningResume {
 }
 
 impl MiningResume {
+    /// Assemble a token from parts the caller already holds (the monitor's
+    /// refresh path, which maintains the evidence differentially instead of
+    /// scanning for it).
+    pub(crate) fn from_parts(
+        space: PredicateSpace,
+        evidence: Evidence,
+        mined_tuples: usize,
+        enumeration: EnumerationResume,
+    ) -> Self {
+        MiningResume {
+            space,
+            evidence,
+            mined_tuples,
+            enumeration,
+        }
+    }
+
     /// Number of pending search nodes the token holds (a proxy for its
     /// memory footprint; bound it with
     /// [`SearchBudget::with_max_frontier_nodes`]).
@@ -372,9 +389,9 @@ impl AdcMiner {
     }
 
     /// The approximation function the configuration selects (shared by
-    /// [`AdcMiner::mine`] and [`AdcMiner::resume`] so resumed slices score
-    /// identically).
-    fn approximation_function(&self) -> Box<dyn ApproximationFunction> {
+    /// [`AdcMiner::mine`], [`AdcMiner::resume`], and
+    /// [`crate::monitor::AdcMonitor`] so every refresh scores identically).
+    pub(crate) fn approximation_function(&self) -> Box<dyn ApproximationFunction> {
         let cfg = &self.config;
         match (cfg.approx, cfg.confidence_alpha) {
             (ApproxKind::F1, Some(alpha)) if cfg.sample_fraction < 1.0 => {
@@ -385,7 +402,7 @@ impl AdcMiner {
     }
 
     /// The enumeration options the configuration selects.
-    fn enumeration_options(&self) -> EnumerationOptions {
+    pub(crate) fn enumeration_options(&self) -> EnumerationOptions {
         let cfg = &self.config;
         let mut options = EnumerationOptions::new(cfg.epsilon);
         options.strategy = cfg.strategy;

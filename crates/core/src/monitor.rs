@@ -1,0 +1,628 @@
+//! `AdcMonitor`: the streaming face of the miner.
+//!
+//! A monitor wraps the batch pipeline of [`AdcMiner`] around a
+//! differentially-maintained evidence state
+//! ([`adc_evidence::DeltaEvidenceBuilder`]): tuple inserts and deletes are
+//! queued, and each [`AdcMonitor::refresh`] folds the queued batch into the
+//! evidence multiset by scanning **only the affected ordered pairs** —
+//! `O(batch · n)` instead of the `O(n²)` scan a re-mine would pay — and then
+//! brings the minimal-ADC answer set up to date.
+//!
+//! Two answer-update paths exist, chosen per refresh:
+//!
+//! - **Cover repair** (the fast path): when the run is exact (`ε = 0`), the
+//!   previous refresh produced the *complete* answer set, and the batch only
+//!   *added* evidence entries, the cached raw covers are repaired in place
+//!   with [`adc_hitting::repair_covers`] — no enumeration restart. This is
+//!   exact: every minimal transversal of a grown system is an old transversal
+//!   extended by a transversal of the subsets it misses.
+//! - **Restart**: in every other case (`ε > 0`, an entry's multiplicity
+//!   dropped to zero, or the previous answer was truncated) the enumeration
+//!   is restarted on the *maintained* evidence. Removing a subset can create
+//!   minimal covers that are **not** reachable from any old cover (witness:
+//!   `F = {{1,3},{2,3},{3}}` has `T(F) = {{3}}`, but dropping `{3}` adds the
+//!   brand-new cover `{1,2}`), and at `ε > 0` multiplicity changes move
+//!   approximation scores non-monotonically — so a restart is the only sound
+//!   option there. The `O(n²)` evidence scan is still skipped; only the
+//!   enumeration reruns.
+//!
+//! Either way the answer is **canonicalised** — covers sorted by size, then
+//! lexicographically by predicate index — so a refresh and a from-scratch
+//! re-mine of the patched relation are byte-comparable regardless of which
+//! path produced the answer or in which order the engine emitted it.
+
+use crate::enumeration::{cover_to_dc, enumerate_adcs_capturing, TruncationInfo};
+use crate::miner::{AdcMiner, MinerConfig, MiningResult, MiningResume, Timings};
+use adc_data::{DataError, FixedBitSet, Relation, Value};
+use adc_evidence::DeltaEvidenceBuilder;
+use adc_hitting::{repair_covers, ApproxEnumStats, SetSystem};
+use adc_predicates::PredicateSpace;
+use std::time::Instant;
+
+/// Per-refresh differential counters: what one [`AdcMonitor::refresh`]
+/// actually did, to compare against the cost of a batch re-mine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Ordered tuple pairs scanned to fold the batch into the evidence
+    /// multiset (`O(batch · n)`; a re-mine scans all `n·(n−1)` pairs).
+    pub pairs_scanned: u64,
+    /// Evidence entries the batch touched (added + removed + count-changed).
+    pub entries_touched: usize,
+    /// Covers re-examined by the answer-update path: on the repair path, the
+    /// old covers that missed an appended entry and had their extension
+    /// space enumerated; on the restart path, every cover the fresh
+    /// enumeration emitted.
+    pub covers_reopened: usize,
+    /// `true` when the refresh took the cover-repair fast path, `false` when
+    /// it restarted the enumeration.
+    pub repaired: bool,
+}
+
+/// The complete raw transversal family of the last refresh — including the
+/// empty cover and covers whose DC is trivial, which [`MiningResult::dcs`]
+/// filters out but [`adc_hitting::repair_covers`] needs (it is exact only
+/// when handed the *whole* answer, and a trivial cover can graft into a
+/// non-trivial one as the system grows).
+#[derive(Debug, Clone)]
+struct CoverCache {
+    covers: Vec<FixedBitSet>,
+    /// Number of evidence entries (= subsets) the covers were computed over;
+    /// entries appended since then form the suffix `entries..` of the grown
+    /// system.
+    entries: usize,
+}
+
+/// A continuously-monitored relation: queue tuple inserts/deletes, call
+/// [`AdcMonitor::refresh`] to get the up-to-date minimal ADCs without ever
+/// re-scanning the unchanged part of the data.
+///
+/// ```
+/// use adc_core::{AdcMonitor, MinerConfig};
+/// # use adc_data::{AttributeType, Relation, Schema, Value};
+/// # let schema = Schema::of(&[("A", AttributeType::Integer)]);
+/// # let mut b = Relation::builder(schema);
+/// # for i in 0..4 { b.push_row(vec![Value::Int(i)]).unwrap(); }
+/// # let relation = b.build();
+/// let mut monitor = AdcMonitor::new(MinerConfig::new(0.0), &relation);
+/// let (initial, _) = monitor.refresh().unwrap(); // first answer
+/// monitor.insert_tuples(vec![vec![Value::Int(9)]]);
+/// monitor.delete_tuples(&[0]).unwrap();
+/// let (updated, stats) = monitor.refresh().unwrap(); // differential update
+/// # let _ = (initial, updated, stats);
+/// ```
+///
+/// The predicate space is **frozen** at construction (space generation
+/// depends on whole-relation statistics, so a drifting space would change
+/// the answer universe mid-stream); sampling is not supported
+/// (`sample_fraction` must be `1.0` — a monitor maintains the exact
+/// evidence of the full relation).
+#[derive(Debug, Clone)]
+pub struct AdcMonitor {
+    miner: AdcMiner,
+    space: PredicateSpace,
+    builder: DeltaEvidenceBuilder,
+    pending_deletes: Vec<usize>,
+    pending_inserts: Vec<Vec<Value>>,
+    cache: Option<CoverCache>,
+}
+
+impl AdcMonitor {
+    /// Create a monitor over `relation`, paying the one `O(n²)` evidence
+    /// scan this monitor will ever do. No enumeration happens here; the
+    /// first [`AdcMonitor::refresh`] (possibly with an empty queue) returns
+    /// the initial answer.
+    ///
+    /// # Panics
+    /// Panics if `config.sample_fraction < 1.0` — differential maintenance
+    /// is defined over the full relation, not a sample.
+    pub fn new(config: MinerConfig, relation: &Relation) -> Self {
+        assert!(
+            config.sample_fraction >= 1.0,
+            "AdcMonitor requires sample_fraction == 1.0: differential \
+             maintenance tracks the exact evidence of the full relation"
+        );
+        let space = PredicateSpace::build(relation, config.space);
+        let track_vios = config.approx.instantiate().requires_vios();
+        let builder = DeltaEvidenceBuilder::new(relation, &space, track_vios);
+        AdcMonitor {
+            miner: AdcMiner::new(config),
+            space,
+            builder,
+            pending_deletes: Vec::new(),
+            pending_inserts: Vec::new(),
+            cache: None,
+        }
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> &MinerConfig {
+        self.miner.config()
+    }
+
+    /// The frozen predicate space every answer refers to.
+    pub fn space(&self) -> &PredicateSpace {
+        &self.space
+    }
+
+    /// The current relation (as of the last refresh; queued batches are not
+    /// yet folded in).
+    pub fn relation(&self) -> &Relation {
+        self.builder.relation()
+    }
+
+    /// The current evidence multiset (as of the last refresh).
+    pub fn evidence_set(&self) -> &adc_evidence::EvidenceSet {
+        self.builder.evidence_set()
+    }
+
+    /// The maintained `Vios` side index (entry → violating tuples), present
+    /// when the configured approximation function needs it (`f2`, `f3`).
+    /// Lets callers show *which tuples* participate in the violations of a
+    /// discovered DC without any extra scan.
+    pub fn vios(&self) -> Option<&adc_evidence::Vios> {
+        self.builder.vios()
+    }
+
+    /// Number of queued, not-yet-refreshed inserts and deletes.
+    pub fn pending(&self) -> (usize, usize) {
+        (self.pending_inserts.len(), self.pending_deletes.len())
+    }
+
+    /// Drop every queued insert and delete without applying them.
+    pub fn clear_pending(&mut self) {
+        self.pending_inserts.clear();
+        self.pending_deletes.clear();
+    }
+
+    /// Queue rows for insertion at the next refresh. Schema conformance is
+    /// checked when the batch is applied.
+    pub fn insert_tuples(&mut self, rows: Vec<Vec<Value>>) {
+        self.pending_inserts.extend(rows);
+    }
+
+    /// Queue rows for deletion at the next refresh. Indexes refer to
+    /// [`AdcMonitor::relation`] — the relation as of the last refresh;
+    /// duplicates are allowed and rows queued for insertion in the same
+    /// batch cannot be addressed.
+    ///
+    /// # Errors
+    /// [`DataError::RowOutOfBounds`] if any index is out of bounds; nothing
+    /// is queued in that case.
+    pub fn delete_tuples(&mut self, rows: &[usize]) -> Result<(), DataError> {
+        let n = self.builder.relation().len();
+        if let Some(&bad) = rows.iter().find(|&&r| r >= n) {
+            return Err(DataError::RowOutOfBounds { row: bad, rows: n });
+        }
+        self.pending_deletes.extend_from_slice(rows);
+        Ok(())
+    }
+
+    /// Fold the queued batch into the evidence state (scanning only affected
+    /// pairs) and return the up-to-date answer plus what the refresh cost.
+    ///
+    /// The returned [`MiningResult`] is equivalent to mining the patched
+    /// relation from scratch with the same configuration, except that
+    /// [`MiningResult::dcs`] is in **canonical order** (nondecreasing size,
+    /// then lexicographic by predicate index) rather than emission order,
+    /// and [`MiningResult::timings`] only covers work this refresh did.
+    ///
+    /// # Errors
+    /// [`DataError`] if an insert row does not conform to the schema; the
+    /// evidence state *and* the queued batch are left untouched, so the
+    /// caller can inspect [`AdcMonitor::clear_pending`] or fix the queue and
+    /// retry.
+    pub fn refresh(&mut self) -> Result<(MiningResult, DeltaStats), DataError> {
+        let deletes = std::mem::take(&mut self.pending_deletes);
+        let inserts = std::mem::take(&mut self.pending_inserts);
+
+        let t0 = Instant::now();
+        let delta = match self.builder.apply(&deletes, inserts.clone()) {
+            Ok(delta) => delta,
+            Err(e) => {
+                // `apply` left the evidence untouched; restore the queue too.
+                self.pending_deletes = deletes;
+                self.pending_inserts = inserts;
+                return Err(e);
+            }
+        };
+        let evidence_time = t0.elapsed();
+
+        let cfg = *self.miner.config();
+        let options = self.miner.enumeration_options();
+        let t1 = Instant::now();
+
+        // The repair path is sound only when covers can never *shrink* or
+        // appear out of nowhere: exact semantics (at ε = 0 a set is an answer
+        // iff it hits every entry — multiplicities are irrelevant), no entry
+        // removed (removal can create covers unreachable from the old
+        // answer), a complete cached answer to repair, and no result cap
+        // (repair yields the complete answer; a cap would make the cached
+        // set a prefix next time).
+        let fast = cfg.epsilon == 0.0
+            && delta.removed.is_empty()
+            && cfg.max_dcs.is_none()
+            && self.cache.is_some();
+
+        let (covers, covers_reopened, repaired, truncation, enum_stats, resume_parts) = if fast {
+            let cache = self.cache.take().expect("checked above");
+            let system = self.current_system();
+            debug_assert_eq!(
+                cache.entries + delta.added.len(),
+                system.len(),
+                "with no removals, added entries must be exactly the appended suffix"
+            );
+            let (mut covers, repair) = repair_covers(
+                &cache.covers,
+                &system,
+                cache.entries..system.len(),
+                options.strategy,
+            );
+            canonical_sort(&mut covers);
+            (
+                covers,
+                repair.reopened,
+                true,
+                None,
+                ApproxEnumStats::default(),
+                None,
+            )
+        } else {
+            let function = self.miner.approximation_function();
+            let evidence = self.builder.snapshot();
+            let mut covers = Vec::new();
+            let outcome = enumerate_adcs_capturing(
+                &self.space,
+                &evidence,
+                function.as_ref(),
+                &options,
+                &mut covers,
+            );
+            canonical_sort(&mut covers);
+            let reopened = covers.len();
+            let resume_parts = outcome.resume.map(|enumeration| (evidence, enumeration));
+            (
+                covers,
+                reopened,
+                false,
+                outcome.truncation,
+                outcome.stats,
+                resume_parts,
+            )
+        };
+
+        // Cache the raw covers only when they are the *complete* answer —
+        // a truncated prefix cannot seed a sound repair.
+        let exhaustive = truncation.is_none();
+        let entries = self.builder.evidence_set().distinct_count();
+        self.cache = exhaustive.then(|| CoverCache {
+            covers: covers.clone(),
+            entries,
+        });
+
+        let result = self.assemble_result(
+            covers,
+            truncation,
+            enum_stats,
+            resume_parts,
+            evidence_time,
+            t1.elapsed(),
+        );
+        let stats = DeltaStats {
+            pairs_scanned: delta.pairs_scanned,
+            entries_touched: delta.entries_touched(),
+            covers_reopened,
+            repaired,
+        };
+        Ok((result, stats))
+    }
+
+    /// The hitting-set instance of the current evidence state (subsets in
+    /// entry order, so it extends the instance of any earlier, smaller
+    /// state entry-for-entry).
+    fn current_system(&self) -> SetSystem {
+        let set = self.builder.evidence_set();
+        SetSystem::new(
+            set.num_predicates(),
+            set.entries().iter().map(|e| e.set.clone()).collect(),
+        )
+    }
+
+    fn assemble_result(
+        &self,
+        covers: Vec<FixedBitSet>,
+        truncation: Option<TruncationInfo>,
+        enum_stats: ApproxEnumStats,
+        resume_parts: Option<(
+            adc_evidence::Evidence,
+            crate::enumeration::EnumerationResume,
+        )>,
+        evidence_time: std::time::Duration,
+        enumeration_time: std::time::Duration,
+    ) -> MiningResult {
+        let set = self.builder.evidence_set();
+        let mined_tuples = self.builder.relation().len();
+        let dcs = covers
+            .iter()
+            .filter_map(|cover| cover_to_dc(&self.space, cover))
+            .collect();
+        MiningResult {
+            dcs,
+            space: self.space.clone(),
+            mined_tuples,
+            distinct_evidence: set.distinct_count(),
+            total_pairs: set.total_pairs(),
+            timings: Timings {
+                evidence: evidence_time,
+                enumeration: enumeration_time,
+                ..Timings::default()
+            },
+            enum_stats,
+            truncation,
+            resume: resume_parts.map(|(evidence, enumeration)| {
+                MiningResume::from_parts(self.space.clone(), evidence, mined_tuples, enumeration)
+            }),
+        }
+    }
+}
+
+/// Sort covers into the monitor's canonical order: nondecreasing size, ties
+/// broken lexicographically by ascending predicate index.
+fn canonical_sort(covers: &mut [FixedBitSet]) {
+    covers.sort_unstable_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.iter().cmp(b.iter())));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adc_approx::ApproxKind;
+    use adc_data::{AttributeType, Schema};
+
+    /// State/Zip/Income/Tax rows with a planted FD-style structure and
+    /// `exceptions` violating rows — the miner test fixture, reused so the
+    /// monitor is exercised on data where both exact and approximate
+    /// mining produce non-trivial answers.
+    fn tax_relation(n: usize, exceptions: usize, seed: u64) -> Relation {
+        let schema = Schema::of(&[
+            ("State", AttributeType::Text),
+            ("Zip", AttributeType::Integer),
+            ("Income", AttributeType::Integer),
+            ("Tax", AttributeType::Integer),
+        ]);
+        let states = ["NY", "WA", "IL", "TX"];
+        let mut x = seed.max(1);
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut b = Relation::builder(schema);
+        for i in 0..n {
+            let s = (next() % states.len() as u64) as usize;
+            let zip = 10_000 + 100 * s as i64 + (next() % 40) as i64;
+            let income = 20_000 + (next() % 80_000) as i64;
+            let tax = if i < exceptions {
+                income / 5 + 40_000 // deliberately out of line
+            } else {
+                income / 10 + 1_000 * s as i64
+            };
+            b.push_row(vec![
+                states[s].into(),
+                Value::Int(zip),
+                Value::Int(income),
+                Value::Int(tax),
+            ])
+            .unwrap();
+        }
+        b.build()
+    }
+
+    fn rows_of(relation: &Relation, idx: impl IntoIterator<Item = usize>) -> Vec<Vec<Value>> {
+        idx.into_iter().map(|i| relation.row(i)).collect()
+    }
+
+    /// Mine `relation` from scratch with `config` and return the DCs in the
+    /// monitor's canonical order (as rendered strings, for comparison). The
+    /// monitor sorts raw covers — i.e. DC *complement* sets — by size then
+    /// element index, so the re-mine is keyed the same way.
+    fn canonical_remine(config: MinerConfig, relation: &Relation) -> Vec<String> {
+        let result = AdcMiner::new(config).mine(relation);
+        let space = &result.space;
+        let mut keyed: Vec<_> = result
+            .dcs
+            .iter()
+            .map(|dc| {
+                let cover = dc.complement_set(space).to_vec();
+                (cover.len(), cover, dc.display(space).to_string())
+            })
+            .collect();
+        keyed.sort();
+        keyed.into_iter().map(|(_, _, s)| s).collect()
+    }
+
+    fn rendered(result: &MiningResult) -> Vec<String> {
+        result
+            .dcs
+            .iter()
+            .map(|dc| dc.display(&result.space).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn insert_only_stream_takes_the_repair_path_and_matches_remine() {
+        let base = tax_relation(40, 2, 7);
+        let donor = tax_relation(60, 6, 1234);
+        let config = MinerConfig::new(0.0);
+        let mut monitor = AdcMonitor::new(config, &base);
+
+        let (initial, stats0) = monitor.refresh().unwrap();
+        assert!(!stats0.repaired, "first refresh has no cache to repair");
+        assert_eq!(rendered(&initial), canonical_remine(config, &base));
+
+        for step in 0..3 {
+            monitor.insert_tuples(rows_of(&donor, 40 + 3 * step..40 + 3 * (step + 1)));
+            let (result, stats) = monitor.refresh().unwrap();
+            assert!(stats.repaired, "insert-only exact refresh must repair");
+            assert!(stats.pairs_scanned > 0);
+            // Differential scan cost: 3 new rows against n_old rows, both
+            // directions, plus the pairs among the 3 — far below n·(n−1).
+            let n = monitor.relation().len() as u64;
+            assert!(stats.pairs_scanned < n * (n - 1) / 2);
+            let expected = canonical_remine(config, monitor.relation());
+            assert_eq!(rendered(&result), expected, "step {step}");
+            assert!(result.truncation.is_none());
+        }
+    }
+
+    #[test]
+    fn deletes_match_remine_whichever_path_fires() {
+        // At ε = 0 the answer depends only on the *set* of evidence masks, so
+        // a delete whose retractions never zero an entry still repairs; the
+        // restart is forced exactly when an entry count drops to zero.
+        let base = tax_relation(45, 3, 99);
+        let config = MinerConfig::new(0.0);
+        let mut monitor = AdcMonitor::new(config, &base);
+        monitor.refresh().unwrap();
+
+        monitor.delete_tuples(&[0, 7, 19]).unwrap();
+        let (result, _) = monitor.refresh().unwrap();
+        assert_eq!(
+            rendered(&result),
+            canonical_remine(config, monitor.relation())
+        );
+        assert_eq!(monitor.relation().len(), 42);
+    }
+
+    #[test]
+    fn deletes_that_remove_entries_force_a_restart_and_match_remine() {
+        let base = tax_relation(40, 3, 99);
+        let config = MinerConfig::new(0.0);
+        let mut monitor = AdcMonitor::new(config, &base);
+        monitor.refresh().unwrap();
+
+        // Deleting 35 of 40 rows wipes out most of the pair population —
+        // entries whose every supporting pair involved a deleted row vanish.
+        monitor.delete_tuples(&(0..35).collect::<Vec<_>>()).unwrap();
+        let (result, stats) = monitor.refresh().unwrap();
+        assert!(
+            !stats.repaired,
+            "zeroed entries can create covers unreachable from the old answer"
+        );
+        assert_eq!(
+            rendered(&result),
+            canonical_remine(config, monitor.relation())
+        );
+        assert_eq!(monitor.relation().len(), 5);
+    }
+
+    #[test]
+    fn mixed_batches_match_remine_for_exact_and_approximate_configs() {
+        let base = tax_relation(36, 4, 5);
+        let donor = tax_relation(50, 0, 4242);
+        for config in [
+            MinerConfig::new(0.0),
+            MinerConfig::new(0.05),
+            MinerConfig::new(0.08).with_approx(ApproxKind::F3),
+        ] {
+            let mut monitor = AdcMonitor::new(config, &base);
+            monitor.refresh().unwrap();
+            monitor.insert_tuples(rows_of(&donor, 0..4));
+            monitor.delete_tuples(&[1, 2]).unwrap();
+            let (result, stats) = monitor.refresh().unwrap();
+            assert_eq!(
+                rendered(&result),
+                canonical_remine(config, monitor.relation()),
+                "ε = {}",
+                config.epsilon
+            );
+            assert!(stats.entries_touched > 0);
+        }
+    }
+
+    #[test]
+    fn empty_refresh_on_a_cached_answer_is_a_noop_repair() {
+        let base = tax_relation(30, 2, 11);
+        let mut monitor = AdcMonitor::new(MinerConfig::new(0.0), &base);
+        let (first, _) = monitor.refresh().unwrap();
+        let (second, stats) = monitor.refresh().unwrap();
+        assert!(stats.repaired);
+        assert_eq!(stats.pairs_scanned, 0);
+        assert_eq!(stats.entries_touched, 0);
+        assert_eq!(
+            stats.covers_reopened, 0,
+            "nothing appended, nothing reopened"
+        );
+        assert_eq!(rendered(&first), rendered(&second));
+    }
+
+    #[test]
+    fn approximate_monitor_never_takes_the_repair_path() {
+        let base = tax_relation(30, 3, 21);
+        let donor = tax_relation(40, 0, 77);
+        let mut monitor = AdcMonitor::new(MinerConfig::new(0.05), &base);
+        monitor.refresh().unwrap();
+        monitor.insert_tuples(rows_of(&donor, 0..2));
+        let (_, stats) = monitor.refresh().unwrap();
+        assert!(
+            !stats.repaired,
+            "ε > 0 scores shift non-monotonically under count changes"
+        );
+    }
+
+    #[test]
+    fn truncated_answers_are_not_cached_for_repair() {
+        let base = tax_relation(40, 3, 3);
+        let donor = tax_relation(50, 0, 31);
+        let config = MinerConfig::new(0.0).with_max_dcs(2);
+        let mut monitor = AdcMonitor::new(config, &base);
+        let (first, _) = monitor.refresh().unwrap();
+        assert!(first.truncation.is_some());
+        assert!(
+            first.resume.is_some(),
+            "truncated refresh hands out a resume token"
+        );
+        monitor.insert_tuples(rows_of(&donor, 0..2));
+        let (_, stats) = monitor.refresh().unwrap();
+        assert!(
+            !stats.repaired,
+            "a capped config must never repair a prefix"
+        );
+    }
+
+    #[test]
+    fn bad_batches_leave_the_monitor_intact() {
+        let base = tax_relation(20, 1, 13);
+        let mut monitor = AdcMonitor::new(MinerConfig::new(0.0), &base);
+        monitor.refresh().unwrap();
+
+        assert!(monitor.delete_tuples(&[99]).is_err());
+        assert_eq!(monitor.pending(), (0, 0));
+
+        // Wrong arity: rejected at apply time, queue restored.
+        monitor.insert_tuples(vec![vec![Value::Int(1)]]);
+        monitor.delete_tuples(&[0]).unwrap();
+        assert!(monitor.refresh().is_err());
+        assert_eq!(
+            monitor.pending(),
+            (1, 1),
+            "failed refresh restores the queue"
+        );
+        assert_eq!(monitor.relation().len(), 20);
+
+        monitor.clear_pending();
+        assert_eq!(monitor.pending(), (0, 0));
+        let (result, stats) = monitor.refresh().unwrap();
+        assert!(stats.repaired);
+        assert_eq!(
+            rendered(&result),
+            canonical_remine(*monitor.config(), monitor.relation())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_fraction")]
+    fn sampling_configs_are_rejected() {
+        let base = tax_relation(10, 0, 1);
+        AdcMonitor::new(MinerConfig::new(0.0).with_sample(0.5, 1), &base);
+    }
+}

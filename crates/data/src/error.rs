@@ -29,6 +29,13 @@ pub enum DataError {
     Csv(String),
     /// A schema with zero attributes was supplied where at least one is required.
     EmptySchema,
+    /// A row index was referenced that does not exist in the relation.
+    RowOutOfBounds {
+        /// The offending row index.
+        row: usize,
+        /// Number of rows the relation actually has.
+        rows: usize,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -51,6 +58,12 @@ impl fmt::Display for DataError {
             DataError::DuplicateAttribute(name) => write!(f, "duplicate attribute `{name}`"),
             DataError::Csv(msg) => write!(f, "csv error: {msg}"),
             DataError::EmptySchema => write!(f, "schema must contain at least one attribute"),
+            DataError::RowOutOfBounds { row, rows } => {
+                write!(
+                    f,
+                    "row index {row} out of bounds for relation with {rows} rows"
+                )
+            }
         }
     }
 }
@@ -89,6 +102,15 @@ mod tests {
         assert!(DataError::UnknownAttribute("Zip".into())
             .to_string()
             .contains("Zip"));
+    }
+
+    #[test]
+    fn display_row_out_of_bounds() {
+        let e = DataError::RowOutOfBounds { row: 7, rows: 5 };
+        assert_eq!(
+            e.to_string(),
+            "row index 7 out of bounds for relation with 5 rows"
+        );
     }
 
     #[test]

@@ -211,6 +211,98 @@ impl Relation {
         Ok(())
     }
 
+    /// Check that every row of a batch fits the schema (arity and cell
+    /// types) without modifying anything — the validation both
+    /// [`Relation::append_rows`] and differential callers that must fail
+    /// *before* mutating any state (e.g. the streaming monitor's
+    /// insert/delete apply) run up front.
+    ///
+    /// # Errors
+    /// [`DataError::ArityMismatch`] / [`DataError::TypeMismatch`] for the
+    /// first offending row.
+    pub fn check_rows(&self, rows: &[Vec<Value>]) -> Result<(), DataError> {
+        for row in rows {
+            if row.len() != self.schema.arity() {
+                return Err(DataError::ArityMismatch {
+                    expected: self.schema.arity(),
+                    found: row.len(),
+                });
+            }
+            for (c, value) in row.iter().enumerate() {
+                let attr = self.schema.attribute(c);
+                if !attr.ty().admits(value) {
+                    return Err(DataError::TypeMismatch {
+                        attribute: attr.name().to_string(),
+                        expected: attr.ty().name(),
+                        found: value.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Append a batch of rows in place (schema order, like
+    /// [`RelationBuilder::push_row`]). This is the ingestion path of the
+    /// streaming monitor in `adc-core`: appended tuples keep every existing
+    /// row index stable, so differential evidence maintenance can scan only
+    /// the pairs that involve a new row.
+    ///
+    /// The whole batch is validated ([`Relation::check_rows`]) before
+    /// anything is written, so an error leaves the relation untouched. Each
+    /// text column's dictionary index is rebuilt once per batch — not once
+    /// per cell — which keeps large batch appends linear.
+    ///
+    /// ```
+    /// use adc_data::{AttributeType, Relation, Schema, Value};
+    ///
+    /// let schema = Schema::of(&[("City", AttributeType::Text), ("Pop", AttributeType::Integer)]);
+    /// let mut b = Relation::builder(schema);
+    /// b.push_row(vec!["Oslo".into(), Value::Int(700)]).unwrap();
+    /// let mut relation = b.build();
+    ///
+    /// relation
+    ///     .append_rows(vec![
+    ///         vec!["Bergen".into(), Value::Int(280)],
+    ///         vec!["Oslo".into(), Value::Null],
+    ///     ])
+    ///     .unwrap();
+    /// assert_eq!(relation.len(), 3);
+    /// assert_eq!(relation.value(2, 0), Value::from("Oslo"));
+    ///
+    /// // A bad batch is rejected atomically.
+    /// assert!(relation.append_rows(vec![vec![Value::Int(1)]]).is_err());
+    /// assert_eq!(relation.len(), 3);
+    /// ```
+    ///
+    /// # Errors
+    /// [`DataError::ArityMismatch`] / [`DataError::TypeMismatch`] if any row
+    /// of the batch does not fit the schema; nothing is appended in that case.
+    pub fn append_rows(&mut self, rows: Vec<Vec<Value>>) -> Result<(), DataError> {
+        // Validate the entire batch up front so failure is atomic.
+        self.check_rows(&rows)?;
+        // Rebuild the per-column dictionary indexes once for the whole batch.
+        let mut dict_indexes: Vec<FxHashMap<String, u32>> = self
+            .columns
+            .iter()
+            .map(|col| {
+                col.dictionary()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.clone(), i as u32))
+                    .collect()
+            })
+            .collect();
+        for row in rows {
+            for (c, value) in row.into_iter().enumerate() {
+                let name = self.schema.attribute(c).name();
+                self.columns[c].push(value, name, &mut dict_indexes[c])?;
+            }
+            self.rows += 1;
+        }
+        Ok(())
+    }
+
     /// Pretty-print the first `limit` rows (for examples and debugging).
     pub fn preview(&self, limit: usize) -> String {
         let mut out = String::new();
@@ -512,6 +604,83 @@ mod tests {
         // Existing entry reused.
         r.set_value(1, 1, Value::from("WA")).unwrap();
         assert_eq!(r.value(1, 1), Value::from("WA"));
+    }
+
+    #[test]
+    fn append_rows_extends_in_place() {
+        let mut r = sample();
+        r.append_rows(vec![
+            vec![
+                "Eve".into(),
+                "IL".into(),
+                Value::Int(31_000),
+                Value::Float(3_000.0),
+            ],
+            vec!["Mark".into(), "NY".into(), Value::Null, Value::Int(7)],
+        ])
+        .unwrap();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.value(3, 1), Value::from("IL"));
+        assert!(r.value(4, 2).is_null());
+        // Int widens into the float column, like push_row.
+        assert_eq!(r.value(4, 3), Value::Float(7.0));
+        // Existing dictionary entries are reused, new ones appended.
+        assert_eq!(r.column(0).text_code(4), r.column(0).text_code(1));
+        assert_eq!(r.column(1).dictionary().len(), 3);
+    }
+
+    #[test]
+    fn append_rows_failure_is_atomic() {
+        let mut r = sample();
+        // Second row has an arity error: nothing of the batch lands.
+        let err = r
+            .append_rows(vec![
+                vec![
+                    "Eve".into(),
+                    "IL".into(),
+                    Value::Int(31_000),
+                    Value::Float(3_000.0),
+                ],
+                vec![Value::Int(1)],
+            ])
+            .unwrap_err();
+        assert!(matches!(err, DataError::ArityMismatch { .. }));
+        assert_eq!(r.len(), 3);
+        // Same for a type error anywhere in the batch.
+        let err = r
+            .append_rows(vec![vec![
+                "Eve".into(),
+                "IL".into(),
+                Value::from("not a number"),
+                Value::Float(1.0),
+            ]])
+            .unwrap_err();
+        assert!(matches!(err, DataError::TypeMismatch { .. }));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.column(1).dictionary().len(), 2);
+    }
+
+    #[test]
+    fn append_rows_matches_builder_output() {
+        let schema = Schema::of(&[("A", AttributeType::Text), ("B", AttributeType::Integer)]);
+        let all_rows: Vec<Vec<Value>> = vec![
+            vec!["x".into(), Value::Int(1)],
+            vec!["y".into(), Value::Null],
+            vec!["x".into(), Value::Int(3)],
+        ];
+        let mut b = Relation::builder(schema.clone());
+        for row in &all_rows {
+            b.push_row(row.clone()).unwrap();
+        }
+        let reference = b.build();
+
+        let mut incremental = Relation::empty(schema);
+        incremental.append_rows(all_rows[..1].to_vec()).unwrap();
+        incremental.append_rows(all_rows[1..].to_vec()).unwrap();
+        assert_eq!(incremental.len(), reference.len());
+        for row in 0..reference.len() {
+            assert_eq!(incremental.row(row), reference.row(row));
+        }
     }
 
     #[test]

@@ -78,6 +78,7 @@ pub(crate) enum ColumnCodes {
 }
 
 /// Word-level masks to set for each comparison outcome of one structure group.
+#[derive(Debug, Clone)]
 pub(crate) struct GroupMasks {
     left_col: usize,
     right_col: usize,

@@ -125,7 +125,7 @@ impl EvidenceSet {
 }
 
 /// Incremental interner used by the builders.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct EvidenceAccumulator {
     index: FxHashMap<FixedBitSet, usize>,
     set: EvidenceSet,
@@ -163,14 +163,120 @@ impl EvidenceAccumulator {
     }
 
     /// Record `count` pairs sharing the same satisfied-predicate set.
+    ///
+    /// Counts saturate at `u64::MAX` instead of wrapping (and overflow trips
+    /// a `debug_assert`): a count that large is unreachable from real data
+    /// (`n·(n−1)` pairs of a `usize`-indexed relation), so saturation only
+    /// defends against corrupted or adversarial inputs without putting a
+    /// checked branch on the per-pair hot path of [`EvidenceAccumulator::add`].
     pub fn add_many(&mut self, satisfied: FixedBitSet, count: u64) -> usize {
         if count == 0 {
             return self.add_lookup_only(satisfied);
         }
         let idx = self.add(satisfied);
-        self.set.entries[idx].count += count - 1;
-        self.set.total_pairs += count - 1;
+        let entry = &mut self.set.entries[idx];
+        debug_assert!(
+            entry.count.checked_add(count - 1).is_some(),
+            "evidence entry count overflows u64"
+        );
+        entry.count = entry.count.saturating_add(count - 1);
+        debug_assert!(
+            self.set.total_pairs.checked_add(count - 1).is_some(),
+            "evidence total_pairs overflows u64"
+        );
+        self.set.total_pairs = self.set.total_pairs.saturating_add(count - 1);
         idx
+    }
+
+    /// Retract one previously recorded pair with the given satisfied-predicate
+    /// set, decrementing its entry's multiplicity (possibly to zero — the
+    /// entry stays in place, tombstone-free, until [`EvidenceAccumulator::compact`]
+    /// sweeps zero-count entries out). Returns the entry index.
+    ///
+    /// This is the Z-set `−1` half of differential evidence maintenance: a
+    /// deleted tuple's pairs are retracted with exactly the evidence sets
+    /// they were recorded with.
+    ///
+    /// # Panics
+    /// Panics if no pair with this evidence set is currently recorded — that
+    /// means the caller's delta bookkeeping has diverged from the batch state.
+    pub fn retract(&mut self, satisfied: &FixedBitSet) -> usize {
+        let idx = *self
+            .index
+            .get(satisfied)
+            .expect("retracting a pair whose evidence set was never recorded");
+        let entry = &mut self.set.entries[idx];
+        assert!(
+            entry.count > 0,
+            "retracting a pair from an evidence entry whose count is already zero"
+        );
+        entry.count -= 1;
+        self.set.total_pairs -= 1;
+        idx
+    }
+
+    /// Sweep out zero-count entries, compacting the remaining entries while
+    /// preserving their relative (first-encounter) order, and rebuild the
+    /// intern index. Returns the stable remap log
+    /// `remap[old_index] = Some(new_index)` (`None` for swept entries), which
+    /// callers use to re-target per-entry side indexes such as
+    /// [`crate::Vios`] (via [`crate::Vios::remap_entries`]).
+    pub fn compact(&mut self) -> Vec<Option<usize>> {
+        let mut next = 0usize;
+        let remap: Vec<Option<usize>> = self
+            .set
+            .entries
+            .iter()
+            .map(|e| {
+                if e.count > 0 {
+                    let idx = next;
+                    next += 1;
+                    Some(idx)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if next < self.set.entries.len() {
+            self.set.entries.retain(|e| e.count > 0);
+            self.index.clear();
+            for (idx, entry) in self.set.entries.iter().enumerate() {
+                self.index.insert(entry.set.clone(), idx);
+            }
+        }
+        remap
+    }
+
+    /// Update the recorded tuple count of the underlying relation (the
+    /// differential builder calls this after applying a tuple batch).
+    pub fn set_num_tuples(&mut self, num_tuples: usize) {
+        self.set.num_tuples = num_tuples;
+    }
+
+    /// Read access to the evidence set under construction (the differential
+    /// builder keeps the accumulator alive across its whole life instead of
+    /// calling [`EvidenceAccumulator::finish`]).
+    pub fn current(&self) -> &EvidenceSet {
+        &self.set
+    }
+
+    /// Rebuild an accumulator (with its intern index) around an existing
+    /// evidence set, so differential maintenance can take over evidence that
+    /// was built by a batch builder.
+    ///
+    /// # Panics
+    /// Panics if the set contains duplicate entries (a corrupted interning
+    /// invariant).
+    pub fn from_set(set: EvidenceSet) -> Self {
+        let mut index = FxHashMap::default();
+        for (idx, entry) in set.entries.iter().enumerate() {
+            let previous = index.insert(entry.set.clone(), idx);
+            assert!(
+                previous.is_none(),
+                "evidence set holds duplicate entries; interning invariant broken"
+            );
+        }
+        EvidenceAccumulator { index, set }
     }
 
     fn add_lookup_only(&mut self, satisfied: FixedBitSet) -> usize {
@@ -248,6 +354,93 @@ mod tests {
         assert_eq!(e.distinct_count(), 2);
         assert_eq!(e.entry(0).count, 7);
         assert_eq!(e.entry(1).count, 0);
+    }
+
+    #[test]
+    fn add_many_saturates_instead_of_wrapping() {
+        // Release-mode behaviour: a count that would overflow u64 saturates
+        // instead of silently wrapping (debug builds additionally assert).
+        let check = std::panic::catch_unwind(|| {
+            let mut acc = EvidenceAccumulator::new(4, 10);
+            acc.add_many(bs(4, &[1]), u64::MAX - 1);
+            acc.add_many(bs(4, &[1]), u64::MAX - 1);
+            acc.finish()
+        });
+        if cfg!(debug_assertions) {
+            assert!(check.is_err(), "debug build must assert on overflow");
+        } else {
+            let e = check.unwrap();
+            assert_eq!(e.entry(0).count, u64::MAX);
+            assert_eq!(e.total_pairs(), u64::MAX);
+        }
+    }
+
+    #[test]
+    fn retract_decrements_to_zero_and_compact_sweeps() {
+        let mut acc = EvidenceAccumulator::new(4, 5);
+        acc.add_many(bs(4, &[0]), 2);
+        acc.add_many(bs(4, &[1]), 1);
+        acc.add_many(bs(4, &[2]), 3);
+        assert_eq!(acc.retract(&bs(4, &[1])), 1);
+        assert_eq!(acc.retract(&bs(4, &[0])), 0);
+        // Zero-count entry stays in place until compaction (tombstone-free
+        // multiset cell, not a hole).
+        assert_eq!(acc.current().distinct_count(), 3);
+        assert_eq!(acc.current().entry(1).count, 0);
+        assert_eq!(acc.current().total_pairs(), 4);
+
+        let remap = acc.compact();
+        assert_eq!(remap, vec![Some(0), None, Some(1)]);
+        let e = acc.current();
+        assert_eq!(e.distinct_count(), 2);
+        assert_eq!(e.entry(0).set, bs(4, &[0]));
+        assert_eq!(e.entry(1).set, bs(4, &[2]));
+        assert_eq!(e.total_pairs(), 4);
+
+        // The rebuilt index interns correctly after compaction: re-adding the
+        // swept set creates a fresh entry, re-adding a survivor reuses it.
+        assert_eq!(acc.add(bs(4, &[2])), 1);
+        assert_eq!(acc.add(bs(4, &[1])), 2);
+    }
+
+    #[test]
+    fn compact_without_zero_counts_is_identity() {
+        let mut acc = EvidenceAccumulator::new(4, 3);
+        acc.add(bs(4, &[0]));
+        acc.add(bs(4, &[1, 2]));
+        let remap = acc.compact();
+        assert_eq!(remap, vec![Some(0), Some(1)]);
+        assert_eq!(acc.current().distinct_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "never recorded")]
+    fn retract_of_unknown_evidence_panics() {
+        let mut acc = EvidenceAccumulator::new(4, 2);
+        acc.add(bs(4, &[0]));
+        acc.retract(&bs(4, &[3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "already zero")]
+    fn retract_below_zero_panics() {
+        let mut acc = EvidenceAccumulator::new(4, 2);
+        acc.add(bs(4, &[0]));
+        acc.retract(&bs(4, &[0]));
+        acc.retract(&bs(4, &[0]));
+    }
+
+    #[test]
+    fn from_set_round_trips_the_intern_index() {
+        let mut acc = EvidenceAccumulator::new(4, 3);
+        acc.add_many(bs(4, &[0]), 2);
+        acc.add(bs(4, &[1]));
+        let set = acc.finish();
+        let mut rebuilt = EvidenceAccumulator::from_set(set.clone());
+        assert_eq!(*rebuilt.current(), set);
+        // The rebuilt index finds existing entries instead of duplicating.
+        assert_eq!(rebuilt.add(bs(4, &[1])), 1);
+        assert_eq!(rebuilt.retract(&bs(4, &[0])), 0);
     }
 
     #[test]

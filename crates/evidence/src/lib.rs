@@ -50,11 +50,13 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod delta;
 pub mod evidence;
 pub mod parallel;
 pub mod vios;
 
 pub use builder::{ClusterEvidenceBuilder, EvidenceBuilder, NaiveEvidenceBuilder};
+pub use delta::{DeltaEvidenceBuilder, EvidenceDelta};
 pub use evidence::{EvidenceEntry, EvidenceSet};
 pub use parallel::ParallelEvidenceBuilder;
 pub use vios::Vios;

@@ -44,6 +44,104 @@ impl Vios {
         *m.entry(t_prime).or_insert(0) += 1;
     }
 
+    /// Retract a previously recorded ordered pair `(t, t_prime)` from entry
+    /// `entry`, decrementing both tuples' participation counts and dropping
+    /// keys that reach zero (so a fully retracted tuple leaves no residue).
+    ///
+    /// This is the delta-maintenance inverse of [`Vios::record_pair`].
+    ///
+    /// # Panics
+    /// Panics if the pair was not recorded against this entry — the caller's
+    /// delta bookkeeping has diverged from the batch state.
+    pub fn retract_pair(&mut self, entry: usize, t: u32, t_prime: u32) {
+        let m = self
+            .per_entry
+            .get_mut(entry)
+            .unwrap_or_else(|| panic!("retracting a pair from unknown vios entry {entry}"));
+        for tuple in [t, t_prime] {
+            let count = m
+                .get_mut(&tuple)
+                .unwrap_or_else(|| panic!("retracting unrecorded pair ({t},{t_prime}) from vios"));
+            *count -= 1;
+            if *count == 0 {
+                m.remove(&tuple);
+            }
+        }
+    }
+
+    /// Re-target the per-entry maps through a compaction remap log (as
+    /// returned by [`crate::evidence::EvidenceAccumulator::compact`]):
+    /// entry `e` moves to `remap[e]`; swept entries (`None`) must already be
+    /// empty — every pair of a zero-count evidence entry has been retracted.
+    ///
+    /// # Panics
+    /// Panics if this index tracks more entries than `remap` covers, or if a
+    /// swept entry still holds participation counts.
+    pub fn remap_entries(&mut self, remap: &[Option<usize>]) {
+        assert!(
+            self.per_entry.len() <= remap.len(),
+            "vios tracks {} entries but the remap log covers only {}",
+            self.per_entry.len(),
+            remap.len()
+        );
+        let kept = remap[..self.per_entry.len()]
+            .iter()
+            .filter(|m| m.is_some())
+            .count();
+        let mut new_per: Vec<FxHashMap<u32, u32>> = vec![FxHashMap::default(); kept];
+        for (old, counts) in std::mem::take(&mut self.per_entry).into_iter().enumerate() {
+            match remap[old] {
+                Some(new) => new_per[new] = counts,
+                None => assert!(
+                    counts.is_empty(),
+                    "compaction swept vios entry {old} which still holds pair counts"
+                ),
+            }
+        }
+        self.per_entry = new_per;
+    }
+
+    /// Renumber tuple ids after a deletion batch: tuple `t` becomes
+    /// `old_to_new[t]` (`None` = deleted; such tuples must already carry no
+    /// counts, i.e. every pair involving them has been retracted), and the
+    /// tracked tuple count becomes `num_tuples`.
+    ///
+    /// # Panics
+    /// Panics if a deleted tuple still participates in a recorded pair.
+    pub fn renumber_tuples(&mut self, old_to_new: &[Option<u32>], num_tuples: usize) {
+        for counts in &mut self.per_entry {
+            *counts = std::mem::take(counts)
+                .into_iter()
+                .map(|(t, c)| {
+                    let new = old_to_new
+                        .get(t as usize)
+                        .copied()
+                        .flatten()
+                        .unwrap_or_else(|| {
+                            panic!("deleted tuple {t} still participates in recorded pairs")
+                        });
+                    (new, c)
+                })
+                .collect();
+        }
+        self.num_tuples = num_tuples;
+    }
+
+    /// Update the tracked tuple count (after an insert-only batch, where no
+    /// renumbering is needed).
+    pub fn set_num_tuples(&mut self, num_tuples: usize) {
+        self.num_tuples = num_tuples;
+    }
+
+    /// Grow the entry list to `num_entries` (no-op if already that large), so
+    /// an index stays aligned with an accumulator that interned new entries
+    /// the index has not seen pairs for yet.
+    pub fn ensure_entries(&mut self, num_entries: usize) {
+        if self.per_entry.len() < num_entries {
+            self.per_entry.resize(num_entries, FxHashMap::default());
+        }
+    }
+
     /// Merge a shard index whose entry ids are *local* to the shard's own
     /// accumulator, translating them through `mapping` (as returned by
     /// [`crate::evidence::EvidenceAccumulator::merge_set`] for that shard):
@@ -143,6 +241,75 @@ mod tests {
         assert_eq!(v.num_entries(), 4);
         assert_eq!(v.count(3, 0), 1);
         assert_eq!(v.count(2, 0), 0);
+    }
+
+    #[test]
+    fn retract_pair_inverts_record_pair() {
+        let mut v = Vios::new(2, 4);
+        v.record_pair(0, 0, 1);
+        v.record_pair(0, 1, 2);
+        v.retract_pair(0, 0, 1);
+        assert_eq!(v.count(0, 0), 0);
+        assert_eq!(v.count(0, 1), 1);
+        assert_eq!(v.count(0, 2), 1);
+        // Fully retracted tuples leave no residue keys.
+        v.retract_pair(0, 1, 2);
+        assert_eq!(v.entry_tuples(0).count(), 0);
+        assert_eq!(v, {
+            let mut fresh = Vios::new(2, 4);
+            fresh.record_pair(0, 5, 6); // make entry 0 non-trivially compared
+            fresh.retract_pair(0, 5, 6);
+            fresh
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecorded pair")]
+    fn retract_unrecorded_pair_panics() {
+        let mut v = Vios::new(1, 3);
+        v.record_pair(0, 0, 1);
+        v.retract_pair(0, 0, 2);
+    }
+
+    #[test]
+    fn remap_entries_follows_compaction() {
+        let mut v = Vios::new(3, 4);
+        v.record_pair(0, 0, 1);
+        v.record_pair(2, 2, 3);
+        // Entry 1 was swept (it is empty), entries 0 and 2 slide down.
+        v.remap_entries(&[Some(0), None, Some(1)]);
+        assert_eq!(v.num_entries(), 2);
+        assert_eq!(v.count(0, 0), 1);
+        assert_eq!(v.count(1, 2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "still holds pair counts")]
+    fn remap_refuses_to_sweep_live_entries() {
+        let mut v = Vios::new(2, 3);
+        v.record_pair(1, 0, 1);
+        v.remap_entries(&[Some(0), None]);
+    }
+
+    #[test]
+    fn renumber_tuples_after_deletion() {
+        let mut v = Vios::new(1, 4);
+        v.record_pair(0, 0, 2);
+        v.record_pair(0, 2, 3);
+        // Delete tuple 1: 0→0, 2→1, 3→2.
+        v.renumber_tuples(&[Some(0), None, Some(1), Some(2)], 3);
+        assert_eq!(v.num_tuples(), 3);
+        assert_eq!(v.count(0, 0), 1);
+        assert_eq!(v.count(0, 1), 2);
+        assert_eq!(v.count(0, 2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "still participates")]
+    fn renumber_refuses_to_drop_live_tuples() {
+        let mut v = Vios::new(1, 2);
+        v.record_pair(0, 0, 1);
+        v.renumber_tuples(&[Some(0), None], 1);
     }
 
     #[test]

@@ -213,6 +213,30 @@ where
     approx_run(system, score, config, Some(suspended), callback)
 }
 
+/// Patch a suspended **approximate** enumeration after subsets were appended
+/// to the system, when that is sound — i.e. only at `ε = 0`, where the
+/// threshold test degenerates to "hits every subset" for any approximation
+/// function satisfying the paper's axioms, so the frontier's past pruning
+/// decisions remain valid against the grown system. For `ε > 0` the
+/// count-weighted scores of already-classified nodes may shift
+/// non-monotonically under a delta, so no patch is attempted and `None` is
+/// returned — restart the enumeration instead.
+///
+/// On success returns the number of frontier nodes that gained an uncovered
+/// subset (the [`SuspendedSearch::patch`] contract: sound continuation, not
+/// complete relative to a from-scratch run).
+pub fn patch_approx_search(
+    suspended: &mut SuspendedSearch,
+    system: &SetSystem,
+    config: &ApproxEnumConfig<'_>,
+    appended_from: usize,
+) -> Option<usize> {
+    if config.epsilon != 0.0 {
+        return None;
+    }
+    Some(suspended.patch(system, appended_from))
+}
+
 fn approx_run<S, F>(
     system: &SetSystem,
     score: S,

@@ -37,17 +37,20 @@
 pub mod approx;
 pub mod brute;
 pub mod mmcs;
+pub mod repair;
 pub mod search;
 
 pub use approx::{
-    approx_minimal_hitting_sets, enumerate_approx_minimal_hitting_sets,
+    approx_minimal_hitting_sets, enumerate_approx_minimal_hitting_sets, patch_approx_search,
     resume_approx_minimal_hitting_sets, search_approx_minimal_hitting_sets,
     search_approx_minimal_hitting_sets_resumable, ApproxEnumConfig, ApproxEnumStats,
 };
 pub use mmcs::{
-    enumerate_minimal_hitting_sets, minimal_hitting_sets, resume_minimal_hitting_sets,
-    search_minimal_hitting_sets, search_minimal_hitting_sets_resumable,
+    enumerate_minimal_hitting_sets, minimal_hitting_sets, patch_minimal_hitting_search,
+    resume_minimal_hitting_sets, search_minimal_hitting_sets,
+    search_minimal_hitting_sets_resumable,
 };
+pub use repair::{repair_covers, shrink_covers, CoverRepair};
 pub use search::{
     SearchBudget, SearchDriver, SearchOrder, SearchOutcome, SuspendedSearch, Truncation,
     TruncationReason,
@@ -135,6 +138,25 @@ impl SetSystem {
     /// `true` if there are no subsets (every set, including ∅, is a hitting set).
     pub fn is_empty(&self) -> bool {
         self.subsets.is_empty()
+    }
+
+    /// Append one subset, returning its index.
+    ///
+    /// Appending (rather than inserting) keeps every existing subset index
+    /// stable, which is what lets differential callers describe a grown
+    /// system as "the old one plus `appended_from..len()`" — the contract
+    /// [`crate::repair`] and [`SuspendedSearch::patch`] are built on.
+    ///
+    /// # Panics
+    /// Panics if the subset's capacity differs from `num_elements`.
+    pub fn push_subset(&mut self, subset: FixedBitSet) -> usize {
+        assert_eq!(
+            subset.capacity(),
+            self.num_elements,
+            "subset capacity mismatch"
+        );
+        self.subsets.push(subset);
+        self.subsets.len() - 1
     }
 
     /// `true` if `set` intersects every subset.

@@ -120,6 +120,25 @@ where
     resume_search(system, &mut ExactDriver, &config, suspended, callback)
 }
 
+/// Patch a suspended **exact** enumeration after subsets were appended to
+/// the system (see [`SuspendedSearch::patch`] for the mechanics and the
+/// soundness/completeness contract). Returns the number of frontier nodes
+/// that gained an uncovered subset.
+///
+/// Exact enumeration re-checks nothing at emission beyond `uncov` being
+/// empty, so the patched frontier may be resumed with
+/// [`resume_minimal_hitting_sets`] against the grown system directly: every
+/// emission is a minimal hitting set of the grown system. Covers emitted
+/// *before* the patch are the caller's to repair
+/// ([`crate::repair::repair_covers`]).
+pub fn patch_minimal_hitting_search(
+    suspended: &mut SuspendedSearch,
+    system: &SetSystem,
+    appended_from: usize,
+) -> usize {
+    suspended.patch(system, appended_from)
+}
+
 /// Convenience wrapper collecting all minimal hitting sets into a vector.
 pub fn minimal_hitting_sets(system: &SetSystem, strategy: BranchStrategy) -> Vec<FixedBitSet> {
     let mut out = Vec::new();

@@ -1,0 +1,243 @@
+//! Cover repair: rebuild the minimal-hitting-set answer of a *grown* or
+//! *shrunk* set system from the previous answer instead of re-enumerating
+//! from scratch.
+//!
+//! # Appended subsets — exact repair ([`repair_covers`])
+//!
+//! Let `F` be the old subsets, `T(F)` its complete set of minimal hitting
+//! sets, and `A` the appended subsets. Every `τ ∈ T(F ∪ A)` decomposes as
+//! `τ = σ ∪ ρ` where `σ ∈ T(F)` and `ρ ∈ T(A_σ)` for
+//! `A_σ = { a ∈ A : a ∩ σ = ∅ }` (the appended subsets `σ` misses):
+//! pick `σ ⊆ τ` minimal among the subsets of `τ` hitting `F`; then `τ \ σ`
+//! hits `A_σ`, shrink it to a minimal `ρ`; `σ ∪ ρ ⊆ τ` hits `F ∪ A`, and
+//! minimality of `τ` forces equality. So enumerating `T(A_σ)` per old cover
+//! and keeping the candidates that are minimal for the grown system
+//! re-creates `T(F ∪ A)` exactly — touching only the covers that actually
+//! miss an appended subset. Old covers with `A_σ = ∅` are *provably* still
+//! minimal (appending subsets never un-minimalises a set that still hits
+//! everything) and are kept without a check.
+//!
+//! This is **exact only when the input is the complete `T(F)`** — a cover
+//! missing from the input can be missing from the output. Truncated runs
+//! must restart instead (or continue via [`crate::SuspendedSearch::patch`],
+//! which is sound but inherits the truncation).
+//!
+//! # Removed subsets — no exact repair exists ([`shrink_covers`])
+//!
+//! Removing subsets can create minimal covers that are **not** unions or
+//! subsets of old ones. Witness `F = {{1,3}, {2,3}, {3}}` with
+//! `T(F) = {{3}}`: removing `{3}` gives `T(F') = {{3}, {1,2}}`, and `{1,2}`
+//! is not derivable from `{3}` by shrinking. [`shrink_covers`] therefore
+//! only guarantees *soundness* (every output is a minimal hitting set of the
+//! new system); completeness requires a restart. The streaming monitor in
+//! `adc-core` restarts on any removal for exactly this reason.
+
+use crate::mmcs::enumerate_minimal_hitting_sets;
+use crate::{BranchStrategy, SetSystem};
+use adc_data::fx::FxHashSet;
+use adc_data::FixedBitSet;
+use std::ops::Range;
+
+/// Statistics of one [`repair_covers`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoverRepair {
+    /// Old covers that hit every appended subset and were kept as-is.
+    pub kept: usize,
+    /// Old covers that missed at least one appended subset and were
+    /// re-opened (their `T(A_σ)` enumerated).
+    pub reopened: usize,
+    /// Surviving covers that are proper extensions of a re-opened old cover
+    /// (i.e. genuinely new answers).
+    pub discovered: usize,
+    /// Candidate extensions discarded by the minimality filter.
+    pub rejected: usize,
+}
+
+/// Repair a **complete** minimal-hitting-set answer after subsets were
+/// appended to the system.
+///
+/// `old_covers` must be *all* minimal hitting sets of the system made of
+/// `system.subsets()[..appended.start]`; `appended` is the index range of
+/// the subsets appended since (`appended.end == system.len()`). Returns the
+/// complete answer for the grown system, deduplicated, in a deterministic
+/// order (kept/extended covers in `old_covers` order, extensions of one
+/// cover in enumeration order), plus repair statistics.
+///
+/// # Panics
+/// Panics if `appended` is not a suffix of the system's subset range.
+pub fn repair_covers(
+    old_covers: &[FixedBitSet],
+    system: &SetSystem,
+    appended: Range<usize>,
+    strategy: BranchStrategy,
+) -> (Vec<FixedBitSet>, CoverRepair) {
+    assert!(
+        appended.start <= appended.end && appended.end == system.len(),
+        "appended range {appended:?} is not a suffix of the {}-subset system",
+        system.len()
+    );
+    let m = system.num_elements();
+    let mut out: Vec<FixedBitSet> = Vec::new();
+    let mut seen: FxHashSet<FixedBitSet> = FxHashSet::default();
+    let mut stats = CoverRepair::default();
+
+    for sigma in old_covers {
+        let missed: Vec<&FixedBitSet> = system.subsets()[appended.clone()]
+            .iter()
+            .filter(|a| !a.intersects(sigma))
+            .collect();
+        if missed.is_empty() {
+            // σ still hits everything, and appending subsets cannot make a
+            // minimal cover non-minimal: removing any element un-hits some
+            // old subset, which is still in the system.
+            debug_assert!(system.is_minimal_hitting_set(sigma));
+            stats.kept += 1;
+            if seen.insert(sigma.clone()) {
+                out.push(sigma.clone());
+            }
+            continue;
+        }
+        stats.reopened += 1;
+        // Enumerate T(A_σ) over the same element universe and graft each ρ
+        // onto σ; the minimality filter against the *full* grown system
+        // rejects the grafts that some other σ' already covers more cheaply.
+        let sub = SetSystem::new(m, missed.into_iter().cloned().collect());
+        enumerate_minimal_hitting_sets(&sub, strategy, |rho| {
+            let mut candidate = sigma.clone();
+            candidate.union_with(rho);
+            if system.is_minimal_hitting_set(&candidate) {
+                stats.discovered += 1;
+                if seen.insert(candidate.clone()) {
+                    out.push(candidate);
+                }
+            } else {
+                stats.rejected += 1;
+            }
+            true
+        });
+    }
+    (out, stats)
+}
+
+/// Greedily re-minimise covers after subsets were removed from the system.
+///
+/// Every returned set is a minimal hitting set of `system` (elements are
+/// dropped in ascending order while the set keeps hitting everything — a
+/// single ascending pass suffices: an element kept because its removal broke
+/// coverage stays necessary as the set only shrinks further). Duplicates
+/// produced by different inputs shrinking to the same cover are removed,
+/// first occurrence wins.
+///
+/// **Sound, not complete**: see the module docs for why no repair from old
+/// covers can be complete under removals.
+pub fn shrink_covers(covers: &[FixedBitSet], system: &SetSystem) -> Vec<FixedBitSet> {
+    let mut out: Vec<FixedBitSet> = Vec::new();
+    let mut seen: FxHashSet<FixedBitSet> = FxHashSet::default();
+    for cover in covers {
+        if !system.is_hitting_set(cover) {
+            // A cover can stop hitting only if the caller's system is not a
+            // pure shrink of the one the cover was mined on; skip it.
+            continue;
+        }
+        let mut shrunk = cover.clone();
+        for e in cover.iter() {
+            shrunk.remove(e);
+            if !system.is_hitting_set(&shrunk) {
+                shrunk.insert(e);
+            }
+        }
+        debug_assert!(system.is_minimal_hitting_set(&shrunk));
+        if seen.insert(shrunk.clone()) {
+            out.push(shrunk);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_minimal_hitting_sets;
+    use crate::mmcs::minimal_hitting_sets;
+
+    fn as_sorted_vecs(sets: &[FixedBitSet]) -> Vec<Vec<usize>> {
+        let mut v: Vec<Vec<usize>> = sets.iter().map(|s| s.to_vec()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn repair_matches_full_reenumeration() {
+        let old = SetSystem::from_indices(5, &[&[0, 1], &[1, 2]]);
+        let covers = minimal_hitting_sets(&old, BranchStrategy::default());
+        let mut grown = old.clone();
+        grown.push_subset(FixedBitSet::from_indices(5, [3, 4]));
+        grown.push_subset(FixedBitSet::from_indices(5, [1, 4]));
+        let (repaired, stats) = repair_covers(&covers, &grown, 2..4, BranchStrategy::default());
+        let expected = brute_force_minimal_hitting_sets(&grown);
+        assert_eq!(as_sorted_vecs(&repaired), as_sorted_vecs(&expected));
+        assert_eq!(stats.kept + stats.reopened, covers.len());
+        assert!(stats.reopened > 0);
+    }
+
+    #[test]
+    fn repair_with_no_appended_subsets_is_identity() {
+        let sys = SetSystem::from_indices(4, &[&[0, 1], &[2, 3]]);
+        let covers = minimal_hitting_sets(&sys, BranchStrategy::default());
+        let n = sys.len();
+        let (repaired, stats) = repair_covers(&covers, &sys, n..n, BranchStrategy::default());
+        assert_eq!(as_sorted_vecs(&repaired), as_sorted_vecs(&covers));
+        assert_eq!(stats.kept, covers.len());
+        assert_eq!(stats.reopened, 0);
+        assert_eq!(stats.discovered, 0);
+    }
+
+    #[test]
+    fn repair_from_empty_system() {
+        // T(∅) = {∅}: growing from nothing behaves like a fresh enumeration.
+        let mut sys = SetSystem::new(3, Vec::new());
+        let covers = minimal_hitting_sets(&sys, BranchStrategy::default());
+        assert_eq!(covers.len(), 1);
+        assert!(covers[0].is_empty());
+        sys.push_subset(FixedBitSet::from_indices(3, [0, 2]));
+        let (repaired, _) = repair_covers(&covers, &sys, 0..1, BranchStrategy::default());
+        assert_eq!(as_sorted_vecs(&repaired), vec![vec![0], vec![2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a suffix")]
+    fn repair_rejects_non_suffix_range() {
+        let sys = SetSystem::from_indices(3, &[&[0], &[1]]);
+        repair_covers(&[], &sys, 0..1, BranchStrategy::default());
+    }
+
+    #[test]
+    fn shrink_is_sound_and_shows_the_incompleteness_witness() {
+        // F = {{1,3},{2,3},{3}} over elements 0..4 → T(F) = {{3}}.
+        let old = SetSystem::from_indices(4, &[&[1, 3], &[2, 3], &[3]]);
+        let covers = minimal_hitting_sets(&old, BranchStrategy::default());
+        assert_eq!(as_sorted_vecs(&covers), vec![vec![3]]);
+        // Remove {3}: the true answer gains {1,2}, which no shrink of {3}
+        // can produce — shrink stays sound but incomplete.
+        let shrunk_sys = SetSystem::from_indices(4, &[&[1, 3], &[2, 3]]);
+        let shrunk = shrink_covers(&covers, &shrunk_sys);
+        for s in &shrunk {
+            assert!(shrunk_sys.is_minimal_hitting_set(s));
+        }
+        assert_eq!(as_sorted_vecs(&shrunk), vec![vec![3]]);
+        let full = as_sorted_vecs(&brute_force_minimal_hitting_sets(&shrunk_sys));
+        assert_eq!(full, vec![vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn shrink_reminimises_and_dedups() {
+        let sys = SetSystem::from_indices(4, &[&[0, 1]]);
+        let fat = vec![
+            FixedBitSet::from_indices(4, [0, 2]),
+            FixedBitSet::from_indices(4, [0, 3]),
+            FixedBitSet::from_indices(4, [1]),
+        ];
+        let shrunk = shrink_covers(&fat, &sys);
+        assert_eq!(as_sorted_vecs(&shrunk), vec![vec![0], vec![1]]);
+    }
+}

@@ -41,6 +41,7 @@
 //! node's state with O(1) undo instead of cloning it per child.
 
 use crate::{BranchStrategy, SetSystem};
+use adc_data::fx::FxHashMap;
 use adc_data::FixedBitSet;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -434,6 +435,150 @@ impl SuspendedSearch {
     /// slice of this search.
     pub fn total_contractions(&self) -> u64 {
         self.total_contractions
+    }
+
+    /// Patch the suspended frontier in place after subsets were appended to
+    /// the system (indexes `appended_from..system.len()`; existing subset
+    /// indexes must be unchanged — see [`SetSystem::push_subset`]).
+    ///
+    /// Every pending node classifies each appended subset against its
+    /// partial solution `S`: a subset `S` misses joins the node's `uncov`
+    /// list, a subset hit by exactly one `s ∈ S` joins `s`'s criticality
+    /// list, and a subset hit twice or more needs no bookkeeping. Appended
+    /// indexes are larger than every existing one, so appending them keeps
+    /// each list's stable ascending order, and node priorities stay
+    /// admissible under [`SearchOrder::ShortestFirst`] (new subsets only
+    /// increase the elements a branch still needs). Returns the number of
+    /// pending nodes that gained at least one uncovered subset.
+    ///
+    /// Resuming the patched token is **sound**: every emission still passes
+    /// the driver's classification against the grown system. It is **not
+    /// complete** relative to a from-scratch run of the grown system —
+    /// branches the original run pruned (criticality or candidate-discipline
+    /// prunes justified by the *old* subsets only) are not re-opened, and
+    /// covers emitted *before* the patch are not revisited. Callers wanting
+    /// the exact grown answer must repair the emitted prefix separately
+    /// ([`crate::repair::repair_covers`], which requires the previous run to
+    /// have been exhaustive) or restart.
+    ///
+    /// # Panics
+    /// Panics if `appended_from > system.len()` or the token's element
+    /// universe does not match `system`'s.
+    pub fn patch(&mut self, system: &SetSystem, appended_from: usize) -> usize {
+        assert!(
+            appended_from <= system.len(),
+            "patch: appended_from {appended_from} exceeds the {}-subset system",
+            system.len()
+        );
+        let sample = self
+            .entries
+            .first()
+            .map(|(n, _, _)| n)
+            .or_else(|| self.spill.first().map(|(n, _)| n))
+            .or_else(|| self.pending.as_ref().map(|(n, _, _)| n));
+        if let Some(node) = sample {
+            assert_eq!(
+                node.cand.capacity(),
+                system.num_elements(),
+                "patch: the token was produced over a different element universe"
+            );
+        }
+        if appended_from == system.len() {
+            return 0;
+        }
+        let appended: Vec<u32> = (appended_from..system.len()).map(|i| i as u32).collect();
+        // Nodes share `lists` only along skip-branch chains, which keep the
+        // partial solution unchanged — so every sharer classifies the
+        // appended subsets identically and the patched lists can be shared
+        // again. `can_hit` carries no per-solution state at all. Caching by
+        // the old Rc pointer preserves both sharing structures.
+        let mut lists_cache: FxHashMap<usize, (Rc<NodeLists>, bool)> = FxHashMap::default();
+        let mut can_hit_cache: FxHashMap<usize, Rc<FixedBitSet>> = FxHashMap::default();
+        let mut reopened = 0usize;
+        let num_subsets = system.len();
+
+        let mut patch_node = |node: &mut SearchNode| {
+            let can_hit_key = Rc::as_ptr(&node.can_hit) as usize;
+            let patched_can_hit = can_hit_cache
+                .entry(can_hit_key)
+                .or_insert_with(|| {
+                    let mut grown = FixedBitSet::new(num_subsets);
+                    for fi in node.can_hit.iter() {
+                        grown.insert(fi);
+                    }
+                    for &fi in &appended {
+                        grown.insert(fi as usize);
+                    }
+                    Rc::new(grown)
+                })
+                .clone();
+            node.can_hit = patched_can_hit;
+
+            let lists_key = Rc::as_ptr(&node.lists) as usize;
+            let (patched_lists, gained_uncov) = lists_cache
+                .entry(lists_key)
+                .or_insert_with(|| {
+                    let mut extra_uncov: Vec<u32> = Vec::new();
+                    let mut extra_crit: Vec<Vec<u32>> = vec![Vec::new(); node.lists.crit_regions()];
+                    for &fi in &appended {
+                        let subset = &system.subsets()[fi as usize];
+                        match subset.intersection_count(&node.s_set) {
+                            0 => extra_uncov.push(fi),
+                            1 => {
+                                let i = node
+                                    .s
+                                    .iter()
+                                    .position(|&e| subset.contains(e))
+                                    .expect("intersection element must be in the solution");
+                                extra_crit[i].push(fi);
+                            }
+                            _ => {}
+                        }
+                    }
+                    let gained = !extra_uncov.is_empty();
+                    if !gained && extra_crit.iter().all(|c| c.is_empty()) {
+                        (Rc::clone(&node.lists), false)
+                    } else {
+                        let old = &node.lists;
+                        let extra_total: usize =
+                            extra_uncov.len() + extra_crit.iter().map(|c| c.len()).sum::<usize>();
+                        let mut buf = Vec::with_capacity(old.buf.len() + extra_total);
+                        let mut bounds = Vec::with_capacity(old.bounds.len());
+                        bounds.push(0u32);
+                        buf.extend_from_slice(old.region(0));
+                        buf.extend_from_slice(&extra_uncov);
+                        bounds.push(buf.len() as u32);
+                        for (i, extra) in extra_crit.iter().enumerate() {
+                            buf.extend_from_slice(old.region(i + 1));
+                            buf.extend_from_slice(extra);
+                            bounds.push(buf.len() as u32);
+                        }
+                        (
+                            Rc::new(NodeLists {
+                                buf: buf.into_boxed_slice(),
+                                bounds: bounds.into_boxed_slice(),
+                            }),
+                            gained,
+                        )
+                    }
+                })
+                .clone();
+            node.lists = patched_lists;
+            if gained_uncov {
+                reopened += 1;
+            }
+        };
+
+        for (node, _, _) in &mut self.entries {
+            patch_node(node);
+        }
+        for (node, _) in &mut self.spill {
+            patch_node(node);
+        }
+        if let Some((node, _, _)) = &mut self.pending {
+            patch_node(node);
+        }
+        reopened
     }
 }
 

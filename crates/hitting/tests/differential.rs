@@ -15,11 +15,11 @@ use adc_hitting::brute::{
     brute_force_minimal_approx_hitting_sets, brute_force_minimal_hitting_sets,
 };
 use adc_hitting::{
-    approx_minimal_hitting_sets, enumerate_minimal_hitting_sets,
-    resume_approx_minimal_hitting_sets, resume_minimal_hitting_sets,
-    search_approx_minimal_hitting_sets_resumable, search_minimal_hitting_sets,
-    search_minimal_hitting_sets_resumable, ApproxEnumConfig, BranchStrategy, SearchBudget,
-    SearchOrder, SetSystem,
+    approx_minimal_hitting_sets, enumerate_minimal_hitting_sets, patch_approx_search,
+    patch_minimal_hitting_search, repair_covers, resume_approx_minimal_hitting_sets,
+    resume_minimal_hitting_sets, search_approx_minimal_hitting_sets_resumable,
+    search_minimal_hitting_sets, search_minimal_hitting_sets_resumable, shrink_covers,
+    ApproxEnumConfig, BranchStrategy, SearchBudget, SearchOrder, SetSystem,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -447,5 +447,207 @@ proptest! {
         let config = ApproxEnumConfig::new(epsilon);
         let found = canon(approx_minimal_hitting_sets(&system, &score, &config));
         prop_assert_eq!(found, reference);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential repair: grown systems (appended subsets)
+// ---------------------------------------------------------------------------
+
+/// Fold raw index lists into `num_elements` and append them to a clone of
+/// `system`, returning the grown system and the append start index.
+fn grow_system(system: &SetSystem, raw_appended: &[Vec<usize>]) -> (SetSystem, usize) {
+    let m = system.num_elements();
+    let mut grown = system.clone();
+    let appended_from = grown.len();
+    for raw in raw_appended {
+        let folded: Vec<usize> = raw.iter().map(|&e| e % m).collect();
+        grown.push_subset(FixedBitSet::from_indices(m, folded.iter().copied()));
+    }
+    (grown, appended_from)
+}
+
+proptest! {
+    #[test]
+    fn repair_of_a_complete_answer_equals_full_reenumeration(
+        universe_seed in 0usize..1_000,
+        raw_subsets in vec(vec(0usize..16, 1..5), 0..8),
+        raw_appended in vec(vec(0usize..16, 1..5), 1..5),
+    ) {
+        // The tentpole guarantee of `repair_covers`: starting from the
+        // complete T(F), grafting per-cover repairs of the appended subsets
+        // reproduces T(F ∪ A) exactly — for any appended batch.
+        let system = build_system(universe_seed, &raw_subsets);
+        let (grown, appended_from) = grow_system(&system, &raw_appended);
+        let old_covers = mmcs(&system, BranchStrategy::MaxIntersection);
+        for strategy in [
+            BranchStrategy::MaxIntersection,
+            BranchStrategy::MinIntersection,
+            BranchStrategy::First,
+        ] {
+            let (repaired, stats) =
+                repair_covers(&old_covers, &grown, appended_from..grown.len(), strategy);
+            let reference = canon(brute_force_minimal_hitting_sets(&grown));
+            prop_assert_eq!(
+                canon(repaired),
+                reference,
+                "repair/{:?} diverged from re-enumeration",
+                strategy
+            );
+            prop_assert_eq!(stats.kept + stats.reopened, old_covers.len());
+        }
+    }
+
+    #[test]
+    fn shrink_covers_is_sound_on_shrunk_systems(
+        universe_seed in 0usize..1_000,
+        raw_subsets in vec(vec(0usize..16, 1..5), 2..8),
+        keep in 1usize..8,
+    ) {
+        // Drop a suffix of the subsets and greedily re-minimise the old
+        // answer: every output must be a genuine minimal hitting set of the
+        // shrunk system and appear in its full answer. (Completeness is
+        // impossible from old covers alone — see `adc_hitting::repair`.)
+        let system = build_system(universe_seed, &raw_subsets);
+        let keep = keep.min(system.len());
+        let shrunk_sys = SetSystem::new(
+            system.num_elements(),
+            system.subsets()[..keep].to_vec(),
+        );
+        let old_covers = mmcs(&system, BranchStrategy::MaxIntersection);
+        let shrunk = shrink_covers(&old_covers, &shrunk_sys);
+        let full: std::collections::HashSet<Vec<usize>> =
+            canon(brute_force_minimal_hitting_sets(&shrunk_sys))
+                .into_iter()
+                .collect();
+        for s in &shrunk {
+            prop_assert!(
+                shrunk_sys.is_minimal_hitting_set(s),
+                "shrink emitted a non-minimal cover {:?}",
+                s.to_vec()
+            );
+            prop_assert!(full.contains(&s.to_vec()));
+        }
+    }
+
+    #[test]
+    fn patched_exact_frontier_resumes_soundly(
+        universe_seed in 0usize..1_000,
+        raw_subsets in vec(vec(0usize..16, 1..5), 1..10),
+        raw_appended in vec(vec(0usize..16, 1..5), 1..4),
+        budget_nodes in 1u64..24,
+    ) {
+        // Cut an exact shortest-first run mid-flight, append subsets, patch
+        // the frontier, and resume against the grown system. Soundness: every
+        // post-patch emission is a minimal hitting set of the grown system
+        // (and hence appears in its full answer), and no cover — pre- or
+        // post-patch — is ever emitted twice.
+        let system = build_system(universe_seed, &raw_subsets);
+        let mut covers: Vec<FixedBitSet> = Vec::new();
+        let (_, suspended) = search_minimal_hitting_sets_resumable(
+            &system,
+            BranchStrategy::MaxIntersection,
+            SearchOrder::ShortestFirst,
+            SearchBudget::unlimited().with_max_nodes(budget_nodes),
+            &mut |s: &FixedBitSet| {
+                covers.push(s.clone());
+                true
+            },
+        );
+        let Some(mut token) = suspended else { continue };
+        let pre_patch = covers.len();
+        let (grown, appended_from) = grow_system(&system, &raw_appended);
+        patch_minimal_hitting_search(&mut token, &grown, appended_from);
+        let mut next = Some(token);
+        while let Some(t) = next.take() {
+            let (_, again) = resume_minimal_hitting_sets(
+                &grown,
+                SearchBudget::unlimited(),
+                t,
+                &mut |s: &FixedBitSet| {
+                    covers.push(s.clone());
+                    true
+                },
+            );
+            next = again;
+        }
+        let full: std::collections::HashSet<Vec<usize>> =
+            canon(brute_force_minimal_hitting_sets(&grown))
+                .into_iter()
+                .collect();
+        for s in &covers[pre_patch..] {
+            prop_assert!(
+                grown.is_minimal_hitting_set(s),
+                "patched resume emitted a non-minimal cover {:?}",
+                s.to_vec()
+            );
+            prop_assert!(full.contains(&s.to_vec()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for s in &covers {
+            prop_assert!(seen.insert(s.to_vec()), "duplicate emission {:?}", s.to_vec());
+        }
+    }
+
+    #[test]
+    fn patched_approx_frontier_resumes_soundly_at_epsilon_zero(
+        universe_seed in 0usize..1_000,
+        raw_subsets in vec(vec(0usize..16, 1..5), 1..8),
+        raw_appended in vec(vec(0usize..16, 1..5), 1..4),
+        budget_nodes in 1u64..24,
+    ) {
+        let system = build_system(universe_seed, &raw_subsets);
+        let config = ApproxEnumConfig::new(0.0)
+            .with_order(SearchOrder::ShortestFirst)
+            .with_budget(SearchBudget::unlimited().with_max_nodes(budget_nodes));
+        let mut covers: Vec<FixedBitSet> = Vec::new();
+        let (_, _, suspended) = search_approx_minimal_hitting_sets_resumable(
+            &system,
+            coverage_score(&system),
+            &config,
+            &mut |s| {
+                covers.push(s.clone());
+                true
+            },
+        );
+        let Some(mut token) = suspended else { continue };
+        let pre_patch = covers.len();
+        let (grown, appended_from) = grow_system(&system, &raw_appended);
+        // ε > 0 must refuse to patch; ε = 0 must succeed.
+        let mut reject_probe = token.clone();
+        prop_assert_eq!(
+            patch_approx_search(
+                &mut reject_probe,
+                &grown,
+                &ApproxEnumConfig::new(0.25),
+                appended_from
+            ),
+            None
+        );
+        prop_assert!(
+            patch_approx_search(&mut token, &grown, &config, appended_from).is_some()
+        );
+        let resume_config = ApproxEnumConfig::new(0.0).with_order(SearchOrder::ShortestFirst);
+        let mut next = Some(token);
+        while let Some(t) = next.take() {
+            let (_, _, again) = resume_approx_minimal_hitting_sets(
+                &grown,
+                coverage_score(&grown),
+                &resume_config,
+                t,
+                &mut |s| {
+                    covers.push(s.clone());
+                    true
+                },
+            );
+            next = again;
+        }
+        for s in &covers[pre_patch..] {
+            prop_assert!(
+                grown.is_minimal_hitting_set(s),
+                "patched approx resume emitted a non-minimal cover {:?}",
+                s.to_vec()
+            );
+        }
     }
 }

@@ -70,15 +70,16 @@ pub mod prelude {
     pub use adc_approx::{ApproxKind, ApproximationFunction};
     pub use adc_core::{
         baseline::{AFastDcPipeline, DcFinderPipeline, SearchMinimalCovers},
-        enumerate_adcs, f1_score, g_recall, resume_adcs, AdcMiner, BranchStrategy,
-        DenialConstraint, EnumerationOptions, EnumerationResume, EvidenceStrategy, MinerConfig,
-        MiningResult, MiningResume, PredicateSpace, SampleThreshold, SearchBudget, SearchOrder,
-        SpaceConfig, SuspendedSearch, TruncationInfo, TruncationReason, TupleRole,
+        enumerate_adcs, f1_score, g_recall, resume_adcs, AdcMiner, AdcMonitor, BranchStrategy,
+        DeltaStats, DenialConstraint, EnumerationOptions, EnumerationResume, EvidenceStrategy,
+        MinerConfig, MiningResult, MiningResume, PredicateSpace, SampleThreshold, SearchBudget,
+        SearchOrder, SpaceConfig, SuspendedSearch, TruncationInfo, TruncationReason, TupleRole,
     };
     pub use adc_data::{AttributeType, Relation, Schema, Value};
     pub use adc_datasets::{CorrelationSpec, Dataset, DatasetGenerator, NoiseConfig};
     pub use adc_evidence::{
-        ClusterEvidenceBuilder, EvidenceBuilder, NaiveEvidenceBuilder, ParallelEvidenceBuilder,
+        ClusterEvidenceBuilder, DeltaEvidenceBuilder, EvidenceBuilder, EvidenceDelta,
+        NaiveEvidenceBuilder, ParallelEvidenceBuilder,
     };
 }
 

@@ -1,0 +1,212 @@
+//! Differential-maintenance integration tests: under random insert/delete
+//! interleavings, the streaming layers must be indistinguishable from a
+//! batch rebuild of the patched relation.
+//!
+//! Two equivalences are pinned:
+//!
+//! 1. **Evidence level** — after every batch, the [`DeltaEvidenceBuilder`]'s
+//!    state (entry multiset, per-entry counts, and the `Vios` side index)
+//!    equals what [`ClusterEvidenceBuilder`] produces from scratch on the
+//!    patched relation over the same (frozen) predicate space.
+//! 2. **Answer level** — after every [`AdcMonitor::refresh`], the returned
+//!    DC set equals a from-scratch [`AdcMiner::mine`] of the patched
+//!    relation, for exact (ε = 0) *and* approximate (ε > 0) configurations,
+//!    byte-identical once both sides are put in the monitor's canonical
+//!    order (nondecreasing cover size, then lexicographic by element).
+//!    The monitor's space is frozen at construction, so the comparison is
+//!    skipped in the rare case where the patched relation's own space drifts
+//!    (the 30 % shared-values rule can flip under heavy churn).
+//!
+//! Case count is controlled by `PROPTEST_CASES` (default 256); CI runs the
+//! suite with a raised count.
+
+use adc::evidence::{EvidenceSet, Vios};
+use adc::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Deterministic row over a deliberately small active domain, so random
+/// relations produce colliding evidence masks (multi-count entries) and
+/// deletions regularly drive counts to zero.
+fn seeded_row(seed: u64) -> Vec<Value> {
+    let cats = ["x", "y", "z"];
+    vec![
+        cats[(seed % 3) as usize].into(),
+        Value::Int(((seed / 3) % 5) as i64),
+        Value::Int(((seed / 15) % 4) as i64),
+    ]
+}
+
+fn seeded_relation(n: usize, seed: u64) -> Relation {
+    let schema = Schema::of(&[
+        ("Cat", AttributeType::Text),
+        ("A", AttributeType::Integer),
+        ("B", AttributeType::Integer),
+    ]);
+    let mut b = Relation::builder(schema);
+    for i in 0..n {
+        b.push_row(seeded_row(seed.wrapping_mul(31).wrapping_add(i as u64 * 7)))
+            .unwrap();
+    }
+    b.build()
+}
+
+/// The evidence multiset keyed by predicate mask (entry order is an
+/// implementation detail the equivalence must not depend on).
+fn as_multiset(set: &EvidenceSet) -> BTreeMap<Vec<usize>, u64> {
+    let mut out = BTreeMap::new();
+    for e in set.entries() {
+        *out.entry(e.set.to_vec()).or_insert(0) += e.count;
+    }
+    out
+}
+
+/// The `Vios` index keyed by predicate mask: per-mask sorted
+/// (tuple, participation-count) lists.
+fn vios_by_mask(set: &EvidenceSet, vios: &Vios) -> BTreeMap<Vec<usize>, Vec<(u32, u32)>> {
+    let mut out = BTreeMap::new();
+    for (i, e) in set.entries().iter().enumerate() {
+        let mut tuples: Vec<(u32, u32)> = vios.entry_tuples(i).collect();
+        tuples.sort_unstable();
+        out.insert(e.set.to_vec(), tuples);
+    }
+    out
+}
+
+/// A mining answer in the monitor's canonical order: covers (DC complement
+/// sets) sorted by size then element indexes, rendered as display strings.
+fn canonical(result: &MiningResult) -> Vec<String> {
+    let mut keyed: Vec<(usize, Vec<usize>, String)> = result
+        .dcs
+        .iter()
+        .map(|dc| {
+            let cover = dc.complement_set(&result.space).to_vec();
+            (cover.len(), cover, dc.display(&result.space).to_string())
+        })
+        .collect();
+    keyed.sort();
+    keyed.into_iter().map(|(_, _, s)| s).collect()
+}
+
+proptest! {
+    /// Evidence-level equivalence: delta maintenance ≡ batch rebuild after
+    /// every random batch, for the multiset *and* the `Vios` index.
+    #[test]
+    fn delta_builder_matches_batch_rebuild_under_random_interleavings(
+        n0 in 4usize..14,
+        seed in 0u64..1000,
+        delete_batches in vec(vec(0usize..100, 0..4), 1..5),
+        insert_batches in vec(vec(0u64..1_000_000, 0..4), 1..5),
+    ) {
+        let base = seeded_relation(n0, seed);
+        let space = PredicateSpace::build(&base, SpaceConfig::default());
+        let mut builder = DeltaEvidenceBuilder::new(&base, &space, true);
+        for (del_raw, ins_seeds) in delete_batches.iter().zip(&insert_batches) {
+            let n = builder.relation().len();
+            let deletes: Vec<usize> = if n == 0 {
+                Vec::new()
+            } else {
+                del_raw.iter().map(|d| d % n).collect()
+            };
+            let inserts: Vec<Vec<Value>> = ins_seeds.iter().map(|&s| seeded_row(s)).collect();
+            builder.apply(&deletes, inserts).unwrap();
+
+            let rebuilt = ClusterEvidenceBuilder.build(builder.relation(), &space, true);
+            prop_assert_eq!(
+                as_multiset(builder.evidence_set()),
+                as_multiset(&rebuilt.evidence_set)
+            );
+            prop_assert_eq!(
+                vios_by_mask(builder.evidence_set(), builder.vios().unwrap()),
+                vios_by_mask(&rebuilt.evidence_set, rebuilt.vios())
+            );
+        }
+    }
+
+    /// Answer-level equivalence: every refresh equals a from-scratch mine of
+    /// the patched relation, under exact and approximate drivers.
+    #[test]
+    fn monitor_refresh_matches_canonical_remine(
+        seed in 0u64..500,
+        delete_batches in vec(vec(0usize..100, 0..3), 1..4),
+        insert_batches in vec(vec(0u64..1_000_000, 0..3), 1..4),
+    ) {
+        for config in [
+            MinerConfig::new(0.0),
+            MinerConfig::new(0.05),
+            MinerConfig::new(0.08).with_approx(ApproxKind::F3),
+        ] {
+            let base = seeded_relation(12, seed);
+            let mut monitor = AdcMonitor::new(config, &base);
+            monitor.refresh().unwrap();
+            for (del_raw, ins_seeds) in delete_batches.iter().zip(&insert_batches) {
+                let n = monitor.relation().len();
+                let deletes: Vec<usize> = if n == 0 {
+                    Vec::new()
+                } else {
+                    del_raw.iter().map(|d| d % n).collect()
+                };
+                monitor.delete_tuples(&deletes).unwrap();
+                monitor.insert_tuples(ins_seeds.iter().map(|&s| seeded_row(s)).collect());
+                let (result, _) = monitor.refresh().unwrap();
+
+                // The monitor's space is frozen; the claim is conditional on
+                // the patched relation producing the same space.
+                let fresh = PredicateSpace::build(monitor.relation(), config.space);
+                if fresh.predicates() != monitor.space().predicates() {
+                    continue;
+                }
+                let remine = AdcMiner::new(config).mine(monitor.relation());
+                prop_assert_eq!(canonical(&result), canonical(&remine));
+            }
+        }
+    }
+}
+
+/// A realistic stream: a Tax relation ingesting clean rows, losing a few,
+/// and absorbing one corrupted tuple — the exact ShortestFirst answers of
+/// refresh and re-mine must be byte-identical after canonicalisation, and
+/// the differential scan must stay far below the quadratic rebuild cost.
+#[test]
+fn monitor_tracks_a_churning_tax_relation_exactly() {
+    let columns = ["State", "Zip", "Salary", "Tax"];
+    let pool = Dataset::Tax
+        .generator()
+        .generate(100, 9)
+        .project_columns(&columns)
+        .expect("columns exist");
+    let base = pool.project_rows(&(0..70).collect::<Vec<_>>());
+
+    let config = MinerConfig::new(0.0)
+        .with_space(SpaceConfig::same_column_only())
+        .with_order(SearchOrder::ShortestFirst);
+    let mut monitor = AdcMonitor::new(config, &base);
+    monitor.refresh().expect("initial refresh");
+
+    // Stream: +10 clean rows, −5 rows, then one corrupted tuple.
+    let steps: Vec<(Vec<usize>, Vec<Vec<Value>>)> = vec![
+        (vec![], (70..80).map(|i| pool.row(i)).collect()),
+        (vec![3, 17, 44, 60, 71], vec![]),
+        (vec![], {
+            let mut row = pool.row(80);
+            row[3] = Value::Int(-1); // negative tax: breaks monotonicity
+            vec![row]
+        }),
+    ];
+    for (deletes, inserts) in steps {
+        monitor.delete_tuples(&deletes).expect("in bounds");
+        monitor.insert_tuples(inserts);
+        let (result, stats) = monitor.refresh().expect("refresh");
+
+        let n = monitor.relation().len() as u64;
+        assert!(
+            stats.pairs_scanned < n * (n - 1) / 4,
+            "differential scan ({}) should stay far below the {} pairs of a rebuild",
+            stats.pairs_scanned,
+            n * (n - 1)
+        );
+        let remine = AdcMiner::new(config).mine(monitor.relation());
+        assert_eq!(canonical(&result), canonical(&remine));
+    }
+}
