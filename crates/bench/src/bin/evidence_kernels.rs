@@ -1,0 +1,194 @@
+//! Cross-kernel evidence benchmark: **sequential vs parallel vs sweep** at
+//! 10³–10⁵ rows.
+//!
+//! For every grid cell (dataset × scale) the harness builds the evidence set
+//! with each kernel that is feasible at that scale, checks the outputs are
+//! canonically equal (a speedup over a wrong answer is not a speedup), and
+//! records wall-clock seconds plus the *pair-equivalent work* counters of
+//! the sweep kernel ([`adc_evidence::SweepStats`]):
+//!
+//! * `pairs` — `n·(n−1)`, the number of `Sat` materialise+intern operations
+//!   every pairwise kernel performs (sequential and parallel do identical
+//!   work; the parallel kernel only spreads it over cores);
+//! * `sweep_materializations` — the same operation count for the sweep
+//!   (`Σ` blocks over left classes);
+//! * `class_grid` — `m·(m−1)` over the `m` distinct row classes: the win
+//!   from PLI row-grouping alone, and the upper bound on the sweep's token
+//!   scans.
+//!
+//! The pairwise kernels run only up to 10⁴ rows (at 10⁵ a pairwise scan is
+//! `10¹⁰` materialisations — many minutes of pure redundancy; its work
+//! figure is analytic anyway). The default grid runs all eight datasets at
+//! 10³, a three-dataset spread at 10⁴, and the two class-compressible
+//! datasets (Adult, Hospital) sweep-only at 10⁵ — the cells behind the
+//! headline claim that the sweep does ≥10× less pair-equivalent work than
+//! pairwise at 10⁵ rows.
+//!
+//! Results go to stdout and `BENCH_kernels.json`. Environment variables:
+//! `ADC_BENCH_DATASETS` filters the grid by dataset, `ADC_BENCH_ROWS`
+//! replaces the scale list with a single scale, `ADC_BENCH_THREADS` sizes
+//! the parallel kernel, and `ADC_BENCH_ASSERT_RATIO` (used by the CI
+//! `kernels` smoke) makes any cell whose sweep work ratio falls below the
+//! given factor a hard error.
+
+use adc_bench::{bench_threads, object, parsed_env, secs, write_report, Json, Table};
+use adc_datasets::Dataset;
+use adc_evidence::{
+    ClusterEvidenceBuilder, EvidenceBuilder, ParallelEvidenceBuilder, SweepEvidenceBuilder,
+};
+use adc_predicates::{PredicateSpace, SpaceConfig};
+use std::time::Instant;
+
+/// Largest scale at which the pairwise kernels still run (one pairwise scan
+/// at the next decade is ~10¹⁰ materialisations).
+const PAIRWISE_MAX_ROWS: usize = 10_000;
+
+/// The default (dataset, scale) grid: breadth at 10³, a spread at 10⁴, and
+/// the headline 10⁵ sweep cells.
+fn in_default_grid(dataset: Dataset, rows: usize) -> bool {
+    match rows {
+        1_000 => true,
+        10_000 => matches!(dataset, Dataset::Adult | Dataset::Hospital | Dataset::Stock),
+        100_000 => matches!(dataset, Dataset::Adult | Dataset::Hospital),
+        _ => false,
+    }
+}
+
+fn main() {
+    let scales: Vec<usize> = match parsed_env::<usize>("ADC_BENCH_ROWS") {
+        Some(rows) => vec![rows.max(10)],
+        None => vec![1_000, 10_000, 100_000],
+    };
+    let explicit = parsed_env::<usize>("ADC_BENCH_ROWS").is_some()
+        || std::env::var("ADC_BENCH_DATASETS").is_ok_and(|v| !v.trim().is_empty());
+    let datasets = adc_bench::bench_datasets();
+    let assert_ratio: Option<f64> = parsed_env("ADC_BENCH_ASSERT_RATIO");
+    let threads = bench_threads();
+
+    let mut table = Table::new(vec![
+        "Dataset",
+        "Rows",
+        "Pairs",
+        "Classes",
+        "Sweep work",
+        "Work ratio",
+        "Seq (s)",
+        "Par (s)",
+        "Sweep (s)",
+    ]);
+    let mut cells: Vec<Json> = Vec::new();
+
+    for &rows in &scales {
+        for &dataset in &datasets {
+            // An explicit dataset/rows selection overrides the default grid.
+            if !explicit && !in_default_grid(dataset, rows) {
+                continue;
+            }
+            let relation = dataset.generator().generate(rows, 0xADC0 + dataset as u64);
+            let space = PredicateSpace::build(&relation, SpaceConfig::default());
+
+            let t = Instant::now();
+            let (sweep, stats) = SweepEvidenceBuilder.build_with_stats(&relation, &space, false);
+            let sweep_time = t.elapsed();
+
+            let run_pairwise = relation.len() <= PAIRWISE_MAX_ROWS;
+            let (seq_time, par_time) = if run_pairwise {
+                let t = Instant::now();
+                let sequential = ClusterEvidenceBuilder.build(&relation, &space, false);
+                let seq_time = t.elapsed();
+
+                let t = Instant::now();
+                let parallel =
+                    ParallelEvidenceBuilder::new(threads).build(&relation, &space, false);
+                let par_time = t.elapsed();
+
+                // Correctness gate: the parallel kernel must agree bit for
+                // bit, the sweep kernel canonically.
+                assert_eq!(
+                    sequential,
+                    parallel,
+                    "{} @ {rows}: parallel kernel diverged",
+                    dataset.name()
+                );
+                assert_eq!(
+                    sequential.canonicalized(),
+                    sweep.clone().canonicalized(),
+                    "{} @ {rows}: sweep kernel diverged",
+                    dataset.name()
+                );
+                (Some(seq_time), Some(par_time))
+            } else {
+                // The total-multiplicity invariant still pins the sweep's
+                // closed-form counts against the analytic pair count.
+                assert_eq!(
+                    sweep.evidence_set.total_pairs(),
+                    stats.pairwise_pairs,
+                    "{} @ {rows}: sweep pair accounting diverged",
+                    dataset.name()
+                );
+                (None, None)
+            };
+            drop(sweep);
+
+            let ratio = stats.materialization_ratio();
+            if let Some(min_ratio) = assert_ratio {
+                assert!(
+                    ratio >= min_ratio,
+                    "{} @ {rows}: sweep work ratio {ratio:.1} below the \
+                     required {min_ratio}× (materializations {} of {} pairs)",
+                    dataset.name(),
+                    stats.materializations,
+                    stats.pairwise_pairs
+                );
+            }
+
+            let fmt_opt =
+                |t: Option<std::time::Duration>| t.map(secs).unwrap_or_else(|| "-".to_string());
+            table.add_row(vec![
+                dataset.name().to_string(),
+                rows.to_string(),
+                stats.pairwise_pairs.to_string(),
+                stats.classes.to_string(),
+                stats.materializations.to_string(),
+                format!("{ratio:.1}"),
+                fmt_opt(seq_time),
+                fmt_opt(par_time),
+                secs(sweep_time),
+            ]);
+            cells.push(object(vec![
+                ("dataset", Json::from(dataset.name())),
+                ("rows", Json::from(rows)),
+                ("pairs", Json::from(stats.pairwise_pairs)),
+                ("classes", Json::from(stats.classes)),
+                ("class_grid", Json::from(stats.class_grid)),
+                ("sweep_materializations", Json::from(stats.materializations)),
+                ("work_ratio", Json::from(ratio)),
+                ("grid_ratio", Json::from(stats.grid_ratio())),
+                (
+                    "sequential_s",
+                    seq_time
+                        .map(|t| Json::from(t.as_secs_f64()))
+                        .unwrap_or(Json::Null),
+                ),
+                (
+                    "parallel_s",
+                    par_time
+                        .map(|t| Json::from(t.as_secs_f64()))
+                        .unwrap_or(Json::Null),
+                ),
+                ("sweep_s", Json::from(sweep_time.as_secs_f64())),
+                ("verified_against_sequential", Json::from(run_pairwise)),
+            ]));
+        }
+    }
+
+    table.print("Evidence kernels: pair-equivalent work and wall clock");
+    let report = object(vec![
+        ("bench", Json::from("evidence_kernels")),
+        ("threads", Json::from(threads)),
+        ("pairwise_max_rows", Json::from(PAIRWISE_MAX_ROWS)),
+        ("cells", Json::Array(cells)),
+    ]);
+    let path = write_report("kernels", &report);
+    println!("\nrecorded {}", path.display());
+}

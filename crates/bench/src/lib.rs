@@ -13,6 +13,9 @@
 //! * `ADC_BENCH_DATASETS` — comma-separated subset of dataset names to run.
 //! * `ADC_BENCH_THREADS` — evidence-builder worker threads (default: all
 //!   available cores; `1` forces the sequential cluster builder).
+//! * `ADC_BENCH_STRATEGY` — evidence kernel: `parallel` (default; honours
+//!   `ADC_BENCH_THREADS`), `sequential` (the cluster kernel), or `sweep`
+//!   (the sub-quadratic sort/PLI kernel). An unknown name is a hard error.
 //! * `ADC_BENCH_SLICE_NODES` — when set (> 0), every harness mining run
 //!   executes in **resume-in-slices** mode: node-budget slices of that size,
 //!   resumed until the run's own budget/cap/exhaustion point. By the
@@ -38,10 +41,12 @@ pub mod json_report;
 
 pub use json_report::{object, report_dir, write_report, Json};
 
-use adc_core::{AdcMiner, MinerConfig, MiningResult, SearchBudget, SearchOrder, Timings};
+use adc_core::{
+    AdcMiner, EvidenceStrategy, MinerConfig, MiningResult, SearchBudget, SearchOrder, Timings,
+};
 use adc_data::Relation;
 use adc_datasets::Dataset;
-use adc_evidence::{Evidence, EvidenceBuilder, ParallelEvidenceBuilder};
+use adc_evidence::Evidence;
 use adc_predicates::PredicateSpace;
 use std::time::{Duration, Instant};
 
@@ -119,6 +124,65 @@ pub fn bench_threads() -> usize {
     parsed_env("ADC_BENCH_THREADS").unwrap_or(0)
 }
 
+/// Evidence-kernel selection of the harness (`ADC_BENCH_STRATEGY`).
+///
+/// The default keeps the PR-6 behaviour: the tiled parallel kernel on
+/// [`bench_threads`] workers, with `ADC_BENCH_THREADS=1` degrading to the
+/// sequential cluster kernel for apples-to-apples single-threaded baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BenchStrategy {
+    /// Tiled multi-threaded cluster kernel (default), honouring
+    /// `ADC_BENCH_THREADS` (`1` ⇒ plain sequential cluster kernel).
+    #[default]
+    Parallel,
+    /// The sequential cluster kernel, regardless of `ADC_BENCH_THREADS`.
+    Sequential,
+    /// The sub-quadratic sort/PLI sweep kernel.
+    Sweep,
+}
+
+impl std::str::FromStr for BenchStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "parallel" => Ok(BenchStrategy::Parallel),
+            "sequential" | "cluster" => Ok(BenchStrategy::Sequential),
+            "sweep" => Ok(BenchStrategy::Sweep),
+            other => Err(format!(
+                "unknown evidence strategy {other:?}; known strategies: \
+                 parallel, sequential (alias: cluster), sweep"
+            )),
+        }
+    }
+}
+
+impl BenchStrategy {
+    /// The [`EvidenceStrategy`] this harness selection maps to, resolving
+    /// [`bench_threads`] for the parallel kernel (same `=1` ⇒ sequential
+    /// rule as always).
+    pub fn evidence_strategy(self) -> EvidenceStrategy {
+        match self {
+            BenchStrategy::Parallel => match bench_threads() {
+                1 => EvidenceStrategy::Cluster,
+                t => EvidenceStrategy::Parallel {
+                    threads: t,
+                    tile_rows: 0,
+                },
+            },
+            BenchStrategy::Sequential => EvidenceStrategy::Cluster,
+            BenchStrategy::Sweep => EvidenceStrategy::Sweep,
+        }
+    }
+}
+
+/// The evidence kernel to use, honouring `ADC_BENCH_STRATEGY` (default:
+/// [`BenchStrategy::Parallel`]). A malformed value is a hard explanatory
+/// error via [`parsed_env`] — same contract as the numeric variables.
+pub fn bench_strategy() -> BenchStrategy {
+    parsed_env("ADC_BENCH_STRATEGY").unwrap_or_default()
+}
+
 /// Node budget per slice for resume-in-slices mode, honouring
 /// `ADC_BENCH_SLICE_NODES` (`None` = single-run mode, the default; `0` is
 /// treated as unset).
@@ -127,17 +191,17 @@ pub fn bench_slice_nodes() -> Option<u64> {
 }
 
 /// The harness miner configuration: like [`MinerConfig::new`] but building
-/// evidence with the tiled parallel builder on [`bench_threads`] workers,
-/// which is what makes paper-scale row counts tractable end-to-end.
-/// `ADC_BENCH_THREADS=1` selects the plain sequential cluster builder (no
-/// thread spawn, no tiling/merge overhead) so single-threaded baselines are
-/// a true apples-to-apples reference.
+/// evidence with the kernel [`bench_strategy`] selects — by default the
+/// tiled parallel builder on [`bench_threads`] workers, which is what makes
+/// paper-scale row counts tractable end-to-end. `ADC_BENCH_THREADS=1`
+/// selects the plain sequential cluster builder (no thread spawn, no
+/// tiling/merge overhead) so single-threaded baselines are a true
+/// apples-to-apples reference, and `ADC_BENCH_STRATEGY=sweep` runs the
+/// whole harness on the sub-quadratic kernel.
 pub fn bench_config(epsilon: f64) -> MinerConfig {
-    let config = match bench_threads() {
-        1 => MinerConfig::new(epsilon),
-        t => MinerConfig::new(epsilon).with_parallel_evidence(t),
-    };
-    config.with_max_dcs(bench_max_dcs())
+    MinerConfig::new(epsilon)
+        .with_evidence(bench_strategy().evidence_strategy())
+        .with_max_dcs(bench_max_dcs())
 }
 
 /// The harness configuration for runs whose emission cap is expected to
@@ -161,14 +225,15 @@ pub fn bench_max_dcs() -> usize {
     parsed_env("ADC_BENCH_MAX_DCS").unwrap_or(50_000)
 }
 
-/// Build the evidence set with the harness builder (parallel, honouring
-/// `ADC_BENCH_THREADS` with the same `=1` ⇒ sequential rule as
-/// [`bench_config`]) for binaries that time enumeration in isolation.
+/// Build the evidence set with the harness builder ([`bench_strategy`] —
+/// by default parallel, honouring `ADC_BENCH_THREADS` with the same `=1` ⇒
+/// sequential rule as [`bench_config`]) for binaries that time enumeration
+/// in isolation.
 pub fn build_evidence(relation: &Relation, space: &PredicateSpace, track_vios: bool) -> Evidence {
-    match bench_threads() {
-        1 => adc_evidence::ClusterEvidenceBuilder.build(relation, space, track_vios),
-        t => ParallelEvidenceBuilder::new(t).build(relation, space, track_vios),
-    }
+    bench_strategy()
+        .evidence_strategy()
+        .builder()
+        .build(relation, space, track_vios)
 }
 
 /// Run the ADCMiner pipeline with a given configuration. When
@@ -437,6 +502,57 @@ mod tests {
     #[should_panic(expected = "ADC_BENCH_THREADS=\"two\" is not a valid value")]
     fn malformed_threads_value_is_a_hard_error() {
         let _: usize = parse_env_value("ADC_BENCH_THREADS", "two");
+    }
+
+    #[test]
+    fn strategy_names_parse_case_insensitively() {
+        for (name, expected) in [
+            ("parallel", BenchStrategy::Parallel),
+            ("Sequential", BenchStrategy::Sequential),
+            ("cluster", BenchStrategy::Sequential),
+            (" SWEEP ", BenchStrategy::Sweep),
+        ] {
+            assert_eq!(
+                parse_env_value::<BenchStrategy>("ADC_BENCH_STRATEGY", name),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn bench_strategy_defaults_to_parallel() {
+        if std::env::var("ADC_BENCH_STRATEGY").is_err() {
+            assert_eq!(bench_strategy(), BenchStrategy::Parallel);
+        }
+    }
+
+    #[test]
+    fn strategies_map_to_evidence_strategies() {
+        assert_eq!(
+            BenchStrategy::Sequential.evidence_strategy(),
+            EvidenceStrategy::Cluster
+        );
+        assert_eq!(
+            BenchStrategy::Sweep.evidence_strategy(),
+            EvidenceStrategy::Sweep
+        );
+        if std::env::var("ADC_BENCH_THREADS").is_err() {
+            assert_eq!(
+                BenchStrategy::Parallel.evidence_strategy(),
+                EvidenceStrategy::Parallel {
+                    threads: 0,
+                    tile_rows: 0
+                }
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ADC_BENCH_STRATEGY=\"swep\" is not a valid value")]
+    fn malformed_strategy_value_is_a_hard_error() {
+        // A typo like `ADC_BENCH_STRATEGY=swep` must abort with an
+        // explanation, not silently benchmark the default parallel kernel.
+        let _: BenchStrategy = parse_env_value("ADC_BENCH_STRATEGY", "swep");
     }
 
     #[test]

@@ -8,7 +8,7 @@ use adc_approx::{ApproxKind, ApproximationFunction, SampleAdjustedF1};
 use adc_data::Relation;
 use adc_evidence::{
     ClusterEvidenceBuilder, Evidence, EvidenceBuilder, NaiveEvidenceBuilder,
-    ParallelEvidenceBuilder,
+    ParallelEvidenceBuilder, SweepEvidenceBuilder,
 };
 use adc_hitting::{ApproxEnumStats, BranchStrategy, SearchBudget, SearchOrder};
 use adc_predicates::{DenialConstraint, PredicateSpace, SpaceConfig};
@@ -31,6 +31,26 @@ pub enum EvidenceStrategy {
         /// Outer rows per tile (`0` = automatic sizing).
         tile_rows: usize,
     },
+    /// The sub-quadratic sort/PLI sweep builder: identical-row classes with
+    /// closed-form pair counts, refined per left class into equal-outcome
+    /// blocks (see `adc_evidence::sweep`). Produces evidence **canonically**
+    /// equal to [`EvidenceStrategy::Cluster`] — same multiset, possibly
+    /// different entry order (normalized by `Evidence::canonicalize`).
+    Sweep,
+}
+
+impl EvidenceStrategy {
+    /// Instantiate the evidence builder this strategy selects.
+    pub fn builder(&self) -> Box<dyn EvidenceBuilder> {
+        match *self {
+            EvidenceStrategy::Cluster => Box::new(ClusterEvidenceBuilder),
+            EvidenceStrategy::Naive => Box::new(NaiveEvidenceBuilder),
+            EvidenceStrategy::Parallel { threads, tile_rows } => {
+                Box::new(ParallelEvidenceBuilder { threads, tile_rows })
+            }
+            EvidenceStrategy::Sweep => Box::new(SweepEvidenceBuilder),
+        }
+    }
 }
 
 /// Configuration of one mining run.
@@ -119,6 +139,13 @@ impl MinerConfig {
             threads,
             tile_rows: 0,
         };
+        self
+    }
+
+    /// Build the evidence set with the sub-quadratic sort/PLI sweep kernel.
+    /// Shorthand for [`EvidenceStrategy::Sweep`].
+    pub fn with_sweep_evidence(mut self) -> Self {
+        self.evidence = EvidenceStrategy::Sweep;
         self
     }
 
@@ -299,13 +326,7 @@ impl AdcMiner {
         // 3. Evidence set.
         let t2 = Instant::now();
         let track_vios = cfg.approx.instantiate().requires_vios();
-        let evidence: Evidence = match cfg.evidence {
-            EvidenceStrategy::Cluster => ClusterEvidenceBuilder.build(&mined, &space, track_vios),
-            EvidenceStrategy::Naive => NaiveEvidenceBuilder.build(&mined, &space, track_vios),
-            EvidenceStrategy::Parallel { threads, tile_rows } => {
-                ParallelEvidenceBuilder { threads, tile_rows }.build(&mined, &space, track_vios)
-            }
-        };
+        let evidence: Evidence = cfg.evidence.builder().build(&mined, &space, track_vios);
         let evidence_time = t2.elapsed();
 
         // 4. Enumeration.
@@ -506,6 +527,7 @@ mod tests {
                     threads: 4,
                     tile_rows: 0,
                 },
+                EvidenceStrategy::Sweep,
             ] {
                 let cfg = MinerConfig::new(0.1)
                     .with_approx(kind)
@@ -657,11 +679,13 @@ mod tests {
         let b =
             AdcMiner::new(MinerConfig::new(0.05).with_evidence(EvidenceStrategy::Naive)).mine(&r);
         let c = AdcMiner::new(MinerConfig::new(0.05).with_parallel_evidence(3)).mine(&r);
+        let d = AdcMiner::new(MinerConfig::new(0.05).with_sweep_evidence()).mine(&r);
         let ids = |m: &MiningResult| {
             let mut v: Vec<_> = m.dcs.iter().map(|d| d.predicate_ids().to_vec()).collect();
             v.sort();
             v
         };
+        assert_eq!(ids(&a), ids(&d));
         assert_eq!(ids(&a), ids(&b));
         // The parallel builder's merge is deterministic, so its results match
         // the sequential cluster builder's *without* sorting normalisation.

@@ -107,10 +107,15 @@ pub struct AdcMonitor {
 }
 
 impl AdcMonitor {
-    /// Create a monitor over `relation`, paying the one `O(n²)` evidence
-    /// scan this monitor will ever do. No enumeration happens here; the
-    /// first [`AdcMonitor::refresh`] (possibly with an empty queue) returns
-    /// the initial answer.
+    /// Create a monitor over `relation`, paying the one full evidence scan
+    /// this monitor will ever do — with the batch kernel `config.evidence`
+    /// selects, so seeding with [`EvidenceStrategy::Sweep`] makes even that
+    /// scan sub-quadratic (all kernels seed canonically equal evidence; see
+    /// `tests/evidence_kernels.rs`). No enumeration happens here; the first
+    /// [`AdcMonitor::refresh`] (possibly with an empty queue) returns the
+    /// initial answer.
+    ///
+    /// [`EvidenceStrategy::Sweep`]: crate::EvidenceStrategy::Sweep
     ///
     /// # Panics
     /// Panics if `config.sample_fraction < 1.0` — differential maintenance
@@ -123,7 +128,12 @@ impl AdcMonitor {
         );
         let space = PredicateSpace::build(relation, config.space);
         let track_vios = config.approx.instantiate().requires_vios();
-        let builder = DeltaEvidenceBuilder::new(relation, &space, track_vios);
+        let builder = DeltaEvidenceBuilder::new_with(
+            relation,
+            &space,
+            track_vios,
+            &*config.evidence.builder(),
+        );
         AdcMonitor {
             miner: AdcMiner::new(config),
             space,

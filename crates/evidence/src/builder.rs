@@ -78,17 +78,21 @@ pub(crate) enum ColumnCodes {
 }
 
 /// Word-level masks to set for each comparison outcome of one structure group.
+///
+/// Fields are `pub(crate)` because [`crate::sweep`] plans its region
+/// decomposition from the group structure (which column is compared against
+/// which, and with which tuple role) instead of evaluating groups per pair.
 #[derive(Debug, Clone)]
 pub(crate) struct GroupMasks {
-    left_col: usize,
-    right_col: usize,
-    right_role: TupleRole,
-    numeric: bool,
+    pub(crate) left_col: usize,
+    pub(crate) right_col: usize,
+    pub(crate) right_role: TupleRole,
+    pub(crate) numeric: bool,
     /// Masks applied when the comparison outcome is `Less` / `Equal` / `Greater`.
     /// For text groups only `Equal` and `Greater` (used as "not equal") apply.
-    less: Vec<(usize, u64)>,
-    equal: Vec<(usize, u64)>,
-    greater: Vec<(usize, u64)>,
+    pub(crate) less: Vec<(usize, u64)>,
+    pub(crate) equal: Vec<(usize, u64)>,
+    pub(crate) greater: Vec<(usize, u64)>,
 }
 
 /// Reduce every column to comparison-friendly primitive codes.
@@ -134,30 +138,7 @@ pub(crate) fn fill_pair(
 ) {
     buffer.iter_mut().for_each(|w| *w = 0);
     for g in groups {
-        let right_row = match g.right_role {
-            TupleRole::Same => t,
-            TupleRole::Other => t_prime,
-        };
-        let outcome = if g.numeric {
-            match (&codes[g.left_col], &codes[g.right_col]) {
-                (ColumnCodes::Numeric(l), ColumnCodes::Numeric(r)) => match (l[t], r[right_row]) {
-                    (Some(a), Some(b)) => a.partial_cmp(&b),
-                    _ => None,
-                },
-                _ => None,
-            }
-        } else {
-            match (&codes[g.left_col], &codes[g.right_col]) {
-                (ColumnCodes::Text(l), ColumnCodes::Text(r)) => match (l[t], r[right_row]) {
-                    // Text outcomes reuse Equal / Greater ("not equal").
-                    (Some(a), Some(b)) if a == b => Some(Ordering::Equal),
-                    (Some(_), Some(_)) => Some(Ordering::Greater),
-                    _ => None,
-                },
-                _ => None,
-            }
-        };
-        let masks = match outcome {
+        let masks = match group_outcome(codes, g, t, t_prime) {
             Some(Ordering::Less) => &g.less,
             Some(Ordering::Equal) => &g.equal,
             Some(Ordering::Greater) => &g.greater,
@@ -165,6 +146,41 @@ pub(crate) fn fill_pair(
         };
         for &(w, m) in masks {
             buffer[w] |= m;
+        }
+    }
+}
+
+/// Comparison outcome of one structure group for the ordered row pair
+/// `(t, t_prime)` (`None` = a null or type-mismatched operand, which
+/// satisfies no predicate of the group). Shared by [`fill_pair`] and the
+/// block assembly of [`crate::sweep`], so both paths agree by construction.
+pub(crate) fn group_outcome(
+    codes: &[ColumnCodes],
+    g: &GroupMasks,
+    t: usize,
+    t_prime: usize,
+) -> Option<Ordering> {
+    let right_row = match g.right_role {
+        TupleRole::Same => t,
+        TupleRole::Other => t_prime,
+    };
+    if g.numeric {
+        match (&codes[g.left_col], &codes[g.right_col]) {
+            (ColumnCodes::Numeric(l), ColumnCodes::Numeric(r)) => match (l[t], r[right_row]) {
+                (Some(a), Some(b)) => a.partial_cmp(&b),
+                _ => None,
+            },
+            _ => None,
+        }
+    } else {
+        match (&codes[g.left_col], &codes[g.right_col]) {
+            (ColumnCodes::Text(l), ColumnCodes::Text(r)) => match (l[t], r[right_row]) {
+                // Text outcomes reuse Equal / Greater ("not equal").
+                (Some(a), Some(b)) if a == b => Some(Ordering::Equal),
+                (Some(_), Some(_)) => Some(Ordering::Greater),
+                _ => None,
+            },
+            _ => None,
         }
     }
 }

@@ -95,7 +95,22 @@ impl DeltaEvidenceBuilder {
     /// Build the initial evidence state with one full cluster-kernel scan of
     /// `relation` (the last `O(n²)` scan this builder will ever do).
     pub fn new(relation: &Relation, space: &PredicateSpace, track_vios: bool) -> Self {
-        let evidence = crate::ClusterEvidenceBuilder.build(relation, space, track_vios);
+        Self::new_with(relation, space, track_vios, &crate::ClusterEvidenceBuilder)
+    }
+
+    /// Build the initial evidence state with an explicit batch builder —
+    /// e.g. [`SweepEvidenceBuilder`](crate::SweepEvidenceBuilder) to make the
+    /// one-off seeding scan sub-quadratic, or the parallel kernel. All batch
+    /// builders produce canonically equal evidence, so the maintained state
+    /// is the same multiset regardless of the seeding kernel (only the
+    /// initial entry order can differ; see `Evidence::canonicalize`).
+    pub fn new_with(
+        relation: &Relation,
+        space: &PredicateSpace,
+        track_vios: bool,
+        builder: &dyn EvidenceBuilder,
+    ) -> Self {
+        let evidence = builder.build(relation, space, track_vios);
         Self::from_parts(relation.clone(), space, evidence)
     }
 

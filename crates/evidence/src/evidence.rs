@@ -122,6 +122,36 @@ impl EvidenceSet {
             self.violation_count(hitting_set) as f64 / self.total_pairs as f64
         }
     }
+
+    /// Sort the entries into the canonical builder-independent order
+    /// (lexicographic by predicate-set bit words) and return the permutation
+    /// `remap[old_index] = new_index`.
+    ///
+    /// Builders intern entries in *first-encounter* order, which depends on
+    /// the traversal: the pairwise kernels scan pairs row-major (and the
+    /// parallel merge reproduces that order bit for bit), while the sweep
+    /// kernel interns one entry per (left class, block). Canonicalizing both
+    /// sides turns the order-sensitive `PartialEq` into the multiset equality
+    /// the kernels actually guarantee — this is the normalization behind
+    /// every cross-kernel equality test. Entry sets are unique (interning
+    /// invariant), so the canonical order is total and needs no tie-break.
+    pub fn canonicalize(&mut self) -> Vec<usize> {
+        let mut indexed: Vec<(usize, EvidenceEntry)> = std::mem::take(&mut self.entries)
+            .into_iter()
+            .enumerate()
+            .collect();
+        indexed.sort_by(|(_, a), (_, b)| a.set.as_words().cmp(b.set.as_words()));
+        let mut remap = vec![0usize; indexed.len()];
+        self.entries = indexed
+            .into_iter()
+            .enumerate()
+            .map(|(new, (old, entry))| {
+                remap[old] = new;
+                entry
+            })
+            .collect();
+        remap
+    }
 }
 
 /// Incremental interner used by the builders.

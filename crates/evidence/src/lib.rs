@@ -10,7 +10,7 @@
 //! number of violating pairs of `ϕ` is the total multiplicity of evidence
 //! sets missed by `Ŝ_ϕ`.
 //!
-//! Three builders are provided:
+//! Four builders are provided:
 //!
 //! * [`NaiveEvidenceBuilder`] — the reference implementation (AFASTDC-style):
 //!   evaluates every predicate on every ordered pair through the dynamic
@@ -22,9 +22,14 @@
 //! * [`ParallelEvidenceBuilder`] — the cluster kernel run over row-range
 //!   tiles on a scoped thread pool, with a deterministic order-preserving
 //!   merge (see [`parallel`]).
+//! * [`SweepEvidenceBuilder`] — the sub-quadratic sort/PLI sweep: rows are
+//!   grouped into identical-code classes and, per left class, refined into
+//!   equal-outcome blocks whose pair counts are closed-form (see [`sweep`]).
 //!
-//! All builders produce identical [`EvidenceSet`]s (tested by property and
-//! equality tests); they differ only in construction time.
+//! The pairwise builders produce identical [`EvidenceSet`]s bit for bit; the
+//! sweep builder produces the same evidence *multiset* in a different entry
+//! order, normalized by [`Evidence::canonicalize`] (tested by the
+//! cross-kernel differential suite); they differ only in construction time.
 //!
 //! ```
 //! use adc_data::{AttributeType, Relation, Schema, Value};
@@ -53,12 +58,14 @@ pub mod builder;
 pub mod delta;
 pub mod evidence;
 pub mod parallel;
+pub mod sweep;
 pub mod vios;
 
 pub use builder::{ClusterEvidenceBuilder, EvidenceBuilder, NaiveEvidenceBuilder};
 pub use delta::{DeltaEvidenceBuilder, EvidenceDelta};
 pub use evidence::{EvidenceEntry, EvidenceSet};
 pub use parallel::ParallelEvidenceBuilder;
+pub use sweep::{SweepEvidenceBuilder, SweepStats};
 pub use vios::Vios;
 
 use adc_data::Relation;
@@ -89,5 +96,28 @@ impl Evidence {
         self.vios
             .as_ref()
             .expect("evidence was built without the vios index")
+    }
+
+    /// Normalize into the canonical builder-independent form: entries sorted
+    /// by [`EvidenceSet::canonicalize`], with the `vios` index re-targeted
+    /// through the same permutation. Two kernels agree exactly when their
+    /// canonicalized `Evidence` values are `==` — this is the comparison
+    /// every cross-kernel equality test goes through.
+    pub fn canonicalize(&mut self) {
+        let remap = self.evidence_set.canonicalize();
+        if let Some(vios) = self.vios.as_mut() {
+            // `remap_entries` expects the index and the remap log to cover
+            // the same entry range; a builder may not have grown the index
+            // up to the last interned entry.
+            vios.ensure_entries(remap.len());
+            let permutation: Vec<Option<usize>> = remap.iter().map(|&n| Some(n)).collect();
+            vios.remap_entries(&permutation);
+        }
+    }
+
+    /// Owning variant of [`Evidence::canonicalize`], for assertion chains.
+    pub fn canonicalized(mut self) -> Self {
+        self.canonicalize();
+        self
     }
 }

@@ -1,0 +1,694 @@
+//! The sort/PLI sweep evidence kernel.
+//!
+//! The pairwise kernels ([`crate::ClusterEvidenceBuilder`] and its parallel
+//! tiling) materialise `Sat(t, t′)` once per ordered tuple pair — `n·(n−1)`
+//! evidence assemblies no matter how redundant the relation is. This module
+//! exploits the two redundancies real relations have:
+//!
+//! 1. **Row duplication (PLI/hash grouping).** Rows are grouped into
+//!    *classes* of identical [`column_codes`](crate::builder) vectors. Two
+//!    rows of the same class are indistinguishable to every predicate, so
+//!    one representative pair stands in for the whole class pair and
+//!    contributes a closed-form count: `kᵢ·kⱼ` ordered pairs across classes
+//!    `i ≠ j`, and `k·(k−1)` within a class (the diagonal).
+//! 2. **Outcome coherence (region sweep).** Fix a left class `i`. For every
+//!    structure group, the comparison outcome against a right class `j`
+//!    depends only on where `j`'s code falls relative to `i`'s value —
+//!    one sort per column splits the classes into contiguous
+//!    *Lt / Eq / Gt* (order groups) or *Eq / Neq* (text groups) regions,
+//!    plus a null region. Classes in the same region intersection satisfy
+//!    the **same** predicate set, so the kernel refines the classes by the
+//!    per-column region tokens (intersecting the refinement partitions
+//!    column by column) and assembles/interns one evidence bitset per
+//!    resulting *block*, with the block's total pair weight, instead of one
+//!    per pair.
+//!
+//! The number of evidence assemblies is therefore
+//! `Σᵢ blocksᵢ ≈ classes × (distinct Sat patterns per left class)` — on the
+//! correlated evaluation datasets orders of magnitude below `n·(n−1)` (see
+//! `BENCH_kernels.json` and the `evidence_kernels` bench). The per-class
+//! token scan is still `O(classes²)` in the worst case (an all-distinct
+//! relation degrades to the class grid), but each scan step is a couple of
+//! float compares, not an evidence assembly.
+//!
+//! # Output contract
+//!
+//! The produced evidence is **canonically equal** to the sequential
+//! builder's: same entry set, same multiplicities, same total pairs, same
+//! `Vios` content. Only the first-encounter entry *order* differs (the sweep
+//! interns per left class and block, not per row-major pair); comparing
+//! kernels therefore goes through [`crate::Evidence::canonicalize`], which
+//! sorts entries into a builder-independent order. Block assembly reuses
+//! [`fill_pair`](crate::builder) on representative rows, so the sweep cannot
+//! disagree with the pairwise kernels about any individual evidence bitset —
+//! only the partition arithmetic (token refinement and closed-form counts)
+//! is new.
+//!
+//! # Vios
+//!
+//! The per-tuple violation index is inherently pair-proportional: every
+//! member tuple of every class pair must be credited. When `track_vios` is
+//! requested the sweep still avoids materialising pairs (it credits each
+//! tuple with closed-form counts per block), but it does touch every
+//! (left class, member) combination — `O(classes · rows)` work, against
+//! `O(blocks)` without vios. Callers that need vios at scale should prefer
+//! the parallel pairwise kernel; the miner only requests vios for the
+//! `f2`/`f3` approximation functions.
+
+use crate::builder::{column_codes, fill_pair, group_masks, ColumnCodes};
+use crate::evidence::EvidenceAccumulator;
+use crate::vios::Vios;
+use crate::{Evidence, EvidenceBuilder};
+use adc_data::fx::FxHashMap;
+use adc_data::{FixedBitSet, Relation};
+use adc_predicates::{PredicateSpace, TupleRole};
+
+/// Work counters of one sweep build, for benchmark reports and the
+/// kernel-comparison CI smoke.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Rows of the relation (`n`).
+    pub rows: usize,
+    /// Distinct row classes after PLI/hash grouping (`m`).
+    pub classes: usize,
+    /// Evidence assemblies actually performed (`Σᵢ blocksᵢ`): the sweep's
+    /// *pair-equivalent work* — the number of `Sat` materialisation +
+    /// interning operations, which a pairwise kernel performs `n·(n−1)`
+    /// times.
+    pub materializations: u64,
+    /// Ordered class-grid size `m·(m−1)`: the token scans' upper bound, and
+    /// the pair count a pairwise kernel over class representatives would
+    /// still have to materialise.
+    pub class_grid: u64,
+    /// Ordered pair count `n·(n−1)` a pairwise kernel scans.
+    pub pairwise_pairs: u64,
+}
+
+impl SweepStats {
+    /// How many times fewer evidence materialisations the sweep performed
+    /// than a pairwise kernel (`n·(n−1) / materializations`).
+    pub fn materialization_ratio(&self) -> f64 {
+        ratio(self.pairwise_pairs, self.materializations)
+    }
+
+    /// How many times smaller the class grid is than the pair grid
+    /// (`n·(n−1) / (m·(m−1))`) — the closed-form win from row duplication
+    /// alone.
+    pub fn grid_ratio(&self) -> f64 {
+        ratio(self.pairwise_pairs, self.class_grid)
+    }
+}
+
+fn ratio(pairs: u64, work: u64) -> f64 {
+    if work == 0 {
+        if pairs == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        pairs as f64 / work as f64
+    }
+}
+
+/// Sub-quadratic sort/PLI sweep builder (see the module docs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SweepEvidenceBuilder;
+
+/// Null sentinel in the per-class per-column code table. Safe because parsed
+/// values are never NaN (see `adc_data::Value`), and a true NaN would
+/// produce the same all-`None` outcomes as a null anyway.
+const NULL_CODE: f64 = f64::NAN;
+
+/// One structure group planned for the region sweep, bucketed by the right
+/// column whose sorted codes it partitions: all that remains is where the
+/// per-left-class threshold value is read from.
+#[derive(Clone)]
+struct PlannedGroup {
+    /// Column the left class's threshold value is read from.
+    left_col: usize,
+}
+
+/// Per-column token plan: the thresholds the current left class induces.
+#[derive(Default)]
+struct ColumnPlan {
+    thresholds: Vec<f64>,
+}
+
+impl SweepEvidenceBuilder {
+    /// Build the evidence set and return the sweep's work counters alongside
+    /// it (the [`EvidenceBuilder::build`] impl discards the stats).
+    pub fn build_with_stats(
+        &self,
+        relation: &Relation,
+        space: &PredicateSpace,
+        track_vios: bool,
+    ) -> (Evidence, SweepStats) {
+        let n = relation.len();
+        let mut stats = SweepStats {
+            rows: n,
+            pairwise_pairs: n as u64 * n.saturating_sub(1) as u64,
+            ..SweepStats::default()
+        };
+        let mut acc = EvidenceAccumulator::new(space.len(), n);
+        let mut vios = track_vios.then(|| Vios::new(0, n));
+        if n == 0 || space.is_empty() {
+            // Mirror the cluster kernel exactly: an empty space produces an
+            // empty evidence set (no pairs are scanned at all).
+            return (
+                Evidence {
+                    evidence_set: acc.finish(),
+                    vios,
+                },
+                stats,
+            );
+        }
+
+        let codes = column_codes(relation);
+        let groups = group_masks(space);
+        let num_cols = codes.len();
+
+        // ── 1. PLI/hash grouping: rows → classes of identical code vectors.
+        let mut class_of_key: FxHashMap<Vec<u64>, u32> = FxHashMap::default();
+        let mut rep: Vec<u32> = Vec::new(); // first row of each class
+        let mut weight: Vec<u64> = Vec::new(); // class sizes k
+        let mut class_of_row: Vec<u32> = Vec::with_capacity(n);
+        let mut key = Vec::with_capacity(num_cols);
+        for t in 0..n {
+            key.clear();
+            for col in &codes {
+                key.push(match col {
+                    // Normalise -0.0 to 0.0 so rows that compare equal on
+                    // every predicate land in the same class.
+                    ColumnCodes::Numeric(v) => v[t]
+                        .map(|f| (if f == 0.0 { 0.0f64 } else { f }).to_bits())
+                        .unwrap_or(u64::MAX),
+                    ColumnCodes::Text(v) => v[t].map(|c| c as u64).unwrap_or(u64::MAX),
+                });
+            }
+            let class = match class_of_key.get(key.as_slice()) {
+                Some(&c) => {
+                    weight[c as usize] += 1;
+                    c
+                }
+                None => {
+                    let c = rep.len() as u32;
+                    class_of_key.insert(key.clone(), c);
+                    rep.push(t as u32);
+                    weight.push(1);
+                    c
+                }
+            };
+            class_of_row.push(class);
+        }
+        let m = rep.len();
+        stats.classes = m;
+        stats.class_grid = m as u64 * m.saturating_sub(1) as u64;
+        // Class members, needed only for the pair-proportional vios credits.
+        let members: Vec<Vec<u32>> = if track_vios {
+            let mut members = vec![Vec::new(); m];
+            for (t, &c) in class_of_row.iter().enumerate() {
+                members[c as usize].push(t as u32);
+            }
+            members
+        } else {
+            Vec::new()
+        };
+
+        // ── 2. Per-column class codes and one sort per column.
+        // `cls_codes[c][j]` = class j's code in column c (NULL_CODE = null);
+        // text dictionary codes are u32 and therefore exact as f64.
+        let col_is_text: Vec<bool> = codes
+            .iter()
+            .map(|c| matches!(c, ColumnCodes::Text(_)))
+            .collect();
+        let cls_codes: Vec<Vec<f64>> = codes
+            .iter()
+            .map(|col| {
+                rep.iter()
+                    .map(|&r| match col {
+                        ColumnCodes::Numeric(v) => v[r as usize].unwrap_or(NULL_CODE),
+                        ColumnCodes::Text(v) => {
+                            v[r as usize].map(|c| c as f64).unwrap_or(NULL_CODE)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let col_has_null: Vec<bool> = cls_codes
+            .iter()
+            .map(|col| col.iter().any(|x| x.is_nan()))
+            .collect();
+        let sorted_codes: Vec<Vec<f64>> = cls_codes
+            .iter()
+            .map(|col| {
+                let mut s: Vec<f64> = col.iter().copied().filter(|x| !x.is_nan()).collect();
+                s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in columns"));
+                s
+            })
+            .collect();
+
+        // ── 3. Plan the cross-tuple groups per right column. Groups whose
+        // operand types cannot produce an outcome are dropped (they satisfy
+        // nothing for any pair, exactly as in `fill_pair`).
+        let mut planned: Vec<Vec<PlannedGroup>> = vec![Vec::new(); num_cols];
+        for g in &groups {
+            if g.right_role != TupleRole::Other {
+                continue; // single-tuple groups depend on the left row only
+            }
+            let types_match = if g.numeric {
+                !col_is_text[g.left_col] && !col_is_text[g.right_col]
+            } else {
+                col_is_text[g.left_col] && col_is_text[g.right_col]
+            };
+            if types_match {
+                planned[g.right_col].push(PlannedGroup {
+                    left_col: g.left_col,
+                });
+            }
+        }
+
+        // ── 4. The sweep: per left class, refine classes into equal-outcome
+        // blocks and intern one evidence bitset per block with closed-form
+        // counts.
+        let words = space.len().div_ceil(64);
+        let mut buffer = vec![0u64; words];
+        let mut labels: Vec<u32> = vec![0; m];
+        let mut table: Vec<u32> = Vec::new();
+        let mut plans: Vec<ColumnPlan> = (0..num_cols).map(|_| ColumnPlan::default()).collect();
+        let mut block_first: Vec<u32> = Vec::new();
+        let mut block_weight: Vec<u64> = Vec::new();
+        let mut block_entry: Vec<Option<usize>> = Vec::new();
+
+        for i in 0..m {
+            // 4a. Thresholds this left class induces, per right column.
+            for (c, plan) in plans.iter_mut().enumerate() {
+                plan.thresholds.clear();
+                for pg in &planned[c] {
+                    let v = cls_codes[pg.left_col][i];
+                    if !v.is_nan() {
+                        plan.thresholds.push(v);
+                    }
+                }
+                plan.thresholds
+                    .sort_by(|a, b| a.partial_cmp(b).expect("no NaN thresholds"));
+                plan.thresholds.dedup();
+            }
+
+            // 4b. Refine class labels column by column, skipping columns
+            // whose token is provably constant across all classes (the sort
+            // pays off here: region emptiness is a binary-search question).
+            labels.iter_mut().for_each(|l| *l = 0);
+            let mut nlabels: u32 = 1;
+            for c in 0..num_cols {
+                let thr = &plans[c].thresholds;
+                if thr.is_empty()
+                    || token_is_constant(thr, &sorted_codes[c], col_has_null[c], col_is_text[c])
+                {
+                    continue;
+                }
+                let ntokens = if col_is_text[c] {
+                    thr.len() as u32 + 2 // Neq, one Eq per threshold, null
+                } else {
+                    2 * thr.len() as u32 + 2 // alternating Lt/Eq regions, null
+                };
+                table.clear();
+                table.resize((nlabels * ntokens) as usize, u32::MAX);
+                let mut next: u32 = 0;
+                for (j, label) in labels.iter_mut().enumerate() {
+                    let token = column_token(thr, cls_codes[c][j], col_is_text[c]);
+                    let slot = (*label * ntokens + token) as usize;
+                    if table[slot] == u32::MAX {
+                        table[slot] = next;
+                        next += 1;
+                    }
+                    *label = table[slot];
+                }
+                nlabels = next;
+            }
+
+            // 4c. Block weights and first-encounter representatives.
+            block_first.clear();
+            block_first.resize(nlabels as usize, u32::MAX);
+            block_weight.clear();
+            block_weight.resize(nlabels as usize, 0);
+            for (j, &label) in labels.iter().enumerate() {
+                if block_first[label as usize] == u32::MAX {
+                    block_first[label as usize] = j as u32;
+                }
+                block_weight[label as usize] += weight[j];
+            }
+            let diag_label = labels[i];
+
+            // 4d. Assemble one evidence bitset per block via the shared
+            // pairwise kernel on representatives, with closed-form counts:
+            // k_i·(block weight), minus k_i on the diagonal block (a tuple
+            // never pairs with itself).
+            let k_i = weight[i];
+            stats.materializations += nlabels as u64;
+            block_entry.clear();
+            for b in 0..nlabels as usize {
+                let j = block_first[b] as usize;
+                let count = k_i * block_weight[b] - if b == diag_label as usize { k_i } else { 0 };
+                if count == 0 {
+                    block_entry.push(None);
+                    continue;
+                }
+                fill_pair(
+                    &codes,
+                    &groups,
+                    rep[i] as usize,
+                    rep[j] as usize,
+                    &mut buffer,
+                );
+                let entry = acc.add_many(FixedBitSet::from_words(space.len(), &buffer), count);
+                block_entry.push(Some(entry));
+            }
+
+            // 4e. Vios: credit member tuples with closed-form participation
+            // counts (pair-proportional; see the module docs).
+            if let Some(v) = vios.as_mut() {
+                for &t in &members[i] {
+                    for (b, entry) in block_entry.iter().enumerate() {
+                        let Some(e) = *entry else { continue };
+                        let as_left =
+                            block_weight[b] - if b == diag_label as usize { 1 } else { 0 };
+                        v.record_bulk(e, t, as_left as u32);
+                    }
+                }
+                for (j, &label) in labels.iter().enumerate() {
+                    let Some(e) = block_entry[label as usize] else {
+                        continue;
+                    };
+                    let as_right = k_i - if j == i { 1 } else { 0 };
+                    for &t in &members[j] {
+                        v.record_bulk(e, t, as_right as u32);
+                    }
+                }
+            }
+        }
+
+        debug_assert_eq!(acc.current().total_pairs(), stats.pairwise_pairs);
+        (
+            Evidence {
+                evidence_set: acc.finish(),
+                vios,
+            },
+            stats,
+        )
+    }
+}
+
+/// Region token of code `x` against the sorted, deduplicated `thresholds`.
+///
+/// Numeric columns use the order token `(#thr < x) + (#thr ≤ x)`, which is
+/// monotone in `x` and distinguishes the Lt/Eq/Gt outcome against every
+/// threshold. Text columns only ever compare for equality, so their token
+/// collapses all non-matching codes into one Neq region (fewer blocks).
+/// Nulls get a dedicated token: a null operand satisfies no predicate, which
+/// differs from every non-null region.
+fn column_token(thresholds: &[f64], x: f64, is_text: bool) -> u32 {
+    if x.is_nan() {
+        return if is_text {
+            thresholds.len() as u32 + 1
+        } else {
+            2 * thresholds.len() as u32 + 1
+        };
+    }
+    if is_text {
+        match thresholds.iter().position(|&t| t == x) {
+            Some(idx) => idx as u32 + 1,
+            None => 0,
+        }
+    } else {
+        let mut token = 0;
+        for &t in thresholds {
+            token += (x > t) as u32 + (x >= t) as u32;
+        }
+        token
+    }
+}
+
+/// `true` when every class receives the same [`column_token`] — the column
+/// then cannot split any block and is skipped. Detected from the per-column
+/// sort: a threshold region is empty exactly when no sorted code falls in it.
+fn token_is_constant(thresholds: &[f64], sorted: &[f64], has_null: bool, is_text: bool) -> bool {
+    let Some((&min, &max)) = sorted.first().zip(sorted.last()) else {
+        return true; // all classes null on this column
+    };
+    if has_null {
+        return false; // null token differs from every non-null token
+    }
+    if is_text {
+        // Constant iff all codes equal, or no threshold value occurs at all.
+        min == max
+            || thresholds.iter().all(|&t| {
+                sorted
+                    .binary_search_by(|c| c.partial_cmp(&t).unwrap())
+                    .is_err()
+            })
+    } else {
+        column_token(thresholds, min, false) == column_token(thresholds, max, false)
+    }
+}
+
+impl EvidenceBuilder for SweepEvidenceBuilder {
+    fn name(&self) -> &'static str {
+        "sweep"
+    }
+
+    fn build(&self, relation: &Relation, space: &PredicateSpace, track_vios: bool) -> Evidence {
+        self.build_with_stats(relation, space, track_vios).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::tests::{random_relation, small_relation};
+    use crate::builder::ClusterEvidenceBuilder;
+    use adc_data::{AttributeType, Schema, Value};
+    use adc_predicates::SpaceConfig;
+
+    /// The cross-kernel oracle: the sweep must agree with the sequential
+    /// cluster kernel after canonicalization, with and without vios.
+    fn assert_sweep_matches(r: &Relation, space: &PredicateSpace) -> SweepStats {
+        let mut stats = SweepStats::default();
+        for track_vios in [false, true] {
+            let cluster = ClusterEvidenceBuilder.build(r, space, track_vios);
+            let (sweep, s) = SweepEvidenceBuilder.build_with_stats(r, space, track_vios);
+            assert_eq!(
+                cluster.clone().canonicalized(),
+                sweep.clone().canonicalized(),
+                "sweep disagrees with cluster (track_vios={track_vios})"
+            );
+            // Determinism: the sweep reproduces itself bit for bit.
+            assert_eq!(sweep, SweepEvidenceBuilder.build(r, space, track_vios));
+            stats = s;
+        }
+        assert_eq!(stats.rows, r.len());
+        assert_eq!(
+            stats.pairwise_pairs,
+            r.len() as u64 * r.len().saturating_sub(1) as u64
+        );
+        assert!(stats.classes <= r.len());
+        stats
+    }
+
+    fn space_of(r: &Relation) -> PredicateSpace {
+        PredicateSpace::build(r, SpaceConfig::default())
+    }
+
+    #[test]
+    fn matches_cluster_on_running_example() {
+        let r = small_relation();
+        let space = space_of(&r);
+        let stats = assert_sweep_matches(&r, &space);
+        assert_eq!(stats.classes, 5); // all five rows distinct
+    }
+
+    #[test]
+    fn matches_cluster_on_random_relations_with_nulls() {
+        for seed in 0..8 {
+            let r = random_relation(40, seed);
+            let space = space_of(&r);
+            assert_sweep_matches(&r, &space);
+        }
+    }
+
+    #[test]
+    fn empty_relation() {
+        let schema = Schema::of(&[("A", AttributeType::Integer)]);
+        let r = Relation::empty(schema);
+        let space = space_of(&r);
+        let stats = assert_sweep_matches(&r, &space);
+        assert_eq!(stats.classes, 0);
+        assert_eq!(stats.materializations, 0);
+    }
+
+    #[test]
+    fn single_row() {
+        let schema = Schema::of(&[("A", AttributeType::Integer), ("B", AttributeType::Text)]);
+        let mut b = Relation::builder(schema);
+        b.push_row(vec![Value::Int(7), "only".into()]).unwrap();
+        let r = b.build();
+        let space = space_of(&r);
+        let stats = assert_sweep_matches(&r, &space);
+        assert_eq!(stats.classes, 1);
+        assert_eq!(stats.pairwise_pairs, 0);
+    }
+
+    #[test]
+    fn all_rows_identical_collapse_to_one_class() {
+        let schema = Schema::of(&[
+            ("A", AttributeType::Integer),
+            ("B", AttributeType::Text),
+            ("C", AttributeType::Float),
+        ]);
+        let mut b = Relation::builder(schema);
+        for _ in 0..50 {
+            b.push_row(vec![Value::Int(3), "same".into(), Value::Float(1.5)])
+                .unwrap();
+        }
+        let r = b.build();
+        let space = space_of(&r);
+        let stats = assert_sweep_matches(&r, &space);
+        assert_eq!(stats.classes, 1);
+        // One left class, one (diagonal) block: a single materialization
+        // covers all 50·49 pairs.
+        assert_eq!(stats.materializations, 1);
+        assert!(stats.materialization_ratio() >= 1000.0);
+    }
+
+    #[test]
+    fn all_distinct_columns_degrade_to_class_grid() {
+        let schema = Schema::of(&[("A", AttributeType::Integer), ("B", AttributeType::Float)]);
+        let mut b = Relation::builder(schema);
+        for i in 0..20i64 {
+            b.push_row(vec![Value::Int(i), Value::Float(i as f64 * 0.5 + 0.25)])
+                .unwrap();
+        }
+        let r = b.build();
+        let space = space_of(&r);
+        let stats = assert_sweep_matches(&r, &space);
+        assert_eq!(stats.classes, 20);
+        // Every class is its own block (all-distinct order columns): the
+        // sweep can only match the class grid plus the diagonal blocks.
+        assert!(stats.materializations <= stats.class_grid + stats.classes as u64);
+    }
+
+    #[test]
+    fn duplicate_rows_contribute_closed_form_counts() {
+        let schema = Schema::of(&[("A", AttributeType::Integer), ("B", AttributeType::Text)]);
+        let mut b = Relation::builder(schema);
+        for i in 0..30i64 {
+            // Three distinct row classes, 10 duplicates each.
+            let class = i % 3;
+            b.push_row(vec![
+                Value::Int(class),
+                ["p", "q", "r"][class as usize].into(),
+            ])
+            .unwrap();
+        }
+        let r = b.build();
+        let space = space_of(&r);
+        let stats = assert_sweep_matches(&r, &space);
+        assert_eq!(stats.classes, 3);
+        assert_eq!(stats.pairwise_pairs, 30 * 29);
+        // At most 3 left classes × 3 blocks of work.
+        assert!(stats.materializations <= 9);
+    }
+
+    #[test]
+    fn signed_zero_rows_share_a_class() {
+        let schema = Schema::of(&[("A", AttributeType::Float)]);
+        let mut b = Relation::builder(schema);
+        for v in [0.0f64, -0.0, 1.0, -0.0, 0.0] {
+            b.push_row(vec![Value::Float(v)]).unwrap();
+        }
+        let r = b.build();
+        let space = space_of(&r);
+        let stats = assert_sweep_matches(&r, &space);
+        // 0.0 and −0.0 compare equal on every predicate → one class.
+        assert_eq!(stats.classes, 2);
+    }
+
+    #[test]
+    fn null_heavy_columns() {
+        let schema = Schema::of(&[("A", AttributeType::Integer), ("B", AttributeType::Text)]);
+        let mut b = Relation::builder(schema);
+        for i in 0..12i64 {
+            let a = if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 4)
+            };
+            let t = if i % 4 == 0 { Value::Null } else { "v".into() };
+            b.push_row(vec![a, t]).unwrap();
+        }
+        let r = b.build();
+        let space = space_of(&r);
+        assert_sweep_matches(&r, &space);
+
+        // And a column that is entirely null.
+        let schema = Schema::of(&[("A", AttributeType::Integer), ("B", AttributeType::Integer)]);
+        let mut b = Relation::builder(schema);
+        for i in 0..6i64 {
+            b.push_row(vec![Value::Int(i % 2), Value::Null]).unwrap();
+        }
+        let r = b.build();
+        let space = space_of(&r);
+        assert_sweep_matches(&r, &space);
+    }
+
+    #[test]
+    fn cross_column_predicates_from_shared_values() {
+        // Two integer columns sharing well over 30 % of their values: the
+        // space generator emits cross-column order predicates, so the sweep
+        // must fold foreign thresholds into each column's region partition.
+        let schema = Schema::of(&[
+            ("Income", AttributeType::Integer),
+            ("Bonus", AttributeType::Integer),
+        ]);
+        let mut b = Relation::builder(schema);
+        for i in 0..15i64 {
+            b.push_row(vec![Value::Int(i % 5), Value::Int((i + 1) % 5)])
+                .unwrap();
+        }
+        let r = b.build();
+        let space = space_of(&r);
+        // The fixture only makes sense if cross predicates actually exist.
+        assert!(
+            space.predicates().iter().any(|p| p.left_col != p.right_col),
+            "fixture failed to trigger the 30% shared-values rule"
+        );
+        assert_sweep_matches(&r, &space);
+    }
+
+    #[test]
+    fn text_only_relation() {
+        let schema = Schema::of(&[("A", AttributeType::Text), ("B", AttributeType::Text)]);
+        let mut b = Relation::builder(schema);
+        for (a, x) in [("u", "m"), ("v", "m"), ("u", "n"), ("w", "m"), ("u", "m")] {
+            b.push_row(vec![a.into(), x.into()]).unwrap();
+        }
+        let r = b.build();
+        let space = space_of(&r);
+        assert_sweep_matches(&r, &space);
+    }
+
+    #[test]
+    fn stats_ratios() {
+        let zero = SweepStats::default();
+        assert_eq!(zero.materialization_ratio(), 1.0);
+        let s = SweepStats {
+            rows: 10,
+            classes: 2,
+            materializations: 3,
+            class_grid: 2,
+            pairwise_pairs: 90,
+        };
+        assert_eq!(s.materialization_ratio(), 30.0);
+        assert_eq!(s.grid_ratio(), 45.0);
+    }
+}

@@ -44,6 +44,23 @@ impl Vios {
         *m.entry(t_prime).or_insert(0) += 1;
     }
 
+    /// Record `count` ordered pairs of entry `entry` that all involve tuple
+    /// `t` — the closed-form bulk credit used by the sweep kernel, which
+    /// knows from partition arithmetic how many pairs a tuple participates
+    /// in without materialising them. Equivalent to `t` appearing in `count`
+    /// separate [`Vios::record_pair`] calls for this entry (the partner
+    /// tuples receive their own bulk credits). A zero `count` is a no-op and
+    /// leaves no residue key.
+    pub fn record_bulk(&mut self, entry: usize, t: u32, count: u32) {
+        if count == 0 {
+            return;
+        }
+        if entry >= self.per_entry.len() {
+            self.per_entry.resize(entry + 1, FxHashMap::default());
+        }
+        *self.per_entry[entry].entry(t).or_insert(0) += count;
+    }
+
     /// Retract a previously recorded ordered pair `(t, t_prime)` from entry
     /// `entry`, decrementing both tuples' participation counts and dropping
     /// keys that reach zero (so a fully retracted tuple leaves no residue).

@@ -79,7 +79,7 @@ pub mod prelude {
     pub use adc_datasets::{CorrelationSpec, Dataset, DatasetGenerator, NoiseConfig};
     pub use adc_evidence::{
         ClusterEvidenceBuilder, DeltaEvidenceBuilder, EvidenceBuilder, EvidenceDelta,
-        NaiveEvidenceBuilder, ParallelEvidenceBuilder,
+        NaiveEvidenceBuilder, ParallelEvidenceBuilder, SweepEvidenceBuilder, SweepStats,
     };
 }
 

@@ -1,0 +1,288 @@
+//! Cross-kernel differential acceptance suite for the evidence builders.
+//!
+//! Three production kernels construct `Evi(D)`: the sequential cluster
+//! kernel, the parallel tiled kernel, and the sub-quadratic sort/PLI sweep
+//! kernel. Their contracts differ in strength, and this suite pins both:
+//!
+//! * **parallel ≡ sequential, bit for bit** — entry order, counts, and the
+//!   `vios` index are identical (the deterministic-merge guarantee);
+//! * **sweep ≡ sequential, canonically** — the same evidence multiset and
+//!   `vios` content, normalized through `Evidence::canonicalize()` because
+//!   the sweep interns entries per (left class, block) instead of per
+//!   row-major pair.
+//!
+//! Fixtures cover the paper's running example, noisy synthetic data, and
+//! all eight evaluation datasets; the property suite generalises over
+//! random schema shapes, values, null placement, kernel shapes, and
+//! `track_vios`. Case count scales with `PROPTEST_CASES` (default 256;
+//! raised in the CI `kernels` job).
+
+use adc::prelude::*;
+use adc_datasets::{spread_noise, NoiseConfig};
+use adc_evidence::Evidence;
+
+/// Build with the sequential reference and every other kernel, requiring
+/// bit-for-bit equality from the parallel kernel and canonical equality
+/// from the sweep kernel.
+fn assert_kernels_agree(relation: &Relation, parallel: ParallelEvidenceBuilder, track_vios: bool) {
+    let space = PredicateSpace::build(relation, SpaceConfig::default());
+    let sequential: Evidence = ClusterEvidenceBuilder.build(relation, &space, track_vios);
+
+    let parallel_ev: Evidence = parallel.build(relation, &space, track_vios);
+    assert_eq!(
+        parallel_ev, sequential,
+        "parallel evidence diverged from sequential with {parallel:?}"
+    );
+
+    let sweep: Evidence = SweepEvidenceBuilder.build(relation, &space, track_vios);
+    assert_eq!(
+        sweep.canonicalized(),
+        sequential.canonicalized(),
+        "sweep evidence diverged canonically from sequential (track_vios={track_vios})"
+    );
+}
+
+#[test]
+fn identical_on_the_running_example() {
+    let relation = adc::datasets::running_example();
+    for threads in [2, 4, 7] {
+        assert_kernels_agree(&relation, ParallelEvidenceBuilder::new(threads), true);
+    }
+    // Tile shapes that don't divide the row count evenly, and degenerate ones.
+    for tile_rows in [1, 4, 13, 100] {
+        assert_kernels_agree(
+            &relation,
+            ParallelEvidenceBuilder::new(4).with_tile_rows(tile_rows),
+            true,
+        );
+    }
+}
+
+#[test]
+fn identical_on_noisy_stock() {
+    let clean = Dataset::Stock.generator().generate(80, 21);
+    let (dirty, changed) = spread_noise(&clean, &NoiseConfig::with_rate(0.01), 22);
+    assert!(!changed.is_empty(), "noise injector changed nothing");
+    assert_kernels_agree(&dirty, ParallelEvidenceBuilder::new(4), true);
+}
+
+#[test]
+fn identical_on_noisy_tax() {
+    let clean = Dataset::Tax.generator().generate(70, 33);
+    let (dirty, changed) = spread_noise(&clean, &NoiseConfig::with_rate(0.02), 34);
+    assert!(!changed.is_empty(), "noise injector changed nothing");
+    assert_kernels_agree(
+        &dirty,
+        ParallelEvidenceBuilder::new(3).with_tile_rows(9),
+        true,
+    );
+}
+
+#[test]
+fn kernels_agree_on_all_eight_datasets() {
+    // The acceptance grid in miniature: every evaluation dataset, clean,
+    // with and without the vios index.
+    for (i, dataset) in Dataset::ALL.iter().enumerate() {
+        let relation = dataset.generator().generate(60, 0xADC0 + i as u64);
+        for track_vios in [false, true] {
+            assert_kernels_agree(&relation, ParallelEvidenceBuilder::new(4), track_vios);
+        }
+    }
+}
+
+#[test]
+fn canonicalize_is_idempotent_and_order_independent() {
+    let relation = Dataset::Hospital.generator().generate(50, 5);
+    let space = PredicateSpace::build(&relation, SpaceConfig::default());
+    let sequential = ClusterEvidenceBuilder.build(&relation, &space, true);
+    let sweep = SweepEvidenceBuilder.build(&relation, &space, true);
+    // The kernels intern in different orders…
+    assert_ne!(
+        sequential.evidence_set.entries(),
+        sweep.evidence_set.entries(),
+        "fixture no longer distinguishes the kernels' intern orders"
+    );
+    // …canonicalization folds both to one fixed point.
+    let canon = sequential.canonicalized();
+    assert_eq!(canon, sweep.canonicalized());
+    assert_eq!(canon.clone().canonicalized(), canon);
+}
+
+mod properties {
+    //! Property-based generalisation of the fixture tests above: on *random*
+    //! relations (random schema shapes, values, and null placement) and
+    //! random kernel shapes, the parallel kernel must match the sequential
+    //! kernel bit for bit and the sweep kernel canonically.
+
+    use super::*;
+    use adc::data::{AttributeType, Schema, Value};
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    /// Build a relation with a schema shape derived from `arity_seed` and
+    /// cell values folded from `cells` (column type cycles through integer /
+    /// text / float; an occasional value becomes NULL).
+    fn random_relation(arity_seed: usize, cells: &[Vec<u8>]) -> Relation {
+        let arity = 1 + arity_seed % 5;
+        let attrs: Vec<(String, AttributeType)> = (0..arity)
+            .map(|c| {
+                let ty = match c % 3 {
+                    0 => AttributeType::Integer,
+                    1 => AttributeType::Text,
+                    _ => AttributeType::Float,
+                };
+                (format!("A{c}"), ty)
+            })
+            .collect();
+        let attr_refs: Vec<(&str, AttributeType)> =
+            attrs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let mut b = Relation::builder(Schema::of(&attr_refs));
+        for row in cells {
+            let cells: Vec<Value> = (0..arity)
+                .map(|c| {
+                    let v = row[c % row.len()] as i64;
+                    if v % 13 == 0 {
+                        return Value::Null;
+                    }
+                    match c % 3 {
+                        0 => Value::Int(v % 9),
+                        1 => Value::from(["x", "y", "z", "w"][(v as usize) % 4]),
+                        _ => Value::Float((v % 5) as f64 / 2.0),
+                    }
+                })
+                .collect();
+            b.push_row(cells).unwrap();
+        }
+        b.build()
+    }
+
+    proptest! {
+        #[test]
+        fn kernels_agree_on_random_relations(
+            arity_seed in 0usize..1_000,
+            cells in vec(vec(0u8..255, 1..6), 2..40),
+            threads in 1usize..8,
+            tile_rows in 0usize..40,
+            track_vios in any::<bool>(),
+        ) {
+            let relation = random_relation(arity_seed, &cells);
+            let space = PredicateSpace::build(&relation, SpaceConfig::default());
+            let sequential: Evidence = ClusterEvidenceBuilder.build(&relation, &space, track_vios);
+
+            let builder = ParallelEvidenceBuilder::new(threads).with_tile_rows(tile_rows);
+            let parallel: Evidence = builder.build(&relation, &space, track_vios);
+            prop_assert_eq!(
+                &parallel, &sequential,
+                "parallel diverged on {} rows × {} cols, {} threads, {} tile rows",
+                relation.len(), relation.arity(), threads, tile_rows
+            );
+
+            let sweep: Evidence = SweepEvidenceBuilder.build(&relation, &space, track_vios);
+            prop_assert_eq!(
+                sweep.canonicalized(),
+                sequential.canonicalized(),
+                "sweep diverged canonically on {} rows × {} cols (track_vios={})",
+                relation.len(), relation.arity(), track_vios
+            );
+        }
+
+        #[test]
+        fn kernels_agree_on_random_noisy_datasets(
+            dataset_idx in 0usize..8,
+            rows in 10usize..60,
+            seed in any::<u64>(),
+            noise_mil in 0usize..40,
+            threads in 1usize..8,
+            tile_rows in 0usize..30,
+            track_vios in any::<bool>(),
+        ) {
+            let dataset = Dataset::ALL[dataset_idx];
+            let clean = dataset.generator().generate(rows, seed);
+            let (dirty, _) =
+                spread_noise(&clean, &NoiseConfig::with_rate(noise_mil as f64 / 1_000.0), seed ^ 1);
+            assert_kernels_agree(
+                &dirty,
+                ParallelEvidenceBuilder::new(threads).with_tile_rows(tile_rows),
+                track_vios,
+            );
+        }
+    }
+}
+
+#[test]
+fn monitor_seeded_with_sweep_matches_pairwise_monitor() {
+    // End-to-end streaming pin: `AdcMonitor` builds its *initial* evidence
+    // with the configured kernel, then maintains it differentially. A monitor
+    // seeded through `EvidenceStrategy::Sweep` must refresh to the same
+    // answers as a pairwise-seeded monitor through an identical churn
+    // sequence, under exact and approximate drivers alike.
+    let canonical = |result: &MiningResult| -> Vec<String> {
+        let mut keyed: Vec<(usize, Vec<usize>, String)> = result
+            .dcs
+            .iter()
+            .map(|dc| {
+                let cover = dc.complement_set(&result.space).to_vec();
+                (cover.len(), cover, dc.display(&result.space).to_string())
+            })
+            .collect();
+        keyed.sort();
+        keyed.into_iter().map(|(_, _, s)| s).collect()
+    };
+
+    let base = Dataset::Tax.generator().generate(60, 7);
+    let donor = Dataset::Tax.generator().generate(30, 1707);
+    for config in [
+        MinerConfig::new(0.0),
+        MinerConfig::new(0.05),
+        MinerConfig::new(0.08).with_approx(ApproxKind::F3),
+    ] {
+        let mut pairwise = AdcMonitor::new(config, &base);
+        let mut sweep = AdcMonitor::new(config.with_sweep_evidence(), &base);
+        assert_eq!(pairwise.space().predicates(), sweep.space().predicates());
+
+        for step in 0..3usize {
+            let (a, _) = pairwise.refresh().unwrap();
+            let (b, _) = sweep.refresh().unwrap();
+            assert_eq!(a.total_pairs, b.total_pairs, "step {step}");
+            assert_eq!(a.distinct_evidence, b.distinct_evidence, "step {step}");
+            assert_eq!(canonical(&a), canonical(&b), "step {step}");
+
+            let n = pairwise.relation().len();
+            let deletes: Vec<usize> = (0..4).map(|k| (step * 11 + k * 5) % n).collect();
+            pairwise.delete_tuples(&deletes).unwrap();
+            sweep.delete_tuples(&deletes).unwrap();
+            let inserts: Vec<Vec<Value>> = (0..5)
+                .map(|k| donor.row((step * 5 + k) % donor.len()))
+                .collect();
+            pairwise.insert_tuples(inserts.clone());
+            sweep.insert_tuples(inserts);
+        }
+        let (a, _) = pairwise.refresh().unwrap();
+        let (b, _) = sweep.refresh().unwrap();
+        assert_eq!(canonical(&a), canonical(&b), "post-churn answers diverged");
+    }
+}
+
+#[test]
+fn miner_results_identical_under_every_kernel() {
+    // End-to-end: the full pipeline must emit the same DCs whichever kernel
+    // constructed the evidence (same order for the pairwise kernels, which
+    // are bit-for-bit identical; same set for the sweep kernel).
+    let relation = adc::datasets::running_example();
+    let sequential = AdcMiner::new(MinerConfig::new(0.05)).mine(&relation);
+    let parallel = AdcMiner::new(MinerConfig::new(0.05).with_parallel_evidence(4)).mine(&relation);
+    let sweep = AdcMiner::new(MinerConfig::new(0.05).with_sweep_evidence()).mine(&relation);
+    let ids = |r: &MiningResult| -> Vec<Vec<usize>> {
+        r.dcs.iter().map(|d| d.predicate_ids().to_vec()).collect()
+    };
+    let sorted_ids = |r: &MiningResult| -> Vec<Vec<usize>> {
+        let mut v = ids(r);
+        v.sort();
+        v
+    };
+    assert_eq!(ids(&sequential), ids(&parallel));
+    assert_eq!(sorted_ids(&sequential), sorted_ids(&sweep));
+    assert_eq!(sequential.distinct_evidence, parallel.distinct_evidence);
+    assert_eq!(sequential.distinct_evidence, sweep.distinct_evidence);
+    assert_eq!(sequential.total_pairs, sweep.total_pairs);
+}
