@@ -113,7 +113,7 @@ fn main() {
         monitor.delete_tuples(&deletes).expect("indexes in bounds");
         monitor.insert_tuples(inserts);
         let (_, stats) = monitor.refresh().expect("refresh");
-        repaired += usize::from(stats.repaired);
+        repaired += usize::from(stats.repaired());
         worst_pairs = worst_pairs.max(stats.pairs_scanned);
         assert!(
             stats.pairs_scanned <= max_pairs,

@@ -55,7 +55,7 @@ pub use enumeration::{
 };
 pub use metrics::{f1_score, g_recall, DcSetComparison};
 pub use miner::{AdcMiner, EvidenceStrategy, MinerConfig, MiningResult, MiningResume, Timings};
-pub use monitor::{AdcMonitor, DeltaStats};
+pub use monitor::{AdcMonitor, DeltaStats, MonitorError, RefreshPath};
 pub use sampling::SampleThreshold;
 
 // Re-export the pieces users need to drive the miner without importing every crate.

@@ -106,6 +106,17 @@ impl MinerConfig {
         }
     }
 
+    /// `true` when this configuration mines with **exact** semantics: at
+    /// ε = 0 a predicate set is an answer iff it hits every evidence entry,
+    /// so multiplicities (and hence the `ε·n(n−1)` violation budget) are
+    /// irrelevant. This is the flag differential paths branch on — exactness
+    /// is a semantic property of the ε = 0 configuration, not a float
+    /// comparison that happens to work: any ε > 0 puts answers on a moving
+    /// count threshold and forces a restart per refresh.
+    pub fn is_exact(&self) -> bool {
+        self.epsilon == 0.0
+    }
+
     /// Select the approximation function.
     pub fn with_approx(mut self, approx: ApproxKind) -> Self {
         self.approx = approx;

@@ -8,36 +8,70 @@
 //! `O(batch · n)` instead of the `O(n²)` scan a re-mine would pay — and then
 //! brings the minimal-ADC answer set up to date.
 //!
-//! Two answer-update paths exist, chosen per refresh:
+//! Three answer-update paths exist, chosen per refresh:
 //!
-//! - **Cover repair** (the fast path): when the run is exact (`ε = 0`), the
-//!   previous refresh produced the *complete* answer set, and the batch only
-//!   *added* evidence entries, the cached raw covers are repaired in place
-//!   with [`adc_hitting::repair_covers`] — no enumeration restart. This is
-//!   exact: every minimal transversal of a grown system is an old transversal
-//!   extended by a transversal of the subsets it misses.
-//! - **Restart**: in every other case (`ε > 0`, an entry's multiplicity
-//!   dropped to zero, or the previous answer was truncated) the enumeration
-//!   is restarted on the *maintained* evidence. Removing a subset can create
-//!   minimal covers that are **not** reachable from any old cover (witness:
-//!   `F = {{1,3},{2,3},{3}}` has `T(F) = {{3}}`, but dropping `{3}` adds the
-//!   brand-new cover `{1,2}`), and at `ε > 0` multiplicity changes move
-//!   approximation scores non-monotonically — so a restart is the only sound
-//!   option there. The `O(n²)` evidence scan is still skipped; only the
+//! - **Append repair** ([`RefreshPath::Repair`]): when the run is exact
+//!   (`ε = 0`), the previous refresh produced the *complete* answer set, and
+//!   the batch only *added* evidence entries, the cached raw covers are
+//!   repaired in place with [`adc_hitting::repair_covers`] — no enumeration
+//!   restart. This is exact: every minimal transversal of a grown system is
+//!   an old transversal extended by a transversal of the subsets it misses.
+//! - **Removal repair** ([`RefreshPath::RemovalRepair`]): when entries were
+//!   *removed* (an entry's multiplicity dropped to zero) under the same
+//!   exact-uncapped conditions, the answer is still repaired, in two local
+//!   stages. Removal can create minimal covers unreachable from the old
+//!   answer (witness: `F = {{1,3},{2,3},{3}}` has `T(F) = {{3}}`, but
+//!   dropping `{3}` adds the brand-new cover `{1,2}`) — yet every such
+//!   cover misses some removed entry `R` and therefore lives inside
+//!   `complement(R)`, so [`adc_hitting::repair_covers_removal`] recovers
+//!   them with one search per removed entry *confined to that complement*
+//!   plus a greedy re-minimalisation of the surviving covers. Appended
+//!   entries (the post-compaction suffix, see
+//!   [`adc_evidence::EvidenceDelta::survivor_split`]) are then folded in by
+//!   the ordinary append repair.
+//! - **Restart**: in every other case (`ε > 0`, a result cap, or the
+//!   previous answer was truncated) the enumeration is restarted on the
+//!   *maintained* evidence — at `ε > 0` multiplicity changes move
+//!   approximation scores non-monotonically, so no repair from the old
+//!   answer is sound. The `O(n²)` evidence scan is still skipped; only the
 //!   enumeration reruns.
 //!
 //! Either way the answer is **canonicalised** — covers sorted by size, then
 //! lexicographically by predicate index — so a refresh and a from-scratch
 //! re-mine of the patched relation are byte-comparable regardless of which
 //! path produced the answer or in which order the engine emitted it.
+//!
+//! The predicate space stays **frozen**, but staleness is loud instead of
+//! silent: a [`SpaceDriftTracker`] maintains the per-column shared-value
+//! ratios incrementally, and the moment churn would flip the 30 % rule's
+//! verdict for some column pair, [`AdcMonitor::refresh`] returns
+//! [`MonitorError::RebuildRequired`] instead of answering a question the
+//! live data no longer asks.
 
 use crate::enumeration::{cover_to_dc, enumerate_adcs_capturing, TruncationInfo};
 use crate::miner::{AdcMiner, MinerConfig, MiningResult, MiningResume, Timings};
 use adc_data::{DataError, FixedBitSet, Relation, Value};
 use adc_evidence::DeltaEvidenceBuilder;
-use adc_hitting::{repair_covers, ApproxEnumStats, SetSystem};
-use adc_predicates::PredicateSpace;
+use adc_hitting::{repair_covers, repair_covers_removal, ApproxEnumStats, SetSystem};
+use adc_predicates::{PredicateSpace, SpaceDrift, SpaceDriftTracker};
+use std::fmt;
 use std::time::Instant;
+
+/// Which answer-update path one [`AdcMonitor::refresh`] took.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RefreshPath {
+    /// Exact append-only fast path: the cached answer was patched with
+    /// [`adc_hitting::repair_covers`].
+    Repair,
+    /// Exact fast path with removed entries: surviving covers were
+    /// re-minimalised and the newly-reachable covers enumerated locally with
+    /// [`adc_hitting::repair_covers_removal`], then appended entries folded
+    /// in by append repair.
+    RemovalRepair,
+    /// The enumeration was restarted on the maintained evidence.
+    #[default]
+    Restart,
+}
 
 /// Per-refresh differential counters: what one [`AdcMonitor::refresh`]
 /// actually did, to compare against the cost of a batch re-mine.
@@ -48,14 +82,88 @@ pub struct DeltaStats {
     pub pairs_scanned: u64,
     /// Evidence entries the batch touched (added + removed + count-changed).
     pub entries_touched: usize,
-    /// Covers re-examined by the answer-update path: on the repair path, the
-    /// old covers that missed an appended entry and had their extension
-    /// space enumerated; on the restart path, every cover the fresh
-    /// enumeration emitted.
+    /// Covers re-examined by the answer-update path: on the repair paths,
+    /// the old covers that were re-opened (missed an appended entry, or
+    /// shrank / were rediscovered under removal); on the restart path, every
+    /// cover the fresh enumeration emitted.
     pub covers_reopened: usize,
-    /// `true` when the refresh took the cover-repair fast path, `false` when
-    /// it restarted the enumeration.
-    pub repaired: bool,
+    /// Search-tree nodes the answer-update path expanded: the repair paths'
+    /// confined sub-enumerations, or the restarted enumeration's full walk —
+    /// the like-for-like figure behind the "repair beats restart" claim.
+    pub enum_nodes: u64,
+    /// Which answer-update path this refresh took.
+    pub path: RefreshPath,
+}
+
+impl DeltaStats {
+    /// `true` when the refresh patched the cached answer (either repair
+    /// path) instead of restarting the enumeration.
+    pub fn repaired(&self) -> bool {
+        self.path != RefreshPath::Restart
+    }
+}
+
+/// Why an [`AdcMonitor`] operation could not produce an answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorError {
+    /// A queued batch was invalid: an insert row does not conform to the
+    /// schema, or a delete index is out of bounds. State and queue are left
+    /// untouched.
+    Data(DataError),
+    /// A delete index addresses past the last-refresh relation but *within*
+    /// the range the relation will cover once the queued inserts land.
+    /// Delete indexes always refer to [`AdcMonitor::relation`] — the rows as
+    /// of the last refresh; rows queued for insertion in the same batch have
+    /// no index yet and cannot be deleted before they are refreshed in.
+    PendingInsertUnaddressable {
+        /// The offending queued delete index.
+        row: usize,
+        /// Rows in the last-refresh relation (valid indexes are `0..rows`).
+        rows: usize,
+        /// Inserts queued at the time (the range `rows..rows + pending`
+        /// that the index presumably meant to address).
+        pending: usize,
+    },
+    /// Churn has flipped the ≥30 % shared-values verdict for at least one
+    /// column pair: the frozen predicate space no longer matches the live
+    /// rows, and refreshing would silently answer a stale question. The
+    /// batch *was* folded into the evidence state (the monitor's data is
+    /// current); rebuild the monitor from [`AdcMonitor::relation`] to mine
+    /// over the space the data now implies. The error repeats on every
+    /// refresh until the ratios recover or the monitor is rebuilt.
+    RebuildRequired(SpaceDrift),
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::Data(e) => write!(f, "{e}"),
+            MonitorError::PendingInsertUnaddressable { row, rows, pending } => write!(
+                f,
+                "delete index {row} addresses past the refreshed relation \
+                 ({rows} rows): rows queued for insertion ({pending} pending) \
+                 cannot be deleted until a refresh assigns them indexes"
+            ),
+            MonitorError::RebuildRequired(drift) => {
+                write!(f, "{drift}; rebuild the monitor over the current relation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MonitorError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for MonitorError {
+    fn from(e: DataError) -> Self {
+        MonitorError::Data(e)
+    }
 }
 
 /// The complete raw transversal family of the last refresh — including the
@@ -93,7 +201,10 @@ struct CoverCache {
 ///
 /// The predicate space is **frozen** at construction (space generation
 /// depends on whole-relation statistics, so a drifting space would change
-/// the answer universe mid-stream); sampling is not supported
+/// the answer universe mid-stream). Staleness is detected, not ignored: the
+/// shared-value ratios behind the 30 % rule are tracked incrementally, and
+/// a refresh whose churn flips an admission verdict returns
+/// [`MonitorError::RebuildRequired`]. Sampling is not supported
 /// (`sample_fraction` must be `1.0` — a monitor maintains the exact
 /// evidence of the full relation).
 #[derive(Debug, Clone)]
@@ -104,6 +215,7 @@ pub struct AdcMonitor {
     pending_deletes: Vec<usize>,
     pending_inserts: Vec<Vec<Value>>,
     cache: Option<CoverCache>,
+    drift: SpaceDriftTracker,
 }
 
 impl AdcMonitor {
@@ -134,6 +246,7 @@ impl AdcMonitor {
             track_vios,
             &*config.evidence.builder(),
         );
+        let drift = SpaceDriftTracker::new(relation, &config.space);
         AdcMonitor {
             miner: AdcMiner::new(config),
             space,
@@ -141,6 +254,7 @@ impl AdcMonitor {
             pending_deletes: Vec::new(),
             pending_inserts: Vec::new(),
             cache: None,
+            drift,
         }
     }
 
@@ -191,17 +305,32 @@ impl AdcMonitor {
     }
 
     /// Queue rows for deletion at the next refresh. Indexes refer to
-    /// [`AdcMonitor::relation`] — the relation as of the last refresh;
-    /// duplicates are allowed and rows queued for insertion in the same
-    /// batch cannot be addressed.
+    /// [`AdcMonitor::relation`] — the relation as of the last refresh.
+    /// Duplicates are allowed; rows queued for insertion in the same batch
+    /// have no index yet and **cannot** be addressed (the apply interleaves
+    /// deletes-then-inserts, so "delete the row I just queued" is
+    /// out-of-contract and rejected here, before it can silently delete a
+    /// different row after the refresh renumbers).
     ///
     /// # Errors
-    /// [`DataError::RowOutOfBounds`] if any index is out of bounds; nothing
-    /// is queued in that case.
-    pub fn delete_tuples(&mut self, rows: &[usize]) -> Result<(), DataError> {
+    /// - [`MonitorError::PendingInsertUnaddressable`] if an index lands in
+    ///   the range the queued inserts will occupy after the refresh.
+    /// - [`MonitorError::Data`] ([`DataError::RowOutOfBounds`]) if an index
+    ///   is beyond even that.
+    ///
+    /// Nothing is queued in either case.
+    pub fn delete_tuples(&mut self, rows: &[usize]) -> Result<(), MonitorError> {
         let n = self.builder.relation().len();
         if let Some(&bad) = rows.iter().find(|&&r| r >= n) {
-            return Err(DataError::RowOutOfBounds { row: bad, rows: n });
+            return Err(if bad < n + self.pending_inserts.len() {
+                MonitorError::PendingInsertUnaddressable {
+                    row: bad,
+                    rows: n,
+                    pending: self.pending_inserts.len(),
+                }
+            } else {
+                DataError::RowOutOfBounds { row: bad, rows: n }.into()
+            });
         }
         self.pending_deletes.extend_from_slice(rows);
         Ok(())
@@ -217,13 +346,36 @@ impl AdcMonitor {
     /// and [`MiningResult::timings`] only covers work this refresh did.
     ///
     /// # Errors
-    /// [`DataError`] if an insert row does not conform to the schema; the
-    /// evidence state *and* the queued batch are left untouched, so the
-    /// caller can inspect [`AdcMonitor::clear_pending`] or fix the queue and
-    /// retry.
-    pub fn refresh(&mut self) -> Result<(MiningResult, DeltaStats), DataError> {
+    /// - [`MonitorError::Data`] if an insert row does not conform to the
+    ///   schema; the evidence state *and* the queued batch are left
+    ///   untouched, so the caller can inspect [`AdcMonitor::clear_pending`]
+    ///   or fix the queue and retry.
+    /// - [`MonitorError::RebuildRequired`] if the batch drifted the
+    ///   predicate space out from under the frozen one. The batch **was**
+    ///   applied (the queue is consumed and [`AdcMonitor::relation`] is
+    ///   current) — only the answer is withheld, because it would be mined
+    ///   over a predicate universe the live rows no longer justify. Rebuild
+    ///   the monitor from the current relation to continue.
+    pub fn refresh(&mut self) -> Result<(MiningResult, DeltaStats), MonitorError> {
         let deletes = std::mem::take(&mut self.pending_deletes);
         let inserts = std::mem::take(&mut self.pending_inserts);
+
+        // Capture the doomed rows' values before apply renumbers them, so
+        // the drift tracker can retract exactly what apply deletes (sorted,
+        // deduplicated).
+        let deleted_rows: Vec<Vec<Value>> = if self.drift.is_active() && !deletes.is_empty() {
+            let mut unique = deletes.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            let relation = self.builder.relation();
+            unique
+                .iter()
+                .filter(|&&d| d < relation.len())
+                .map(|&d| relation.row(d))
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         let t0 = Instant::now();
         let delta = match self.builder.apply(&deletes, inserts.clone()) {
@@ -232,73 +384,131 @@ impl AdcMonitor {
                 // `apply` left the evidence untouched; restore the queue too.
                 self.pending_deletes = deletes;
                 self.pending_inserts = inserts;
-                return Err(e);
+                return Err(e.into());
             }
         };
         let evidence_time = t0.elapsed();
+
+        // Fold the applied churn into the shared-value ratios and bail out
+        // loudly if the 30 % rule's verdict flipped for any column pair: the
+        // frozen space is now answering a stale question, and a cached
+        // answer over it cannot seed any future repair either.
+        if self.drift.is_active() {
+            for row in &deleted_rows {
+                self.drift.retract_row(row);
+            }
+            for row in &inserts {
+                self.drift.record_row(row);
+            }
+            if let Some(drift) = self.drift.drift() {
+                self.cache = None;
+                return Err(MonitorError::RebuildRequired(drift));
+            }
+        }
 
         let cfg = *self.miner.config();
         let options = self.miner.enumeration_options();
         let t1 = Instant::now();
 
-        // The repair path is sound only when covers can never *shrink* or
-        // appear out of nowhere: exact semantics (at ε = 0 a set is an answer
-        // iff it hits every entry — multiplicities are irrelevant), no entry
-        // removed (removal can create covers unreachable from the old
-        // answer), a complete cached answer to repair, and no result cap
+        // The repair paths are sound only under exact semantics (at ε = 0 a
+        // set is an answer iff it hits every entry — multiplicities are
+        // irrelevant), a complete cached answer to repair, and no result cap
         // (repair yields the complete answer; a cap would make the cached
-        // set a prefix next time).
-        let fast = cfg.epsilon == 0.0
-            && delta.removed.is_empty()
-            && cfg.max_dcs.is_none()
-            && self.cache.is_some();
+        // set a prefix next time). Removed entries no longer force a
+        // restart: the covers they unlock all live inside the removed
+        // entries' complements and are enumerated locally there.
+        let fast = cfg.is_exact() && cfg.max_dcs.is_none() && self.cache.is_some();
 
-        let (covers, covers_reopened, repaired, truncation, enum_stats, resume_parts) = if fast {
-            let cache = self.cache.take().expect("checked above");
-            let system = self.current_system();
-            debug_assert_eq!(
-                cache.entries + delta.added.len(),
-                system.len(),
-                "with no removals, added entries must be exactly the appended suffix"
-            );
-            let (mut covers, repair) = repair_covers(
-                &cache.covers,
-                &system,
-                cache.entries..system.len(),
-                options.strategy,
-            );
-            canonical_sort(&mut covers);
-            (
-                covers,
-                repair.reopened,
-                true,
-                None,
-                ApproxEnumStats::default(),
-                None,
-            )
-        } else {
-            let function = self.miner.approximation_function();
-            let evidence = self.builder.snapshot();
-            let mut covers = Vec::new();
-            let outcome = enumerate_adcs_capturing(
-                &self.space,
-                &evidence,
-                function.as_ref(),
-                &options,
-                &mut covers,
-            );
-            canonical_sort(&mut covers);
-            let reopened = covers.len();
-            let resume_parts = outcome.resume.map(|enumeration| (evidence, enumeration));
-            (
-                covers,
-                reopened,
-                false,
-                outcome.truncation,
-                outcome.stats,
-                resume_parts,
-            )
-        };
+        let (covers, covers_reopened, path, enum_nodes, truncation, enum_stats, resume_parts) =
+            if fast {
+                let cache = self.cache.take().expect("checked above");
+                let system = self.current_system();
+                let split = delta.survivor_split(system.len());
+                let (mut covers, reopened, path, nodes) = if delta.removed.is_empty() {
+                    debug_assert_eq!(
+                        cache.entries, split,
+                        "with no removals, added entries must be exactly the appended suffix"
+                    );
+                    let (covers, repair) = repair_covers(
+                        &cache.covers,
+                        &system,
+                        split..system.len(),
+                        options.strategy,
+                    );
+                    (
+                        covers,
+                        repair.reopened,
+                        RefreshPath::Repair,
+                        repair.nodes_expanded,
+                    )
+                } else {
+                    // Stage 1 — complete answer of the survivor prefix: the
+                    // old system minus the removed entries is exactly
+                    // `system[..split]` (apply keeps survivors in order,
+                    // ahead of appended entries).
+                    debug_assert_eq!(
+                        cache.entries,
+                        split + delta.removed.len(),
+                        "survivors + removed must account for every old entry"
+                    );
+                    let prefix =
+                        SetSystem::new(system.num_elements(), system.subsets()[..split].to_vec());
+                    let (survivor_covers, removal) = repair_covers_removal(
+                        &cache.covers,
+                        &prefix,
+                        &delta.removed,
+                        options.strategy,
+                    );
+                    // Stage 2 — fold the appended suffix in by append repair
+                    // (exact, because stage 1 produced the complete T of the
+                    // prefix).
+                    let (covers, append) = repair_covers(
+                        &survivor_covers,
+                        &system,
+                        split..system.len(),
+                        options.strategy,
+                    );
+                    (
+                        covers,
+                        removal.shrunk + removal.discovered + append.reopened,
+                        RefreshPath::RemovalRepair,
+                        removal.nodes_expanded + append.nodes_expanded,
+                    )
+                };
+                canonical_sort(&mut covers);
+                (
+                    covers,
+                    reopened,
+                    path,
+                    nodes,
+                    None,
+                    ApproxEnumStats::default(),
+                    None,
+                )
+            } else {
+                let function = self.miner.approximation_function();
+                let evidence = self.builder.snapshot();
+                let mut covers = Vec::new();
+                let outcome = enumerate_adcs_capturing(
+                    &self.space,
+                    &evidence,
+                    function.as_ref(),
+                    &options,
+                    &mut covers,
+                );
+                canonical_sort(&mut covers);
+                let reopened = covers.len();
+                let resume_parts = outcome.resume.map(|enumeration| (evidence, enumeration));
+                (
+                    covers,
+                    reopened,
+                    RefreshPath::Restart,
+                    outcome.stats.recursive_calls,
+                    outcome.truncation,
+                    outcome.stats,
+                    resume_parts,
+                )
+            };
 
         // Cache the raw covers only when they are the *complete* answer —
         // a truncated prefix cannot seed a sound repair.
@@ -321,7 +531,8 @@ impl AdcMonitor {
             pairs_scanned: delta.pairs_scanned,
             entries_touched: delta.entries_touched(),
             covers_reopened,
-            repaired,
+            enum_nodes,
+            path,
         };
         Ok((result, stats))
     }
@@ -386,6 +597,7 @@ mod tests {
     use super::*;
     use adc_approx::ApproxKind;
     use adc_data::{AttributeType, Schema};
+    use adc_predicates::SpaceConfig;
 
     /// State/Zip/Income/Tax rows with a planted FD-style structure and
     /// `exceptions` violating rows — the miner test fixture, reused so the
@@ -466,13 +678,19 @@ mod tests {
         let mut monitor = AdcMonitor::new(config, &base);
 
         let (initial, stats0) = monitor.refresh().unwrap();
-        assert!(!stats0.repaired, "first refresh has no cache to repair");
+        assert!(!stats0.repaired(), "first refresh has no cache to repair");
+        assert_eq!(stats0.path, RefreshPath::Restart);
+        assert!(stats0.enum_nodes > 0, "the restart path reports its walk");
         assert_eq!(rendered(&initial), canonical_remine(config, &base));
 
         for step in 0..3 {
             monitor.insert_tuples(rows_of(&donor, 40 + 3 * step..40 + 3 * (step + 1)));
             let (result, stats) = monitor.refresh().unwrap();
-            assert!(stats.repaired, "insert-only exact refresh must repair");
+            assert_eq!(
+                stats.path,
+                RefreshPath::Repair,
+                "insert-only exact refresh must repair"
+            );
             assert!(stats.pairs_scanned > 0);
             // Differential scan cost: 3 new rows against n_old rows, both
             // directions, plus the pairs among the 3 — far below n·(n−1).
@@ -504,7 +722,7 @@ mod tests {
     }
 
     #[test]
-    fn deletes_that_remove_entries_force_a_restart_and_match_remine() {
+    fn deletes_that_remove_entries_take_the_removal_repair_path_and_match_remine() {
         let base = tax_relation(40, 3, 99);
         let config = MinerConfig::new(0.0);
         let mut monitor = AdcMonitor::new(config, &base);
@@ -512,17 +730,58 @@ mod tests {
 
         // Deleting 35 of 40 rows wipes out most of the pair population —
         // entries whose every supporting pair involved a deleted row vanish.
+        // Zeroed entries used to force a restart; now the covers they unlock
+        // are enumerated locally inside the removed entries' complements.
         monitor.delete_tuples(&(0..35).collect::<Vec<_>>()).unwrap();
         let (result, stats) = monitor.refresh().unwrap();
-        assert!(
-            !stats.repaired,
-            "zeroed entries can create covers unreachable from the old answer"
+        assert_eq!(
+            stats.path,
+            RefreshPath::RemovalRepair,
+            "exact uncapped refreshes with removals must repair locally"
         );
+        assert!(stats.repaired());
         assert_eq!(
             rendered(&result),
             canonical_remine(config, monitor.relation())
         );
         assert_eq!(monitor.relation().len(), 5);
+
+        // The repaired answer seeds further repairs: a follow-up delete that
+        // removes more entries stays on the removal path and stays correct.
+        monitor.delete_tuples(&[0, 1]).unwrap();
+        let (result, stats) = monitor.refresh().unwrap();
+        assert!(stats.repaired());
+        assert_eq!(
+            rendered(&result),
+            canonical_remine(config, monitor.relation())
+        );
+    }
+
+    #[test]
+    fn removal_repair_handles_mixed_delete_insert_batches() {
+        // Removals and additions in one refresh: removal repair completes
+        // the survivor answer, then append repair folds the new entries in.
+        let base = tax_relation(40, 3, 17);
+        let donor = tax_relation(30, 5, 5151);
+        let config = MinerConfig::new(0.0);
+        let mut monitor = AdcMonitor::new(config, &base);
+        monitor.refresh().unwrap();
+
+        monitor.delete_tuples(&(0..30).collect::<Vec<_>>()).unwrap();
+        monitor.insert_tuples(rows_of(&donor, 0..6));
+        let (result, stats) = monitor.refresh().unwrap();
+        assert_eq!(
+            rendered(&result),
+            canonical_remine(config, monitor.relation())
+        );
+        if stats.path == RefreshPath::RemovalRepair {
+            assert!(stats.enum_nodes > 0 || stats.covers_reopened == 0);
+        } else {
+            // If no entry actually hit zero the batch repairs on the
+            // append-only path — also fine, but the heavy delete should
+            // normally zero entries.
+            assert_eq!(stats.path, RefreshPath::Repair);
+        }
     }
 
     #[test]
@@ -555,13 +814,14 @@ mod tests {
         let mut monitor = AdcMonitor::new(MinerConfig::new(0.0), &base);
         let (first, _) = monitor.refresh().unwrap();
         let (second, stats) = monitor.refresh().unwrap();
-        assert!(stats.repaired);
+        assert_eq!(stats.path, RefreshPath::Repair);
         assert_eq!(stats.pairs_scanned, 0);
         assert_eq!(stats.entries_touched, 0);
         assert_eq!(
             stats.covers_reopened, 0,
             "nothing appended, nothing reopened"
         );
+        assert_eq!(stats.enum_nodes, 0, "a no-op repair expands no nodes");
         assert_eq!(rendered(&first), rendered(&second));
     }
 
@@ -573,8 +833,9 @@ mod tests {
         monitor.refresh().unwrap();
         monitor.insert_tuples(rows_of(&donor, 0..2));
         let (_, stats) = monitor.refresh().unwrap();
-        assert!(
-            !stats.repaired,
+        assert_eq!(
+            stats.path,
+            RefreshPath::Restart,
             "ε > 0 scores shift non-monotonically under count changes"
         );
     }
@@ -594,7 +855,7 @@ mod tests {
         monitor.insert_tuples(rows_of(&donor, 0..2));
         let (_, stats) = monitor.refresh().unwrap();
         assert!(
-            !stats.repaired,
+            !stats.repaired(),
             "a capped config must never repair a prefix"
         );
     }
@@ -622,7 +883,7 @@ mod tests {
         monitor.clear_pending();
         assert_eq!(monitor.pending(), (0, 0));
         let (result, stats) = monitor.refresh().unwrap();
-        assert!(stats.repaired);
+        assert!(stats.repaired());
         assert_eq!(
             rendered(&result),
             canonical_remine(*monitor.config(), monitor.relation())
@@ -634,5 +895,139 @@ mod tests {
     fn sampling_configs_are_rejected() {
         let base = tax_relation(10, 0, 1);
         AdcMonitor::new(MinerConfig::new(0.0).with_sample(0.5, 1), &base);
+    }
+
+    #[test]
+    fn deleting_a_pending_insert_index_is_rejected_with_a_clear_error() {
+        // The delete/insert contract: delete indexes refer to the relation
+        // as of the last refresh; rows queued for insertion in the same
+        // batch have no index yet. An index in the range the inserts will
+        // occupy is out-of-contract and must fail loudly at queue time, not
+        // silently delete whatever lands there after the refresh.
+        let base = tax_relation(20, 1, 3);
+        let mut monitor = AdcMonitor::new(MinerConfig::new(0.0), &base);
+        monitor.refresh().unwrap();
+        monitor.insert_tuples(rows_of(&base, 0..2));
+
+        let err = monitor.delete_tuples(&[20]).unwrap_err();
+        assert_eq!(
+            err,
+            MonitorError::PendingInsertUnaddressable {
+                row: 20,
+                rows: 20,
+                pending: 2,
+            }
+        );
+        assert!(err.to_string().contains("queued for insertion"));
+        // Past even the pending range: a plain out-of-bounds data error.
+        let err = monitor.delete_tuples(&[22]).unwrap_err();
+        assert!(matches!(
+            err,
+            MonitorError::Data(DataError::RowOutOfBounds { row: 22, rows: 20 })
+        ));
+        // Failed calls queued nothing; the in-contract parts of the batch
+        // still refresh correctly (deletes hit pre-refresh indexes, inserts
+        // append after).
+        assert_eq!(monitor.pending(), (2, 0));
+        monitor.delete_tuples(&[19]).unwrap();
+        let (result, _) = monitor.refresh().unwrap();
+        assert_eq!(monitor.relation().len(), 21);
+        assert_eq!(
+            rendered(&result),
+            canonical_remine(*monitor.config(), monitor.relation())
+        );
+    }
+
+    /// Two integer columns with identical value sets: the default space
+    /// admits the cross-column predicates at construction.
+    fn overlapping_pair_relation(n: i64) -> Relation {
+        let schema = Schema::of(&[("A", AttributeType::Integer), ("B", AttributeType::Integer)]);
+        let mut b = Relation::builder(schema);
+        for i in 0..n {
+            b.push_row(vec![Value::Int(i), Value::Int(i)]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn drift_surfaces_rebuild_required_until_rebuilt_or_recovered() {
+        let base = overlapping_pair_relation(5);
+        let config = MinerConfig::new(0.0);
+        let mut monitor = AdcMonitor::new(config, &base);
+        monitor.refresh().unwrap();
+
+        // Flood both columns with disjoint fresh values: the shared
+        // fraction sinks to 5/25 = 0.2 < 0.3, flipping the admission.
+        let flood: Vec<Vec<Value>> = (0..20)
+            .map(|v| vec![Value::Int(1000 + v), Value::Int(100 + v)])
+            .collect();
+        monitor.insert_tuples(flood);
+        let err = monitor.refresh().unwrap_err();
+        let MonitorError::RebuildRequired(drift) = &err else {
+            panic!("expected RebuildRequired, got {err:?}");
+        };
+        assert_eq!(drift.flips.len(), 1);
+        assert_eq!((drift.flips[0].left, drift.flips[0].right), (0, 1));
+        assert!(drift.flips[0].was_admitted);
+        assert!(drift.flips[0].fraction < 0.3);
+        assert!(err.to_string().contains("rebuild"));
+
+        // The batch itself was applied — only the answer is withheld — and
+        // the frozen space genuinely no longer matches a fresh build.
+        assert_eq!(monitor.relation().len(), 25);
+        assert_eq!(monitor.pending(), (0, 0));
+        let fresh = PredicateSpace::build(monitor.relation(), config.space);
+        assert!(
+            fresh.len() < monitor.space().len(),
+            "a fresh space must drop the no-longer-admitted cross predicates"
+        );
+
+        // Drift is persistent state, not an event: an empty refresh reports
+        // it again.
+        assert!(matches!(
+            monitor.refresh(),
+            Err(MonitorError::RebuildRequired(_))
+        ));
+
+        // A rebuilt monitor answers over the space the data now implies.
+        let mut rebuilt = AdcMonitor::new(config, monitor.relation());
+        let (result, _) = rebuilt.refresh().unwrap();
+        assert_eq!(
+            rendered(&result),
+            canonical_remine(config, rebuilt.relation())
+        );
+
+        // Retracting the flood restores the ratios; the original monitor
+        // answers again — via a restart, because drift dropped its cache.
+        monitor.delete_tuples(&(5..25).collect::<Vec<_>>()).unwrap();
+        let (result, stats) = monitor.refresh().unwrap();
+        assert_eq!(stats.path, RefreshPath::Restart, "drift dropped the cache");
+        assert_eq!(
+            rendered(&result),
+            canonical_remine(config, monitor.relation())
+        );
+        // And the cache works again afterwards.
+        let (_, stats) = monitor.refresh().unwrap();
+        assert!(stats.repaired());
+    }
+
+    #[test]
+    fn same_column_only_monitors_never_report_drift() {
+        // The same-column-only fragment has no cross-column predicates, so
+        // no churn can flip anything; the tracker is inert and refreshes
+        // never fail with RebuildRequired.
+        let base = overlapping_pair_relation(4);
+        let config = MinerConfig::new(0.0).with_space(SpaceConfig::same_column_only());
+        let mut monitor = AdcMonitor::new(config, &base);
+        monitor.refresh().unwrap();
+        let flood: Vec<Vec<Value>> = (0..30)
+            .map(|v| vec![Value::Int(500 + v), Value::Int(900 + v)])
+            .collect();
+        monitor.insert_tuples(flood);
+        let (result, _) = monitor.refresh().unwrap();
+        assert_eq!(
+            rendered(&result),
+            canonical_remine(config, monitor.relation())
+        );
     }
 }

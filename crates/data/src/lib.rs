@@ -64,4 +64,5 @@ pub use column::Column;
 pub use error::DataError;
 pub use relation::{Relation, RelationBuilder};
 pub use schema::{Attribute, AttributeType, Schema};
+pub use stats::{value_key, ValueKey};
 pub use value::Value;

@@ -4,32 +4,51 @@
 use crate::column::Column;
 use crate::fx::FxHashSet;
 use crate::relation::Relation;
+use crate::value::Value;
 
-/// Distinct non-null values of a column, normalised for cross-column
-/// comparison: numeric values are compared by their `f64` bit pattern after
-/// widening, text values by dictionary string.
+/// One non-null cell value, normalised for cross-column comparison: numeric
+/// values are compared by their `f64` bit pattern after widening, text
+/// values by dictionary string.
+///
+/// This is the exact equality [`shared_value_fraction`] uses, exposed so
+/// incremental trackers (the predicate-space drift detector) can maintain
+/// the same distinct-value sets under row churn and reproduce the batch
+/// fractions bit-for-bit.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum Key {
+pub enum ValueKey {
+    /// Numeric value, widened to `f64` and keyed by bit pattern.
     Num(u64),
+    /// Text value, keyed by dictionary string.
     Text(String),
 }
 
-fn distinct_keys(col: &Column) -> FxHashSet<Key> {
+/// The [`ValueKey`] of one cell value, or `None` for nulls (nulls never
+/// count as shared values).
+pub fn value_key(value: &Value) -> Option<ValueKey> {
+    match value {
+        Value::Null => None,
+        Value::Int(x) => Some(ValueKey::Num((*x as f64).to_bits())),
+        Value::Float(x) => Some(ValueKey::Num(x.to_bits())),
+        Value::Str(s) => Some(ValueKey::Text(s.clone())),
+    }
+}
+
+fn distinct_keys(col: &Column) -> FxHashSet<ValueKey> {
     let mut out = FxHashSet::default();
     match col {
         Column::Int(v) => {
             for x in v.iter().flatten() {
-                out.insert(Key::Num((*x as f64).to_bits()));
+                out.insert(ValueKey::Num((*x as f64).to_bits()));
             }
         }
         Column::Float(v) => {
             for x in v.iter().flatten() {
-                out.insert(Key::Num(x.to_bits()));
+                out.insert(ValueKey::Num(x.to_bits()));
             }
         }
         Column::Text { codes, dict } => {
             for c in codes.iter().flatten() {
-                out.insert(Key::Text(dict[*c as usize].clone()));
+                out.insert(ValueKey::Text(dict[*c as usize].clone()));
             }
         }
     }
@@ -167,6 +186,26 @@ mod tests {
         b.push_row(vec![Value::Null, Value::Int(1)]).unwrap();
         let r = b.build();
         assert_eq!(r.shared_value_fraction(0, 1), 0.0);
+    }
+
+    #[test]
+    fn value_key_matches_the_distinct_key_normalisation() {
+        // Int and Float widen to the same numeric key; nulls key to nothing.
+        assert_eq!(value_key(&Value::Int(1)), value_key(&Value::Float(1.0)));
+        assert_eq!(value_key(&Value::Null), None);
+        // Per-cell keys reproduce exactly the per-column distinct sets that
+        // shared_value_fraction is computed from.
+        let r = rel();
+        for col in 0..4 {
+            let batch = distinct_keys(r.column(col));
+            let mut incremental = FxHashSet::default();
+            for row in 0..r.len() {
+                if let Some(k) = value_key(&r.value(row, col)) {
+                    incremental.insert(k);
+                }
+            }
+            assert_eq!(batch, incremental, "column {col}");
+        }
     }
 
     #[test]

@@ -63,6 +63,35 @@ impl EvidenceDelta {
     pub fn entries_touched(&self) -> usize {
         self.added.len() + self.removed.len() + self.count_changed.len()
     }
+
+    /// The survivor/added split point of the post-compaction entry list.
+    ///
+    /// Apply keeps a layout invariant the incremental cover-repair path
+    /// depends on: entries that survived this apply keep their relative
+    /// order (compaction is stable) and precede every entry first created by
+    /// it (new entries are appended, and phase 1 retractions all happen
+    /// before phase 3 recordings, so a new entry can never hit count zero
+    /// within the same apply). `added` is therefore always the contiguous
+    /// index suffix `[total − |added|, total)`, and the prefix below the
+    /// returned split is exactly the old entries minus `removed` — the shape
+    /// `repair_covers_removal` (prefix) + `repair_covers` (suffix) consume.
+    ///
+    /// `total_entries` is the post-compaction entry count
+    /// (`evidence_set().distinct_count()`).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `added` is not that suffix — i.e. the
+    /// caller passed a count from a different apply.
+    pub fn survivor_split(&self, total_entries: usize) -> usize {
+        let split = total_entries - self.added.len();
+        debug_assert!(
+            self.added
+                .iter()
+                .all(|&i| (split..total_entries).contains(&i)),
+            "added entries are not the post-compaction suffix"
+        );
+        split
+    }
 }
 
 /// Maintains the evidence state of one relation under tuple insert/delete
@@ -498,6 +527,54 @@ mod tests {
             delta.remap.iter().flatten().count(),
             after_set.distinct_count()
         );
+    }
+
+    #[test]
+    fn survivors_precede_added_entries_after_every_apply() {
+        // The survivor_split invariant under mixed churn: surviving entries
+        // keep their pre-apply relative order and every added entry sits in
+        // the contiguous suffix.
+        let r = random_relation(18, 11);
+        let space = PredicateSpace::build(&r, SpaceConfig::default());
+        let mut builder = DeltaEvidenceBuilder::new(&r, &space, false);
+        let donor = random_relation(12, 5);
+        let mut donor_rows = (0..donor.len()).map(|i| donor.row(i));
+        let batches: Vec<(Vec<usize>, usize)> = vec![
+            (vec![0, 3, 7], 2),
+            (vec![], 3),
+            (vec![1, 2, 4, 5], 0),
+            (vec![0], 4),
+        ];
+        for (deletes, n_inserts) in batches {
+            let before: Vec<Vec<usize>> = builder
+                .evidence_set()
+                .entries()
+                .iter()
+                .map(|e| e.set.to_vec())
+                .collect();
+            let delta = builder
+                .apply(&deletes, donor_rows.by_ref().take(n_inserts).collect())
+                .unwrap();
+            let after = builder.evidence_set();
+            let split = delta.survivor_split(after.distinct_count());
+            assert_eq!(split, after.distinct_count() - delta.added.len());
+            for &idx in &delta.added {
+                assert!(idx >= split, "added entry {idx} below split {split}");
+            }
+            // The prefix is the old entry list minus the removed masks, in
+            // the old order.
+            let removed: Vec<Vec<usize>> = delta.removed.iter().map(|m| m.to_vec()).collect();
+            let expected_prefix: Vec<Vec<usize>> = before
+                .iter()
+                .filter(|mask| !removed.contains(mask))
+                .cloned()
+                .collect();
+            let actual_prefix: Vec<Vec<usize>> = after.entries()[..split]
+                .iter()
+                .map(|e| e.set.to_vec())
+                .collect();
+            assert_eq!(actual_prefix, expected_prefix);
+        }
     }
 
     #[test]

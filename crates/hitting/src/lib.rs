@@ -48,9 +48,9 @@ pub use approx::{
 pub use mmcs::{
     enumerate_minimal_hitting_sets, minimal_hitting_sets, patch_minimal_hitting_search,
     resume_minimal_hitting_sets, search_minimal_hitting_sets,
-    search_minimal_hitting_sets_resumable,
+    search_minimal_hitting_sets_resumable, search_minimal_hitting_sets_within,
 };
-pub use repair::{repair_covers, shrink_covers, CoverRepair};
+pub use repair::{repair_covers, repair_covers_removal, shrink_covers, CoverRepair, RemovalRepair};
 pub use search::{
     SearchBudget, SearchDriver, SearchOrder, SearchOutcome, SuspendedSearch, Truncation,
     TruncationReason,

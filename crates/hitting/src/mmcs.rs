@@ -21,9 +21,9 @@
 //! entirely — the classic recursive MMCS cost profile.
 
 use crate::search::{
-    greedy_disjoint_lower_bound, resume_search, run_search, run_search_resumable, NodeDisposition,
-    SearchBudget, SearchConfig, SearchDriver, SearchNode, SearchOrder, SearchOutcome,
-    SuspendedSearch,
+    greedy_disjoint_lower_bound, resume_search, run_search, run_search_resumable,
+    run_search_within, NodeDisposition, SearchBudget, SearchConfig, SearchDriver, SearchNode,
+    SearchOrder, SearchOutcome, SuspendedSearch,
 };
 use crate::{BranchStrategy, SetSystem};
 use adc_data::FixedBitSet;
@@ -118,6 +118,37 @@ where
         budget,
     };
     resume_search(system, &mut ExactDriver, &config, suspended, callback)
+}
+
+/// Enumerate exactly the minimal hitting sets of `system` that are
+/// **contained in** `allowed`, by restricting the search engine's root
+/// candidate set (see [`run_search_within`] for why restriction preserves
+/// both soundness and completeness of the confined answer set).
+///
+/// This is the local-enumeration primitive of removal-aware cover repair
+/// ([`crate::repair::repair_covers_removal`]): after a subset `R` is removed
+/// from a system, every *genuinely new* minimal cover misses `R`, i.e. lies
+/// in `R`'s complement — so the new covers are recovered by one confined run
+/// per removed subset instead of a full-frontier restart.
+///
+/// Runs unbudgeted depth-first (the in-place undo walk), returning the full
+/// [`SearchOutcome`] so callers can account for the nodes the confined
+/// enumeration expanded.
+pub fn search_minimal_hitting_sets_within<F>(
+    system: &SetSystem,
+    allowed: &FixedBitSet,
+    strategy: BranchStrategy,
+    callback: &mut F,
+) -> SearchOutcome
+where
+    F: FnMut(&FixedBitSet) -> bool,
+{
+    let config = SearchConfig {
+        strategy,
+        order: SearchOrder::Dfs,
+        budget: SearchBudget::unlimited(),
+    };
+    run_search_within(system, &mut ExactDriver, allowed, &config, callback)
 }
 
 /// Patch a suspended **exact** enumeration after subsets were appended to
@@ -463,8 +494,75 @@ mod tests {
         }
     }
 
+    fn within(system: &SetSystem, allowed: &FixedBitSet) -> Vec<FixedBitSet> {
+        let mut out = Vec::new();
+        let outcome = search_minimal_hitting_sets_within(
+            system,
+            allowed,
+            BranchStrategy::default(),
+            &mut |s: &FixedBitSet| {
+                out.push(s.clone());
+                true
+            },
+        );
+        assert!(outcome.is_exhaustive());
+        assert_eq!(outcome.emitted, out.len());
+        out
+    }
+
+    #[test]
+    fn confined_enumeration_keeps_exactly_the_contained_covers() {
+        // T = {{0,2}, {1,2}, {1,3}} for subsets {0,1},{1,2},{2,3}.
+        let sys = SetSystem::from_indices(4, &[&[0, 1], &[1, 2], &[2, 3]]);
+        // allowed = {0,1,2}: drops {1,3}, keeps {0,2} and {1,2}.
+        let allowed = FixedBitSet::from_indices(4, [0, 1, 2]);
+        let found = as_sorted_vecs(within(&sys, &allowed));
+        assert_eq!(found, vec![vec![0, 2], vec![1, 2]]);
+        // allowed = {3}: no confined cover exists ({3} misses subset {0,1}).
+        let only3 = FixedBitSet::from_indices(4, [3]);
+        assert!(within(&sys, &only3).is_empty());
+        // allowed = everything behaves like the unrestricted run.
+        let all = FixedBitSet::full(4);
+        assert_eq!(
+            as_sorted_vecs(within(&sys, &all)),
+            as_sorted_vecs(minimal_hitting_sets(&sys, BranchStrategy::default()))
+        );
+    }
+
+    #[test]
+    fn confined_enumeration_of_the_empty_system_emits_the_empty_cover() {
+        let sys = SetSystem::new(3, Vec::new());
+        let allowed = FixedBitSet::new(3); // even an empty restriction
+        let found = within(&sys, &allowed);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].is_empty());
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The confined run equals the brute-force answer filtered to
+        /// subsets of `allowed`, on random systems and random restrictions.
+        #[test]
+        fn prop_confined_equals_filtered_brute_force(
+            subsets in proptest::collection::vec(proptest::collection::vec(0usize..7, 1..5), 0..6),
+            allowed_bits in proptest::collection::vec(any::<bool>(), 7..8),
+        ) {
+            let m = 7;
+            let refs: Vec<&[usize]> = subsets.iter().map(|s| s.as_slice()).collect();
+            let sys = SetSystem::from_indices(m, &refs);
+            let allowed = FixedBitSet::from_indices(
+                m,
+                allowed_bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i),
+            );
+            let found = as_sorted_vecs(within(&sys, &allowed));
+            let expected: Vec<Vec<usize>> = as_sorted_vecs(brute_force_minimal_hitting_sets(&sys))
+                .into_iter()
+                .filter(|cover| cover.iter().all(|&e| allowed.contains(e)))
+                .collect();
+            prop_assert_eq!(found, expected);
+        }
+
         #[test]
         fn prop_outputs_are_exactly_the_minimal_hitting_sets(
             subsets in proptest::collection::vec(proptest::collection::vec(0usize..7, 1..5), 0..6)

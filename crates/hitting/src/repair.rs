@@ -22,17 +22,39 @@
 //! must restart instead (or continue via [`crate::SuspendedSearch::patch`],
 //! which is sound but inherits the truncation).
 //!
-//! # Removed subsets — no exact repair exists ([`shrink_covers`])
+//! # Removed subsets — exact repair by locality ([`repair_covers_removal`])
 //!
 //! Removing subsets can create minimal covers that are **not** unions or
 //! subsets of old ones. Witness `F = {{1,3}, {2,3}, {3}}` with
 //! `T(F) = {{3}}`: removing `{3}` gives `T(F') = {{3}, {1,2}}`, and `{1,2}`
-//! is not derivable from `{3}` by shrinking. [`shrink_covers`] therefore
-//! only guarantees *soundness* (every output is a minimal hitting set of the
-//! new system); completeness requires a restart. The streaming monitor in
-//! `adc-core` restarts on any removal for exactly this reason.
+//! is not derivable from `{3}` by shrinking. [`shrink_covers`] alone is
+//! therefore only *sound* (every output is a minimal hitting set of the new
+//! system), never complete.
+//!
+//! But the covers shrinking cannot reach are **localisable**. Let `F'` be
+//! the surviving subsets and `R₁,…,Rₖ` the removed ones, and take any
+//! `τ ∈ T(F')`:
+//!
+//! - if `τ` still hits *every* removed `Rᵢ`, it hits all of `F = F' ∪ {Rᵢ}`,
+//!   so it contains some `σ ∈ T(F)`; `σ` hits `F' ⊆ F`, and minimality of
+//!   `τ` for `F'` forces `τ = σ` — the cover was already in the old answer
+//!   and survives re-minimalisation unchanged;
+//! - otherwise `τ ∩ Rᵢ = ∅` for some removed `Rᵢ`, i.e.
+//!   `τ ⊆ complement(Rᵢ)` — exactly what one search run confined to
+//!   `complement(Rᵢ)` ([`search_minimal_hitting_sets_within`]) enumerates.
+//!
+//! So `T(F')` = {re-minimalised old covers} ∪ ⋃ᵢ {confined run for `Rᵢ`},
+//! and [`repair_covers_removal`] recovers the complete new answer with one
+//! greedy shrink pass plus `k` *local* enumerations whose roots already
+//! exclude every element of the corresponding removed entry — no
+//! full-frontier restart. In the witness above, the confined run for
+//! `R = {3}` searches within `{0,1,2}` and recovers precisely `{1,2}`.
+//!
+//! Like append repair, this is **exact only when the input is the complete
+//! `T(F)`** — truncated runs must restart.
 
-use crate::mmcs::enumerate_minimal_hitting_sets;
+use crate::mmcs::{search_minimal_hitting_sets, search_minimal_hitting_sets_within};
+use crate::search::{SearchBudget, SearchOrder};
 use crate::{BranchStrategy, SetSystem};
 use adc_data::fx::FxHashSet;
 use adc_data::FixedBitSet;
@@ -51,6 +73,37 @@ pub struct CoverRepair {
     pub discovered: usize,
     /// Candidate extensions discarded by the minimality filter.
     pub rejected: usize,
+    /// Search-tree nodes expanded across all per-cover sub-enumerations —
+    /// directly comparable with [`SearchOutcome::nodes_expanded`] of a
+    /// from-scratch restart.
+    ///
+    /// [`SearchOutcome::nodes_expanded`]: crate::SearchOutcome::nodes_expanded
+    pub nodes_expanded: u64,
+}
+
+/// Statistics of one [`repair_covers_removal`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemovalRepair {
+    /// Old covers that were still minimal for the shrunk system and were
+    /// kept unchanged.
+    pub survivors: usize,
+    /// Old covers that stopped being minimal and were re-minimalised to a
+    /// proper subset by the greedy shrink pass.
+    pub shrunk: usize,
+    /// Confined enumeration runs performed (one per removed subset).
+    pub scopes: usize,
+    /// Covers found by the confined runs that were not reachable by
+    /// shrinking an old cover (genuinely new answers).
+    pub discovered: usize,
+    /// Confined-run emissions discarded as duplicates of an already-known
+    /// cover.
+    pub rejected: usize,
+    /// Search-tree nodes expanded across all confined runs — directly
+    /// comparable with [`SearchOutcome::nodes_expanded`] of a from-scratch
+    /// restart.
+    ///
+    /// [`SearchOutcome::nodes_expanded`]: crate::SearchOutcome::nodes_expanded
+    pub nodes_expanded: u64,
 }
 
 /// Repair a **complete** minimal-hitting-set answer after subsets were
@@ -102,19 +155,112 @@ pub fn repair_covers(
         // onto σ; the minimality filter against the *full* grown system
         // rejects the grafts that some other σ' already covers more cheaply.
         let sub = SetSystem::new(m, missed.into_iter().cloned().collect());
-        enumerate_minimal_hitting_sets(&sub, strategy, |rho| {
-            let mut candidate = sigma.clone();
-            candidate.union_with(rho);
-            if system.is_minimal_hitting_set(&candidate) {
-                stats.discovered += 1;
-                if seen.insert(candidate.clone()) {
-                    out.push(candidate);
+        let outcome = search_minimal_hitting_sets(
+            &sub,
+            strategy,
+            SearchOrder::Dfs,
+            SearchBudget::unlimited(),
+            &mut |rho: &FixedBitSet| {
+                let mut candidate = sigma.clone();
+                candidate.union_with(rho);
+                if system.is_minimal_hitting_set(&candidate) {
+                    stats.discovered += 1;
+                    if seen.insert(candidate.clone()) {
+                        out.push(candidate);
+                    }
+                } else {
+                    stats.rejected += 1;
                 }
-            } else {
-                stats.rejected += 1;
+                true
+            },
+        );
+        stats.nodes_expanded += outcome.nodes_expanded;
+    }
+    (out, stats)
+}
+
+/// Repair a **complete** minimal-hitting-set answer after subsets were
+/// removed from the system.
+///
+/// `old_covers` must be *all* minimal hitting sets of the system that
+/// consisted of `system.subsets()` **plus** the subsets in `removed` (each a
+/// bitmask over the same element universe). Returns the complete answer for
+/// the shrunk system, deduplicated, in a deterministic order (re-minimalised
+/// old covers in `old_covers` order, then discoveries per removed subset in
+/// `removed` order and enumeration order within each), plus repair
+/// statistics.
+///
+/// The repair is *local*: beyond the greedy shrink pass, it runs one search
+/// confined to `complement(Rᵢ)` per removed subset `Rᵢ` — see the module
+/// docs for why those confined runs recover exactly the covers shrinking
+/// cannot reach. Removed subsets whose complement is everything (empty
+/// masks) still get a scope; callers should drop masks that are no longer
+/// genuinely absent from the system before calling.
+///
+/// # Panics
+/// Panics (in debug builds) if a removed mask's capacity differs from the
+/// system's element count.
+pub fn repair_covers_removal(
+    old_covers: &[FixedBitSet],
+    system: &SetSystem,
+    removed: &[FixedBitSet],
+    strategy: BranchStrategy,
+) -> (Vec<FixedBitSet>, RemovalRepair) {
+    let mut out: Vec<FixedBitSet> = Vec::new();
+    let mut seen: FxHashSet<FixedBitSet> = FxHashSet::default();
+    let mut stats = RemovalRepair::default();
+
+    // Phase 1: re-minimalise the survivors. Under a pure shrink every old
+    // cover still hits the remaining subsets; what it can lose is
+    // *minimality* (an element kept only to hit a removed subset becomes
+    // droppable).
+    for cover in old_covers {
+        debug_assert!(
+            system.is_hitting_set(cover),
+            "old cover stopped hitting a shrunk system — the input was not \
+             the answer of a superset family"
+        );
+        let mut shrunk = cover.clone();
+        for e in cover.iter() {
+            shrunk.remove(e);
+            if !system.is_hitting_set(&shrunk) {
+                shrunk.insert(e);
             }
-            true
-        });
+        }
+        debug_assert!(system.is_minimal_hitting_set(&shrunk));
+        if shrunk.len() == cover.len() {
+            stats.survivors += 1;
+        } else {
+            stats.shrunk += 1;
+        }
+        if seen.insert(shrunk.clone()) {
+            out.push(shrunk);
+        }
+    }
+
+    // Phase 2: one confined enumeration per removed subset. Every new
+    // minimal cover misses some removed R (else it would contain — hence
+    // equal — an old cover), so searching within complement(R) per R
+    // recovers all of them.
+    for mask in removed {
+        debug_assert_eq!(mask.capacity(), system.num_elements());
+        stats.scopes += 1;
+        let allowed = mask.complement();
+        let outcome = search_minimal_hitting_sets_within(
+            system,
+            &allowed,
+            strategy,
+            &mut |tau: &FixedBitSet| {
+                if seen.insert(tau.clone()) {
+                    stats.discovered += 1;
+                    out.push(tau.clone());
+                } else {
+                    stats.rejected += 1;
+                }
+                true
+            },
+        );
+        stats.nodes_expanded += outcome.nodes_expanded;
     }
     (out, stats)
 }
@@ -239,5 +385,120 @@ mod tests {
         ];
         let shrunk = shrink_covers(&fat, &sys);
         assert_eq!(as_sorted_vecs(&shrunk), vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn removal_repair_recovers_the_incompleteness_witness() {
+        // Same witness as above: removing {3} from F = {{1,3},{2,3},{3}}
+        // creates {1,2}, unreachable by shrinking {3}. The confined run for
+        // the removed mask searches within {0,1,2} and recovers it.
+        let old = SetSystem::from_indices(4, &[&[1, 3], &[2, 3], &[3]]);
+        let covers = minimal_hitting_sets(&old, BranchStrategy::default());
+        let shrunk_sys = SetSystem::from_indices(4, &[&[1, 3], &[2, 3]]);
+        let removed = vec![FixedBitSet::from_indices(4, [3])];
+        let (repaired, stats) =
+            repair_covers_removal(&covers, &shrunk_sys, &removed, BranchStrategy::default());
+        assert_eq!(as_sorted_vecs(&repaired), vec![vec![1, 2], vec![3]]);
+        assert_eq!(stats.survivors, 1); // {3} is still minimal
+        assert_eq!(stats.shrunk, 0);
+        assert_eq!(stats.scopes, 1);
+        assert_eq!(stats.discovered, 1); // {1,2}
+        assert!(stats.nodes_expanded > 0);
+    }
+
+    #[test]
+    fn removal_repair_reminimalises_covers_that_lost_their_reason() {
+        // F = {{0},{1,2}} → T = {{0,1},{0,2}}. Removing {0} makes both
+        // non-minimal; they shrink to {1} and {2}, and the confined run for
+        // {0}'s complement {1,2,3} rediscovers only those same covers.
+        let old = SetSystem::from_indices(4, &[&[0], &[1, 2]]);
+        let covers = minimal_hitting_sets(&old, BranchStrategy::default());
+        assert_eq!(as_sorted_vecs(&covers), vec![vec![0, 1], vec![0, 2]]);
+        let shrunk_sys = SetSystem::from_indices(4, &[&[1, 2]]);
+        let removed = vec![FixedBitSet::from_indices(4, [0])];
+        let (repaired, stats) =
+            repair_covers_removal(&covers, &shrunk_sys, &removed, BranchStrategy::default());
+        assert_eq!(as_sorted_vecs(&repaired), vec![vec![1], vec![2]]);
+        assert_eq!(stats.survivors, 0);
+        assert_eq!(stats.shrunk, 2);
+        assert_eq!(stats.discovered, 0);
+        assert_eq!(stats.rejected, 2);
+    }
+
+    #[test]
+    fn removal_repair_with_no_removals_is_the_identity() {
+        let sys = SetSystem::from_indices(4, &[&[0, 1], &[2, 3]]);
+        let covers = minimal_hitting_sets(&sys, BranchStrategy::default());
+        let (repaired, stats) =
+            repair_covers_removal(&covers, &sys, &[], BranchStrategy::default());
+        assert_eq!(as_sorted_vecs(&repaired), as_sorted_vecs(&covers));
+        assert_eq!(stats.survivors, covers.len());
+        assert_eq!(stats.shrunk, 0);
+        assert_eq!(stats.scopes, 0);
+        assert_eq!(stats.nodes_expanded, 0);
+    }
+
+    #[test]
+    fn removal_repair_down_to_the_empty_system_yields_the_empty_cover() {
+        // T(∅) = {∅}: every old cover shrinks all the way to ∅.
+        let old = SetSystem::from_indices(3, &[&[0, 1]]);
+        let covers = minimal_hitting_sets(&old, BranchStrategy::default());
+        let empty_sys = SetSystem::new(3, Vec::new());
+        let removed = vec![FixedBitSet::from_indices(3, [0, 1])];
+        let (repaired, _) =
+            repair_covers_removal(&covers, &empty_sys, &removed, BranchStrategy::default());
+        assert_eq!(repaired.len(), 1);
+        assert!(repaired[0].is_empty());
+    }
+
+    #[test]
+    fn removal_repair_matches_brute_force_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2020);
+        for round in 0..60 {
+            let m = rng.gen_range(3..9);
+            let k = rng.gen_range(1..8);
+            let mut subsets = Vec::new();
+            for _ in 0..k {
+                let mut s = FixedBitSet::new(m);
+                for e in 0..m {
+                    if rng.gen_bool(0.4) {
+                        s.insert(e);
+                    }
+                }
+                if s.is_empty() {
+                    s.insert(rng.gen_range(0..m));
+                }
+                subsets.push(s);
+            }
+            let old_sys = SetSystem::new(m, subsets.clone());
+            let old_covers = minimal_hitting_sets(&old_sys, BranchStrategy::default());
+            // Remove a random (sometimes total) slice of the family.
+            let keep: Vec<bool> = (0..k).map(|_| rng.gen_bool(0.5)).collect();
+            let survivors: Vec<FixedBitSet> = subsets
+                .iter()
+                .zip(&keep)
+                .filter(|(_, &kept)| kept)
+                .map(|(s, _)| s.clone())
+                .collect();
+            let removed: Vec<FixedBitSet> = subsets
+                .iter()
+                .zip(&keep)
+                .filter(|(_, &kept)| !kept)
+                .map(|(s, _)| s.clone())
+                .collect();
+            let new_sys = SetSystem::new(m, survivors);
+            let (repaired, stats) =
+                repair_covers_removal(&old_covers, &new_sys, &removed, BranchStrategy::default());
+            let expected = brute_force_minimal_hitting_sets(&new_sys);
+            assert_eq!(
+                as_sorted_vecs(&repaired),
+                as_sorted_vecs(&expected),
+                "round {round}: repair diverged from brute force"
+            );
+            assert_eq!(stats.survivors + stats.shrunk, old_covers.len());
+            assert_eq!(stats.scopes, removed.len());
+        }
     }
 }

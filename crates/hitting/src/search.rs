@@ -243,12 +243,17 @@ pub struct SearchNode {
 }
 
 impl SearchNode {
-    fn root(system: &SetSystem) -> Self {
+    /// Root node whose candidate set is confined to `allowed` (when given):
+    /// the search then visits exactly the solutions contained in `allowed` —
+    /// elements outside it can never enter a partial solution, and an
+    /// uncovered subset none of whose elements are allowed kills the branch
+    /// through the ordinary unhittable check.
+    fn root_within(system: &SetSystem, allowed: Option<&FixedBitSet>) -> Self {
         let m = system.num_elements();
         SearchNode {
             s: Vec::new(),
             s_set: FixedBitSet::new(m),
-            cand: FixedBitSet::full(m),
+            cand: allowed.cloned().unwrap_or_else(|| FixedBitSet::full(m)),
             lists: Rc::new(NodeLists::root(system.len())),
             can_hit: Rc::new(FixedBitSet::full(system.len())),
         }
@@ -634,11 +639,53 @@ where
         && driver.supports_inplace_dfs()
     {
         return (
-            run_dfs_inplace(system, driver, config.strategy, callback),
+            run_dfs_inplace(system, driver, config.strategy, None, callback),
             None,
         );
     }
-    drive(system, driver, config, None, callback)
+    drive(system, driver, config, None, None, callback)
+}
+
+/// Like [`run_search`], but with the root's candidate set restricted to
+/// `allowed`: the run enumerates exactly the solutions **contained in**
+/// `allowed`. Restricting the root candidates is equivalent to running the
+/// unrestricted search on the system whose subsets are intersected with
+/// `allowed` — for the exact driver that means exactly the minimal hitting
+/// sets `τ ⊆ allowed` (a set `τ ⊆ allowed` hits `S` iff it hits
+/// `S ∩ allowed`, and minimality among subsets of `allowed` coincides with
+/// global minimality because every proper subset of a subset of `allowed` is
+/// itself a subset of `allowed`).
+///
+/// This is the local-enumeration primitive behind
+/// [`crate::repair::repair_covers_removal`], where `allowed` is a removed
+/// subset's complement.
+///
+/// # Panics
+/// Panics if `allowed` is not over the system's element universe.
+pub fn run_search_within<D, F>(
+    system: &SetSystem,
+    driver: &mut D,
+    allowed: &FixedBitSet,
+    config: &SearchConfig,
+    callback: &mut F,
+) -> SearchOutcome
+where
+    D: SearchDriver,
+    F: FnMut(&FixedBitSet) -> bool,
+{
+    assert_eq!(
+        allowed.capacity(),
+        system.num_elements(),
+        "run_search_within: the restriction must be over the system's element universe"
+    );
+    if config.order == SearchOrder::Dfs
+        && config.budget.is_unlimited()
+        && !driver.wants_skip_branch()
+        && driver.supports_inplace_dfs()
+    {
+        return run_dfs_inplace(system, driver, config.strategy, Some(allowed), callback);
+    }
+    drive(system, driver, config, None, Some(allowed), callback).0
 }
 
 /// Continue a search suspended by an earlier budget cut.
@@ -683,15 +730,18 @@ where
             "resume_search: the token was produced over a different set system"
         );
     }
-    drive(system, driver, config, Some(suspended), callback)
+    drive(system, driver, config, Some(suspended), None, callback)
 }
 
 /// The explicit-frontier engine shared by fresh and resumed runs.
+/// `restrict` confines the root's candidate set (fresh runs only; a resumed
+/// frontier already carries its restriction in every node's `cand`).
 fn drive<D, F>(
     system: &SetSystem,
     driver: &mut D,
     config: &SearchConfig,
     resume: Option<SuspendedSearch>,
+    restrict: Option<&FixedBitSet>,
     callback: &mut F,
 ) -> (SearchOutcome, Option<SuspendedSearch>)
 where
@@ -733,7 +783,7 @@ where
         }
         None => {
             let mut frontier = Frontier::new(config);
-            let root = SearchNode::root(system);
+            let root = SearchNode::root_within(system, restrict);
             let root_priority = match config.order {
                 SearchOrder::Dfs => 0,
                 SearchOrder::ShortestFirst => driver.lower_bound(system, &root),
@@ -1152,6 +1202,7 @@ fn run_dfs_inplace<D, F>(
     system: &SetSystem,
     driver: &mut D,
     strategy: BranchStrategy,
+    restrict: Option<&FixedBitSet>,
     callback: &mut F,
 ) -> SearchOutcome
 where
@@ -1161,7 +1212,7 @@ where
     let m = system.num_elements();
     let mut s: Vec<usize> = Vec::new();
     let mut s_set = FixedBitSet::new(m);
-    let mut cand = FixedBitSet::full(m);
+    let mut cand = restrict.cloned().unwrap_or_else(|| FixedBitSet::full(m));
     let can_hit = FixedBitSet::full(system.len());
     let uncov: Vec<u32> = (0..system.len() as u32).collect();
     let crit: Vec<Vec<u32>> = Vec::new();
@@ -1774,7 +1825,7 @@ mod tests {
         // parked and re-expanded on resume, so no child is lost or doubled.
         let indices: Vec<usize> = (0..512).collect();
         let sys = SetSystem::from_indices(512, &[&indices]);
-        let node = SearchNode::root(&sys);
+        let node = SearchNode::root_within(&sys, None);
         let config = SearchConfig {
             strategy: BranchStrategy::default(),
             order: SearchOrder::ShortestFirst,

@@ -35,11 +35,13 @@
 #![warn(missing_docs)]
 
 pub mod dc;
+pub mod drift;
 pub mod operator;
 pub mod predicate;
 pub mod space;
 
 pub use dc::DenialConstraint;
+pub use drift::{DriftFlip, SpaceDrift, SpaceDriftTracker};
 pub use operator::Operator;
 pub use predicate::{Predicate, TupleRole};
 pub use space::{PredicateSpace, SpaceConfig};

@@ -33,7 +33,7 @@ fn report(label: &str, result: &MiningResult, stats: &DeltaStats, total_pairs: u
         stats.pairs_scanned,
         total_pairs,
         stats.entries_touched,
-        if stats.repaired {
+        if stats.repaired() {
             format!("repaired ({} covers reopened)", stats.covers_reopened)
         } else {
             "restarted enumeration".to_string()

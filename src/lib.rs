@@ -72,8 +72,9 @@ pub mod prelude {
         baseline::{AFastDcPipeline, DcFinderPipeline, SearchMinimalCovers},
         enumerate_adcs, f1_score, g_recall, resume_adcs, AdcMiner, AdcMonitor, BranchStrategy,
         DeltaStats, DenialConstraint, EnumerationOptions, EnumerationResume, EvidenceStrategy,
-        MinerConfig, MiningResult, MiningResume, PredicateSpace, SampleThreshold, SearchBudget,
-        SearchOrder, SpaceConfig, SuspendedSearch, TruncationInfo, TruncationReason, TupleRole,
+        MinerConfig, MiningResult, MiningResume, MonitorError, PredicateSpace, RefreshPath,
+        SampleThreshold, SearchBudget, SearchOrder, SpaceConfig, SuspendedSearch, TruncationInfo,
+        TruncationReason, TupleRole,
     };
     pub use adc_data::{AttributeType, Relation, Schema, Value};
     pub use adc_datasets::{CorrelationSpec, Dataset, DatasetGenerator, NoiseConfig};
@@ -81,6 +82,7 @@ pub mod prelude {
         ClusterEvidenceBuilder, DeltaEvidenceBuilder, EvidenceBuilder, EvidenceDelta,
         NaiveEvidenceBuilder, ParallelEvidenceBuilder, SweepEvidenceBuilder, SweepStats,
     };
+    pub use adc_predicates::{DriftFlip, SpaceDrift, SpaceDriftTracker};
 }
 
 #[cfg(test)]

@@ -13,9 +13,11 @@
 //!    relation, for exact (ε = 0) *and* approximate (ε > 0) configurations,
 //!    byte-identical once both sides are put in the monitor's canonical
 //!    order (nondecreasing cover size, then lexicographic by element).
-//!    The monitor's space is frozen at construction, so the comparison is
-//!    skipped in the rare case where the patched relation's own space drifts
-//!    (the 30 % shared-values rule can flip under heavy churn).
+//!    The monitor's space is frozen at construction; when churn flips the
+//!    30 % shared-values rule the refresh must *refuse* with
+//!    [`MonitorError::RebuildRequired`] (never answer over a stale space),
+//!    and the stream continues on a monitor rebuilt from the patched
+//!    relation.
 //!
 //! Case count is controlled by `PROPTEST_CASES` (default 256); CI runs the
 //! suite with a raised count.
@@ -125,7 +127,11 @@ proptest! {
     }
 
     /// Answer-level equivalence: every refresh equals a from-scratch mine of
-    /// the patched relation, under exact and approximate drivers.
+    /// the patched relation, under exact and approximate drivers. Drift is
+    /// never silent: either the accepted answer's frozen space equals what a
+    /// fresh build of the patched relation produces, or the refresh failed
+    /// with [`MonitorError::RebuildRequired`] and a rebuilt monitor takes
+    /// over the stream.
     #[test]
     fn monitor_refresh_matches_canonical_remine(
         seed in 0u64..500,
@@ -149,17 +155,78 @@ proptest! {
                 };
                 monitor.delete_tuples(&deletes).unwrap();
                 monitor.insert_tuples(ins_seeds.iter().map(|&s| seeded_row(s)).collect());
-                let (result, _) = monitor.refresh().unwrap();
+                let result = match monitor.refresh() {
+                    Ok((result, _)) => result,
+                    Err(MonitorError::RebuildRequired(_)) => {
+                        // The refusal must be genuine: a fresh space over the
+                        // patched relation really differs from the frozen one.
+                        let fresh =
+                            PredicateSpace::build(monitor.relation(), config.space);
+                        prop_assert!(
+                            fresh.predicates() != monitor.space().predicates(),
+                            "drift reported but a fresh space build is unchanged"
+                        );
+                        // The batch itself was applied — rebuild from the
+                        // patched relation and continue the stream.
+                        let patched = monitor.relation().clone();
+                        monitor = AdcMonitor::new(config, &patched);
+                        monitor.refresh().unwrap().0
+                    }
+                    Err(e) => panic!("unexpected refresh error: {e}"),
+                };
 
-                // The monitor's space is frozen; the claim is conditional on
-                // the patched relation producing the same space.
+                // Accepted answers are never over a stale space.
                 let fresh = PredicateSpace::build(monitor.relation(), config.space);
-                if fresh.predicates() != monitor.space().predicates() {
-                    continue;
-                }
+                prop_assert!(
+                    fresh.predicates() == monitor.space().predicates(),
+                    "refresh answered over a space that no longer matches the data"
+                );
                 let remine = AdcMiner::new(config).mine(monitor.relation());
                 prop_assert_eq!(canonical(&result), canonical(&remine));
             }
+        }
+    }
+
+    /// Delete-heavy churn under [`EvidenceStrategy::Sweep`] seeding: batches
+    /// are delete-majority (up to 6 deletes vs at most 2 inserts per step on
+    /// a 10-row base), so evidence counts hit zero and entries vanish
+    /// constantly — the removal-repair path's home turf. Every accepted
+    /// refresh must still equal a canonical re-mine, and exact runs must be
+    /// on a repair path whenever a cached answer was available.
+    #[test]
+    fn delete_heavy_churn_matches_remine_under_sweep_seeding(
+        seed in 0u64..500,
+        delete_batches in vec(vec(0usize..100, 0..7), 2..6),
+        insert_batches in vec(vec(0u64..1_000_000, 0..3), 2..6),
+    ) {
+        let config = MinerConfig::new(0.0).with_evidence(EvidenceStrategy::Sweep);
+        let base = seeded_relation(10, seed);
+        let mut monitor = AdcMonitor::new(config, &base);
+        monitor.refresh().unwrap();
+        for (del_raw, ins_seeds) in delete_batches.iter().zip(&insert_batches) {
+            let n = monitor.relation().len();
+            let deletes: Vec<usize> = if n == 0 {
+                Vec::new()
+            } else {
+                del_raw.iter().map(|d| d % n).collect()
+            };
+            monitor.delete_tuples(&deletes).unwrap();
+            monitor.insert_tuples(ins_seeds.iter().map(|&s| seeded_row(s)).collect());
+            let (result, stats, rebuilt) = match monitor.refresh() {
+                Ok((result, stats)) => (result, stats, false),
+                Err(MonitorError::RebuildRequired(_)) => {
+                    let patched = monitor.relation().clone();
+                    monitor = AdcMonitor::new(config, &patched);
+                    let (result, stats) = monitor.refresh().unwrap();
+                    (result, stats, true)
+                }
+                Err(e) => panic!("unexpected refresh error: {e}"),
+            };
+            // Exact, uncapped, cached: no churn shape may force a restart
+            // (a just-rebuilt monitor has no cache yet and restarts once).
+            prop_assert!(rebuilt || stats.repaired());
+            let remine = AdcMiner::new(config).mine(monitor.relation());
+            prop_assert_eq!(canonical(&result), canonical(&remine));
         }
     }
 }
@@ -209,4 +276,88 @@ fn monitor_tracks_a_churning_tax_relation_exactly() {
         let remine = AdcMiner::new(config).mine(monitor.relation());
         assert_eq!(canonical(&result), canonical(&remine));
     }
+}
+
+/// Satellite audit of the ε-threshold boundary: a DC whose violation count
+/// sits at **exactly** `ε·n(n−1)` is ε-valid (the bound is inclusive), and
+/// batch mining, delta refresh, and a cold-monitor restart agree at the
+/// boundary and one row past it in both directions.
+///
+/// The fixture is built from dyadic rationals so the float comparison is
+/// exact: one Int column holding three `1`s and one `2` gives
+/// `N = n(n−1) = 12` ordered pairs, of which exactly 3 satisfy
+/// `t.A < t'.A`; at `ε = 0.25`, `ε·N = 3.0` exactly, so `¬(t.A < t'.A)`
+/// must be emitted. Appending a second `2` moves it to 6 violations of
+/// `ε·N = 5.0` and the DC must vanish.
+#[test]
+fn epsilon_boundary_is_inclusive_and_path_independent() {
+    let schema = Schema::of(&[("A", AttributeType::Integer)]);
+    let relation_of = |vals: &[i64]| {
+        let mut b = Relation::builder(schema.clone());
+        for &v in vals {
+            b.push_row(vec![Value::Int(v)]).unwrap();
+        }
+        b.build()
+    };
+    let config = MinerConfig::new(0.25).with_order(SearchOrder::ShortestFirst);
+
+    // The single-predicate DC ¬(t.A < t'.A), looked up by id so the check
+    // does not depend on display formatting.
+    let emits_lt_dc = |result: &MiningResult| {
+        let lt = result
+            .space
+            .find("A", "<", TupleRole::Other, "A")
+            .expect("order predicate exists on an Int column");
+        result.dcs.iter().any(|dc| dc.predicate_ids() == [lt])
+    };
+
+    // Three ways to reach each relation: batch mine, warm refresh from one
+    // row less (insert direction), warm refresh from one row more (delete
+    // direction). All must agree on the full canonical answer.
+    let answers_for = |vals: &[i64]| {
+        let target = relation_of(vals);
+        let batch = AdcMiner::new(config).mine(&target);
+
+        let shorter = relation_of(&vals[..vals.len() - 1]);
+        let mut grow = AdcMonitor::new(config, &shorter);
+        grow.refresh().expect("warm-up");
+        grow.insert_tuples(vec![vec![Value::Int(vals[vals.len() - 1])]]);
+        let (grown, _) = grow.refresh().expect("insert-to-boundary refresh");
+
+        let mut longer_vals = vals.to_vec();
+        longer_vals.push(1);
+        let mut shrink = AdcMonitor::new(config, &relation_of(&longer_vals));
+        shrink.refresh().expect("warm-up");
+        shrink
+            .delete_tuples(&[longer_vals.len() - 1])
+            .expect("in contract");
+        let (shrunk, _) = shrink.refresh().expect("delete-to-boundary refresh");
+
+        assert_eq!(
+            canonical(&batch),
+            canonical(&grown),
+            "batch and insert-refresh disagree at {vals:?}"
+        );
+        assert_eq!(
+            canonical(&batch),
+            canonical(&shrunk),
+            "batch and delete-refresh disagree at {vals:?}"
+        );
+        batch
+    };
+
+    // Exactly at the boundary: 3 violations ≤ ε·N = 3.0 → valid.
+    assert!(
+        emits_lt_dc(&answers_for(&[1, 1, 1, 2])),
+        "a DC at exactly ε·n(n−1) violations must be ε-valid (inclusive bound)"
+    );
+    // One row past it: 6 violations > ε·N = 5.0 → gone.
+    assert!(
+        !emits_lt_dc(&answers_for(&[1, 1, 1, 2, 2])),
+        "one insert past the boundary must invalidate the DC"
+    );
+    // And one row short of it: 2 violations ≤ ε·N = 1.5? No — 2 > 1.5 → the
+    // DC is absent below n = 4 as well, so the boundary case above is the
+    // *first* point of validity in the growth direction.
+    assert!(!emits_lt_dc(&answers_for(&[1, 1, 2])));
 }
