@@ -5,6 +5,7 @@
 //! to trade fidelity for time; see `crates/bench/README.md` for the
 //! experiment index.
 
+use adc_bench::{object, report_dir, write_report, Json};
 use std::process::Command;
 
 fn main() {
@@ -32,5 +33,22 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // Each binary wrote its own `BENCH_<name>.json`; record the sweep's
+    // manifest so downstream tooling knows which artifacts belong together.
+    let report = object(vec![
+        ("bench", Json::from("all_experiments")),
+        (
+            "artifacts",
+            Json::Array(
+                binaries
+                    .iter()
+                    .map(|b| Json::from(format!("BENCH_{b}.json")))
+                    .collect(),
+            ),
+        ),
+        ("report_dir", Json::from(report_dir().display().to_string())),
+    ]);
+    let path = write_report("all_experiments", &report);
+    println!("recorded {}", path.display());
     println!("\nAll experiments completed.");
 }

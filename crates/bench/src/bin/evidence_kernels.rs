@@ -88,7 +88,8 @@ fn main() {
             let space = PredicateSpace::build(&relation, SpaceConfig::default());
 
             let t = Instant::now();
-            let (sweep, stats) = SweepEvidenceBuilder.build_with_stats(&relation, &space, false);
+            let (sweep, stats) =
+                SweepEvidenceBuilder::new(threads).build_with_stats(&relation, &space, false);
             let sweep_time = t.elapsed();
 
             let run_pairwise = relation.len() <= PAIRWISE_MAX_ROWS;

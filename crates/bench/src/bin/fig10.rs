@@ -3,7 +3,7 @@
 //! candidate list, for f1, f2, and f3 on Tax, Stock, and Hospital.
 
 use adc_approx::ApproxKind;
-use adc_bench::{bench_relation, build_evidence, secs, Table};
+use adc_bench::{bench_relation, build_evidence, object, secs, write_report, Json, Table};
 use adc_core::{enumerate_adcs, BranchStrategy, EnumerationOptions};
 use adc_datasets::Dataset;
 use adc_predicates::{PredicateSpace, SpaceConfig};
@@ -12,6 +12,7 @@ use std::time::Instant;
 fn main() {
     let epsilon = 0.1;
     let datasets = [Dataset::Tax, Dataset::Stock, Dataset::Hospital];
+    let mut sections: Vec<Json> = Vec::new();
     for kind in ApproxKind::ALL {
         let mut table = Table::new(vec![
             "Dataset",
@@ -47,5 +48,12 @@ fn main() {
         table.print(&format!(
             "Figure 10 — branch strategy ablation under {kind} (ε = 0.1)"
         ));
+        sections.push(table.report(&kind.to_string()));
     }
+    let report = object(vec![
+        ("bench", Json::from("fig10")),
+        ("sections", Json::Array(sections)),
+    ]);
+    let path = write_report("fig10", &report);
+    println!("recorded {}", path.display());
 }

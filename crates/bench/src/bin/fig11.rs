@@ -4,13 +4,16 @@
 //! sample sizes (30% and 40%), for f1, f2, and f3.
 
 use adc_approx::ApproxKind;
-use adc_bench::{bench_config, bench_datasets, bench_relation, run_miner, Table};
+use adc_bench::{
+    bench_config, bench_datasets, bench_relation, object, run_miner, write_report, Json, Table,
+};
 use adc_core::f1_score;
 
 fn main() {
     let sample_sizes = [0.01, 0.05, 0.1, 0.2, 0.3, 0.4];
     let thresholds = [0.01, 0.02, 0.05, 0.1, 0.15, 0.2];
 
+    let mut sections: Vec<Json> = Vec::new();
     for kind in ApproxKind::ALL {
         // Sweep 1: sample size at fixed thresholds.
         for &epsilon in &[0.01, 0.1] {
@@ -37,6 +40,7 @@ fn main() {
             table.print(&format!(
                 "Figure 11 — F1 vs sample size under {kind} (ε = {epsilon})"
             ));
+            sections.push(table.report(&format!("{kind}/sample-sweep/eps={epsilon}")));
         }
 
         // Sweep 2: threshold at fixed sample sizes.
@@ -65,6 +69,16 @@ fn main() {
                 "Figure 11 — F1 vs threshold under {kind} (sample = {:.0}%)",
                 fraction * 100.0
             ));
+            sections.push(table.report(&format!(
+                "{kind}/threshold-sweep/sample={:.0}%",
+                fraction * 100.0
+            )));
         }
     }
+    let report = object(vec![
+        ("bench", Json::from("fig11")),
+        ("sections", Json::Array(sections)),
+    ]);
+    let path = write_report("fig11", &report);
+    println!("recorded {}", path.display());
 }

@@ -1,7 +1,9 @@
 //! Figure 12: total ADCMiner runtime for varying sample sizes
 //! (20%, 40%, 60%, 80%, 100%), f1, ε = 0.1.
 
-use adc_bench::{bench_config, bench_datasets, bench_relation, run_miner, secs, Table};
+use adc_bench::{
+    bench_config, bench_datasets, bench_relation, run_miner, secs, write_report, Table,
+};
 
 fn main() {
     let epsilon = 0.1;
@@ -22,4 +24,6 @@ fn main() {
         table.add_row(cells);
     }
     table.print("Figure 12 — total ADCMiner runtime (s) for varying sample sizes (f1, ε = 0.1)");
+    let path = write_report("fig12", &table.report("fig12"));
+    println!("recorded {}", path.display());
 }

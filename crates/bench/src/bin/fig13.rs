@@ -2,7 +2,9 @@
 //! sample sizes. The paper shows the gap shrinking like `1/√n`, which
 //! validates the confidence-interval analysis of Section 7.
 
-use adc_bench::{bench_config, bench_datasets, bench_relation, build_evidence, run_miner, Table};
+use adc_bench::{
+    bench_config, bench_datasets, bench_relation, build_evidence, run_miner, write_report, Table,
+};
 use adc_core::sampling;
 
 fn main() {
@@ -37,4 +39,6 @@ fn main() {
     }
     table.print("Figure 13 — average ε − p̂ over discovered ADCs vs sample size (f1, ε = 0.01)");
     println!("(The gap should shrink roughly like 1/√n as the sample grows.)");
+    let path = write_report("fig13", &table.report("fig13"));
+    println!("recorded {}", path.display());
 }

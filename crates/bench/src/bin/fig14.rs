@@ -10,7 +10,10 @@
 //! it holds — the operating mode for long dirty mines on shared machines.
 
 use adc_approx::ApproxKind;
-use adc_bench::{bench_datasets, bench_relation, bench_shortest_first_config, run_miner, Table};
+use adc_bench::{
+    bench_datasets, bench_relation, bench_shortest_first_config, object, run_miner, write_report,
+    Json, Table,
+};
 use adc_core::g_recall;
 use adc_datasets::{targeted_skewed_noise, targeted_spread_noise, NoiseConfig};
 
@@ -18,6 +21,7 @@ fn main() {
     let thresholds = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1];
     let noise = NoiseConfig::with_rate(0.002);
 
+    let mut sections: Vec<Json> = Vec::new();
     for (noise_name, skewed) in [("spread", false), ("skewed", true)] {
         for kind in ApproxKind::ALL {
             let mut table = Table::new(
@@ -57,6 +61,13 @@ fn main() {
             table.print(&format!(
                 "Figure 14 — G-recall vs threshold under {kind}, {noise_name} noise"
             ));
+            sections.push(table.report(&format!("{kind}/{noise_name}")));
         }
     }
+    let report = object(vec![
+        ("bench", Json::from("fig14")),
+        ("sections", Json::Array(sections)),
+    ]);
+    let path = write_report("fig14", &report);
+    println!("recorded {}", path.display());
 }

@@ -5,7 +5,7 @@
 //! exactly as the paper isolates the enumeration component.
 
 use adc_approx::F1ViolationRate;
-use adc_bench::{bench_datasets, bench_relation, build_evidence, secs, Table};
+use adc_bench::{bench_datasets, bench_relation, build_evidence, secs, write_report, Table};
 use adc_core::baseline::SearchMinimalCovers;
 use adc_core::{enumerate_adcs, EnumerationOptions};
 use adc_predicates::{PredicateSpace, SpaceConfig};
@@ -57,4 +57,6 @@ fn main() {
         ]);
     }
     table.print("Figure 6 — ADCEnum vs SearchMC enumeration time (f1, ε = 0.1)");
+    let path = write_report("fig6", &table.report("fig6"));
+    println!("recorded {}", path.display());
 }

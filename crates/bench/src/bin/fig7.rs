@@ -8,7 +8,9 @@
 //! cluster builder and isolate the algorithmic gap the paper's Figure 7
 //! reports.
 
-use adc_bench::{bench_config, bench_datasets, bench_relation, run_miner, secs, Table};
+use adc_bench::{
+    bench_config, bench_datasets, bench_relation, run_miner, secs, write_report, Table,
+};
 use adc_core::baseline::{AFastDcPipeline, DcFinderPipeline};
 
 fn main() {
@@ -38,4 +40,6 @@ fn main() {
         ]);
     }
     table.print("Figure 7 — total runtime: ADCMiner vs DCFinder vs AFASTDC (f1, ε = 0.1)");
+    let path = write_report("fig7", &table.report("fig7"));
+    println!("recorded {}", path.display());
 }

@@ -3,10 +3,14 @@
 //! f1, f2, and f3 on every dataset (ε = 0.1).
 
 use adc_approx::ApproxKind;
-use adc_bench::{bench_config, bench_datasets, bench_relation, run_miner, secs, Table};
+use adc_bench::{
+    bench_config, bench_datasets, bench_relation, object, run_miner, secs, write_report, Json,
+    Table,
+};
 
 fn main() {
     let epsilon = 0.1;
+    let mut sections: Vec<Json> = Vec::new();
     for section in ["total", "enumeration", "evidence"] {
         let mut table = Table::new(vec!["Dataset", "f1 (s)", "f2 (s)", "f3 (s)"]);
         for dataset in bench_datasets() {
@@ -26,5 +30,12 @@ fn main() {
         table.print(&format!(
             "Figure 8 — ADCMiner {section} time per approximation function (ε = 0.1)"
         ));
+        sections.push(table.report(section));
     }
+    let report = object(vec![
+        ("bench", Json::from("fig8")),
+        ("sections", Json::Array(sections)),
+    ]);
+    let path = write_report("fig8", &report);
+    println!("recorded {}", path.display());
 }

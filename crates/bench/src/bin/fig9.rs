@@ -2,7 +2,9 @@
 //! sizes (20%–100% of the tuples), f1, ε = 0.1.
 
 use adc_approx::F1ViolationRate;
-use adc_bench::{bench_datasets, bench_relation, build_evidence, secs, Table};
+use adc_bench::{
+    bench_datasets, bench_relation, build_evidence, object, secs, write_report, Json, Table,
+};
 use adc_core::baseline::SearchMinimalCovers;
 use adc_core::{enumerate_adcs, sampling, EnumerationOptions};
 use adc_predicates::{PredicateSpace, SpaceConfig};
@@ -11,6 +13,7 @@ use std::time::Instant;
 fn main() {
     let epsilon = 0.1;
     let fractions = [0.2, 0.4, 0.6, 0.8, 1.0];
+    let mut sections: Vec<Json> = Vec::new();
     for dataset in bench_datasets() {
         let relation = bench_relation(dataset);
         let space = PredicateSpace::build(&relation, SpaceConfig::default());
@@ -54,5 +57,12 @@ fn main() {
             "Figure 9 — {}: enumeration time vs sample size (f1, ε = 0.1)",
             dataset.name()
         ));
+        sections.push(table.report(dataset.name()));
     }
+    let report = object(vec![
+        ("bench", Json::from("fig9")),
+        ("sections", Json::Array(sections)),
+    ]);
+    let path = write_report("fig9", &report);
+    println!("recorded {}", path.display());
 }

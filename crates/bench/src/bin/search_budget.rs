@@ -30,7 +30,9 @@
 //! truncation-free completion path is exercised).
 
 use adc_approx::F1ViolationRate;
-use adc_bench::{bench_datasets, bench_relation, build_evidence, parsed_env, secs, Table};
+use adc_bench::{
+    bench_datasets, bench_relation, build_evidence, parsed_env, secs, write_report, Json, Table,
+};
 use adc_core::{enumerate_adcs, resume_adcs, EnumerationOptions, SearchBudget, SearchOrder};
 use adc_datasets::{targeted_spread_noise, NoiseConfig};
 use adc_predicates::{DenialConstraint, PredicateSpace, SpaceConfig};
@@ -189,6 +191,17 @@ fn main() {
     table.print(&format!(
         "Anytime smoke — dirty enumeration at ε={epsilon}, budget: {max_nodes} nodes / {deadline:?} / {max_dcs} DCs"
     ));
+    // Record before the pass/fail gates so a failing CI run still leaves
+    // its table behind for diagnosis.
+    let mut report = table.report("search_budget");
+    if let Json::Object(pairs) = &mut report {
+        pairs.push(("overruns".to_string(), Json::from(overruns)));
+        pairs.push(("truncated_runs".to_string(), Json::from(truncated_runs)));
+        pairs.push(("slice_mismatches".to_string(), Json::from(slice_mismatches)));
+        pairs.push(("incomplete_refs".to_string(), Json::from(incomplete_refs)));
+    }
+    let path = write_report("search_budget", &report);
+    println!("recorded {}", path.display());
     // Regressions this smoke exists to catch: an enumeration that blows
     // through its deadline, a budget-cut run that fails to say so, and a
     // sliced (cut + resume) replay that diverges from the single run. Dirty

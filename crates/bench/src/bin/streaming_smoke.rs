@@ -15,7 +15,7 @@
 //!   pairs an honest differential scan of a k-row batch needs and far below
 //!   the `n·(n−1)` of a rebuild.
 
-use adc_bench::parsed_env;
+use adc_bench::{object, parsed_env, write_report, Json};
 use adc_core::{AdcMiner, AdcMonitor, MinerConfig, MiningResult, SearchOrder};
 use adc_data::Value;
 use adc_datasets::Dataset;
@@ -145,4 +145,18 @@ fn main() {
         remine.dcs.len(),
         start.elapsed().as_secs_f64()
     );
+    let report = object(vec![
+        ("bench", Json::from("streaming_smoke")),
+        ("base_rows", Json::from(rows)),
+        ("batches", Json::from(batches)),
+        ("final_rows", Json::from(monitor.relation().len())),
+        ("repaired_batches", Json::from(repaired)),
+        ("worst_refresh_pairs", Json::from(worst_pairs)),
+        ("pair_budget", Json::from(max_pairs)),
+        ("final_dcs", Json::from(remine.dcs.len())),
+        ("matches_remine", Json::from(true)),
+        ("seconds", Json::from(start.elapsed().as_secs_f64())),
+    ]);
+    let path = write_report("streaming_smoke", &report);
+    println!("recorded {}", path.display());
 }

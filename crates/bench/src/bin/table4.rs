@@ -2,7 +2,7 @@
 //! attribute counts, golden DCs (paper vs resolved), and the size of the
 //! predicate space the miner works with.
 
-use adc_bench::{bench_datasets, bench_relation, Table};
+use adc_bench::{bench_datasets, bench_relation, write_report, Table};
 use adc_predicates::{PredicateSpace, SpaceConfig};
 
 fn main() {
@@ -31,4 +31,6 @@ fn main() {
         ]);
     }
     table.print("Table 4 — datasets");
+    let path = write_report("table4", &table.report("table4"));
+    println!("recorded {}", path.display());
 }

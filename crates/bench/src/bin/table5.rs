@@ -7,12 +7,16 @@
 //! mode — node-budget slices resumed from the engine's suspend token, with
 //! output identical to the single run by the determinism guarantee.
 
-use adc_bench::{bench_datasets, bench_relation, bench_shortest_first_config, run_miner};
+use adc_bench::{
+    bench_datasets, bench_relation, bench_shortest_first_config, object, run_miner, write_report,
+    Json,
+};
 use adc_core::metrics;
 use adc_datasets::{targeted_spread_noise, NoiseConfig};
 
 fn main() {
     println!("## Table 5 — approximate vs valid DCs on dirty data (f1, best threshold)\n");
+    let mut entries: Vec<Json> = Vec::new();
     for dataset in bench_datasets() {
         let generator = dataset.generator();
         let clean = bench_relation(dataset);
@@ -58,9 +62,40 @@ fn main() {
                         println!("  valid DC       : (no exact DC extends the approximate rule)")
                     }
                 }
+                entries.push(object(vec![
+                    ("dataset", Json::from(generator.name())),
+                    (
+                        "approximate_dc",
+                        Json::from(approx_dc.display(&approx.space).to_string()),
+                    ),
+                    (
+                        "golden_rule",
+                        Json::from(golden_dc.display(&approx.space).to_string()),
+                    ),
+                    (
+                        "valid_dc",
+                        valid.map_or(Json::Null, |v| {
+                            Json::from(v.display(&exact.space).to_string())
+                        }),
+                    ),
+                ]));
             }
-            None => println!("  (no golden rule recovered at ε = 1e-3 on this dirty sample)"),
+            None => {
+                println!("  (no golden rule recovered at ε = 1e-3 on this dirty sample)");
+                entries.push(object(vec![
+                    ("dataset", Json::from(generator.name())),
+                    ("approximate_dc", Json::Null),
+                    ("golden_rule", Json::Null),
+                    ("valid_dc", Json::Null),
+                ]));
+            }
         }
         println!();
     }
+    let report = object(vec![
+        ("bench", Json::from("table5")),
+        ("rows", Json::Array(entries)),
+    ]);
+    let path = write_report("table5", &report);
+    println!("recorded {}", path.display());
 }

@@ -135,9 +135,12 @@ pub enum BenchStrategy {
     /// `ADC_BENCH_THREADS` (`1` ⇒ plain sequential cluster kernel).
     #[default]
     Parallel,
-    /// The sequential cluster kernel, regardless of `ADC_BENCH_THREADS`.
+    /// The sequential cluster kernel. Requesting it together with
+    /// `ADC_BENCH_THREADS ≥ 2` is a hard error (the strategy would silently
+    /// ignore the thread count).
     Sequential,
-    /// The sub-quadratic sort/PLI sweep kernel.
+    /// The parallel sub-quadratic sort/PLI sweep kernel, honouring
+    /// `ADC_BENCH_THREADS` (`0` = all available cores).
     Sweep,
 }
 
@@ -159,19 +162,35 @@ impl std::str::FromStr for BenchStrategy {
 
 impl BenchStrategy {
     /// The [`EvidenceStrategy`] this harness selection maps to, resolving
-    /// [`bench_threads`] for the parallel kernel (same `=1` ⇒ sequential
-    /// rule as always).
+    /// [`bench_threads`] uniformly for every thread-capable kernel (same
+    /// `=1` ⇒ sequential rule as always for the parallel kernel).
     pub fn evidence_strategy(self) -> EvidenceStrategy {
+        self.evidence_strategy_with_threads(bench_threads())
+    }
+
+    /// [`Self::evidence_strategy`] with an explicit thread count: the
+    /// parallel and sweep kernels honour it, and combining a kernel that
+    /// *ignores* threads with an explicit multi-thread request is a hard
+    /// explanatory error instead of a silently single-threaded run.
+    pub fn evidence_strategy_with_threads(self, threads: usize) -> EvidenceStrategy {
         match self {
-            BenchStrategy::Parallel => match bench_threads() {
+            BenchStrategy::Parallel => match threads {
                 1 => EvidenceStrategy::Cluster,
                 t => EvidenceStrategy::Parallel {
                     threads: t,
                     tile_rows: 0,
                 },
             },
-            BenchStrategy::Sequential => EvidenceStrategy::Cluster,
-            BenchStrategy::Sweep => EvidenceStrategy::Sweep,
+            BenchStrategy::Sequential => {
+                assert!(
+                    threads <= 1,
+                    "ADC_BENCH_STRATEGY=sequential ignores thread counts, but \
+                     ADC_BENCH_THREADS={threads} was requested; use the parallel \
+                     or sweep strategy for multi-threaded builds"
+                );
+                EvidenceStrategy::Cluster
+            }
+            BenchStrategy::Sweep => EvidenceStrategy::Sweep { threads },
         }
     }
 }
@@ -408,6 +427,33 @@ impl Table {
         println!("\n## {title}\n");
         println!("{}", self.render());
     }
+
+    /// The table as a machine-readable report: each row becomes an object
+    /// keyed by the column headers, under a `"rows"` array, tagged with the
+    /// bench name — the uniform payload the figure/table binaries record
+    /// through [`write_report`].
+    pub fn report(&self, bench: &str) -> Json {
+        object(vec![
+            ("bench", Json::from(bench)),
+            (
+                "rows",
+                Json::Array(
+                    self.rows
+                        .iter()
+                        .map(|row| {
+                            object(
+                                self.headers
+                                    .iter()
+                                    .zip(row)
+                                    .map(|(h, c)| (h.clone(), Json::from(c.clone())))
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -529,22 +575,39 @@ mod tests {
     #[test]
     fn strategies_map_to_evidence_strategies() {
         assert_eq!(
-            BenchStrategy::Sequential.evidence_strategy(),
+            BenchStrategy::Sequential.evidence_strategy_with_threads(0),
             EvidenceStrategy::Cluster
         );
+        // The sweep kernel honours the thread count uniformly.
         assert_eq!(
-            BenchStrategy::Sweep.evidence_strategy(),
-            EvidenceStrategy::Sweep
+            BenchStrategy::Sweep.evidence_strategy_with_threads(0),
+            EvidenceStrategy::Sweep { threads: 0 }
+        );
+        assert_eq!(
+            BenchStrategy::Sweep.evidence_strategy_with_threads(4),
+            EvidenceStrategy::Sweep { threads: 4 }
+        );
+        assert_eq!(
+            BenchStrategy::Parallel.evidence_strategy_with_threads(0),
+            EvidenceStrategy::Parallel {
+                threads: 0,
+                tile_rows: 0
+            }
         );
         if std::env::var("ADC_BENCH_THREADS").is_err() {
             assert_eq!(
-                BenchStrategy::Parallel.evidence_strategy(),
-                EvidenceStrategy::Parallel {
-                    threads: 0,
-                    tile_rows: 0
-                }
+                BenchStrategy::Sweep.evidence_strategy(),
+                EvidenceStrategy::Sweep { threads: 0 }
             );
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "ignores thread counts")]
+    fn sequential_strategy_rejects_explicit_threads() {
+        // `ADC_BENCH_STRATEGY=sequential ADC_BENCH_THREADS=4` is a
+        // contradiction: erroring beats silently running single-threaded.
+        let _ = BenchStrategy::Sequential.evidence_strategy_with_threads(4);
     }
 
     #[test]

@@ -31,12 +31,18 @@ pub enum EvidenceStrategy {
         /// Outer rows per tile (`0` = automatic sizing).
         tile_rows: usize,
     },
-    /// The sub-quadratic sort/PLI sweep builder: identical-row classes with
-    /// closed-form pair counts, refined per left class into equal-outcome
-    /// blocks (see `adc_evidence::sweep`). Produces evidence **canonically**
-    /// equal to [`EvidenceStrategy::Cluster`] — same multiset, possibly
-    /// different entry order (normalized by `Evidence::canonicalize`).
-    Sweep,
+    /// The parallel sub-quadratic sort/PLI sweep builder: identical-row
+    /// classes with closed-form pair counts, refined per left class into
+    /// equal-outcome intervals via per-column sorted class codes, with
+    /// per-class work distributed over worker threads (see
+    /// `adc_evidence::sweep`). Produces evidence **canonically** equal to
+    /// [`EvidenceStrategy::Cluster`] — same multiset, possibly different
+    /// entry order (normalized by `Evidence::canonicalize`) — and
+    /// bit-for-bit identical across thread counts.
+    Sweep {
+        /// Worker threads (`0` = all available cores).
+        threads: usize,
+    },
 }
 
 impl EvidenceStrategy {
@@ -48,7 +54,7 @@ impl EvidenceStrategy {
             EvidenceStrategy::Parallel { threads, tile_rows } => {
                 Box::new(ParallelEvidenceBuilder { threads, tile_rows })
             }
-            EvidenceStrategy::Sweep => Box::new(SweepEvidenceBuilder),
+            EvidenceStrategy::Sweep { threads } => Box::new(SweepEvidenceBuilder::new(threads)),
         }
     }
 }
@@ -153,10 +159,11 @@ impl MinerConfig {
         self
     }
 
-    /// Build the evidence set with the sub-quadratic sort/PLI sweep kernel.
-    /// Shorthand for [`EvidenceStrategy::Sweep`].
+    /// Build the evidence set with the parallel sub-quadratic sort/PLI
+    /// sweep kernel on all available cores. Shorthand for
+    /// [`EvidenceStrategy::Sweep`] with `threads: 0`.
     pub fn with_sweep_evidence(mut self) -> Self {
-        self.evidence = EvidenceStrategy::Sweep;
+        self.evidence = EvidenceStrategy::Sweep { threads: 0 };
         self
     }
 
@@ -538,7 +545,7 @@ mod tests {
                     threads: 4,
                     tile_rows: 0,
                 },
-                EvidenceStrategy::Sweep,
+                EvidenceStrategy::Sweep { threads: 2 },
             ] {
                 let cfg = MinerConfig::new(0.1)
                     .with_approx(kind)

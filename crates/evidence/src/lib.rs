@@ -24,7 +24,10 @@
 //!   merge (see [`parallel`]).
 //! * [`SweepEvidenceBuilder`] — the sub-quadratic sort/PLI sweep: rows are
 //!   grouped into identical-code classes and, per left class, refined into
-//!   equal-outcome blocks whose pair counts are closed-form (see [`sweep`]).
+//!   equal-outcome blocks whose pair counts are closed-form — via
+//!   single-family interval events, a two-family wavelet rectangle path
+//!   (with band-structured text columns hosted on their numeric family),
+//!   or the multi-family rank-token fallback (see [`sweep`]).
 //!
 //! The pairwise builders produce identical [`EvidenceSet`]s bit for bit; the
 //! sweep builder produces the same evidence *multiset* in a different entry
@@ -60,6 +63,7 @@ pub mod evidence;
 pub mod parallel;
 pub mod sweep;
 pub mod vios;
+mod wavelet;
 
 pub use builder::{ClusterEvidenceBuilder, EvidenceBuilder, NaiveEvidenceBuilder};
 pub use delta::{DeltaEvidenceBuilder, EvidenceDelta};

@@ -1,0 +1,193 @@
+//! A succinct wavelet matrix over `u32` sequences, used by the sweep
+//! kernel's two-family rectangle path.
+//!
+//! The sweep kernel (see [`crate::sweep`]) reduces the multi-family
+//! refinement of a left class to counting, for every pair of rank
+//! intervals `(A-segment, B-segment)`, how much row weight falls into the
+//! rectangle. With `σ[p]` = the B-side expanded position of the row slot at
+//! A-side expanded position `p`, each rectangle weight is one
+//! [`WaveletMatrix::count_in`] query — `O(log n)` word-probes instead of an
+//! `O(m)` scan over the classes.
+//!
+//! The structure is the standard pointer-free wavelet *matrix* (Claude,
+//! Navarro, Ordóñez 2015): one bit plane per value bit from most to least
+//! significant, each plane storing its bits plus a per-word rank prefix, and
+//! stable-partitioning the sequence by the plane's bit before descending.
+//! Space is `~2·len·bits / 8` bytes; construction is `O(len·bits)`.
+
+/// One bit plane of the matrix: the bit vector, a per-word popcount prefix
+/// for `O(1)` rank, and the number of zero bits (the boundary where ones
+/// start after the stable partition).
+struct Plane {
+    words: Vec<u64>,
+    /// `cum[w]` = number of ones in `words[..w]`.
+    cum: Vec<u32>,
+    zeros: usize,
+}
+
+impl Plane {
+    /// Number of ones in positions `[0, pos)`.
+    #[inline]
+    fn rank1(&self, pos: usize) -> usize {
+        let w = pos / 64;
+        let r = pos % 64;
+        let partial = if r == 0 {
+            0
+        } else {
+            (self.words[w] & ((1u64 << r) - 1)).count_ones() as usize
+        };
+        self.cum[w] as usize + partial
+    }
+}
+
+/// Immutable rank structure over a `u32` sequence supporting
+/// two-dimensional range counting (`positions × values`).
+pub(crate) struct WaveletMatrix {
+    planes: Vec<Plane>,
+    bits: u32,
+    len: usize,
+}
+
+impl WaveletMatrix {
+    /// Build over `values`; `max_value` must bound every element (it sizes
+    /// the number of bit planes).
+    pub(crate) fn new(values: Vec<u32>, max_value: u32) -> WaveletMatrix {
+        let len = values.len();
+        let bits = (32 - max_value.leading_zeros()).max(1);
+        let mut planes = Vec::with_capacity(bits as usize);
+        let mut cur = values;
+        let mut next = Vec::with_capacity(len);
+        for level in 0..bits {
+            let shift = bits - 1 - level;
+            let nwords = len / 64 + 1;
+            let mut words = vec![0u64; nwords];
+            for (p, &v) in cur.iter().enumerate() {
+                if (v >> shift) & 1 == 1 {
+                    words[p / 64] |= 1u64 << (p % 64);
+                }
+            }
+            let mut cum = Vec::with_capacity(nwords);
+            let mut acc = 0u32;
+            for &w in &words {
+                cum.push(acc);
+                acc += w.count_ones();
+            }
+            let zeros = len - acc as usize;
+            // Stable partition: zero-bit values keep their order, then
+            // one-bit values keep theirs — the next plane's sequence.
+            next.clear();
+            next.extend(cur.iter().copied().filter(|v| (v >> shift) & 1 == 0));
+            next.extend(cur.iter().copied().filter(|v| (v >> shift) & 1 == 1));
+            std::mem::swap(&mut cur, &mut next);
+            planes.push(Plane { words, cum, zeros });
+        }
+        WaveletMatrix { planes, bits, len }
+    }
+
+    /// Number of elements strictly below `bound` among positions `[l, r)`.
+    fn count_less(&self, mut l: usize, mut r: usize, bound: u64) -> u64 {
+        debug_assert!(l <= r && r <= self.len);
+        if bound == 0 || l == r {
+            return 0;
+        }
+        if bound >= 1u64 << self.bits {
+            return (r - l) as u64;
+        }
+        let mut count = 0u64;
+        for (level, plane) in self.planes.iter().enumerate() {
+            let shift = self.bits - 1 - level as u32;
+            let l1 = plane.rank1(l);
+            let r1 = plane.rank1(r);
+            if (bound >> shift) & 1 == 1 {
+                // Every zero-bit element in range is below the bound here.
+                count += ((r - r1) - (l - l1)) as u64;
+                l = plane.zeros + l1;
+                r = plane.zeros + r1;
+            } else {
+                l -= l1;
+                r -= r1;
+            }
+            if l == r {
+                break;
+            }
+        }
+        count
+    }
+
+    /// Number of elements with value in `[lo, hi)` among positions `[l, r)`.
+    pub(crate) fn count_in(&self, l: usize, r: usize, lo: u32, hi: u32) -> u64 {
+        if lo >= hi {
+            return 0;
+        }
+        self.count_less(l, r, hi as u64) - self.count_less(l, r, lo as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(values: &[u32], l: usize, r: usize, lo: u32, hi: u32) -> u64 {
+        values[l..r].iter().filter(|&&v| lo <= v && v < hi).count() as u64
+    }
+
+    #[test]
+    fn counts_match_brute_force() {
+        // Deterministic pseudo-random sequence (no RNG dependency needed).
+        let mut x = 0x2545F491u64;
+        let values: Vec<u32> = (0..257)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 1000) as u32
+            })
+            .collect();
+        let wm = WaveletMatrix::new(values.clone(), 999);
+        for (l, r) in [(0, 257), (0, 0), (13, 13), (1, 256), (64, 129), (200, 257)] {
+            for (lo, hi) in [
+                (0, 1000),
+                (0, 0),
+                (500, 500),
+                (17, 800),
+                (999, 1000),
+                (0, 1),
+            ] {
+                assert_eq!(
+                    wm.count_in(l, r, lo, hi),
+                    brute(&values, l, r, lo, hi),
+                    "rectangle [{l},{r}) × [{lo},{hi})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_sequences() {
+        let wm = WaveletMatrix::new(Vec::new(), 0);
+        assert_eq!(wm.count_in(0, 0, 0, 10), 0);
+        let wm = WaveletMatrix::new(vec![0, 0, 0], 0);
+        assert_eq!(wm.count_in(0, 3, 0, 1), 3);
+        assert_eq!(wm.count_in(1, 2, 0, 1), 1);
+        assert_eq!(wm.count_in(0, 3, 1, 5), 0);
+        // Max-valued elements sit below a bound beyond the plane count.
+        let wm = WaveletMatrix::new(vec![u32::MAX, 0], u32::MAX);
+        assert_eq!(wm.count_in(0, 2, u32::MAX, u32::MAX), 0);
+        assert_eq!(wm.count_in(0, 2, 0, u32::MAX), 1);
+    }
+
+    #[test]
+    fn identity_and_reverse_permutations() {
+        let n = 100u32;
+        let id: Vec<u32> = (0..n).collect();
+        let rev: Vec<u32> = (0..n).rev().collect();
+        for values in [id, rev] {
+            let wm = WaveletMatrix::new(values.clone(), n - 1);
+            for (l, r) in [(0usize, 100usize), (25, 75), (99, 100)] {
+                for (lo, hi) in [(0u32, 100u32), (10, 30), (50, 51)] {
+                    assert_eq!(wm.count_in(l, r, lo, hi), brute(&values, l, r, lo, hi));
+                }
+            }
+        }
+    }
+}

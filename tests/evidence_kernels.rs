@@ -22,8 +22,10 @@ use adc_datasets::{spread_noise, NoiseConfig};
 use adc_evidence::Evidence;
 
 /// Build with the sequential reference and every other kernel, requiring
-/// bit-for-bit equality from the parallel kernel and canonical equality
-/// from the sweep kernel.
+/// bit-for-bit equality from the parallel kernel, canonical equality from
+/// the sweep kernel, and bit-for-bit equality between the single-threaded
+/// sweep and a parallel sweep shape derived from the parallel builder's
+/// thread/tile axis (the sweep's deterministic chunk-merge guarantee).
 fn assert_kernels_agree(relation: &Relation, parallel: ParallelEvidenceBuilder, track_vios: bool) {
     let space = PredicateSpace::build(relation, SpaceConfig::default());
     let sequential: Evidence = ClusterEvidenceBuilder.build(relation, &space, track_vios);
@@ -34,11 +36,22 @@ fn assert_kernels_agree(relation: &Relation, parallel: ParallelEvidenceBuilder, 
         "parallel evidence diverged from sequential with {parallel:?}"
     );
 
-    let sweep: Evidence = SweepEvidenceBuilder.build(relation, &space, track_vios);
+    let sweep: Evidence = SweepEvidenceBuilder::new(1).build(relation, &space, track_vios);
     assert_eq!(
-        sweep.canonicalized(),
+        sweep.clone().canonicalized(),
         sequential.canonicalized(),
         "sweep evidence diverged canonically from sequential (track_vios={track_vios})"
+    );
+
+    // Parallel sweep: reuse the parallel builder's shape as the
+    // {threads, chunk} axis; output must be bit-for-bit identical to the
+    // single-threaded sweep for *any* shape.
+    let sweep_shape =
+        SweepEvidenceBuilder::new(parallel.threads.max(2)).with_chunk_classes(parallel.tile_rows);
+    let sweep_par: Evidence = sweep_shape.build(relation, &space, track_vios);
+    assert_eq!(
+        sweep_par, sweep,
+        "parallel sweep diverged from sequential sweep with {sweep_shape:?}"
     );
 }
 
@@ -95,7 +108,7 @@ fn canonicalize_is_idempotent_and_order_independent() {
     let relation = Dataset::Hospital.generator().generate(50, 5);
     let space = PredicateSpace::build(&relation, SpaceConfig::default());
     let sequential = ClusterEvidenceBuilder.build(&relation, &space, true);
-    let sweep = SweepEvidenceBuilder.build(&relation, &space, true);
+    let sweep = SweepEvidenceBuilder::default().build(&relation, &space, true);
     // The kernels intern in different orders…
     assert_ne!(
         sequential.evidence_set.entries(),
@@ -177,12 +190,23 @@ mod properties {
                 relation.len(), relation.arity(), threads, tile_rows
             );
 
-            let sweep: Evidence = SweepEvidenceBuilder.build(&relation, &space, track_vios);
+            let sweep: Evidence = SweepEvidenceBuilder::new(1).build(&relation, &space, track_vios);
             prop_assert_eq!(
-                sweep.canonicalized(),
+                sweep.clone().canonicalized(),
                 sequential.canonicalized(),
                 "sweep diverged canonically on {} rows × {} cols (track_vios={})",
                 relation.len(), relation.arity(), track_vios
+            );
+
+            // The parallel sweep must match the sequential sweep bit for bit
+            // across the same thread/chunk grid.
+            let sweep_par: Evidence = SweepEvidenceBuilder::new(threads)
+                .with_chunk_classes(tile_rows)
+                .build(&relation, &space, track_vios);
+            prop_assert_eq!(
+                &sweep_par, &sweep,
+                "parallel sweep diverged on {} rows × {} cols, {} threads, {} chunk classes",
+                relation.len(), relation.arity(), threads, tile_rows
             );
         }
 
@@ -261,6 +285,54 @@ fn monitor_seeded_with_sweep_matches_pairwise_monitor() {
         let (b, _) = sweep.refresh().unwrap();
         assert_eq!(canonical(&a), canonical(&b), "post-churn answers diverged");
     }
+}
+
+#[test]
+fn all_distinct_columns_refine_sub_quadratically() {
+    // Adversarial class-incompressible input: every row is its own class
+    // (m = n), the worst case that used to degrade the sweep's refinement
+    // to the full m·(m−1) class grid. All columns sort the classes in the
+    // same order, so the interval fast path must hold the refinement work
+    // to o(m²) — checked here at two sizes: work must grow ~linearly, not
+    // quadratically, in m.
+    use adc::data::{AttributeType, Schema, Value};
+
+    let build = |n: i64| {
+        let schema = Schema::of(&[("A", AttributeType::Integer), ("B", AttributeType::Float)]);
+        let mut b = Relation::builder(schema);
+        for i in 0..n {
+            b.push_row(vec![Value::Int(i), Value::Float(i as f64 * 0.5 + 0.25)])
+                .unwrap();
+        }
+        b.build()
+    };
+
+    let mut work = Vec::new();
+    for n in [100usize, 400] {
+        let relation = build(n as i64);
+        let space = PredicateSpace::build(&relation, SpaceConfig::default());
+        let sequential: Evidence = ClusterEvidenceBuilder.build(&relation, &space, false);
+        let (sweep, stats) =
+            SweepEvidenceBuilder::new(2).build_with_stats(&relation, &space, false);
+        assert_eq!(sweep.canonicalized(), sequential.canonicalized());
+        assert_eq!(stats.classes, n, "all rows must be distinct classes");
+        assert_eq!(stats.interval_classes, n as u64);
+        assert!(
+            stats.refine_steps < stats.class_grid / 4,
+            "refinement work {} is not o(m²) against class grid {} at m={n}",
+            stats.refine_steps,
+            stats.class_grid
+        );
+        work.push(stats.refine_steps);
+    }
+    // Quadrupling m quadruples a linear-in-m cost but ×16s a quadratic one;
+    // allow generous slack over linear while excluding the quadratic regime.
+    assert!(
+        work[1] < work[0] * 8,
+        "refinement work scaled super-linearly: {} → {}",
+        work[0],
+        work[1]
+    );
 }
 
 #[test]

@@ -199,7 +199,7 @@ proptest! {
         delete_batches in vec(vec(0usize..100, 0..7), 2..6),
         insert_batches in vec(vec(0u64..1_000_000, 0..3), 2..6),
     ) {
-        let config = MinerConfig::new(0.0).with_evidence(EvidenceStrategy::Sweep);
+        let config = MinerConfig::new(0.0).with_evidence(EvidenceStrategy::Sweep { threads: 0 });
         let base = seeded_relation(10, seed);
         let mut monitor = AdcMonitor::new(config, &base);
         monitor.refresh().unwrap();
