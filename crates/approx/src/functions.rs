@@ -38,6 +38,7 @@ impl<'a> ApproxContext<'a> {
 
     fn vios(&self) -> &'a Vios {
         self.vios
+            // conformance: allow(panic) — documented precondition of f2/f3; the miner front-end re-checks it with an explanatory error before enumeration
             .expect("this approximation function requires the vios index; build evidence with track_vios = true")
     }
 }

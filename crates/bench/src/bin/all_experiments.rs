@@ -13,7 +13,9 @@ fn main() {
         "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
         "table5",
     ];
+    // conformance: allow(panic) — launcher binary: no own-path means nothing can be launched, abort with the OS error
     let exe = std::env::current_exe().expect("current executable path");
+    // conformance: allow(panic) — an executable path always has a parent directory
     let dir = exe.parent().expect("binary directory");
     for binary in binaries {
         println!("\n================ {binary} ================");
@@ -27,6 +29,7 @@ fn main() {
         }
         let status = Command::new(&path)
             .status()
+            // conformance: allow(panic) — launcher binary: a spawn failure must abort the sweep with the failing path
             .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
         if !status.success() {
             eprintln!("{binary} exited with {status}");

@@ -31,7 +31,7 @@
 //! `kernels` smoke) makes any cell whose sweep work ratio falls below the
 //! given factor a hard error.
 
-use adc_bench::{bench_threads, object, parsed_env, secs, write_report, Json, Table};
+use adc_bench::{bench_threads, object, parsed_env, raw_env, secs, write_report, Json, Table};
 use adc_datasets::Dataset;
 use adc_evidence::{
     ClusterEvidenceBuilder, EvidenceBuilder, ParallelEvidenceBuilder, SweepEvidenceBuilder,
@@ -59,8 +59,8 @@ fn main() {
         Some(rows) => vec![rows.max(10)],
         None => vec![1_000, 10_000, 100_000],
     };
-    let explicit = parsed_env::<usize>("ADC_BENCH_ROWS").is_some()
-        || std::env::var("ADC_BENCH_DATASETS").is_ok_and(|v| !v.trim().is_empty());
+    let explicit =
+        parsed_env::<usize>("ADC_BENCH_ROWS").is_some() || raw_env("ADC_BENCH_DATASETS").is_some();
     let datasets = adc_bench::bench_datasets();
     let assert_ratio: Option<f64> = parsed_env("ADC_BENCH_ASSERT_RATIO");
     let threads = bench_threads();

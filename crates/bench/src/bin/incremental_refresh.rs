@@ -34,7 +34,7 @@
 //! the quadratic baseline being beaten), `ADC_BENCH_DATASETS`, and the
 //! usual hard-error parsing contract.
 
-use adc_bench::{object, parsed_env, secs, write_report, Json, Table};
+use adc_bench::{object, parsed_env, raw_env, secs, write_report, Json, Table};
 use adc_core::{AdcMiner, AdcMonitor, MinerConfig, MiningResult, RefreshPath, SearchOrder};
 use adc_datasets::{targeted_spread_noise, Dataset, NoiseConfig};
 use adc_predicates::SpaceConfig;
@@ -57,9 +57,9 @@ fn canonical(result: &MiningResult) -> Vec<Vec<usize>> {
 
 fn main() {
     let rows: usize = parsed_env("ADC_BENCH_ROWS").unwrap_or(200);
-    let datasets = match std::env::var("ADC_BENCH_DATASETS") {
-        Ok(v) if !v.trim().is_empty() => adc_bench::bench_datasets(),
-        _ => vec![Dataset::Tax, Dataset::Stock],
+    let datasets = match raw_env("ADC_BENCH_DATASETS") {
+        Some(_) => adc_bench::bench_datasets(),
+        None => vec![Dataset::Tax, Dataset::Stock],
     };
     let deltas = [1usize, 10, 100];
 
@@ -84,6 +84,7 @@ fn main() {
         // The pool provides both the base relation and the delta tuples, so
         // deltas are in-distribution rows, not synthetic outliers.
         let pool = generator.generate(
+            // conformance: allow(panic) — `deltas` is the non-empty const array three lines up
             rows + *deltas.iter().max().unwrap(),
             0xADC0 + dataset as u64,
         );
@@ -134,15 +135,18 @@ fn main() {
 
                     // Refresh: differential maintenance from a warm monitor.
                     let mut monitor = AdcMonitor::new(config, &base);
+                    // conformance: allow(panic) — experiment binary: a refresh failure must abort the run loudly, there is no caller to propagate to
                     monitor.refresh().expect("initial refresh");
                     if direction == "insert" {
                         monitor.insert_tuples((rows..rows + k).map(|i| relation.row(i)).collect());
                     } else {
                         monitor
                             .delete_tuples(&(rows - k..rows).collect::<Vec<_>>())
+                            // conformance: allow(panic) — experiment binary: deletes are in-contract by construction, abort loudly if not
                             .expect("in-contract delete");
                     }
                     let t_refresh = Instant::now();
+                    // conformance: allow(panic) — experiment binary: a refresh failure must abort the run loudly, there is no caller to propagate to
                     let (refreshed, stats) = monitor.refresh().expect("delta refresh");
                     let refresh_time = t_refresh.elapsed();
 

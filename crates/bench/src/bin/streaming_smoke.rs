@@ -59,6 +59,7 @@ fn main() {
         .generator()
         .generate(rows + churn, 0xBEEF)
         .project_columns(&["State", "Zip", "Salary", "Tax"])
+        // conformance: allow(panic) — the projected column names are literals of the Tax schema
         .expect("audit columns exist");
     let base = pool.project_rows(&(0..rows).collect::<Vec<_>>());
     let config = MinerConfig::new(0.0)
@@ -67,6 +68,7 @@ fn main() {
 
     let start = Instant::now();
     let mut monitor = AdcMonitor::new(config, &base);
+    // conformance: allow(panic) — smoke binary: a refresh failure must abort the stream loudly, there is no caller to propagate to
     let (initial, _) = monitor.refresh().expect("initial refresh");
     println!(
         "seeded {} rows | {} predicates | {} DCs | {:.2}s",
@@ -110,8 +112,10 @@ fn main() {
             })
             .collect();
 
+        // conformance: allow(panic) — delete indexes are drawn modulo the live row count, so they are in bounds by construction
         monitor.delete_tuples(&deletes).expect("indexes in bounds");
         monitor.insert_tuples(inserts);
+        // conformance: allow(panic) — smoke binary: a refresh failure must abort the stream loudly, there is no caller to propagate to
         let (_, stats) = monitor.refresh().expect("refresh");
         repaired += usize::from(stats.repaired());
         worst_pairs = worst_pairs.max(stats.pairs_scanned);
@@ -125,6 +129,7 @@ fn main() {
         );
     }
 
+    // conformance: allow(panic) — smoke binary: a refresh failure must abort the stream loudly, there is no caller to propagate to
     let final_answer = monitor.refresh().expect("noop refresh").0;
     let remine = AdcMiner::new(config).mine(monitor.relation());
     assert_eq!(

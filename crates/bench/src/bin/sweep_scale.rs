@@ -39,7 +39,7 @@
 //!   this factor (hard error otherwise; used by the `sweep-scale` CI
 //!   smoke on multi-core runners — meaningless on one core).
 
-use adc_bench::{object, parsed_env, secs, write_report, Json, Table};
+use adc_bench::{object, parsed_env, parsed_env_list, raw_env, secs, write_report, Json, Table};
 use adc_datasets::Dataset;
 use adc_evidence::{ClusterEvidenceBuilder, EvidenceBuilder, SweepEvidenceBuilder};
 use adc_predicates::{PredicateSpace, SpaceConfig};
@@ -70,32 +70,10 @@ fn fallback_scale_cap(dataset: Dataset) -> usize {
     }
 }
 
-/// Comma-separated list variable with the same hard-error contract as
-/// [`parsed_env`]: a malformed element aborts with an explanation.
-fn parsed_env_list<T>(name: &str, default: &[T]) -> Vec<T>
-where
-    T: std::str::FromStr + Copy,
-    T::Err: std::fmt::Display,
-{
-    match std::env::var(name) {
-        Ok(value) if !value.trim().is_empty() => value
-            .split(',')
-            .map(|item| match item.trim().parse() {
-                Ok(parsed) => parsed,
-                Err(err) => panic!(
-                    "{name}={value:?} contains invalid element {item:?} ({err}); \
-                     fix or unset {name} instead of relying on a silent default"
-                ),
-            })
-            .collect(),
-        _ => default.to_vec(),
-    }
-}
-
 fn main() {
-    let datasets = match std::env::var("ADC_BENCH_DATASETS") {
-        Ok(value) if !value.trim().is_empty() => adc_bench::bench_datasets(),
-        _ => vec![Dataset::Tax, Dataset::Hospital, Dataset::Stock],
+    let datasets = match raw_env("ADC_BENCH_DATASETS") {
+        Some(_) => adc_bench::bench_datasets(),
+        None => vec![Dataset::Tax, Dataset::Hospital, Dataset::Stock],
     };
     let scales = parsed_env_list("ADC_BENCH_SCALES", &[10_000usize, 100_000, 1_000_000]);
     let thread_grid = parsed_env_list("ADC_BENCH_THREAD_GRID", &[1usize, 2, 4]);
@@ -160,7 +138,9 @@ fn main() {
                 }
                 stats = Some(s);
             }
+            // conformance: allow(panic) — the assert on ADC_BENCH_THREAD_GRID above guarantees at least one grid iteration
             let stats = stats.expect("thread grid is non-empty");
+            // conformance: allow(panic) — same non-empty-grid guarantee as the line above
             let reference = reference.expect("thread grid is non-empty");
 
             // Canonical-equality oracle at verifiable scales.

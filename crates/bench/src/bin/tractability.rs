@@ -14,17 +14,16 @@
 //! instead of hanging.
 
 use adc_bench::{
-    bench_datasets, bench_relation, bench_rows, bench_shortest_first_config, object, secs,
-    write_report, Json, Table,
+    bench_datasets, bench_relation, bench_rows, bench_shortest_first_config, object, parsed_env,
+    secs, write_report, Json, Table,
 };
 use adc_core::metrics::g_recall;
 use adc_core::AdcMiner;
 
 fn main() {
-    let cap: usize = std::env::var("ADC_TRACT_CAP")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(20_000);
+    // `parsed_env` upgrades a malformed ADC_TRACT_CAP from a silent default
+    // to the harness-wide hard-error contract.
+    let cap: usize = parsed_env("ADC_TRACT_CAP").unwrap_or(20_000);
     let epsilon = 1e-6;
     let mut table = Table::new(vec![
         "Dataset",

@@ -10,6 +10,8 @@
 //!   the golden DC's predicates forbids a superset of the tuple pairs the
 //!   golden DC forbids, hence is at least as strong.
 
+#![doc = "conformance: ordered-output"]
+
 use adc_data::fx::FxHashSet;
 use adc_predicates::DenialConstraint;
 

@@ -421,6 +421,7 @@ impl AdcMonitor {
 
         let (covers, covers_reopened, path, enum_nodes, truncation, enum_stats, resume_parts) =
             if fast {
+                // conformance: allow(panic) — `fast` is only true when `self.cache.is_some()` two lines up
                 let cache = self.cache.take().expect("checked above");
                 let system = self.current_system();
                 let split = delta.survivor_split(system.len());

@@ -71,6 +71,7 @@ impl PositionListIndex {
                 None => nulls += 1,
             }
         }
+        // conformance: allow(panic) — relation construction rejects NaN cells, so every stored float is comparable
         keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN in columns"));
         let mut clusters: Vec<Cluster> = Vec::new();
         let mut i = 0;

@@ -206,6 +206,7 @@ impl Relation {
                 codes[row] = Some(code);
             }
             (Column::Text { codes, .. }, Value::Null) => codes[row] = None,
+            // conformance: allow(panic) — `check_rows_admissible` ran before this match, so no other column/value pairing survives
             _ => unreachable!("admissibility checked above"),
         }
         Ok(())

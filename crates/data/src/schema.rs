@@ -127,6 +127,7 @@ impl Schema {
     /// input.
     pub fn of(pairs: &[(&str, AttributeType)]) -> Self {
         Schema::new(pairs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect())
+            // conformance: allow(panic) — documented panicking convenience constructor for static schemas; dynamic input goes through Schema::new
             .expect("static schema must be valid")
     }
 

@@ -116,6 +116,7 @@ impl DatasetGenerator for AdultDataset {
                 Value::Int(20 + 5 * occ_idx as i64),
                 Value::from(countries[bucket(occ_idx, occ, countries.len())]),
             ])
+            // conformance: allow(panic) — generated cells match the static schema literal above by construction
             .expect("adult rows are well typed");
         }
         b.build()

@@ -134,6 +134,7 @@ impl DatasetGenerator for FlightDataset {
                 Value::Int(distance),
                 Value::Int(0),
             ])
+            // conformance: allow(panic) — generated cells match the static schema literal above by construction
             .expect("flight rows are well typed");
         }
         b.build()

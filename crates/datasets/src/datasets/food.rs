@@ -107,6 +107,7 @@ impl DatasetGenerator for FoodDataset {
                 Value::Float(40.0 + geo48 as f64 / 100.0),
                 Value::Float(-87.0 - geo48 as f64 / 100.0),
             ])
+            // conformance: allow(panic) — generated cells match the static schema literal above by construction
             .expect("food rows are well typed");
         }
         b.build()

@@ -133,6 +133,7 @@ impl DatasetGenerator for HospitalDataset {
                 // condition/year, different family).
                 Value::Int(2_018 + bucket(measure_idx, pools::MEASURE_CODES.len(), 4) as i64),
             ])
+            // conformance: allow(panic) — generated cells match the static schema literal above by construction
             .expect("hospital rows are well typed");
         }
         b.build()

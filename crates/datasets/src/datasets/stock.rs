@@ -89,6 +89,7 @@ impl DatasetGenerator for StockDataset {
                 Value::Int(close),
                 Value::Int(volume),
             ])
+            // conformance: allow(panic) — generated cells match the static schema literal above by construction
             .expect("stock rows are well typed");
         }
         b.build()

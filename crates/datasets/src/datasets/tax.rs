@@ -115,6 +115,7 @@ impl DatasetGenerator for TaxDataset {
                 Value::Int(single_exemption),
                 Value::Int(child_exemption),
             ])
+            // conformance: allow(panic) — generated cells match the static schema literal above by construction
             .expect("tax rows are well typed");
         }
         b.build()

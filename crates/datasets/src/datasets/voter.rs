@@ -152,6 +152,7 @@ impl DatasetGenerator for VoterDataset {
                 Value::from(pools::STATES[state_idx].to_lowercase()),
                 Value::Int(pools::state_zip_base(state_idx) + city_sel as i64 * 1_000 + 777),
             ])
+            // conformance: allow(panic) — generated cells match the static schema literal above by construction
             .expect("voter rows are well typed");
         }
         b.build()

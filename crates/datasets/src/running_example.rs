@@ -40,6 +40,7 @@ pub fn running_example() -> Relation {
             Value::Int(i),
             Value::Int(t),
         ])
+        // conformance: allow(panic) — the fixed example rows match the static schema by construction
         .expect("running example rows are well typed");
     }
     b.build()
@@ -54,12 +55,15 @@ pub fn phi1(space: &PredicateSpace) -> DenialConstraint {
     DenialConstraint::new(vec![
         space
             .find("State", "=", TupleRole::Other, "State")
+            // conformance: allow(panic) — documented panic: phi lookups require the running example schema
             .expect("State = predicate"),
         space
             .find("Income", ">", TupleRole::Other, "Income")
+            // conformance: allow(panic) — documented panic: phi lookups require the running example schema
             .expect("Income > predicate"),
         space
             .find("Tax", "≤", TupleRole::Other, "Tax")
+            // conformance: allow(panic) — documented panic: phi lookups require the running example schema
             .expect("Tax ≤ predicate"),
     ])
 }
@@ -73,9 +77,11 @@ pub fn phi2(space: &PredicateSpace) -> DenialConstraint {
     DenialConstraint::new(vec![
         space
             .find("Zip", "=", TupleRole::Other, "Zip")
+            // conformance: allow(panic) — documented panic: phi lookups require the running example schema
             .expect("Zip = predicate"),
         space
             .find("State", "≠", TupleRole::Other, "State")
+            // conformance: allow(panic) — documented panic: phi lookups require the running example schema
             .expect("State ≠ predicate"),
     ])
 }

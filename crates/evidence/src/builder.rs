@@ -17,6 +17,8 @@
 //! cluster kernel defined here over row-range tiles on a scoped thread pool
 //! and merges the per-tile results deterministically.
 
+#![doc = "conformance: ordered-output"]
+
 use crate::evidence::EvidenceAccumulator;
 use crate::vios::Vios;
 use crate::Evidence;

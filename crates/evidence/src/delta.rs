@@ -20,6 +20,8 @@
 //! `tests/streaming.rs` pins this equivalence under random insert/delete
 //! interleavings.
 
+#![doc = "conformance: ordered-output"]
+
 use crate::builder::{column_codes, fill_pair, group_masks, ColumnCodes, GroupMasks};
 use crate::evidence::{EvidenceAccumulator, EvidenceSet};
 use crate::vios::Vios;

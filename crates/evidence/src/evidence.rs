@@ -1,5 +1,7 @@
 //! The interned evidence multiset `Evi(D)`.
 
+#![doc = "conformance: ordered-output"]
+
 use adc_data::fx::FxHashMap;
 use adc_data::FixedBitSet;
 
@@ -234,6 +236,7 @@ impl EvidenceAccumulator {
         let idx = *self
             .index
             .get(satisfied)
+            // conformance: allow(panic) — documented panic: firing means the caller's delta bookkeeping diverged from the batch state
             .expect("retracting a pair whose evidence set was never recorded");
         let entry = &mut self.set.entries[idx];
         assert!(

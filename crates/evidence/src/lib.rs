@@ -62,6 +62,7 @@ pub mod delta;
 pub mod evidence;
 pub mod parallel;
 pub mod sweep;
+pub mod sync;
 pub mod vios;
 mod wavelet;
 
@@ -70,6 +71,8 @@ pub use delta::{DeltaEvidenceBuilder, EvidenceDelta};
 pub use evidence::{EvidenceEntry, EvidenceSet};
 pub use parallel::ParallelEvidenceBuilder;
 pub use sweep::{SweepEvidenceBuilder, SweepStats};
+// conformance: allow(concurrency) — re-export of the adc_sync audit seam; no primitive is used here
+pub use sync::{AtomicChunkSource, ChunkSource, Schedule, ScriptedChunkSource};
 pub use vios::Vios;
 
 use adc_data::Relation;
@@ -99,6 +102,7 @@ impl Evidence {
     pub fn vios(&self) -> &Vios {
         self.vios
             .as_ref()
+            // conformance: allow(panic) — documented panicking accessor; callers needing fallibility match on the Option field directly
             .expect("evidence was built without the vios index")
     }
 

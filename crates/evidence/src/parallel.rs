@@ -26,13 +26,15 @@
 //! equality tests in this module and in `tests/parallel_evidence.rs` at the
 //! workspace root hold by construction, not by accident of scheduling.
 
+#![doc = "conformance: ordered-output"]
+
 use crate::builder::{column_codes, fill_pair, group_masks, EvidenceBuilder};
 use crate::evidence::EvidenceAccumulator;
+use crate::sync::{shuffle_arrival, AtomicChunkSource, ChunkSource, Schedule, ScriptedChunkSource};
 use crate::vios::Vios;
 use crate::{Evidence, EvidenceSet};
 use adc_data::{FixedBitSet, Relation};
 use adc_predicates::PredicateSpace;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 /// Evidence of one row-range tile, with entry ids local to the tile.
@@ -104,6 +106,139 @@ impl ParallelEvidenceBuilder {
             n.div_ceil(threads * 4).max(1)
         }
     }
+
+    /// Audited build: same kernel, but workers pull tiles from the given
+    /// [`Schedule`]'s script and the shard-arrival order is shuffled by its
+    /// seed before the deterministic merge. Spawns exactly
+    /// `schedule.workers` threads even when fewer tiles exist, and requires
+    /// `schedule.pulls` to cover every tile index (extra pulls are skipped).
+    /// Used by the schedule auditor to prove output is schedule-independent.
+    pub fn build_scheduled(
+        &self,
+        relation: &Relation,
+        space: &PredicateSpace,
+        track_vios: bool,
+        schedule: &Schedule,
+    ) -> Evidence {
+        let n = relation.len();
+        if n == 0 || space.is_empty() {
+            return Evidence {
+                evidence_set: EvidenceAccumulator::new(space.len(), n).finish(),
+                vios: track_vios.then(|| Vios::new(0, n)),
+            };
+        }
+        let tile_rows = self.resolved_tile_rows(n, schedule.workers.max(1));
+        let num_tiles = n.div_ceil(tile_rows);
+        assert!(
+            schedule.pulls.len() >= num_tiles,
+            "schedule has {} pulls but the build needs {num_tiles} tiles",
+            schedule.pulls.len(),
+        );
+        let source = ScriptedChunkSource::new(schedule.pulls.clone(), schedule.workers);
+        self.build_with_source(
+            relation,
+            space,
+            track_vios,
+            schedule.workers,
+            tile_rows,
+            &source,
+            Some(schedule.arrival_seed),
+        )
+    }
+
+    /// Shared kernel behind [`EvidenceBuilder::build`] and
+    /// [`ParallelEvidenceBuilder::build_scheduled`]: spawn `workers`
+    /// threads, drain tile indexes from `source` (skipping any index past
+    /// the real tile count), and merge shards deterministically. When
+    /// `arrival_seed` is set, shards are shuffled into that arrival order
+    /// first — the merge's ascending-tile sort must undo it.
+    #[allow(clippy::too_many_arguments)]
+    fn build_with_source(
+        &self,
+        relation: &Relation,
+        space: &PredicateSpace,
+        track_vios: bool,
+        workers: usize,
+        tile_rows: usize,
+        source: &dyn ChunkSource,
+        arrival_seed: Option<u64>,
+    ) -> Evidence {
+        let n = relation.len();
+        let num_tiles = n.div_ceil(tile_rows);
+        let codes = column_codes(relation);
+        let groups = group_masks(space);
+        let words = space.len().div_ceil(64);
+
+        // Each worker drains tiles from the source and returns its shards;
+        // no locks beyond the source itself and the final joins.
+        let mut shards: Vec<TileShard> = thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let codes = &codes;
+                    let groups = &groups;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut buffer = vec![0u64; words];
+                        while let Some(tile) = source.next_chunk(w) {
+                            if tile >= num_tiles {
+                                continue;
+                            }
+                            let start = tile * tile_rows;
+                            let end = (start + tile_rows).min(n);
+                            let mut acc = EvidenceAccumulator::new(space.len(), n);
+                            let mut vios = track_vios.then(|| Vios::new(0, n));
+                            for t in start..end {
+                                for t_prime in 0..n {
+                                    if t == t_prime {
+                                        continue;
+                                    }
+                                    fill_pair(codes, groups, t, t_prime, &mut buffer);
+                                    let entry =
+                                        acc.add(FixedBitSet::from_words(space.len(), &buffer));
+                                    if let Some(v) = vios.as_mut() {
+                                        v.record_pair(entry, t as u32, t_prime as u32);
+                                    }
+                                }
+                            }
+                            out.push(TileShard {
+                                tile,
+                                set: acc.finish(),
+                                vios,
+                            });
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                // conformance: allow(panic) — join only fails if a worker already panicked; rethrowing on the coordinator is the intended propagation
+                .flat_map(|h| h.join().expect("evidence worker panicked"))
+                .collect()
+        });
+
+        // Audit hook: present the shards in an adversarial arrival order so
+        // the sort below is load-bearing, not decorative.
+        if let Some(seed) = arrival_seed {
+            shuffle_arrival(&mut shards, seed);
+        }
+
+        // Deterministic merge: ascending tile order reproduces the sequential
+        // row-major interning order exactly.
+        shards.sort_unstable_by_key(|s| s.tile);
+        let mut acc = EvidenceAccumulator::new(space.len(), n);
+        let mut vios = track_vios.then(|| Vios::new(0, n));
+        for shard in &shards {
+            let mapping = acc.merge_set(&shard.set);
+            if let (Some(v), Some(sv)) = (vios.as_mut(), shard.vios.as_ref()) {
+                v.merge_mapped(sv, &mapping);
+            }
+        }
+        Evidence {
+            evidence_set: acc.finish(),
+            vios,
+        }
+    }
 }
 
 impl EvidenceBuilder for ParallelEvidenceBuilder {
@@ -124,72 +259,10 @@ impl EvidenceBuilder for ParallelEvidenceBuilder {
         let tile_rows = self.resolved_tile_rows(n, threads);
         let num_tiles = n.div_ceil(tile_rows);
         let workers = threads.min(num_tiles);
-
-        let codes = column_codes(relation);
-        let groups = group_masks(space);
-        let words = space.len().div_ceil(64);
-        let next_tile = AtomicUsize::new(0);
-
-        // Each worker drains tiles from the shared counter and returns its
-        // shards; no locks beyond the counter and the final joins.
-        let mut shards: Vec<TileShard> = thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut out = Vec::new();
-                        let mut buffer = vec![0u64; words];
-                        loop {
-                            let tile = next_tile.fetch_add(1, Ordering::Relaxed);
-                            if tile >= num_tiles {
-                                return out;
-                            }
-                            let start = tile * tile_rows;
-                            let end = (start + tile_rows).min(n);
-                            let mut acc = EvidenceAccumulator::new(space.len(), n);
-                            let mut vios = track_vios.then(|| Vios::new(0, n));
-                            for t in start..end {
-                                for t_prime in 0..n {
-                                    if t == t_prime {
-                                        continue;
-                                    }
-                                    fill_pair(&codes, &groups, t, t_prime, &mut buffer);
-                                    let entry =
-                                        acc.add(FixedBitSet::from_words(space.len(), &buffer));
-                                    if let Some(v) = vios.as_mut() {
-                                        v.record_pair(entry, t as u32, t_prime as u32);
-                                    }
-                                }
-                            }
-                            out.push(TileShard {
-                                tile,
-                                set: acc.finish(),
-                                vios,
-                            });
-                        }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("evidence worker panicked"))
-                .collect()
-        });
-
-        // Deterministic merge: ascending tile order reproduces the sequential
-        // row-major interning order exactly.
-        shards.sort_unstable_by_key(|s| s.tile);
-        let mut acc = EvidenceAccumulator::new(space.len(), n);
-        let mut vios = track_vios.then(|| Vios::new(0, n));
-        for shard in &shards {
-            let mapping = acc.merge_set(&shard.set);
-            if let (Some(v), Some(sv)) = (vios.as_mut(), shard.vios.as_ref()) {
-                v.merge_mapped(sv, &mapping);
-            }
-        }
-        Evidence {
-            evidence_set: acc.finish(),
-            vios,
-        }
+        let source = AtomicChunkSource::new(num_tiles);
+        self.build_with_source(
+            relation, space, track_vios, workers, tile_rows, &source, None,
+        )
     }
 }
 

@@ -117,8 +117,11 @@
 //! to piggyback on); tracked builds keep the interval/fallback paths, whose
 //! outputs are canonically identical.
 
+#![doc = "conformance: ordered-output"]
+
 use crate::builder::{column_codes, fill_pair, group_masks, ColumnCodes, GroupMasks};
 use crate::evidence::EvidenceAccumulator;
+use crate::sync::{shuffle_arrival, AtomicChunkSource, ChunkSource, Schedule, ScriptedChunkSource};
 use crate::vios::Vios;
 use crate::wavelet::WaveletMatrix;
 use crate::{Evidence, EvidenceBuilder, EvidenceSet};
@@ -126,7 +129,6 @@ use adc_data::fx::FxHashMap;
 use adc_data::{FixedBitSet, Relation};
 use adc_predicates::{PredicateSpace, TupleRole};
 use std::cmp::Ordering;
-use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::thread;
 
 /// Work counters of one sweep build, for benchmark reports and the
@@ -467,6 +469,7 @@ impl SweepPlan {
                     (true, true) => a.cmp(&b),
                     (true, false) => Ordering::Greater,
                     (false, true) => Ordering::Less,
+                    // conformance: allow(panic) — both sides were just checked non-NaN, so partial_cmp is total here
                     (false, false) => ca.partial_cmp(&cb).expect("non-NaN codes").then(a.cmp(&b)),
                 }
             });
@@ -561,6 +564,7 @@ impl SweepPlan {
         cols.extend(
             col_slots
                 .into_iter()
+                // conformance: allow(panic) — the planning loop above fills one slot per column unconditionally
                 .map(|s| s.expect("every column planned")),
         );
 
@@ -859,7 +863,9 @@ fn process_class(
         && fam_b.is_some()
         && plan.pair.as_ref().is_some_and(|pp| {
             let (x, y) = (
+                // conformance: allow(panic) — the family scan assigns fam_a before it can ever assign fam_b
                 fam_a.expect("fam_a set before fam_b"),
+                // conformance: allow(panic) — guarded by the `fam_b.is_some()` arm of this conjunction
                 fam_b.expect("checked"),
             );
             (pp.fam_a == x && pp.fam_b == y) || (pp.fam_a == y && pp.fam_b == x)
@@ -967,6 +973,7 @@ fn process_class(
         // `O(log n)` — no per-class scan over the classes. (Only planned
         // when `track_vios` is off, so `vios` is always `None` here.)
         stats.pair_classes += 1;
+        // conformance: allow(panic) — `pair_eligible` above is false whenever `plan.pair` is None
         let pp = plan.pair.as_ref().expect("pair eligibility checked");
         let fa = &plan.families[pp.fam_a];
         let fb = &plan.families[pp.fam_b];
@@ -1277,65 +1284,18 @@ impl SweepEvidenceBuilder {
             }
             (acc.finish(), vios)
         } else {
-            let next_chunk = AtomicUsize::new(0);
-            // Each worker drains chunks from the shared counter and returns
-            // its shards; no locks beyond the counter and the final joins.
-            let mut shards: Vec<ChunkShard> = thread::scope(|s| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        s.spawn(|| {
-                            let mut out = Vec::new();
-                            let mut scratch = Scratch::new(&plan);
-                            loop {
-                                let chunk = next_chunk.fetch_add(1, AtomicOrdering::Relaxed);
-                                if chunk >= num_chunks {
-                                    return out;
-                                }
-                                let start = chunk * chunk_classes;
-                                let end = (start + chunk_classes).min(m);
-                                let mut acc = EvidenceAccumulator::new(plan.space_len, n);
-                                let mut vios = track_vios.then(|| Vios::new(0, n));
-                                let mut work = SweepStats::default();
-                                for i in start..end {
-                                    process_class(
-                                        &plan,
-                                        i,
-                                        &mut acc,
-                                        vios.as_mut(),
-                                        &mut scratch,
-                                        &mut work,
-                                    );
-                                }
-                                out.push(ChunkShard {
-                                    chunk,
-                                    set: acc.finish(),
-                                    vios,
-                                    work,
-                                });
-                            }
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("sweep worker panicked"))
-                    .collect()
-            });
-
-            // Deterministic merge: ascending chunk order replays the
-            // sequential left-class scan, so entry order, counts, and vios
-            // are bit-for-bit identical to a single-threaded build.
-            shards.sort_unstable_by_key(|s| s.chunk);
-            let mut acc = EvidenceAccumulator::new(plan.space_len, n);
-            let mut vios = track_vios.then(|| Vios::new(0, n));
-            for shard in &shards {
-                let mapping = acc.merge_set(&shard.set);
-                if let (Some(v), Some(sv)) = (vios.as_mut(), shard.vios.as_ref()) {
-                    v.merge_mapped(sv, &mapping);
-                }
-                stats.absorb_work(&shard.work);
-            }
-            (acc.finish(), vios)
+            let source = AtomicChunkSource::new(num_chunks);
+            sweep_threaded(
+                &plan,
+                n,
+                track_vios,
+                workers,
+                chunk_classes,
+                num_chunks,
+                &source,
+                None,
+                &mut stats,
+            )
         };
 
         debug_assert_eq!(set.total_pairs(), stats.pairwise_pairs);
@@ -1347,6 +1307,156 @@ impl SweepEvidenceBuilder {
             stats,
         )
     }
+
+    /// Audited build: same kernel as [`SweepEvidenceBuilder::build_with_stats`],
+    /// but the threaded path is forced (even at one worker), workers pull
+    /// class chunks from the given [`Schedule`]'s script, and shard arrival
+    /// is shuffled by its seed before the deterministic merge. Requires
+    /// `schedule.pulls` to cover every chunk index (extra pulls are
+    /// skipped). Used by the schedule auditor to prove output is
+    /// schedule-independent.
+    pub fn build_scheduled(
+        &self,
+        relation: &Relation,
+        space: &PredicateSpace,
+        track_vios: bool,
+        schedule: &Schedule,
+    ) -> (Evidence, SweepStats) {
+        let n = relation.len();
+        let mut stats = SweepStats {
+            rows: n,
+            pairwise_pairs: n as u64 * n.saturating_sub(1) as u64,
+            ..SweepStats::default()
+        };
+        if n == 0 || space.is_empty() {
+            return (
+                Evidence {
+                    evidence_set: EvidenceAccumulator::new(space.len(), n).finish(),
+                    vios: track_vios.then(|| Vios::new(0, n)),
+                },
+                stats,
+            );
+        }
+
+        let plan = SweepPlan::prepare(relation, space, track_vios);
+        let m = plan.m;
+        stats.classes = m;
+        stats.class_grid = m as u64 * m.saturating_sub(1) as u64;
+
+        let chunk_classes = self.resolved_chunk_classes(m, schedule.workers.max(1));
+        let num_chunks = m.div_ceil(chunk_classes);
+        assert!(
+            schedule.pulls.len() >= num_chunks,
+            "schedule has {} pulls but the build needs {num_chunks} chunks",
+            schedule.pulls.len(),
+        );
+        let source = ScriptedChunkSource::new(schedule.pulls.clone(), schedule.workers);
+        let (set, vios) = sweep_threaded(
+            &plan,
+            n,
+            track_vios,
+            schedule.workers,
+            chunk_classes,
+            num_chunks,
+            &source,
+            Some(schedule.arrival_seed),
+            &mut stats,
+        );
+
+        debug_assert_eq!(set.total_pairs(), stats.pairwise_pairs);
+        (
+            Evidence {
+                evidence_set: set,
+                vios,
+            },
+            stats,
+        )
+    }
+}
+
+/// Threaded sweep kernel shared by the production and audited builds: spawn
+/// `workers` threads, drain chunk indexes from `source` (skipping any index
+/// past the real chunk count), and merge shards deterministically. When
+/// `arrival_seed` is set, shards are shuffled into that arrival order first —
+/// the merge's ascending-chunk sort must undo it.
+#[allow(clippy::too_many_arguments)]
+fn sweep_threaded(
+    plan: &SweepPlan,
+    n: usize,
+    track_vios: bool,
+    workers: usize,
+    chunk_classes: usize,
+    num_chunks: usize,
+    source: &dyn ChunkSource,
+    arrival_seed: Option<u64>,
+    stats: &mut SweepStats,
+) -> (EvidenceSet, Option<Vios>) {
+    let m = plan.m;
+    // Each worker drains chunks from the source and returns its shards; no
+    // locks beyond the source itself and the final joins.
+    let mut shards: Vec<ChunkShard> = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut scratch = Scratch::new(plan);
+                    while let Some(chunk) = source.next_chunk(w) {
+                        if chunk >= num_chunks {
+                            continue;
+                        }
+                        let start = chunk * chunk_classes;
+                        let end = (start + chunk_classes).min(m);
+                        let mut acc = EvidenceAccumulator::new(plan.space_len, n);
+                        let mut vios = track_vios.then(|| Vios::new(0, n));
+                        let mut work = SweepStats::default();
+                        for i in start..end {
+                            process_class(
+                                plan,
+                                i,
+                                &mut acc,
+                                vios.as_mut(),
+                                &mut scratch,
+                                &mut work,
+                            );
+                        }
+                        out.push(ChunkShard {
+                            chunk,
+                            set: acc.finish(),
+                            vios,
+                            work,
+                        });
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            // conformance: allow(panic) — join only fails if a worker already panicked; rethrowing on the coordinator is the intended propagation
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+
+    // Audit hook: present the shards in an adversarial arrival order so the
+    // sort below is load-bearing, not decorative.
+    if let Some(seed) = arrival_seed {
+        shuffle_arrival(&mut shards, seed);
+    }
+
+    // Deterministic merge: ascending chunk order replays the sequential
+    // left-class scan, so entry order, counts, and vios are bit-for-bit
+    // identical to a single-threaded build.
+    shards.sort_unstable_by_key(|s| s.chunk);
+    let mut acc = EvidenceAccumulator::new(plan.space_len, n);
+    let mut vios = track_vios.then(|| Vios::new(0, n));
+    for shard in &shards {
+        let mapping = acc.merge_set(&shard.set);
+        if let (Some(v), Some(sv)) = (vios.as_mut(), shard.vios.as_ref()) {
+            v.merge_mapped(sv, &mapping);
+        }
+        stats.absorb_work(&shard.work);
+    }
+    (acc.finish(), vios)
 }
 
 impl EvidenceBuilder for SweepEvidenceBuilder {

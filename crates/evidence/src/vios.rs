@@ -9,6 +9,8 @@
 //! evidence sets is orders of magnitude smaller than the number of pairs
 //! (the paper makes the same observation in Section 5).
 
+#![doc = "conformance: ordered-output"]
+
 use adc_data::fx::FxHashMap;
 
 /// Per-evidence-entry, per-tuple pair-participation counts.
@@ -74,10 +76,12 @@ impl Vios {
         let m = self
             .per_entry
             .get_mut(entry)
+            // conformance: allow(panic) — documented panic: firing means the caller's delta bookkeeping diverged from the batch state
             .unwrap_or_else(|| panic!("retracting a pair from unknown vios entry {entry}"));
         for tuple in [t, t_prime] {
             let count = m
                 .get_mut(&tuple)
+                // conformance: allow(panic) — documented panic: firing means the caller's delta bookkeeping diverged from the batch state
                 .unwrap_or_else(|| panic!("retracting unrecorded pair ({t},{t_prime}) from vios"));
             *count -= 1;
             if *count == 0 {
@@ -135,6 +139,7 @@ impl Vios {
                         .copied()
                         .flatten()
                         .unwrap_or_else(|| {
+                            // conformance: allow(panic) — delete-contract violation: the monitor retracts all of a tuple's pairs before dropping it
                             panic!("deleted tuple {t} still participates in recorded pairs")
                         });
                     (new, c)
@@ -179,6 +184,7 @@ impl Vios {
                 self.per_entry.resize(global + 1, FxHashMap::default());
             }
             let m = &mut self.per_entry[global];
+            // conformance: allow(unordered) — feeds a commutative additive merge; the target map's content is order-independent
             for (&t, &c) in counts {
                 *m.entry(t).or_insert(0) += c;
             }
@@ -196,8 +202,11 @@ impl Vios {
     }
 
     /// Tuples participating in at least one pair of entry `entry`, with their
-    /// participation counts.
+    /// participation counts. The iteration order is **unspecified** — callers
+    /// that surface the tuples must sort; the in-tree consumers either sort a
+    /// collected copy or fold commutatively.
     pub fn entry_tuples(&self, entry: usize) -> impl Iterator<Item = (u32, u32)> + '_ {
+        // conformance: allow(unordered) — order documented unspecified; every consumer sorts a collected copy or folds commutatively
         self.per_entry[entry].iter().map(|(&t, &c)| (t, c))
     }
 
@@ -227,6 +236,7 @@ impl Vios {
         use adc_data::fx::FxHashSet;
         let mut tuples: FxHashSet<u32> = FxHashSet::default();
         for &e in entries {
+            // conformance: allow(unordered) — order collapses into a set cardinality; only the count escapes
             tuples.extend(self.per_entry[e].keys().copied());
         }
         tuples.len()

@@ -1,0 +1,202 @@
+//! Schedule auditor: the parallel kernels are schedule-independent.
+//!
+//! Both parallel kernels ([`ParallelEvidenceBuilder`] and the threaded
+//! sweep) claim their output is bit-for-bit identical to the sequential
+//! build at *any* thread count. On a normal test run that claim is only
+//! exercised against whatever interleavings the OS scheduler happens to
+//! produce. This suite replays *chosen* schedules through the
+//! [`adc_evidence::sync`] shim instead:
+//!
+//! - **exhaustive grid** — every chunk→worker assignment over 1..=3
+//!   workers on a fixed small input (1 + 16 + 81 = 98 schedules per
+//!   kernel, each with its own shard-arrival shuffle seed);
+//! - **seeded random schedules** — ≥256 random (workers, pulls, arrival)
+//!   triples per kernel; raise with `ADC_SCHEDULE_SEEDS=<n>` (the CI
+//!   conformance job does).
+//!
+//! Every scheduled build must equal the sequential baseline exactly:
+//! evidence entry order, multiplicities, and the `vios` index. The arrival
+//! shuffle additionally proves the deterministic merge's ascending-chunk
+//! sort is load-bearing — remove it and these tests go red.
+
+use adc_data::{AttributeType, Relation, Schema, Value};
+use adc_evidence::{
+    ClusterEvidenceBuilder, Evidence, EvidenceBuilder, ParallelEvidenceBuilder, Schedule,
+    SweepEvidenceBuilder,
+};
+use adc_predicates::{PredicateSpace, SpaceConfig};
+
+/// Fixed 8-row relation. Rows are pairwise distinct (the sweep then has
+/// m = 8 left classes), but share plenty of values column-wise so evidence
+/// entries recur across tiles and the merge's interning dedup is exercised.
+fn audit_relation() -> Relation {
+    let schema = Schema::of(&[
+        ("A", AttributeType::Integer),
+        ("B", AttributeType::Integer),
+        ("C", AttributeType::Text),
+    ]);
+    let rows: [(i64, i64, &str); 8] = [
+        (1, 10, "x"),
+        (1, 20, "y"),
+        (2, 10, "y"),
+        (2, 20, "x"),
+        (3, 10, "x"),
+        (3, 30, "z"),
+        (1, 30, "x"),
+        (2, 30, "z"),
+    ];
+    let mut b = Relation::builder(schema);
+    for (a, bv, c) in rows {
+        b.push_row(vec![Value::Int(a), Value::Int(bv), c.into()])
+            .expect("audit row");
+    }
+    b.build()
+}
+
+/// Number of random schedules to replay per kernel; `ADC_SCHEDULE_SEEDS`
+/// raises it (the CI conformance job runs at 1024).
+fn schedule_seeds() -> u64 {
+    std::env::var("ADC_SCHEDULE_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+        .max(256)
+}
+
+/// Both kernels chunk the audit input into exactly 4 work units
+/// (`tile_rows = 2` over 8 rows; `chunk_classes = 2` over 8 classes).
+const CHUNKS: usize = 4;
+
+fn parallel_baseline(r: &Relation, space: &PredicateSpace) -> Evidence {
+    ClusterEvidenceBuilder.build(r, space, true)
+}
+
+fn sweep_baseline(r: &Relation, space: &PredicateSpace) -> Evidence {
+    // `new(1)` takes the sequential (non-threaded) path.
+    SweepEvidenceBuilder::new(1)
+        .build_with_stats(r, space, true)
+        .0
+}
+
+fn check_parallel(r: &Relation, space: &PredicateSpace, baseline: &Evidence, s: &Schedule) {
+    let audited = ParallelEvidenceBuilder::new(s.workers)
+        .with_tile_rows(2)
+        .build_scheduled(r, space, true, s);
+    assert_eq!(
+        &audited, baseline,
+        "parallel kernel output depends on the schedule: workers={} pulls={:?} arrival_seed={}",
+        s.workers, s.pulls, s.arrival_seed
+    );
+}
+
+fn check_sweep(r: &Relation, space: &PredicateSpace, baseline: &Evidence, s: &Schedule) {
+    let (audited, _stats) = SweepEvidenceBuilder::new(s.workers)
+        .with_chunk_classes(2)
+        .build_scheduled(r, space, true, s);
+    assert_eq!(
+        &audited, baseline,
+        "sweep kernel output depends on the schedule: workers={} pulls={:?} arrival_seed={}",
+        s.workers, s.pulls, s.arrival_seed
+    );
+}
+
+#[test]
+fn parallel_kernel_is_schedule_independent_exhaustive() {
+    let r = audit_relation();
+    let space = PredicateSpace::build(&r, SpaceConfig::default());
+    let baseline = parallel_baseline(&r, &space);
+    let mut replayed = 0usize;
+    for workers in 1..=3 {
+        for schedule in Schedule::exhaustive(workers, CHUNKS) {
+            check_parallel(&r, &space, &baseline, &schedule);
+            replayed += 1;
+        }
+    }
+    assert_eq!(replayed, 1 + 16 + 81, "exhaustive grid shrank");
+}
+
+#[test]
+fn sweep_kernel_is_schedule_independent_exhaustive() {
+    let r = audit_relation();
+    let space = PredicateSpace::build(&r, SpaceConfig::default());
+    let baseline = sweep_baseline(&r, &space);
+    let mut replayed = 0usize;
+    for workers in 1..=3 {
+        for schedule in Schedule::exhaustive(workers, CHUNKS) {
+            check_sweep(&r, &space, &baseline, &schedule);
+            replayed += 1;
+        }
+    }
+    assert_eq!(replayed, 1 + 16 + 81, "exhaustive grid shrank");
+}
+
+#[test]
+fn parallel_kernel_is_schedule_independent_random() {
+    let r = audit_relation();
+    let space = PredicateSpace::build(&r, SpaceConfig::default());
+    let baseline = parallel_baseline(&r, &space);
+    for seed in 0..schedule_seeds() {
+        let workers = 2 + (seed % 3) as usize; // 2..=4
+        let schedule = Schedule::random(workers, CHUNKS, seed);
+        check_parallel(&r, &space, &baseline, &schedule);
+    }
+}
+
+#[test]
+fn sweep_kernel_is_schedule_independent_random() {
+    let r = audit_relation();
+    let space = PredicateSpace::build(&r, SpaceConfig::default());
+    let baseline = sweep_baseline(&r, &space);
+    for seed in 0..schedule_seeds() {
+        let workers = 2 + (seed % 3) as usize; // 2..=4
+        let schedule = Schedule::random(workers, CHUNKS, seed);
+        check_sweep(&r, &space, &baseline, &schedule);
+    }
+}
+
+#[test]
+fn audited_builds_match_production_builds() {
+    // The audited entry points run the same kernel as production — a
+    // scheduled build and a production build at the same shape agree, and
+    // both agree with the sequential oracle (already asserted above, but
+    // this pins the production path through the same seam).
+    let r = audit_relation();
+    let space = PredicateSpace::build(&r, SpaceConfig::default());
+    let production = ParallelEvidenceBuilder::new(3)
+        .with_tile_rows(2)
+        .build(&r, &space, true);
+    assert_eq!(production, parallel_baseline(&r, &space));
+    let (sweep_prod, _) = SweepEvidenceBuilder::new(3)
+        .with_chunk_classes(2)
+        .build_with_stats(&r, &space, true);
+    assert_eq!(sweep_prod, sweep_baseline(&r, &space));
+}
+
+#[test]
+fn schedule_longer_than_chunk_count_is_tolerated() {
+    // Extra pulls hand out tile indexes ≥ num_chunks; kernels skip them.
+    let r = audit_relation();
+    let space = PredicateSpace::build(&r, SpaceConfig::default());
+    let baseline = parallel_baseline(&r, &space);
+    let schedule = Schedule {
+        workers: 2,
+        pulls: vec![0, 1, 0, 1, 0, 1, 0, 1], // 8 pulls, 4 real tiles
+        arrival_seed: 99,
+    };
+    check_parallel(&r, &space, &baseline, &schedule);
+}
+
+#[test]
+#[should_panic(expected = "pulls")]
+fn schedule_shorter_than_chunk_count_is_rejected() {
+    let r = audit_relation();
+    let space = PredicateSpace::build(&r, SpaceConfig::default());
+    let schedule = Schedule {
+        workers: 2,
+        pulls: vec![0, 1], // 4 tiles need ≥4 pulls
+        arrival_seed: 0,
+    };
+    ParallelEvidenceBuilder::new(2)
+        .with_tile_rows(2)
+        .build_scheduled(&r, &space, true, &schedule);
+}

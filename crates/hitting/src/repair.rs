@@ -53,6 +53,8 @@
 //! Like append repair, this is **exact only when the input is the complete
 //! `T(F)`** — truncated runs must restart.
 
+#![doc = "conformance: ordered-output"]
+
 use crate::mmcs::{search_minimal_hitting_sets, search_minimal_hitting_sets_within};
 use crate::search::{SearchBudget, SearchOrder};
 use crate::{BranchStrategy, SetSystem};

@@ -40,6 +40,8 @@
 //! visits the identical tree in the identical order while mutating a single
 //! node's state with O(1) undo instead of cloning it per child.
 
+#![doc = "conformance: ordered-output"]
+
 use crate::{BranchStrategy, SetSystem};
 use adc_data::fx::FxHashMap;
 use adc_data::FixedBitSet;
@@ -534,6 +536,7 @@ impl SuspendedSearch {
                                     .s
                                     .iter()
                                     .position(|&e| subset.contains(e))
+                                    // conformance: allow(panic) — intersection_count == 1 guarantees exactly one such element exists
                                     .expect("intersection element must be in the solution");
                                 extra_crit[i].push(fi);
                             }

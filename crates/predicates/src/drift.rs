@@ -21,6 +21,8 @@
 //! rebuild-required error instead of silently answering from the stale
 //! space.
 
+#![doc = "conformance: ordered-output"]
+
 use crate::space::SpaceConfig;
 use adc_data::fx::FxHashMap;
 use adc_data::{value_key, Relation, Value, ValueKey};
@@ -242,6 +244,7 @@ impl SpaceDriftTracker {
         };
         let count = self.counts[col]
             .get_mut(&key)
+            // conformance: allow(panic) — retract mirrors a prior record call one-for-one; firing means drift bookkeeping diverged
             .expect("retracted a value that was never recorded");
         *count -= 1;
         if *count == 0 {

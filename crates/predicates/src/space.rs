@@ -12,6 +12,8 @@
 //! Every predicate gets a dense id (`0..len`); sets of predicates are
 //! [`FixedBitSet`]s over that id range.
 
+#![doc = "conformance: ordered-output"]
+
 use crate::operator::Operator;
 use crate::predicate::{Predicate, TupleRole};
 use adc_data::fx::FxHashMap;
@@ -143,6 +145,7 @@ impl PredicateSpace {
             .map(|p| {
                 *index
                     .get(&p.complement())
+                    // conformance: allow(panic) — the generator emits predicates in complement-closed pairs, so the lookup always hits
                     .expect("complement of every generated predicate is generated")
             })
             .collect();

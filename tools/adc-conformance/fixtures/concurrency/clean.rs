@@ -1,0 +1,20 @@
+//! Fixture: concurrency-adjacent code that is in contract.
+
+fn thread_as_a_word(threads: usize) -> usize {
+    // `threads`/`per_thread` are plain identifiers, not `std::thread`.
+    let per_thread = threads.max(1);
+    per_thread * 2
+}
+
+// conformance: allow(concurrency) — deliberate allowlist extension exercised by the fixture suite
+use std::sync::atomic::AtomicU64;
+
+#[cfg(test)]
+mod tests {
+    use std::thread;
+
+    #[test]
+    fn tests_may_drive_threads() {
+        thread::scope(|_| {});
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: ad-hoc concurrency outside the blessed kernels.
+//! Linted at a non-allowlisted path, every primitive below is a finding.
+
+use std::sync::atomic::AtomicUsize;
+use std::sync::Mutex;
+
+fn rogue_parallelism(n: usize) -> usize {
+    let counter = AtomicUsize::new(0);
+    let guard = Mutex::new(0usize);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let _ = counter;
+            let _ = guard;
+        });
+    });
+    n
+}

@@ -1,0 +1,38 @@
+//! Fixture: every sanctioned way to consume a hash container in an
+//! ordered-output module.
+#![doc = "conformance: ordered-output"]
+
+fn sorted_copy(index: &FxHashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = index.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn ordered_collection(index: &FxHashMap<u32, u32>) -> std::collections::BTreeMap<u32, u32> {
+    let ordered: std::collections::BTreeMap<u32, u32> = index.iter().map(|(&k, &v)| (k, v)).collect();
+    ordered
+}
+
+fn order_free_terminal(index: &FxHashMap<u32, u64>) -> u64 {
+    let total: u64 = index.values().sum();
+    total + index.keys().count() as u64
+}
+
+fn reasoned_escape(index: &FxHashMap<u32, u64>, acc: &mut FxHashMap<u32, u64>) {
+    // conformance: allow(unordered) — feeds a commutative additive merge
+    for (&k, &v) in index.iter() {
+        *acc.entry(k).or_insert(0) += v;
+    }
+}
+
+struct Shards {
+    per_entry: Vec<FxHashMap<u32, u32>>,
+}
+
+impl Shards {
+    fn outer_order_is_vec_order(&self) {
+        for (i, m) in self.per_entry.iter().enumerate() {
+            emit(i, m.len());
+        }
+    }
+}

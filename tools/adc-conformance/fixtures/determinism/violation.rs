@@ -1,0 +1,14 @@
+//! Fixture: hash order escaping an ordered-output module.
+#![doc = "conformance: ordered-output"]
+
+fn leak_method_iteration(index: &FxHashMap<u32, u32>) -> Vec<(u32, u32)> {
+    // VIOLATION: hash-order `.iter()` collected without a sort.
+    index.iter().map(|(&k, &v)| (k, v)).collect()
+}
+
+fn leak_direct_loop(seen: &FxHashSet<u32>) {
+    // VIOLATION: direct `for … in` over a hash set.
+    for k in seen {
+        emit(k);
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: environment reads that honour the hard-error contract.
+
+fn through_the_blessed_accessors() -> usize {
+    let rows: usize = adc_bench::parsed_env("ADC_BENCH_ROWS").unwrap_or(10_000);
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    if adc_bench::raw_env("ADC_BENCH_DATASETS").is_some() {
+        return rows + manifest.len();
+    }
+    rows
+}
+
+fn a_blessed_accessor(name: &str) -> Option<String> {
+    // conformance: allow(env) — this IS the blessed accessor the rule routes every reader through
+    std::env::var(name).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_read_raw() {
+        let _ = std::env::var("ADC_SCHEDULE_SEEDS");
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: raw environment reads bypassing the hard-error contract.
+
+fn silent_defaults() -> usize {
+    // VIOLATION: a typo in the value silently falls back to the default.
+    let rows = std::env::var("ADC_BENCH_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    // VIOLATION: `var_os` is the same bypass.
+    if env::var_os("ADC_BENCH_DATASETS").is_some() {
+        return rows * 2;
+    }
+    rows
+}

@@ -1,0 +1,10 @@
+//! Fixture: the four flavours of forbidden library panics.
+
+fn unreasoned_panics(a: Option<u32>, b: Result<u32, String>) -> u32 {
+    let x = a.unwrap();
+    let y = b.expect("should have parsed");
+    if x > y {
+        panic!("x exceeded y");
+    }
+    unreachable!();
+}

@@ -1,0 +1,6 @@
+//! Fixture: a crate root honouring the no-`unsafe` floor.
+#![forbid(unsafe_code)]
+
+pub fn safe_only(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0)
+}

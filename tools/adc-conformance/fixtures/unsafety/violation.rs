@@ -1,0 +1,7 @@
+//! Fixture: a crate root with no `#![forbid(unsafe_code)]` and an
+//! `unsafe` block. Linted at a `crates/*/src/lib.rs` path, both the
+//! missing-attribute and the usage findings fire.
+
+pub fn transmute_adjacent(v: &[u32]) -> u32 {
+    unsafe { *v.as_ptr() }
+}

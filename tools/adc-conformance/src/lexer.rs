@@ -1,0 +1,485 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! The linter's rules are lexical: they match token *sequences* (`.` `unwrap`
+//! `(`, `env` `::` `var`, …), never raw text, so occurrences inside string
+//! literals, comments, or doc text can never trigger a rule. Comments are
+//! kept in the token stream (with their text) because the annotation escape
+//! hatches — `// conformance: allow(<rule>) — <reason>` — live in them.
+//!
+//! The lexer is deliberately forgiving: it never fails. Anything it cannot
+//! classify becomes a single-character [`TokenKind::Punct`] token, which is
+//! the safe default for every rule (an unrecognised token can only ever
+//! *break* a match sequence, not complete one).
+
+/// The classes of token the rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `HashMap`, …).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `!`, `{`, …).
+    Punct,
+    /// String literal, including raw and byte strings. `text` keeps the
+    /// delimiters (`"…"`, `r#"…"#`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (suffixes included; exact value irrelevant to rules).
+    Number,
+    /// Non-doc comment (`// …` or `/* … */`); annotation carrier.
+    Comment,
+    /// Doc comment (`///`, `//!`, `/** */`, `/*! */`). Never an annotation
+    /// carrier — doc prose that *mentions* an annotation must not activate
+    /// one.
+    DocComment,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for tokens that participate in syntax matching (everything but
+    /// comments).
+    pub fn is_syntax(&self) -> bool {
+        !matches!(self.kind, TokenKind::Comment | TokenKind::DocComment)
+    }
+
+    /// The inner value of a plain (non-raw) string literal, or the raw text
+    /// between the quotes for raw strings. Escape sequences are left as-is:
+    /// the only strings rules compare are ASCII tag literals that contain
+    /// none.
+    pub fn str_value(&self) -> &str {
+        let t = self.text.as_str();
+        // Strip a leading `b`/`r`/`br` marker, then `#…#"` quoting.
+        let t = t.trim_start_matches('b').trim_start_matches('r');
+        let t = t.trim_matches('#');
+        t.strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .unwrap_or(t)
+    }
+}
+
+/// Cursor over the source characters with line/column tracking.
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Never fails; see the module docs for the fallback rule.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            let kind = if text.starts_with("///") || text.starts_with("//!") {
+                TokenKind::DocComment
+            } else {
+                TokenKind::Comment
+            };
+            tokens.push(Token {
+                kind,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            // Block comments nest in Rust.
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while let Some(ch) = cur.peek(0) {
+                if ch == '/' && cur.peek(1) == Some('*') {
+                    depth += 1;
+                    text.push('/');
+                    text.push('*');
+                    cur.bump();
+                    cur.bump();
+                } else if ch == '*' && cur.peek(1) == Some('/') {
+                    depth -= 1;
+                    text.push('*');
+                    text.push('/');
+                    cur.bump();
+                    cur.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(ch);
+                    cur.bump();
+                }
+            }
+            let kind = if text.starts_with("/**") || text.starts_with("/*!") {
+                TokenKind::DocComment
+            } else {
+                TokenKind::Comment
+            };
+            tokens.push(Token {
+                kind,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Raw strings and byte strings: r"…", r#"…"#, b"…", br#"…"#.
+        if (c == 'r' || c == 'b') && starts_string_prefix(&cur) {
+            let text = lex_prefixed_string(&mut cur);
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Numbers. A `.` continues the number only when followed by a digit,
+        // so `1..5` lexes as `1` `.` `.` `5` and `x.0.iter()` keeps its dots.
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                let continues = ch.is_alphanumeric()
+                    || ch == '_'
+                    || (ch == '.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit()));
+                if !continues {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Plain string literal.
+        if c == '"' {
+            let text = lex_quoted(&mut cur, '"');
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // `'` starts a char literal or a lifetime.
+        if c == '\'' {
+            if cur.peek(1) == Some('\\') {
+                let text = lex_quoted(&mut cur, '\'');
+                tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            // `'x'` is a char; `'x` (no closing quote after one ident) is a
+            // lifetime.
+            let mut end = 1;
+            while cur.peek(end).is_some_and(is_ident_continue) {
+                end += 1;
+            }
+            if end > 1 && cur.peek(end) == Some('\'') {
+                let mut text = String::new();
+                for _ in 0..=end {
+                    if let Some(ch) = cur.bump() {
+                        text.push(ch);
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text,
+                    line,
+                    col,
+                });
+            } else {
+                let mut text = String::new();
+                text.push(cur.bump().unwrap_or('\''));
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    if let Some(ch) = cur.bump() {
+                        text.push(ch);
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+        // Everything else: one punct char.
+        if let Some(ch) = cur.bump() {
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: ch.to_string(),
+                line,
+                col,
+            });
+        }
+    }
+    tokens
+}
+
+/// Does the cursor sit on an `r`/`b`/`br`/`rb` string prefix?
+fn starts_string_prefix(cur: &Cursor) -> bool {
+    let mut i = 0;
+    let mut saw_r = false;
+    while let Some(c) = cur.peek(i) {
+        match c {
+            'r' if !saw_r => {
+                saw_r = true;
+                i += 1;
+            }
+            'b' if i == 0 => i += 1,
+            '#' if saw_r => i += 1,
+            '"' => return true,
+            _ => return false,
+        }
+        if i > 260 {
+            return false; // pathological `#` run; not a string
+        }
+    }
+    false
+}
+
+/// Lex `r#"…"#`-style (and `b"…"`) strings, prefix already verified.
+fn lex_prefixed_string(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    let mut raw = false;
+    // Prefix letters.
+    while let Some(c) = cur.peek(0) {
+        if c == 'r' || c == 'b' {
+            raw |= c == 'r';
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if raw {
+        // Count opening hashes.
+        let mut hashes = 0;
+        while cur.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            cur.bump();
+        }
+        text.push(cur.bump().unwrap_or('"')); // opening quote
+        loop {
+            match cur.bump() {
+                None => break,
+                Some('"') => {
+                    text.push('"');
+                    let mut closing = 0;
+                    while closing < hashes && cur.peek(0) == Some('#') {
+                        closing += 1;
+                        text.push('#');
+                        cur.bump();
+                    }
+                    if closing == hashes {
+                        break;
+                    }
+                }
+                Some(ch) => text.push(ch),
+            }
+        }
+        text
+    } else {
+        // `b"…"`: ordinary escaping rules.
+        text + &lex_quoted(cur, '"')
+    }
+}
+
+/// Lex a `\`-escaped literal delimited by `delim`, cursor on the opening
+/// delimiter.
+fn lex_quoted(cur: &mut Cursor, delim: char) -> String {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or(delim));
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+        } else if c == delim {
+            break;
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let toks = kinds("let x = map.iter();");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(toks[3].1, "map");
+        assert_eq!(toks[4], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[5].1, "iter");
+    }
+
+    #[test]
+    fn string_contents_do_not_leak_idents() {
+        let toks = kinds(r#"println!("call unwrap() here");"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || t != "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r##"let s = r#"quote " inside"#;"##);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].1, r##"r#"quote " inside"#"##);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn comments_keep_text_and_doc_flavour() {
+        let toks =
+            kinds("// plain note\n/// doc line\n//! inner doc\n/* block */ /** doc block */");
+        assert_eq!(toks[0], (TokenKind::Comment, "// plain note".into()));
+        assert_eq!(toks[1].0, TokenKind::DocComment);
+        assert_eq!(toks[2].0, TokenKind::DocComment);
+        assert_eq!(toks[3].0, TokenKind::Comment);
+        assert_eq!(toks[4].0, TokenKind::DocComment);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ tail */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "x");
+    }
+
+    #[test]
+    fn number_dot_disambiguation() {
+        let toks = kinds("a.0.iter(); 1..5; 2.5_f64");
+        let texts: Vec<_> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert!(texts.contains(&"iter"));
+        assert!(texts.contains(&"1"));
+        assert!(texts.contains(&"5"));
+        assert!(texts.contains(&"2.5_f64"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn str_value_strips_delimiters() {
+        let toks = lex(r#"#![doc = "conformance: ordered-output"]"#);
+        let s = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("string token");
+        assert_eq!(s.str_value(), "conformance: ordered-output");
+    }
+}

@@ -1,0 +1,546 @@
+//! `determinism/unordered-iter` — hash-order must not escape ordered
+//! outputs.
+//!
+//! Active only in modules tagged `#![doc = "conformance: ordered-output"]`
+//! (the modules whose outputs are part of the bit-for-bit determinism
+//! contract: evidence entry order, cover emission order, predicate ids, …).
+//! In a tagged file the rule:
+//!
+//! 1. collects every binding whose declared type or constructor mentions a
+//!    hash container (`HashMap`, `HashSet`, `FxHashMap`, `FxHashSet`) —
+//!    `let` bindings, struct fields, and function parameters alike — and
+//!    records whether the hash container is the *outermost* type or nested
+//!    inside another container (`Vec<FxHashMap<…>>`);
+//! 2. flags iteration over such a binding (`.iter()`, `.keys()`,
+//!    `.values()`, `.drain()`, `.into_iter()`, …, and direct
+//!    `for … in &map` loops). A nested binding is only flagged when the
+//!    receiver chain indexes into it (`per_entry[e].iter()` is hash-order,
+//!    `per_entry.iter()` is the outer container's order);
+//! 3. suppresses the finding when the *same statement* visibly restores an
+//!    order or collapses it: an explicit `sort*` call (also on the binding
+//!    assigned by this statement, in the immediately following statement),
+//!    collection into an ordered container (`BTreeMap`, `BTreeSet`,
+//!    `BinaryHeap`), or an order-insensitive terminal (`sum`, `count`,
+//!    `min`/`max` family, `all`, `any`).
+//!
+//! Anything subtler carries `// conformance: allow(unordered) — <why the
+//! order cannot escape>`, which records the reasoning next to the code.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::Finding;
+use std::collections::BTreeSet;
+
+const RULE: &str = "determinism/unordered-iter";
+
+/// Hash container type names (suffix match catches `FxHashMap` etc.).
+fn is_hash_type(name: &str) -> bool {
+    name.ends_with("HashMap") || name.ends_with("HashSet")
+}
+
+/// Iteration methods whose order is the hasher's.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Statement-level consumers that visibly restore or collapse order.
+const ORDER_RESTORERS: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+];
+
+/// Order-insensitive terminal operations (commutative folds).
+const ORDER_FREE_TERMINALS: &[&str] = &[
+    "sum",
+    "count",
+    "min",
+    "max",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "all",
+    "any",
+];
+
+/// Run this rule over `file`, appending findings to `out`.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !file.ordered_output {
+        return;
+    }
+    let hash_names = collect_hash_bindings(file);
+    for i in 0..file.syntax.len() {
+        let Some(tok) = file.syn(i) else { break };
+        if file.in_test(tok.line) || file.is_allowed("unordered", tok.line) {
+            continue;
+        }
+        // `.method(` where the receiver chain touches a hash binding.
+        if tok.kind == TokenKind::Ident
+            && ITER_METHODS.contains(&tok.text.as_str())
+            && i > 0
+            && file.is_punct(i - 1, '.')
+            && file.is_punct(i + 1, '(')
+        {
+            let (receiver, indexed) = receiver_chain(file, i - 1);
+            let hash_hit = receiver
+                .iter()
+                .any(|r| hash_names.outer.contains(r.as_str()))
+                || (indexed
+                    && receiver
+                        .iter()
+                        .any(|r| hash_names.nested.contains(r.as_str())));
+            if hash_hit && !statement_restores_order(file, i) {
+                out.push(file.finding_at(
+                    i,
+                    RULE,
+                    format!(
+                        "hash-order iteration `.{}()` over a hash container in an \
+                         ordered-output module: sort the result in this statement, \
+                         collect into a BTree container, or annotate \
+                         `// conformance: allow(unordered) — <why the order cannot escape>`",
+                        tok.text
+                    ),
+                ));
+            }
+            continue;
+        }
+        // `for pat in [&[mut]] name [.<iter-method>()]` over a hash binding.
+        // Only outer bindings qualify: a direct loop cannot index into a
+        // nested container without tripping the method rule instead.
+        if tok.text == "for" && tok.kind == TokenKind::Ident {
+            if let Some(name_idx) = direct_for_loop_over(file, i, &hash_names.outer) {
+                let name = file
+                    .syn(name_idx)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                out.push(file.finding_at(
+                    name_idx,
+                    RULE,
+                    format!(
+                        "`for … in {name}` iterates a hash container in hash order in an \
+                         ordered-output module: iterate a sorted copy, or annotate \
+                         `// conformance: allow(unordered) — <why the order cannot escape>`",
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Names bound to hash containers, split by where the hash type sits in
+/// the declared type.
+struct HashBindings {
+    /// The hash container is the outermost type (`m: FxHashMap<…>`): any
+    /// iteration over the name is hash-ordered.
+    outer: BTreeSet<String>,
+    /// The hash container is nested inside another container
+    /// (`per_entry: Vec<FxHashMap<…>>`): only iteration through an index
+    /// (`per_entry[e].iter()`) is hash-ordered — iterating the name itself
+    /// follows the outer container's order.
+    nested: BTreeSet<String>,
+}
+
+/// Names bound to hash containers: the identifier before a `:` whose type
+/// mentions a hash container, or before an `=` whose initialiser calls a
+/// hash constructor.
+fn collect_hash_bindings(file: &SourceFile) -> HashBindings {
+    let mut bindings = HashBindings {
+        outer: BTreeSet::new(),
+        nested: BTreeSet::new(),
+    };
+    for i in 0..file.syntax.len() {
+        let Some(tok) = file.syn(i) else { break };
+        if tok.kind != TokenKind::Ident || !is_hash_type(&tok.text) {
+            continue;
+        }
+        if let Some((name, nested)) = binding_name_before(file, i) {
+            if nested {
+                bindings.nested.insert(name);
+            } else {
+                bindings.outer.insert(name);
+            }
+        }
+    }
+    // A name bound outer anywhere in the file wins: the coarse file-global
+    // namespace already accepts that collisions over-approximate.
+    for name in &bindings.outer {
+        bindings.nested.remove(name);
+    }
+    bindings
+}
+
+/// Walk left from the hash-type token at syntax index `i`, across the type
+/// or initialiser expression, to the `:` / `=` that binds it, and return
+/// the bound identifier plus whether the hash type was *nested* — i.e. the
+/// walk crossed a `<` before reaching the binder, meaning some outer
+/// generic (`Vec<FxHashMap<…>>`) wraps the hash container.
+fn binding_name_before(file: &SourceFile, i: usize) -> Option<(String, bool)> {
+    let mut nested = false;
+    let mut j = i;
+    // Skip back over type-path and generic tokens until we hit `:` (type
+    // annotation / field / param) or `=` (initialiser). Give up on anything
+    // that ends the statement.
+    let mut steps = 0;
+    while j > 0 {
+        j -= 1;
+        steps += 1;
+        if steps > 40 {
+            return None;
+        }
+        let t = file.syn(j)?;
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, ":") => {
+                // Could be `::` path separator — then keep walking.
+                if j > 0 && file.is_punct(j - 1, ':') {
+                    j -= 1;
+                    continue;
+                }
+                // `name :` — the token before the colon is the binding.
+                let name = file.syn(j.checked_sub(1)?)?;
+                if name.kind == TokenKind::Ident {
+                    return Some((name.text.clone(), nested));
+                }
+                return None;
+            }
+            (TokenKind::Punct, "=") => {
+                // `name = FxHashMap::default()` or `let name = …` or
+                // `name: Type = …` (handled by the `:` arm first when a
+                // type annotation exists, since we walk right-to-left and
+                // meet `=` before `:` — then fall through to the ident).
+                let mut k = j.checked_sub(1)?;
+                // Skip a `mut`-less simple ident, or `let mut name`.
+                let name = file.syn(k)?;
+                if name.kind == TokenKind::Ident && name.text != "mut" {
+                    return Some((name.text.clone(), nested));
+                }
+                if name.text == "mut" {
+                    k = k.checked_sub(1)?;
+                    let name = file.syn(k)?;
+                    if name.kind == TokenKind::Ident {
+                        return Some((name.text.clone(), nested));
+                    }
+                }
+                return None;
+            }
+            // Type-ish tokens we may cross: path idents, generics, refs,
+            // lifetimes, `dyn`, commas inside generics are NOT crossed
+            // (a comma at generic depth would be; track angle depth).
+            // Crossing a `<` leftwards means an outer generic wraps the
+            // hash type (`Vec<FxHashMap<…>>`) — record the nesting.
+            (TokenKind::Punct, "<") => {
+                nested = true;
+                continue;
+            }
+            (TokenKind::Punct, ">") => continue,
+            (TokenKind::Punct, "&") | (TokenKind::Punct, "'") => continue,
+            (TokenKind::Ident, _) | (TokenKind::Lifetime, _) => continue,
+            (TokenKind::Punct, ",") | (TokenKind::Punct, "(") | (TokenKind::Punct, "[") => {
+                // Inside a generic list like `Vec<FxHashMap<…>>` the walk
+                // crosses nothing else binding-like; a comma or open
+                // bracket this early means a tuple/struct literal position.
+                continue;
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Collect the identifiers of the receiver chain ending at the `.` at
+/// syntax index `dot`: walks back over `ident`, `self`, `.`, `)`/`]`
+/// groups (balanced), and stops at anything else. The second return is
+/// whether the chain crossed an index group `[…]` at chain depth —
+/// distinguishing `per_entry[e].iter()` from `per_entry.iter()`.
+fn receiver_chain(file: &SourceFile, dot: usize) -> (Vec<String>, bool) {
+    let mut idents = Vec::new();
+    let mut indexed = false;
+    let mut j = dot;
+    let mut depth = 0i32;
+    let mut steps = 0;
+    while j > 0 {
+        j -= 1;
+        steps += 1;
+        if steps > 60 {
+            break;
+        }
+        let Some(t) = file.syn(j) else { break };
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, ")") => depth += 1,
+            (TokenKind::Punct, "]") => {
+                if depth == 0 {
+                    indexed = true;
+                }
+                depth += 1;
+            }
+            (TokenKind::Punct, "(") | (TokenKind::Punct, "[") => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            (TokenKind::Ident, _) => {
+                if depth == 0 {
+                    idents.push(t.text.clone());
+                }
+            }
+            (TokenKind::Punct, ".") | (TokenKind::Punct, ":") | (TokenKind::Punct, "&") => {}
+            (TokenKind::Number, _) | (TokenKind::Str, _) | (TokenKind::Char, _) => {}
+            _ => {
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    (idents, indexed)
+}
+
+/// Does the statement containing syntax index `i` (or, for a `let`
+/// binding, the immediately following statement) visibly restore or
+/// collapse the order? The whole statement span is searched — the restorer
+/// may sit before the flagged call (`let x: BTreeMap<_, _> = m.iter()…`).
+fn statement_restores_order(file: &SourceFile, i: usize) -> bool {
+    let head = statement_head(file, i);
+    // Forward scan from the head to the statement end: `;` at depth 0, or
+    // a `{` at depth 0 (a `for`/`if` header ends there).
+    let mut depth = 0i32;
+    let mut j = head;
+    let mut stmt_end = None;
+    let mut restored = false;
+    while let Some(t) = file.syn(j) {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            "{" if depth == 0 => break,
+            "}" if depth == 0 => break,
+            ";" if depth == 0 => {
+                stmt_end = Some(j);
+                break;
+            }
+            _ => {
+                if t.kind == TokenKind::Ident
+                    && (ORDER_RESTORERS.contains(&t.text.as_str())
+                        || ORDER_FREE_TERMINALS.contains(&t.text.as_str()))
+                {
+                    restored = true;
+                }
+            }
+        }
+        j += 1;
+    }
+    if restored {
+        return true;
+    }
+    // `let v = …;` immediately followed by `v.sort…(…)`.
+    let Some(end) = stmt_end else { return false };
+    let Some(bound) = let_binding_at(file, head) else {
+        return false;
+    };
+    file.is_ident(end + 1, &bound)
+        && file.is_punct(end + 2, '.')
+        && file
+            .syn(end + 3)
+            .is_some_and(|t| ORDER_RESTORERS.contains(&t.text.as_str()))
+}
+
+/// Syntax index of the first token of the statement containing `i`: just
+/// past the nearest `;`, `{`, or `}` at bracket depth 0 walking left.
+fn statement_head(file: &SourceFile, i: usize) -> usize {
+    let mut j = i;
+    let mut depth = 0i32;
+    let mut steps = 0;
+    while j > 0 && steps < 300 {
+        j -= 1;
+        steps += 1;
+        let Some(t) = file.syn(j) else { break };
+        match t.text.as_str() {
+            ")" | "]" => depth += 1,
+            "(" | "[" => depth -= 1,
+            ";" | "{" | "}" if depth == 0 => return j + 1,
+            _ => {}
+        }
+    }
+    j
+}
+
+/// The identifier bound when the statement starting at syntax index `head`
+/// is a simple `let [mut] name` binding.
+fn let_binding_at(file: &SourceFile, head: usize) -> Option<String> {
+    if !file.is_ident(head, "let") {
+        return None;
+    }
+    let mut k = head + 1;
+    if file.is_ident(k, "mut") {
+        k += 1;
+    }
+    let name = file.syn(k)?;
+    (name.kind == TokenKind::Ident).then(|| name.text.clone())
+}
+
+/// If the `for` at syntax index `i` loops directly over a hash binding
+/// (`for pat in [&[mut]] name [.method()] {`), return the binding's syntax
+/// index.
+fn direct_for_loop_over(
+    file: &SourceFile,
+    i: usize,
+    hash_names: &BTreeSet<String>,
+) -> Option<usize> {
+    // Find `in` at depth 0 before the loop body `{`.
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    let in_idx = loop {
+        let t = file.syn(j)?;
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => return None,
+            "in" if depth == 0 && t.kind == TokenKind::Ident => break j,
+            _ => {}
+        }
+        j += 1;
+        if j > i + 40 {
+            return None;
+        }
+    };
+    // Expression tokens between `in` and the body `{` must be exactly a
+    // direct reference to one identifier (`&map`, `&mut map`, `map`). Any
+    // method chain (`map.keys()`, …) is left to the method rule so a site
+    // is never flagged twice.
+    let mut name_idx = None;
+    let mut k = in_idx + 1;
+    loop {
+        let t = file.syn(k)?;
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "{") => break,
+            (TokenKind::Punct, "&") | (TokenKind::Ident, "mut") => {}
+            (TokenKind::Ident, _) if name_idx.is_none() => name_idx = Some(k),
+            _ => return None, // anything fancier: leave it to the method rule
+        }
+        k += 1;
+        if k > in_idx + 6 {
+            return None;
+        }
+    }
+    let idx = name_idx?;
+    let name = &file.syn(idx)?.text;
+    hash_names.contains(name.as_str()).then_some(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TAG: &str = "#![doc = \"conformance: ordered-output\"]\n";
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("crates/x/src/lib.rs", &format!("{TAG}{src}"));
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn untagged_files_are_ignored() {
+        let src = "fn f(m: &FxHashMap<u32, u32>) { for k in m.keys() { emit(k); } }";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn flags_iteration_over_let_binding() {
+        let out = findings(
+            "fn f() {\n    let mut index: FxHashMap<u32, u32> = FxHashMap::default();\n    for (k, v) in index.iter() { emit(k, v); }\n}\n",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, RULE);
+    }
+
+    #[test]
+    fn flags_field_receiver_through_self() {
+        let out = findings(
+            "struct S { per_entry: Vec<FxHashMap<u32, u32>> }\nimpl S {\n    fn g(&self, e: usize) { self.per_entry[e].iter().for_each(emit); }\n}\n",
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn vec_of_hash_direct_iteration_is_clean() {
+        // Iterating the Vec itself follows Vec order; only indexing into an
+        // element reaches hash order (covered by
+        // `flags_field_receiver_through_self`).
+        let out = findings(
+            "struct S { per_entry: Vec<FxHashMap<u32, u32>> }\nimpl S {\n    fn g(&self) { for (i, m) in self.per_entry.iter().enumerate() { emit(i, m); } }\n}\n",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn flags_direct_for_loop() {
+        let out = findings(
+            "fn f(seen: &HashSet<u32>) {\n    for k in seen { emit(k); }\n    for k in &*seen2 { emit(k); }\n}\n",
+        );
+        assert_eq!(out.len(), 1); // seen2 is not a known hash binding
+    }
+
+    #[test]
+    fn sorted_collection_in_same_statement_is_clean() {
+        let out = findings(
+            "fn f(m: &FxHashMap<u32, u32>) {\n    let mut keys: Vec<_> = m.keys().copied().collect();\n    keys.sort_unstable();\n    let ordered: std::collections::BTreeMap<_, _> = m.iter().collect();\n}\n",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn order_free_terminals_are_clean() {
+        let out = findings(
+            "fn f(m: &FxHashMap<u32, u64>) -> u64 {\n    let total: u64 = m.values().sum();\n    let n = m.keys().count() as u64;\n    total + n\n}\n",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn annotation_suppresses() {
+        let out = findings(
+            "fn f(m: &FxHashMap<u32, u32>) {\n    // conformance: allow(unordered) — feeds a commutative merge\n    for (k, v) in m.iter() { absorb(k, v); }\n}\n",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn lookup_methods_are_not_iteration() {
+        let out = findings(
+            "fn f(m: &FxHashMap<u32, u32>) {\n    if m.contains_key(&1) { emit(m.get(&1)); }\n    let n = m.len();\n}\n",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn non_hash_receivers_are_clean() {
+        let out = findings(
+            "fn f(v: &Vec<u32>, m: &FxHashMap<u32, u32>) {\n    for x in v.iter() { emit(x); }\n    let entries: Vec<u32> = list.iter().collect();\n}\n",
+        );
+        assert!(out.is_empty());
+    }
+}

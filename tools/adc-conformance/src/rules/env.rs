@@ -1,0 +1,96 @@
+//! `env/parsed-env` — environment hygiene.
+//!
+//! Every environment read goes through the `parsed_env` family in
+//! `adc_bench`, whose contract is *hard, explanatory errors on malformed
+//! values* (a typo in `ADC_BENCH_ROWS=10k` must never silently benchmark a
+//! default). A raw `std::env::var` bypasses that contract, so it is denied
+//! everywhere except the blessed accessors themselves, which carry
+//! `// conformance: allow(env) — <why>` annotations. The `env!(…)` macro
+//! (compile-time) is unaffected. Test code is exempt.
+
+use crate::source::SourceFile;
+use crate::Finding;
+
+const RULE: &str = "env/parsed-env";
+
+/// Environment-reading functions on `std::env`.
+const READERS: &[&str] = &["var", "var_os", "vars", "vars_os"];
+
+/// Run this rule over `file`, appending findings to `out`.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..file.syntax.len() {
+        let Some(tok) = file.syn(i) else { break };
+        if tok.text != "env" {
+            continue;
+        }
+        // Match `env :: <reader>` — two `:` puncts then the reader ident.
+        if !(file.is_punct(i + 1, ':') && file.is_punct(i + 2, ':')) {
+            continue;
+        }
+        let Some(reader) = file.syn(i + 3) else {
+            continue;
+        };
+        if !READERS.contains(&reader.text.as_str()) {
+            continue;
+        }
+        if file.in_test(tok.line) || file.is_allowed("env", tok.line) {
+            continue;
+        }
+        out.push(file.finding_at(
+            i,
+            RULE,
+            format!(
+                "raw `env::{}` bypasses the hard-error contract; read the \
+                 variable through `adc_bench::parsed_env` (or `raw_env` for \
+                 plain strings) instead",
+                reader.text
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_std_env_var_and_bare_env_var() {
+        let out = findings("fn f() { let a = std::env::var(\"X\"); let b = env::var_os(\"Y\"); }");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn env_macro_is_fine() {
+        let out = findings("fn f() { let d = env!(\"CARGO_MANIFEST_DIR\"); }");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn blessed_accessor_annotation() {
+        let out = findings(
+            "fn raw_env(name: &str) -> Option<String> {\n    std::env::var(name).ok() // conformance: allow(env) — the blessed accessor itself\n}\n",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let out = findings(
+            "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::env::var(\"ADC_BENCH_ROWS\"); }\n}\n",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unrelated_env_ident_is_fine() {
+        let out = findings("fn f(env: &Environment) { env.lookup(\"x\"); }");
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! `panic/forbidden` — the library panic surface.
+//!
+//! `.unwrap()`, `.expect(…)`, and the aborting macros (`panic!`,
+//! `unreachable!`, `todo!`, `unimplemented!`) are denied in library paths.
+//! A site that is provably unreachable carries
+//! `// conformance: allow(panic) — <why>`; everything else returns a typed
+//! error. Test-gated code is exempt (`assert!`-family contract checks are
+//! always permitted — they are the documented debug contract idiom here).
+
+use crate::source::SourceFile;
+use crate::Finding;
+
+const RULE: &str = "panic/forbidden";
+
+/// Panicking method names (must be exact: `unwrap_or` is fine).
+const METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Panicking macro names (invoked with `!`).
+const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Run this rule over `file`, appending findings to `out`.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..file.syntax.len() {
+        let Some(tok) = file.syn(i) else { break };
+        if file.in_test(tok.line) || file.is_allowed("panic", tok.line) {
+            continue;
+        }
+        let is_method = METHODS.contains(&tok.text.as_str())
+            && i > 0
+            && file.is_punct(i - 1, '.')
+            && file.is_punct(i + 1, '(');
+        if is_method {
+            out.push(file.finding_at(
+                i,
+                RULE,
+                format!(
+                    "`.{}()` in a library path: return a typed error, or annotate \
+                     `// conformance: allow(panic) — <why this cannot fire>`",
+                    tok.text
+                ),
+            ));
+            continue;
+        }
+        let is_macro = MACROS.contains(&tok.text.as_str()) && file.is_punct(i + 1, '!');
+        if is_macro {
+            out.push(file.finding_at(
+                i,
+                RULE,
+                format!(
+                    "`{}!` in a library path: return a typed error, or annotate \
+                     `// conformance: allow(panic) — <why this cannot fire>`",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let out = findings(
+            "fn f() {\n    a.unwrap();\n    b.expect(\"msg\");\n    panic!(\"boom\");\n    unreachable!();\n}\n",
+        );
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn exact_method_names_only() {
+        let out =
+            findings("fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.expect_none_ish(); }");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn test_code_and_annotations_are_exempt() {
+        let out = findings(
+            "fn f() {\n    a.unwrap(); // conformance: allow(panic) — index bounded by loop above\n}\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); panic!(); }\n}\n",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn asserts_are_not_flagged() {
+        let out = findings("fn f() { assert!(x > 0); assert_eq!(a, b); debug_assert!(ok); }");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn string_mentions_do_not_trigger() {
+        let out = findings("fn f() { let s = \"never unwrap() or panic! here\"; }");
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! `unsafe/forbid-missing` and `unsafe/usage` — the no-`unsafe` floor.
+//!
+//! Every crate root (`src/lib.rs`, `crates/*/src/lib.rs`,
+//! `tools/*/src/lib.rs`) must carry `#![forbid(unsafe_code)]` so the
+//! attribute cannot silently regress, and the `unsafe` keyword itself is a
+//! finding anywhere in scope (belt and braces: the attribute catches it at
+//! compile time, the lint catches the attribute's removal). Neither check
+//! has an annotation escape hatch — `vendor/` is simply out of scope.
+
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Is this file a crate root the attribute check applies to?
+fn is_crate_root(rel_path: &str) -> bool {
+    rel_path == "src/lib.rs"
+        || (rel_path.ends_with("/src/lib.rs")
+            && (rel_path.starts_with("crates/") || rel_path.starts_with("tools/")))
+}
+
+/// Run this rule over `file`, appending findings to `out`.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    if is_crate_root(&file.rel_path) && !has_forbid_unsafe(file) {
+        out.push(Finding {
+            path: file.rel_path.clone(),
+            line: 1,
+            col: 1,
+            rule: "unsafe/forbid-missing",
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+    for i in 0..file.syntax.len() {
+        let Some(tok) = file.syn(i) else { break };
+        if tok.text == "unsafe" && !is_forbid_attr_context(file, i) {
+            out.push(file.finding_at(
+                i,
+                "unsafe/usage",
+                "`unsafe` is forbidden workspace-wide (vendor/ excluded)".to_string(),
+            ));
+        }
+    }
+}
+
+/// Does the file contain `#![forbid(unsafe_code)]` (or the equivalent
+/// `#![deny(unsafe_code)]` — accepted, but forbid is the documented form)?
+fn has_forbid_unsafe(file: &SourceFile) -> bool {
+    (0..file.syntax.len()).any(|i| {
+        (file.is_ident(i, "forbid") || file.is_ident(i, "deny"))
+            && file.is_punct(i + 1, '(')
+            && file.is_ident(i + 2, "unsafe_code")
+            && file.is_punct(i + 3, ')')
+            && i >= 3
+            && file.is_punct(i - 3, '#')
+            && file.is_punct(i - 2, '!')
+            && file.is_punct(i - 1, '[')
+    })
+}
+
+/// Is the `unsafe` ident at syntax index `i` actually the `unsafe_code`
+/// lint name inside an attribute? (`unsafe_code` lexes as one ident, so
+/// this only guards hypothetical `unsafe` idents in attribute paths.)
+fn is_forbid_attr_context(file: &SourceFile, i: usize) -> bool {
+    // `unsafe` as a keyword is always followed by `fn`, `impl`, `trait`,
+    // `{`, or `extern`; an attribute context is anything else unlikely —
+    // keep the check simple and conservative: only real keyword positions
+    // are flagged.
+    !(file.is_ident(i + 1, "fn")
+        || file.is_ident(i + 1, "impl")
+        || file.is_ident(i + 1, "trait")
+        || file.is_ident(i + 1, "extern")
+        || file.is_punct(i + 1, '{'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn missing_forbid_on_crate_root() {
+        let out = findings("crates/x/src/lib.rs", "//! Docs.\npub fn f() {}\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unsafe/forbid-missing");
+    }
+
+    #[test]
+    fn present_forbid_is_clean() {
+        let out = findings(
+            "crates/x/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}\n",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn non_root_files_skip_the_attribute_check() {
+        let out = findings("crates/x/src/other.rs", "pub fn f() {}\n");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unsafe_keyword_is_flagged() {
+        let out = findings(
+            "crates/x/src/other.rs",
+            "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n",
+        );
+        assert!(out.iter().any(|f| f.rule == "unsafe/usage"));
+    }
+
+    #[test]
+    fn facade_lib_is_a_crate_root() {
+        let out = findings("src/lib.rs", "pub fn f() {}\n");
+        assert_eq!(out.len(), 1);
+    }
+}

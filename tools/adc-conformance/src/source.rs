@@ -1,0 +1,370 @@
+//! Per-file analysis context shared by every rule: the token stream, the
+//! `#[cfg(test)]` line mask, the `conformance:` annotation map, and the
+//! `ordered-output` module tag.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// The annotation prefix recognised inside plain comments.
+const ALLOW_PREFIX: &str = "conformance: allow(";
+
+/// One lexed source file plus everything the rules need to know about it.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across hosts).
+    pub rel_path: String,
+    /// Full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the syntax (non-comment) tokens.
+    pub syntax: Vec<usize>,
+    /// `test_lines[line - 1]` is true when the line sits inside a
+    /// `#[cfg(test)]` / `#[test]` item.
+    test_lines: Vec<bool>,
+    /// Line → rules allowed on that line by a `conformance: allow(…)`
+    /// annotation (the annotation's own line plus, for standalone comment
+    /// lines, the next syntax line).
+    allows: BTreeMap<u32, Vec<String>>,
+    /// Malformed annotations found while parsing (missing reason, empty
+    /// rule); surfaced as findings so broken escape hatches cannot silently
+    /// allow nothing — or worse, rot into folklore.
+    pub annotation_findings: Vec<Finding>,
+    /// True when the file carries `#![doc = "conformance: ordered-output"]`.
+    pub ordered_output: bool,
+}
+
+impl SourceFile {
+    /// Lex and analyse one file.
+    pub fn parse(rel_path: &str, src: &str) -> SourceFile {
+        let tokens = lex(src);
+        let syntax: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_syntax())
+            .map(|(i, _)| i)
+            .collect();
+        let last_line = tokens.last().map_or(1, |t| t.line);
+        let test_lines = test_line_mask(&tokens, &syntax, last_line);
+        let (allows, annotation_findings) = collect_allows(rel_path, &tokens);
+        let ordered_output = has_ordered_output_tag(&tokens, &syntax);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            tokens,
+            syntax,
+            test_lines,
+            allows,
+            annotation_findings,
+            ordered_output,
+        }
+    }
+
+    /// Is `line` inside test-gated code?
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_lines
+            .get(line.saturating_sub(1) as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Is `rule` explicitly allowed at `line` (same line or an annotation
+    /// comment directly above)?
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .get(&line)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+
+    /// Syntax token at syntax-index `i` (not raw token index).
+    pub fn syn(&self, i: usize) -> Option<&Token> {
+        self.syntax.get(i).map(|&raw| &self.tokens[raw])
+    }
+
+    /// True when the syntax token at `i` is an identifier with this text.
+    pub fn is_ident(&self, i: usize, text: &str) -> bool {
+        self.syn(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+    }
+
+    /// True when the syntax token at `i` is this punctuation character.
+    pub fn is_punct(&self, i: usize, ch: char) -> bool {
+        self.syn(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text.starts_with(ch))
+    }
+
+    /// Convenience for building a finding at a syntax token.
+    pub fn finding_at(&self, i: usize, rule: &'static str, message: String) -> Finding {
+        let (line, col) = self.syn(i).map(|t| (t.line, t.col)).unwrap_or((1, 1));
+        Finding {
+            path: self.rel_path.clone(),
+            line,
+            col,
+            rule,
+            message,
+        }
+    }
+}
+
+/// Detect `#![doc = "conformance: ordered-output"]` among the file's inner
+/// attributes.
+fn has_ordered_output_tag(tokens: &[Token], syntax: &[usize]) -> bool {
+    for w in syntax.windows(7) {
+        let t = |k: usize| &tokens[w[k]];
+        if t(0).text == "#"
+            && t(1).text == "!"
+            && t(2).text == "["
+            && t(3).text == "doc"
+            && t(4).text == "="
+            && t(5).kind == TokenKind::Str
+            && t(5).str_value() == "conformance: ordered-output"
+            && t(6).text == "]"
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Mark every line covered by a test-gated item: an outer attribute whose
+/// content is `test`, `should_panic`, `bench`, or a `cfg(…)` that mentions
+/// `test`, followed by an item (attributes and doc comments skipped), whose
+/// body extends to the matching close brace (or terminating semicolon).
+fn test_line_mask(tokens: &[Token], syntax: &[usize], last_line: u32) -> Vec<bool> {
+    let mut mask = vec![false; last_line as usize];
+    let mut i = 0;
+    while i < syntax.len() {
+        if !is_attr_start(tokens, syntax, i) {
+            i += 1;
+            continue;
+        }
+        let (content_idents, after_attr) = read_attr(tokens, syntax, i);
+        if !attr_is_testish(&content_idents) {
+            i = after_attr;
+            continue;
+        }
+        let start_line = tokens[syntax[i]].line;
+        // Skip any further attributes between this one and the item.
+        let mut j = after_attr;
+        while is_attr_start(tokens, syntax, j) {
+            let (_, next) = read_attr(tokens, syntax, j);
+            j = next;
+        }
+        // Find the item end: first `;` at depth 0, or the close of the first
+        // `{ … }` block at depth 0.
+        let mut depth = 0i32;
+        let mut end_line = start_line;
+        let mut entered_block = false;
+        while j < syntax.len() {
+            let tok = &tokens[syntax[j]];
+            match tok.text.as_str() {
+                "{" | "(" | "[" => {
+                    depth += 1;
+                    entered_block |= tok.text == "{";
+                }
+                "}" | ")" | "]" => {
+                    depth -= 1;
+                    if depth == 0 && entered_block && tok.text == "}" {
+                        end_line = tok.line;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    end_line = tok.line;
+                    break;
+                }
+                _ => {}
+            }
+            end_line = tok.line;
+            j += 1;
+        }
+        for line in start_line..=end_line {
+            if let Some(slot) = mask.get_mut(line as usize - 1) {
+                *slot = true;
+            }
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+/// Does an outer attribute (`#[…]`, not `#![…]`) start at syntax index `i`?
+fn is_attr_start(tokens: &[Token], syntax: &[usize], i: usize) -> bool {
+    syntax.get(i).is_some_and(|&r| tokens[r].text == "#")
+        && syntax.get(i + 1).is_some_and(|&r| tokens[r].text == "[")
+}
+
+/// Read the attribute starting at syntax index `i`; returns the identifiers
+/// inside the brackets and the syntax index just past the closing `]`.
+fn read_attr(tokens: &[Token], syntax: &[usize], i: usize) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    let mut depth = 0i32;
+    let mut j = i + 1; // at `[`
+    while j < syntax.len() {
+        let tok = &tokens[syntax[j]];
+        match tok.text.as_str() {
+            "[" | "(" => depth += 1,
+            "]" | ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (idents, j + 1);
+                }
+            }
+            _ => {
+                if tok.kind == TokenKind::Ident {
+                    idents.push(tok.text.clone());
+                }
+            }
+        }
+        j += 1;
+    }
+    (idents, j)
+}
+
+/// Is the attribute content test-gating?
+fn attr_is_testish(idents: &[String]) -> bool {
+    match idents.first().map(String::as_str) {
+        Some("test") | Some("should_panic") | Some("bench") => true,
+        Some("cfg") | Some("cfg_attr") => idents.iter().any(|s| s == "test"),
+        _ => false,
+    }
+}
+
+/// Collect `conformance: allow(<rule>) — <reason>` annotations from plain
+/// comments. A trailing comment covers its own line; a standalone comment
+/// (first token on its line) covers the next line that has syntax tokens.
+fn collect_allows(rel_path: &str, tokens: &[Token]) -> (BTreeMap<u32, Vec<String>>, Vec<Finding>) {
+    let mut allows: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    let mut findings = Vec::new();
+    for (idx, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Comment {
+            continue;
+        }
+        let Some(at) = tok.text.find(ALLOW_PREFIX) else {
+            continue;
+        };
+        let rest = &tok.text[at + ALLOW_PREFIX.len()..];
+        let bad = |msg: &str| Finding {
+            path: rel_path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            rule: "annotation/malformed",
+            message: msg.to_string(),
+        };
+        let Some(close) = rest.find(')') else {
+            findings.push(bad("unclosed `conformance: allow(`"));
+            continue;
+        };
+        let rule = rest[..close].trim();
+        if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+            findings.push(bad("empty or invalid rule name in `conformance: allow(…)`"));
+            continue;
+        }
+        // The reason after the closing paren is mandatory: an allow without
+        // a recorded why is indistinguishable from a rubber stamp.
+        let reason: String = rest[close + 1..]
+            .chars()
+            .filter(|c| !c.is_whitespace() && *c != '—' && *c != '-' && *c != '–')
+            .collect();
+        if reason.len() < 3 {
+            findings.push(bad(
+                "`conformance: allow(…)` needs a reason: `// conformance: allow(rule) — why`",
+            ));
+            continue;
+        }
+        // Covered lines: the comment's own line, and — when the comment
+        // starts its line — the next line carrying syntax tokens.
+        allows.entry(tok.line).or_default().push(rule.to_string());
+        let standalone = !tokens[..idx]
+            .iter()
+            .rev()
+            .take_while(|t| t.line == tok.line)
+            .any(|t| t.is_syntax());
+        if standalone {
+            if let Some(next) = tokens[idx + 1..]
+                .iter()
+                .find(|t| t.is_syntax() && t.line > tok.line)
+            {
+                allows.entry(next.line).or_default().push(rule.to_string());
+            }
+        }
+    }
+    (allows, findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.in_test(1));
+        assert!(f.in_test(2));
+        assert!(f.in_test(4));
+        assert!(f.in_test(5));
+        assert!(!f.in_test(6));
+    }
+
+    #[test]
+    fn test_mask_covers_test_fn_with_extra_attrs() {
+        let src = "#[test]\n#[should_panic(expected = \"boom\")]\nfn t() {\n    panic!();\n}\nfn lib() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.in_test(4));
+        assert!(!f.in_test(6));
+    }
+
+    #[test]
+    fn cfg_any_test_counts_as_test() {
+        let src = "#[cfg(any(test, feature = \"audit\"))]\nfn helper() { x.unwrap(); }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.in_test(2));
+    }
+
+    #[test]
+    fn non_test_cfg_does_not_mask() {
+        let src = "#[cfg(feature = \"extra\")]\nfn helper() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.in_test(2));
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_line() {
+        let src = "fn f() {\n    x.unwrap(); // conformance: allow(panic) — len checked above\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.is_allowed("panic", 2));
+        assert!(!f.is_allowed("panic", 3));
+        assert!(f.annotation_findings.is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_syntax_line() {
+        let src = "fn f() {\n    // conformance: allow(panic) — guarded by the match above\n\n    x.unwrap();\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.is_allowed("panic", 4));
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding() {
+        let src = "fn f() {\n    x.unwrap(); // conformance: allow(panic)\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.is_allowed("panic", 2));
+        assert_eq!(f.annotation_findings.len(), 1);
+        assert_eq!(f.annotation_findings[0].rule, "annotation/malformed");
+    }
+
+    #[test]
+    fn doc_comment_mention_is_not_an_annotation() {
+        let src =
+            "/// Write `// conformance: allow(panic) — why` to allow.\nfn f() { x.unwrap(); }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.is_allowed("panic", 2));
+    }
+
+    #[test]
+    fn ordered_output_tag_detection() {
+        let tagged = "//! Docs.\n#![doc = \"conformance: ordered-output\"]\nfn f() {}\n";
+        assert!(SourceFile::parse("x.rs", tagged).ordered_output);
+        let untagged = "//! conformance: ordered-output (prose only)\nfn f() {}\n";
+        assert!(!SourceFile::parse("x.rs", untagged).ordered_output);
+    }
+}

@@ -1,0 +1,114 @@
+//! Workspace file discovery: which `.rs` files are in scope.
+//!
+//! Scope is the library surface the rules reason about: the facade `src/`,
+//! every `crates/*/src/`, and every `tools/*/src/`. `vendor/` (offline
+//! stand-ins with their own upstream idioms), `target/`, integration
+//! `tests/`, `benches/`, `examples/`, and the linter's own `fixtures/` are
+//! all outside scope.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Top-level directories whose `*/src` trees are scanned.
+const MEMBER_ROOTS: &[&str] = &["crates", "tools"];
+
+/// Find the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Workspace-relative (`/`-separated) paths of every in-scope `.rs` file,
+/// sorted for stable output.
+pub fn discover(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), root, &mut files)?;
+    for member_root in MEMBER_ROOTS {
+        let dir = root.join(member_root);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            collect_rs(&member.join("src"), root, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Recursively collect `.rs` files under `dir` as root-relative paths.
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        // tools/adc-conformance → two levels below the workspace root.
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("manifest sits two levels below the workspace root")
+            .to_path_buf()
+    }
+
+    #[test]
+    fn discovers_crates_facade_and_tools_but_not_vendor() {
+        let files = discover(&repo_root()).expect("discover");
+        assert!(files.iter().any(|f| f == "src/lib.rs"));
+        assert!(files.iter().any(|f| f == "crates/evidence/src/sweep.rs"));
+        assert!(files
+            .iter()
+            .any(|f| f == "tools/adc-conformance/src/lib.rs"));
+        assert!(files.iter().all(|f| !f.starts_with("vendor/")));
+        assert!(files.iter().all(|f| !f.contains("/fixtures/")));
+        assert!(files.iter().all(|f| !f.starts_with("tests/")));
+    }
+
+    #[test]
+    fn find_root_walks_up_from_a_member() {
+        let member = Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf();
+        let root = find_root(&member).expect("workspace root");
+        assert_eq!(root, repo_root());
+    }
+}

@@ -1,0 +1,109 @@
+//! Self-check: the linter is clean on its own workspace, and goes red the
+//! moment a violation from any rule family is seeded into a scratch
+//! workspace with the same layout.
+
+use adc_conformance::{lint_workspace, workspace};
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("the linter lives inside the workspace it checks")
+}
+
+#[test]
+fn workspace_is_clean() {
+    let (findings, scanned) = lint_workspace(&repo_root()).expect("lint workspace");
+    assert!(
+        scanned > 50,
+        "workspace discovery collapsed: only {scanned} files scanned"
+    );
+    assert!(
+        findings.is_empty(),
+        "the workspace must lint clean; found:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// A scratch workspace seeded with one violating crate. Dropping it cleans
+/// the temp directory.
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str, lib_rs: &str) -> Scratch {
+        let root = std::env::temp_dir().join(format!(
+            "adc-conformance-selfcheck-{tag}-{}",
+            std::process::id()
+        ));
+        let src = root.join("crates/demo/src");
+        std::fs::create_dir_all(&src).expect("scratch dirs");
+        std::fs::write(
+            root.join("Cargo.toml"),
+            "[workspace]\nmembers = [\"crates/demo\"]\n",
+        )
+        .expect("scratch manifest");
+        std::fs::write(src.join("lib.rs"), lib_rs).expect("scratch lib.rs");
+        Scratch { root }
+    }
+
+    fn rules_hit(&self) -> Vec<&'static str> {
+        let (findings, _) = lint_workspace(&self.root).expect("lint scratch");
+        let mut rules: Vec<&'static str> = findings.iter().map(|f| f.rule).collect();
+        rules.sort_unstable();
+        rules.dedup();
+        rules
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn seeded_determinism_violation_goes_red() {
+    let s = Scratch::new(
+        "determinism",
+        "#![forbid(unsafe_code)]\n#![doc = \"conformance: ordered-output\"]\nfn f(m: &FxHashMap<u32, u32>) -> Vec<u32> { m.keys().copied().collect() }\n",
+    );
+    assert_eq!(s.rules_hit(), vec!["determinism/unordered-iter"]);
+}
+
+#[test]
+fn seeded_concurrency_violation_goes_red() {
+    let s = Scratch::new(
+        "concurrency",
+        "#![forbid(unsafe_code)]\nuse std::sync::Mutex;\nfn f() -> Mutex<u32> { Mutex::new(0) }\n",
+    );
+    assert_eq!(s.rules_hit(), vec!["concurrency/confinement"]);
+}
+
+#[test]
+fn seeded_panic_violation_goes_red() {
+    let s = Scratch::new(
+        "panic",
+        "#![forbid(unsafe_code)]\nfn f(a: Option<u32>) -> u32 { a.unwrap() }\n",
+    );
+    assert_eq!(s.rules_hit(), vec!["panic/forbidden"]);
+}
+
+#[test]
+fn seeded_env_violation_goes_red() {
+    let s = Scratch::new(
+        "env",
+        "#![forbid(unsafe_code)]\nfn f() -> bool { std::env::var(\"ADC_BENCH_ROWS\").is_ok() }\n",
+    );
+    assert_eq!(s.rules_hit(), vec!["env/parsed-env"]);
+}
+
+#[test]
+fn seeded_missing_forbid_goes_red() {
+    let s = Scratch::new("unsafety", "pub fn f() {}\n");
+    assert_eq!(s.rules_hit(), vec!["unsafe/forbid-missing"]);
+}
